@@ -1,0 +1,55 @@
+"""Ablation A3: cache miss-penalty sensitivity (section 3.2).
+
+"Because the MultiTitan lacks the pipelined memory access of the Cray,
+its performance suffers greatly from cache misses."  Sweeps the miss
+penalty and measures the cold-cache MFLOPS of a bandwidth-bound loop
+(LL1) and a compute-bound loop (LL16); cold performance of the former
+must collapse with the penalty while warm performance stays flat.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cpu.machine import MachineConfig
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import build_loop
+
+PENALTIES = (0, 7, 14, 28, 56)
+
+
+def test_miss_penalty_sweep(benchmark):
+    def experiment():
+        table = {}
+        for penalty in PENALTIES:
+            config = MachineConfig(dcache_miss_penalty=penalty,
+                                   ibuf_miss_penalty=penalty)
+            table[penalty] = {
+                "ll1_cold": run_kernel(build_loop(1), config=config),
+                "ll1_warm": run_kernel(build_loop(1), config=config, warm=True),
+                "ll16_cold": run_kernel(build_loop(16), config=config),
+            }
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = []
+    for penalty in PENALTIES:
+        entry = table[penalty]
+        for result in entry.values():
+            assert result.passed, result.check_error
+        rows.append([penalty, entry["ll1_cold"].mflops,
+                     entry["ll1_warm"].mflops, entry["ll16_cold"].mflops])
+    print()
+    print(render_table(
+        ["miss penalty", "LL1 cold", "LL1 warm", "LL16 cold"],
+        rows, title="Ablation A3: MFLOPS vs miss penalty",
+        float_format="%.2f"))
+
+    assert table[0]["ll1_cold"].mflops > 2 * table[56]["ll1_cold"].mflops
+    warm_spread = (table[0]["ll1_warm"].mflops
+                   / table[56]["ll1_warm"].mflops)
+    assert warm_spread < 1.6  # warm runs barely see the penalty
+    cold_spread_compute = (table[0]["ll16_cold"].mflops
+                           / table[56]["ll16_cold"].mflops)
+    cold_spread_memory = (table[0]["ll1_cold"].mflops
+                          / table[56]["ll1_cold"].mflops)
+    assert cold_spread_memory > cold_spread_compute  # misses diluted by branching

@@ -1,0 +1,50 @@
+"""Ablation A2: functional-unit latency sensitivity (section 2.2).
+
+Sweeps the uniform FPU latency from 1 to 8 cycles and re-times a
+reduction-heavy loop (LL3), a recurrence (LL11), and an elementwise loop
+(LL1).  The paper's low-latency argument predicts that recurrences and
+reductions degrade nearly linearly with latency while streaming
+elementwise code barely cares.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cpu.machine import MachineConfig
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import build_loop
+
+LATENCIES = (1, 2, 3, 5, 8)
+LOOPS = {1: "elementwise (LL1)", 3: "reduction (LL3)", 11: "recurrence (LL11)"}
+
+
+def test_latency_sweep(benchmark):
+    def experiment():
+        table = {}
+        for latency in LATENCIES:
+            config = MachineConfig(model_ibuffer=False, fpu_latency=latency)
+            table[latency] = {
+                loop: run_kernel(build_loop(loop), config=config, warm=True)
+                for loop in LOOPS
+            }
+        return table
+
+    table = run_once(benchmark, experiment)
+    for latency, results in table.items():
+        for loop, result in results.items():
+            assert result.passed, (latency, loop, result.check_error)
+
+    rows = []
+    for latency in LATENCIES:
+        rows.append([latency] + [table[latency][loop].cycles for loop in LOOPS])
+    print()
+    print(render_table(["latency"] + list(LOOPS.values()), rows,
+                       title="Ablation A2: cycles vs FPU latency (warm)"))
+
+    def degradation(loop):
+        return table[8][loop].cycles / table[1][loop].cycles
+
+    # Recurrences track latency nearly linearly; streaming code does not.
+    assert degradation(11) > 2.0
+    assert degradation(1) < degradation(11)
+    assert degradation(3) > degradation(1)

@@ -1,0 +1,62 @@
+"""Ablation A1: unified vs. split register file costs.
+
+Quantifies section 2.1.2's storage argument (3.3K bits vs. 32K bits, an
+order of magnitude) and the context-switch claim, by actually storing the
+full register state through the simulated store port, and contrasts the
+reduction/recurrence costs against the classical machine where the
+vector/scalar split forces element moves.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.analysis.storage import CLASSICAL_VECTOR, UNIFIED, storage_ratio
+from repro.baselines.classical import ClassicalVectorMachine
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Memory, WORD_BYTES
+from repro.workloads import reductions
+
+
+def simulate_full_state_save():
+    memory = Memory()
+    b = ProgramBuilder()
+    for i in range(52):
+        b.fstore(i, 1, i * WORD_BYTES)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=MachineConfig(model_ibuffer=False))
+    machine.iregs[1] = 4096
+    machine.dcache.warm_range(4096, 52 * WORD_BYTES)
+    return machine.run().completion_cycle
+
+
+def test_register_file_ablation(benchmark):
+    def experiment():
+        save_cycles = simulate_full_state_save()
+        classical = ClassicalVectorMachine()
+        classical_save = classical.context_switch_cycles(store_cycles_per_word=2)
+        reduce_unified = reductions.run_reduction("vector_tree").cycles
+        classical.vload(7, [float(i + 1) for i in range(8)])
+        classical.reset_cycles()
+        classical.sum_reduce(7)
+        return {
+            "save_cycles": save_cycles,
+            "classical_save": classical_save,
+            "reduce_unified": reduce_unified,
+            "reduce_classical": classical.cycles,
+        }
+
+    outcome = run_once(benchmark, experiment)
+    rows = [
+        ["register storage (bits)", UNIFIED.bits, CLASSICAL_VECTOR.bits],
+        ["context switch (cycles, measured/modelled)",
+         outcome["save_cycles"], outcome["classical_save"]],
+        ["8-element sum reduction (cycles)",
+         outcome["reduce_unified"], outcome["reduce_classical"]],
+    ]
+    print()
+    print(render_table(["cost", "unified (MultiTitan)", "classical 8x64"],
+                       rows, title="Ablation A1: unified vs split register file"))
+    assert 9 < storage_ratio() < 11
+    assert outcome["classical_save"] > 8 * outcome["save_cycles"]
+    assert outcome["reduce_classical"] > 2 * outcome["reduce_unified"]

@@ -1,0 +1,50 @@
+"""Ablation A4: strip-length sweep.
+
+Section 2.2.1: the 52 registers are "often used as six vectors of length
+8 and four scalars", and n_half < 8 makes VL = 8 nearly peak.  Sweeping
+the Mahler strip length on Livermore loop 1 quantifies the trade: short
+strips pay loop overhead, long strips pay register pressure (loop 7
+cannot even compile at VL = 8 -- the paper's compile error).
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.vectorize.allocator import AllocationError
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import build_loop
+
+STRIP_LENGTHS = (1, 2, 4, 8, 16)
+
+
+def test_strip_length_sweep(benchmark):
+    def experiment():
+        table = {}
+        for vl in STRIP_LENGTHS:
+            result = run_kernel(build_loop(1, coding="vector", vl=vl),
+                                warm=True)
+            assert result.passed, result.check_error
+            table[vl] = result
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = [[vl, table[vl].cycles, table[vl].mflops] for vl in STRIP_LENGTHS]
+    print()
+    print(render_table(["VL", "cycles (warm)", "MFLOPS"], rows,
+                       title="Ablation A4: LL1 vs strip length",
+                       float_format="%.2f"))
+
+    # Longer strips amortize loop overhead monotonically...
+    assert table[8].mflops > table[2].mflops > table[1].mflops
+    # ...with diminishing returns past the natural length of 8.
+    gain_2_to_8 = table[8].mflops / table[2].mflops
+    gain_8_to_16 = table[16].mflops / table[8].mflops
+    assert gain_2_to_8 > gain_8_to_16
+
+    # And register pressure caps the sweep: loop 7 cannot compile at 8.
+    try:
+        build_loop(7, coding="vector", vl=8)
+        compiled_at_8 = True
+    except AllocationError:
+        compiled_at_8 = False
+    assert not compiled_at_8

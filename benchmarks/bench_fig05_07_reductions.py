@@ -1,0 +1,35 @@
+"""Figures 5-7: the three reduction strategies (E1-E3 in DESIGN.md).
+
+Paper: scalar tree = 12 cycles / 7 instructions, linear vector = 24
+cycles / 1 instruction, vector tree = 12 cycles / 3 instructions with 9
+CPU-free cycles.  All three must agree numerically.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.workloads import reductions
+
+PAPER = {
+    "scalar_tree": (12, 7),
+    "linear_vector": (24, 1),
+    "vector_tree": (12, 3),
+}
+
+
+def test_reduction_strategies(benchmark):
+    outcomes = run_once(benchmark, reductions.run_all)
+    rows = []
+    for name, outcome in outcomes.items():
+        cycles_paper, instrs_paper = PAPER[name]
+        rows.append([name, outcome.cycles, cycles_paper,
+                     outcome.instructions_transferred, instrs_paper,
+                     outcome.free_cpu_cycles])
+        assert outcome.cycles == cycles_paper
+        assert outcome.instructions_transferred == instrs_paper
+        assert outcome.total == 36.0
+    print()
+    print(render_table(
+        ["strategy", "cycles", "paper", "instrs", "paper", "cpu-free"],
+        rows, title="Figures 5-7: summing 8 elements"))
+    assert outcomes["vector_tree"].free_cpu_cycles == 9

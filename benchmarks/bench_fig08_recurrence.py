@@ -1,0 +1,31 @@
+"""Figure 8: vectorization of recurrences (E4).
+
+Paper: the first 10 Fibonacci numbers from one VL-8 vector instruction in
+24 cycles (one element per 3-cycle latency).  We also time the same
+recurrence on the classical vector machine baseline, where it cannot
+vectorize at all.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.baselines.classical import ClassicalVectorMachine
+from repro.workloads import fib
+
+
+def test_fibonacci_recurrence(benchmark):
+    outcome = run_once(benchmark, lambda: fib.run_fibonacci(10))
+    assert outcome.cycles == 24
+    assert outcome.values == fib.fibonacci_reference(10)
+    assert outcome.instructions_transferred == 1
+
+    classical = ClassicalVectorMachine()
+    classical.first_order_recurrence(1.0, [1.0] * 8)
+    rows = [
+        ["MultiTitan (1 vector instr)", outcome.cycles],
+        ["classical vector machine (scalar loop)", classical.cycles],
+    ]
+    print()
+    print(render_table(["machine", "cycles"], rows,
+                       title="Figure 8: 8-step additive recurrence"))
+    assert classical.cycles > outcome.cycles

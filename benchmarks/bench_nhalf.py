@@ -1,0 +1,39 @@
+"""Section 2.2: the vector half-performance length (E11).
+
+Paper: n_half ~ 4 for the MultiTitan against 15 (Cray-1), 100 (Cyber
+205), and 2048 (ICL DAP); it must stay below 8 because the register file
+typically partitions into length-8 vectors.  Measured here by fitting
+Hockney's T(n) = (n + n_half)/r_inf to simulated vector adds.
+"""
+
+from conftest import run_once
+
+from repro.analysis.metrics import N_HALF_LIMIT, measure_n_half
+from repro.analysis.report import render_table
+from repro.baselines.hockney import ALL_MODELS
+
+
+def test_n_half(benchmark):
+    def experiment():
+        return {
+            "ALU only": measure_n_half(include_memory=False),
+            "load/compute/store": measure_n_half(include_memory=True),
+        }
+
+    measured = run_once(benchmark, experiment)
+    rows = []
+    for name, result in measured.items():
+        rows.append(["MultiTitan (%s)" % name, result["n_half"],
+                     result["r_inf_per_cycle"]])
+        assert result["n_half"] < N_HALF_LIMIT
+    for model in ALL_MODELS[1:]:
+        rows.append([model.name + " (published)", model.n_half, None])
+    print()
+    print(render_table(["machine", "n_half", "r_inf (results/cycle)"],
+                       rows, title="Half-performance length",
+                       float_format="%.2f"))
+
+    # Efficiency at the machine's natural vector length of 8.
+    alu = measured["ALU only"]["n_half"]
+    efficiency = 8.0 / (8.0 + alu)
+    assert efficiency > 0.7  # >70% of peak at VL=8; the Cray-1 gets 35%

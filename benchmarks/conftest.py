@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a measured-vs-paper comparison (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables).  Simulations are deterministic,
+so each benchmark executes a single round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Writing your own kernel with the Mahler-style vector builder.
+
+Implements a polynomial evaluator -- ``out[i] = c3*x^3 + c2*x^2 + c1*x +
+c0`` by Horner's rule -- through :class:`repro.vectorize.
+VectorKernelBuilder`: strip-mined loops, register-group allocation, and
+the stride bits all fall out of the builder, and the result is checked
+against a host-Python reference.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory
+from repro.vectorize.builder import VectorKernelBuilder
+from repro.workloads.common import Lcg
+
+N = 100
+COEFFICIENTS = [0.5, -1.25, 2.0, 0.75]  # c0..c3
+
+
+def build(memory, x_addr, out_addr, coeff_addr):
+    pb = ProgramBuilder()
+    vb = VectorKernelBuilder(pb, vl=8)
+    x = vb.array(x_addr)
+    out = vb.array(out_addr)
+    coeffs = vb.array(coeff_addr)
+    c0 = vb.scalar_load(coeffs, 0)
+    c1 = vb.scalar_load(coeffs, 1)
+    c2 = vb.scalar_load(coeffs, 2)
+    c3 = vb.scalar_load(coeffs, 3)
+
+    def body(vl):
+        xv = vb.vload(x, 0, vl=vl)
+        # Horner: ((c3*x + c2)*x + c1)*x + c0
+        acc = vb.mul(xv, c3)
+        acc = vb.add(acc, c2, into=acc)
+        acc = vb.mul(acc, xv, into=acc)
+        acc = vb.add(acc, c1, into=acc)
+        acc = vb.mul(acc, xv, into=acc)
+        acc = vb.add(acc, c0, into=acc)
+        vb.vstore(out, acc)
+
+    vb.strip_loop(N, body)
+    return pb.build()
+
+
+def main():
+    rng = Lcg(7)
+    values = rng.floats(N, -2.0, 2.0)
+
+    memory = Memory()
+    arena = Arena(memory, base=256)
+    x_addr = arena.alloc_array(values)
+    out_addr = arena.alloc(N)
+    coeff_addr = arena.alloc_array(COEFFICIENTS)
+
+    program = build(memory, x_addr, out_addr, coeff_addr)
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(strict_hazards=True))
+    cold = machine.run()
+
+    c0, c1, c2, c3 = COEFFICIENTS
+    expected = [((c3 * v + c2) * v + c1) * v + c0 for v in values]
+    got = memory.read_block(out_addr, N)
+    worst = max(abs(g - e) for g, e in zip(got, expected))
+
+    flops = 6 * N
+    print("polynomial kernel over %d elements" % N)
+    print("  instructions executed :", cold.stats.instructions)
+    print("  cycles (cold cache)   :", cold.completion_cycle)
+    print("  MFLOPS at 40 ns       : %.2f" % cold.mflops(flops))
+    print("  cache hit rate        : %.1f%%" % (100 * machine.dcache.hit_rate))
+    print("  worst |error|         : %.3g" % worst)
+    print("  strict hazard checks  : clean")
+    assert worst < 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Mahler-flavored expression front end, end to end.
+
+Writes Livermore loop 1 and a dot product as plain Python expressions,
+compiles them to strip-mined MultiTitan code, runs the load scheduler
+pass, and times both versions -- every result self-checked against the
+expression's own Python evaluation.
+
+Run:  python examples/expression_kernels.py
+"""
+
+from repro.vectorize.ir import Kernel
+from repro.vectorize.scheduler import schedule_loads, schedule_report
+from repro.workloads.common import Lcg
+
+
+def livermore_loop1():
+    rng = Lcg(42)
+    n = 100
+    data = {"y": rng.floats(n), "z": rng.floats(n + 11)}
+    params = {"q": 0.5, "r": 0.25, "t": 0.125}
+
+    k = Kernel(vl=8)
+    y, z = k.input("y"), k.input("z")
+    q, r, t = k.param("q"), k.param("r"), k.param("t")
+    x = k.output("x")
+    k.assign(x, q + y[0] * (r * z[10] + t * z[11]))
+
+    compiled = k.compile(n=n, data=data, params=params)
+    outcome = compiled.run()
+    assert outcome.passed, outcome.check_error
+    print("Livermore loop 1 as an expression:")
+    print("  x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])")
+    print("  %d elements in %d cycles (%.2f MFLOPS at 40 ns), self-checked"
+          % (n, outcome.cycles, 5 * n / (outcome.cycles * 40e-3)))
+
+    before = compiled.program
+    compiled.program = schedule_loads(before)
+    report = schedule_report(before, compiled.program)
+    rerun = compiled.run()
+    assert rerun.passed, rerun.check_error
+    print("  after the load-scheduler pass: %d cycles (%d loads moved)"
+          % (rerun.cycles, report["loads_moved"]))
+    print()
+
+
+def dot_product():
+    rng = Lcg(7)
+    n = 128
+    data = {"a": rng.floats(n), "b": rng.floats(n)}
+
+    k = Kernel(vl=8)
+    a, b = k.input("a"), k.input("b")
+    k.reduce_sum(a[0] * b[0], name="dot")
+    outcome = k.compile(n=n, data=data).run()
+    assert outcome.passed, outcome.check_error
+    direct = sum(x * y for x, y in zip(data["a"], data["b"]))
+    print("dot product over %d elements:" % n)
+    print("  machine: %.15f" % outcome.sums["dot"])
+    print("  python : %.15f" % direct)
+    print("  %d cycles -- the reduction stays vectorized (strip-halving"
+          % outcome.cycles)
+    print("  trees through the unified register file)")
+    print()
+
+
+def division_expression():
+    rng = Lcg(9)
+    n = 40
+    data = {"u": rng.floats(n, 0.1, 0.9), "v": rng.floats(n, 0.5, 1.0)}
+
+    k = Kernel(vl=4)
+    u, v = k.input("u"), k.input("v")
+    y = k.output("y")
+    k.assign(y, u[0] / (v[0] + 1.0))
+    outcome = k.compile(n=n, data=data).run()
+    assert outcome.passed, outcome.check_error
+    print("division expression (u / (v + 1)):")
+    print("  '/' expands to the six-operation reciprocal/Newton schedule")
+    print("  %d elements in %d cycles, max error vs Python: ~1 ulp"
+          % (n, outcome.cycles))
+
+
+if __name__ == "__main__":
+    livermore_loop1()
+    dot_product()
+    division_expression()

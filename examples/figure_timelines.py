@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Redraw the paper's timing figures from live simulation traces.
+
+Figures 5-8 and 13 of WRL 89/8 are hand-drawn pipeline diagrams; this
+example re-derives them by running the corresponding code with tracing
+enabled and rendering the recorded events.
+
+Run:  python examples/figure_timelines.py
+"""
+
+from repro.analysis.timeline import render_timeline
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+
+def traced(build, setup=None, memory=None):
+    b = ProgramBuilder()
+    build(b)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=MachineConfig(model_ibuffer=False, trace=True))
+    if setup:
+        setup(machine)
+    result = machine.run()
+    return machine.trace, result
+
+
+def show(title, paper_cycles, build, setup=None, memory=None):
+    trace, result = traced(build, setup, memory)
+    print("%s  (measured %d cycles, paper %d)"
+          % (title, result.completion_cycle, paper_cycles))
+    print(render_timeline(trace))
+    print()
+
+
+def values_1_to_8(machine):
+    machine.fpu.regs.write_group(0, [float(i + 1) for i in range(8)])
+
+
+def main():
+    show("Figure 5: summing with a tree of scalar operations", 12,
+         lambda b: [b.fadd(8, 0, 1), b.fadd(9, 2, 3), b.fadd(10, 4, 5),
+                    b.fadd(11, 6, 7), b.fadd(12, 8, 9), b.fadd(13, 10, 11),
+                    b.fadd(14, 12, 13)],
+         values_1_to_8)
+
+    show("Figure 6: summing with a linear vector", 24,
+         lambda b: b.fadd(9, 8, 0, vl=8),
+         values_1_to_8)
+
+    show("Figure 7: summing with a tree of vector operations", 12,
+         lambda b: [b.fadd(8, 0, 4, vl=4), b.fadd(12, 8, 10, vl=2),
+                    b.fadd(14, 12, 13)],
+         values_1_to_8)
+
+    show("Figure 8: vectorization of recurrences (Fibonacci)", 24,
+         lambda b: b.fadd(2, 1, 0, vl=8),
+         lambda m: (m.fpu.regs.write(0, 1.0), m.fpu.regs.write(1, 1.0)))
+
+    # Figure 13: the graphics transform with loads and stores.
+    memory = Memory()
+    arena = Arena(memory, base=64)
+    point = arena.alloc_array([1.0, 2.0, 3.0, 1.0])
+    out = arena.alloc(4)
+
+    def build(b):
+        b.fload(32, 1, 0)
+        b.fmul(16, 32, 0, vl=4, sra=False)
+        b.fload(33, 1, 8)
+        b.fmul(20, 33, 4, vl=4, sra=False)
+        b.fload(34, 1, 16)
+        b.fmul(24, 34, 8, vl=4, sra=False)
+        b.fload(35, 1, 24)
+        b.fmul(28, 35, 12, vl=4, sra=False)
+        b.fadd(16, 16, 20, vl=4)
+        b.fadd(24, 24, 28, vl=4)
+        b.fadd(36, 16, 24, vl=4)
+        for i in range(4):
+            b.fstore(36 + i, 2, i * WORD_BYTES)
+
+    def setup(machine):
+        machine.iregs[1] = point
+        machine.iregs[2] = out
+        for column in range(4):
+            for row in range(4):
+                machine.fpu.regs.write(column * 4 + row,
+                                       float(row * 4 + column + 1))
+        machine.dcache.warm_range(point, 64)
+
+    show("Figure 13: graphics transform", 35, build, setup, memory)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro -- a reproduction of "A Unified Vector/Scalar Floating-Point
+Architecture" (Jouppi, Bertoni, and Wall; WRL Research Report 89/8,
+presented at ASPLOS-III, 1989).
+
+The package implements a cycle-accurate simulator of the MultiTitan
+CPU/FPU pair, whose floating-point unit stores vectors in successive
+registers of a single 52-entry unified vector/scalar register file and
+issues vector elements through the ordinary scalar scoreboard.
+
+Quickstart::
+
+    from repro import MultiTitan, ProgramBuilder
+
+    b = ProgramBuilder()
+    b.fadd(16, 0, 8, vl=4)          # R[16..19] := R[0..3] + R[8..11]
+    program = b.build()
+
+    machine = MultiTitan(program)
+    machine.fpu.regs.write_group(0, [1.0, 2.0, 3.0, 4.0])
+    machine.fpu.regs.write_group(8, [10.0, 20.0, 30.0, 40.0])
+    result = machine.run()
+    print(machine.fpu.regs.read_group(16, 4), result.completion_cycle)
+
+Subpackages: :mod:`repro.core` (the FPU), :mod:`repro.cpu` (CPU +
+assembler + machine), :mod:`repro.mem` (caches), :mod:`repro.fparith`
+(bit-level arithmetic), :mod:`repro.vectorize` (Mahler-like vector IR),
+:mod:`repro.workloads` (Livermore Loops, Linpack, graphics),
+:mod:`repro.baselines` (classical vector machine, Hockney, Amdahl), and
+:mod:`repro.analysis` (metrics and report rendering).
+"""
+
+from repro.core import (
+    AluInstruction,
+    CYCLE_TIME_NS,
+    FUNCTIONAL_UNIT_LATENCY,
+    Fpu,
+    MAX_VECTOR_LENGTH,
+    NUM_REGISTERS,
+    Op,
+    decode_alu,
+    disassemble_alu,
+    encode_alu,
+)
+from repro.cpu import (
+    MachineConfig,
+    MultiTitan,
+    Program,
+    ProgramBuilder,
+    RunResult,
+    assemble,
+)
+from repro.mem import Arena, Memory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AluInstruction",
+    "Arena",
+    "CYCLE_TIME_NS",
+    "FUNCTIONAL_UNIT_LATENCY",
+    "Fpu",
+    "MAX_VECTOR_LENGTH",
+    "MachineConfig",
+    "Memory",
+    "MultiTitan",
+    "NUM_REGISTERS",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "RunResult",
+    "assemble",
+    "decode_alu",
+    "disassemble_alu",
+    "encode_alu",
+]

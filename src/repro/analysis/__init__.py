@@ -1,0 +1,48 @@
+"""Metrics, storage accounting, and report rendering."""
+
+from repro.analysis.metrics import (
+    N_HALF_CLAIM,
+    N_HALF_LIMIT,
+    harmonic_mean,
+    measure_n_half,
+    mflops,
+    speedup,
+    time_vector_op,
+)
+from repro.analysis.report import render_curve, render_table
+from repro.analysis.timeline import element_issue_cycles, occupancy, render_timeline
+from repro.analysis.utilization import analyze, stall_breakdown, utilization_report
+from repro.analysis.storage import (
+    CLASSICAL_TOTAL,
+    CLASSICAL_VECTOR,
+    UNIFIED,
+    RegisterFileCost,
+    context_switch_ratio,
+    storage_ratio,
+    summary,
+)
+
+__all__ = [
+    "CLASSICAL_TOTAL",
+    "CLASSICAL_VECTOR",
+    "analyze",
+    "element_issue_cycles",
+    "occupancy",
+    "render_timeline",
+    "stall_breakdown",
+    "utilization_report",
+    "N_HALF_CLAIM",
+    "N_HALF_LIMIT",
+    "RegisterFileCost",
+    "UNIFIED",
+    "context_switch_ratio",
+    "harmonic_mean",
+    "measure_n_half",
+    "mflops",
+    "render_curve",
+    "render_table",
+    "speedup",
+    "storage_ratio",
+    "summary",
+    "time_vector_op",
+]

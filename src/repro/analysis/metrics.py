@@ -1,0 +1,80 @@
+"""Performance metrics: MFLOPS, harmonic means, measured n-half.
+
+Section 2.2 claims the MultiTitan's vector half-performance length is
+about 4, against 15 for the Cray-1 and 100 for the Cyber 205, and argues
+n_half must stay below 8 because the register file typically partitions
+into vectors of length 8.  :func:`measure_n_half` verifies the claim by
+timing real vector operations on the simulator and fitting Hockney's
+``T(n) = (n + n_half) / r_inf``.
+"""
+
+from repro.baselines.hockney import fit_n_half
+from repro.core.functional_units import CYCLE_TIME_NS
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+N_HALF_CLAIM = 4.0
+N_HALF_LIMIT = 8.0  # "must be kept to less than 8"
+
+
+def mflops(flops, cycles, cycle_time_ns=CYCLE_TIME_NS):
+    """Million floating-point operations per second at the machine clock."""
+    if cycles <= 0:
+        return 0.0
+    return flops / (cycles * cycle_time_ns * 1e-9) / 1e6
+
+
+def harmonic_mean(values):
+    """The harmonic mean used for Figure 14's group summaries."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def time_vector_op(n, include_memory=True):
+    """Cycles for one n-element vector add, with or without the memory
+    traffic to load both operands and store the result."""
+    memory = Memory()
+    arena = Arena(memory, base=64)
+    a_addr = arena.alloc_array([1.0 * i for i in range(n)])
+    b_addr = arena.alloc_array([2.0 * i for i in range(n)])
+    c_addr = arena.alloc(n)
+
+    pb = ProgramBuilder()
+    if include_memory:
+        for i in range(n):
+            pb.fload(i, 1, i * WORD_BYTES)
+        for i in range(n):
+            pb.fload(16 + i, 2, i * WORD_BYTES)
+        pb.fadd(32, 0, 16, vl=n)
+        for i in range(n):
+            pb.fstore(32 + i, 3, i * WORD_BYTES)
+    else:
+        pb.fadd(32, 0, 16, vl=n)
+    program = pb.build()
+
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(model_ibuffer=False))
+    machine.iregs[1] = a_addr
+    machine.iregs[2] = b_addr
+    machine.iregs[3] = c_addr
+    machine.dcache.warm_range(0, arena.bytes_used + n * WORD_BYTES)
+    if not include_memory:
+        machine.fpu.regs.write_group(0, [1.0 * i for i in range(n)])
+        machine.fpu.regs.write_group(16, [2.0 * i for i in range(n)])
+    return machine.run().completion_cycle
+
+
+def measure_n_half(lengths=range(1, 17), include_memory=False):
+    """Fit (r_inf in results/cycle, n_half) from simulated vector adds."""
+    samples = [(n, float(time_vector_op(n, include_memory))) for n in lengths]
+    r_inf, n_half = fit_n_half(samples)
+    return {"r_inf_per_cycle": r_inf, "n_half": n_half, "samples": samples}
+
+
+def speedup(reference_cycles, improved_cycles):
+    if improved_cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return reference_cycles / improved_cycles

@@ -1,0 +1,67 @@
+"""Plain-text table and figure rendering for the benchmark harness."""
+
+
+def render_table(headers, rows, title=None, float_format="%.1f"):
+    """Render an ASCII table; numbers are formatted, None prints blank."""
+
+    def fmt(value):
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return float_format % value
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    for row in text_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def render_curve(points, width=60, height=18, title=None,
+                 x_label="x", y_label="y"):
+    """Render one or more (label, [(x, y), ...]) series as ASCII art."""
+    if isinstance(points, list) and points and isinstance(points[0], tuple) \
+            and not isinstance(points[0][1], list):
+        points = [("", points)]
+    all_x = [x for _, series in points for x, _ in series]
+    all_y = [y for _, series in points for _, y in series]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@%&"
+    for series_index, (_, series) in enumerate(points):
+        marker = markers[series_index % len(markers)]
+        for x, y in series:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("%8.2f |%s" % (y_max, "".join(grid[0])))
+    for row in grid[1:-1]:
+        lines.append("         |%s" % "".join(row))
+    lines.append("%8.2f |%s" % (y_min, "".join(grid[-1])))
+    lines.append("          %s" % ("-" * width))
+    lines.append("          %-8.2f%s%8.2f   (%s vs %s)"
+                 % (x_min, " " * (width - 18), x_max, y_label, x_label))
+    legend = "  ".join("%s %s" % (markers[i % len(markers)], label)
+                       for i, (label, _) in enumerate(points) if label)
+    if legend:
+        lines.append("          " + legend)
+    return "\n".join(lines)

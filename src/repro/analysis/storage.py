@@ -1,0 +1,67 @@
+"""Register-file storage and context-switch accounting (section 2.1.2).
+
+"The MultiTitan FPU register file requires 3.3K bits of dual port storage
+... 8 64-element 64-bit registers would require 32K bits of storage, or
+about ten times that of the unified vector/scalar register file."  And:
+"A final benefit of the small register file size is that the context
+switch cost is smaller than that of traditional vector machines."
+"""
+
+from dataclasses import dataclass
+
+from repro.baselines.classical import (
+    SCALAR_REGISTERS,
+    VECTOR_LENGTH,
+    VECTOR_REGISTERS,
+    VECTOR_REGISTER_BITS,
+)
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.registers import REGISTER_BITS, STORAGE_BITS
+
+
+@dataclass(frozen=True)
+class RegisterFileCost:
+    name: str
+    words: int
+    bits: int
+
+    def context_switch_cycles(self, store_port_cycles=2):
+        """Cycles to save the file through the store port."""
+        return self.words * store_port_cycles
+
+
+UNIFIED = RegisterFileCost("unified vector/scalar (MultiTitan)",
+                           words=NUM_REGISTERS, bits=STORAGE_BITS)
+
+CLASSICAL_VECTOR = RegisterFileCost(
+    "classical vector file (8 x 64 x 64b)",
+    words=VECTOR_REGISTERS * VECTOR_LENGTH,
+    bits=VECTOR_REGISTER_BITS,
+)
+
+CLASSICAL_TOTAL = RegisterFileCost(
+    "classical vector + scalar files",
+    words=VECTOR_REGISTERS * VECTOR_LENGTH + SCALAR_REGISTERS,
+    bits=VECTOR_REGISTER_BITS + SCALAR_REGISTERS * 64,
+)
+
+
+def storage_ratio():
+    """The paper's "order of magnitude": classical bits / unified bits."""
+    return CLASSICAL_VECTOR.bits / UNIFIED.bits
+
+
+def context_switch_ratio(store_port_cycles=2):
+    return (CLASSICAL_VECTOR.context_switch_cycles(store_port_cycles)
+            / UNIFIED.context_switch_cycles(store_port_cycles))
+
+
+def summary():
+    return {
+        "unified_bits": UNIFIED.bits,
+        "classical_bits": CLASSICAL_VECTOR.bits,
+        "storage_ratio": storage_ratio(),
+        "unified_context_switch_cycles": UNIFIED.context_switch_cycles(),
+        "classical_context_switch_cycles": CLASSICAL_VECTOR.context_switch_cycles(),
+        "context_switch_ratio": context_switch_ratio(),
+    }

@@ -1,0 +1,99 @@
+"""Render pipeline timelines in the style of the paper's Figures 5-8/13.
+
+Enable tracing with ``MachineConfig(trace=True)``; after a run,
+``machine.trace`` holds ``("alu", cycle, seq, instruction)`` acceptance
+events, ``("element", cycle, seq, rr)`` FPU element issues, and
+``("load"/"store", cycle, register)`` memory-port events.
+:func:`render_timeline` turns the trace into an ASCII chart: one row per
+ALU instruction (transfer marked ``T``, element issues ``E``, occupancy
+``=``), plus a row for the Load/Store instruction register.
+"""
+
+from repro.cpu import isa
+
+
+def _alu_rows(trace):
+    accepts = {}
+    elements = {}
+    for event in trace:
+        if event[0] == "alu":
+            _, cycle, seq, instruction = event
+            accepts[seq] = (cycle, instruction)
+        elif event[0] == "element":
+            _, cycle, seq, _rr = event
+            elements.setdefault(seq, []).append(cycle)
+    rows = []
+    for seq in sorted(accepts):
+        cycle, instruction = accepts[seq]
+        rows.append((seq, cycle, isa.disassemble(instruction),
+                     sorted(elements.get(seq, []))))
+    return rows
+
+
+def render_timeline(trace, max_cycles=None, label_width=28):
+    """Render a trace as a Figure 5-style timing chart."""
+    alu_rows = _alu_rows(trace)
+    memory_events = [(kind, cycle, register) for kind, cycle, register in
+                     (e for e in trace if e[0] in ("load", "store"))]
+
+    last_cycle = 0
+    for _, accept, _, issues in alu_rows:
+        last_cycle = max(last_cycle, accept, *(issues or [0]))
+    for _, cycle, _ in memory_events:
+        last_cycle = max(last_cycle, cycle)
+    if max_cycles is not None:
+        last_cycle = min(last_cycle, max_cycles)
+    width = last_cycle + 1
+
+    def ruler():
+        cells = []
+        for cycle in range(width):
+            cells.append(str(cycle % 10))
+        tens = []
+        for cycle in range(width):
+            tens.append(str(cycle // 10 % 10) if cycle % 10 == 0 and cycle else " ")
+        return ("%s  %s" % ("cycle".rjust(label_width), "".join(tens)),
+                "%s  %s" % ("".rjust(label_width), "".join(cells)))
+
+    lines = list(ruler())
+    for _, accept, text, issues in alu_rows:
+        cells = [" "] * width
+        if issues:
+            for cycle in range(accept, min(issues[-1], width - 1) + 1):
+                cells[cycle] = "="
+            for cycle in issues:
+                if cycle < width:
+                    cells[cycle] = "E"
+        if accept < width:
+            cells[accept] = "T" if cells[accept] != "E" else "E"
+        label = text if len(text) <= label_width else text[: label_width - 1] + "~"
+        lines.append("%s  %s" % (label.rjust(label_width), "".join(cells)))
+
+    if memory_events:
+        cells = [" "] * width
+        for kind, cycle, _register in memory_events:
+            if cycle < width:
+                mark = "L" if kind == "load" else "S"
+                cells[cycle] = "*" if cells[cycle] not in (" ", mark) else mark
+        lines.append("%s  %s" % ("Load/Store IR".rjust(label_width),
+                                 "".join(cells)))
+    lines.append("%s  (T transfer, E element issue, = IR occupied, "
+                 "L/S memory port)" % "".rjust(label_width))
+    return "\n".join(lines)
+
+
+def element_issue_cycles(trace, seq=None):
+    """Issue cycles of one (or every) ALU instruction in the trace."""
+    cycles = {}
+    for event in trace:
+        if event[0] == "element":
+            _, cycle, instruction_seq, _rr = event
+            cycles.setdefault(instruction_seq, []).append(cycle)
+    if seq is not None:
+        return sorted(cycles.get(seq, []))
+    return {key: sorted(value) for key, value in cycles.items()}
+
+
+def occupancy(trace, kind="element"):
+    """Cycles in which an event of ``kind`` occurred (utilization)."""
+    return sorted({event[1] for event in trace if event[0] == kind})

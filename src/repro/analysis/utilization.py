@@ -1,0 +1,89 @@
+"""Issue-slot utilization analysis over execution traces.
+
+Section 2.4's dual-issue argument is about *slots*: one FPU ALU element
+and one load/store may issue per cycle.  Given a traced run
+(``MachineConfig(trace=True)``), :func:`analyze` reports how full each
+issue slot actually was, the dual-issue rate, and a stall breakdown from
+the machine statistics -- the numbers behind statements like "a peak
+issue rate of two operations per cycle".
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Utilization:
+    """Issue-slot occupancy over one run."""
+
+    cycles: int
+    alu_elements: int
+    memory_ops: int
+    dual_issue_cycles: int
+
+    @property
+    def alu_occupancy(self):
+        return self.alu_elements / self.cycles if self.cycles else 0.0
+
+    @property
+    def memory_occupancy(self):
+        return self.memory_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def operations_per_cycle(self):
+        if not self.cycles:
+            return 0.0
+        return (self.alu_elements + self.memory_ops) / self.cycles
+
+    @property
+    def dual_issue_rate(self):
+        return self.dual_issue_cycles / self.cycles if self.cycles else 0.0
+
+
+def analyze(trace, cycles):
+    """Compute slot utilization from a machine trace."""
+    alu_cycles = set()
+    memory_cycles = []
+    for event in trace:
+        kind = event[0]
+        if kind == "element":
+            alu_cycles.add(event[1])
+        elif kind in ("load", "store"):
+            memory_cycles.append(event[1])
+    memory_set = set(memory_cycles)
+    return Utilization(
+        cycles=max(cycles, 1),
+        alu_elements=len(alu_cycles),
+        memory_ops=len(memory_cycles),
+        dual_issue_cycles=len(alu_cycles & memory_set),
+    )
+
+
+def stall_breakdown(stats):
+    """Machine stall counters as a {cause: cycles} mapping, sorted."""
+    causes = {
+        "ALU IR busy": stats.stall_alu_ir_busy,
+        "scoreboard": stats.stall_scoreboard,
+        "vector interlock": stats.stall_vector_interlock,
+        "memory port": stats.stall_port,
+        "integer delay slot": stats.stall_int_delay,
+        "data-cache misses": stats.stall_dcache_miss_cycles,
+        "instruction-buffer misses": stats.stall_ibuf_miss_cycles,
+    }
+    return dict(sorted(causes.items(), key=lambda item: -item[1]))
+
+
+def utilization_report(trace, result):
+    """Render a short text report for a traced RunResult."""
+    utilization = analyze(trace, result.completion_cycle)
+    lines = [
+        "cycles                 %d" % utilization.cycles,
+        "ALU slot occupancy     %5.1f%%" % (100 * utilization.alu_occupancy),
+        "memory slot occupancy  %5.1f%%" % (100 * utilization.memory_occupancy),
+        "operations per cycle   %5.2f (peak 2.0)"
+        % utilization.operations_per_cycle,
+        "dual-issue cycles      %5.1f%%" % (100 * utilization.dual_issue_rate),
+    ]
+    for cause, count in stall_breakdown(result.stats).items():
+        if count:
+            lines.append("stall: %-22s %d" % (cause, count))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Baselines and analytic models the paper compares against."""
+
+from repro.baselines.amdahl import (
+    CRAY_1S_PEAK_RATIO,
+    MULTITITAN_PEAK_RATIO,
+    diminishing_returns_ratio,
+    figure11_curves,
+    measured_vector_fraction,
+    overall_speedup,
+)
+from repro.baselines.classical import (
+    ClassicalTiming,
+    ClassicalVectorMachine,
+    VECTOR_REGISTER_BITS,
+)
+from repro.baselines.hockney import (
+    ALL_MODELS,
+    CRAY_1,
+    CYBER_205,
+    ICL_DAP,
+    MULTITITAN,
+    VectorMachineModel,
+    crossover_length,
+    fit_n_half,
+)
+from repro.baselines import reference_data
+
+__all__ = [
+    "ALL_MODELS",
+    "CRAY_1",
+    "CRAY_1S_PEAK_RATIO",
+    "CYBER_205",
+    "ClassicalTiming",
+    "ClassicalVectorMachine",
+    "ICL_DAP",
+    "MULTITITAN",
+    "MULTITITAN_PEAK_RATIO",
+    "VECTOR_REGISTER_BITS",
+    "VectorMachineModel",
+    "crossover_length",
+    "diminishing_returns_ratio",
+    "figure11_curves",
+    "fit_n_half",
+    "measured_vector_fraction",
+    "overall_speedup",
+    "reference_data",
+]

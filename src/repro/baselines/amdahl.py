@@ -1,0 +1,76 @@
+"""The Figure 11 model: overall performance vs. peak/scalar ratio.
+
+For a workload whose fraction ``f`` of operations vectorize, running the
+vector portion ``r`` times faster than scalar yields overall speedup
+
+    S(f, r) = 1 / ((1 - f) + f / r)
+
+Figure 11 plots S against r for f in {0.2, 0.4, 0.6, 0.8, 1.0}, marking
+the MultiTitan at r = 2 and the Cray-1S at r ~ 10, plus the measured
+vectorization fractions of the Livermore Loop groups.  The paper's thesis
+falls straight out of the curve shapes: at typical f (0.3-0.7 per
+Worlton), a cheap 2x vector capability captures most of the benefit that
+a 10x peak-rate machine buys.
+"""
+
+from dataclasses import dataclass
+
+VECTORIZED_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+MULTITITAN_PEAK_RATIO = 2.0   # two operations per cycle during vectors
+CRAY_1S_PEAK_RATIO = 10.0     # "about 10 for the Cray-1S and the Cray X-MP"
+
+
+def overall_speedup(vector_fraction, peak_ratio):
+    """Overall speedup relative to the scalar machine (Amdahl form)."""
+    if not 0.0 <= vector_fraction <= 1.0:
+        raise ValueError("vector fraction must lie in [0, 1]")
+    if peak_ratio <= 0:
+        raise ValueError("peak ratio must be positive")
+    return 1.0 / ((1.0 - vector_fraction) + vector_fraction / peak_ratio)
+
+
+def diminishing_returns_ratio(vector_fraction, peak_ratio):
+    """Fraction of the infinite-peak-rate benefit captured at peak_ratio.
+
+    The asymptote of S(f, r) as r -> infinity is 1/(1-f); this returns
+    (S(f, r) - 1) / (1/(1-f) - 1), the paper's "significant portion of
+    performance improvement available from vectorization".
+    """
+    if vector_fraction >= 1.0:
+        return 0.0 if peak_ratio <= 1.0 else 1.0 - 1.0 / peak_ratio
+    asymptote = 1.0 / (1.0 - vector_fraction)
+    achieved = overall_speedup(vector_fraction, peak_ratio)
+    if asymptote == 1.0:
+        return 1.0
+    return (achieved - 1.0) / (asymptote - 1.0)
+
+
+@dataclass
+class Figure11Point:
+    vector_fraction: float
+    peak_ratio: float
+    speedup: float
+
+
+def figure11_curves(ratios=None, fractions=VECTORIZED_FRACTIONS):
+    """The Figure 11 data: {fraction: [(ratio, speedup), ...]}."""
+    if ratios is None:
+        ratios = [1 + 0.25 * i for i in range(37)]  # 1.0 .. 10.0
+    return {
+        fraction: [(r, overall_speedup(fraction, r)) for r in ratios]
+        for fraction in fractions
+    }
+
+
+def measured_vector_fraction(scalar_cycles, vector_cycles, peak_ratio=MULTITITAN_PEAK_RATIO):
+    """Infer the effective vectorized fraction from measured cycle counts.
+
+    Solving S = scalar/vector = 1/((1-f) + f/r) for f.
+    """
+    if vector_cycles <= 0 or scalar_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    speedup = scalar_cycles / vector_cycles
+    if speedup <= 1.0:
+        return 0.0
+    f = (1.0 - 1.0 / speedup) / (1.0 - 1.0 / peak_ratio)
+    return min(1.0, f)

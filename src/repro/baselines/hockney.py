@@ -1,0 +1,92 @@
+"""Hockney (r-infinity, n-half) analytic vector timing models.
+
+Hockney & Jesshope characterize a vector pipeline by its asymptotic rate
+``r_inf`` and its half-performance length ``n_half`` -- the vector length
+at which half the asymptotic rate is achieved:
+
+    T(n) = (n + n_half) / r_inf        [time for an n-element operation]
+    r(n) = r_inf * n / (n + n_half)
+
+Section 2.2 of WRL 89/8 compares the MultiTitan (n_half ~ 4, thanks to
+the 3-cycle units and single-cycle loads) with the Cray-1 (n_half = 15),
+the CDC Cyber 205 (n_half = 100), and the ICL DAP (n_half = 2048).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VectorMachineModel:
+    """An (r_inf, n_half) characterization of one machine."""
+
+    name: str
+    r_inf_mflops: float
+    n_half: float
+
+    def time_us(self, n):
+        """Time for one n-element vector operation, in microseconds."""
+        if n < 0:
+            raise ValueError("negative vector length")
+        return (n + self.n_half) / self.r_inf_mflops
+
+    def rate_mflops(self, n):
+        """Achieved rate on n-element vectors."""
+        if n <= 0:
+            return 0.0
+        return self.r_inf_mflops * n / (n + self.n_half)
+
+    def efficiency(self, n):
+        """Fraction of the asymptotic rate achieved at length n."""
+        if n <= 0:
+            return 0.0
+        return n / (n + self.n_half)
+
+
+# n_half values quoted in section 2.2.1; r_inf values are representative
+# published peak rates (one pipe, 64-bit) used for shape comparisons.
+MULTITITAN = VectorMachineModel("MultiTitan", r_inf_mflops=25.0, n_half=4.0)
+CRAY_1 = VectorMachineModel("Cray-1", r_inf_mflops=80.0, n_half=15.0)
+CYBER_205 = VectorMachineModel("CDC Cyber 205", r_inf_mflops=100.0, n_half=100.0)
+ICL_DAP = VectorMachineModel("ICL DAP", r_inf_mflops=16.0, n_half=2048.0)
+
+ALL_MODELS = (MULTITITAN, CRAY_1, CYBER_205, ICL_DAP)
+
+
+def crossover_length(short_machine, long_machine):
+    """Vector length below which the low-n_half machine is faster.
+
+    Solves T_short(n) = T_long(n); returns None when one machine wins at
+    every length.
+    """
+    a = 1.0 / short_machine.r_inf_mflops
+    b = short_machine.n_half / short_machine.r_inf_mflops
+    c = 1.0 / long_machine.r_inf_mflops
+    d = long_machine.n_half / long_machine.r_inf_mflops
+    if a == c:
+        return None
+    n = (d - b) / (a - c)
+    return n if n > 0 else None
+
+
+def fit_n_half(samples):
+    """Least-squares fit of (r_inf, n_half) from (n, time) measurements.
+
+    ``T(n) = a + b*n`` with ``r_inf = 1/b`` and ``n_half = a/b`` -- the
+    standard way to measure n_half on real hardware, used by the
+    benchmarks to verify the paper's n_half ~ 4 claim against simulation.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples")
+    count = len(samples)
+    sum_n = sum(n for n, _ in samples)
+    sum_t = sum(t for _, t in samples)
+    sum_nn = sum(n * n for n, _ in samples)
+    sum_nt = sum(n * t for n, t in samples)
+    denominator = count * sum_nn - sum_n * sum_n
+    if denominator == 0:
+        raise ValueError("degenerate samples")
+    b = (count * sum_nt - sum_n * sum_t) / denominator
+    a = (sum_t - b * sum_n) / count
+    if b <= 0:
+        raise ValueError("non-positive rate fit")
+    return 1.0 / b, a / b

@@ -1,0 +1,87 @@
+"""Published numbers quoted by WRL 89/8, kept as reference constants.
+
+These are the paper's own tables -- Figure 10 (latencies), Figure 14
+(Livermore Loops MFLOPS, including the Cray-1S and Cray X-MP columns from
+McMahon [5] and Tang & Davidson [12]), and the section 3.3 Linpack
+results -- so the benchmark harness can print measured-vs-paper rows.
+"""
+
+# --- Figure 10: operation latencies (nanoseconds) --------------------------
+FIGURE10_LATENCIES_NS = {
+    # operation: (MultiTitan FPU, Cray X-MP @ 9.5ns)
+    "addition/subtraction": (120.0, 57.0),
+    "multiplication": (120.0, 66.5),
+    "division (via 1/x)": (720.0, 332.5),
+}
+
+MULTITITAN_CYCLE_NS = 40.0
+CRAY_XMP_CYCLE_NS = 9.5
+
+# --- Figure 14: uniprocessor Livermore Loops (MFLOPS) -----------------------
+# loop: (MultiTitan cold, MultiTitan warm, Cray-1S, Cray X-MP)
+FIGURE14_MFLOPS = {
+    1: (4.3, 19.0, 68.4, 164.6),
+    2: (2.8, 17.3, 16.4, 45.1),
+    3: (2.8, 17.3, 63.1, 151.7),
+    4: (2.3, 14.5, 20.6, 65.9),
+    5: (2.0, 8.0, 5.3, 14.4),
+    6: (3.4, 5.2, 6.6, 11.3),
+    7: (6.9, 23.4, 82.1, 187.8),
+    8: (6.0, 19.9, 65.6, 145.8),
+    9: (3.6, 20.3, 80.4, 157.5),
+    10: (1.5, 7.1, 28.1, 61.2),
+    11: (1.7, 6.6, 4.4, 12.7),
+    12: (1.4, 7.9, 21.8, 74.3),
+    13: (1.4, 1.8, 4.1, 5.8),
+    14: (2.6, 3.1, 7.3, 22.2),
+    15: (1.5, 1.6, 3.8, 5.2),
+    16: (2.3, 2.5, 3.2, 6.2),
+    17: (4.0, 4.9, 7.6, 10.1),
+    18: (7.4, 14.8, 54.9, 110.6),
+    19: (2.6, 4.2, 6.5, 13.4),
+    20: (4.5, 4.7, 9.6, 13.2),
+    21: (15.9, 21.4, 32.8, 108.9),
+    22: (2.4, 2.7, 39.9, 65.8),
+    23: (3.0, 7.4, 10.4, 13.9),
+    24: (1.1, 1.6, 1.6, 3.6),
+}
+
+# Loops vectorized on the Cray (starred in Figure 14).
+CRAY_VECTORIZED_LOOPS = frozenset({1, 2, 3, 4, 6, 7, 8, 9, 10, 12, 18, 21, 22})
+
+FIGURE14_HARMONIC_MEANS = {
+    # group: (MultiTitan cold, MultiTitan warm, Cray-1S, Cray X-MP)
+    "1-12": (2.5, 10.8, 14.4, 35.8),
+    "13-24": (2.4, 3.2, 5.6, 10.0),
+    "1-24": (2.5, 4.9, 8.0, 15.6),
+}
+
+# --- Section 3.3: Linpack ----------------------------------------------------
+LINPACK_MFLOPS = {
+    "MultiTitan scalar": 4.1,
+    "MultiTitan vector": 6.1,
+}
+LINPACK_VAX_RATIO = 25            # scalar MultiTitan ~ 25x a VAX 11/780+FPA
+LINPACK_CRAY1S_VECTOR_RATIO = 4   # vector MultiTitan ~ 1/4 Cray-1S coded BLAS
+LINPACK_XMP_VECTOR_RATIO = 8     # and ~ 1/8 Cray X-MP
+
+# --- Section 2.2.1: half-performance lengths ---------------------------------
+N_HALF = {
+    "MultiTitan": 4,
+    "Cray-1": 15,
+    "CDC Cyber 205": 100,
+    "ICL DAP": 2048,
+}
+
+# --- Section 4: sustained rates ----------------------------------------------
+SUSTAINED_MFLOPS = {
+    "vectorized": 15.0,
+    "scalar": 7.0,
+}
+
+# --- Figure 13 ----------------------------------------------------------------
+GRAPHICS_TRANSFORM = {
+    "cycles": 35,
+    "mflops": 20.0,
+    "latency_us": 1.4,
+}

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: the unified vector/scalar FPU.
+
+Public surface:
+
+* :class:`repro.core.encoding.AluInstruction` and the 32-bit / 10-bit
+  codecs (Figure 3).
+* :class:`repro.core.fpu.Fpu` -- the cycle-level FPU chip model.
+* :class:`repro.core.registers.RegisterFile` and
+  :class:`repro.core.registers.ProgramStatusWord`.
+* :class:`repro.core.scoreboard.Scoreboard` -- the write reservation table.
+* :mod:`repro.core.functional_units` -- pipelined add/multiply/reciprocal.
+* :mod:`repro.core.types` -- operation enums and semantics (Figure 4).
+"""
+
+from repro.core.encoding import (
+    AluInstruction,
+    LoadStoreInstruction,
+    MAX_VECTOR_LENGTH,
+    NUM_REGISTERS,
+    decode_alu,
+    decode_load_store,
+    disassemble_alu,
+    encode_alu,
+    encode_load_store,
+)
+from repro.core.exceptions import (
+    AssemblerError,
+    EncodingError,
+    RegisterIndexError,
+    ReproError,
+    ReservedOperationError,
+    SimulationError,
+    VectorHazardError,
+)
+from repro.core.fpu import Fpu, FpuStats
+from repro.core.functional_units import (
+    CYCLE_TIME_NS,
+    FUNCTIONAL_UNIT_LATENCY,
+    FunctionalUnit,
+    latency_ns,
+    make_units,
+)
+from repro.core.registers import ProgramStatusWord, RegisterFile, STORAGE_BITS
+from repro.core.scoreboard import Scoreboard
+from repro.core.types import FLOP_OPS, Func, Op, UNARY_OPS, Unit, execute_op, op_for, unit_func_for
+
+__all__ = [
+    "AluInstruction",
+    "AssemblerError",
+    "CYCLE_TIME_NS",
+    "EncodingError",
+    "FLOP_OPS",
+    "FUNCTIONAL_UNIT_LATENCY",
+    "Fpu",
+    "FpuStats",
+    "Func",
+    "FunctionalUnit",
+    "LoadStoreInstruction",
+    "MAX_VECTOR_LENGTH",
+    "NUM_REGISTERS",
+    "Op",
+    "ProgramStatusWord",
+    "RegisterFile",
+    "RegisterIndexError",
+    "ReproError",
+    "ReservedOperationError",
+    "STORAGE_BITS",
+    "Scoreboard",
+    "SimulationError",
+    "UNARY_OPS",
+    "Unit",
+    "VectorHazardError",
+    "decode_alu",
+    "decode_load_store",
+    "disassemble_alu",
+    "encode_alu",
+    "encode_load_store",
+    "execute_op",
+    "latency_ns",
+    "make_units",
+    "op_for",
+    "unit_func_for",
+]

@@ -1,0 +1,71 @@
+"""Structural model of the distributed result bypass (section 2.3.1).
+
+"The FPU uses a distributed result bypass in which each functional unit
+in the FPU does its own bypassing.  If the bypass logic were centralized
+at the register file, results would have to be put out on the global
+result bus, then transferred to a global source bus.  But since the
+result bus goes to all functional units, they can select between each
+source and the result bus based on control signals from the scoreboard.
+Thus, with distributed bypass logic, the delay from driving the result to
+the latching of a source is only one global wire delay, not two."
+
+The cycle simulator folds this into its timing contract (a result issued
+in cycle *i* feeds an operation issuing in cycle *i + latency*); this
+module models the selection network itself so the mechanism -- and the
+wire-delay argument -- can be tested structurally.
+"""
+
+from dataclasses import dataclass
+
+DISTRIBUTED_WIRE_DELAYS = 1  # result bus -> per-unit source mux
+CENTRALIZED_WIRE_DELAYS = 2  # result bus -> register file -> source bus
+
+
+@dataclass(frozen=True)
+class ResultBus:
+    """The value (and destination register) driven this cycle, if any."""
+
+    register: int
+    value: float
+
+
+class BypassNetwork:
+    """Per-unit source selection between the register file and the bus.
+
+    The scoreboard supplies the control signal: a source register that is
+    still *reserved* but whose producer is driving the result bus this
+    cycle must take the bus value; an unreserved source reads the file.
+    """
+
+    def __init__(self, unit_name):
+        self.unit_name = unit_name
+        self.bus_selections = 0
+        self.file_selections = 0
+
+    def select(self, source_register, register_file_value, result_bus,
+               reserved):
+        """Latch one source operand for this unit."""
+        if (result_bus is not None and reserved
+                and result_bus.register == source_register):
+            self.bus_selections += 1
+            return result_bus.value
+        self.file_selections += 1
+        return register_file_value
+
+    @property
+    def wire_delays(self):
+        return DISTRIBUTED_WIRE_DELAYS
+
+
+def forwarding_distance(latency=3):
+    """Earliest producer-to-consumer issue distance with bypassing.
+
+    With the bypass, the consumer issues exactly ``latency`` cycles after
+    the producer (the Figure 5 schedule); a centralized scheme would add
+    a cycle for the extra global wire, stretching every dependent chain.
+    """
+    return latency
+
+
+def centralized_forwarding_distance(latency=3):
+    return latency + (CENTRALIZED_WIRE_DELAYS - DISTRIBUTED_WIRE_DELAYS)

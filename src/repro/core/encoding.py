@@ -1,0 +1,176 @@
+"""Binary instruction formats of the MultiTitan FPU.
+
+FPU ALU instructions (Figure 3 of WRL 89/8) are 32 bits, transferred from
+the CPU over the address bus::
+
+    |< 4 >|<  6  >|<  6  >|<  6  >|<2>|<2>|< 4 >|1|1|
+    |  6  |  Rr   |  Ra   |  Rb   |unit|fnc|VL-1 |SRa|SRb|
+
+Load/store instructions arrive over the 10-bit coprocessor instruction
+bus: a 4-bit opcode plus a 6-bit register specifier.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import EncodingError
+from repro.core.types import op_for, unit_func_for
+
+CPU_OPCODE = 6  # the fixed major opcode marking FPU ALU instructions
+NUM_REGISTERS = 52
+MAX_VECTOR_LENGTH = 16
+
+# 10-bit coprocessor bus opcodes (4-bit field); the architecture leaves
+# the assignment to the implementation -- we pick two codes.
+LS_OPCODE_LOAD = 0x1
+LS_OPCODE_STORE = 0x2
+
+
+@dataclass(frozen=True)
+class AluInstruction:
+    """A decoded FPU ALU instruction.
+
+    ``vector_length`` is the element count 1..16 (the binary field holds
+    ``vector_length - 1``).  ``stride_ra``/``stride_rb`` are the SRa/SRb
+    bits: when clear, that source register does not increment between
+    elements (it is a scalar).  The destination specifier always
+    increments between elements -- the hardware has three six-bit
+    incrementers, and "vector := scalar op scalar" is well defined.
+    """
+
+    rr: int
+    ra: int
+    rb: int
+    unit: int
+    func: int
+    vector_length: int = 1
+    stride_ra: bool = True
+    stride_rb: bool = True
+
+    @property
+    def op(self):
+        return op_for(self.unit, self.func)
+
+    def register_footprint(self):
+        """Return the sets of registers read and written across all elements."""
+        reads = set()
+        writes = set()
+        for element in range(self.vector_length):
+            writes.add(self.rr + element)
+            reads.add(self.ra + (element if self.stride_ra else 0))
+            reads.add(self.rb + (element if self.stride_rb else 0))
+        return reads, writes
+
+    def validate(self):
+        last_rr = self.rr + self.vector_length - 1
+        last_ra = self.ra + (self.vector_length - 1 if self.stride_ra else 0)
+        last_rb = self.rb + (self.vector_length - 1 if self.stride_rb else 0)
+        for name, first, last in (("Rr", self.rr, last_rr),
+                                  ("Ra", self.ra, last_ra),
+                                  ("Rb", self.rb, last_rb)):
+            if first < 0 or last >= NUM_REGISTERS:
+                raise EncodingError(
+                    "%s range [%d, %d] exceeds the %d-register file"
+                    % (name, first, last, NUM_REGISTERS)
+                )
+        if not 1 <= self.vector_length <= MAX_VECTOR_LENGTH:
+            raise EncodingError(
+                "vector length %d outside 1..%d"
+                % (self.vector_length, MAX_VECTOR_LENGTH)
+            )
+        self.op  # raises ReservedOperationError for reserved encodings
+        return self
+
+
+def encode_alu(instruction):
+    """Encode an :class:`AluInstruction` into its 32-bit word."""
+    instruction.validate()
+    word = CPU_OPCODE & 0xF
+    word = (word << 6) | instruction.rr
+    word = (word << 6) | instruction.ra
+    word = (word << 6) | instruction.rb
+    word = (word << 2) | instruction.unit
+    word = (word << 2) | instruction.func
+    word = (word << 4) | (instruction.vector_length - 1)
+    word = (word << 1) | (1 if instruction.stride_ra else 0)
+    word = (word << 1) | (1 if instruction.stride_rb else 0)
+    return word
+
+
+def decode_alu(word):
+    """Decode a 32-bit ALU instruction word."""
+    if word < 0 or word >> 32:
+        raise EncodingError("ALU instruction word out of 32-bit range")
+    stride_rb = bool(word & 1)
+    stride_ra = bool((word >> 1) & 1)
+    vector_length = ((word >> 2) & 0xF) + 1
+    func = (word >> 6) & 0x3
+    unit = (word >> 8) & 0x3
+    rb = (word >> 10) & 0x3F
+    ra = (word >> 16) & 0x3F
+    rr = (word >> 22) & 0x3F
+    opcode = (word >> 28) & 0xF
+    if opcode != CPU_OPCODE:
+        raise EncodingError("major opcode %d is not an FPU ALU instruction" % opcode)
+    return AluInstruction(
+        rr=rr, ra=ra, rb=rb, unit=unit, func=func,
+        vector_length=vector_length, stride_ra=stride_ra, stride_rb=stride_rb,
+    ).validate()
+
+
+@dataclass(frozen=True)
+class LoadStoreInstruction:
+    """A decoded 10-bit coprocessor load/store instruction."""
+
+    is_store: bool
+    register: int
+
+    def validate(self):
+        if not 0 <= self.register < NUM_REGISTERS:
+            raise EncodingError("register %d outside the register file" % self.register)
+        return self
+
+
+def encode_load_store(instruction):
+    """Encode a load/store into its 10-bit coprocessor bus word."""
+    instruction.validate()
+    opcode = LS_OPCODE_STORE if instruction.is_store else LS_OPCODE_LOAD
+    return (opcode << 6) | instruction.register
+
+
+def decode_load_store(word):
+    """Decode a 10-bit coprocessor bus word."""
+    if word < 0 or word >> 10:
+        raise EncodingError("load/store word out of 10-bit range")
+    opcode = (word >> 6) & 0xF
+    register = word & 0x3F
+    if opcode == LS_OPCODE_LOAD:
+        return LoadStoreInstruction(is_store=False, register=register).validate()
+    if opcode == LS_OPCODE_STORE:
+        return LoadStoreInstruction(is_store=True, register=register).validate()
+    raise EncodingError("unknown coprocessor opcode %d" % opcode)
+
+
+def disassemble_alu(instruction):
+    """Render an ALU instruction in the paper's notation."""
+    from repro.core.types import OP_NAMES, UNARY_OPS
+
+    op = instruction.op
+    vl = instruction.vector_length
+
+    def reg_range(first, strides):
+        if vl == 1 or not strides:
+            return "R%d" % first
+        return "R[%d..%d]" % (first, first + vl - 1)
+
+    dest = "R%d" % instruction.rr if vl == 1 else "R[%d..%d]" % (
+        instruction.rr, instruction.rr + vl - 1)
+    a = reg_range(instruction.ra, instruction.stride_ra)
+    if op in UNARY_OPS:
+        return "%s := %s(%s)" % (dest, OP_NAMES[op], a)
+    b = reg_range(instruction.rb, instruction.stride_rb)
+    symbol = {"add": "+", "subtract": "-", "multiply": "*",
+              "integer multiply": "*i", "iteration step": "iter"}.get(
+        OP_NAMES[op], OP_NAMES[op])
+    if symbol == "iter":
+        return "%s := 2 - %s*%s" % (dest, a, b)
+    return "%s := %s %s %s" % (dest, a, symbol, b)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the simulator."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """A field does not fit the instruction format of Figure 3."""
+
+
+class ReservedOperationError(ReproError):
+    """A (unit, func) combination marked reserved in Figure 4 was issued."""
+
+
+class RegisterIndexError(ReproError):
+    """A register specifier is outside the 52-register file.
+
+    This includes vector operations whose incremented specifiers run past
+    R51 -- a program error on the real machine as well.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulated program violated a machine invariant."""
+
+
+class VectorHazardError(SimulationError):
+    """Strict mode: a load/store touched a register belonging to a
+    not-yet-issued element of an in-flight vector instruction.
+
+    WRL 89/8 section 2.3.2 leaves this ordering to the compiler; the
+    simulator's strict mode turns the resulting nondeterminism into an
+    error so the code-generation layers can be validated.
+    """
+
+
+class AssemblerError(ReproError):
+    """The textual assembler rejected its input."""

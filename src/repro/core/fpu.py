@@ -1,0 +1,271 @@
+"""The FPU chip: register file, scoreboard, functional units, and the
+vector element sequencer.
+
+Vector instructions are issued "by merely incrementing register fields in
+the instruction register and issuing the resulting instructions with the
+same mechanism used for scalar operations" (WRL 89/8 section 2.1.1).  The
+only vector-specific hardware is three six-bit incrementers for the
+register specifiers, a four-bit decrementer for the vector length, and a
+little pipeline control to reissue instructions whose count is non-zero --
+all of which lives in :meth:`Fpu.try_issue_element`.
+
+Because each element passes through the ordinary scalar scoreboard,
+arbitrary data dependencies between the elements of one vector are legal:
+reductions and recurrences vectorize.
+"""
+
+from repro.core.encoding import AluInstruction, NUM_REGISTERS
+from repro.core.exceptions import SimulationError, VectorHazardError
+from repro.core.functional_units import FUNCTIONAL_UNIT_LATENCY, UNIT_OF_OP, make_units
+from repro.core.registers import RegisterFile
+from repro.core.scoreboard import Scoreboard
+from repro.core.types import FLOP_OPS, UNARY_OPS, execute_op, result_overflowed
+
+
+class FpuStats:
+    """Issue and stall counters for one simulation run."""
+
+    def __init__(self):
+        self.elements_issued = 0
+        self.flops = 0
+        self.alu_instructions = 0
+        self.vector_instructions = 0
+        self.scoreboard_stall_cycles = 0
+        self.overflow_aborts = 0
+        self.loads = 0
+        self.stores = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class _AluState:
+    """The mutable ALU instruction register contents."""
+
+    __slots__ = ("op", "rr", "ra", "rb", "remaining", "stride_ra", "stride_rb",
+                 "unary", "seq")
+
+    def __init__(self, instruction):
+        self.op = instruction.op
+        self.rr = instruction.rr
+        self.ra = instruction.ra
+        self.rb = instruction.rb
+        self.remaining = instruction.vector_length
+        self.stride_ra = instruction.stride_ra
+        self.stride_rb = instruction.stride_rb
+        self.unary = self.op in UNARY_OPS
+        self.seq = None
+
+
+class Fpu:
+    """Cycle-level model of the MultiTitan FPU chip."""
+
+    def __init__(self, latency=FUNCTIONAL_UNIT_LATENCY, strict_hazards=False,
+                 audit_ports=False):
+        self.latency = latency
+        self.strict_hazards = strict_hazards
+        self.regs = RegisterFile()
+        self.scoreboard = Scoreboard(audit_ports=audit_ports)
+        self.units = make_units(latency)
+        self.stats = FpuStats()
+        self.alu_ir = None
+        self.alu_ir_free_cycle = 0
+        self.hazard_warnings = []
+        # Optional event trace: list of (kind, cycle, ...) tuples appended
+        # by the issue logic when enabled (see repro.analysis.timeline).
+        self.trace = None
+        # Writes in flight: cycle -> list of (register, value, unit_name).
+        self._pending = {}
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+
+    def retire(self, cycle):
+        """Write back results whose latency has elapsed.
+
+        Must run at the start of each cycle, before issue, so that a
+        result issued in cycle *i* is usable by cycle *i + latency*.
+        """
+        ready = self._pending.pop(cycle, None)
+        if not ready:
+            return
+        values = self.regs.values
+        clear = self.scoreboard.clear
+        for register, value in ready:
+            values[register] = value
+            clear(register, cycle)
+
+    def drain(self, cycle):
+        """Retire everything still in flight (end of simulation)."""
+        for ready_cycle in sorted(self._pending):
+            self.retire(ready_cycle)
+
+    @property
+    def busy(self):
+        return self.alu_ir is not None or bool(self._pending)
+
+    # ------------------------------------------------------------------
+    # ALU instruction acceptance and element issue
+    # ------------------------------------------------------------------
+
+    def ir_free(self, cycle):
+        """Whether a new ALU instruction can enter the instruction register."""
+        return self.alu_ir is None and cycle >= self.alu_ir_free_cycle
+
+    def accept_alu(self, instruction, cycle):
+        """Latch a new ALU instruction into the (free) instruction register.
+
+        The first element attempts to issue in the same cycle, matching the
+        Figure 13 schedule.
+        """
+        if not self.ir_free(cycle):
+            raise SimulationError("ALU IR busy in cycle %d" % cycle)
+        if isinstance(instruction, AluInstruction):
+            instruction.validate()
+            state = _AluState(instruction)
+        else:
+            state = instruction
+        self.alu_ir = state
+        self.stats.alu_instructions += 1
+        if state.remaining > 1:
+            self.stats.vector_instructions += 1
+        self.try_issue_element(cycle)
+
+    def try_issue_element(self, cycle):
+        """Attempt to issue the current element of the ALU IR.
+
+        Returns True when an element issued.  Implements the paper's
+        sequencing: after issue, the vector-length field is checked; if
+        zero the instruction is cleared from the instruction register,
+        otherwise the specifiers increment (Rr always; Ra/Rb per their
+        stride bits) and the resulting instruction is treated like any
+        newly latched instruction.
+        """
+        state = self.alu_ir
+        if state is None:
+            return False
+        bits = self.scoreboard.bits
+        ra, rb, rr = state.ra, state.rb, state.rr
+        if bits[ra] or (not state.unary and bits[rb]) or bits[rr]:
+            self.stats.scoreboard_stall_cycles += 1
+            return False
+
+        values = self.regs.values
+        a = values[ra]
+        b = values[rb] if not state.unary else None
+        op = state.op
+        result = execute_op(op, a, b)
+        # The functional units are fully pipelined with a shared latency;
+        # timing flows through the pending-write queue and the units keep
+        # issue statistics (their standalone pipeline model is exercised
+        # by the unit tests).
+        self.units[UNIT_OF_OP[op]].issue_count += 1
+        self.scoreboard.reserve(rr, cycle)
+        self._pending.setdefault(cycle + self.latency, []).append((rr, result))
+        if self.trace is not None:
+            self.trace.append(("element", cycle, state.seq, rr))
+        self.stats.elements_issued += 1
+        if op in FLOP_OPS:
+            self.stats.flops += 1
+
+        if result_overflowed(op, a, b, result):
+            # Discard all remaining elements; save the destination
+            # specifier of the first overflowing element in the PSW.
+            self.regs.psw.record_overflow(rr)
+            self.stats.overflow_aborts += 1
+            self.alu_ir = None
+            self.alu_ir_free_cycle = cycle + 1
+            return True
+
+        state.remaining -= 1
+        if state.remaining == 0:
+            self.alu_ir = None
+            self.alu_ir_free_cycle = cycle + 1
+        else:
+            state.rr = rr + 1
+            if state.stride_ra:
+                state.ra = ra + 1
+            if state.stride_rb:
+                state.rb = rb + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Loads and stores (memory port, driven by the CPU through the
+    # separate Load/Store instruction register)
+    # ------------------------------------------------------------------
+
+    def load_write(self, register, value, cycle):
+        """An FPU load: data arrives from the cache, usable next cycle."""
+        self._check_ls_hazard("load", register, cycle)
+        self.scoreboard.reserve(register, cycle)
+        self._pending.setdefault(cycle + 1, []).append((register, value))
+        self.stats.loads += 1
+
+    def store_ready(self, register, cycle=None):
+        """Whether a store of ``register`` may issue (no pending write)."""
+        return not self.scoreboard.is_reserved(
+            register, port="load_store_read", cycle=cycle
+        )
+
+    def store_read(self, register, cycle):
+        """An FPU store: read the register for the memory port."""
+        self._check_ls_hazard("store", register, cycle)
+        self.stats.stores += 1
+        return self.regs.values[register]
+
+    # ------------------------------------------------------------------
+    # Vector/load-store ordering hazards (section 2.3.2)
+    # ------------------------------------------------------------------
+
+    def unissued_footprint(self, skip_current=True):
+        """Registers belonging to elements that have not yet issued.
+
+        The hardware interlocks loads/stores against the *current* element
+        (its specifiers sit in the instruction register), so by default
+        only the deeper elements -- the compiler's responsibility, section
+        2.3.2 -- are reported.
+        """
+        state = self.alu_ir
+        if state is None or state.remaining == 0:
+            return frozenset()
+        registers = set()
+        first = 1 if skip_current else 0
+        for element in range(first, state.remaining):
+            registers.add(state.rr + element)
+            registers.add(state.ra + (element if state.stride_ra else 0))
+            if not state.unary:
+                registers.add(state.rb + (element if state.stride_rb else 0))
+        return registers
+
+    def _check_ls_hazard(self, kind, register, cycle):
+        state = self.alu_ir
+        if state is None:
+            return
+        hazardous = register in self.unissued_footprint()
+        if kind == "store":
+            # A store only reads; it conflicts only with unissued writes
+            # beyond the interlocked current element.
+            writes = {state.rr + e for e in range(1, state.remaining)}
+            hazardous = register in writes
+        if hazardous:
+            message = (
+                "%s of R%d in cycle %d overlaps an unissued element of the "
+                "in-flight vector instruction" % (kind, register, cycle)
+            )
+            if self.strict_hazards:
+                raise VectorHazardError(message)
+            self.hazard_warnings.append(message)
+
+    # ------------------------------------------------------------------
+
+    def reset(self):
+        self.regs.reset()
+        self.scoreboard.reset()
+        for unit in self.units.values():
+            unit.reset()
+        self.stats = FpuStats()
+        self.alu_ir = None
+        self.alu_ir_free_cycle = 0
+        self.hazard_warnings = []
+        self._pending = {}

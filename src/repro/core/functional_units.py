@@ -1,0 +1,95 @@
+"""The three fully pipelined functional units.
+
+WRL 89/8 section 2: add, multiply, and reciprocal approximation; each can
+accept a new set of operands every cycle and produces its result three
+cycles after issue (bypass included).  Because every unit has the same
+latency, the register-file write port never needs to be reserved or
+checked before issue -- a key simplification the paper calls out.
+
+The units share a single result bus; with one ALU issue per cycle and a
+uniform latency at most one result retires per cycle, so the bus can never
+conflict (asserted here).  Each unit performs its own result bypassing
+(section 2.3.1, "distributed result bypass"); the bypass network is
+modelled by the issue timing contract: a result issued in cycle *i* can
+feed an operation issuing in cycle *i + latency*.
+"""
+
+from repro.core.exceptions import SimulationError
+from repro.core.types import FLOP_OPS, Op, execute_op
+
+FUNCTIONAL_UNIT_LATENCY = 3
+CYCLE_TIME_NS = 40.0  # the MultiTitan clock (section 3.1 / Figure 10)
+
+# Which flat op executes on which unit (Figure 4).
+UNIT_OF_OP = {
+    Op.ADD: "add",
+    Op.SUB: "add",
+    Op.FLOAT: "add",
+    Op.TRUNC: "add",
+    Op.MUL: "multiply",
+    Op.IMUL: "multiply",
+    Op.ITER: "multiply",
+    Op.RECIP: "reciprocal",
+}
+
+
+class FunctionalUnit:
+    """One fully pipelined unit with a fixed latency.
+
+    The pipeline is a list of in-flight ``(ready_cycle, destination,
+    value)`` entries; :meth:`issue` may be called at most once per cycle
+    (the single ALU issue port) and :meth:`retire` drains results whose
+    cycle has come.
+    """
+
+    def __init__(self, name, latency=FUNCTIONAL_UNIT_LATENCY):
+        self.name = name
+        self.latency = latency
+        self.in_flight = []
+        self.issue_count = 0
+        self._last_issue_cycle = None
+
+    def issue(self, cycle, op, a, b, destination):
+        if UNIT_OF_OP[op] != self.name:
+            raise SimulationError(
+                "op %s routed to the %s unit" % (op.name, self.name)
+            )
+        if self._last_issue_cycle == cycle:
+            raise SimulationError(
+                "%s unit issued twice in cycle %d" % (self.name, cycle)
+            )
+        self._last_issue_cycle = cycle
+        self.issue_count += 1
+        result = execute_op(op, a, b)
+        self.in_flight.append((cycle + self.latency, destination, result))
+        return result
+
+    def retire(self, cycle):
+        """Remove and return results ready at ``cycle``."""
+        ready = [entry for entry in self.in_flight if entry[0] <= cycle]
+        if ready:
+            self.in_flight = [entry for entry in self.in_flight if entry[0] > cycle]
+        return ready
+
+    @property
+    def busy(self):
+        return bool(self.in_flight)
+
+    def reset(self):
+        self.in_flight = []
+        self.issue_count = 0
+        self._last_issue_cycle = None
+
+
+def make_units(latency=FUNCTIONAL_UNIT_LATENCY):
+    """The FPU's three units, keyed by name."""
+    return {
+        "add": FunctionalUnit("add", latency),
+        "multiply": FunctionalUnit("multiply", latency),
+        "reciprocal": FunctionalUnit("reciprocal", latency),
+    }
+
+
+def latency_ns(latency_cycles=FUNCTIONAL_UNIT_LATENCY, cycle_time_ns=CYCLE_TIME_NS):
+    """Operation latency in nanoseconds (Figure 10: 3 * 40 = 120 ns)."""
+    return latency_cycles * cycle_time_ns

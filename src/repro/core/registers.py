@@ -1,0 +1,94 @@
+"""The unified vector/scalar register file and the PSW.
+
+WRL 89/8 section 2.1: 52 general-purpose 64-bit registers sit between the
+functional units and the data cache.  Vectors are stored in successive
+scalar registers; there is no separate vector register set.  The file has
+four ports -- A and B source reads, the R result write, and the M memory
+port -- time-multiplexed from dual-port storage, for a total of 3.3K bits
+(an order of magnitude smaller than a classical 8x64x64-bit vector file).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import RegisterIndexError
+
+REGISTER_BITS = 64
+STORAGE_BITS = NUM_REGISTERS * REGISTER_BITS  # 3328 bits ("3.3K bits")
+
+
+@dataclass
+class ProgramStatusWord:
+    """The FPU PSW, conceptually part of the register file.
+
+    Vector instructions that overflow on one element discard all remaining
+    elements; the destination register specifier of the first element to
+    overflow is saved here (WRL 89/8 section 2.3.1).
+    """
+
+    overflow: bool = False
+    overflow_dest: int = None
+
+    def record_overflow(self, dest_register):
+        if not self.overflow:
+            self.overflow = True
+            self.overflow_dest = dest_register
+
+    def clear(self):
+        self.overflow = False
+        self.overflow_dest = None
+
+
+class RegisterFile:
+    """52 x 64-bit unified vector/scalar registers.
+
+    Values are Python floats for floating-point data and Python ints for
+    integer data (the results of truncate / integer multiply, or integer
+    words placed by loads); both occupy one 64-bit register.
+    """
+
+    def __init__(self):
+        self._values = [0.0] * NUM_REGISTERS
+        self.psw = ProgramStatusWord()
+
+    def read(self, index):
+        if not 0 <= index < NUM_REGISTERS:
+            raise RegisterIndexError("read of R%d outside the register file" % index)
+        return self._values[index]
+
+    def write(self, index, value):
+        if not 0 <= index < NUM_REGISTERS:
+            raise RegisterIndexError("write of R%d outside the register file" % index)
+        self._values[index] = value
+
+    def read_group(self, first, length):
+        """Read ``length`` successive registers (a vector)."""
+        if not (0 <= first and first + length <= NUM_REGISTERS):
+            raise RegisterIndexError(
+                "group R%d..R%d outside the register file" % (first, first + length - 1)
+            )
+        return list(self._values[first : first + length])
+
+    def write_group(self, first, values):
+        """Write successive registers from a sequence (a vector)."""
+        if not (0 <= first and first + len(values) <= NUM_REGISTERS):
+            raise RegisterIndexError(
+                "group R%d..R%d outside the register file"
+                % (first, first + len(values) - 1)
+            )
+        self._values[first : first + len(values)] = [
+            v if type(v) is int else float(v) for v in values
+        ]
+
+    def snapshot(self):
+        """Copy of all register values, e.g. for context-switch costing."""
+        return list(self._values)
+
+    def reset(self):
+        self._values = [0.0] * NUM_REGISTERS
+        self.psw.clear()
+
+    # The raw list, used by the cycle simulator's hot loop.
+    @property
+    def values(self):
+        return self._values

@@ -1,0 +1,108 @@
+"""Structural model of the reservation-bit storage (section 2.3.1).
+
+The scoreboard's write-reservation bits are implemented as "an extra bit
+on each word in the register file.  The register file R port word line of
+the extra bit is partitioned into two separate word lines.  One segment
+is controlled by the same word line as the rest of the word [the retiring
+result's clear].  The other is controlled by the destination of the
+provisionally issued instruction [the set].  Since we will never want to
+write a reservation bit with an arbitrary value, but only set it or clear
+it, we can do both by single-ended writes.  The true bitline can be used
+to clear a bit at the same time as the complement bit line is used to set
+another bit."
+
+This model enforces the physical constraints -- one extra decoder (so at
+most one set per cycle), one clear through the R-port word line, three
+read ports riding the existing A/B/M decoders -- and is property-tested
+for behavioural equivalence with the architectural
+:class:`repro.core.scoreboard.Scoreboard`.
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import SimulationError
+
+
+class ReservationBitRam:
+    """One reservation bit per register with single-ended set/clear.
+
+    Usage per cycle: any number of calls in any order between
+    :meth:`begin_cycle` and :meth:`end_cycle`; reads return the value at
+    the *start* of the cycle (the bitlines are driven for writing after
+    the read phase); writes commit at :meth:`end_cycle`, clears before
+    sets (a cleared-and-reset register ends the cycle reserved -- retire
+    and re-issue of the same register in one cycle).
+    """
+
+    READ_PORTS = 3  # A, B source reads + the load/store (M) read
+
+    def __init__(self):
+        self._bits = [False] * NUM_REGISTERS
+        self._reads = 0
+        self._set_row = None
+        self._clear_row = None
+        self._in_cycle = False
+
+    def begin_cycle(self):
+        if self._in_cycle:
+            raise SimulationError("begin_cycle without end_cycle")
+        self._in_cycle = True
+        self._reads = 0
+        self._set_row = None
+        self._clear_row = None
+
+    def read(self, register):
+        """Read through one of the A/B/M decoders (three per cycle)."""
+        self._require_cycle()
+        self._check_row(register)
+        if self._reads >= self.READ_PORTS:
+            raise SimulationError(
+                "more than %d reservation-bit reads in one cycle"
+                % self.READ_PORTS)
+        self._reads += 1
+        return self._bits[register]
+
+    def set_on_issue(self, register):
+        """Drive the complement bitline through the provisional-issue
+        decoder -- the single extra decoder the design pays for."""
+        self._require_cycle()
+        self._check_row(register)
+        if self._set_row is not None:
+            raise SimulationError(
+                "the issue decoder can set only one reservation bit per cycle")
+        self._set_row = register
+
+    def clear_on_retire(self, register):
+        """Drive the true bitline through the R-port word line segment."""
+        self._require_cycle()
+        self._check_row(register)
+        if self._clear_row is not None:
+            raise SimulationError(
+                "the R port can clear only one reservation bit per cycle")
+        self._clear_row = register
+
+    def end_cycle(self):
+        self._require_cycle()
+        if self._clear_row is not None:
+            self._bits[self._clear_row] = False
+        if self._set_row is not None:
+            self._bits[self._set_row] = True
+        self._in_cycle = False
+        return self._set_row, self._clear_row
+
+    def peek(self, register):
+        """Non-port debug read (no hardware cost)."""
+        self._check_row(register)
+        return self._bits[register]
+
+    def _require_cycle(self):
+        if not self._in_cycle:
+            raise SimulationError("access outside begin_cycle/end_cycle")
+
+    def _check_row(self, register):
+        if not 0 <= register < NUM_REGISTERS:
+            raise SimulationError("row %d out of range" % register)
+
+    @property
+    def decoder_count(self):
+        """Decoders beyond those the register file already has: one."""
+        return 1

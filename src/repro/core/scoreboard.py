@@ -1,0 +1,90 @@
+"""The register write reservation table (scoreboard).
+
+WRL 89/8 section 2.3.1: one bit per register, set when an outstanding
+operation will write the register, preventing subsequent instructions
+from reading it early.  Five logical ports are needed each cycle:
+
+* 2 reads for the ALU source operands,
+* 1 set for the destination on ALU issue,
+* 1 clear for the destination of a retiring ALU operation,
+* 1 read for loads and stores.
+
+The hardware implements the bits as an extra column of the register file
+with single-ended set/clear word lines; here we model the bit vector plus
+an optional per-cycle port-usage audit so tests can assert that the
+five-port budget is never exceeded.
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import RegisterIndexError, SimulationError
+
+PORT_BUDGET = {
+    "alu_source_read": 2,
+    "alu_issue_set": 1,
+    "retire_clear": 1,
+    "load_store_read": 1,
+}
+
+
+class Scoreboard:
+    """Write-reservation bits for the 52 registers."""
+
+    def __init__(self, audit_ports=False):
+        self._bits = [False] * NUM_REGISTERS
+        self.audit_ports = audit_ports
+        self._port_use = {port: 0 for port in PORT_BUDGET}
+        self._audit_cycle = -1
+
+    def _check_index(self, index):
+        if not 0 <= index < NUM_REGISTERS:
+            raise RegisterIndexError("scoreboard access to R%d" % index)
+
+    def _use_port(self, port, cycle):
+        if not self.audit_ports or cycle is None:
+            return
+        if cycle != self._audit_cycle:
+            self._audit_cycle = cycle
+            self._port_use = {name: 0 for name in PORT_BUDGET}
+        self._port_use[port] += 1
+        if self._port_use[port] > PORT_BUDGET[port]:
+            raise SimulationError(
+                "scoreboard port %r over budget (%d > %d) in cycle %d"
+                % (port, self._port_use[port], PORT_BUDGET[port], cycle)
+            )
+
+    def is_reserved(self, index, port="alu_source_read", cycle=None):
+        self._check_index(index)
+        self._use_port(port, cycle)
+        return self._bits[index]
+
+    def reserve(self, index, cycle=None):
+        """Set the reservation bit at ALU-issue (or load-issue) time."""
+        self._check_index(index)
+        self._use_port("alu_issue_set", cycle)
+        if self._bits[index]:
+            raise SimulationError(
+                "double reservation of R%d: the second reservation would be "
+                "lost on the retiring of the first" % index
+            )
+        self._bits[index] = True
+
+    def clear(self, index, cycle=None):
+        """Clear the reservation bit when the writing operation retires."""
+        self._check_index(index)
+        self._use_port("retire_clear", cycle)
+        self._bits[index] = False
+
+    def any_reserved(self, indices):
+        bits = self._bits
+        return any(bits[i] for i in indices)
+
+    def reserved_registers(self):
+        return [i for i, bit in enumerate(self._bits) if bit]
+
+    def reset(self):
+        self._bits = [False] * NUM_REGISTERS
+
+    # The raw bit list, used by the cycle simulator's hot loop.
+    @property
+    def bits(self):
+        return self._bits

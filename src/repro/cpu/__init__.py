@@ -1,0 +1,16 @@
+"""The MultiTitan CPU substrate: ISA, program builder, assembler, machine."""
+
+from repro.cpu.assembler import assemble
+from repro.cpu.machine import MachineConfig, MachineStats, MultiTitan, RunResult
+from repro.cpu.program import Label, Program, ProgramBuilder
+
+__all__ = [
+    "Label",
+    "MachineConfig",
+    "MachineStats",
+    "MultiTitan",
+    "Program",
+    "ProgramBuilder",
+    "RunResult",
+    "assemble",
+]

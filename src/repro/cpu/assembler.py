@@ -1,0 +1,190 @@
+"""A small textual assembler for the MultiTitan simulator.
+
+Syntax (one instruction per line, ``;`` or ``#`` comments)::
+
+    start:
+        li      r1, 8           ; integer immediate
+        add     r3, r1, r2
+        lw      r4, 8(r5)       ; integer load
+        fload   f0, 0(r6)       ; FPU load via the L/S instruction register
+        fadd    f16, f0, f8, vl=4, sa=1, sb=0
+        frecip  f20, f21
+        fstore  f16, 16(r6)
+        fcmp.lt r7, f16, f17
+        blt     r1, r2, start
+        halt
+
+Integer registers are ``r0``..``r31`` (r0 reads as zero); FPU registers
+are ``f0``..``f51``.  The FPU ALU mnemonics take optional ``vl`` (vector
+length 1..16), ``sa`` and ``sb`` (the SRa/SRb stride bits, default 1).
+"""
+
+import re
+
+from repro.core.exceptions import AssemblerError
+from repro.core.types import Op
+from repro.cpu import isa
+from repro.cpu.program import ProgramBuilder
+
+_FPU_OPS = {
+    "fadd": Op.ADD,
+    "fsub": Op.SUB,
+    "fmul": Op.MUL,
+    "fiter": Op.ITER,
+    "frecip": Op.RECIP,
+    "ffloat": Op.FLOAT,
+    "ftrunc": Op.TRUNC,
+    "fimul": Op.IMUL,
+}
+
+_UNARY_FPU = {"frecip", "ffloat", "ftrunc"}
+
+_INT3 = {"add", "sub", "mul", "and", "or", "xor"}
+_INT2_IMM = {"addi", "muli", "sll", "sra"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "ble", "bgt"}
+
+_MEM_RE = re.compile(r"^(-?\d+)\((r\d+)\)$", re.IGNORECASE)
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+
+
+def _int_reg(token, line_number):
+    token = token.strip().lower()
+    if not token.startswith("r") or not token[1:].isdigit():
+        raise AssemblerError("line %d: expected integer register, got %r"
+                             % (line_number, token))
+    index = int(token[1:])
+    if not 0 <= index < isa.NUM_INT_REGISTERS:
+        raise AssemblerError("line %d: integer register %r out of range"
+                             % (line_number, token))
+    return index
+
+
+def _fpu_reg(token, line_number):
+    token = token.strip().lower()
+    if not token.startswith("f") or not token[1:].isdigit():
+        raise AssemblerError("line %d: expected FPU register, got %r"
+                             % (line_number, token))
+    return int(token[1:])
+
+
+def _immediate(token, line_number):
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError("line %d: expected immediate, got %r"
+                             % (line_number, token))
+
+
+def _mem_operand(token, line_number):
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblerError("line %d: expected offset(reg), got %r"
+                             % (line_number, token))
+    return int(match.group(1)), _int_reg(match.group(2), line_number)
+
+
+def assemble(source):
+    """Assemble text into a :class:`repro.cpu.program.Program`."""
+    builder = ProgramBuilder()
+    labels = {}
+
+    def get_label(name):
+        if name not in labels:
+            labels[name] = builder.label(name)
+        return labels[name]
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            builder.place(get_label(label_match.group(1)))
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [p.strip() for p in operand_text.split(",")] if operand_text else []
+
+        if mnemonic == "nop":
+            builder.nop()
+        elif mnemonic == "halt":
+            builder.halt()
+        elif mnemonic == "li":
+            builder.li(_int_reg(operands[0], line_number),
+                       _immediate(operands[1], line_number))
+        elif mnemonic in _INT3:
+            emit = {"add": builder.add, "sub": builder.sub, "mul": builder.mul,
+                    "and": builder.and_, "or": builder.or_, "xor": builder.xor}
+            emit[mnemonic](_int_reg(operands[0], line_number),
+                           _int_reg(operands[1], line_number),
+                           _int_reg(operands[2], line_number))
+        elif mnemonic in _INT2_IMM:
+            emit = {"addi": builder.addi, "muli": builder.muli,
+                    "sll": builder.sll, "sra": builder.sra}
+            emit[mnemonic](_int_reg(operands[0], line_number),
+                           _int_reg(operands[1], line_number),
+                           _immediate(operands[2], line_number))
+        elif mnemonic == "lw":
+            offset, base = _mem_operand(operands[1], line_number)
+            builder.lw(_int_reg(operands[0], line_number), base, offset)
+        elif mnemonic == "sw":
+            offset, base = _mem_operand(operands[1], line_number)
+            builder.sw(_int_reg(operands[0], line_number), base, offset)
+        elif mnemonic == "fload":
+            offset, base = _mem_operand(operands[1], line_number)
+            builder.fload(_fpu_reg(operands[0], line_number), base, offset)
+        elif mnemonic == "fstore":
+            offset, base = _mem_operand(operands[1], line_number)
+            builder.fstore(_fpu_reg(operands[0], line_number), base, offset)
+        elif mnemonic in _BRANCHES:
+            emit = {"beq": builder.beq, "bne": builder.bne, "blt": builder.blt,
+                    "bge": builder.bge, "ble": builder.ble, "bgt": builder.bgt}
+            emit[mnemonic](_int_reg(operands[0], line_number),
+                           _int_reg(operands[1], line_number),
+                           get_label(operands[2]))
+        elif mnemonic == "j":
+            builder.j(get_label(operands[0]))
+        elif mnemonic.startswith("fcmp"):
+            cond_name = mnemonic.split(".")[-1] if "." in mnemonic else "lt"
+            cond = {"eq": isa.CMP_EQ, "lt": isa.CMP_LT, "le": isa.CMP_LE}.get(cond_name)
+            if cond is None:
+                raise AssemblerError("line %d: unknown compare %r"
+                                     % (line_number, mnemonic))
+            builder.fcmp(_int_reg(operands[0], line_number),
+                         _fpu_reg(operands[1], line_number),
+                         _fpu_reg(operands[2], line_number), cond)
+        elif mnemonic in _FPU_OPS:
+            op = _FPU_OPS[mnemonic]
+            keyword = {"vl": 1, "sa": 1, "sb": 1}
+            positional = []
+            for operand in operands:
+                if "=" in operand:
+                    key, _, value = operand.partition("=")
+                    key = key.strip().lower()
+                    if key not in keyword:
+                        raise AssemblerError("line %d: unknown option %r"
+                                             % (line_number, key))
+                    keyword[key] = _immediate(value, line_number)
+                else:
+                    positional.append(operand)
+            expected = 2 if mnemonic in _UNARY_FPU else 3
+            if len(positional) != expected:
+                raise AssemblerError(
+                    "line %d: %s takes %d register operands"
+                    % (line_number, mnemonic, expected))
+            registers = [_fpu_reg(p, line_number) for p in positional]
+            if mnemonic in _UNARY_FPU:
+                builder.falu(op, registers[0], registers[1], 0,
+                             vl=keyword["vl"], sra=bool(keyword["sa"]), srb=False)
+            else:
+                builder.falu(op, registers[0], registers[1], registers[2],
+                             vl=keyword["vl"], sra=bool(keyword["sa"]),
+                             srb=bool(keyword["sb"]))
+        else:
+            raise AssemblerError("line %d: unknown mnemonic %r"
+                                 % (line_number, mnemonic))
+
+    return builder.build()

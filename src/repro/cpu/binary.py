@@ -1,0 +1,172 @@
+"""Binary encoding of whole programs.
+
+FPU ALU instructions use their architected 32-bit format (Figure 3 of
+WRL 89/8, major opcode 6 in the top four bits).  The paper does not
+specify the CPU's own instruction formats, so this module defines a
+MIPS-like 32-bit encoding for them -- documented here, chosen so no CPU
+opcode collides with the FPU ALU major opcode:
+
+========  =======================================================
+format    layout (msb..lsb)
+========  =======================================================
+R-type    op[6] rd[5] ra[5] rb[5] zero[11]
+I-type    op[6] rd[5] ra[5] imm[16 signed]     (addi/muli/sll/sra,
+          lw/sw offsets, branch targets in rd:ra fields)
+LI        op[6] rd[5] imm[21 signed]
+J         op[6] target[26]
+FLOAD/    op[6] freg[6] ra[5] imm[15 signed]
+FSTORE
+FCMP      op[6] rd[5] fa[6] fb[6] cond[2] zero[7]
+FPU ALU   the Figure 3 word verbatim (top four bits == 6)
+========  =======================================================
+
+Encoded programs round-trip exactly (property-tested, including every
+Livermore kernel) and can be placed in simulator memory as one word per
+instruction.
+"""
+
+from repro.core.encoding import AluInstruction, decode_alu, encode_alu
+from repro.core.exceptions import EncodingError
+from repro.core.types import UNARY_OPS, Op, unit_func_for
+from repro.cpu import isa
+
+# 6-bit CPU opcodes.  Values whose top four bits equal 6 (0b0110xx =
+# 24..27) are reserved for the FPU ALU word and must not be assigned.
+_CPU_OPCODES = {
+    isa.NOP: 0, isa.HALT: 1, isa.LI: 2, isa.ADD: 3, isa.ADDI: 4,
+    isa.SUB: 5, isa.MUL: 7, isa.MULI: 8, isa.SLL: 9, isa.SRA: 10,
+    isa.AND: 11, isa.OR: 12, isa.XOR: 13, isa.LW: 14, isa.SW: 15,
+    isa.BEQ: 16, isa.BNE: 17, isa.BLT: 18, isa.BGE: 19, isa.BLE: 20,
+    isa.BGT: 21, isa.J: 22, isa.FLOAD: 28, isa.FSTORE: 29,
+    isa.FCMP: 30, isa.RFE: 31,
+}
+_RESERVED_FOR_FALU = {24, 25, 26, 27}
+assert not (_RESERVED_FOR_FALU & set(_CPU_OPCODES.values()))
+_OPCODE_TO_ISA = {code: op for op, code in _CPU_OPCODES.items()}
+
+_R_TYPE = {isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR}
+_I_TYPE = {isa.ADDI, isa.MULI, isa.SLL, isa.SRA, isa.LW, isa.SW}
+_BRANCHES = isa.BRANCH_OPS
+
+
+def _signed_field(value, bits, what):
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError("%s %d does not fit %d signed bits"
+                            % (what, value, bits))
+    return value & ((1 << bits) - 1)
+
+
+def _unsigned_field(value, bits, what):
+    if not 0 <= value < (1 << bits):
+        raise EncodingError("%s %d does not fit %d bits" % (what, value, bits))
+    return value
+
+
+def _sign_extend(value, bits):
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def encode_instruction(instruction):
+    """Encode one decoded instruction tuple into its 32-bit word."""
+    opcode = instruction[0]
+    if opcode == isa.FALU:
+        op, rr, ra, rb, vl, sra, srb, _unary = instruction[1:]
+        unit, func = unit_func_for(Op(op))
+        return encode_alu(AluInstruction(
+            rr=rr, ra=ra, rb=rb, unit=unit, func=func, vector_length=vl,
+            stride_ra=bool(sra), stride_rb=bool(srb)))
+    code = _CPU_OPCODES[opcode] << 26
+    if opcode in (isa.NOP, isa.HALT, isa.RFE):
+        return code
+    if opcode == isa.LI:
+        rd, imm = instruction[1], instruction[2]
+        return code | (_unsigned_field(rd, 5, "rd") << 21) \
+            | _signed_field(imm, 21, "li immediate")
+    if opcode in _R_TYPE:
+        rd, ra, rb = instruction[1:]
+        return code | (rd << 21) | (ra << 16) | (rb << 11)
+    if opcode in _I_TYPE:
+        rd, ra, imm = instruction[1:]
+        return code | (rd << 21) | (ra << 16) \
+            | _signed_field(imm, 16, "immediate")
+    if opcode in _BRANCHES:
+        ra, rb, target = instruction[1:]
+        return code | (ra << 21) | (rb << 16) \
+            | _unsigned_field(target, 16, "branch target")
+    if opcode == isa.J:
+        return code | _unsigned_field(instruction[1], 26, "jump target")
+    if opcode in (isa.FLOAD, isa.FSTORE):
+        freg, ra, offset = instruction[1:]
+        return code | (_unsigned_field(freg, 6, "fpu register") << 20) \
+            | (ra << 15) | _signed_field(offset, 15, "offset")
+    if opcode == isa.FCMP:
+        rd, fa, fb, cond = instruction[1:]
+        return code | (rd << 21) | (_unsigned_field(fa, 6, "fa") << 15) \
+            | (_unsigned_field(fb, 6, "fb") << 9) | (cond << 7)
+    raise EncodingError("unencodable opcode %d" % opcode)
+
+
+def decode_instruction(word):
+    """Decode one 32-bit word back to a decoded instruction tuple."""
+    if word >> 32 or word < 0:
+        raise EncodingError("word out of 32-bit range")
+    if (word >> 28) == 6:  # the FPU ALU major opcode (Figure 3)
+        alu = decode_alu(word)
+        return (isa.FALU, int(alu.op), alu.rr, alu.ra, alu.rb,
+                alu.vector_length, 1 if alu.stride_ra else 0,
+                1 if alu.stride_rb else 0, alu.op in UNARY_OPS)
+    code = word >> 26
+    opcode = _OPCODE_TO_ISA.get(code)
+    if opcode is None:
+        raise EncodingError("unknown opcode field %d" % code)
+    if opcode in (isa.NOP, isa.HALT, isa.RFE):
+        return (opcode,)
+    if opcode == isa.LI:
+        return (opcode, (word >> 21) & 0x1F,
+                _sign_extend(word & 0x1FFFFF, 21))
+    if opcode in _R_TYPE:
+        return (opcode, (word >> 21) & 0x1F, (word >> 16) & 0x1F,
+                (word >> 11) & 0x1F)
+    if opcode in _I_TYPE:
+        return (opcode, (word >> 21) & 0x1F, (word >> 16) & 0x1F,
+                _sign_extend(word & 0xFFFF, 16))
+    if opcode in _BRANCHES:
+        return (opcode, (word >> 21) & 0x1F, (word >> 16) & 0x1F,
+                word & 0xFFFF)
+    if opcode == isa.J:
+        return (opcode, word & 0x3FFFFFF)
+    if opcode in (isa.FLOAD, isa.FSTORE):
+        return (opcode, (word >> 20) & 0x3F, (word >> 15) & 0x1F,
+                _sign_extend(word & 0x7FFF, 15))
+    if opcode == isa.FCMP:
+        return (opcode, (word >> 21) & 0x1F, (word >> 15) & 0x3F,
+                (word >> 9) & 0x3F, (word >> 7) & 0x3)
+    raise EncodingError("undecodable opcode %d" % code)
+
+
+def encode_program(program):
+    """Encode a Program into a list of 32-bit words."""
+    return [encode_instruction(instruction)
+            for instruction in program.instructions]
+
+
+def decode_program(words):
+    """Decode 32-bit words back into a Program."""
+    from repro.cpu.program import Program
+
+    return Program([decode_instruction(word) for word in words], {})
+
+
+def store_image(memory, address, words):
+    """Place an encoded program in simulator memory, one instruction word
+    per 64-bit memory word; returns the byte size of the image."""
+    memory.write_block(address, list(words))
+    return len(words) * 8
+
+
+def load_image(memory, address, count):
+    """Read an image back from memory and decode it."""
+    return decode_program([int(w) for w in memory.read_block(address, count)])

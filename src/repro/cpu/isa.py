@@ -1,0 +1,117 @@
+"""The MultiTitan CPU instruction set used by the simulator.
+
+The real MultiTitan CPU is a simple RISC (one instruction per cycle, a
+load delay slot, branch delay); WRL 89/8 only constrains the parts visible
+to the FPU:
+
+* loads/stores of FPU registers issue over the 10-bit coprocessor bus,
+  one per cycle, through the separate Load/Store instruction register;
+* FPU ALU instructions transfer over the 32-bit address bus and stall
+  while the FPU ALU instruction register is busy issuing a vector;
+* back-to-back stores take two cycles; loads have a one-cycle delay slot.
+
+Decoded instructions are plain tuples ``(opcode, ...operands)`` with the
+integer opcodes below; :mod:`repro.cpu.program` builds them and
+:mod:`repro.cpu.machine` interprets them.  ``FCMP`` (compare two FPU
+registers into a CPU register) is our substitute for the unspecified
+FP-conditional path; see DESIGN.md.
+"""
+
+NUM_INT_REGISTERS = 32
+
+# --- opcode space -------------------------------------------------------
+NOP = 0
+HALT = 1
+LI = 2        # (LI, rd, imm)
+ADD = 3       # (ADD, rd, ra, rb)
+ADDI = 4      # (ADDI, rd, ra, imm)
+SUB = 5       # (SUB, rd, ra, rb)
+MUL = 6       # (MUL, rd, ra, rb)
+MULI = 7      # (MULI, rd, ra, imm)
+SLL = 8       # (SLL, rd, ra, shamt)
+SRA = 9       # (SRA, rd, ra, shamt)
+AND = 10      # (AND, rd, ra, rb)
+OR = 11       # (OR, rd, ra, rb)
+XOR = 12      # (XOR, rd, ra, rb)
+LW = 13       # (LW, rd, ra, offset)         integer load, 1 delay slot
+SW = 14       # (SW, rs, ra, offset)         integer store, 2-cycle port
+BEQ = 15      # (BEQ, ra, rb, target)
+BNE = 16
+BLT = 17
+BGE = 18
+BLE = 19
+BGT = 20
+J = 21        # (J, target)
+FLOAD = 22    # (FLOAD, fd, ra, offset)      FPU load via L/S IR
+FSTORE = 23   # (FSTORE, fs, ra, offset)     FPU store via L/S IR
+FALU = 24     # (FALU, op, rr, ra, rb, vl, sra, srb, unary)
+FCMP = 25     # (FCMP, rd, fa, fb, cond)     cond: CMP_EQ/LT/LE
+RFE = 26      # return from exception: pc <- epc
+
+CMP_EQ = 0
+CMP_LT = 1
+CMP_LE = 2
+
+BRANCH_OPS = frozenset({BEQ, BNE, BLT, BGE, BLE, BGT})
+
+OPCODE_NAMES = {
+    NOP: "nop", HALT: "halt", LI: "li", ADD: "add", ADDI: "addi",
+    SUB: "sub", MUL: "mul", MULI: "muli", SLL: "sll", SRA: "sra",
+    AND: "and", OR: "or", XOR: "xor", LW: "lw", SW: "sw",
+    BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLE: "ble",
+    BGT: "bgt", J: "j", FLOAD: "fload", FSTORE: "fstore",
+    FALU: "falu", FCMP: "fcmp", RFE: "rfe",
+}
+
+_BRANCH_TEST = {
+    BEQ: lambda a, b: a == b,
+    BNE: lambda a, b: a != b,
+    BLT: lambda a, b: a < b,
+    BGE: lambda a, b: a >= b,
+    BLE: lambda a, b: a <= b,
+    BGT: lambda a, b: a > b,
+}
+
+
+def branch_taken(opcode, a, b):
+    return _BRANCH_TEST[opcode](a, b)
+
+
+def disassemble(instruction, index=None):
+    """Render one decoded instruction tuple as readable text."""
+    opcode = instruction[0]
+    name = OPCODE_NAMES.get(opcode, "op%d" % opcode)
+    if opcode in (NOP, HALT, RFE):
+        return name
+    if opcode == LI:
+        return "li r%d, %d" % instruction[1:]
+    if opcode in (ADD, SUB, MUL, AND, OR, XOR):
+        return "%s r%d, r%d, r%d" % ((name,) + instruction[1:])
+    if opcode in (ADDI, MULI, SLL, SRA):
+        return "%s r%d, r%d, %d" % ((name,) + instruction[1:])
+    if opcode in (LW,):
+        return "lw r%d, %d(r%d)" % (instruction[1], instruction[3], instruction[2])
+    if opcode == SW:
+        return "sw r%d, %d(r%d)" % (instruction[1], instruction[3], instruction[2])
+    if opcode in BRANCH_OPS:
+        return "%s r%d, r%d, @%d" % ((name,) + instruction[1:])
+    if opcode == J:
+        return "j @%d" % instruction[1]
+    if opcode == FLOAD:
+        return "fload F%d, %d(r%d)" % (instruction[1], instruction[3], instruction[2])
+    if opcode == FSTORE:
+        return "fstore F%d, %d(r%d)" % (instruction[1], instruction[3], instruction[2])
+    if opcode == FCMP:
+        cond = {CMP_EQ: "eq", CMP_LT: "lt", CMP_LE: "le"}[instruction[4]]
+        return "fcmp.%s r%d, F%d, F%d" % (cond, instruction[1], instruction[2],
+                                          instruction[3])
+    if opcode == FALU:
+        from repro.core.encoding import AluInstruction
+        from repro.core.types import unit_func_for
+        op, rr, ra, rb, vl, sra, srb, _unary = instruction[1:]
+        unit, func = unit_func_for(op)
+        from repro.core.encoding import disassemble_alu
+        return disassemble_alu(AluInstruction(
+            rr=rr, ra=ra, rb=rb, unit=unit, func=func, vector_length=vl,
+            stride_ra=bool(sra), stride_rb=bool(srb)))
+    return repr(instruction)

@@ -1,0 +1,55 @@
+"""Software double-precision floating-point arithmetic substrate.
+
+The MultiTitan FPU implements only double-precision arithmetic in three
+fully pipelined functional units (add, multiply, reciprocal approximation;
+WRL 89/8 section 2.2.3).  This package is a bit-level reimplementation of
+those units:
+
+* :mod:`repro.fparith.fp64` -- IEEE-754 binary64 pack/unpack helpers.
+* :mod:`repro.fparith.add` -- the add unit, with the separate near/far
+  paths for aligned operands and normalized results (Farmwald two-path).
+* :mod:`repro.fparith.multiply` -- the multiply unit, reducing partial
+  products with a "chunky binary tree".
+* :mod:`repro.fparith.reciprocal` -- the reciprocal-approximation unit:
+  linear interpolation producing a ~16-bit-accurate reciprocal.
+* :mod:`repro.fparith.division` -- division as six chained 3-cycle
+  operations (reciprocal approximation + two Newton iterations).
+* :mod:`repro.fparith.integer_ops` -- the float / truncate conversions and
+  integer multiply handled by the add and multiply units.
+
+The cycle-level simulator in :mod:`repro.core` uses host doubles for add
+and multiply (bit-identical to these routines; see the property tests) and
+uses :func:`repro.fparith.reciprocal.recip_approx` directly because its
+16-bit accuracy is architecturally visible.
+"""
+
+from repro.fparith.add import fp_add, fp_sub
+from repro.fparith.division import divide, divide_schedule, iteration_step
+from repro.fparith.fp64 import bits_to_float, float_to_bits
+from repro.fparith.integer_ops import float_from_int, integer_multiply, truncate_to_int
+from repro.fparith.multiply import fp_mul
+from repro.fparith.pipeline import (
+    ThreeStagePipeline,
+    make_pipelined_adder,
+    make_pipelined_multiplier,
+)
+from repro.fparith.reciprocal import recip_approx, recip_approx_bits
+
+__all__ = [
+    "ThreeStagePipeline",
+    "make_pipelined_adder",
+    "make_pipelined_multiplier",
+    "bits_to_float",
+    "divide",
+    "divide_schedule",
+    "float_from_int",
+    "float_to_bits",
+    "fp_add",
+    "fp_mul",
+    "fp_sub",
+    "integer_multiply",
+    "iteration_step",
+    "recip_approx",
+    "recip_approx_bits",
+    "truncate_to_int",
+]

@@ -1,0 +1,155 @@
+"""The FPU add unit.
+
+WRL 89/8 section 2.2.3: "the add unit uses separate specialized paths for
+aligned operands and normalized results, as well as specialized paths for
+positive and negative results" (after Farmwald).  We model the two-path
+organisation explicitly:
+
+* the **near path** handles effective subtraction with exponent difference
+  of at most one -- the only case that can need a long normalizing left
+  shift, and the case that never needs rounding beyond one guard bit;
+* the **far path** handles everything else -- at most a one-bit
+  normalizing shift, but a long alignment shift with guard/round/sticky.
+
+Both paths produce the IEEE round-to-nearest-even result; the split is a
+latency optimisation in hardware and a documented structure here.  The
+property tests assert path-by-path agreement with host arithmetic.
+"""
+
+from repro.fparith import fp64
+from repro.fparith.fp64 import (
+    BIAS,
+    EXP_MASK,
+    FRAC_BITS,
+    NEG_ZERO,
+    POS_INF,
+    POS_ZERO,
+    QNAN,
+    SIGN_SHIFT,
+)
+
+_EXTRA = 3  # guard, round, sticky
+
+
+def _decompose(bits):
+    """Return (sign, unbiased exponent, significand) for a finite value."""
+    sign, exponent, fraction = fp64.unpack(bits)
+    if exponent == 0:
+        return sign, 1 - BIAS, fraction
+    return sign, exponent - BIAS, fraction | fp64.IMPLICIT_BIT
+
+
+def classify_path(a_bits, b_bits):
+    """Return ``"near"`` or ``"far"`` for a finite, nonzero operand pair.
+
+    The near path is selected for effective subtraction with exponent
+    difference <= 1; the far path otherwise.
+    """
+    sign_a, exp_a, _ = _decompose(a_bits)
+    sign_b, exp_b, _ = _decompose(b_bits)
+    effective_subtract = sign_a != sign_b
+    if effective_subtract and abs(exp_a - exp_b) <= 1:
+        return "near"
+    return "far"
+
+
+def _near_path(sign_a, exp_a, sig_a, sign_b, exp_b, sig_b):
+    """Effective subtraction, |exponent difference| <= 1.
+
+    Alignment needs at most one bit, so no sticky bit can be produced by
+    alignment; the difference may need a long normalizing left shift.
+    """
+    # Align on the larger exponent with a single guard bit.
+    if exp_a >= exp_b:
+        big_sign, big_exp, big_sig = sign_a, exp_a, sig_a << 1
+        small_sig = sig_b << (1 - (exp_a - exp_b))
+    else:
+        big_sign, big_exp, big_sig = sign_b, exp_b, sig_b << 1
+        small_sig = sig_a << (1 - (exp_b - exp_a))
+    diff = big_sig - small_sig
+    if diff == 0:
+        return POS_ZERO
+    if diff < 0:
+        # The "negative result" specialized path: complement and flip sign.
+        diff = -diff
+        big_sign ^= 1
+    return fp64.normalize_and_pack(big_sign, big_exp, diff, 1)
+
+
+def _far_path(sign_a, exp_a, sig_a, sign_b, exp_b, sig_b):
+    """Addition, or subtraction with exponent difference >= 2.
+
+    The result is within a factor of two of the larger operand, so at most
+    a one-position normalization is needed, but the alignment shift may be
+    long and must preserve a sticky bit.
+    """
+    if (exp_a, sig_a) >= (exp_b, sig_b):
+        big_sign, big_exp, big_sig = sign_a, exp_a, sig_a
+        small_sign, small_exp, small_sig = sign_b, exp_b, sig_b
+    else:
+        big_sign, big_exp, big_sig = sign_b, exp_b, sig_b
+        small_sign, small_exp, small_sig = sign_a, exp_a, sig_a
+
+    shift = big_exp - small_exp
+    if big_sign == small_sign:
+        # Addition: floor-align the small operand and OR the dropped bits
+        # into a sticky bit.  With a positive tail this is the textbook
+        # guard/round/sticky scheme and rounds identically to the exact sum.
+        big_ext = big_sig << _EXTRA
+        small_ext = small_sig << _EXTRA
+        if shift >= FRAC_BITS + _EXTRA + 2:
+            aligned = 1 if small_sig else 0  # pure sticky
+        else:
+            sticky = 1 if small_ext & ((1 << shift) - 1) else 0
+            aligned = (small_ext >> shift) | sticky
+        return fp64.normalize_and_pack(big_sign, big_exp, big_ext + aligned, _EXTRA)
+
+    # Effective subtraction with shift >= 2.  A sticky approximation of the
+    # subtrahend does not commute with the borrow, so subtract exactly for
+    # moderate shifts and fall back to a "big minus epsilon" pattern when
+    # the small operand is below a quarter ulp of the big one.
+    if shift <= FRAC_BITS + _EXTRA:
+        extra = shift
+        total = (big_sig << extra) - small_sig
+        if total == 0:
+            return POS_ZERO
+        return fp64.normalize_and_pack(big_sign, big_exp, total, extra)
+    total = (big_sig << _EXTRA) - 1  # sticky-only subtrahend
+    return fp64.normalize_and_pack(big_sign, big_exp, total, _EXTRA)
+
+
+def fp_add(a_bits, b_bits):
+    """Bit-accurate IEEE-754 binary64 addition (round to nearest even)."""
+    if fp64.is_nan(a_bits) or fp64.is_nan(b_bits):
+        return QNAN
+    a_inf, b_inf = fp64.is_inf(a_bits), fp64.is_inf(b_bits)
+    if a_inf and b_inf:
+        if (a_bits >> SIGN_SHIFT) != (b_bits >> SIGN_SHIFT):
+            return QNAN
+        return a_bits
+    if a_inf:
+        return a_bits
+    if b_inf:
+        return b_bits
+    if fp64.is_zero(a_bits) and fp64.is_zero(b_bits):
+        # +0 + -0 = +0 under round-to-nearest.
+        if a_bits == b_bits:
+            return a_bits
+        return POS_ZERO
+    if fp64.is_zero(a_bits):
+        return b_bits
+    if fp64.is_zero(b_bits):
+        return a_bits
+
+    sign_a, exp_a, sig_a = _decompose(a_bits)
+    sign_b, exp_b, sig_b = _decompose(b_bits)
+    if classify_path(a_bits, b_bits) == "near":
+        return _near_path(sign_a, exp_a, sig_a, sign_b, exp_b, sig_b)
+    return _far_path(sign_a, exp_a, sig_a, sign_b, exp_b, sig_b)
+
+
+def fp_sub(a_bits, b_bits):
+    """Bit-accurate IEEE-754 binary64 subtraction."""
+    if fp64.is_nan(b_bits):
+        return QNAN
+    return fp_add(a_bits, b_bits ^ NEG_ZERO)

@@ -1,0 +1,69 @@
+"""Division as a sequence of six 3-cycle FPU operations.
+
+WRL 89/8: "Reciprocal approximation, coupled with use of the multiply
+unit, is used to implement division" and "Division is implemented as a
+series of six 3-cycle operations" (720 ns vs. the X-MP's 332.5 ns,
+Figure 10).
+
+The schedule refines the 16-bit reciprocal approximation with two
+Newton-Raphson iterations (16 -> 32 -> 64 correct bits, beyond the 53
+needed), then multiplies by the dividend:
+
+====  =============================  ==========
+step  operation                      unit
+====  =============================  ==========
+1     ``t0 = recip(b)``              reciprocal
+2     ``t1 = 2 - b * t0``            multiply (iteration step)
+3     ``t2 = t0 * t1``               multiply
+4     ``t3 = 2 - b * t2``            multiply (iteration step)
+5     ``t4 = t2 * t3``               multiply
+6     ``q  = a * t4``                multiply
+====  =============================  ==========
+
+The *iteration step* operation (unit 2, func 2 in Figure 4) computes
+``2 - a*b`` in one pass through the multiply unit.  The quotient agrees
+with the IEEE-correct quotient to within a few ulp (asserted by tests);
+it is not guaranteed correctly rounded, exactly as on the real machine.
+"""
+
+DIVIDE_STEPS = 6
+DIVIDE_LATENCY_CYCLES = 18  # six chained 3-cycle operations
+
+
+def iteration_step(a, b):
+    """The FPU "iteration step" operation: ``2 - a*b`` (float domain)."""
+    return 2.0 - a * b
+
+
+def divide_schedule(a, b, recip=None):
+    """Return the per-step values of the 6-operation division schedule.
+
+    ``recip`` may override the reciprocal-approximation function (the
+    default imports the table-driven unit).  Returns a list of the six
+    intermediate results; the last entry is the quotient.
+    """
+    if recip is None:
+        from repro.fparith.reciprocal import recip_approx
+
+        recip = recip_approx
+    t0 = recip(b)
+    t1 = iteration_step(b, t0)
+    t2 = t0 * t1
+    t3 = iteration_step(b, t2)
+    t4 = t2 * t3
+    q = a * t4
+    return [t0, t1, t2, t3, t4, q]
+
+
+def divide(a, b, recip=None):
+    """Divide via the 6-step reciprocal/Newton schedule.
+
+    Note the software-schedule semantics for specials: ``a/0`` and
+    ``a/inf`` pass infinities through the iteration step and yield NaN,
+    unlike a hardware IEEE divider.  Compilers on the real machine
+    special-cased these; workloads in this repository avoid them.
+    """
+    return divide_schedule(a, b, recip)[-1]
+
+
+__all__ = ["DIVIDE_LATENCY_CYCLES", "DIVIDE_STEPS", "divide", "divide_schedule", "iteration_step"]

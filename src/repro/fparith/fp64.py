@@ -1,0 +1,175 @@
+"""IEEE-754 binary64 bit-pattern helpers.
+
+All fparith routines operate on 64-bit integer bit patterns so that the
+rounding and special-case behaviour of the hardware units can be modelled
+exactly.  These helpers convert between Python floats and bit patterns and
+decompose patterns into fields.
+"""
+
+import math
+import struct
+
+SIGN_SHIFT = 63
+EXP_SHIFT = 52
+EXP_BITS = 11
+FRAC_BITS = 52
+EXP_MASK = (1 << EXP_BITS) - 1
+FRAC_MASK = (1 << FRAC_BITS) - 1
+BIAS = 1023
+IMPLICIT_BIT = 1 << FRAC_BITS
+
+POS_ZERO = 0
+NEG_ZERO = 1 << SIGN_SHIFT
+POS_INF = EXP_MASK << EXP_SHIFT
+NEG_INF = POS_INF | NEG_ZERO
+QNAN = POS_INF | (1 << (FRAC_BITS - 1))
+
+
+def float_to_bits(value):
+    """Return the 64-bit IEEE-754 pattern of a Python float."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits):
+    """Return the Python float with the given 64-bit IEEE-754 pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def unpack(bits):
+    """Split a pattern into ``(sign, biased_exponent, fraction)`` fields."""
+    sign = (bits >> SIGN_SHIFT) & 1
+    exponent = (bits >> EXP_SHIFT) & EXP_MASK
+    fraction = bits & FRAC_MASK
+    return sign, exponent, fraction
+
+
+def pack(sign, exponent, fraction):
+    """Assemble fields into a 64-bit pattern (fields must be in range)."""
+    return (sign << SIGN_SHIFT) | (exponent << EXP_SHIFT) | (fraction & FRAC_MASK)
+
+
+def is_nan(bits):
+    sign, exponent, fraction = unpack(bits)
+    return exponent == EXP_MASK and fraction != 0
+
+
+def is_inf(bits):
+    sign, exponent, fraction = unpack(bits)
+    return exponent == EXP_MASK and fraction == 0
+
+
+def is_zero(bits):
+    return bits & ~NEG_ZERO == 0
+
+
+def is_subnormal(bits):
+    sign, exponent, fraction = unpack(bits)
+    return exponent == 0 and fraction != 0
+
+
+def significand(bits):
+    """Return the significand with the implicit bit made explicit.
+
+    For normal numbers this is ``1.fraction`` scaled to an integer in
+    ``[2^52, 2^53)``; for subnormals it is the raw fraction.
+    """
+    sign, exponent, fraction = unpack(bits)
+    if exponent == 0:
+        return fraction
+    return fraction | IMPLICIT_BIT
+
+
+def effective_exponent(bits):
+    """Return the unbiased exponent treating subnormals as exponent 1."""
+    sign, exponent, fraction = unpack(bits)
+    if exponent == 0:
+        return 1 - BIAS
+    return exponent - BIAS
+
+
+def round_nearest_even(significand_with_extra, extra_bits):
+    """Round an extended significand to nearest, ties to even.
+
+    ``significand_with_extra`` carries ``extra_bits`` additional low-order
+    bits (guard/round/sticky).  Returns the rounded integer significand.
+    """
+    if extra_bits == 0:
+        return significand_with_extra
+    half = 1 << (extra_bits - 1)
+    low = significand_with_extra & ((1 << extra_bits) - 1)
+    result = significand_with_extra >> extra_bits
+    if low > half or (low == half and (result & 1)):
+        result += 1
+    return result
+
+
+def normalize_and_pack(sign, exponent, significand_value, extra_bits):
+    """Normalize, round, and pack a result; handles overflow/underflow.
+
+    ``significand_value`` has the binary point after bit
+    ``FRAC_BITS + extra_bits`` -- i.e. a normalized value lies in
+    ``[2^(52+extra), 2^(53+extra))``.  ``exponent`` is the unbiased
+    exponent of that normalized position.  Subnormal results are flushed
+    through the usual IEEE gradual-underflow path.
+    """
+    if significand_value == 0:
+        return pack(sign, 0, 0)
+
+    # Normalize so the leading bit sits at FRAC_BITS + extra_bits,
+    # preserving stickiness when shifting right.
+    top = significand_value.bit_length() - 1
+    target = FRAC_BITS + extra_bits
+    if top > target:
+        shift = top - target
+        sticky = 1 if significand_value & ((1 << shift) - 1) else 0
+        significand_value = (significand_value >> shift) | sticky
+        exponent += shift
+    elif top < target:
+        shift = target - top
+        significand_value <<= shift
+        exponent -= shift
+
+    biased = exponent + BIAS
+    if biased <= 0:
+        # Gradual underflow: shift right until biased exponent is 1.
+        shift = 1 - biased
+        if shift > FRAC_BITS + extra_bits + 1:
+            shift = FRAC_BITS + extra_bits + 1
+        sticky = 1 if significand_value & ((1 << shift) - 1) else 0
+        significand_value = (significand_value >> shift) | sticky
+        biased = 1
+        rounded = round_nearest_even(significand_value, extra_bits)
+        if rounded >= IMPLICIT_BIT:
+            # Rounded back up to the smallest normal number.
+            return pack(sign, 1, rounded & FRAC_MASK)
+        return pack(sign, 0, rounded)
+
+    rounded = round_nearest_even(significand_value, extra_bits)
+    if rounded >= (IMPLICIT_BIT << 1):
+        rounded >>= 1
+        biased += 1
+    if biased >= EXP_MASK:
+        return POS_INF | (sign << SIGN_SHIFT)
+    return pack(sign, biased, rounded & FRAC_MASK)
+
+
+def ulp_distance(a_bits, b_bits):
+    """Distance in units-in-the-last-place between two finite patterns.
+
+    Uses the standard monotonic integer mapping of IEEE floats, so the
+    distance is well defined across the zero boundary.
+    """
+
+    def to_ordered(bits):
+        if bits >> SIGN_SHIFT:
+            return -(bits & ~NEG_ZERO)
+        return bits
+
+    return abs(to_ordered(a_bits) - to_ordered(b_bits))
+
+
+def next_after_bits(bits, direction_up):
+    """Return the neighbouring representable pattern (toward +/- infinity)."""
+    value = bits_to_float(bits)
+    target = math.inf if direction_up else -math.inf
+    return float_to_bits(math.nextafter(value, target))

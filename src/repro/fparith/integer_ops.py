@@ -1,0 +1,50 @@
+"""Integer-flavoured FPU operations: float, truncate, integer multiply.
+
+Figure 4 of WRL 89/8 assigns ``float`` and ``truncate`` to the add unit
+(unit 1, funcs 2 and 3) and ``integer multiply`` to the multiply unit
+(unit 2, func 1).  Registers are untyped 64-bit words in the unified
+register file, so these operate on the same registers as FP arithmetic.
+"""
+
+from repro.fparith import fp64
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+_WORD_MASK = (1 << 64) - 1
+
+
+def float_from_int(value):
+    """The ``float`` operation: convert a signed 64-bit integer to double.
+
+    Values beyond 2^53 round to nearest even, as a hardware conversion
+    through the add unit's rounding path would.
+    """
+    if not INT64_MIN <= value <= INT64_MAX:
+        value = ((value - INT64_MIN) & _WORD_MASK) + INT64_MIN
+    return float(value)
+
+
+def truncate_to_int(value):
+    """The ``truncate`` operation: double -> signed integer, toward zero.
+
+    Out-of-range values (including infinities and NaN) saturate the way
+    a simple hardware conversion would clamp; NaN converts to zero.
+    """
+    if value != value:  # NaN
+        return 0
+    if value >= float(INT64_MAX):
+        return INT64_MAX
+    if value <= float(INT64_MIN):
+        return INT64_MIN
+    return int(value)
+
+
+def integer_multiply(a, b):
+    """The ``integer multiply`` operation: signed 64-bit wrapping product."""
+    product = (int(a) * int(b)) & _WORD_MASK
+    if product > INT64_MAX:
+        product -= 1 << 64
+    return product
+
+
+__all__ = ["INT64_MAX", "INT64_MIN", "float_from_int", "integer_multiply", "truncate_to_int"]

@@ -1,0 +1,223 @@
+"""Three-stage pipelined implementations of the add and multiply units.
+
+"Any functional unit can accept a new set of operands each cycle and
+produce a new result each cycle.  The latency of the functional units is
+three cycles for all operations."  This module decomposes the bit-level
+algorithms of :mod:`repro.fparith.add` and :mod:`repro.fparith.multiply`
+into three hardware-shaped stages with explicit inter-stage latches:
+
+========  ==========================  ===========================
+stage     adder                       multiplier
+========  ==========================  ===========================
+1         unpack, specials, path      unpack, specials, Booth
+          classification, alignment   recoding (partial products)
+2         significand add/subtract    chunky-tree reduction
+3         normalize and round         normalize and round
+========  ==========================  ===========================
+
+A :class:`ThreeStagePipeline` clocks one operand pair in and (three
+clocks later) one result out per cycle, with three operations in flight;
+results are bit-identical to the single-cycle reference functions (the
+property tests drive both and compare).
+"""
+
+from repro.fparith import fp64
+from repro.fparith.add import classify_path, fp_add
+from repro.fparith.fp64 import (
+    BIAS,
+    FRAC_BITS,
+    NEG_ZERO,
+    POS_INF,
+    POS_ZERO,
+    QNAN,
+    SIGN_SHIFT,
+)
+from repro.fparith.multiply import booth_partial_products, chunky_tree_sum
+
+_EXTRA = 3
+
+
+class ThreeStagePipeline:
+    """A generic 3-stage pipeline with per-cycle clocking.
+
+    ``clock(operands)`` advances every latch one stage and returns the
+    result leaving stage 3, or ``None`` while the pipe is filling (or a
+    bubble was injected with ``operands=None``).
+    """
+
+    LATENCY = 3
+
+    def __init__(self, stage1, stage2, stage3):
+        self._stage1 = stage1
+        self._stage2 = stage2
+        self._stage3 = stage3
+        self._latch1 = None   # after stage 1
+        self._latch2 = None   # after stage 2
+        self._result = None   # the result register driving the bus
+
+    def clock(self, operands=None):
+        result = self._result
+        self._result = (self._stage3(self._latch2)
+                        if self._latch2 is not None else None)
+        self._latch2 = (self._stage2(self._latch1)
+                        if self._latch1 is not None else None)
+        self._latch1 = (self._stage1(*operands)
+                        if operands is not None else None)
+        return result
+
+    @property
+    def in_flight(self):
+        return sum(1 for latch in (self._latch1, self._latch2, self._result)
+                   if latch is not None)
+
+    def drain(self):
+        """Clock bubbles until empty; collect remaining results."""
+        results = []
+        while self.in_flight:
+            result = self.clock(None)
+            if result is not None:
+                results.append(result)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# The adder's stages
+# ---------------------------------------------------------------------------
+
+def _decompose(bits):
+    sign, exponent, fraction = fp64.unpack(bits)
+    if exponent == 0:
+        return sign, 1 - BIAS, fraction
+    return sign, exponent - BIAS, fraction | fp64.IMPLICIT_BIT
+
+
+def adder_stage1(a_bits, b_bits):
+    """Unpack, detect specials, classify the path, align the operands."""
+    if fp64.is_nan(a_bits) or fp64.is_nan(b_bits):
+        return ("bypass", QNAN)
+    a_inf, b_inf = fp64.is_inf(a_bits), fp64.is_inf(b_bits)
+    if a_inf and b_inf:
+        if (a_bits >> SIGN_SHIFT) != (b_bits >> SIGN_SHIFT):
+            return ("bypass", QNAN)
+        return ("bypass", a_bits)
+    if a_inf:
+        return ("bypass", a_bits)
+    if b_inf:
+        return ("bypass", b_bits)
+    if fp64.is_zero(a_bits) and fp64.is_zero(b_bits):
+        return ("bypass", a_bits if a_bits == b_bits else POS_ZERO)
+    if fp64.is_zero(a_bits):
+        return ("bypass", b_bits)
+    if fp64.is_zero(b_bits):
+        return ("bypass", a_bits)
+
+    sign_a, exp_a, sig_a = _decompose(a_bits)
+    sign_b, exp_b, sig_b = _decompose(b_bits)
+    if classify_path(a_bits, b_bits) == "near":
+        # One-bit alignment on the larger exponent.
+        if exp_a >= exp_b:
+            big = (sign_a, exp_a, sig_a << 1)
+            small = sig_b << (1 - (exp_a - exp_b))
+        else:
+            big = (sign_b, exp_b, sig_b << 1)
+            small = sig_a << (1 - (exp_b - exp_a))
+        return ("near", big, small)
+
+    if (exp_a, sig_a) >= (exp_b, sig_b):
+        big_sign, big_exp, big_sig = sign_a, exp_a, sig_a
+        small_sign, small_exp, small_sig = sign_b, exp_b, sig_b
+    else:
+        big_sign, big_exp, big_sig = sign_b, exp_b, sig_b
+        small_sign, small_exp, small_sig = sign_a, exp_a, sig_a
+    shift = big_exp - small_exp
+    if big_sign == small_sign:
+        big_ext = big_sig << _EXTRA
+        small_ext = small_sig << _EXTRA
+        if shift >= FRAC_BITS + _EXTRA + 2:
+            aligned = 1 if small_sig else 0
+        else:
+            sticky = 1 if small_ext & ((1 << shift) - 1) else 0
+            aligned = (small_ext >> shift) | sticky
+        return ("far-add", (big_sign, big_exp), big_ext, aligned, _EXTRA)
+    if shift <= FRAC_BITS + _EXTRA:
+        return ("far-sub", (big_sign, big_exp), big_sig << shift, small_sig,
+                shift)
+    return ("far-sub", (big_sign, big_exp), big_sig << _EXTRA, 1, _EXTRA)
+
+
+def adder_stage2(latch):
+    """The significand adder (with the negative-result path)."""
+    kind = latch[0]
+    if kind == "bypass":
+        return latch
+    if kind == "near":
+        (sign, exponent, big_sig), small = latch[1], latch[2]
+        diff = big_sig - small
+        if diff == 0:
+            return ("bypass", POS_ZERO)
+        if diff < 0:
+            diff = -diff
+            sign ^= 1
+        return ("pack", sign, exponent, diff, 1)
+    _, (sign, exponent), big, other, extra = latch
+    if kind == "far-add":
+        return ("pack", sign, exponent, big + other, extra)
+    total = big - other
+    if total == 0:
+        return ("bypass", POS_ZERO)
+    return ("pack", sign, exponent, total, extra)
+
+
+def adder_stage3(latch):
+    """Normalization and round-to-nearest-even."""
+    if latch[0] == "bypass":
+        return latch[1]
+    _, sign, exponent, significand, extra = latch
+    return fp64.normalize_and_pack(sign, exponent, significand, extra)
+
+
+def make_pipelined_adder():
+    return ThreeStagePipeline(adder_stage1, adder_stage2, adder_stage3)
+
+
+# ---------------------------------------------------------------------------
+# The multiplier's stages
+# ---------------------------------------------------------------------------
+
+def multiplier_stage1(a_bits, b_bits):
+    """Unpack, detect specials, Booth-recode the partial products."""
+    sign = ((a_bits ^ b_bits) >> SIGN_SHIFT) & 1
+    if fp64.is_nan(a_bits) or fp64.is_nan(b_bits):
+        return ("bypass", QNAN)
+    a_inf, b_inf = fp64.is_inf(a_bits), fp64.is_inf(b_bits)
+    a_zero, b_zero = fp64.is_zero(a_bits), fp64.is_zero(b_bits)
+    if (a_inf and b_zero) or (b_inf and a_zero):
+        return ("bypass", QNAN)
+    if a_inf or b_inf:
+        return ("bypass", POS_INF | (sign << SIGN_SHIFT))
+    if a_zero or b_zero:
+        return ("bypass", POS_ZERO | (sign << SIGN_SHIFT))
+    sig_a = fp64.significand(a_bits)
+    sig_b = fp64.significand(b_bits)
+    exponent = fp64.effective_exponent(a_bits) + fp64.effective_exponent(b_bits)
+    return ("reduce", sign, exponent, booth_partial_products(sig_a, sig_b))
+
+
+def multiplier_stage2(latch):
+    """The chunky binary tree sums the partial products."""
+    if latch[0] == "bypass":
+        return latch
+    _, sign, exponent, products = latch
+    return ("pack", sign, exponent, chunky_tree_sum(products), FRAC_BITS)
+
+
+def multiplier_stage3(latch):
+    if latch[0] == "bypass":
+        return latch[1]
+    _, sign, exponent, product, extra = latch
+    return fp64.normalize_and_pack(sign, exponent, product, extra)
+
+
+def make_pipelined_multiplier():
+    return ThreeStagePipeline(multiplier_stage1, multiplier_stage2,
+                              multiplier_stage3)

@@ -1,0 +1,118 @@
+"""The reciprocal-approximation unit.
+
+WRL 89/8 section 2.2.3: "The reciprocal approximation unit uses linear
+interpolation to develop a 16-bit reciprocal approximation."  We build a
+128-entry table over the significand interval [1, 2); each entry holds the
+function value and slope of 1/x at the interval midpoint chord.  Linear
+interpolation with a 2^-7 interval width bounds the relative error by
+roughly 2^-16, which the accuracy tests assert.
+
+The approximation is a *full* double-precision pattern (so it flows
+through the unified register file like any scalar); only its accuracy is
+limited.  Division refines it with Newton iterations -- see
+:mod:`repro.fparith.division`.
+"""
+
+from repro.fparith import fp64
+from repro.fparith.fp64 import (
+    BIAS,
+    EXP_MASK,
+    FRAC_BITS,
+    NEG_ZERO,
+    POS_INF,
+    POS_ZERO,
+    QNAN,
+    SIGN_SHIFT,
+)
+
+INDEX_BITS = 7
+TABLE_SIZE = 1 << INDEX_BITS
+GUARANTEED_BITS = 16  # accuracy contract of the unit
+
+# Fixed-point precision of the stored table entries (value and slope).
+_ENTRY_FRAC = 30
+
+
+def _build_table():
+    """Table of (value, slope) fixed-point entries for 1/x on [1, 2).
+
+    Entry ``i`` covers significands in ``[1 + i/128, 1 + (i+1)/128)`` and
+    stores the chord through the interval endpoints, which halves the
+    worst-case interpolation error relative to a tangent.
+    """
+    entries = []
+    scale = 1 << _ENTRY_FRAC
+    for i in range(TABLE_SIZE):
+        x0 = 1.0 + i / TABLE_SIZE
+        x1 = 1.0 + (i + 1) / TABLE_SIZE
+        y0 = 1.0 / x0
+        y1 = 1.0 / x1
+        slope = y1 - y0  # change across the interval; scaled by the
+        #                  in-interval fraction at lookup time
+        # Lift the chord by half the maximum interpolation error so the
+        # error is centred around zero (standard hardware trick).
+        lift = (1.0 / ((x0 + x1) / 2) - (y0 + y1) / 2) / 2
+        entries.append((int(round((y0 + lift) * scale)), int(round(slope * scale))))
+    return entries
+
+
+_TABLE = _build_table()
+
+
+def recip_approx_bits(bits):
+    """16-bit-accurate reciprocal approximation of a binary64 pattern."""
+    sign = (bits >> SIGN_SHIFT) & 1
+    if fp64.is_nan(bits):
+        return QNAN
+    if fp64.is_inf(bits):
+        return POS_ZERO | (sign << SIGN_SHIFT)
+    if fp64.is_zero(bits):
+        return POS_INF | (sign << SIGN_SHIFT)
+    if fp64.is_subnormal(bits):
+        # 1/x overflows double range; the hardware signals overflow.
+        return POS_INF | (sign << SIGN_SHIFT)
+
+    _, exponent, fraction = fp64.unpack(bits)
+    unbiased = exponent - BIAS
+
+    index = fraction >> (FRAC_BITS - INDEX_BITS)
+    remainder = fraction & ((1 << (FRAC_BITS - INDEX_BITS)) - 1)
+    value, slope = _TABLE[index]
+    # remainder as a fixed-point fraction of the interval, _ENTRY_FRAC bits.
+    frac_in_interval = remainder >> (FRAC_BITS - INDEX_BITS - _ENTRY_FRAC) \
+        if FRAC_BITS - INDEX_BITS >= _ENTRY_FRAC else remainder << (
+            _ENTRY_FRAC - (FRAC_BITS - INDEX_BITS))
+    approx = value + ((slope * frac_in_interval) >> _ENTRY_FRAC)
+
+    # approx is 1/m, nominally in [0.5, 1] but the centring lift can push
+    # it a hair above 1.0 (m ~ 1) or below 0.5 (m ~ 2); _ENTRY_FRAC
+    # fractional bits.  Result = approx * 2^-unbiased.
+    result_exp = -unbiased
+    if approx >= (1 << _ENTRY_FRAC):          # approx in [1, 2): m was ~1.0
+        significand = approx << (FRAC_BITS - _ENTRY_FRAC)
+    elif approx >= (1 << (_ENTRY_FRAC - 1)):  # the normal [0.5, 1) band
+        significand = approx << (FRAC_BITS - _ENTRY_FRAC + 1)
+        result_exp -= 1
+    else:                                     # just below 0.5: m was ~2.0
+        significand = approx << (FRAC_BITS - _ENTRY_FRAC + 2)
+        result_exp -= 2
+    biased = result_exp + BIAS
+    if biased >= EXP_MASK:
+        return POS_INF | (sign << SIGN_SHIFT)
+    if biased <= 0:
+        return POS_ZERO | (sign << SIGN_SHIFT)  # underflow to signed zero
+    return fp64.pack(sign, biased, significand & fp64.FRAC_MASK)
+
+
+def recip_approx(value):
+    """Float-in, float-out convenience wrapper for the simulator."""
+    return fp64.bits_to_float(recip_approx_bits(fp64.float_to_bits(value)))
+
+
+__all__ = [
+    "GUARANTEED_BITS",
+    "INDEX_BITS",
+    "TABLE_SIZE",
+    "recip_approx",
+    "recip_approx_bits",
+]

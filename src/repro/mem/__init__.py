@@ -1,0 +1,13 @@
+"""Memory hierarchy substrate: flat memory, data cache, instruction buffer."""
+
+from repro.mem.cache import DirectMappedCache, data_cache, instruction_buffer
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+__all__ = [
+    "Arena",
+    "DirectMappedCache",
+    "Memory",
+    "WORD_BYTES",
+    "data_cache",
+    "instruction_buffer",
+]

@@ -1,0 +1,92 @@
+"""Direct-mapped cache timing models.
+
+The MultiTitan shares a 64 KByte direct-mapped data cache between the CPU
+and FPU; it has 16-byte lines and a 14-cycle miss penalty (WRL 89/8,
+section 2).  Data correctness is handled by :class:`repro.mem.memory.
+Memory` (the simulator has a single bus master), so the cache tracks tags
+and dirt only and answers "how many stall cycles does this access cost".
+"""
+
+from repro.core.exceptions import SimulationError
+
+
+class DirectMappedCache:
+    """Tag store of a direct-mapped, write-back, write-allocate cache."""
+
+    def __init__(self, size_bytes=64 * 1024, line_bytes=16, miss_penalty=14,
+                 name="data"):
+        if size_bytes % line_bytes:
+            raise SimulationError("cache size not a multiple of the line size")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.miss_penalty = miss_penalty
+        self.name = name
+        self.num_lines = size_bytes // line_bytes
+        self._tags = [None] * self.num_lines
+        self._dirty = [False] * self.num_lines
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, address, is_write=False):
+        """Access one word; return the stall penalty in cycles (0 on hit)."""
+        line_number = address // self.line_bytes
+        index = line_number % self.num_lines
+        tag = line_number // self.num_lines
+        if self._tags[index] == tag:
+            self.hits += 1
+            if is_write:
+                self._dirty[index] = True
+            return 0
+        self.misses += 1
+        if self._dirty[index]:
+            self.writebacks += 1
+        self._tags[index] = tag
+        self._dirty[index] = is_write
+        return self.miss_penalty
+
+    def contains(self, address):
+        line_number = address // self.line_bytes
+        index = line_number % self.num_lines
+        return self._tags[index] == line_number // self.num_lines
+
+    def warm_range(self, address, length_bytes):
+        """Preload a byte range, as a prior pass over the data would."""
+        first = address // self.line_bytes
+        last = (address + max(length_bytes, 1) - 1) // self.line_bytes
+        for line_number in range(first, last + 1):
+            index = line_number % self.num_lines
+            self._tags[index] = line_number // self.num_lines
+            self._dirty[index] = False
+
+    def flush(self):
+        """Empty the cache (a cold start)."""
+        self._tags = [None] * self.num_lines
+        self._dirty = [False] * self.num_lines
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if not self.accesses:
+            return 1.0
+        return self.hits / self.accesses
+
+
+def data_cache(miss_penalty=14):
+    """The MultiTitan data cache: 64 KB, direct-mapped, 16-byte lines."""
+    return DirectMappedCache(64 * 1024, 16, miss_penalty, name="data")
+
+
+def instruction_buffer(miss_penalty=14):
+    """The on-chip 2 KB instruction buffer, backed by the external
+    instruction cache.  Instructions are 4 bytes; a 16-byte line holds 4.
+    """
+    return DirectMappedCache(2 * 1024, 16, miss_penalty, name="instruction")

@@ -1,0 +1,79 @@
+"""Flat word-addressed main memory.
+
+The MultiTitan data paths are 64 bits wide; the simulator models memory
+as an array of 64-bit words holding Python numbers (floats for FP data,
+ints for integer data).  Addresses are in bytes and must be 8-byte
+aligned, matching the double-only FPU.
+"""
+
+from repro.core.exceptions import SimulationError
+
+WORD_BYTES = 8
+
+
+class Memory:
+    """A growable array of 64-bit words."""
+
+    def __init__(self, size_bytes=1 << 20):
+        self._words = [0.0] * (size_bytes // WORD_BYTES)
+
+    def _index(self, address):
+        if address % WORD_BYTES:
+            raise SimulationError("unaligned access at address %d" % address)
+        index = address // WORD_BYTES
+        if index < 0:
+            raise SimulationError("negative address %d" % address)
+        if index >= len(self._words):
+            self._words.extend([0.0] * (index + 1 - len(self._words)))
+        return index
+
+    def read(self, address):
+        return self._words[self._index(address)]
+
+    def write(self, address, value):
+        self._words[self._index(address)] = value
+
+    def read_block(self, address, count):
+        start = self._index(address)
+        self._index(address + (count - 1) * WORD_BYTES)
+        return self._words[start : start + count]
+
+    def write_block(self, address, values):
+        start = self._index(address)
+        self._index(address + (len(values) - 1) * WORD_BYTES)
+        self._words[start : start + len(values)] = list(values)
+
+    @property
+    def size_bytes(self):
+        return len(self._words) * WORD_BYTES
+
+    # The raw word list, used by the cycle simulator's hot loop.
+    @property
+    def words(self):
+        return self._words
+
+
+class Arena:
+    """A bump allocator for laying out workload arrays in memory."""
+
+    def __init__(self, memory, base=0):
+        self.memory = memory
+        self._next = base
+
+    def alloc(self, count_words, initial=None):
+        """Reserve ``count_words`` 8-byte words; return the base address."""
+        address = self._next
+        self._next += count_words * WORD_BYTES
+        if initial is not None:
+            if len(initial) != count_words:
+                raise SimulationError("initializer length mismatch")
+            self.memory.write_block(address, initial)
+        return address
+
+    def alloc_array(self, values):
+        """Reserve and initialize an array; return the base address."""
+        return self.alloc(len(values), initial=list(values))
+
+    @property
+    def bytes_used(self):
+        return self._next

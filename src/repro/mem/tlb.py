@@ -1,0 +1,67 @@
+"""The 512-entry TLB of Figure 1.
+
+The MultiTitan's cache controller chip holds a 512-entry TLB.  Section
+2.1.2 uses virtual memory to argue *against* vector load/store
+instructions: "the vector load can cross a page boundary, and the machine
+must save enough state to properly restart it."  Because the MultiTitan
+loads vector elements with ordinary scalar loads, each access translates
+independently -- a page-crossing "vector" needs no special restart state,
+which the tests demonstrate.
+
+The model is a direct-mapped tag store over virtual page numbers with an
+identity mapping (the simulator is single-address-space); it contributes
+miss penalties and statistics.  It is off by default in
+:class:`~repro.cpu.machine.MachineConfig` so the paper-calibrated cycle
+counts are unaffected; enable with ``model_tlb=True``.
+"""
+
+PAGE_BYTES = 4096
+TLB_ENTRIES = 512
+DEFAULT_MISS_PENALTY = 24
+
+
+class Tlb:
+    """Direct-mapped translation lookaside buffer (timing + stats)."""
+
+    def __init__(self, entries=TLB_ENTRIES, page_bytes=PAGE_BYTES,
+                 miss_penalty=DEFAULT_MISS_PENALTY):
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.miss_penalty = miss_penalty
+        self._tags = [None] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, address):
+        """Translate one access; return the stall penalty in cycles."""
+        page = address // self.page_bytes
+        index = page % self.entries
+        tag = page // self.entries
+        if self._tags[index] == tag:
+            self.hits += 1
+            return 0
+        self.misses += 1
+        self._tags[index] = tag
+        return self.miss_penalty
+
+    def contains(self, address):
+        page = address // self.page_bytes
+        return self._tags[page % self.entries] == page // self.entries
+
+    def warm_range(self, address, length_bytes):
+        first = address // self.page_bytes
+        last = (address + max(length_bytes, 1) - 1) // self.page_bytes
+        for page in range(first, last + 1):
+            self._tags[page % self.entries] = page // self.entries
+
+    def flush(self):
+        self._tags = [None] * self.entries
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def reach_bytes(self):
+        """Memory covered by a fully warm TLB (512 x 4 KB = 2 MB)."""
+        return self.entries * self.page_bytes

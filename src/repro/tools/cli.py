@@ -1,0 +1,205 @@
+"""Command-line interface: run assembly, trace pipelines, run workloads.
+
+::
+
+    python -m repro run program.s [--trace] [--cold] [--freg N=VAL ...]
+    python -m repro trace program.s
+    python -m repro livermore [loops...] [--coding vector|scalar]
+    python -m repro linpack [--n N]
+    python -m repro figures
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import render_table
+from repro.analysis.timeline import render_timeline
+from repro.cpu.assembler import assemble
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.mem.memory import Memory
+
+
+def _parse_reg_assignments(items):
+    assignments = []
+    for item in items or []:
+        name, _, value = item.partition("=")
+        assignments.append((int(name), float(value)))
+    return assignments
+
+
+def _run_assembly(path, trace, cold, fregs, iregs):
+    with open(path) as handle:
+        program = assemble(handle.read())
+    config = MachineConfig(model_ibuffer=cold, trace=trace)
+    machine = MultiTitan(program, memory=Memory(), config=config)
+    for index, value in _parse_reg_assignments(fregs):
+        machine.fpu.regs.write(index, value)
+    for index, value in _parse_reg_assignments(iregs):
+        machine.iregs[index] = int(value)
+    result = machine.run()
+    return machine, result
+
+
+def cmd_run(args):
+    machine, result = _run_assembly(args.program, args.trace, args.cold,
+                                    args.freg, args.ireg)
+    print("halted after %d cycles (%.2f us at 40 ns)"
+          % (result.completion_cycle, result.completion_cycle * 0.04))
+    stats = machine.stats
+    print("instructions=%d  fpu elements=%d  loads=%d  stores=%d"
+          % (stats.instructions, machine.fpu.stats.elements_issued,
+             stats.fpu_loads, stats.fpu_stores))
+    nonzero = [(reg, value) for reg, value in
+               enumerate(machine.fpu.regs.values) if value]
+    if nonzero:
+        print("non-zero FPU registers:")
+        for reg, value in nonzero:
+            print("  F%-2d = %r" % (reg, value))
+    if args.trace:
+        print()
+        print(render_timeline(machine.trace))
+    return 0
+
+
+def cmd_trace(args):
+    args.trace = True
+    args.cold = False
+    return cmd_run(args)
+
+
+def cmd_livermore(args):
+    from repro.baselines.reference_data import FIGURE14_MFLOPS
+    from repro.workloads.livermore import ALL_LOOPS, measure_loop
+
+    loops = args.loops or list(ALL_LOOPS)
+    rows = []
+    failures = 0
+    for loop in loops:
+        measurement = measure_loop(loop, coding=args.coding)
+        if not measurement.passed:
+            failures += 1
+        paper = FIGURE14_MFLOPS[loop]
+        rows.append([loop, measurement.cold_mflops, paper[0],
+                     measurement.warm_mflops, paper[1],
+                     "ok" if measurement.passed else "FAIL"])
+    print(render_table(["loop", "cold", "paper", "warm", "paper", "check"],
+                       rows, title="Livermore Loops (%s coding, MFLOPS)"
+                       % args.coding))
+    return 1 if failures else 0
+
+
+def cmd_linpack(args):
+    from repro.workloads.linpack import measure_linpack
+
+    measurement = measure_linpack(args.n)
+    print("Linpack n=%d: scalar %.2f MFLOPS, vector %.2f MFLOPS "
+          "(speedup %.2fx; paper: 4.1 / 6.1 at n=100)"
+          % (args.n, measurement.scalar_mflops, measurement.vector_mflops,
+             measurement.speedup))
+    if measurement.check_error:
+        print("CHECK FAILED:", measurement.check_error)
+        return 1
+    return 0
+
+
+def cmd_kernel(args):
+    from repro.vectorize.mahler import parse_kernel
+    from repro.workloads.common import Lcg
+
+    with open(args.kernel) as handle:
+        kernel = parse_kernel(handle.read())
+    params = {}
+    for item in args.param or []:
+        name, _, value = item.partition("=")
+        params[name] = float(value)
+    rng = Lcg(args.seed)
+    spans = kernel.footprints()
+    data = {}
+    for name in kernel._inputs:
+        _, high = spans.get(name, (0, 0))
+        data[name] = rng.floats(args.n + high, 0.1, 1.5)
+    compiled = kernel.compile(n=args.n, data=data, params=params, vl=args.vl)
+    outcome = compiled.run()
+    print("compiled at VL=%d, ran %d cycles (%.2f us at 40 ns)"
+          % (compiled.vl, outcome.cycles, outcome.cycles * 0.04))
+    print("self-check:", "ok" if outcome.passed else outcome.check_error)
+    for name, values in outcome.outputs.items():
+        shown = ", ".join("%.6g" % v for v in values[:6])
+        suffix = ", ..." if len(values) > 6 else ""
+        print("  %s = [%s%s]" % (name, shown, suffix))
+    for name, value in outcome.sums.items():
+        print("  %s = %.12g" % (name, value))
+    return 0 if outcome.passed else 1
+
+
+def cmd_figures(args):
+    from repro.workloads import fib, graphics, reductions
+
+    print("Figure 5-7 (sum of 8):")
+    for name, outcome in reductions.run_all().items():
+        print("  %-14s %2d cycles, %d instruction(s)"
+              % (name, outcome.cycles, outcome.instructions_transferred))
+    print("Figure 8 (Fibonacci VL-8): %d cycles" % fib.run_fibonacci().cycles)
+    outcome = graphics.run_transform()
+    print("Figure 13 (graphics transform): %d cycles, %.1f MFLOPS"
+          % (outcome.cycles, outcome.mflops))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MultiTitan unified vector/scalar FPU simulator "
+                    "(WRL 89/8 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="assemble and run a program")
+    run_parser.add_argument("program", help="assembly source file")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="render the pipeline timeline")
+    run_parser.add_argument("--cold", action="store_true",
+                            help="model instruction-buffer misses")
+    run_parser.add_argument("--freg", action="append", metavar="N=VAL",
+                            help="preload an FPU register")
+    run_parser.add_argument("--ireg", action="append", metavar="N=VAL",
+                            help="preload a CPU register")
+    run_parser.set_defaults(handler=cmd_run)
+
+    trace_parser = sub.add_parser("trace", help="run with a timeline")
+    trace_parser.add_argument("program")
+    trace_parser.add_argument("--freg", action="append", metavar="N=VAL")
+    trace_parser.add_argument("--ireg", action="append", metavar="N=VAL")
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    ll_parser = sub.add_parser("livermore", help="run Livermore loops")
+    ll_parser.add_argument("loops", nargs="*", type=int)
+    ll_parser.add_argument("--coding", choices=["vector", "scalar"],
+                           default="vector")
+    ll_parser.set_defaults(handler=cmd_livermore)
+
+    lp_parser = sub.add_parser("linpack", help="run Linpack")
+    lp_parser.add_argument("--n", type=int, default=32)
+    lp_parser.set_defaults(handler=cmd_linpack)
+
+    kernel_parser = sub.add_parser(
+        "kernel", help="compile and run a kernel-language file")
+    kernel_parser.add_argument("kernel", help="kernel source (.mk)")
+    kernel_parser.add_argument("--n", type=int, default=64)
+    kernel_parser.add_argument("--vl", type=int, default=8)
+    kernel_parser.add_argument("--seed", type=int, default=1989)
+    kernel_parser.add_argument("--param", action="append", metavar="NAME=VAL")
+    kernel_parser.set_defaults(handler=cmd_kernel)
+
+    fig_parser = sub.add_parser("figures", help="check the timing figures")
+    fig_parser.set_defaults(handler=cmd_figures)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The Mahler-like vectorizing layer (WRL 89/8 section 3).
+
+Vector variables map to register groups in the unified register file;
+elementwise operations become single FPU ALU instructions with the
+appropriate vector-length and stride fields; memory vectors unroll into
+scalar loads/stores with the stride folded into the offsets; loops are
+strip-mined into full strips plus a known-size remainder.
+"""
+
+from repro.vectorize.allocator import AllocationError, FpuRegisterPool, IntRegisterPool
+from repro.vectorize.builder import ArrayRef, VScalar, VVec, VectorKernelBuilder
+from repro.vectorize.ir import CompiledKernel, Kernel, KernelOutcome
+from repro.vectorize.scheduler import schedule_loads, schedule_report
+
+__all__ = [
+    "schedule_loads",
+    "schedule_report",
+    "AllocationError",
+    "ArrayRef",
+    "CompiledKernel",
+    "FpuRegisterPool",
+    "IntRegisterPool",
+    "Kernel",
+    "KernelOutcome",
+    "VScalar",
+    "VVec",
+    "VectorKernelBuilder",
+]

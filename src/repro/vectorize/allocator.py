@@ -1,0 +1,77 @@
+"""Register allocation for vector variables and temporaries.
+
+WRL 89/8 section 3: "Each vector mapped directly to a group of registers.
+Registers were allocated on a per-procedure basis ... If the total amount
+of space needed for the declared vectors and temporaries was too large, a
+compile error was raised.  In most cases this meant that our vector
+operations had lengths of 4 or 8."
+
+:class:`FpuRegisterPool` hands out scalar registers and contiguous vector
+groups from the 52-register file and raises :class:`AllocationError` when
+the file is exhausted, mirroring that compile error.  A mark/release stack
+lets code generators free statement temporaries in bulk.
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import ReproError
+from repro.cpu.isa import NUM_INT_REGISTERS
+
+
+class AllocationError(ReproError):
+    """The vectors and temporaries did not fit in the register file."""
+
+
+class FpuRegisterPool:
+    """Bump allocator over the 52 FPU registers with mark/release."""
+
+    def __init__(self, first=0, limit=NUM_REGISTERS):
+        self.first = first
+        self.limit = limit
+        self._next = first
+        self._marks = []
+        self.high_water = first
+
+    def alloc(self, count=1):
+        """Allocate ``count`` contiguous registers; return the first index."""
+        if count < 1:
+            raise AllocationError("cannot allocate %d registers" % count)
+        base = self._next
+        if base + count > self.limit:
+            raise AllocationError(
+                "out of FPU registers: need %d at R%d but the file ends at "
+                "R%d (the paper raised a compile error here too)"
+                % (count, base, self.limit - 1)
+            )
+        self._next = base + count
+        if self._next > self.high_water:
+            self.high_water = self._next
+        return base
+
+    def mark(self):
+        """Push the current allocation point; pair with :meth:`release`."""
+        self._marks.append(self._next)
+
+    def release(self):
+        """Pop back to the matching :meth:`mark`, freeing temporaries."""
+        if not self._marks:
+            raise AllocationError("release without a matching mark")
+        self._next = self._marks.pop()
+
+    @property
+    def available(self):
+        return self.limit - self._next
+
+
+class IntRegisterPool:
+    """Bump allocator over the CPU integer registers (r0 reads as zero)."""
+
+    def __init__(self, first=1, limit=NUM_INT_REGISTERS):
+        self._next = first
+        self.limit = limit
+
+    def alloc(self):
+        if self._next >= self.limit:
+            raise AllocationError("out of CPU integer registers")
+        register = self._next
+        self._next += 1
+        return register

@@ -1,0 +1,432 @@
+"""A Mahler-like vector code generator.
+
+WRL 89/8 section 3 extended the Mahler intermediate language with vector
+variables of fixed compile-time length, elementwise operations between
+vectors (or a vector and a scalar), a vector-sum operator implemented by
+repeated halving, and loads/stores of memory vectors with a compile-time
+stride.  Scalar operations are simply vector operations of length one.
+
+:class:`VectorKernelBuilder` reproduces that layer on top of the program
+builder: it allocates register groups for vectors, generates one FPU ALU
+instruction per elementwise operation (with the SRa/SRb stride bits
+computed from operand shapes), unrolls memory vectors into scalar loads
+with the stride folded into the offsets (Figure 9), and strip-mines loops
+into full strips plus a shorter known-size remainder strip.
+"""
+
+from repro.core.exceptions import SimulationError
+from repro.core.types import Op
+from repro.mem.memory import WORD_BYTES
+from repro.vectorize.allocator import AllocationError, FpuRegisterPool, IntRegisterPool
+
+
+class VScalar:
+    """A scalar value living in one FPU register."""
+
+    __slots__ = ("reg",)
+
+    def __init__(self, reg):
+        self.reg = reg
+
+    length = 1
+
+    def __repr__(self):
+        return "VScalar(F%d)" % self.reg
+
+
+class VVec:
+    """A vector value living in ``length`` successive FPU registers."""
+
+    __slots__ = ("first", "length")
+
+    def __init__(self, first, length):
+        self.first = first
+        self.length = length
+
+    def elem(self, index):
+        """Address one element as a scalar -- the unified register file
+        makes this free, unlike classical vector machines."""
+        if not 0 <= index < self.length:
+            raise SimulationError("element %d outside vector of %d" % (index, self.length))
+        return VScalar(self.first + index)
+
+    def __repr__(self):
+        return "VVec(F%d..F%d)" % (self.first, self.first + self.length - 1)
+
+
+class ArrayRef:
+    """A memory array with a moving base register inside strip loops.
+
+    ``step`` is the array's element stride per loop index increment; the
+    moving base advances ``step * vl`` words per strip.
+    """
+
+    def __init__(self, builder, base_reg, step=1, name=None):
+        self.builder = builder
+        self.reg = base_reg
+        self.step = step
+        self.name = name or "a%d" % base_reg
+
+
+class VectorKernelBuilder:
+    """Mahler-style vector code generation over a :class:`ProgramBuilder`."""
+
+    def __init__(self, pb, vl=8, fpu_pool=None, int_pool=None):
+        self.pb = pb
+        self.vl = vl
+        self.fpu = fpu_pool or FpuRegisterPool()
+        self.ints = int_pool or IntRegisterPool()
+        self._arrays = []
+        self._touched = None  # arrays accessed inside the current strip body
+        self._zero_reg = None
+        self._loop_regs = []  # reusable loop-counter register pairs
+        self._offset_elems = 0  # extra index offset while unrolling
+        # Claim the zero register eagerly so it can never be handed out as
+        # a statement temporary after a mark/release cycle.
+        self.zero()
+
+    # -- memory layout -----------------------------------------------------
+
+    def array(self, base_address, step=1, name=None):
+        """Declare an array at a fixed byte address; loads its base."""
+        reg = self.ints.alloc()
+        self.pb.li(reg, base_address)
+        ref = ArrayRef(self, reg, step=step, name=name)
+        self._arrays.append(ref)
+        return ref
+
+    def array_at_reg(self, base_reg, step=1, name=None):
+        """Declare an array whose base register the caller manages."""
+        ref = ArrayRef(self, base_reg, step=step, name=name)
+        self._arrays.append(ref)
+        return ref
+
+    def rebase(self, array, base_address):
+        """Repoint an array handle at a new byte address (reloads its base
+        register; used when an outer Python-level loop walks rows/levels)."""
+        self.pb.li(array.reg, base_address)
+        return array
+
+    def int_temp(self):
+        """Allocate a CPU integer register for kernel bookkeeping."""
+        return self.ints.alloc()
+
+    # -- scalars -------------------------------------------------------------
+
+    def scalar_load(self, array, index=0):
+        """Load one element into a fresh scalar register (outside loops)."""
+        reg = self.fpu.alloc(1)
+        self.pb.fload(reg, array.reg, index * WORD_BYTES)
+        return VScalar(reg)
+
+    def scalar_temp(self):
+        return VScalar(self.fpu.alloc(1))
+
+    def zero(self):
+        """A register guaranteed to hold +0.0 (never written)."""
+        if self._zero_reg is None:
+            self._zero_reg = self.fpu.alloc(1)
+        return VScalar(self._zero_reg)
+
+    def move(self, source):
+        """Copy a scalar into a fresh register (``x + 0``)."""
+        destination = VScalar(self.fpu.alloc(1))
+        self.move_into(destination, source)
+        return destination
+
+    def move_into(self, destination, source):
+        self.pb.fadd(destination.reg, source.reg, self.zero().reg)
+        return destination
+
+    def splat(self, scalar, length, into=None):
+        """Broadcast a scalar into a vector group with one VL instruction
+        ("vector := scalar op scalar" -- both stride bits clear)."""
+        first = into.first if into is not None else self.fpu.alloc(length)
+        self.pb.fadd(first, scalar.reg, self.zero().reg, vl=length,
+                     sra=False, srb=False)
+        return VVec(first, length)
+
+    # -- vector loads and stores ----------------------------------------------
+
+    def _note_touch(self, array):
+        if self._touched is not None:
+            self._touched.add(array)
+
+    def vload(self, array, offset=0, vl=None, stride=None):
+        """Load ``vl`` elements of ``array`` starting at the current loop
+        position plus ``offset`` (elements) into a fresh register group.
+
+        The (compile-time) stride is folded into the load offsets, as in
+        Figure 9 of the paper.
+        """
+        vl = vl if vl is not None else self.vl
+        stride = stride if stride is not None else array.step
+        self._note_touch(array)
+        offset += self._offset_elems * array.step
+        first = self.fpu.alloc(vl)
+        for i in range(vl):
+            self.pb.fload(first + i, array.reg, (offset + i * stride) * WORD_BYTES)
+        return VVec(first, vl) if vl > 1 else VScalar(first)
+
+    def vstore(self, array, value, offset=0, stride=None):
+        """Store a vector (or a broadcast scalar) back to memory."""
+        stride = stride if stride is not None else array.step
+        self._note_touch(array)
+        offset += self._offset_elems * array.step
+        if isinstance(value, VScalar):
+            self.pb.fstore(value.reg, array.reg, offset * WORD_BYTES)
+            return
+        for i in range(value.length):
+            self.pb.fstore(value.first + i, array.reg,
+                           (offset + i * stride) * WORD_BYTES)
+
+    def load_elem(self, array, offset=0):
+        """Scalar load at the current loop position plus ``offset``."""
+        self._note_touch(array)
+        offset += self._offset_elems * array.step
+        reg = self.fpu.alloc(1)
+        self.pb.fload(reg, array.reg, offset * WORD_BYTES)
+        return VScalar(reg)
+
+    def store_elem(self, array, value, offset=0):
+        self._note_touch(array)
+        offset += self._offset_elems * array.step
+        self.pb.fstore(value.reg, array.reg, offset * WORD_BYTES)
+
+    # -- elementwise operations -------------------------------------------------
+
+    def _binary(self, op, a, b, into=None):
+        """Emit one elementwise operation.
+
+        ``into`` reuses an existing value's registers for the result
+        (in-place update) instead of allocating a fresh group -- the key
+        tool for staying inside the 52-register file, and legal because an
+        element's sources are read at its own issue.
+        """
+        a_vec = isinstance(a, VVec)
+        b_vec = isinstance(b, VVec)
+        if a_vec and b_vec and a.length != b.length:
+            raise SimulationError(
+                "vector length mismatch: %d vs %d" % (a.length, b.length))
+        if a_vec or b_vec:
+            length = a.length if a_vec else b.length
+            if into is not None:
+                if into.length != length:
+                    raise SimulationError("into-length mismatch")
+                first = into.first
+            else:
+                first = self.fpu.alloc(length)
+            self.pb.falu(op, first, a.first if a_vec else a.reg,
+                         b.first if b_vec else b.reg, vl=length,
+                         sra=a_vec, srb=b_vec)
+            return VVec(first, length)
+        if into is not None:
+            reg = into.reg
+        else:
+            reg = self.fpu.alloc(1)
+        self.pb.falu(op, reg, a.reg, b.reg, vl=1)
+        return VScalar(reg)
+
+    def add(self, a, b, into=None):
+        return self._binary(Op.ADD, a, b, into)
+
+    def sub(self, a, b, into=None):
+        return self._binary(Op.SUB, a, b, into)
+
+    def mul(self, a, b, into=None):
+        return self._binary(Op.MUL, a, b, into)
+
+    def iter_step(self, a, b, into=None):
+        return self._binary(Op.ITER, a, b, into)
+
+    def recip(self, a, into=None):
+        """The 16-bit reciprocal approximation (element count follows a)."""
+        if isinstance(a, VVec):
+            first = into.first if into is not None else self.fpu.alloc(a.length)
+            self.pb.frecip(first, a.first, vl=a.length, sra=True)
+            return VVec(first, a.length)
+        reg = into.reg if into is not None else self.fpu.alloc(1)
+        self.pb.frecip(reg, a.reg)
+        return VScalar(reg)
+
+    def div(self, a, b, into=None):
+        """Full-precision division: the six-operation Newton schedule."""
+        r = self.recip(b)
+        c = self.iter_step(b, r)
+        r = self.mul(r, c, into=r)
+        c = self.iter_step(b, r, into=c)
+        r = self.mul(r, c, into=r)
+        return self.mul(a, r, into=into)
+
+    # -- reductions and recurrences ----------------------------------------------
+
+    def vsum(self, vec):
+        """Sum a vector by repeated halving (the Mahler sum operator).
+
+        Performs a vector add of the two halves in place, halving the live
+        length, "until left with one or two scalar additions".
+        """
+        if isinstance(vec, VScalar):
+            return vec
+        first, length = vec.first, vec.length
+        extras = []
+        while length > 1:
+            half = length // 2
+            if length & 1:
+                extras.append(first + length - 1)
+            self.pb.fadd(first, first, first + half, vl=half)
+            length = half
+        for extra in extras:
+            self.pb.fadd(first, first, extra, vl=1)
+        return VScalar(first)
+
+    def recurrence_add(self, seed, vec):
+        """First-order additive recurrence as one linear vector (Figure 6):
+        ``s[i] = s[i-1] + vec[i]`` with ``s[-1] = seed``.
+
+        Returns the vector of prefix sums; its last element is the total.
+        Each element depends on the previous one, so the vector issues at
+        one element per ``latency`` cycles -- legal here, impossible on a
+        classical vector machine.
+        """
+        group = self.fpu.alloc(vec.length + 1)
+        self.move_into(VScalar(group), seed)
+        self.pb.fadd(group + 1, group, vec.first, vl=vec.length)
+        return VVec(group + 1, vec.length)
+
+    # -- strip-mined loops ----------------------------------------------------------
+
+    def strip_loop(self, n, body):
+        """Strip-mine a loop of ``n`` index values into full strips of
+        ``self.vl`` plus one shorter remainder strip of known size.
+
+        ``body(vl)`` emits one strip's code using the builder; it is
+        invoked once for the full-strip body and once for the remainder.
+        Arrays touched inside advance by ``step * vl`` words per strip.
+        Statement temporaries are released after each strip.
+        """
+        if n < 0:
+            raise SimulationError("negative loop count")
+        full, remainder = divmod(n, self.vl)
+        pb = self.pb
+
+        def emit_strip(vl, advance):
+            self.fpu.mark()
+            self._touched = set()
+            body(vl)
+            touched = self._touched
+            self._touched = None
+            if advance:
+                for array in touched:
+                    pb.addi(array.reg, array.reg, array.step * vl * WORD_BYTES)
+            self.fpu.release()
+            return touched
+
+        if full == 1:
+            emit_strip(self.vl, advance=True)
+        elif full > 1:
+            if self._loop_regs:
+                counter, count = self._loop_regs.pop()
+            else:
+                counter, count = self.ints.alloc(), self.ints.alloc()
+            pb.li(counter, 0)
+            pb.li(count, full)
+            top = pb.here()
+            emit_strip(self.vl, advance=True)
+            pb.addi(counter, counter, 1)
+            pb.blt(counter, count, top)
+            self._loop_regs.append((counter, count))
+        if remainder:
+            emit_strip(remainder, advance=True)
+
+    def strip_loop_runtime(self, count_reg, body):
+        """Strip-mine a loop whose element count is a *runtime* value in
+        ``count_reg`` (the paper's "vector computation of possibly
+        indeterminate length"): a machine loop runs VL-size strips while
+        at least ``self.vl`` elements remain, then a scalar loop handles
+        the remainder.  ``body(vl)`` is emitted twice -- once at
+        ``self.vl`` and once at 1.  ``count_reg`` is preserved.
+        """
+        pb = self.pb
+        remaining = self.ints.alloc()
+        vl_reg = self.ints.alloc()
+        pb.add(remaining, count_reg, 0)
+        pb.li(vl_reg, self.vl)
+
+        def emit_strip(vl):
+            self.fpu.mark()
+            self._touched = set()
+            body(vl)
+            touched = self._touched
+            self._touched = None
+            for array in touched:
+                pb.addi(array.reg, array.reg, array.step * vl * WORD_BYTES)
+            self.fpu.release()
+
+        cleanup = pb.label()
+        done = pb.label()
+        if self.vl > 1:
+            vec_top = pb.here()
+            pb.blt(remaining, vl_reg, cleanup)
+            emit_strip(self.vl)
+            pb.addi(remaining, remaining, -self.vl)
+            pb.j(vec_top)
+        pb.place(cleanup)
+        scalar_top = pb.here()
+        pb.ble(remaining, 0, done)
+        emit_strip(1)
+        pb.addi(remaining, remaining, -1)
+        pb.j(scalar_top)
+        pb.place(done)
+
+    def element_loop(self, n, body, unroll=1):
+        """A plain scalar loop over ``n`` elements (``vl`` of one).
+
+        ``body()`` emits one element's code; arrays touched inside advance
+        by one ``step`` per iteration.  ``unroll`` replicates the body
+        that many times per machine-loop iteration (with offsets shifted
+        through the builder), amortizing induction-variable updates and
+        the loop branch -- the optimization the paper's Mahler codings
+        applied to recurrence-bound kernels.
+        """
+        saved_vl = self.vl
+        self.vl = 1
+        try:
+            if unroll <= 1:
+                self.strip_loop(n, lambda vl: body())
+                return
+            pb = self.pb
+            full, remainder = divmod(n, unroll)
+
+            def emit_block(copies):
+                self._touched = set()
+                for index in range(copies):
+                    self.fpu.mark()
+                    self._offset_elems = index
+                    body()
+                    self.fpu.release()
+                self._offset_elems = 0
+                touched = self._touched
+                self._touched = None
+                for array in touched:
+                    pb.addi(array.reg, array.reg,
+                            array.step * copies * WORD_BYTES)
+
+            if full == 1:
+                emit_block(unroll)
+            elif full > 1:
+                if self._loop_regs:
+                    counter, count = self._loop_regs.pop()
+                else:
+                    counter, count = self.ints.alloc(), self.ints.alloc()
+                pb.li(counter, 0)
+                pb.li(count, full)
+                top = pb.here()
+                emit_block(unroll)
+                pb.addi(counter, counter, 1)
+                pb.blt(counter, count, top)
+                self._loop_regs.append((counter, count))
+            if remainder:
+                emit_block(remainder)
+        finally:
+            self.vl = saved_vl

@@ -1,0 +1,204 @@
+"""A tiny textual kernel language over the expression IR.
+
+The paper's benchmarks were written "in an extended version of Modula-2
+that provided vector primitives" and hand-lowered through Mahler.  This
+module provides the analogous front end for this repository: a small
+declarative language that parses straight into
+:class:`repro.vectorize.ir.Kernel`:
+
+::
+
+    -- Livermore loop 1
+    input  y, z;
+    output x;
+    param  q, r, t;
+    x[0] = q + y[0] * (r * z[10] + t * z[11]);
+
+    -- a reduction
+    input  a, b;
+    sum dot = a[0] * b[0];
+
+Statements end with ``;``; ``--`` starts a comment.  Array references are
+``name[offset]`` with a compile-time integer offset from the loop index;
+bare names are parameters (or float literals).  ``sum name = expr;``
+accumulates a reduction.  Operators: ``+ - * /`` with the usual
+precedence and parentheses; ``/`` lowers to the six-operation divide.
+"""
+
+import re
+
+from repro.core.exceptions import AssemblerError
+from repro.vectorize.ir import Kernel
+
+_TOKEN = re.compile(r"""
+    (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<symbol>[-+*/()\[\];,=])
+  | (?P<space>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(source):
+    tokens = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN.match(source, position)
+        if not match:
+            raise AssemblerError("mahler: bad character %r at %d"
+                                 % (source[position], position))
+        position = match.end()
+        if match.lastgroup in ("space", "comment"):
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over the statement grammar."""
+
+    def __init__(self, source):
+        self.tokens = _tokenize(source)
+        self.position = 0
+        self.kernel = Kernel()
+        self.handles = {}
+        self.params = {}
+        self.outputs = set()
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token_kind, token_value = self.advance()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise AssemblerError(
+                "mahler: expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", token_value))
+        return token_value
+
+    def accept(self, kind, value=None):
+        token_kind, token_value = self.peek()
+        if token_kind == kind and (value is None or token_value == value):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self):
+        while self.peek()[0] != "eof":
+            self.statement()
+        return self.kernel
+
+    def statement(self):
+        kind, value = self.peek()
+        if kind != "name":
+            raise AssemblerError("mahler: expected a statement, got %r" % value)
+        if value in ("input", "output", "param"):
+            self.advance()
+            self.declaration(value)
+            return
+        if value == "sum":
+            self.advance()
+            name = self.expect("name")
+            self.expect("symbol", "=")
+            expr = self.expression()
+            self.expect("symbol", ";")
+            self.kernel.reduce_sum(expr, name=name)
+            return
+        self.assignment()
+
+    def declaration(self, what):
+        while True:
+            name = self.expect("name")
+            if name in self.handles or name in self.params:
+                raise AssemblerError("mahler: %r declared twice" % name)
+            if what == "input":
+                self.handles[name] = self.kernel.input(name)
+            elif what == "output":
+                self.handles[name] = self.kernel.output(name)
+                self.outputs.add(name)
+            else:
+                self.params[name] = self.kernel.param(name)
+            if not self.accept("symbol", ","):
+                break
+        self.expect("symbol", ";")
+
+    def assignment(self):
+        name = self.expect("name")
+        if name not in self.outputs:
+            raise AssemblerError("mahler: assignment to %r, which is not an "
+                                 "output array" % name)
+        self.expect("symbol", "[")
+        offset = int(self.expect("number"))
+        self.expect("symbol", "]")
+        self.expect("symbol", "=")
+        expr = self.expression()
+        self.expect("symbol", ";")
+        self.kernel.assign(self.handles[name], expr, offset=offset)
+
+    def expression(self):
+        left = self.term()
+        while True:
+            if self.accept("symbol", "+"):
+                left = left + self.term()
+            elif self.accept("symbol", "-"):
+                left = left - self.term()
+            else:
+                return left
+
+    def term(self):
+        left = self.factor()
+        while True:
+            if self.accept("symbol", "*"):
+                left = left * self.factor()
+            elif self.accept("symbol", "/"):
+                left = left / self.factor()
+            else:
+                return left
+
+    def factor(self):
+        kind, value = self.peek()
+        if self.accept("symbol", "("):
+            inner = self.expression()
+            self.expect("symbol", ")")
+            return inner
+        if self.accept("symbol", "-"):
+            return 0.0 - self.factor()
+        if kind == "number":
+            self.advance()
+            return float(value)
+        if kind == "name":
+            self.advance()
+            if self.accept("symbol", "["):
+                offset = int(self.expect("number"))
+                self.expect("symbol", "]")
+                handle = self.handles.get(value)
+                if handle is None:
+                    raise AssemblerError("mahler: undeclared array %r" % value)
+                return handle[offset]
+            parameter = self.params.get(value)
+            if parameter is None:
+                raise AssemblerError("mahler: undeclared parameter %r" % value)
+            return parameter
+        raise AssemblerError("mahler: unexpected token %r" % value)
+
+
+def parse_kernel(source):
+    """Parse kernel-language text into a :class:`Kernel`."""
+    return _Parser(source).parse()
+
+
+def compile_kernel(source, n, data, params=None, vl=8):
+    """Parse and compile in one step; returns a CompiledKernel."""
+    kernel = parse_kernel(source)
+    kernel.vl = vl
+    return kernel.compile(n=n, data=data, params=params)

@@ -1,0 +1,199 @@
+"""A post-pass load scheduler.
+
+The MultiTitan overlaps loads with FPU ALU issue through the separate
+Load/Store instruction register, but only if the *compiler* places the
+loads into the right slots -- the CPU issues in order, and the cycles a
+dependent ALU transfer spends stalled in front of the ALU IR cannot be
+reclaimed by later loads (section 2.1.1's "if some other independent CPU
+or FPU instruction is available, it would typically be scheduled" advice).
+The Mahler codings did this by hand; :func:`schedule_loads` automates it:
+within each basic block, it finds producer->consumer FALU pairs whose gap
+leaves stall slots and pulls later conflict-free FPU loads into those
+gaps, where they issue through the Load/Store IR for free.
+
+The pass is semantics-preserving by construction -- the conflict test
+covers full vector register footprints (so a pulled load can never land
+inside a §2.3.2 deep-element hazard), integer base registers, and memory
+ordering -- and is verified by re-running every Livermore kernel, the
+Linpack solver, and randomized IR kernels after scheduling.
+"""
+
+from repro.cpu import isa
+from repro.cpu.program import Program
+
+
+def _falu_footprint(instruction):
+    """(reads, writes) FPU register sets across all vector elements."""
+    _, op, rr, ra, rb, vl, sra, srb, unary = instruction
+    reads = set()
+    writes = set()
+    for element in range(vl):
+        writes.add(rr + element)
+        reads.add(ra + (element if sra else 0))
+        if not unary:
+            reads.add(rb + (element if srb else 0))
+    return reads, writes
+
+
+def _effects(instruction):
+    """Classify one instruction's register and memory effects.
+
+    Returns (fpu_reads, fpu_writes, int_reads, int_writes, is_store,
+    is_load, is_control).
+    """
+    opcode = instruction[0]
+    none = frozenset()
+    if opcode == isa.FALU:
+        reads, writes = _falu_footprint(instruction)
+        return reads, writes, none, none, False, False, False
+    if opcode == isa.FLOAD:
+        _, fd, ra, _off = instruction
+        return none, {fd}, {ra}, none, False, True, False
+    if opcode == isa.FSTORE:
+        _, fs, ra, _off = instruction
+        return {fs}, none, {ra}, none, True, False, False
+    if opcode == isa.FCMP:
+        _, rd, fa, fb, _cond = instruction
+        return {fa, fb}, none, none, {rd}, False, False, False
+    if opcode == isa.LW:
+        _, rd, ra, _off = instruction
+        return none, none, {ra}, {rd}, False, True, False
+    if opcode == isa.SW:
+        _, rs, ra, _off = instruction
+        return none, none, {rs, ra}, none, True, False, False
+    if opcode == isa.LI:
+        return none, none, none, {instruction[1]}, False, False, False
+    if opcode in (isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR):
+        _, rd, ra, rb = instruction
+        return none, none, {ra, rb}, {rd}, False, False, False
+    if opcode in (isa.ADDI, isa.MULI, isa.SLL, isa.SRA):
+        _, rd, ra, _imm = instruction
+        return none, none, {ra}, {rd}, False, False, False
+    if opcode in isa.BRANCH_OPS:
+        _, ra, rb, _target = instruction
+        return none, none, {ra, rb}, none, False, False, True
+    if opcode in (isa.J, isa.HALT, isa.RFE):
+        return none, none, none, none, False, False, True
+    if opcode == isa.NOP:
+        return none, none, none, none, False, False, False
+    # Unknown opcode: treat as a full barrier.
+    return none, none, none, none, True, True, True
+
+
+def _block_boundaries(instructions):
+    """Indices that start a basic block (branch targets and fall-ins)."""
+    starts = {0}
+    for index, instruction in enumerate(instructions):
+        opcode = instruction[0]
+        if opcode in isa.BRANCH_OPS:
+            starts.add(instruction[3])
+            starts.add(index + 1)
+        elif opcode == isa.J:
+            starts.add(instruction[1])
+            starts.add(index + 1)
+        elif opcode in (isa.HALT, isa.RFE):
+            starts.add(index + 1)
+    return starts
+
+
+def _conflicts(load_effects, other_effects):
+    l_fr, l_fw, l_ir, l_iw, l_st, l_ld, _ = load_effects
+    o_fr, o_fw, o_ir, o_iw, o_st, o_ld, o_ctl = other_effects
+    if o_ctl or o_st:
+        return True           # never cross stores or control flow
+    if l_fw & (o_fr | o_fw):
+        return True           # our destination is read/written above
+    if l_ir & o_iw:
+        return True           # our base register is produced above
+    return False
+
+
+def schedule_loads(program, latency=3):
+    """Fill dependence-chain stall slots with later loads.
+
+    When one FPU ALU instruction feeds the next, the CPU stalls
+    ``latency - 1`` cycles on the second transfer (the ALU instruction
+    register holds it until the producer issues).  This pass pulls
+    conflict-free FPU loads from later in the same basic block into those
+    gaps, where they issue through the Load/Store IR for free -- the
+    interleaving the paper's hand codings used.  Loads never cross
+    stores, control flow, register conflicts, or block boundaries, and
+    blocks keep their index extents, so branch targets remain valid.
+    """
+    instructions = list(program.instructions)
+    boundaries = sorted(_block_boundaries(instructions) | {len(instructions)})
+    output = []
+    for block_index in range(len(boundaries) - 1):
+        start, end = boundaries[block_index], boundaries[block_index + 1]
+        output.extend(_schedule_block(instructions[start:end], latency))
+    return Program(output, dict(program.labels))
+
+
+def _schedule_block(block, latency):
+    work = list(block)
+    effects = {}
+
+    def effect_of(instruction):
+        key = id(instruction)
+        if key not in effects:
+            effects[key] = _effects(instruction)
+        return effects[key]
+
+    i = 0
+    while i < len(work):
+        if work[i][0] != isa.FALU:
+            i += 1
+            continue
+        # The next FALU after i, if it depends on work[i], will stall.
+        j = i + 1
+        dependent_store_in_gap = False
+        _, writes_i = _falu_footprint(work[i])
+        while j < len(work) and work[j][0] != isa.FALU:
+            if work[j][0] == isa.FSTORE and work[j][1] in writes_i:
+                # A store of the producer's result already waits out the
+                # full latency in the gap; nothing left to fill.
+                dependent_store_in_gap = True
+            j += 1
+        if j >= len(work):
+            break
+        reads_j, _ = _falu_footprint(work[j])
+        if not (reads_j & writes_i) or dependent_store_in_gap:
+            i += 1
+            continue
+        # Stall slots not yet covered by instructions already in the gap;
+        # a vector producer occupies the IR for vl cycles on its own.
+        producer_vl = work[i][5]
+        gap = (latency - 1) - (j - i - 1) - (producer_vl - 1)
+        k = j + 1
+        while gap > 0 and k < len(work):
+            candidate = work[k]
+            if candidate[0] == isa.FLOAD:
+                candidate_effects = effect_of(candidate)
+                crossed = work[j:k]
+                if all(not _conflicts(candidate_effects, effect_of(other))
+                       for other in crossed):
+                    work.insert(j, work.pop(k))
+                    j += 1
+                    gap -= 1
+                    k += 1
+                    continue
+            k += 1
+        i += 1
+    return work
+
+
+def schedule_report(before, after):
+    """How many loads moved, and how far in total."""
+    moved = 0
+    distance = 0
+    for new_position, instruction in enumerate(after.instructions):
+        if instruction[0] == isa.FLOAD:
+            try:
+                old_position = before.instructions.index(instruction,
+                                                         0, len(before.instructions))
+            except ValueError:
+                continue
+            if old_position > new_position:
+                moved += 1
+                distance += old_position - new_position
+    return {"loads_moved": moved, "positions_gained": distance}

@@ -1,0 +1,21 @@
+"""Benchmark workloads: the paper's evaluation programs."""
+
+from repro.workloads.common import (
+    BuiltKernel,
+    KernelResult,
+    Lcg,
+    expect_close,
+    expect_scalar,
+    run_cold_and_warm,
+    run_kernel,
+)
+
+__all__ = [
+    "BuiltKernel",
+    "KernelResult",
+    "Lcg",
+    "expect_close",
+    "expect_scalar",
+    "run_cold_and_warm",
+    "run_kernel",
+]

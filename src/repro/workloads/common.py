@@ -1,0 +1,145 @@
+"""Shared infrastructure for the benchmark workloads.
+
+Every workload builds a :class:`BuiltKernel`: a program, an initialized
+memory image, a setup hook (base addresses in CPU registers -- the
+"calling convention" the paper's hand timings assume), a numeric check
+against a pure-Python reference, and the kernel's nominal flop count for
+MFLOPS accounting (McMahon-style: nominal flops / measured time).
+
+:func:`run_kernel` runs one kernel cold (empty caches) or warm (a first
+pass preloads the caches, then memory data is restored and the timed pass
+re-runs, so warm timing is measured on identical data).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.functional_units import CYCLE_TIME_NS
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.mem.memory import Memory
+
+
+@dataclass
+class BuiltKernel:
+    """A ready-to-run workload kernel."""
+
+    name: str
+    program: "Program"
+    memory: Memory
+    nominal_flops: int
+    setup: Optional[Callable] = None          # setup(machine) before run
+    check: Optional[Callable] = None          # check(machine) -> error text or None
+    description: str = ""
+
+
+@dataclass
+class KernelResult:
+    """Measured outcome of one kernel run."""
+
+    name: str
+    cycles: int
+    nominal_flops: int
+    mflops: float
+    cache_hits: int
+    cache_misses: int
+    check_error: Optional[str] = None
+    run: object = None
+
+    @property
+    def passed(self):
+        return self.check_error is None
+
+
+def _machine_for(kernel, config):
+    machine = MultiTitan(kernel.program, memory=kernel.memory, config=config)
+    if kernel.setup:
+        kernel.setup(machine)
+    return machine
+
+
+def run_kernel(kernel, config=None, warm=False, check=True):
+    """Run a kernel and measure MFLOPS.
+
+    ``warm=False`` starts with empty instruction and data caches (the
+    paper's "cold cache" numbers).  ``warm=True`` runs the program once to
+    preload both caches, restores the initial memory data, resets the CPU
+    and FPU, and measures a second pass (the paper's "warm cache": "the
+    loops were run twice, thus preloading the code and the data").
+    """
+    config = config or MachineConfig()
+    snapshot = list(kernel.memory.words)
+    machine = _machine_for(kernel, config)
+    if warm:
+        machine.run()
+        kernel.memory.words[:] = snapshot
+        machine.reset_cpu()
+        machine.dcache.reset_stats()
+        machine.ibuf.reset_stats()
+        if kernel.setup:
+            kernel.setup(machine)
+    result = machine.run()
+    error = None
+    if check and kernel.check:
+        error = kernel.check(machine)
+    # Restore the memory image so the kernel can be re-run.
+    kernel.memory.words[:] = snapshot
+    return KernelResult(
+        name=kernel.name,
+        cycles=result.completion_cycle,
+        nominal_flops=kernel.nominal_flops,
+        mflops=result.mflops(kernel.nominal_flops, config.cycle_time_ns),
+        cache_hits=machine.dcache.hits,
+        cache_misses=machine.dcache.misses,
+        check_error=error,
+        run=result,
+    )
+
+
+def run_cold_and_warm(kernel_factory, config=None):
+    """Build and run a kernel twice; return (cold, warm) results."""
+    cold = run_kernel(kernel_factory(), config=config, warm=False)
+    warm = run_kernel(kernel_factory(), config=config, warm=True)
+    return cold, warm
+
+
+def expect_close(memory, base_address, reference, rel_tol=1e-12, abs_tol=1e-300,
+                 label="array"):
+    """Compare a memory array against a reference; return error text or None."""
+    got = memory.read_block(base_address, len(reference))
+    for index, (value, want) in enumerate(zip(got, reference)):
+        if isinstance(want, int) and isinstance(value, int):
+            if value != want:
+                return "%s[%d] = %r, want %r" % (label, index, value, want)
+            continue
+        if not math.isclose(float(value), float(want),
+                            rel_tol=rel_tol, abs_tol=abs_tol):
+            return "%s[%d] = %.17g, want %.17g" % (label, index, float(value),
+                                                   float(want))
+    return None
+
+
+def expect_scalar(value, want, rel_tol=1e-12, label="value"):
+    if not math.isclose(float(value), float(want), rel_tol=rel_tol, abs_tol=1e-300):
+        return "%s = %.17g, want %.17g" % (label, float(value), float(want))
+    return None
+
+
+class Lcg:
+    """A tiny deterministic PRNG for workload data (no numpy dependency
+    in the kernels themselves; values uniform in (lo, hi))."""
+
+    MULTIPLIER = 6364136223846793005
+    INCREMENT = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed=12345):
+        self.state = seed & self.MASK
+
+    def next_float(self, lo=0.0, hi=1.0):
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) & self.MASK
+        fraction = (self.state >> 11) / float(1 << 53)
+        return lo + (hi - lo) * fraction
+
+    def floats(self, count, lo=0.0, hi=1.0):
+        return [self.next_float(lo, hi) for _ in range(count)]

@@ -1,0 +1,101 @@
+"""Loading vectors with scalar loads (Figure 9).
+
+The MultiTitan has no vector load/store instructions.  For fixed strides
+it issues one load per cycle by folding the stride into the load offset;
+scatter/gather stays fully programmable, and "vector elements could even
+be gathered from a linked list with only a doubling of the time otherwise
+required" by alternating two pointer temporaries so the data load of one
+node overlaps the pointer load of the next.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+ELEMENTS = 8
+
+
+@dataclass
+class GatherOutcome:
+    kind: str
+    cycles: int
+    values: list
+
+
+def fixed_stride_program(base_register, stride_words, count=ELEMENTS):
+    """Figure 9 left column: ``Load Rk, k*c(base)``, one load per cycle."""
+    b = ProgramBuilder()
+    for k in range(count):
+        b.fload(k, base_register, k * stride_words * WORD_BYTES)
+    return b.build()
+
+
+def linked_list_program(head_register, count=ELEMENTS):
+    """Figure 9 right column: follow ``{next, value}`` nodes.
+
+    Alternates two pointer registers (the paper's even^/odd^) so that the
+    value load of each node issues concurrently with the pointer load of
+    the next node, despite the one-cycle load delay slot.
+    """
+    even, odd = 1, 2
+    if head_register in (even, odd):
+        raise ValueError("head register collides with the pointer temporaries")
+    b = ProgramBuilder()
+    # Prologue: odd^ <- head pointer's node.
+    b.add(odd, head_register, 0)
+    pointers = [odd, even]
+    for k in range(count):
+        current = pointers[k % 2]
+        following = pointers[(k + 1) % 2]
+        if k + 1 < count:
+            b.lw(following, current, 0)      # next pointer
+        b.fload(k, current, WORD_BYTES)      # node value
+    return b.build()
+
+
+def build_linked_list(memory, arena, values, shuffle_seed=7):
+    """Lay out a linked list of ``{next, value}`` nodes; return head address."""
+    addresses = [arena.alloc(2) for _ in values]
+    # Scatter the nodes in allocation order but link them logically.
+    for index, value in enumerate(values):
+        next_address = addresses[index + 1] if index + 1 < len(values) else 0
+        memory.write(addresses[index], next_address)
+        memory.write(addresses[index] + WORD_BYTES, float(value))
+    return addresses[0]
+
+
+def run_fixed_stride(stride_words=1, count=ELEMENTS, warm=True):
+    memory = Memory()
+    arena = Arena(memory, base=64)
+    values = [float(10 * (k + 1)) for k in range(count)]
+    base = arena.alloc(count * stride_words)
+    for k, value in enumerate(values):
+        memory.write(base + k * stride_words * WORD_BYTES, value)
+    program = fixed_stride_program(base_register=1, stride_words=stride_words,
+                                   count=count)
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(model_ibuffer=False))
+    machine.iregs[1] = base
+    if warm:
+        machine.dcache.warm_range(base, count * stride_words * WORD_BYTES)
+    result = machine.run()
+    return GatherOutcome("fixed_stride", result.completion_cycle,
+                         machine.fpu.regs.read_group(0, count))
+
+
+def run_linked_list(count=ELEMENTS, warm=True):
+    memory = Memory()
+    arena = Arena(memory, base=64)
+    values = [float(10 * (k + 1)) for k in range(count)]
+    head = build_linked_list(memory, arena, values)
+    program = linked_list_program(head_register=3, count=count)
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(model_ibuffer=False))
+    machine.iregs[3] = head
+    if warm:
+        machine.dcache.warm_range(64, arena.bytes_used)
+    result = machine.run()
+    return GatherOutcome("linked_list", result.completion_cycle,
+                         machine.fpu.regs.read_group(0, count))

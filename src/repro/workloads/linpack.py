@@ -1,0 +1,438 @@
+"""Linpack on the MultiTitan simulator (WRL 89/8 section 3.3).
+
+Implements ``dgefa`` (LU factorization with partial pivoting) and
+``dgesl`` (triangular solve) as machine programs, with the daxpy inner
+loop in two codings:
+
+* **scalar** -- one element per iteration (the paper's 4.1 MFLOPS
+  configuration);
+* **vector** -- runtime strip-mining: VL-8 vector multiplies/adds while at
+  least eight elements remain, then a scalar cleanup loop (the paper's
+  6.1 MFLOPS configuration).
+
+Unlike the Livermore kernels, every loop bound here is a *runtime* value
+(the active column length shrinks as elimination proceeds), so the code
+is emitted once with register-resident counters -- exercising the ISA the
+way a real compiler would.
+
+MFLOPS uses the standard Linpack operation count ``2/3 n^3 + 2 n^2``.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu import isa
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.core.types import Op
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.workloads.common import BuiltKernel, Lcg, run_kernel
+
+DEFAULT_N = 32
+
+# --- integer register conventions -----------------------------------------
+R_ABASE = 1     # address of a[0][0]
+R_N = 2         # n
+R_K = 3         # k (outer elimination column)
+R_COLK = 4      # address of a[0][k]
+R_T1 = 5
+R_T2 = 6
+R_I = 7
+R_L = 8         # pivot row
+R_CNT = 9
+R_SRC = 10
+R_DST = 11
+R_J = 12
+R_COLJ = 13
+R_IPVT = 14
+R_B = 15
+R_ROW = 16      # 8*n (column stride in bytes)
+R_NM1 = 17      # n-1
+R_C = 18        # fcmp result
+R_EIGHT = 19    # constant 8
+R_T3 = 20
+
+# --- FPU register conventions ----------------------------------------------
+F_BEST = 0
+F_VAL = 1
+F_ABS = 2
+F_T = 3         # the daxpy/dscal scalar multiplier
+F_PIV = 4
+F_D0 = 5        # division temporaries
+F_D1 = 6
+F_SWP = 7
+F_GA = 8        # vector group A: F8..F15
+F_GB = 16       # vector group B: F16..F23
+F_ZERO = 48     # never written; reads as +0.0
+
+
+def _emit_abs(pb, dest, source):
+    """dest = |source| using a compare against the zero register."""
+    done = pb.label()
+    pb.fadd(dest, source, F_ZERO)
+    pb.fcmp(R_C, source, F_ZERO, isa.CMP_LT)
+    pb.beq(R_C, 0, done)
+    pb.fsub(dest, F_ZERO, source)
+    pb.place(done)
+
+
+def _emit_divide(pb, quotient, a, b):
+    """quotient = a / b -- the six-operation reciprocal/Newton schedule."""
+    pb.frecip(F_D0, b)
+    pb.fiter(F_D1, b, F_D0)
+    pb.fmul(F_D0, F_D0, F_D1)
+    pb.fiter(F_D1, b, F_D0)
+    pb.fmul(F_D0, F_D0, F_D1)
+    pb.fmul(quotient, a, F_D0)
+
+
+def _emit_daxpy(pb, use_vector):
+    """y[0..count-1] += t * x[0..count-1].
+
+    In: R_CNT = element count, R_SRC = &x, R_DST = &y, F_T = t.
+    Clobbers R_CNT/R_SRC/R_DST, F_GA/F_GB groups.
+    """
+    done = pb.label()
+    if use_vector:
+        remainder = pb.label()
+        vec_top = pb.here()
+        pb.blt(R_CNT, R_EIGHT, remainder)
+        for i in range(8):
+            pb.fload(F_GA + i, R_SRC, i * WORD_BYTES)
+        for i in range(8):
+            pb.fload(F_GB + i, R_DST, i * WORD_BYTES)
+        pb.falu(Op.MUL, F_GA, F_GA, F_T, vl=8, sra=True, srb=False)
+        pb.falu(Op.ADD, F_GB, F_GB, F_GA, vl=8, sra=True, srb=True)
+        for i in range(8):
+            pb.fstore(F_GB + i, R_DST, i * WORD_BYTES)
+        pb.addi(R_SRC, R_SRC, 8 * WORD_BYTES)
+        pb.addi(R_DST, R_DST, 8 * WORD_BYTES)
+        pb.addi(R_CNT, R_CNT, -8)
+        pb.j(vec_top)
+        pb.place(remainder)
+    scalar_top = pb.here()
+    pb.ble(R_CNT, 0, done)
+    pb.fload(F_GA, R_SRC, 0)
+    pb.falu(Op.MUL, F_GA, F_GA, F_T, vl=1)
+    pb.fload(F_GB, R_DST, 0)
+    pb.falu(Op.ADD, F_GB, F_GB, F_GA, vl=1)
+    pb.fstore(F_GB, R_DST, 0)
+    pb.addi(R_SRC, R_SRC, WORD_BYTES)
+    pb.addi(R_DST, R_DST, WORD_BYTES)
+    pb.addi(R_CNT, R_CNT, -1)
+    pb.j(scalar_top)
+    pb.place(done)
+
+
+def _emit_dscal(pb, use_vector):
+    """x[0..count-1] *= t.  In: R_CNT, R_DST = &x, F_T = t."""
+    done = pb.label()
+    if use_vector:
+        remainder = pb.label()
+        vec_top = pb.here()
+        pb.blt(R_CNT, R_EIGHT, remainder)
+        for i in range(8):
+            pb.fload(F_GA + i, R_DST, i * WORD_BYTES)
+        pb.falu(Op.MUL, F_GA, F_GA, F_T, vl=8, sra=True, srb=False)
+        for i in range(8):
+            pb.fstore(F_GA + i, R_DST, i * WORD_BYTES)
+        pb.addi(R_DST, R_DST, 8 * WORD_BYTES)
+        pb.addi(R_CNT, R_CNT, -8)
+        pb.j(vec_top)
+        pb.place(remainder)
+    scalar_top = pb.here()
+    pb.ble(R_CNT, 0, done)
+    pb.fload(F_GA, R_DST, 0)
+    pb.falu(Op.MUL, F_GA, F_GA, F_T, vl=1)
+    pb.fstore(F_GA, R_DST, 0)
+    pb.addi(R_DST, R_DST, WORD_BYTES)
+    pb.addi(R_CNT, R_CNT, -1)
+    pb.j(scalar_top)
+    pb.place(done)
+
+
+def build_program(n, use_vector):
+    """Emit dgefa followed by dgesl; the solution overwrites b."""
+    pb = ProgramBuilder()
+    # R_ABASE, R_IPVT, R_B, R_N are preloaded by the kernel setup hook.
+    pb.muli(R_ROW, R_N, WORD_BYTES)        # column stride in bytes
+    pb.addi(R_NM1, R_N, -1)
+    pb.li(R_EIGHT, 8)
+
+    # ======================= dgefa =======================
+    pb.li(R_K, 0)
+    pb.add(R_COLK, R_ABASE, 0)
+    k_done = pb.label()
+    k_top = pb.here("dgefa_k")
+    pb.bge(R_K, R_NM1, k_done)
+
+    # ---- idamax: pivot row l = argmax_{i>=k} |a[i][k]| ----
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_T2, R_COLK, R_T1)            # &a[k][k]
+    pb.fload(F_VAL, R_T2, 0)
+    _emit_abs(pb, F_BEST, F_VAL)
+    pb.add(R_L, R_K, 0)
+    pb.addi(R_I, R_K, 1)
+    ida_done = pb.label()
+    ida_top = pb.here("idamax")
+    pb.bge(R_I, R_N, ida_done)
+    pb.addi(R_T2, R_T2, WORD_BYTES)
+    pb.fload(F_VAL, R_T2, 0)
+    _emit_abs(pb, F_ABS, F_VAL)
+    no_new_best = pb.label()
+    pb.fcmp(R_C, F_BEST, F_ABS, isa.CMP_LT)
+    pb.beq(R_C, 0, no_new_best)
+    pb.fadd(F_BEST, F_ABS, F_ZERO)
+    pb.add(R_L, R_I, 0)
+    pb.place(no_new_best)
+    pb.addi(R_I, R_I, 1)
+    pb.j(ida_top)
+    pb.place(ida_done)
+
+    # ipvt[k] = l
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_T2, R_IPVT, R_T1)
+    pb.sw(R_L, R_T2, 0)
+
+    # ---- swap a[l][k] <-> a[k][k] if l != k ----
+    pb.muli(R_T1, R_L, WORD_BYTES)
+    pb.add(R_T1, R_COLK, R_T1)            # &a[l][k]
+    pb.muli(R_T2, R_K, WORD_BYTES)
+    pb.add(R_T2, R_COLK, R_T2)            # &a[k][k]
+    no_swap = pb.label()
+    pb.beq(R_L, R_K, no_swap)
+    pb.fload(F_SWP, R_T1, 0)
+    pb.fload(F_VAL, R_T2, 0)
+    pb.fstore(F_SWP, R_T2, 0)
+    pb.fstore(F_VAL, R_T1, 0)
+    pb.place(no_swap)
+
+    # ---- t = -1/pivot; scale the subdiagonal of column k ----
+    pb.fload(F_PIV, R_T2, 0)
+    # F_T = -(1/pivot): reciprocal then negate via subtraction from zero.
+    pb.frecip(F_D0, F_PIV)
+    pb.fiter(F_D1, F_PIV, F_D0)
+    pb.fmul(F_D0, F_D0, F_D1)
+    pb.fiter(F_D1, F_PIV, F_D0)
+    pb.fmul(F_D0, F_D0, F_D1)
+    pb.fsub(F_T, F_ZERO, F_D0)
+    pb.sub(R_CNT, R_NM1, R_K)             # n-1-k elements below the pivot
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_DST, R_COLK, R_T1)
+    pb.addi(R_DST, R_DST, WORD_BYTES)     # &a[k+1][k]
+    _emit_dscal(pb, use_vector)
+
+    # ---- eliminate the remaining columns ----
+    pb.addi(R_J, R_K, 1)
+    pb.add(R_COLJ, R_COLK, R_ROW)
+    col_done = pb.label()
+    col_top = pb.here("columns")
+    pb.bge(R_J, R_N, col_done)
+    # t = a[l][j]; if l != k swap it with a[k][j]
+    pb.muli(R_T1, R_L, WORD_BYTES)
+    pb.add(R_T1, R_COLJ, R_T1)            # &a[l][j]
+    pb.muli(R_T2, R_K, WORD_BYTES)
+    pb.add(R_T2, R_COLJ, R_T2)            # &a[k][j]
+    pb.fload(F_T, R_T1, 0)
+    no_swap_j = pb.label()
+    pb.beq(R_L, R_K, no_swap_j)
+    pb.fload(F_VAL, R_T2, 0)
+    pb.fstore(F_VAL, R_T1, 0)
+    pb.fstore(F_T, R_T2, 0)
+    pb.place(no_swap_j)
+    # daxpy: a[k+1..n-1][j] += t * a[k+1..n-1][k]
+    pb.sub(R_CNT, R_NM1, R_K)
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_SRC, R_COLK, R_T1)
+    pb.addi(R_SRC, R_SRC, WORD_BYTES)
+    pb.add(R_DST, R_COLJ, R_T1)
+    pb.addi(R_DST, R_DST, WORD_BYTES)
+    _emit_daxpy(pb, use_vector)
+    pb.addi(R_J, R_J, 1)
+    pb.add(R_COLJ, R_COLJ, R_ROW)
+    pb.j(col_top)
+    pb.place(col_done)
+
+    pb.addi(R_K, R_K, 1)
+    pb.add(R_COLK, R_COLK, R_ROW)
+    pb.j(k_top)
+    pb.place(k_done)
+
+    # ======================= dgesl =======================
+    # Forward elimination: apply the recorded pivots and multipliers to b.
+    pb.li(R_K, 0)
+    pb.add(R_COLK, R_ABASE, 0)
+    fwd_done = pb.label()
+    fwd_top = pb.here("dgesl_fwd")
+    pb.bge(R_K, R_NM1, fwd_done)
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_T2, R_IPVT, R_T1)
+    pb.lw(R_L, R_T2, 0)
+    pb.muli(R_T3, R_L, WORD_BYTES)
+    pb.add(R_T3, R_B, R_T3)               # &b[l]
+    pb.add(R_T2, R_B, R_T1)               # &b[k]
+    pb.fload(F_T, R_T3, 0)                # t = b[l]
+    no_swap_b = pb.label()
+    pb.beq(R_L, R_K, no_swap_b)
+    pb.fload(F_VAL, R_T2, 0)
+    pb.fstore(F_VAL, R_T3, 0)
+    pb.fstore(F_T, R_T2, 0)
+    pb.place(no_swap_b)
+    pb.sub(R_CNT, R_NM1, R_K)
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.add(R_SRC, R_COLK, R_T1)
+    pb.addi(R_SRC, R_SRC, WORD_BYTES)     # &a[k+1][k]
+    pb.add(R_DST, R_B, R_T1)
+    pb.addi(R_DST, R_DST, WORD_BYTES)     # &b[k+1]
+    _emit_daxpy(pb, use_vector)
+    pb.addi(R_K, R_K, 1)
+    pb.add(R_COLK, R_COLK, R_ROW)
+    pb.j(fwd_top)
+    pb.place(fwd_done)
+
+    # Back substitution: b[k] /= a[k][k]; b[0..k-1] -= b[k]*a[0..k-1][k].
+    pb.addi(R_K, R_N, -1)
+    back_done = pb.label()
+    back_top = pb.here("dgesl_back")
+    pb.blt(R_K, 0, back_done)
+    pb.muli(R_T1, R_K, WORD_BYTES)
+    pb.mul(R_T2, R_K, R_ROW)
+    pb.add(R_COLK, R_ABASE, R_T2)         # &a[0][k]
+    pb.add(R_T2, R_COLK, R_T1)            # &a[k][k]
+    pb.add(R_T3, R_B, R_T1)               # &b[k]
+    pb.fload(F_VAL, R_T3, 0)
+    pb.fload(F_PIV, R_T2, 0)
+    _emit_divide(pb, F_VAL, F_VAL, F_PIV)
+    pb.fstore(F_VAL, R_T3, 0)
+    pb.fsub(F_T, F_ZERO, F_VAL)           # t = -b[k]
+    pb.add(R_CNT, R_K, 0)
+    pb.add(R_SRC, R_COLK, 0)
+    pb.add(R_DST, R_B, 0)
+    _emit_daxpy(pb, use_vector)
+    pb.addi(R_K, R_K, -1)
+    pb.j(back_top)
+    pb.place(back_done)
+
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Reference and kernel assembly
+# ---------------------------------------------------------------------------
+
+def generate_system(n, seed=1989):
+    """A dense random system Ax = b (column-major A)."""
+    rng = Lcg(seed)
+    a = [rng.next_float(-1.0, 1.0) for _ in range(n * n)]
+    x_true = [rng.next_float(-1.0, 1.0) for _ in range(n)]
+    b = []
+    for i in range(n):
+        b.append(sum(a[i + n * j] * x_true[j] for j in range(n)))
+    return a, b, x_true
+
+
+def reference_solve(n, a, b):
+    """Python dgefa/dgesl with the same pivoting strategy."""
+    a = list(a)
+    b = list(b)
+    ipvt = [0] * n
+    for k in range(n - 1):
+        l = max(range(k, n), key=lambda i: abs(a[i + n * k]))
+        ipvt[k] = l
+        if l != k:
+            a[l + n * k], a[k + n * k] = a[k + n * k], a[l + n * k]
+        t = -1.0 / a[k + n * k]
+        for i in range(k + 1, n):
+            a[i + n * k] *= t
+        for j in range(k + 1, n):
+            t = a[l + n * j]
+            if l != k:
+                a[l + n * j] = a[k + n * j]
+                a[k + n * j] = t
+            for i in range(k + 1, n):
+                a[i + n * j] += t * a[i + n * k]
+    for k in range(n - 1):
+        l = ipvt[k]
+        t = b[l]
+        if l != k:
+            b[l] = b[k]
+            b[k] = t
+        for i in range(k + 1, n):
+            b[i] += t * a[i + n * k]
+    for k in range(n - 1, -1, -1):
+        b[k] /= a[k + n * k]
+        t = -b[k]
+        for i in range(k):
+            b[i] += t * a[i + n * k]
+    return b
+
+
+def linpack_flops(n):
+    """The standard Linpack operation count."""
+    return int(2 * n ** 3 / 3 + 2 * n ** 2)
+
+
+def build_linpack(n=DEFAULT_N, coding="vector", seed=1989):
+    """Build the Linpack kernel as a :class:`BuiltKernel`."""
+    use_vector = coding == "vector"
+    a, b, x_true = generate_system(n, seed)
+    expected = reference_solve(n, a, b)
+
+    memory = Memory()
+    arena = Arena(memory, base=256)
+    a_addr = arena.alloc_array(list(a))
+    b_addr = arena.alloc_array(list(b))
+    ipvt_addr = arena.alloc(n, initial=[0] * n)
+    program = build_program(n, use_vector)
+
+    def setup(machine):
+        machine.iregs[R_ABASE] = a_addr
+        machine.iregs[R_B] = b_addr
+        machine.iregs[R_IPVT] = ipvt_addr
+        machine.iregs[R_N] = n
+
+    def check(machine):
+        got = machine.memory.read_block(b_addr, n)
+        worst = max(abs(g - e) for g, e in zip(got, expected))
+        scale = max(1.0, max(abs(e) for e in expected))
+        if worst / scale > 1e-8:
+            return "linpack solution off by %.3g (rel)" % (worst / scale)
+        residual = max(abs(g - t) for g, t in zip(got, x_true))
+        if residual / scale > 1e-5:
+            return "linpack residual vs true solution %.3g" % (residual / scale)
+        return None
+
+    return BuiltKernel(
+        name="linpack-%d (%s)" % (n, coding),
+        program=program,
+        memory=memory,
+        nominal_flops=linpack_flops(n),
+        setup=setup,
+        check=check,
+        description="dgefa + dgesl, %s daxpy" % coding,
+    )
+
+
+@dataclass
+class LinpackMeasurement:
+    n: int
+    scalar_mflops: float
+    vector_mflops: float
+    scalar_cycles: int
+    vector_cycles: int
+    speedup: float
+    check_error: str = None
+
+
+def measure_linpack(n=DEFAULT_N, config=None, warm=True, seed=1989):
+    """Run both codings; the paper reports 4.1 scalar / 6.1 vector MFLOPS."""
+    scalar = run_kernel(build_linpack(n, "scalar", seed), config=config, warm=warm)
+    vector = run_kernel(build_linpack(n, "vector", seed), config=config, warm=warm)
+    return LinpackMeasurement(
+        n=n,
+        scalar_mflops=scalar.mflops,
+        vector_mflops=vector.mflops,
+        scalar_cycles=scalar.cycles,
+        vector_cycles=vector.cycles,
+        speedup=vector.mflops / scalar.mflops if scalar.mflops else 0.0,
+        check_error=scalar.check_error or vector.check_error,
+    )

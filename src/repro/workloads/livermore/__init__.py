@@ -1,0 +1,100 @@
+"""The Livermore Loops (LFK) on the MultiTitan simulator.
+
+``build_loop(n, coding)`` constructs one kernel;
+``run_livermore_suite()`` reproduces the Figure 14 experiment: every loop
+run with cold and warm caches, in MFLOPS at the 40 ns clock, with
+harmonic means over loops 1-12, 13-24, and 1-24.
+"""
+
+from dataclasses import dataclass
+
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore.data import SIZES, make_data
+from repro.workloads.livermore.kernels import KERNELS, LoopSpec
+from repro.workloads.livermore.kernels_common import build_loop
+from repro.workloads.livermore.reference import REFERENCES
+
+ALL_LOOPS = tuple(range(1, 25))
+VECTORIZED_LOOPS = tuple(sorted(number for number, spec in KERNELS.items()
+                                if spec.vectorizable))
+
+
+@dataclass
+class LoopMeasurement:
+    loop: int
+    coding: str
+    cold_mflops: float
+    warm_mflops: float
+    cold_cycles: int
+    warm_cycles: int
+    nominal_flops: int
+    check_error: str = None
+
+    @property
+    def passed(self):
+        return self.check_error is None
+
+
+def measure_loop(loop, coding="vector", config=None, n=None, vl=None):
+    """Run one loop cold and warm; return a :class:`LoopMeasurement`."""
+    cold = run_kernel(build_loop(loop, coding=coding, n=n, vl=vl),
+                      config=config, warm=False)
+    warm = run_kernel(build_loop(loop, coding=coding, n=n, vl=vl),
+                      config=config, warm=True)
+    return LoopMeasurement(
+        loop=loop,
+        coding=coding,
+        cold_mflops=cold.mflops,
+        warm_mflops=warm.mflops,
+        cold_cycles=cold.cycles,
+        warm_cycles=warm.cycles,
+        nominal_flops=cold.nominal_flops,
+        check_error=cold.check_error or warm.check_error,
+    )
+
+
+def run_livermore_suite(loops=ALL_LOOPS, coding="vector", config=None):
+    """Measure a set of loops; returns {loop: LoopMeasurement}."""
+    return {loop: measure_loop(loop, coding=coding, config=config)
+            for loop in loops}
+
+
+def harmonic_mean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def suite_summary(measurements):
+    """Harmonic means over 1-12, 13-24, 1-24 (cold, warm) as in Figure 14."""
+    first = [m for loop, m in measurements.items() if loop <= 12]
+    second = [m for loop, m in measurements.items() if loop > 12]
+    everything = list(measurements.values())
+
+    def means(group):
+        return (harmonic_mean([m.cold_mflops for m in group]),
+                harmonic_mean([m.warm_mflops for m in group]))
+
+    return {
+        "1-12": means(first),
+        "13-24": means(second),
+        "1-24": means(everything),
+    }
+
+
+__all__ = [
+    "ALL_LOOPS",
+    "KERNELS",
+    "LoopMeasurement",
+    "LoopSpec",
+    "REFERENCES",
+    "SIZES",
+    "VECTORIZED_LOOPS",
+    "build_loop",
+    "harmonic_mean",
+    "make_data",
+    "measure_loop",
+    "run_livermore_suite",
+    "suite_summary",
+]

@@ -1,0 +1,191 @@
+"""Deterministic input data and problem sizes for the Livermore Loops.
+
+The paper simulated the 24 Livermore Fortran Kernels (McMahon,
+UCRL-53745); we use reduced problem sizes so a Python cycle simulation
+stays fast, scaled per loop so each kernel runs a few thousand cycles.
+Inputs are deterministic (a 64-bit LCG) and kept in value ranges that
+avoid overflow and keep the software exp/sqrt subroutines in range.
+"""
+
+from repro.workloads.common import Lcg
+
+# Problem sizes (reduced from the standard 1001/101/... LFK sizes).
+SIZES = {
+    1: 100,     # hydro fragment
+    2: 64,      # ICCG (must be a power of two)
+    3: 128,     # inner product
+    4: 100,     # banded linear equations
+    5: 100,     # tridiagonal elimination
+    6: 24,      # general linear recurrence
+    7: 96,      # equation of state
+    8: 20,      # ADI: ky = 2..SIZE, kx = 2..3
+    9: 48,      # integration predictors (columns)
+    10: 48,     # difference predictors (columns)
+    11: 100,    # first sum
+    12: 100,    # first difference
+    13: 64,     # 2-D particle in cell (particles)
+    14: 64,     # 1-D particle in cell (particles)
+    15: 12,     # casual Fortran grid (NG rows x SIZE cols)
+    16: 60,     # Monte Carlo search (probes)
+    17: 100,    # implicit conditional computation
+    18: 12,     # 2-D explicit hydro: k = 2..SIZE, j = 2..JN-1
+    19: 100,    # general linear recurrence equations
+    20: 80,     # discrete ordinates transport
+    21: 8,      # matrix product: px(25,SIZE) += vy(25,25)*cx(25,SIZE)
+    22: 64,     # Planckian distribution
+    23: 32,     # 2-D implicit hydro: j = 2..6, k = 2..SIZE
+    24: 200,    # first minimum location
+}
+
+JN18 = 18       # loop 18 row length (j = 2..JN18-2 computed)
+GRID15_COLS = 18
+PIC_GRID = 32   # loops 13/14 grid dimension (power of two)
+
+
+def make_data(loop, n=None, seed=1989):
+    """Return ``(n, arrays)`` for one loop: a dict of named float lists."""
+    n = n if n is not None else SIZES[loop]
+    rng = Lcg(seed * 100 + loop)
+    u = lambda count, lo=0.01, hi=0.99: rng.floats(count, lo, hi)
+
+    if loop == 1:
+        return n, {
+            "x": [0.0] * n,
+            "y": u(n),
+            "z": u(n + 11),
+            "params": [rng.next_float(0.1, 0.9) for _ in range(3)],  # q, r, t
+        }
+    if loop == 2:
+        if n & (n - 1):
+            raise ValueError("loop 2 size must be a power of two")
+        return n, {"x": u(2 * n), "v": u(2 * n)}
+    if loop == 3:
+        return n, {"x": u(n), "z": u(n)}
+    if loop == 4:
+        m = (n - 7) // 2
+        # xz is indexed up to (2m) + n/5 across the three bands
+        return n, {"x": u(n + 1), "y": u(n + 1), "xz": u(2 * m + n // 5 + 2),
+                   "m": m}
+    if loop == 5:
+        return n, {"x": u(n), "y": u(n), "z": u(n)}
+    if loop == 6:
+        return n, {"w": u(n, 0.001, 0.1), "b": u(n * n, 0.001, 0.1)}
+    if loop == 7:
+        return n, {
+            "x": [0.0] * n, "y": u(n), "z": u(n), "u": u(n + 6),
+            "params": [rng.next_float(0.1, 0.9) for _ in range(3)],  # q, r, t
+        }
+    if loop == 8:
+        size = 5 * (n + 2) * 2  # u arrays: (kx 0..4, ky 0..n+1, nl 0..1)
+        return n, {
+            "u1": u(size), "u2": u(size), "u3": u(size),
+            "du1": [0.0] * (n + 2), "du2": [0.0] * (n + 2), "du3": [0.0] * (n + 2),
+            # a11..a33 row by row, then sig and the constant two
+            "params": [0.10, 0.15, 0.20, 0.25, 0.30, 0.35,
+                       0.40, 0.45, 0.50, 0.55, 2.0],
+        }
+    if loop == 9:
+        return n, {
+            "px": u(25 * n),
+            # dm22..dm28 and c0 coefficient scalars
+            "params": [rng.next_float(0.1, 0.9) for _ in range(8)],
+        }
+    if loop == 10:
+        return n, {"px": u(25 * n), "cx": u(25 * n)}
+    if loop == 11:
+        return n, {"x": [0.0] * n, "y": u(n)}
+    if loop == 12:
+        return n, {"x": [0.0] * n, "y": u(n + 1)}
+    if loop == 13:
+        grid = PIC_GRID
+        return n, {
+            "p": [v for k in range(n) for v in (
+                rng.next_float(1.0, grid - 2.0), rng.next_float(1.0, grid - 2.0),
+                rng.next_float(0.0, 1.0), rng.next_float(0.0, 1.0))],
+            "b": u(grid * grid), "c": u(grid * grid),
+            "y": u(grid + 32), "z": u(grid + 32),
+            "h": [0.0] * (grid * grid),
+            "params": [1.0],
+        }
+    if loop == 14:
+        grid = PIC_GRID
+        return n, {
+            "grd": [rng.next_float(1.0, grid - 2.0) for _ in range(n)],
+            "dex": u(grid), "ex": u(grid),
+            "vx": [0.0] * n, "xx": [0.0] * n, "rx": [0.0] * n,
+            "rh": [0.0] * (grid + 4),
+            "flx": rng.next_float(0.1, 0.9),
+            "params": [1.0],
+        }
+    if loop == 15:
+        ng, nz = 8, n
+        size = ng * nz
+        return n, {
+            "vy": [0.0] * size,
+            "vh": u(size, 0.5, 2.0), "vf": u(size, 0.5, 2.0),
+            "vg": u(size, 0.5, 2.0), "vs": [0.0] * size,
+            "params": [0.053, 0.073, 0.5, 1.0],  # ar, br, half, one
+        }
+    if loop == 16:
+        zones = 3 * n
+        plan_values = u(zones, 0.1, 0.9)
+        zone_values = [1 + (int(rng.next_float(0, zones - 1))) for _ in range(zones)]
+        return n, {
+            "plan": plan_values,
+            "zone": zone_values,
+            "params": [0.3, 0.5, 0.7],  # r, s, t thresholds
+        }
+    if loop == 17:
+        return n, {
+            "vsp": u(n), "vstp": u(n), "vxne": u(n), "vxnd": u(n),
+            "ve3": [0.0] * n, "vlr": u(n), "vlin": u(n), "b5": [0.0] * n,
+            "params": [5.0 / 3.0, 1.0 / 3.0, 1.03 / 3.07],  # scale, xnm0, e6_0
+        }
+    if loop == 18:
+        kn, jn = n, JN18
+        size = kn * jn
+        return n, {
+            "za": [0.0] * size, "zb": [0.0] * size,
+            "zm": u(size, 0.5, 2.0), "zp": u(size), "zq": u(size),
+            "zr": u(size), "zu": u(size), "zv": u(size), "zz": u(size),
+            "params": [0.25, 0.0025],  # s, t
+        }
+    if loop == 19:
+        return n, {
+            "b5": [0.0] * n, "sa": u(n), "sb": u(n),
+            "params": [rng.next_float(0.01, 0.2)],  # stb5 seed
+        }
+    if loop == 20:
+        return n, {
+            "x": [0.0] * n, "y": u(n, 1.5, 2.5), "z": u(n), "u": u(n),
+            "v": u(n), "w": u(n), "g": u(n), "xx": [0.1] + [0.0] * n,
+            "vx": u(n, 0.5, 1.5),
+            "params": [0.2, 1.0, 0.5],  # s (min, also the default dn), t (max), dk
+        }
+    if loop == 21:
+        return n, {
+            "px": [0.0] * (25 * n), "vy": u(25 * 25), "cx": u(25 * n),
+        }
+    if loop == 22:
+        factorial = 1.0
+        inv_factorials = []
+        for k in range(1, 13):
+            factorial *= k
+            inv_factorials.append(1.0 / factorial)
+        return n, {
+            "x": u(n), "u": u(n, 0.1, 0.9), "v": u(n, 0.5, 1.0),
+            "y": [0.0] * n, "w": [0.0] * n,
+            # quarter and one for the exp subroutine, then 1/1!..1/12!
+            "params": [0.25, 1.0] + inv_factorials,
+        }
+    if loop == 23:
+        size = 7 * (n + 1)
+        return n, {
+            "za": u(size), "zr": u(n + 1), "zb": u(n + 1),
+            "zu": u(n + 1), "zv": u(n + 1), "zz": u(size),
+            "params": [0.175],
+        }
+    if loop == 24:
+        values = u(n, -1.0, 1.0)
+        return n, {"x": values}
+    raise ValueError("unknown Livermore loop %d" % loop)

@@ -1,0 +1,1151 @@
+"""Machine codings of the 24 Livermore loops for the MultiTitan.
+
+Each ``_kNN(ctx)`` emits one loop through the Mahler-style vector builder
+(:mod:`repro.vectorize`), falling back to raw program-builder code for the
+index-heavy particle/search kernels.  Vector codings exist for the loops
+the paper's Mahler recoding vectorized; ``ctx.vl == 1`` yields the scalar
+coding from the same emitters ("scalar operations are simply vector
+operations of length one").
+
+Loops 13-17 mirror the simplified reference semantics in
+:mod:`repro.workloads.livermore.reference`; loops 15 and 22 call inline
+software subroutines for sqrt (Heron from a linear seed) and exp
+(quarter-argument Taylor series, squared twice), standing in for the
+scalar library calls the paper mentions for loop 22.
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu import isa
+from repro.mem.memory import WORD_BYTES
+from repro.workloads.livermore.data import JN18, PIC_GRID
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _to_int(ctx, value, scratch_reg, scratch_off, dest_int, mask_reg=None):
+    """Move an FPU value to a CPU register, truncating toward zero.
+
+    The MultiTitan has no FPU->CPU move, so the value travels through
+    memory: truncate, store, integer load (plus an optional mask).
+    """
+    pb, vb = ctx.pb, ctx.vb
+    t = vb.scalar_temp()
+    pb.ftrunc(t.reg, value.reg)
+    pb.fstore(t.reg, scratch_reg, scratch_off)
+    pb.lw(dest_int, scratch_reg, scratch_off)
+    if mask_reg is not None:
+        pb.and_(dest_int, dest_int, mask_reg)
+
+
+def _int_to_float(ctx, int_reg, scratch_reg, scratch_off):
+    """CPU integer -> FPU double, again through memory plus ``float``."""
+    pb, vb = ctx.pb, ctx.vb
+    pb.sw(int_reg, scratch_reg, scratch_off)
+    raw = vb.scalar_temp()
+    pb.fload(raw.reg, scratch_reg, scratch_off)
+    result = vb.scalar_temp()
+    pb.ffloat(result.reg, raw.reg)
+    return result
+
+
+def _emit_max_into(ctx, dest, a, b, cond_reg):
+    """dest = max(a, b) via a compare and conditional move."""
+    pb, vb = ctx.pb, ctx.vb
+    vb.move_into(dest, a)
+    pb.fcmp(cond_reg, a.reg, b.reg, isa.CMP_LT)
+    skip = pb.label()
+    pb.beq(cond_reg, 0, skip)
+    vb.move_into(dest, b)
+    pb.place(skip)
+
+
+def _heron_sqrt(vb, x, half, one, iterations=5):
+    """sqrt(x) for x in roughly [0.25, 8]: linear seed + Heron iterations.
+
+    Every divide inside is the six-operation Newton schedule, so one
+    square root costs ~40 FPU operations -- a software subroutine, as the
+    paper's Modula-2 codings would have called.
+    """
+    y = vb.mul(vb.add(one, x), half)
+    for _ in range(iterations):
+        d = vb.div(x, y)
+        y = vb.mul(vb.add(y, d), half, into=y)
+    return y
+
+
+def _exp_poly(vb, y, quarter, one, inv_factorials):
+    """exp(y) for y in [0, ~2]: Taylor on y/4, then square twice."""
+    q = vb.mul(y, quarter)
+    p = vb.move(inv_factorials[-1])
+    for coeff in reversed(inv_factorials[:-1]):
+        p = vb.mul(p, q, into=p)
+        p = vb.add(p, coeff, into=p)
+    p = vb.mul(p, q, into=p)
+    p = vb.add(p, one, into=p)
+    p = vb.mul(p, p, into=p)
+    p = vb.mul(p, p, into=p)
+    return p
+
+
+# ---------------------------------------------------------------------------
+# kernels 1..12 (the "vectorizable first half")
+# ---------------------------------------------------------------------------
+
+def _k01(ctx):
+    vb, n = ctx.vb, ctx.n
+    x = ctx.array("x")
+    y = ctx.array("y")
+    z = ctx.array("z")
+    par = ctx.array("params")
+    q = vb.scalar_load(par, 0)
+    r = vb.scalar_load(par, 1)
+    t = vb.scalar_load(par, 2)
+
+    def body(vl):
+        za = vb.vload(z, 10, vl=vl)
+        za = vb.mul(za, r, into=za)
+        zb = vb.vload(z, 11, vl=vl)
+        zb = vb.mul(zb, t, into=zb)
+        s = vb.add(za, zb, into=za)
+        yv = vb.vload(y, 0, vl=vl)
+        e = vb.mul(yv, s, into=yv)
+        e = vb.add(q, e, into=e)
+        vb.vstore(x, e)
+
+    vb.strip_loop(n, body)
+
+
+def _k02(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    x_addr, v_addr = ctx.addr("x"), ctx.addr("v")
+    xr = ctx.array("x", step=2)
+    vv = ctx.array("v", step=2)
+    xw = ctx.array("x", step=1)
+
+    def body(vl):
+        xk = vb.vload(xr, 0, vl=vl)
+        xm = vb.vload(xr, -1, vl=vl)
+        xp = vb.vload(xr, 1, vl=vl)
+        vk = vb.vload(vv, 0, vl=vl)
+        vk1 = vb.vload(vv, 1, vl=vl)
+        a = vb.mul(vk, xm, into=xm)
+        b = vb.mul(vk1, xp, into=xp)
+        e = vb.sub(xk, a, into=xk)
+        e = vb.sub(e, b, into=e)
+        vb.vstore(xw, e)
+
+    ii, ipntp = n, 0
+    while ii > 1:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        count = len(range(ipnt + 1, ipntp, 2))
+        vb.rebase(xr, x_addr + (ipnt + 1) * WORD_BYTES)
+        vb.rebase(vv, v_addr + (ipnt + 1) * WORD_BYTES)
+        vb.rebase(xw, x_addr + ipntp * WORD_BYTES)
+        # The last iteration of every level reads x[ipntp], which the
+        # first iteration of the same level writes; run it as a scalar
+        # tail after the strips have stored their results.
+        vb.strip_loop(count - 1, body)
+        vb.fpu.mark()
+        body(1)
+        vb.fpu.release()
+
+
+def _k03(ctx):
+    vb, n = ctx.vb, ctx.n
+    x = ctx.array("x")
+    z = ctx.array("z")
+    acc = vb.scalar_temp()
+    vb.move_into(acc, vb.zero())
+
+    def body(vl):
+        zv = vb.vload(z, 0, vl=vl)
+        xv = vb.vload(x, 0, vl=vl)
+        p = vb.mul(zv, xv, into=zv)
+        s = vb.vsum(p)
+        vb.add(acc, s, into=acc)
+
+    vb.strip_loop(n, body)
+    ctx.store_scalar_result("q", acc)
+
+
+def _k04(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    m = ctx.const("m")
+    x = ctx.array("x")
+    y5 = ctx.array("y", step=5)
+    xz = ctx.array("xz")
+    y4 = vb.scalar_load(ctx.array("y"), 4)
+    temp = vb.scalar_temp()
+    count = len(range(4, n, 5))
+
+    def body(vl):
+        yv = vb.vload(y5, 0, vl=vl)
+        xzv = vb.vload(xz, 0, vl=vl)
+        p = vb.mul(xzv, yv, into=xzv)
+        s = vb.vsum(p)
+        vb.sub(temp, s, into=temp)
+
+    for k in (6, 6 + m, 6 + 2 * m):
+        vb.rebase(y5, ctx.addr("y") + 4 * WORD_BYTES)
+        vb.rebase(xz, ctx.addr("xz") + (k - 6) * WORD_BYTES)
+        pb.fload(temp.reg, x.reg, (k - 1) * WORD_BYTES)
+        vb.strip_loop(count, body)
+        vb.fpu.mark()
+        result = vb.mul(y4, temp)
+        pb.fstore(result.reg, x.reg, (k - 1) * WORD_BYTES)
+        vb.fpu.release()
+
+
+def _k05(ctx):
+    """First-order recurrence, software-pipelined: each 4-element block
+    issues all its loads up front (they slide under the previous block's
+    dependence chain through the Load/Store IR), then runs the chained
+    subtract/multiply pairs with the stores interleaved."""
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    x = ctx.array("x", offset_words=1)
+    y = ctx.array("y", offset_words=1)
+    z = ctx.array("z", offset_words=1)
+    xprev = vb.scalar_temp()
+    pb.fload(xprev.reg, x.reg, -WORD_BYTES)  # x[0]
+    unroll = 4
+
+    def emit_block(copies):
+        vb.fpu.mark()
+        ys = [vb.load_elem(y, i) for i in range(copies)]
+        zs = [vb.load_elem(z, i) for i in range(copies)]
+        for i in range(copies):
+            t = vb.sub(ys[i], xprev)
+            vb.mul(zs[i], t, into=xprev)
+            vb.store_elem(x, xprev, offset=i)
+        vb.fpu.release()
+        for array in (x, y, z):
+            pb.addi(array.reg, array.reg, copies * WORD_BYTES)
+
+    full, remainder = divmod(n - 1, unroll)
+    if full == 1:
+        emit_block(unroll)
+    elif full > 1:
+        counter, count = vb.int_temp(), vb.int_temp()
+        pb.li(counter, 0)
+        pb.li(count, full)
+        top = pb.here()
+        emit_block(unroll)
+        pb.addi(counter, counter, 1)
+        pb.blt(counter, count, top)
+    if remainder:
+        emit_block(remainder)
+
+
+def _k06(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    bcol = ctx.array("b")
+    wrev = ctx.array("w", step=-1)
+    wio = ctx.array("w")
+    acc = vb.scalar_temp()
+
+    for i in range(1, n):
+        vb.rebase(bcol, ctx.addr("b") + (i * n) * WORD_BYTES)
+        vb.rebase(wrev, ctx.addr("w") + (i - 1) * WORD_BYTES)
+        vb.move_into(acc, vb.zero())
+
+        def body(vl):
+            bv = vb.vload(bcol, 0, vl=vl)
+            wv = vb.vload(wrev, 0, vl=vl)
+            p = vb.mul(bv, wv, into=bv)
+            s = vb.vsum(p)
+            vb.add(acc, s, into=acc)
+
+        vb.strip_loop(i, body)
+        vb.fpu.mark()
+        wi = vb.scalar_temp()
+        pb.fload(wi.reg, wio.reg, i * WORD_BYTES)
+        result = vb.add(wi, acc)
+        pb.fstore(result.reg, wio.reg, i * WORD_BYTES)
+        vb.fpu.release()
+
+
+def _k07(ctx):
+    vb, n = ctx.vb, ctx.n
+    x = ctx.array("x")
+    y = ctx.array("y")
+    z = ctx.array("z")
+    u = ctx.array("u")
+    par = ctx.array("params")
+    q = vb.scalar_load(par, 0)
+    r = vb.scalar_load(par, 1)
+    t = vb.scalar_load(par, 2)
+
+    def body(vl):
+        a = vb.vload(u, 4, vl=vl)
+        a = vb.mul(a, q, into=a)
+        b = vb.vload(u, 5, vl=vl)
+        a = vb.add(b, a, into=a)
+        a = vb.mul(a, q, into=a)
+        c = vb.vload(u, 6, vl=vl)
+        a = vb.add(c, a, into=a)
+        a = vb.mul(a, t, into=a)              # t-free inner: t*(u6+q*(u5+q*u4))
+        e = vb.vload(u, 1, vl=vl)
+        e = vb.mul(e, r, into=e)
+        d = vb.vload(u, 2, vl=vl)
+        d = vb.add(d, e, into=d)
+        d = vb.mul(d, r, into=d)              # r*(u2+r*u1)
+        g = vb.vload(u, 3, vl=vl)
+        d = vb.add(g, d, into=d)
+        a = vb.add(d, a, into=a)
+        a = vb.mul(a, t, into=a)              # t*(u3+r*(..)+t*(..))
+        h = vb.vload(y, 0, vl=vl)
+        h = vb.mul(h, r, into=h)
+        zz = vb.vload(z, 0, vl=vl)
+        h = vb.add(zz, h, into=h)
+        h = vb.mul(h, r, into=h)              # r*(z+r*y)
+        uu = vb.vload(u, 0, vl=vl)
+        h = vb.add(uu, h, into=h)
+        a = vb.add(h, a, into=a)
+        vb.vstore(x, a)
+
+    vb.strip_loop(n, body)
+
+
+def _k08(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    par = ctx.array("params")
+    coefficients = [vb.scalar_load(par, i) for i in range(9)]  # a11..a33
+    sig = vb.scalar_load(par, 9)
+    two = vb.scalar_load(par, 10)
+    rows = [coefficients[0:3], coefficients[3:6], coefficients[6:9]]
+    nl1_offset = 0
+    nl2_offset = 5 * (n + 2)
+
+    u_handles = [ctx.array(name, step=5) for name in ("u1", "u2", "u3")]
+    du_handles = [ctx.array(name, offset_words=2, step=1)
+                  for name in ("du1", "du2", "du3")]
+
+    from repro.vectorize.builder import VVec
+
+    def make_body(kx):
+        def body(vl):
+            du_groups = [VVec(vb.fpu.alloc(vl), vl) if vl > 1
+                         else vb.scalar_temp() for _ in range(3)]
+            vb.fpu.mark()
+            for uh, dug, duh in zip(u_handles, du_groups, du_handles):
+                up = vb.vload(uh, 5, vl=vl)
+                dn = vb.vload(uh, -5, vl=vl)
+                vb.sub(up, dn, into=dug)
+                vb.vstore(duh, dug)
+            vb.fpu.release()
+            for uh, (c1, c2, c3) in zip(u_handles, rows):
+                vb.fpu.mark()
+                center = vb.vload(uh, 0, vl=vl)
+                right = vb.vload(uh, 1, vl=vl)
+                left = vb.vload(uh, -1, vl=vl)
+                t1 = vb.mul(center, two)
+                stencil = vb.sub(right, t1, into=right)
+                stencil = vb.add(stencil, left, into=stencil)
+                stencil = vb.mul(stencil, sig, into=stencil)
+                acc = vb.mul(du_groups[0], c1)
+                term = vb.mul(du_groups[1], c2)
+                acc = vb.add(acc, term, into=acc)
+                term = vb.mul(du_groups[2], c3, into=term)
+                acc = vb.add(acc, term, into=acc)
+                acc = vb.add(center, acc, into=acc)
+                acc = vb.add(acc, stencil, into=acc)
+                vb.vstore(uh, acc, offset=nl2_offset)
+                vb.fpu.release()
+        return body
+
+    for kx in (1, 2):
+        for uh, name in zip(u_handles, ("u1", "u2", "u3")):
+            vb.rebase(uh, ctx.addr(name) + (kx + 5 * 2) * WORD_BYTES)
+        for duh, name in zip(du_handles, ("du1", "du2", "du3")):
+            vb.rebase(duh, ctx.addr(name) + 2 * WORD_BYTES)
+        vb.strip_loop(n - 2, make_body(kx))
+
+
+def _k09(ctx):
+    vb, n = ctx.vb, ctx.n
+    px = ctx.array("px", step=25)
+    par = ctx.array("params")
+    dm = [vb.scalar_load(par, i) for i in range(7)]  # dm22..dm28
+    c0 = vb.scalar_load(par, 7)
+
+    def body(vl):
+        acc = vb.vload(px, 12, vl=vl)
+        acc = vb.mul(acc, dm[6], into=acc)
+        for row, coeff in ((11, dm[5]), (10, dm[4]), (9, dm[3]), (8, dm[2]),
+                           (7, dm[1]), (6, dm[0])):
+            vb.fpu.mark()
+            t = vb.vload(px, row, vl=vl)
+            t = vb.mul(t, coeff, into=t)
+            vb.add(acc, t, into=acc)
+            vb.fpu.release()
+        vb.fpu.mark()
+        t4 = vb.vload(px, 4, vl=vl)
+        t5 = vb.vload(px, 5, vl=vl)
+        t = vb.add(t4, t5, into=t4)
+        t = vb.mul(t, c0, into=t)
+        vb.add(acc, t, into=acc)
+        vb.fpu.release()
+        vb.fpu.mark()
+        t2 = vb.vload(px, 2, vl=vl)
+        vb.add(acc, t2, into=acc)
+        vb.fpu.release()
+        vb.vstore(px, acc, offset=0)
+
+    vb.strip_loop(n, body)
+
+
+def _k10(ctx):
+    vb, n = ctx.vb, ctx.n
+    px = ctx.array("px", step=25)
+    cx = ctx.array("cx", step=25)
+
+    def body(vl):
+        prev = vb.vload(cx, 4, vl=vl)
+        for row in range(4, 13):
+            cur = vb.vload(px, row, vl=vl)
+            diff = vb.sub(prev, cur, into=cur)
+            vb.vstore(px, prev, offset=row)
+            prev = diff
+        vb.vstore(px, prev, offset=13)
+
+    vb.strip_loop(n, body)
+
+
+def _k11(ctx):
+    vb, n = ctx.vb, ctx.n
+    x = ctx.array("x")
+    y = ctx.array("y")
+    seed = vb.scalar_temp()
+    vb.move_into(seed, vb.zero())
+
+    def body(vl):
+        yv = vb.vload(y, 0, vl=vl)
+        if vl == 1:
+            vb.add(seed, yv, into=seed)
+            vb.store_elem(x, seed)
+            return
+        prefix = vb.recurrence_add(seed, yv)
+        vb.vstore(x, prefix)
+        vb.move_into(seed, prefix.elem(vl - 1))
+
+    vb.strip_loop(n, body)
+
+
+def _k12(ctx):
+    """First difference via one overlapping register group: y[k..k+vl]
+    loads once, then ``R[d..] := R[g+1..] - R[g..]`` reads the group at
+    two offsets -- impossible with indivisible vector registers, free in
+    the unified file."""
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    x = ctx.array("x")
+    y = ctx.array("y")
+
+    def body(vl):
+        from repro.vectorize.builder import VVec
+        group = VVec(vb.fpu.alloc(vl + 1), vl + 1)
+        vb._note_touch(y)
+        for i in range(vl + 1):
+            pb.fload(group.first + i, y.reg, i * WORD_BYTES)
+        diff = VVec(vb.fpu.alloc(vl), vl)
+        pb.fsub(diff.first, group.first + 1, group.first, vl=vl)
+        vb.vstore(x, diff)
+
+    vb.strip_loop(n, body)
+
+
+# ---------------------------------------------------------------------------
+# kernels 13..24 (index-heavy, conditional, and recurrent kernels)
+# ---------------------------------------------------------------------------
+
+def _k13(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    grid, mask = PIC_GRID, PIC_GRID - 1
+    shift = grid.bit_length() - 1
+    p = ctx.array("p", step=4)
+    b_h = ctx.array("b")
+    c_h = ctx.array("c")
+    y_h = ctx.array("y")
+    z_h = ctx.array("z")
+    h_h = ctx.array("h")
+    one = vb.scalar_load(ctx.array("params"), 0)
+    scratch = ctx.alloc_scratch(2)
+    sreg = vb.int_temp()
+    pb.li(sreg, scratch)
+    rmask = vb.int_temp()
+    pb.li(rmask, mask)
+    ri = vb.int_temp()
+    rj = vb.int_temp()
+    rt = vb.int_temp()
+    roff = vb.int_temp()
+
+    def body():
+        p1 = vb.load_elem(p, 0)
+        p2 = vb.load_elem(p, 1)
+        p3 = vb.load_elem(p, 2)
+        p4 = vb.load_elem(p, 3)
+        _to_int(ctx, p1, sreg, 0, ri, rmask)
+        _to_int(ctx, p2, sreg, 0, rj, rmask)
+        pb.sll(rt, rj, shift)
+        pb.add(rt, rt, ri)
+        pb.sll(roff, rt, 3)
+        pb.add(rt, roff, b_h.reg)
+        fb = vb.scalar_temp()
+        pb.fload(fb.reg, rt, 0)
+        vb.add(p3, fb, into=p3)
+        pb.add(rt, roff, c_h.reg)
+        fc = vb.scalar_temp()
+        pb.fload(fc.reg, rt, 0)
+        vb.add(p4, fc, into=p4)
+        vb.add(p1, p3, into=p1)
+        vb.add(p2, p4, into=p2)
+        _to_int(ctx, p1, sreg, 0, ri, rmask)
+        _to_int(ctx, p2, sreg, 0, rj, rmask)
+        pb.sll(rt, ri, 3)
+        pb.add(rt, rt, y_h.reg)
+        fy = vb.scalar_temp()
+        pb.fload(fy.reg, rt, 2 * WORD_BYTES)
+        vb.add(p1, fy, into=p1)
+        pb.sll(rt, rj, 3)
+        pb.add(rt, rt, z_h.reg)
+        fz = vb.scalar_temp()
+        pb.fload(fz.reg, rt, 2 * WORD_BYTES)
+        vb.add(p2, fz, into=p2)
+        pb.sll(rt, rj, shift)
+        pb.add(rt, rt, ri)
+        pb.sll(rt, rt, 3)
+        pb.add(rt, rt, h_h.reg)
+        fh = vb.scalar_temp()
+        pb.fload(fh.reg, rt, 0)
+        vb.add(fh, one, into=fh)
+        pb.fstore(fh.reg, rt, 0)
+        vb.store_elem(p, p1, 0)
+        vb.store_elem(p, p2, 1)
+        vb.store_elem(p, p3, 2)
+        vb.store_elem(p, p4, 3)
+
+    vb.element_loop(n, body)
+
+
+def _k14(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    mask = PIC_GRID - 1
+    grd = ctx.array("grd")
+    ex_h = ctx.array("ex")
+    dex_h = ctx.array("dex")
+    rh_h = ctx.array("rh")
+    vx = ctx.array("vx")
+    xx = ctx.array("xx")
+    rx = ctx.array("rx")
+    flx = vb.scalar_load(ctx.array("flx"), 0)
+    one = vb.scalar_load(ctx.array("params"), 0)
+    scratch = ctx.alloc_scratch(2)
+    sreg = vb.int_temp()
+    pb.li(sreg, scratch)
+    rmask = vb.int_temp()
+    pb.li(rmask, mask)
+    rix = vb.int_temp()
+    rt = vb.int_temp()
+    rt2 = vb.int_temp()
+
+    def body():
+        g = vb.load_elem(grd)
+        _to_int(ctx, g, sreg, 0, rix, rmask)
+        xik = _int_to_float(ctx, rix, sreg, WORD_BYTES)
+        pb.sll(rt, rix, 3)
+        pb.add(rt2, rt, ex_h.reg)
+        fex = vb.scalar_temp()
+        pb.fload(fex.reg, rt2, 0)
+        pb.add(rt2, rt, dex_h.reg)
+        fdex = vb.scalar_temp()
+        pb.fload(fdex.reg, rt2, 0)
+        d = vb.sub(g, xik)
+        d = vb.mul(d, fdex, into=d)
+        e1 = vb.add(fex, d, into=d)
+        vxk = vb.mul(e1, flx)
+        vb.store_elem(vx, vxk)
+        xxk = vb.add(xik, vxk)
+        vb.store_elem(xx, xxk)
+        _to_int(ctx, xxk, sreg, 0, rix, rmask)
+        fir = _int_to_float(ctx, rix, sreg, WORD_BYTES)
+        rxk = vb.sub(xxk, fir)
+        vb.store_elem(rx, rxk)
+        pb.sll(rt, rix, 3)
+        pb.add(rt, rt, rh_h.reg)
+        fr = vb.scalar_temp()
+        pb.fload(fr.reg, rt, 0)
+        t2 = vb.sub(one, rxk)
+        fr = vb.add(fr, t2, into=fr)
+        pb.fstore(fr.reg, rt, 0)
+        fr2 = vb.scalar_temp()
+        pb.fload(fr2.reg, rt, WORD_BYTES)
+        fr2 = vb.add(fr2, rxk, into=fr2)
+        pb.fstore(fr2.reg, rt, WORD_BYTES)
+
+    vb.element_loop(n, body)
+
+
+def _k15(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    ng, nz = 8, n
+    par = ctx.array("params")
+    ar = vb.scalar_load(par, 0)
+    br = vb.scalar_load(par, 1)
+    half = vb.scalar_load(par, 2)
+    one = vb.scalar_load(par, 3)
+    vh = ctx.array("vh")
+    vh_up = ctx.array("vh")
+    vf = ctx.array("vf")
+    vg = ctx.array("vg")
+    vy = ctx.array("vy")
+    vs = ctx.array("vs")
+    rc = vb.int_temp()
+
+    def body():
+        t = vb.scalar_temp()
+        r_val = vb.scalar_temp()
+        s_val = vb.scalar_temp()
+        hat = vb.load_elem(vh)
+        hup = vb.load_elem(vh_up)
+        pb.fcmp(rc, hat.reg, hup.reg, isa.CMP_LT)   # vh[up] > vh[at]
+        use_br = pb.label()
+        done_t = pb.label()
+        pb.beq(rc, 0, use_br)
+        vb.move_into(t, ar)
+        pb.j(done_t)
+        pb.place(use_br)
+        vb.move_into(t, br)
+        pb.place(done_t)
+
+        f_at = vb.load_elem(vf)
+        f_m1 = vb.load_elem(vf, -1)
+        pb.fcmp(rc, f_at.reg, f_m1.reg, isa.CMP_LT)
+        else_arm = pb.label()
+        done_rs = pb.label()
+        pb.beq(rc, 0, else_arm)
+        hm1 = vb.load_elem(vh, -1)
+        hupm1 = vb.load_elem(vh_up, -1)
+        _emit_max_into(ctx, r_val, hm1, hupm1, rc)
+        vb.move_into(s_val, f_m1)
+        pb.j(done_rs)
+        pb.place(else_arm)
+        _emit_max_into(ctx, r_val, hat, hup, rc)
+        vb.move_into(s_val, f_at)
+        pb.place(done_rs)
+
+        g = vb.load_elem(vg)
+        g2 = vb.mul(g, g, into=g)
+        r2 = vb.mul(r_val, r_val)
+        sq = vb.add(g2, r2, into=g2)
+        root = _heron_sqrt(vb, sq, half, one)
+        num = vb.mul(root, t, into=root)
+        out = vb.div(num, s_val)
+        vb.store_elem(vy, out)
+        out2 = vb.div(vb.add(r_val, t), s_val)
+        vb.store_elem(vs, out2)
+
+    for j in range(1, ng - 1):
+        base = j * nz + 1
+        vb.rebase(vh, ctx.addr("vh") + base * WORD_BYTES)
+        vb.rebase(vh_up, ctx.addr("vh") + (base + nz) * WORD_BYTES)
+        vb.rebase(vf, ctx.addr("vf") + base * WORD_BYTES)
+        vb.rebase(vg, ctx.addr("vg") + base * WORD_BYTES)
+        vb.rebase(vy, ctx.addr("vy") + base * WORD_BYTES)
+        vb.rebase(vs, ctx.addr("vs") + base * WORD_BYTES)
+        vb.element_loop(nz - 1, body)
+
+
+def _k16(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    zones = len(ctx.arrays["plan"])
+    plan_h = ctx.array("plan")
+    zone_h = ctx.array("zone")
+    par = ctx.array("params")
+    fr = vb.scalar_load(par, 0)
+    fs = vb.scalar_load(par, 1)
+    ft = vb.scalar_load(par, 2)
+    fv = vb.scalar_temp()
+    rm = vb.int_temp()
+    rk2 = vb.int_temp()
+    rk3 = vb.int_temp()
+    rprobe = vb.int_temp()
+    rn = vb.int_temp()
+    rj = vb.int_temp()
+    rt = vb.int_temp()
+    ra = vb.int_temp()
+    rstep = vb.int_temp()
+    rzones = vb.int_temp()
+    rc = vb.int_temp()
+    for reg in (rm, rk2, rk3, rprobe):
+        pb.li(reg, 0)
+    pb.li(rn, n)
+    pb.li(rzones, zones)
+
+    top = pb.here("probe")
+    pb.sll(rt, rm, 3)
+    pb.add(ra, zone_h.reg, rt)
+    pb.lw(rj, ra, 0)
+    pb.addi(rj, rj, -1)
+    pb.sll(rt, rj, 3)
+    pb.add(ra, plan_h.reg, rt)
+    pb.fload(fv.reg, ra, 0)
+    pb.addi(rk2, rk2, 1)
+    band2 = pb.label()
+    band3 = pb.label()
+    band4 = pb.label()
+    move = pb.label()
+    pb.fcmp(rc, fv.reg, fr.reg, isa.CMP_LT)
+    pb.beq(rc, 0, band2)
+    pb.li(rstep, 1)
+    pb.j(move)
+    pb.place(band2)
+    pb.fcmp(rc, fv.reg, fs.reg, isa.CMP_LT)
+    pb.beq(rc, 0, band3)
+    pb.li(rstep, 2)
+    pb.j(move)
+    pb.place(band3)
+    pb.fcmp(rc, fv.reg, ft.reg, isa.CMP_LT)
+    pb.beq(rc, 0, band4)
+    pb.li(rstep, 3)
+    pb.addi(rk3, rk3, 1)
+    pb.j(move)
+    pb.place(band4)
+    pb.li(rstep, 4)
+    pb.place(move)
+    pb.add(rm, rm, rstep)
+    wrapped = pb.label()
+    pb.blt(rm, rzones, wrapped)
+    pb.sub(rm, rm, rzones)
+    pb.place(wrapped)
+    pb.addi(rprobe, rprobe, 1)
+    pb.blt(rprobe, rn, top)
+
+    ctx.store_int_result("k2", rk2)
+    ctx.store_int_result("k3", rk3)
+    ctx.store_int_result("m", rm)
+
+
+def _k17(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    last = n - 1
+    vlr = ctx.array("vlr", offset_words=last, step=-1)
+    vlin = ctx.array("vlin", offset_words=last, step=-1)
+    vxne = ctx.array("vxne", offset_words=last, step=-1)
+    vsp = ctx.array("vsp", offset_words=last, step=-1)
+    vstp = ctx.array("vstp", offset_words=last, step=-1)
+    vxnd = ctx.array("vxnd", offset_words=last, step=-1)
+    ve3 = ctx.array("ve3", offset_words=last, step=-1)
+    par = ctx.array("params")
+    scale = vb.scalar_load(par, 0)
+    xnm = vb.move(vb.scalar_load(par, 1))
+    e6 = vb.move(vb.scalar_load(par, 2))
+    rc = vb.int_temp()
+
+    def body():
+        lr = vb.load_elem(vlr)
+        lin = vb.load_elem(vlin)
+        xne = vb.load_elem(vxne)
+        e3 = vb.add(vb.mul(xnm, lr), vb.mul(e6, lin))
+        xnei = vb.mul(xnm, xne)
+        vb.store_elem(vxnd, e6)
+        xnc = vb.mul(scale, e3)
+        then_arm = pb.label()
+        done = pb.label()
+        pb.fcmp(rc, xnc.reg, xnm.reg, isa.CMP_LT)  # xnm > xnc
+        pb.bne(rc, 0, then_arm)
+        pb.fcmp(rc, xnc.reg, xnei.reg, isa.CMP_LT)  # xnei > xnc
+        pb.bne(rc, 0, then_arm)
+        sp = vb.load_elem(vsp)
+        stp = vb.load_elem(vstp)
+        t = vb.mul(xnm, sp)
+        vb.add(t, stp, into=e6)
+        pb.j(done)
+        pb.place(then_arm)
+        vb.store_elem(ve3, e3)
+        t2 = vb.add(e3, e3)
+        vb.sub(t2, xnm, into=e6)
+        vb.move_into(xnm, e3)
+        pb.place(done)
+
+    vb.element_loop(n, body, unroll=2)
+    ctx.store_scalar_result("xnm", xnm)
+    ctx.store_scalar_result("e6", e6)
+
+
+def _k18(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    kn, jn = n, JN18
+    par = ctx.array("params")
+    s = vb.scalar_load(par, 0)
+    t = vb.scalar_load(par, 1)
+    names = ("za", "zb", "zm", "zp", "zq", "zr", "zu", "zv", "zz")
+    handles = {name: ctx.array(name, step=jn) for name in names}
+
+    def rebase_all():
+        for name in names:
+            vb.rebase(handles[name], ctx.addr(name) + (jn + 1) * WORD_BYTES)
+
+    strips = [(js, min(4, (jn - 2) - js)) for js in range(0, jn - 2, 4)]
+
+    za, zb, zm, zp, zq = (handles[k] for k in ("za", "zb", "zm", "zp", "zq"))
+    zr, zu, zv, zz = (handles[k] for k in ("zr", "zu", "zv", "zz"))
+
+    def nest1(vl_unused):
+        for js, width in strips:
+            vb.fpu.mark()
+            a = vb.vload(zp, js - 1 + jn, vl=width, stride=1)
+            b = vb.vload(zq, js - 1 + jn, vl=width, stride=1)
+            num = vb.add(a, b, into=a)
+            c = vb.vload(zp, js - 1, vl=width, stride=1)
+            num = vb.sub(num, c, into=num)
+            d = vb.vload(zq, js - 1, vl=width, stride=1)
+            num = vb.sub(num, d, into=num)
+            e = vb.vload(zr, js, vl=width, stride=1)
+            f = vb.vload(zr, js - 1, vl=width, stride=1)
+            fac = vb.add(e, f, into=e)
+            num = vb.mul(num, fac, into=num)
+            g = vb.vload(zm, js - 1, vl=width, stride=1)
+            h = vb.vload(zm, js - 1 + jn, vl=width, stride=1)
+            den = vb.add(g, h, into=g)
+            res = vb.div(num, den)
+            vb.vstore(za, res, offset=js, stride=1)
+            vb.fpu.release()
+            vb.fpu.mark()
+            a = vb.vload(zp, js - 1, vl=width, stride=1)
+            b = vb.vload(zq, js - 1, vl=width, stride=1)
+            num = vb.add(a, b, into=a)
+            c = vb.vload(zp, js, vl=width, stride=1)
+            num = vb.sub(num, c, into=num)
+            d = vb.vload(zq, js, vl=width, stride=1)
+            num = vb.sub(num, d, into=num)
+            e = vb.vload(zr, js, vl=width, stride=1)
+            f = vb.vload(zr, js - jn, vl=width, stride=1)
+            fac = vb.add(e, f, into=e)
+            num = vb.mul(num, fac, into=num)
+            g = vb.vload(zm, js, vl=width, stride=1)
+            h = vb.vload(zm, js - 1, vl=width, stride=1)
+            den = vb.add(g, h, into=g)
+            res = vb.div(num, den)
+            vb.vstore(zb, res, offset=js, stride=1)
+            vb.fpu.release()
+
+    def velocity_update(target, field, js, width):
+        """target(j,k) += s * (za*(f_c-f_r) - za_l*(f_c-f_l)
+                               - zb*(f_c-f_d) + zb_u*(f_c-f_u))"""
+        vb.fpu.mark()
+        f_c = vb.vload(field, js, vl=width, stride=1)
+        t1 = vb.vload(field, js + 1, vl=width, stride=1)
+        t1 = vb.sub(f_c, t1, into=t1)
+        a1 = vb.vload(za, js, vl=width, stride=1)
+        acc = vb.mul(a1, t1, into=t1)
+        t2 = vb.vload(field, js - 1, vl=width, stride=1)
+        t2 = vb.sub(f_c, t2, into=t2)
+        a2 = vb.vload(za, js - 1, vl=width, stride=1)
+        t2 = vb.mul(a2, t2, into=t2)
+        acc = vb.sub(acc, t2, into=acc)
+        t3 = vb.vload(field, js - jn, vl=width, stride=1)
+        t3 = vb.sub(f_c, t3, into=t3)
+        b1 = vb.vload(zb, js, vl=width, stride=1)
+        t3 = vb.mul(b1, t3, into=t3)
+        acc = vb.sub(acc, t3, into=acc)
+        t4 = vb.vload(field, js + jn, vl=width, stride=1)
+        t4 = vb.sub(f_c, t4, into=t4)
+        b2 = vb.vload(zb, js + jn, vl=width, stride=1)
+        t4 = vb.mul(b2, t4, into=t4)
+        acc = vb.add(acc, t4, into=acc)
+        acc = vb.mul(acc, s, into=acc)
+        cur = vb.vload(target, js, vl=width, stride=1)
+        acc = vb.add(cur, acc, into=acc)
+        vb.vstore(target, acc, offset=js, stride=1)
+        vb.fpu.release()
+
+    def nest2(vl_unused):
+        for js, width in strips:
+            velocity_update(zu, zz, js, width)
+            velocity_update(zv, zr, js, width)
+
+    def nest3(vl_unused):
+        for js, width in strips:
+            vb.fpu.mark()
+            a = vb.vload(zu, js, vl=width, stride=1)
+            a = vb.mul(a, t, into=a)
+            cur = vb.vload(zr, js, vl=width, stride=1)
+            a = vb.add(cur, a, into=a)
+            vb.vstore(zr, a, offset=js, stride=1)
+            b = vb.vload(zv, js, vl=width, stride=1)
+            b = vb.mul(b, t, into=b)
+            cur2 = vb.vload(zz, js, vl=width, stride=1)
+            b = vb.add(cur2, b, into=b)
+            vb.vstore(zz, b, offset=js, stride=1)
+            vb.fpu.release()
+
+    for nest in (nest1, nest2, nest3):
+        rebase_all()
+        saved_vl = vb.vl
+        vb.vl = 1
+        vb.strip_loop(kn - 2, nest)
+        vb.vl = saved_vl
+
+
+def _k19(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    stb5 = vb.move(vb.scalar_load(ctx.array("params"), 0))
+
+    def make_body(sa_h, sb_h, b5_h):
+        def body():
+            a = vb.load_elem(sa_h)
+            b = vb.load_elem(sb_h)
+            v = vb.add(a, vb.mul(stb5, b))
+            vb.store_elem(b5_h, v)
+            vb.sub(v, stb5, into=stb5)
+        return body
+
+    sa_f = ctx.array("sa")
+    sb_f = ctx.array("sb")
+    b5_f = ctx.array("b5")
+    vb.element_loop(n, make_body(sa_f, sb_f, b5_f), unroll=4)
+    sa_b = ctx.array("sa", offset_words=n - 1, step=-1)
+    sb_b = ctx.array("sb", offset_words=n - 1, step=-1)
+    b5_b = ctx.array("b5", offset_words=n - 1, step=-1)
+    vb.element_loop(n, make_body(sa_b, sb_b, b5_b), unroll=4)
+    ctx.store_scalar_result("stb5", stb5)
+
+
+def _k20(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    y = ctx.array("y")
+    z = ctx.array("z")
+    u = ctx.array("u")
+    v = ctx.array("v")
+    w = ctx.array("w")
+    g = ctx.array("g")
+    vx = ctx.array("vx")
+    x = ctx.array("x")
+    xx = ctx.array("xx")
+    par = ctx.array("params")
+    s = vb.scalar_load(par, 0)
+    tmax = vb.scalar_load(par, 1)
+    dk = vb.scalar_load(par, 2)
+    xxk = vb.scalar_temp()
+    pb.fload(xxk.reg, xx.reg, 0)
+    dn = vb.scalar_temp()
+    rc = vb.int_temp()
+
+    def body():
+        gk = vb.load_elem(g)
+        yk = vb.load_elem(y)
+        zk = vb.load_elem(z)
+        den = vb.add(xxk, dk)
+        quot = vb.div(gk, den)
+        di = vb.sub(yk, quot)
+        vb.move_into(dn, s)  # the default dn (0.2) equals the lower clamp
+        skip = pb.label()
+        pb.fcmp(rc, di.reg, vb.zero().reg, isa.CMP_EQ)
+        pb.bne(rc, 0, skip)
+        dval = vb.div(zk, di)
+        vb.move_into(dn, dval)
+        noclamp_hi = pb.label()
+        pb.fcmp(rc, tmax.reg, dn.reg, isa.CMP_LT)  # dn > t
+        pb.beq(rc, 0, noclamp_hi)
+        vb.move_into(dn, tmax)
+        pb.place(noclamp_hi)
+        noclamp_lo = pb.label()
+        pb.fcmp(rc, dn.reg, s.reg, isa.CMP_LT)     # dn < s
+        pb.beq(rc, 0, noclamp_lo)
+        vb.move_into(dn, s)
+        pb.place(noclamp_lo)
+        pb.place(skip)
+        vk = vb.load_elem(v)
+        wk = vb.load_elem(w)
+        uk = vb.load_elem(u)
+        vxk = vb.load_elem(vx)
+        vdn = vb.mul(vk, dn)
+        num = vb.add(wk, vdn)
+        num = vb.mul(num, xxk, into=num)
+        num = vb.add(num, uk, into=num)
+        den2 = vb.add(vxk, vdn)
+        xk = vb.div(num, den2)
+        vb.store_elem(x, xk)
+        t2 = vb.sub(xk, xxk)
+        t2 = vb.mul(t2, dn, into=t2)
+        nxt = vb.add(t2, xxk, into=t2)
+        vb.store_elem(xx, nxt, offset=1)
+        vb.move_into(xxk, nxt)
+
+    vb.element_loop(n, body)
+
+
+def _k21(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    vyh = ctx.array("vy", step=25)
+    cxh = ctx.array("cx", step=1)
+    pxh = ctx.array("px")
+    vl = ctx.vl
+
+    strips = [(start, min(vl, 25 - start)) for start in range(0, 25, vl)]
+    for j in range(n):
+        for start, width in strips:
+            vb.fpu.mark()
+            if width > 1:
+                acc = vb.splat(vb.zero(), width)
+            else:
+                acc = vb.move(vb.zero())
+            vb.rebase(vyh, ctx.addr("vy") + start * WORD_BYTES)
+            vb.rebase(cxh, ctx.addr("cx") + (25 * j) * WORD_BYTES)
+
+            def kbody():
+                c = vb.load_elem(cxh)
+                vv = vb.vload(vyh, 0, vl=width, stride=1)
+                p = vb.mul(vv, c, into=vv)
+                vb.add(acc, p, into=acc)
+
+            vb.element_loop(25, kbody)
+            vb.rebase(pxh, ctx.addr("px") + (start + 25 * j) * WORD_BYTES)
+            vb.vstore(pxh, acc, stride=1)
+            vb.fpu.release()
+
+
+def _k22(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    x = ctx.array("x")
+    u = ctx.array("u")
+    v = ctx.array("v")
+    y = ctx.array("y")
+    w = ctx.array("w")
+    par = ctx.array("params")
+    quarter = vb.scalar_load(par, 0)
+    one = vb.scalar_load(par, 1)
+    inv_factorials = [vb.scalar_load(par, 2 + i) for i in range(12)]
+
+    def body():
+        uk = vb.load_elem(u)
+        vk = vb.load_elem(v)
+        xk = vb.load_elem(x)
+        yk = vb.div(uk, vk)
+        vb.store_elem(y, yk)
+        e = _exp_poly(vb, yk, quarter, one, inv_factorials)
+        em1 = vb.sub(e, one, into=e)
+        wk = vb.div(xk, em1)
+        vb.store_elem(w, wk)
+
+    vb.element_loop(n, body)
+
+
+def _k23(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    width = n + 1
+    zah = ctx.array("za")
+    zzh = ctx.array("zz")
+    zr = ctx.array("zr", offset_words=1)
+    zb = ctx.array("zb", offset_words=1)
+    zu = ctx.array("zu", offset_words=1)
+    zv = ctx.array("zv", offset_words=1)
+    relax = vb.scalar_load(ctx.array("params"), 0)
+    prev = vb.scalar_temp()
+
+    def body():
+        up = vb.load_elem(zah, width)
+        dn = vb.load_elem(zah, -width)
+        rgt = vb.load_elem(zah, 1)
+        cur = vb.load_elem(zah, 0)
+        zzc = vb.load_elem(zzh)
+        zrk = vb.load_elem(zr)
+        zbk = vb.load_elem(zb)
+        zuk = vb.load_elem(zu)
+        zvk = vb.load_elem(zv)
+        qa = vb.mul(up, zrk, into=up)
+        t2 = vb.mul(dn, zbk, into=dn)
+        qa = vb.add(qa, t2, into=qa)
+        t3 = vb.mul(rgt, zuk, into=rgt)
+        qa = vb.add(qa, t3, into=qa)
+        t4 = vb.mul(prev, zvk)
+        qa = vb.add(qa, t4, into=qa)
+        qa = vb.add(qa, zzc, into=qa)
+        delta = vb.sub(qa, cur, into=qa)
+        delta = vb.mul(relax, delta, into=delta)
+        upd = vb.add(cur, delta, into=delta)
+        vb.store_elem(zah, upd)
+        vb.move_into(prev, upd)
+
+    for j in range(1, 6):
+        base = j * width + 1
+        vb.rebase(zah, ctx.addr("za") + base * WORD_BYTES)
+        vb.rebase(zzh, ctx.addr("zz") + base * WORD_BYTES)
+        vb.rebase(zr, ctx.addr("zr") + WORD_BYTES)
+        vb.rebase(zb, ctx.addr("zb") + WORD_BYTES)
+        vb.rebase(zu, ctx.addr("zu") + WORD_BYTES)
+        vb.rebase(zv, ctx.addr("zv") + WORD_BYTES)
+        pb.fload(prev.reg, zah.reg, -WORD_BYTES)
+        vb.element_loop(n - 1, body, unroll=2)
+
+
+def _k24(ctx):
+    vb, pb, n = ctx.vb, ctx.pb, ctx.n
+    x = ctx.array("x", offset_words=1)
+    best = vb.scalar_temp()
+    pb.fload(best.reg, x.reg, -WORD_BYTES)  # x[0]
+    current = vb.scalar_temp()
+    rm = vb.int_temp()
+    rk = vb.int_temp()
+    rn = vb.int_temp()
+    rc = vb.int_temp()
+    pb.li(rm, 0)
+    pb.li(rk, 1)
+    pb.li(rn, n)
+    top = pb.here("scan")
+    pb.fload(current.reg, x.reg, 0)
+    skip = pb.label()
+    pb.fcmp(rc, current.reg, best.reg, isa.CMP_LT)
+    pb.beq(rc, 0, skip)
+    vb.move_into(best, current)
+    pb.add(rm, rk, 0)
+    pb.place(skip)
+    pb.addi(x.reg, x.reg, WORD_BYTES)
+    pb.addi(rk, rk, 1)
+    pb.blt(rk, rn, top)
+    ctx.store_int_result("m", rm)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoopSpec:
+    number: int
+    description: str
+    emit: callable
+    vectorizable: bool = False
+    default_vl: int = 8
+
+
+KERNELS = {
+    1: LoopSpec(1, "hydro fragment", _k01, True, 8),
+    2: LoopSpec(2, "ICCG excerpt", _k02, True, 8),
+    3: LoopSpec(3, "inner product", _k03, True, 8),
+    4: LoopSpec(4, "banded linear equations", _k04, True, 8),
+    5: LoopSpec(5, "tridiagonal elimination", _k05, False),
+    6: LoopSpec(6, "general linear recurrence", _k06, True, 8),
+    7: LoopSpec(7, "equation of state", _k07, True, 4),
+    8: LoopSpec(8, "ADI integration", _k08, True, 4),
+    9: LoopSpec(9, "integration predictors", _k09, True, 4),
+    10: LoopSpec(10, "difference predictors", _k10, True, 4),
+    11: LoopSpec(11, "first sum", _k11, True, 8),
+    12: LoopSpec(12, "first difference", _k12, True, 8),
+    13: LoopSpec(13, "2-D particle in cell", _k13, False),
+    14: LoopSpec(14, "1-D particle in cell", _k14, False),
+    15: LoopSpec(15, "casual Fortran", _k15, False),
+    16: LoopSpec(16, "Monte Carlo search", _k16, False),
+    17: LoopSpec(17, "implicit conditional", _k17, False),
+    18: LoopSpec(18, "2-D explicit hydro", _k18, True, 4),
+    19: LoopSpec(19, "linear recurrence equations", _k19, False),
+    20: LoopSpec(20, "discrete ordinates transport", _k20, False),
+    21: LoopSpec(21, "matrix product", _k21, True, 8),
+    22: LoopSpec(22, "Planckian distribution", _k22, False),
+    23: LoopSpec(23, "2-D implicit hydro", _k23, False),
+    24: LoopSpec(24, "first minimum", _k24, False),
+}

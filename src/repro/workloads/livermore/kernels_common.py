@@ -1,0 +1,134 @@
+"""Shared machinery for building Livermore loop kernels.
+
+A kernel builder receives a :class:`KernelContext` exposing the program
+builder, a Mahler-style vector builder, the memory layout of the loop's
+arrays, and result slots for scalar outputs.  ``build_loop`` assembles one
+loop in one coding into a :class:`~repro.workloads.common.BuiltKernel`
+whose check compares every reference output against simulated memory.
+"""
+
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.vectorize.builder import VectorKernelBuilder
+from repro.workloads.common import BuiltKernel, expect_close
+from repro.workloads.livermore.data import make_data
+from repro.workloads.livermore.reference import REFERENCES
+
+# Relative tolerance per loop: loops whose machine coding reorders sums or
+# exercises the reciprocal/sqrt/exp paths get a looser bound.
+DEFAULT_REL_TOL = 1e-9
+REL_TOL = {15: 1e-7, 18: 1e-9, 20: 1e-9, 22: 1e-7}
+
+
+class KernelContext:
+    """Everything a kernel builder needs to emit one loop."""
+
+    def __init__(self, loop, n, arrays, vl):
+        self.loop = loop
+        self.n = n
+        self.arrays = arrays
+        self.vl = max(1, vl)
+        self.memory = Memory()
+        self.arena = Arena(self.memory, base=256)
+        self.addresses = {}
+        for name, value in arrays.items():
+            if isinstance(value, list):
+                self.addresses[name] = self.arena.alloc_array(list(value))
+            elif isinstance(value, float):
+                self.addresses[name] = self.arena.alloc_array([value])
+            # ints (e.g. loop 4's band offset) stay compile-time constants
+        self.pb = ProgramBuilder()
+        self.vb = VectorKernelBuilder(self.pb, vl=self.vl)
+        self.result_slots = {}
+
+    def addr(self, name):
+        return self.addresses[name]
+
+    def const(self, name):
+        """A compile-time integer constant from the data set."""
+        return self.arrays[name]
+
+    def array(self, name, offset_words=0, step=1):
+        """Declare a builder array handle over a named data array."""
+        return self.vb.array(self.addr(name) + offset_words * WORD_BYTES,
+                             step=step, name=name)
+
+    def alloc_scratch(self, words=1):
+        """Reserve scratch memory (e.g. the FP->integer transfer slot)."""
+        return self.arena.alloc(words)
+
+    def result_slot(self, name):
+        """Reserve a memory word for a named scalar output."""
+        slot = self.arena.alloc(1)
+        self.result_slots[name] = slot
+        return slot
+
+    def store_scalar_result(self, name, value, base_reg=None):
+        """fstore a scalar FPU value into a fresh result slot."""
+        slot = self.result_slot(name)
+        reg = self.vb.ints.alloc()
+        self.pb.li(reg, slot)
+        self.pb.fstore(value.reg, reg, 0)
+
+    def store_int_result(self, name, int_reg):
+        """SW a CPU integer register into a fresh result slot."""
+        slot = self.result_slot(name)
+        reg = self.vb.ints.alloc()
+        self.pb.li(reg, slot)
+        self.pb.sw(int_reg, reg, 0)
+
+
+def build_loop(loop, coding="vector", n=None, vl=None, seed=1989):
+    """Build one Livermore loop kernel.
+
+    ``coding`` is "vector" or "scalar"; loops the paper did not vectorize
+    use their scalar coding for both.  ``vl`` overrides the strip length
+    (defaults per loop; scalar forces 1).
+    """
+    from repro.workloads.livermore import kernels
+
+    n, arrays = make_data(loop, n=n, seed=seed)
+    outputs, flops = REFERENCES[loop](n, {k: (list(v) if isinstance(v, list) else v)
+                                          for k, v in arrays.items()})
+    spec = kernels.KERNELS[loop]
+    if coding == "scalar" or not spec.vectorizable:
+        effective_vl = 1
+    else:
+        effective_vl = vl if vl is not None else spec.default_vl
+    ctx = KernelContext(loop, n, arrays, effective_vl)
+    spec.emit(ctx)
+    program = ctx.pb.build()
+
+    rel_tol = REL_TOL.get(loop, DEFAULT_REL_TOL)
+
+    def check(machine):
+        for name, want in outputs.items():
+            if isinstance(want, list):
+                error = expect_close(ctx.memory, ctx.addr(name), want,
+                                     rel_tol=rel_tol, label="loop%d.%s" % (loop, name))
+                if error:
+                    return error
+            else:
+                slot = ctx.result_slots.get(name)
+                if slot is None:
+                    return "loop%d: no result slot for %r" % (loop, name)
+                got = ctx.memory.read(slot)
+                if isinstance(want, int):
+                    if int(got) != want:
+                        return "loop%d.%s = %r, want %r" % (loop, name, got, want)
+                else:
+                    error = expect_close(ctx.memory, slot, [want], rel_tol=rel_tol,
+                                         label="loop%d.%s" % (loop, name))
+                    if error:
+                        return error
+        return None
+
+    return BuiltKernel(
+        name="LL%02d (%s)" % (loop, coding),
+        program=program,
+        memory=ctx.memory,
+        nominal_flops=flops,
+        setup=None,
+        check=check,
+        description=spec.description,
+    )

@@ -1,0 +1,592 @@
+"""Pure-Python reference semantics for the 24 Livermore kernels.
+
+Each ``ref_loopNN(n, arrays)`` returns ``(outputs, flops)`` where
+``outputs`` maps array names (or scalar result names) to expected values
+and ``flops`` is the kernel's nominal floating-point work, weighted the
+way McMahon's LFK report weights it (add/subtract/multiply = 1,
+divide/sqrt = 4, exp = 8, compare = 1).  The machine kernels in
+``kernels*.py`` implement exactly these semantics; the test suite checks
+the simulated memory image against these references.
+
+Loops 13-17 follow the structure of the LFK C translation but are
+simplified where the original leans on Fortran storage tricks
+(integer-valued floats used as indices); DESIGN.md records each
+simplification.
+"""
+
+import math
+
+from repro.workloads.livermore.data import GRID15_COLS, JN18, PIC_GRID
+
+WEIGHT_DIV = 4
+WEIGHT_SQRT = 4
+WEIGHT_EXP = 8
+
+
+class Flops:
+    """Nominal flop accounting with McMahon-style weights."""
+
+    def __init__(self):
+        self.count = 0
+
+    def add(self, n=1):
+        self.count += n
+
+    def mul(self, n=1):
+        self.count += n
+
+    def div(self, n=1):
+        self.count += n * WEIGHT_DIV
+
+    def sqrt(self, n=1):
+        self.count += n * WEIGHT_SQRT
+
+    def exp(self, n=1):
+        self.count += n * WEIGHT_EXP
+
+    def cmp(self, n=1):
+        self.count += n
+
+
+def ref_loop01(n, arrays):
+    """Hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])."""
+    y, z = arrays["y"], arrays["z"]
+    q, r, t = arrays["params"]
+    f = Flops()
+    x = []
+    for k in range(n):
+        x.append(q + y[k] * (r * z[k + 10] + t * z[k + 11]))
+        f.mul(3)
+        f.add(2)
+    return {"x": x}, f.count
+
+
+def ref_loop02(n, arrays):
+    """ICCG excerpt (incomplete Cholesky conjugate gradient)."""
+    x = list(arrays["x"])
+    v = arrays["v"]
+    f = Flops()
+    ii = n
+    ipntp = 0
+    while ii > 1:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        i = ipntp - 1
+        for k in range(ipnt + 1, ipntp, 2):
+            i += 1
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]
+            f.mul(2)
+            f.add(2)
+    return {"x": x}, f.count
+
+
+def ref_loop03(n, arrays):
+    """Inner product: q = sum z[k]*x[k] (summed strip-wise by halving,
+    the Mahler vector-sum order, to match the machine coding exactly)."""
+    x, z = arrays["x"], arrays["z"]
+    f = Flops()
+    f.mul(n)
+    f.add(n)  # n multiplies + (n-1)-ish adds, nominally n
+    vl = 8
+
+    def halving_sum(values):
+        values = list(values)
+        extras = []
+        while len(values) > 1:
+            half = len(values) // 2
+            if len(values) & 1:
+                extras.append(values[-1])
+            values = [values[i] + values[half + i] for i in range(half)]
+        total = values[0]
+        for extra in extras:
+            total += extra
+        return total
+
+    q = 0.0
+    for start in range(0, n, vl):
+        products = [z[k] * x[k] for k in range(start, min(start + vl, n))]
+        q += halving_sum(products)
+    return {"q": q}, f.count
+
+
+def ref_loop04(n, arrays):
+    """Banded linear equations."""
+    x = list(arrays["x"])
+    y, xz, m = arrays["y"], arrays["xz"], arrays["m"]
+    f = Flops()
+    for k in (6, 6 + m, 6 + 2 * m):
+        lw = k - 6
+        temp = x[k - 1]
+        for j in range(4, n, 5):
+            temp -= xz[lw] * y[j]
+            lw += 1
+            f.mul()
+            f.add()
+        x[k - 1] = y[4] * temp
+        f.mul()
+    return {"x": x}, f.count
+
+
+def ref_loop05(n, arrays):
+    """Tridiagonal elimination, below diagonal: x[i] = z[i]*(y[i]-x[i-1])."""
+    x = list(arrays["x"])
+    y, z = arrays["y"], arrays["z"]
+    f = Flops()
+    for i in range(1, n):
+        x[i] = z[i] * (y[i] - x[i - 1])
+        f.mul()
+        f.add()
+    return {"x": x}, f.count
+
+
+def ref_loop06(n, arrays):
+    """General linear recurrence: w[i] += sum_k b[k,i]*w[i-k-1].
+
+    The inner dot product is summed in the machine coding's order
+    (strip-wise halving) so the reference matches bit-for-bit closely.
+    """
+    w = list(arrays["w"])
+    b = arrays["b"]
+    f = Flops()
+    vl = 8
+    for i in range(1, n):
+        total = 0.0
+        for start in range(0, i, vl):
+            length = min(vl, i - start)
+            products = [b[(start + k) + i * n] * w[i - (start + k) - 1]
+                        for k in range(length)]
+            f.mul(length)
+            f.add(length)
+            values = list(products)
+            extras = []
+            while len(values) > 1:
+                half = len(values) // 2
+                if len(values) & 1:
+                    extras.append(values[-1])
+                values = [values[j] + values[half + j] for j in range(half)]
+            strip = values[0]
+            for extra in extras:
+                strip += extra
+            total += strip
+        w[i] += total
+    return {"w": w}, f.count
+
+
+def ref_loop07(n, arrays):
+    """Equation of state fragment (16 flops per iteration)."""
+    y, z, u = arrays["y"], arrays["z"], arrays["u"]
+    q, r, t = arrays["params"]
+    f = Flops()
+    x = []
+    for k in range(n):
+        x.append(u[k] + r * (z[k] + r * y[k])
+                 + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                        + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4]))))
+        f.mul(8)
+        f.add(8)
+    return {"x": x}, f.count
+
+
+def _u8(kx, ky, nl, n):
+    return kx + 5 * ky + 5 * (n + 2) * nl
+
+
+def ref_loop08(n, arrays):
+    """ADI integration over a (5, n+2, 2) mesh."""
+    u1 = list(arrays["u1"])
+    u2 = list(arrays["u2"])
+    u3 = list(arrays["u3"])
+    du1 = list(arrays["du1"])
+    du2 = list(arrays["du2"])
+    du3 = list(arrays["du3"])
+    a11, a12, a13, a21, a22, a23, a31, a32, a33, sig, two = arrays["params"]
+    f = Flops()
+    for ky in range(2, n):
+        for kx in (1, 2):
+            du1[ky] = u1[_u8(kx, ky + 1, 0, n)] - u1[_u8(kx, ky - 1, 0, n)]
+            du2[ky] = u2[_u8(kx, ky + 1, 0, n)] - u2[_u8(kx, ky - 1, 0, n)]
+            du3[ky] = u3[_u8(kx, ky + 1, 0, n)] - u3[_u8(kx, ky - 1, 0, n)]
+            f.add(3)
+            for coeffs, u, du_terms in (
+                ((a11, a12, a13), u1, None),
+                ((a21, a22, a23), u2, None),
+                ((a31, a32, a33), u3, None),
+            ):
+                c1, c2, c3 = coeffs
+                center = u[_u8(kx, ky, 0, n)]
+                stencil = (u[_u8(kx + 1, ky, 0, n)] - two * center
+                           + u[_u8(kx - 1, ky, 0, n)])
+                u[_u8(kx, ky, 1, n)] = (center + c1 * du1[ky] + c2 * du2[ky]
+                                        + c3 * du3[ky] + sig * stencil)
+                f.mul(5)
+                f.add(6)
+    return {"u1": u1, "u2": u2, "u3": u3, "du1": du1, "du2": du2, "du3": du3}, f.count
+
+
+def ref_loop09(n, arrays):
+    """Numerical integration predictors (17 flops per column)."""
+    px = list(arrays["px"])
+    dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0 = arrays["params"]
+    f = Flops()
+    for j in range(n):
+        base = 25 * j
+        px[base] = (dm28 * px[base + 12] + dm27 * px[base + 11]
+                    + dm26 * px[base + 10] + dm25 * px[base + 9]
+                    + dm24 * px[base + 8] + dm23 * px[base + 7]
+                    + dm22 * px[base + 6]
+                    + c0 * (px[base + 4] + px[base + 5]) + px[base + 2])
+        f.mul(8)
+        f.add(9)
+    return {"px": px}, f.count
+
+
+def ref_loop10(n, arrays):
+    """Numerical differentiation: difference predictors."""
+    px = list(arrays["px"])
+    cx = arrays["cx"]
+    f = Flops()
+    for j in range(n):
+        base = 25 * j
+        prev = cx[base + 4]
+        for row in range(4, 13):
+            diff = prev - px[base + row]
+            px[base + row] = prev
+            prev = diff
+            f.add()
+        px[base + 13] = prev
+    return {"px": px}, f.count
+
+
+def ref_loop11(n, arrays):
+    """First sum (prefix sum): x[k] = x[k-1] + y[k]."""
+    y = arrays["y"]
+    f = Flops()
+    x = []
+    total = 0.0
+    for k in range(n):
+        total = total + y[k]
+        x.append(total)
+        f.add()
+    return {"x": x}, f.count
+
+
+def ref_loop12(n, arrays):
+    """First difference: x[k] = y[k+1] - y[k]."""
+    y = arrays["y"]
+    f = Flops()
+    x = [y[k + 1] - y[k] for k in range(n)]
+    f.add(n)
+    return {"x": x}, f.count
+
+
+def ref_loop13(n, arrays):
+    """2-D particle in cell (simplified: index arithmetic uses truncation
+    and power-of-two masking, not the original integer-valued floats)."""
+    grid, mask = PIC_GRID, PIC_GRID - 1
+    p = list(arrays["p"])
+    b, c, y, z = arrays["b"], arrays["c"], arrays["y"], arrays["z"]
+    h = list(arrays["h"])
+    f = Flops()
+    for ip in range(n):
+        p1, p2, p3, p4 = (p[4 * ip], p[4 * ip + 1], p[4 * ip + 2], p[4 * ip + 3])
+        i1 = int(p1) & mask
+        j1 = int(p2) & mask
+        p3 += b[i1 + grid * j1]
+        p4 += c[i1 + grid * j1]
+        p1 += p3
+        p2 += p4
+        i2 = int(p1) & mask
+        j2 = int(p2) & mask
+        p1 += y[i2 + 2]
+        p2 += z[j2 + 2]
+        h[i2 + grid * j2] += 1.0
+        f.add(7)
+        p[4 * ip], p[4 * ip + 1], p[4 * ip + 2], p[4 * ip + 3] = p1, p2, p3, p4
+    return {"p": p, "h": h}, f.count
+
+
+def ref_loop14(n, arrays):
+    """1-D particle in cell (simplified scatter/gather variant)."""
+    grid, mask = PIC_GRID, PIC_GRID - 1
+    grd, dex, ex = arrays["grd"], arrays["dex"], arrays["ex"]
+    flx = arrays["flx"]
+    vx, xx, rx = [0.0] * n, [0.0] * n, [0.0] * n
+    rh = list(arrays["rh"])
+    f = Flops()
+    for k in range(n):
+        ix = int(grd[k]) & mask
+        xik = float(ix)
+        ex1k = ex[ix] + (grd[k] - xik) * dex[ix]
+        vx[k] = ex1k * flx
+        xx[k] = xik + vx[k]
+        ir = int(xx[k]) & mask
+        rx[k] = xx[k] - float(ir)
+        rh[ir] += 1.0 - rx[k]
+        rh[ir + 1] += rx[k]
+        f.add(6)
+        f.mul(2)
+    return {"vx": vx, "xx": xx, "rx": rx, "rh": rh}, f.count
+
+
+def ref_loop15(n, arrays):
+    """Casual Fortran (after LFK 15): conditional stencil with sqrt."""
+    ng, nz = 8, n
+    vh, vf, vg = arrays["vh"], arrays["vf"], arrays["vg"]
+    ar, br = arrays["params"][0], arrays["params"][1]
+    vy = list(arrays["vy"])
+    vs = list(arrays["vs"])
+    f = Flops()
+    for j in range(1, ng - 1):
+        for k in range(1, nz):
+            at = j * nz + k
+            up = (j + 1) * nz + k
+            t = ar if vh[up] > vh[at] else br
+            f.cmp()
+            if vf[at] < vf[at - 1]:
+                r = max(vh[at - 1], vh[up - 1])
+                s = vf[at - 1]
+            else:
+                r = max(vh[at], vh[up])
+                s = vf[at]
+            f.cmp(2)
+            vy[at] = math.sqrt(vg[at] * vg[at] + r * r) * t / s
+            f.mul(3)
+            f.add()
+            f.sqrt()
+            f.div()
+            vs[at] = (r + t) / s
+            f.add()
+            f.div()
+    return {"vy": vy, "vs": vs}, f.count
+
+
+def ref_loop16(n, arrays):
+    """Monte Carlo zone search (after LFK 16): branch-dominated probing."""
+    plan, zone = arrays["plan"], arrays["zone"]
+    r, s, t = arrays["params"]
+    zones = len(plan)
+    m = 0
+    k2 = 0
+    k3 = 0
+    f = Flops()
+    for probe in range(n):
+        j = zone[m] - 1
+        while j >= zones:
+            j -= zones
+        value = plan[j]
+        k2 += 1
+        if value < r:
+            step = 1
+        elif value < s:
+            step = 2
+        elif value < t:
+            step = 3
+            k3 += 1
+        else:
+            step = 4
+        f.cmp(3)
+        m += step
+        while m >= zones:
+            m -= zones
+    return {"k2": k2, "k3": k3, "m": m}, f.count
+
+
+def ref_loop17(n, arrays):
+    """Implicit conditional computation (after LFK 17)."""
+    vsp, vstp, vxne = arrays["vsp"], arrays["vstp"], arrays["vxne"]
+    vlr, vlin = arrays["vlr"], arrays["vlin"]
+    scale, xnm, e6 = arrays["params"]
+    vxnd = list(arrays["vxnd"])
+    ve3 = list(arrays["ve3"])
+    f = Flops()
+    for i in range(n - 1, -1, -1):
+        e3 = xnm * vlr[i] + e6 * vlin[i]
+        xnei = xnm * vxne[i]
+        vxnd[i] = e6
+        xnc = scale * e3
+        f.mul(4)
+        f.add()
+        f.cmp(2)
+        if xnm > xnc or xnei > xnc:
+            ve3[i] = e3
+            e6 = e3 + e3 - xnm
+            xnm = e3
+            f.add(2)
+        else:
+            e6 = xnm * vsp[i] + vstp[i]
+            f.mul()
+            f.add()
+    return {"vxnd": vxnd, "ve3": ve3, "xnm": xnm, "e6": e6}, f.count
+
+
+def _i18(j, k, n):
+    return j + JN18 * k
+
+
+def ref_loop18(n, arrays):
+    """2-D explicit hydrodynamics fragment (three sequential sweeps)."""
+    kn, jn = n, JN18
+    za = list(arrays["za"])
+    zb = list(arrays["zb"])
+    zm, zp, zq = arrays["zm"], arrays["zp"], arrays["zq"]
+    zr = list(arrays["zr"])
+    zu = list(arrays["zu"])
+    zv = list(arrays["zv"])
+    zz = list(arrays["zz"])
+    s, t = arrays["params"]
+    f = Flops()
+    for k in range(1, kn - 1):
+        for j in range(1, jn - 1):
+            za[_i18(j, k, n)] = ((zp[_i18(j - 1, k + 1, n)] + zq[_i18(j - 1, k + 1, n)]
+                                  - zp[_i18(j - 1, k, n)] - zq[_i18(j - 1, k, n)])
+                                 * (zr[_i18(j, k, n)] + zr[_i18(j - 1, k, n)])
+                                 / (zm[_i18(j - 1, k, n)] + zm[_i18(j - 1, k + 1, n)]))
+            zb[_i18(j, k, n)] = ((zp[_i18(j - 1, k, n)] + zq[_i18(j - 1, k, n)]
+                                  - zp[_i18(j, k, n)] - zq[_i18(j, k, n)])
+                                 * (zr[_i18(j, k, n)] + zr[_i18(j, k - 1, n)])
+                                 / (zm[_i18(j, k, n)] + zm[_i18(j - 1, k, n)]))
+            f.add(10)
+            f.mul(2)
+            f.div(2)
+    for k in range(1, kn - 1):
+        for j in range(1, jn - 1):
+            zu[_i18(j, k, n)] += s * (za[_i18(j, k, n)] * (zz[_i18(j, k, n)] - zz[_i18(j + 1, k, n)])
+                                      - za[_i18(j - 1, k, n)] * (zz[_i18(j, k, n)] - zz[_i18(j - 1, k, n)])
+                                      - zb[_i18(j, k, n)] * (zz[_i18(j, k, n)] - zz[_i18(j, k - 1, n)])
+                                      + zb[_i18(j, k + 1, n)] * (zz[_i18(j, k, n)] - zz[_i18(j, k + 1, n)]))
+            zv[_i18(j, k, n)] += s * (za[_i18(j, k, n)] * (zr[_i18(j, k, n)] - zr[_i18(j + 1, k, n)])
+                                      - za[_i18(j - 1, k, n)] * (zr[_i18(j, k, n)] - zr[_i18(j - 1, k, n)])
+                                      - zb[_i18(j, k, n)] * (zr[_i18(j, k, n)] - zr[_i18(j, k - 1, n)])
+                                      + zb[_i18(j, k + 1, n)] * (zr[_i18(j, k, n)] - zr[_i18(j, k + 1, n)]))
+            f.add(16)
+            f.mul(10)
+    for k in range(1, kn - 1):
+        for j in range(1, jn - 1):
+            zr[_i18(j, k, n)] += t * zu[_i18(j, k, n)]
+            zz[_i18(j, k, n)] += t * zv[_i18(j, k, n)]
+            f.add(2)
+            f.mul(2)
+    return {"za": za, "zb": zb, "zu": zu, "zv": zv, "zr": zr, "zz": zz}, f.count
+
+
+def ref_loop19(n, arrays):
+    """General linear recurrence equations (forward then backward)."""
+    sa, sb = arrays["sa"], arrays["sb"]
+    stb5 = arrays["params"][0]
+    b5 = list(arrays["b5"])
+    f = Flops()
+    for k in range(n):
+        b5[k] = sa[k] + stb5 * sb[k]
+        stb5 = b5[k] - stb5
+        f.mul()
+        f.add(2)
+    for i in range(n):
+        k = n - i - 1
+        b5[k] = sa[k] + stb5 * sb[k]
+        stb5 = b5[k] - stb5
+        f.mul()
+        f.add(2)
+    return {"b5": b5, "stb5": stb5}, f.count
+
+
+def ref_loop20(n, arrays):
+    """Discrete ordinates transport: conditional recurrence with clamps."""
+    y, z, u, v, w, g, vx = (arrays["y"], arrays["z"], arrays["u"], arrays["v"],
+                            arrays["w"], arrays["g"], arrays["vx"])
+    s, t, dk = arrays["params"]
+    x = [0.0] * n
+    xx = list(arrays["xx"])
+    f = Flops()
+    for k in range(n):
+        di = y[k] - g[k] / (xx[k] + dk)
+        f.add(2)
+        f.div()
+        dn = 0.2
+        if di != 0.0:
+            dn = z[k] / di
+            f.div()
+            if dn > t:
+                dn = t
+            if dn < s:
+                dn = s
+            f.cmp(2)
+        x[k] = ((w[k] + v[k] * dn) * xx[k] + u[k]) / (vx[k] + v[k] * dn)
+        f.mul(3)
+        f.add(3)
+        f.div()
+        xx[k + 1] = (x[k] - xx[k]) * dn + xx[k]
+        f.mul()
+        f.add(2)
+    return {"x": x, "xx": xx}, f.count
+
+
+def ref_loop21(n, arrays):
+    """Matrix product: px(25,n) += vy(25,25) * cx(25,n)."""
+    px = list(arrays["px"])
+    vy, cx = arrays["vy"], arrays["cx"]
+    f = Flops()
+    for j in range(n):
+        for k in range(25):
+            scale = cx[k + 25 * j]
+            for i in range(25):
+                px[i + 25 * j] += vy[i + 25 * k] * scale
+            f.mul(25)
+            f.add(25)
+    return {"px": px}, f.count
+
+
+def ref_loop22(n, arrays):
+    """Planckian distribution: w = x / (exp(u/v) - 1)."""
+    x, u, v = arrays["x"], arrays["u"], arrays["v"]
+    y = [0.0] * n
+    w = [0.0] * n
+    f = Flops()
+    for k in range(n):
+        y[k] = u[k] / v[k]
+        w[k] = x[k] / (math.exp(y[k]) - 1.0)
+        f.div(2)
+        f.exp()
+        f.add()
+    return {"y": y, "w": w}, f.count
+
+
+def ref_loop23(n, arrays):
+    """2-D implicit hydrodynamics fragment (Gauss-Seidel sweep)."""
+    width = n + 1
+    za = list(arrays["za"])
+    zr, zb, zu, zv, zz = (arrays["zr"], arrays["zb"], arrays["zu"],
+                          arrays["zv"], arrays["zz"])
+    relax = arrays["params"][0]
+    f = Flops()
+    for j in range(1, 6):
+        for k in range(1, n):
+            qa = (za[(j + 1) * width + k] * zr[k] + za[(j - 1) * width + k] * zb[k]
+                  + za[j * width + k + 1] * zu[k] + za[j * width + k - 1] * zv[k]
+                  + zz[j * width + k])
+            za[j * width + k] += relax * (qa - za[j * width + k])
+            f.mul(5)
+            f.add(6)
+    return {"za": za}, f.count
+
+
+def ref_loop24(n, arrays):
+    """First minimum location."""
+    x = arrays["x"]
+    f = Flops()
+    m = 0
+    for k in range(1, n):
+        if x[k] < x[m]:
+            m = k
+        f.cmp()
+    return {"m": m}, f.count
+
+
+REFERENCES = {
+    1: ref_loop01, 2: ref_loop02, 3: ref_loop03, 4: ref_loop04,
+    5: ref_loop05, 6: ref_loop06, 7: ref_loop07, 8: ref_loop08,
+    9: ref_loop09, 10: ref_loop10, 11: ref_loop11, 12: ref_loop12,
+    13: ref_loop13, 14: ref_loop14, 15: ref_loop15, 16: ref_loop16,
+    17: ref_loop17, 18: ref_loop18, 19: ref_loop19, 20: ref_loop20,
+    21: ref_loop21, 22: ref_loop22, 23: ref_loop23, 24: ref_loop24,
+}

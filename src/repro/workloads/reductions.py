@@ -1,0 +1,111 @@
+"""The three reduction strategies of WRL 89/8 Figures 5-7.
+
+Classical vector machines cannot vectorize a sum reduction; the unified
+vector/scalar register file can, in several ways, because every element
+passes through the scalar scoreboard:
+
+* Figure 5 -- a tree of scalar adds (seven instructions, 12 cycles);
+* Figure 6 -- one linear vector whose elements chain through the
+  accumulator (one instruction, 24 cycles for 8 elements at 3-cycle
+  latency: a prefix-sum recurrence);
+* Figure 7 -- a tree of vector adds (three instructions, 12 cycles, and
+  9 of the 12 cycles leave the CPU free to issue other work).
+"""
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+
+ELEMENTS = 8
+SCALAR_TREE_CYCLES = 12   # Figure 5
+LINEAR_VECTOR_CYCLES = 24  # Figure 6
+VECTOR_TREE_CYCLES = 12   # Figure 7
+
+
+@dataclass
+class ReductionOutcome:
+    """Result of one strategy run."""
+
+    strategy: str
+    cycles: int
+    instructions_transferred: int
+    total: float
+    free_cpu_cycles: int
+
+
+def _machine(program, values):
+    machine = MultiTitan(program, config=MachineConfig(model_ibuffer=False))
+    machine.fpu.regs.write_group(0, [float(v) for v in values])
+    return machine
+
+
+def scalar_tree_program():
+    """Figure 5: pairwise scalar adds; result in R14."""
+    b = ProgramBuilder()
+    b.fadd(8, 0, 1)
+    b.fadd(9, 2, 3)
+    b.fadd(10, 4, 5)
+    b.fadd(11, 6, 7)
+    b.fadd(12, 8, 9)
+    b.fadd(13, 10, 11)
+    b.fadd(14, 12, 13)
+    return b.build(), 14, 7
+
+
+def linear_vector_program():
+    """Figure 6: R8 initialized to zero; one VL-8 chained vector.
+
+    Element *k* computes ``R(9+k) := R(8+k) + Rk``, so each element
+    depends on the previous one; the running sum lands in R16.
+    """
+    b = ProgramBuilder()
+    b.fadd(9, 8, 0, vl=ELEMENTS)
+    return b.build(), 8 + ELEMENTS, 1
+
+
+def vector_tree_program():
+    """Figure 7: a tree of vector adds; result in R14.
+
+    The pairs summed are (R0,R4)...(R3,R7) because register specifiers
+    increment only by 0 or 1 between elements.
+    """
+    b = ProgramBuilder()
+    b.fadd(8, 0, 4, vl=4)
+    b.fadd(12, 8, 10, vl=2)
+    b.fadd(14, 12, 13, vl=1)
+    return b.build(), 14, 3
+
+
+_STRATEGIES = {
+    "scalar_tree": scalar_tree_program,
+    "linear_vector": linear_vector_program,
+    "vector_tree": vector_tree_program,
+}
+
+
+def run_reduction(strategy, values=None):
+    """Run one strategy over 8 values; default values are 1..8."""
+    if values is None:
+        values = [float(i + 1) for i in range(ELEMENTS)]
+    if len(values) != ELEMENTS:
+        raise ValueError("reduction expects %d values" % ELEMENTS)
+    program, result_register, instructions = _STRATEGIES[strategy]()
+    machine = _machine(program, values)
+    result = machine.run()
+    # Cycles available to the CPU for unrelated work: everything except
+    # the instruction-transfer cycles themselves.  (Stall cycles count as
+    # free -- "if some other independent CPU or FPU instruction is
+    # available, it would typically be scheduled" there.)
+    return ReductionOutcome(
+        strategy=strategy,
+        cycles=result.completion_cycle,
+        instructions_transferred=instructions,
+        total=machine.fpu.regs.read(result_register),
+        free_cpu_cycles=max(0, result.completion_cycle - instructions),
+    )
+
+
+def run_all(values=None):
+    """Run all three strategies; return {strategy: ReductionOutcome}."""
+    return {name: run_reduction(name, values) for name in _STRATEGIES}

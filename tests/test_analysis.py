@@ -1,0 +1,106 @@
+"""Tests for metrics, n-half measurement, storage accounting, reporting."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    N_HALF_LIMIT,
+    harmonic_mean,
+    measure_n_half,
+    mflops,
+    speedup,
+    time_vector_op,
+)
+from repro.analysis.report import render_curve, render_table
+from repro.analysis.storage import (
+    CLASSICAL_VECTOR,
+    UNIFIED,
+    context_switch_ratio,
+    storage_ratio,
+    summary,
+)
+
+
+class TestMetrics:
+    def test_mflops_at_40ns(self):
+        # 1000 flops in 1000 cycles at 40ns = 25 MFLOPS.
+        assert mflops(1000, 1000) == pytest.approx(25.0)
+
+    def test_mflops_zero_cycles(self):
+        assert mflops(100, 0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_harmonic_mean_dominated_by_smallest(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+
+class TestNHalf:
+    def test_vector_op_time_grows_linearly(self):
+        times = [time_vector_op(n, include_memory=False) for n in (1, 4, 8, 16)]
+        assert times == [n + 2 for n in (1, 4, 8, 16)]
+
+    def test_alu_n_half_is_latency_minus_one(self):
+        result = measure_n_half(include_memory=False)
+        assert result["n_half"] == pytest.approx(2.0, abs=0.01)
+        assert result["r_inf_per_cycle"] == pytest.approx(1.0, rel=0.01)
+
+    def test_n_half_well_below_the_limit(self):
+        """Section 2.2.1: n_half "must be kept to less than 8"."""
+        for include_memory in (False, True):
+            result = measure_n_half(include_memory=include_memory)
+            assert result["n_half"] < N_HALF_LIMIT
+
+    def test_memory_bound_rate_is_a_quarter_result_per_cycle(self):
+        """"about 4 cycles per result - two loads, a compute, and then a
+        partially overlapped store.\""""
+        result = measure_n_half(include_memory=True)
+        assert result["r_inf_per_cycle"] == pytest.approx(0.25, rel=0.1)
+
+
+class TestStorage:
+    def test_unified_file_is_3328_bits(self):
+        assert UNIFIED.bits == 3328
+
+    def test_classical_file_is_32k_bits(self):
+        assert CLASSICAL_VECTOR.bits == 32768
+
+    def test_order_of_magnitude_ratio(self):
+        assert 9.0 < storage_ratio() < 11.0
+
+    def test_context_switch_ratio_matches_storage_ratio(self):
+        assert context_switch_ratio() == pytest.approx(storage_ratio())
+
+    def test_summary_keys(self):
+        s = summary()
+        assert s["unified_bits"] == 3328
+        assert s["storage_ratio"] > 9
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["loop", "mflops"], [[1, 19.0], [2, 17.3]])
+        lines = text.splitlines()
+        assert "loop" in lines[0]
+        assert "19.0" in lines[2]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_none_blank(self):
+        text = render_table(["a"], [[None]])
+        assert text.splitlines()[-1].strip() == ""
+
+    def test_render_table_title(self):
+        text = render_table(["a"], [[1]], title="Figure 14")
+        assert text.startswith("Figure 14")
+
+    def test_render_curve_contains_markers(self):
+        series = [("f=0.5", [(1.0, 1.0), (5.0, 1.6), (10.0, 1.8)])]
+        art = render_curve(series, width=30, height=8)
+        assert "*" in art
+        assert "f=0.5" in art
+
+    def test_render_curve_single_series_shorthand(self):
+        art = render_curve([(0.0, 0.0), (1.0, 1.0)], width=20, height=6)
+        assert "*" in art

@@ -1,0 +1,227 @@
+"""Tests for the comparison models: Amdahl curves (Figure 11), Hockney
+(r_inf, n_half) models, the classical vector machine, and reference data."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.amdahl import (
+    CRAY_1S_PEAK_RATIO,
+    MULTITITAN_PEAK_RATIO,
+    diminishing_returns_ratio,
+    figure11_curves,
+    measured_vector_fraction,
+    overall_speedup,
+)
+from repro.baselines.classical import (
+    ClassicalTiming,
+    ClassicalVectorMachine,
+    VECTOR_LENGTH,
+    VECTOR_REGISTER_BITS,
+)
+from repro.baselines.hockney import (
+    CRAY_1,
+    CYBER_205,
+    ICL_DAP,
+    MULTITITAN,
+    crossover_length,
+    fit_n_half,
+)
+from repro.baselines import reference_data
+from repro.core.exceptions import SimulationError
+
+
+class TestAmdahl:
+    def test_no_vectorization_no_speedup(self):
+        assert overall_speedup(0.0, 10.0) == 1.0
+
+    def test_full_vectorization_gives_peak(self):
+        assert overall_speedup(1.0, 10.0) == pytest.approx(10.0)
+
+    def test_paper_example_infinitely_fast_vectors(self):
+        """"the range of vectorization ... 0.3 to 0.7 ... infinitely fast
+        vector performance would only improve ... 1.4 to 3.3 times.\""""
+        assert overall_speedup(0.3, 1e12) == pytest.approx(1.0 / 0.7, rel=1e-3)
+        assert overall_speedup(0.7, 1e12) == pytest.approx(1.0 / 0.3, rel=1e-3)
+
+    @given(st.floats(0.0, 1.0), st.floats(1.0, 100.0))
+    def test_speedup_monotone_in_ratio(self, fraction, ratio):
+        assert overall_speedup(fraction, ratio + 1.0) >= \
+            overall_speedup(fraction, ratio) - 1e-12
+
+    @given(st.floats(0.01, 0.99))
+    def test_multititan_captures_most_of_the_benefit(self, fraction):
+        """At 2x the machine is already past the knee for f <= ~0.6."""
+        at_two = diminishing_returns_ratio(fraction, MULTITITAN_PEAK_RATIO)
+        at_ten = diminishing_returns_ratio(fraction, CRAY_1S_PEAK_RATIO)
+        assert 0.0 < at_two <= at_ten <= 1.0
+
+    def test_half_the_asymptote_at_ratio_two_for_low_f(self):
+        # f=0.5: asymptote 2.0, at r=2 speedup 1.33 -> 1/3 of the gap;
+        # at r=10: 1.82 -> 82%.
+        assert overall_speedup(0.5, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_figure11_curves_shape(self):
+        curves = figure11_curves()
+        assert set(curves) == {0.2, 0.4, 0.6, 0.8, 1.0}
+        for fraction, series in curves.items():
+            speeds = [s for _, s in series]
+            assert speeds == sorted(speeds)  # monotone in ratio
+        # Higher fraction dominates at every ratio.
+        for (r1, s1), (r2, s2) in zip(curves[0.2], curves[0.8]):
+            assert s2 >= s1
+
+    def test_measured_fraction_inversion(self):
+        fraction = 0.6
+        speedup = overall_speedup(fraction, 2.0)
+        recovered = measured_vector_fraction(1000, int(1000 / speedup), 2.0)
+        assert recovered == pytest.approx(fraction, rel=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            overall_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            overall_speedup(0.5, 0.0)
+
+
+class TestHockney:
+    def test_half_performance_at_n_half(self):
+        for model in (MULTITITAN, CRAY_1, CYBER_205, ICL_DAP):
+            assert model.rate_mflops(model.n_half) == \
+                pytest.approx(model.r_inf_mflops / 2)
+
+    def test_paper_n_half_values(self):
+        assert MULTITITAN.n_half == 4
+        assert CRAY_1.n_half == 15
+        assert CYBER_205.n_half == 100
+        assert ICL_DAP.n_half == 2048
+
+    def test_multititan_wins_at_short_vectors(self):
+        """Low n_half means better efficiency on the short vectors the
+        52-register file imposes."""
+        assert MULTITITAN.efficiency(8) > CRAY_1.efficiency(8)
+        assert MULTITITAN.efficiency(8) > CYBER_205.efficiency(8)
+
+    def test_cray_wins_at_long_vectors_in_absolute_rate(self):
+        assert CRAY_1.rate_mflops(1000) > MULTITITAN.rate_mflops(1000)
+
+    def test_crossover_against_the_cyber_205(self):
+        """The Cyber 205's n_half of 100 hands short vectors to the
+        MultiTitan in absolute time, despite a 4x peak-rate deficit."""
+        n = crossover_length(MULTITITAN, CYBER_205)
+        assert n is not None and n > 8
+        assert MULTITITAN.time_us(8) < CYBER_205.time_us(8)
+        assert MULTITITAN.time_us(int(n) + 10) > CYBER_205.time_us(int(n) + 10)
+
+    def test_fit_recovers_parameters(self):
+        samples = [(n, MULTITITAN.time_us(n)) for n in range(1, 20)]
+        r_inf, n_half = fit_n_half(samples)
+        assert r_inf == pytest.approx(MULTITITAN.r_inf_mflops, rel=1e-9)
+        assert n_half == pytest.approx(MULTITITAN.n_half, rel=1e-9)
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_n_half([(1, 1.0)])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            MULTITITAN.time_us(-1)
+
+
+class TestClassicalMachine:
+    def test_register_file_is_ten_times_larger(self):
+        from repro.core.registers import STORAGE_BITS
+        assert VECTOR_REGISTER_BITS / STORAGE_BITS == pytest.approx(9.85, rel=0.01)
+
+    def test_elementwise_op_is_fast(self):
+        machine = ClassicalVectorMachine()
+        machine.vload(0, [1.0] * 64)
+        machine.vload(1, [2.0] * 64)
+        machine.reset_cycles()
+        machine.vop("add", 2, 0, 1)
+        assert machine.vregs[2][:3] == [3.0, 3.0, 3.0]
+        assert machine.cycles < 2 * 64  # amortized startup
+
+    def test_reduction_pays_the_scalar_tax(self):
+        machine = ClassicalVectorMachine()
+        machine.vload(0, [1.0] * 8)
+        machine.reset_cycles()
+        total = machine.sum_reduce(0)
+        assert total == 8.0
+        # 8 moves + 7 scalar adds at long latencies: far above the
+        # MultiTitan's 12 cycles for the same reduction (Figure 5).
+        assert machine.cycles > 3 * 12
+
+    def test_recurrence_is_fully_scalar(self):
+        machine = ClassicalVectorMachine()
+        out = machine.first_order_recurrence(0.0, [1.0, 2.0, 3.0])
+        assert out == [1.0, 3.0, 6.0]
+        assert machine.scalar_ops == 3
+
+    def test_vector_length_limit(self):
+        machine = ClassicalVectorMachine()
+        with pytest.raises(SimulationError):
+            machine.vload(0, [0.0] * 65)
+
+    def test_chaining_reduces_cost(self):
+        timing = ClassicalTiming()
+        machine = ClassicalVectorMachine(timing)
+        machine.vload(0, [1.0] * 64)
+        machine.vload(1, [1.0] * 64)
+        machine.reset_cycles()
+        machine.vop("mul", 2, 0, 1)
+        unchained = machine.cycles
+        machine.reset_cycles()
+        machine.vop("add", 3, 2, 0, chained=True)
+        assert machine.cycles < unchained
+
+    def test_context_switch_cost(self):
+        machine = ClassicalVectorMachine()
+        assert machine.context_switch_cycles() == 8 * VECTOR_LENGTH
+
+    def test_scalar_vector_operand(self):
+        machine = ClassicalVectorMachine()
+        machine.vload(0, [1.0, 2.0])
+        machine.sregs[3] = 10.0
+        machine.vop("mul", 1, 0, ("s", 3), n=2)
+        assert machine.vregs[1][:2] == [10.0, 20.0]
+
+
+class TestReferenceData:
+    def test_figure14_covers_all_loops(self):
+        assert set(reference_data.FIGURE14_MFLOPS) == set(range(1, 25))
+
+    def test_figure14_warm_beats_cold(self):
+        for loop, (cold, warm, _, _) in reference_data.FIGURE14_MFLOPS.items():
+            assert warm >= cold
+
+    def test_figure14_xmp_beats_cray1s(self):
+        for loop, (_, _, cray1s, xmp) in reference_data.FIGURE14_MFLOPS.items():
+            assert xmp > cray1s
+
+    def test_multititan_beats_cray_on_5_and_11(self):
+        """"the warm cache MultiTitan had better performance than the
+        Cray-1S on Livermore Loops 5 and 11.\""""
+        for loop in (5, 11):
+            cold, warm, cray1s, xmp = reference_data.FIGURE14_MFLOPS[loop]
+            assert warm > cray1s
+            assert loop not in reference_data.CRAY_VECTORIZED_LOOPS
+
+    def test_harmonic_means_match_table(self):
+        from repro.analysis.metrics import harmonic_mean
+        for group, indices in (("1-12", range(1, 13)), ("13-24", range(13, 25)),
+                               ("1-24", range(1, 25))):
+            for column in range(4):
+                values = [reference_data.FIGURE14_MFLOPS[i][column]
+                          for i in indices]
+                published = reference_data.FIGURE14_HARMONIC_MEANS[group][column]
+                assert harmonic_mean(values) == pytest.approx(published, rel=0.06)
+
+    def test_figure10_latency_ratios(self):
+        fpu, xmp = reference_data.FIGURE10_LATENCIES_NS["addition/subtraction"]
+        assert fpu == 3 * reference_data.MULTITITAN_CYCLE_NS
+        div_fpu, div_xmp = reference_data.FIGURE10_LATENCIES_NS["division (via 1/x)"]
+        assert div_fpu == 6 * fpu  # six 3-cycle operations
+
+    def test_linpack_numbers(self):
+        assert reference_data.LINPACK_MFLOPS["MultiTitan vector"] > \
+            reference_data.LINPACK_MFLOPS["MultiTitan scalar"]

@@ -1,0 +1,144 @@
+"""Round-trip tests for the whole-program binary encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import EncodingError
+from repro.cpu import isa
+from repro.cpu.binary import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    load_image,
+    store_image,
+)
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Memory
+
+
+def random_instructions():
+    reg = st.integers(0, 31)
+    freg = st.integers(0, 51)
+    imm16 = st.integers(-(1 << 15), (1 << 15) - 1)
+    return st.one_of(
+        st.just((isa.NOP,)),
+        st.just((isa.HALT,)),
+        st.just((isa.RFE,)),
+        st.tuples(st.just(isa.LI), reg, st.integers(-(1 << 20), (1 << 20) - 1)),
+        st.tuples(st.sampled_from([isa.ADD, isa.SUB, isa.MUL, isa.AND,
+                                   isa.OR, isa.XOR]), reg, reg, reg),
+        st.tuples(st.sampled_from([isa.ADDI, isa.MULI, isa.SLL, isa.SRA,
+                                   isa.LW, isa.SW]), reg, reg, imm16),
+        st.tuples(st.sampled_from(sorted(isa.BRANCH_OPS)), reg, reg,
+                  st.integers(0, (1 << 16) - 1)),
+        st.tuples(st.just(isa.J), st.integers(0, (1 << 26) - 1)),
+        st.tuples(st.sampled_from([isa.FLOAD, isa.FSTORE]), freg, reg,
+                  st.integers(-(1 << 14), (1 << 14) - 1)),
+        st.tuples(st.just(isa.FCMP), reg, freg, freg, st.integers(0, 2)),
+    )
+
+
+class TestInstructionRoundTrip:
+    @given(random_instructions())
+    @settings(max_examples=400)
+    def test_round_trip(self, instruction):
+        word = encode_instruction(instruction)
+        assert 0 <= word < (1 << 32)
+        assert decode_instruction(word) == instruction
+
+    def test_falu_uses_the_figure3_word(self):
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=4, sra=False)
+        instruction = b.build().instructions[0]
+        word = encode_instruction(instruction)
+        assert (word >> 28) == 6  # the architected major opcode
+        assert decode_instruction(word) == instruction
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction((isa.ADDI, 1, 2, 1 << 20))
+
+    def test_li_range(self):
+        encode_instruction((isa.LI, 1, (1 << 20) - 1))
+        with pytest.raises(EncodingError):
+            encode_instruction((isa.LI, 1, 1 << 21))
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(0x3F << 26 | 0x2000000)
+
+
+class TestProgramRoundTrip:
+    def build_sample(self):
+        b = ProgramBuilder()
+        b.li(1, 256)
+        top = b.here("loop")
+        b.fload(0, 1, 0)
+        b.fadd(1, 0, 0)
+        b.fstore(1, 1, 8)
+        b.addi(2, 2, 1)
+        b.li(3, 4)
+        b.blt(2, 3, top)
+        return b.build()
+
+    def test_program_round_trip(self):
+        program = self.build_sample()
+        words = encode_program(program)
+        decoded = decode_program(words)
+        assert decoded.instructions == program.instructions
+
+    @pytest.mark.parametrize("loop", [1, 3, 5, 13, 16, 21])
+    def test_livermore_kernels_round_trip(self, loop):
+        from repro.workloads.livermore import build_loop
+        program = build_loop(loop).program
+        assert decode_program(encode_program(program)).instructions == \
+            program.instructions
+
+    def test_linpack_round_trips(self):
+        from repro.workloads.linpack import build_linpack
+        program = build_linpack(8, "vector").program
+        assert decode_program(encode_program(program)).instructions == \
+            program.instructions
+
+    def test_image_in_simulated_memory(self):
+        """Store the binary image into simulator memory, read it back,
+        and run the decoded program -- same result."""
+        program = self.build_sample()
+        memory = Memory()
+        memory.write(256, 5.0)
+        image_base = 64 * 1024
+        words = encode_program(program)
+        store_image(memory, image_base, words)
+        decoded = load_image(memory, image_base, len(words))
+
+        machine = MultiTitan(decoded, memory=memory,
+                             config=MachineConfig(model_ibuffer=False))
+        machine.run()
+        assert memory.read(264) == 10.0
+
+    @given(st.lists(random_instructions(), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_random_program_image_round_trip(self, instructions):
+        from repro.cpu.program import Program
+
+        program = Program(list(instructions), {})
+        memory = Memory()
+        words = encode_program(program)
+        store_image(memory, 8192, words)
+        decoded = load_image(memory, 8192, len(words))
+        assert decoded.instructions == program.instructions
+
+    def test_decoded_program_times_identically(self):
+        program = self.build_sample()
+        decoded = decode_program(encode_program(program))
+
+        def run(p):
+            memory = Memory()
+            memory.write(256, 5.0)
+            machine = MultiTitan(p, memory=memory,
+                                 config=MachineConfig(model_ibuffer=False))
+            return machine.run().completion_cycle
+
+        assert run(program) == run(decoded)

@@ -1,0 +1,86 @@
+"""Tests for the BLAS routines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.machine import MachineConfig
+from repro.workloads.blas import (
+    daxpy_kernel,
+    dcopy_kernel,
+    ddot_kernel,
+    dgemv_kernel,
+    dger_kernel,
+    dscal_kernel,
+    measure_routine,
+)
+from repro.workloads.common import run_kernel
+
+STRICT = MachineConfig(model_ibuffer=False, strict_hazards=True)
+
+
+class TestLevel1:
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    @pytest.mark.parametrize("n", [1, 7, 8, 33, 100])
+    def test_dcopy(self, n, coding):
+        result = run_kernel(dcopy_kernel(n, coding=coding), config=STRICT)
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_dscal(self, coding):
+        result = run_kernel(dscal_kernel(50, alpha=-2.5, coding=coding),
+                            config=STRICT)
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_daxpy(self, coding):
+        result = run_kernel(daxpy_kernel(64, coding=coding), config=STRICT)
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_ddot(self, coding):
+        result = run_kernel(ddot_kernel(100, coding=coding), config=STRICT)
+        assert result.passed, result.check_error
+
+    @given(st.integers(1, 70), st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_daxpy_any_length(self, n, seed):
+        result = run_kernel(daxpy_kernel(n, seed=seed or 1), config=STRICT)
+        assert result.passed, result.check_error
+
+
+class TestLevel2:
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_dgemv(self, coding):
+        result = run_kernel(dgemv_kernel(24, 6, coding=coding), config=STRICT)
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_dger(self, coding):
+        result = run_kernel(dger_kernel(24, 6, coding=coding), config=STRICT)
+        assert result.passed, result.check_error
+
+    def test_dgemv_odd_shapes(self):
+        for m, n in ((1, 1), (7, 3), (17, 5)):
+            result = run_kernel(dgemv_kernel(m, n), config=STRICT)
+            assert result.passed, "%dx%d: %s" % (m, n, result.check_error)
+
+
+class TestPerformanceShape:
+    def test_daxpy_vector_beats_scalar(self):
+        measurement = measure_routine("daxpy", n=128)
+        assert measurement.check_error is None
+        assert measurement.vector_mflops > measurement.scalar_mflops
+        assert 1.2 < measurement.speedup < 4.0
+
+    def test_ddot_reduction_still_vectorizes(self):
+        """On a classical machine ddot's reduction would be scalar; here
+        the vector coding wins as well."""
+        measurement = measure_routine("ddot", n=128)
+        assert measurement.check_error is None
+        assert measurement.vector_mflops > measurement.scalar_mflops
+
+    def test_dscal_bandwidth_bound(self):
+        """One flop per load+store pair: the speedup is modest."""
+        measurement = measure_routine("dscal", n=128)
+        assert measurement.check_error is None
+        assert measurement.speedup < 3.0

@@ -1,0 +1,53 @@
+"""Calibration-regression locks.
+
+The timing model was calibrated cycle-exactly against the paper's worked
+examples; these tests lock key *derived* cycle counts so an accidental
+timing-model change is caught immediately.  If a deliberate model change
+shifts these numbers, re-derive them and update both this file and
+EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import build_loop
+from repro.workloads.linpack import build_linpack
+
+# loop -> (cold cycles, warm cycles) at the default sizes and seed.
+LIVERMORE_LOCKS = {
+    1: (3225, 835),
+    3: (2574, 646),
+    7: (5162, 2145),
+    13: (9820, 4939),
+    21: (26087, 18215),
+    24: (3270, 1800),
+}
+
+
+class TestLivermoreCycleLocks:
+    @pytest.mark.parametrize("loop", sorted(LIVERMORE_LOCKS))
+    def test_cold_cycles(self, loop):
+        result = run_kernel(build_loop(loop), warm=False)
+        assert result.passed
+        expected = LIVERMORE_LOCKS[loop][0]
+        assert result.cycles == expected, (
+            "loop %d cold: %d cycles, calibration expects %d"
+            % (loop, result.cycles, expected))
+
+    @pytest.mark.parametrize("loop", sorted(LIVERMORE_LOCKS))
+    def test_warm_cycles(self, loop):
+        result = run_kernel(build_loop(loop), warm=True)
+        assert result.passed
+        expected = LIVERMORE_LOCKS[loop][1]
+        assert result.cycles == expected, (
+            "loop %d warm: %d cycles, calibration expects %d"
+            % (loop, result.cycles, expected))
+
+
+class TestLinpackLock:
+    def test_small_linpack_cycles(self):
+        result = run_kernel(build_linpack(12, "vector"), warm=True)
+        assert result.passed
+        # Lock loosely (±2%): the solver path is long and any timing
+        # drift shows up well inside this band.
+        assert result.cycles == pytest.approx(10465, rel=0.02)

@@ -1,0 +1,225 @@
+"""Tests for the register file, PSW, scoreboard, and functional units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import (
+    RegisterIndexError,
+    ReservedOperationError,
+    SimulationError,
+)
+from repro.core.functional_units import (
+    CYCLE_TIME_NS,
+    FUNCTIONAL_UNIT_LATENCY,
+    FunctionalUnit,
+    latency_ns,
+    make_units,
+)
+from repro.core.registers import ProgramStatusWord, RegisterFile, STORAGE_BITS
+from repro.core.scoreboard import PORT_BUDGET, Scoreboard
+from repro.core.types import (
+    FLOP_OPS,
+    Op,
+    UNARY_OPS,
+    execute_op,
+    result_overflowed,
+)
+
+
+class TestRegisterFile:
+    def test_fifty_two_registers(self):
+        assert NUM_REGISTERS == 52
+
+    def test_storage_is_3_3_kbits(self):
+        assert STORAGE_BITS == 52 * 64 == 3328
+
+    def test_read_write(self):
+        regs = RegisterFile()
+        regs.write(10, 2.5)
+        assert regs.read(10) == 2.5
+
+    def test_initial_zero(self):
+        assert RegisterFile().read(51) == 0.0
+
+    def test_out_of_range(self):
+        regs = RegisterFile()
+        with pytest.raises(RegisterIndexError):
+            regs.read(52)
+        with pytest.raises(RegisterIndexError):
+            regs.write(-1, 0.0)
+
+    def test_group_round_trip(self):
+        regs = RegisterFile()
+        regs.write_group(4, [1.0, 2.0, 3.0])
+        assert regs.read_group(4, 3) == [1.0, 2.0, 3.0]
+
+    def test_group_bounds(self):
+        regs = RegisterFile()
+        with pytest.raises(RegisterIndexError):
+            regs.write_group(50, [0.0, 0.0, 0.0])
+        with pytest.raises(RegisterIndexError):
+            regs.read_group(50, 3)
+
+    def test_integers_allowed(self):
+        regs = RegisterFile()
+        regs.write(0, 42)
+        assert regs.read(0) == 42
+        assert type(regs.read(0)) is int
+
+    def test_snapshot_is_copy(self):
+        regs = RegisterFile()
+        snapshot = regs.snapshot()
+        regs.write(0, 9.0)
+        assert snapshot[0] == 0.0
+
+
+class TestPsw:
+    def test_records_first_overflow_only(self):
+        psw = ProgramStatusWord()
+        psw.record_overflow(7)
+        psw.record_overflow(9)
+        assert psw.overflow
+        assert psw.overflow_dest == 7
+
+    def test_clear(self):
+        psw = ProgramStatusWord()
+        psw.record_overflow(7)
+        psw.clear()
+        assert not psw.overflow
+        assert psw.overflow_dest is None
+
+
+class TestScoreboard:
+    def test_reserve_and_clear(self):
+        sb = Scoreboard()
+        sb.reserve(3)
+        assert sb.is_reserved(3)
+        sb.clear(3)
+        assert not sb.is_reserved(3)
+
+    def test_double_reservation_is_an_error(self):
+        sb = Scoreboard()
+        sb.reserve(3)
+        with pytest.raises(SimulationError):
+            sb.reserve(3)
+
+    def test_any_reserved(self):
+        sb = Scoreboard()
+        sb.reserve(10)
+        assert sb.any_reserved([9, 10, 11])
+        assert not sb.any_reserved([0, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterIndexError):
+            Scoreboard().reserve(52)
+
+    def test_port_budget_definition(self):
+        # 2 + 1 + 1 + 1 = the five ports of section 2.3.1
+        assert sum(PORT_BUDGET.values()) == 5
+
+    def test_port_audit_catches_overuse(self):
+        sb = Scoreboard(audit_ports=True)
+        sb.is_reserved(0, cycle=1)
+        sb.is_reserved(1, cycle=1)
+        with pytest.raises(SimulationError):
+            sb.is_reserved(2, cycle=1)
+
+    def test_port_audit_resets_each_cycle(self):
+        sb = Scoreboard(audit_ports=True)
+        sb.is_reserved(0, cycle=1)
+        sb.is_reserved(1, cycle=1)
+        sb.is_reserved(0, cycle=2)
+        sb.is_reserved(1, cycle=2)
+
+    @given(st.lists(st.integers(0, NUM_REGISTERS - 1), unique=True))
+    def test_reserved_registers_reflect_state(self, registers):
+        sb = Scoreboard()
+        for register in registers:
+            sb.reserve(register)
+        assert sorted(sb.reserved_registers()) == sorted(registers)
+
+
+class TestFunctionalUnits:
+    def test_three_units(self):
+        assert set(make_units()) == {"add", "multiply", "reciprocal"}
+
+    def test_latency_is_three_cycles_120ns(self):
+        assert FUNCTIONAL_UNIT_LATENCY == 3
+        assert latency_ns() == 120.0
+        assert CYCLE_TIME_NS == 40.0
+
+    def test_result_after_latency(self):
+        unit = FunctionalUnit("add")
+        unit.issue(0, Op.ADD, 1.0, 2.0, destination=5)
+        assert unit.retire(2) == []
+        assert unit.retire(3) == [(3, 5, 3.0)]
+
+    def test_fully_pipelined(self):
+        unit = FunctionalUnit("multiply")
+        for cycle in range(4):
+            unit.issue(cycle, Op.MUL, float(cycle), 2.0, destination=cycle)
+        results = [unit.retire(cycle) for cycle in range(3, 7)]
+        assert [r[0][2] for r in results] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_double_issue_same_cycle_rejected(self):
+        unit = FunctionalUnit("add")
+        unit.issue(0, Op.ADD, 1.0, 2.0, 0)
+        with pytest.raises(SimulationError):
+            unit.issue(0, Op.ADD, 1.0, 2.0, 1)
+
+    def test_wrong_unit_routing_rejected(self):
+        unit = FunctionalUnit("add")
+        with pytest.raises(SimulationError):
+            unit.issue(0, Op.MUL, 1.0, 2.0, 0)
+
+    def test_division_ops_route_to_multiply_unit(self):
+        unit = FunctionalUnit("multiply")
+        unit.issue(0, Op.ITER, 2.0, 0.25, 0)
+        assert unit.retire(3)[0][2] == 1.5
+
+
+class TestOpSemantics:
+    def test_add_sub_mul(self):
+        assert execute_op(Op.ADD, 1.5, 2.5) == 4.0
+        assert execute_op(Op.SUB, 1.5, 2.5) == -1.0
+        assert execute_op(Op.MUL, 1.5, 2.0) == 3.0
+
+    def test_iteration_step(self):
+        assert execute_op(Op.ITER, 4.0, 0.25) == 1.0
+
+    def test_reciprocal_is_approximate(self):
+        result = execute_op(Op.RECIP, 3.0, None)
+        assert abs(result * 3.0 - 1.0) < 2 ** -16
+
+    def test_float_requires_integer(self):
+        assert execute_op(Op.FLOAT, 7, None) == 7.0
+        with pytest.raises(SimulationError):
+            execute_op(Op.FLOAT, 7.0, None)
+
+    def test_truncate_requires_float(self):
+        assert execute_op(Op.TRUNC, 7.9, None) == 7
+        with pytest.raises(SimulationError):
+            execute_op(Op.TRUNC, 7, None)
+
+    def test_integer_multiply(self):
+        assert execute_op(Op.IMUL, 6, 7) == 42
+
+    def test_unary_set(self):
+        assert UNARY_OPS == {Op.FLOAT, Op.TRUNC, Op.RECIP}
+
+    def test_flop_accounting_set(self):
+        assert Op.ADD in FLOP_OPS
+        assert Op.TRUNC not in FLOP_OPS
+
+    def test_overflow_detection(self):
+        big = 1e308
+        result = execute_op(Op.MUL, big, big)
+        assert result_overflowed(Op.MUL, big, big, result)
+
+    def test_infinite_operand_is_not_overflow(self):
+        inf = float("inf")
+        assert not result_overflowed(Op.ADD, inf, 1.0, inf)
+
+    def test_finite_result_is_not_overflow(self):
+        assert not result_overflowed(Op.ADD, 1.0, 2.0, 3.0)

@@ -1,0 +1,161 @@
+"""Instruction format tests (Figure 3 and the coprocessor bus)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoding import (
+    AluInstruction,
+    LoadStoreInstruction,
+    MAX_VECTOR_LENGTH,
+    NUM_REGISTERS,
+    decode_alu,
+    decode_load_store,
+    disassemble_alu,
+    encode_alu,
+    encode_load_store,
+)
+from repro.core.exceptions import EncodingError, ReservedOperationError
+from repro.core.types import Op, Unit, op_for, unit_func_for
+
+
+def alu_instructions():
+    """Strategy generating only encodable instructions."""
+    defined = [(1, 0), (1, 1), (1, 2), (1, 3), (2, 0), (2, 1), (2, 2), (3, 0)]
+
+    @st.composite
+    def build(draw):
+        unit, func = draw(st.sampled_from(defined))
+        vl = draw(st.integers(1, MAX_VECTOR_LENGTH))
+        stride_ra = draw(st.booleans())
+        stride_rb = draw(st.booleans())
+        rr = draw(st.integers(0, NUM_REGISTERS - vl))
+        ra_max = NUM_REGISTERS - (vl if stride_ra else 1)
+        rb_max = NUM_REGISTERS - (vl if stride_rb else 1)
+        ra = draw(st.integers(0, ra_max))
+        rb = draw(st.integers(0, rb_max))
+        return AluInstruction(rr=rr, ra=ra, rb=rb, unit=unit, func=func,
+                              vector_length=vl, stride_ra=stride_ra,
+                              stride_rb=stride_rb)
+
+    return build()
+
+
+class TestAluEncoding:
+    @given(alu_instructions())
+    def test_round_trip(self, instruction):
+        assert decode_alu(encode_alu(instruction)) == instruction
+
+    @given(alu_instructions())
+    def test_word_is_32_bits(self, instruction):
+        word = encode_alu(instruction)
+        assert 0 <= word < (1 << 32)
+
+    def test_known_encoding_fields(self):
+        instruction = AluInstruction(rr=14, ra=12, rb=13, unit=1, func=0,
+                                     vector_length=1)
+        word = encode_alu(instruction)
+        assert word & 1          # SRb
+        assert (word >> 1) & 1   # SRa
+        assert (word >> 2) & 0xF == 0   # VL-1
+        assert (word >> 22) & 0x3F == 14
+
+    def test_scalar_is_vector_of_length_one(self):
+        instruction = AluInstruction(rr=0, ra=1, rb=2, unit=1, func=0)
+        assert instruction.vector_length == 1
+
+    def test_vector_overflowing_register_file_rejected(self):
+        with pytest.raises(EncodingError):
+            AluInstruction(rr=48, ra=0, rb=8, unit=1, func=0,
+                           vector_length=8).validate()
+
+    def test_scalar_source_beyond_file_rejected(self):
+        with pytest.raises(EncodingError):
+            AluInstruction(rr=0, ra=52, rb=1, unit=1, func=0).validate()
+
+    def test_scalar_source_not_range_checked_against_vl(self):
+        # A non-striding source at R51 is fine even for a long vector.
+        AluInstruction(rr=0, ra=51, rb=8, unit=1, func=0,
+                       vector_length=8, stride_ra=False).validate()
+
+    def test_vector_length_bounds(self):
+        with pytest.raises(EncodingError):
+            AluInstruction(rr=0, ra=1, rb=2, unit=1, func=0,
+                           vector_length=17).validate()
+        with pytest.raises(EncodingError):
+            AluInstruction(rr=0, ra=1, rb=2, unit=1, func=0,
+                           vector_length=0).validate()
+
+    def test_reserved_unit_rejected(self):
+        with pytest.raises(ReservedOperationError):
+            AluInstruction(rr=0, ra=1, rb=2, unit=0, func=0).validate()
+
+    def test_reserved_func_rejected(self):
+        with pytest.raises(ReservedOperationError):
+            AluInstruction(rr=0, ra=1, rb=2, unit=2, func=3).validate()
+        with pytest.raises(ReservedOperationError):
+            AluInstruction(rr=0, ra=1, rb=2, unit=3, func=1).validate()
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(EncodingError):
+            decode_alu(1 << 32)
+
+    def test_register_footprint(self):
+        instruction = AluInstruction(rr=8, ra=0, rb=4, unit=1, func=0,
+                                     vector_length=4, stride_ra=False)
+        reads, writes = instruction.register_footprint()
+        assert writes == {8, 9, 10, 11}
+        assert reads == {0, 4, 5, 6, 7}
+
+
+class TestOpMapping:
+    def test_figure4_table(self):
+        assert op_for(1, 0) == Op.ADD
+        assert op_for(1, 1) == Op.SUB
+        assert op_for(1, 2) == Op.FLOAT
+        assert op_for(1, 3) == Op.TRUNC
+        assert op_for(2, 0) == Op.MUL
+        assert op_for(2, 1) == Op.IMUL
+        assert op_for(2, 2) == Op.ITER
+        assert op_for(3, 0) == Op.RECIP
+
+    @given(st.sampled_from(list(Op)))
+    def test_inverse_mapping(self, op):
+        unit, func = unit_func_for(op)
+        assert op_for(unit, func) == op
+
+
+class TestLoadStoreEncoding:
+    @given(st.booleans(), st.integers(0, NUM_REGISTERS - 1))
+    def test_round_trip(self, is_store, register):
+        instruction = LoadStoreInstruction(is_store=is_store, register=register)
+        assert decode_load_store(encode_load_store(instruction)) == instruction
+
+    @given(st.booleans(), st.integers(0, NUM_REGISTERS - 1))
+    def test_fits_ten_bits(self, is_store, register):
+        word = encode_load_store(LoadStoreInstruction(is_store, register))
+        assert 0 <= word < (1 << 10)
+
+    def test_out_of_range_register(self):
+        with pytest.raises(EncodingError):
+            LoadStoreInstruction(False, 52).validate()
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode_load_store(0x3C0)
+
+
+class TestDisassembly:
+    def test_vector_add(self):
+        text = disassemble_alu(AluInstruction(rr=16, ra=0, rb=8, unit=1,
+                                              func=0, vector_length=4))
+        assert text == "R[16..19] := R[0..3] + R[8..11]"
+
+    def test_scalar_broadcast(self):
+        text = disassemble_alu(AluInstruction(rr=16, ra=32, rb=0, unit=2,
+                                              func=0, vector_length=4,
+                                              stride_ra=False))
+        assert text == "R[16..19] := R32 * R[0..3]"
+
+    def test_reciprocal(self):
+        text = disassemble_alu(AluInstruction(rr=5, ra=6, rb=0, unit=3, func=0))
+        assert text == "R5 := reciprocal(R6)"

@@ -1,0 +1,73 @@
+"""Tests for the two-level instruction path of Figure 1."""
+
+import pytest
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+
+
+def straightline_program(count=600):
+    """More instructions than the 2 KB buffer (512 slots) can hold."""
+    b = ProgramBuilder()
+    for _ in range(count):
+        b.addi(2, 2, 1)
+    return b.build()
+
+
+def looped_program(body=600, passes=2):
+    b = ProgramBuilder()
+    b.li(3, 0)
+    b.li(4, passes)
+    top = b.here("top")
+    for _ in range(body):
+        b.addi(2, 2, 1)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, top)
+    return b.build()
+
+
+class TestTwoLevelInstructionPath:
+    def test_external_cache_off_by_default(self):
+        machine = MultiTitan(straightline_program(),
+                             config=MachineConfig(model_ibuffer=True))
+        machine.run()
+        assert machine.icache.accesses == 0
+
+    def test_cold_misses_cost_the_same_either_way(self):
+        """First touch misses both levels: full memory penalty."""
+        flat = MultiTitan(straightline_program(),
+                          config=MachineConfig(model_ibuffer=True))
+        two_level = MultiTitan(straightline_program(),
+                               config=MachineConfig(
+                                   model_ibuffer=True,
+                                   model_external_icache=True))
+        assert flat.run().completion_cycle == two_level.run().completion_cycle
+
+    def test_refill_from_external_cache_is_cheap(self):
+        """A loop larger than the buffer but smaller than the external
+        cache thrashes the buffer; the second pass refills at the L2 hit
+        penalty instead of the memory penalty."""
+        config_flat = MachineConfig(model_ibuffer=True)
+        config_l2 = MachineConfig(model_ibuffer=True,
+                                  model_external_icache=True)
+        flat = MultiTitan(looped_program(), config=config_flat)
+        two_level = MultiTitan(looped_program(), config=config_l2)
+        flat_cycles = flat.run().completion_cycle
+        l2_cycles = two_level.run().completion_cycle
+        assert l2_cycles < flat_cycles
+        assert two_level.icache.hits > 0
+
+    def test_small_loops_never_touch_the_external_cache(self):
+        b = ProgramBuilder()
+        b.li(3, 0)
+        b.li(4, 10)
+        top = b.here("top")
+        b.addi(2, 2, 1)
+        b.addi(3, 3, 1)
+        b.blt(3, 4, top)
+        machine = MultiTitan(b.build(), config=MachineConfig(
+            model_ibuffer=True, model_external_icache=True))
+        machine.run()
+        # A couple of compulsory misses, then the 2 KB buffer holds it.
+        assert machine.icache.accesses <= 2
+        assert machine.iregs[2] == 10

@@ -1,0 +1,135 @@
+"""Tests for the binary64 helpers."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fparith import fp64
+
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+all_doubles = st.floats(allow_nan=True, allow_infinity=True)
+
+
+class TestConversions:
+    def test_float_to_bits_one(self):
+        assert fp64.float_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_bits_to_float_one(self):
+        assert fp64.bits_to_float(0x3FF0000000000000) == 1.0
+
+    def test_negative_zero(self):
+        assert fp64.float_to_bits(-0.0) == fp64.NEG_ZERO
+
+    @given(finite_doubles)
+    def test_round_trip(self, value):
+        assert fp64.bits_to_float(fp64.float_to_bits(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_bits_round_trip(self, bits):
+        value = fp64.bits_to_float(bits)
+        if value == value:  # NaN payloads are not preserved exactly
+            assert fp64.float_to_bits(value) == bits
+
+
+class TestFieldAccess:
+    def test_unpack_one(self):
+        assert fp64.unpack(fp64.float_to_bits(1.0)) == (0, 1023, 0)
+
+    def test_unpack_minus_two(self):
+        sign, exponent, fraction = fp64.unpack(fp64.float_to_bits(-2.0))
+        assert (sign, exponent, fraction) == (1, 1024, 0)
+
+    @given(st.integers(0, 1), st.integers(0, 2046),
+           st.integers(0, (1 << 52) - 1))
+    def test_pack_unpack_round_trip(self, sign, exponent, fraction):
+        bits = fp64.pack(sign, exponent, fraction)
+        assert fp64.unpack(bits) == (sign, exponent, fraction)
+
+    def test_significand_normal(self):
+        assert fp64.significand(fp64.float_to_bits(1.5)) == 3 << 51
+
+    def test_significand_subnormal(self):
+        assert fp64.significand(1) == 1
+
+    def test_effective_exponent_subnormal(self):
+        assert fp64.effective_exponent(1) == 1 - fp64.BIAS
+
+
+class TestClassification:
+    def test_nan(self):
+        assert fp64.is_nan(fp64.float_to_bits(float("nan")))
+        assert not fp64.is_nan(fp64.POS_INF)
+
+    def test_inf(self):
+        assert fp64.is_inf(fp64.POS_INF)
+        assert fp64.is_inf(fp64.NEG_INF)
+        assert not fp64.is_inf(fp64.QNAN)
+
+    def test_zero(self):
+        assert fp64.is_zero(fp64.POS_ZERO)
+        assert fp64.is_zero(fp64.NEG_ZERO)
+        assert not fp64.is_zero(fp64.float_to_bits(1e-300))
+
+    def test_subnormal(self):
+        assert fp64.is_subnormal(1)
+        assert not fp64.is_subnormal(fp64.POS_ZERO)
+        assert not fp64.is_subnormal(fp64.float_to_bits(1.0))
+
+
+class TestRounding:
+    def test_round_to_nearest_below_half(self):
+        assert fp64.round_nearest_even(0b10001, 2) == 0b100
+
+    def test_round_to_nearest_above_half(self):
+        assert fp64.round_nearest_even(0b10011, 2) == 0b101
+
+    def test_tie_rounds_to_even_down(self):
+        assert fp64.round_nearest_even(0b10010, 2) == 0b100
+
+    def test_tie_rounds_to_even_up(self):
+        assert fp64.round_nearest_even(0b10110, 2) == 0b110
+
+    def test_no_extra_bits(self):
+        assert fp64.round_nearest_even(12345, 0) == 12345
+
+
+class TestUlpDistance:
+    def test_adjacent(self):
+        a = fp64.float_to_bits(1.0)
+        b = fp64.float_to_bits(math.nextafter(1.0, 2.0))
+        assert fp64.ulp_distance(a, b) == 1
+
+    def test_across_zero(self):
+        smallest_pos = 1
+        smallest_neg = fp64.NEG_ZERO | 1
+        assert fp64.ulp_distance(smallest_pos, smallest_neg) == 2
+
+    @given(finite_doubles)
+    def test_zero_distance(self, value):
+        bits = fp64.float_to_bits(value)
+        assert fp64.ulp_distance(bits, bits) == 0
+
+
+class TestNormalizeAndPack:
+    def test_exact_one(self):
+        bits = fp64.normalize_and_pack(0, 0, 1 << 55, 3)
+        assert fp64.bits_to_float(bits) == 1.0
+
+    def test_overflow_to_infinity(self):
+        bits = fp64.normalize_and_pack(0, 5000, 1 << 55, 3)
+        assert bits == fp64.POS_INF
+
+    def test_negative_sign(self):
+        bits = fp64.normalize_and_pack(1, 0, 1 << 55, 3)
+        assert fp64.bits_to_float(bits) == -1.0
+
+    def test_zero_significand(self):
+        assert fp64.normalize_and_pack(0, 100, 0, 3) == fp64.POS_ZERO
+
+    def test_gradual_underflow(self):
+        # 2^-1075 rounds to zero; 2^-1074 is the smallest subnormal.
+        bits = fp64.normalize_and_pack(0, -1074, 1 << 55, 3)
+        assert fp64.bits_to_float(bits) == 5e-324

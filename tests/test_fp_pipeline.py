@@ -1,0 +1,135 @@
+"""Tests for the three-stage pipelined adder and multiplier."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fparith import fp64
+from repro.fparith.add import fp_add
+from repro.fparith.multiply import fp_mul
+from repro.fparith.pipeline import (
+    ThreeStagePipeline,
+    make_pipelined_adder,
+    make_pipelined_multiplier,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def bits(x):
+    return fp64.float_to_bits(x)
+
+
+def run_single(pipe, a, b):
+    """Push one operation through an empty pipe; return its result."""
+    assert pipe.clock((bits(a), bits(b))) is None
+    assert pipe.clock() is None
+    assert pipe.clock() is None
+    result = pipe.clock()
+    assert result is not None
+    return result
+
+
+class TestPipelineDriver:
+    def test_latency_is_three_clocks(self):
+        pipe = make_pipelined_adder()
+        outputs = [pipe.clock((bits(1.0), bits(2.0))), pipe.clock(),
+                   pipe.clock(), pipe.clock()]
+        assert outputs[:3] == [None, None, None]
+        assert fp64.bits_to_float(outputs[3]) == 3.0
+
+    def test_one_result_per_clock_when_full(self):
+        pipe = make_pipelined_multiplier()
+        inputs = [(float(i), 2.0) for i in range(1, 8)]
+        results = []
+        for a, b in inputs:
+            out = pipe.clock((bits(a), bits(b)))
+            if out is not None:
+                results.append(out)
+        results.extend(pipe.drain())
+        assert [fp64.bits_to_float(r) for r in results] == \
+            [2.0 * i for i in range(1, 8)]
+
+    def test_bubbles_pass_through(self):
+        pipe = make_pipelined_adder()
+        pipe.clock((bits(1.0), bits(1.0)))
+        pipe.clock()                          # bubble
+        pipe.clock((bits(2.0), bits(2.0)))
+        first = pipe.clock()                  # result of 1+1
+        assert fp64.bits_to_float(first) == 2.0
+        assert pipe.clock() is None           # the bubble
+        assert fp64.bits_to_float(pipe.clock()) == 4.0
+
+    def test_in_flight_count(self):
+        pipe = make_pipelined_adder()
+        assert pipe.in_flight == 0
+        pipe.clock((bits(1.0), bits(1.0)))
+        assert pipe.in_flight == 1
+        pipe.clock((bits(1.0), bits(1.0)))
+        assert pipe.in_flight == 2
+        pipe.drain()
+        assert pipe.in_flight == 0
+
+
+class TestAdderEquivalence:
+    @given(finite, finite)
+    @settings(max_examples=400)
+    def test_matches_reference_adder(self, a, b):
+        got = run_single(make_pipelined_adder(), a, b)
+        want = fp_add(bits(a), bits(b))
+        assert got == want
+
+    def test_specials_bypass_the_datapath(self):
+        pipe = make_pipelined_adder()
+        assert fp64.is_nan(run_single(pipe, float("nan"), 1.0))
+        assert run_single(make_pipelined_adder(), math.inf, 1.0) == \
+            fp64.POS_INF
+
+    def test_cancellation(self):
+        assert run_single(make_pipelined_adder(), 1.5, -1.5) == fp64.POS_ZERO
+
+    @given(st.floats(min_value=-1e100, max_value=1e100),
+           st.floats(min_value=-1e-100, max_value=1e-100))
+    @settings(max_examples=100)
+    def test_sticky_heavy_cases(self, a, b):
+        got = run_single(make_pipelined_adder(), a, b)
+        assert got == fp_add(bits(a), bits(b))
+
+
+class TestMultiplierEquivalence:
+    @given(finite, finite)
+    @settings(max_examples=400)
+    def test_matches_reference_multiplier(self, a, b):
+        got = run_single(make_pipelined_multiplier(), a, b)
+        want = fp_mul(bits(a), bits(b))
+        assert got == want
+
+    def test_zero_times_infinity(self):
+        assert fp64.is_nan(run_single(make_pipelined_multiplier(),
+                                      0.0, math.inf))
+
+    def test_subnormal_product(self):
+        got = run_single(make_pipelined_multiplier(), 1e-200, 1e-150)
+        assert fp64.bits_to_float(got) == 1e-200 * 1e-150
+
+
+class TestInterleavedStreams:
+    def test_mixed_pipelines_run_concurrently(self):
+        """Independent add and multiply pipes model the three units
+        accepting one operation each per cycle."""
+        adder = make_pipelined_adder()
+        multiplier = make_pipelined_multiplier()
+        add_results = []
+        mul_results = []
+        for i in range(1, 6):
+            out = adder.clock((bits(float(i)), bits(1.0)))
+            if out is not None:
+                add_results.append(fp64.bits_to_float(out))
+            out = multiplier.clock((bits(float(i)), bits(3.0)))
+            if out is not None:
+                mul_results.append(fp64.bits_to_float(out))
+        add_results.extend(fp64.bits_to_float(r) for r in adder.drain())
+        mul_results.extend(fp64.bits_to_float(r) for r in multiplier.drain())
+        assert add_results == [2.0, 3.0, 4.0, 5.0, 6.0]
+        assert mul_results == [3.0, 6.0, 9.0, 12.0, 15.0]

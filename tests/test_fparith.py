@@ -1,0 +1,215 @@
+"""Bit-accuracy tests for the add, multiply, reciprocal, and division
+units against host IEEE-754 arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fparith import fp64
+from repro.fparith.add import classify_path, fp_add, fp_sub
+from repro.fparith.division import (
+    DIVIDE_LATENCY_CYCLES,
+    DIVIDE_STEPS,
+    divide,
+    divide_schedule,
+    iteration_step,
+)
+from repro.fparith.integer_ops import (
+    INT64_MAX,
+    INT64_MIN,
+    float_from_int,
+    integer_multiply,
+    truncate_to_int,
+)
+from repro.fparith.multiply import booth_partial_products, chunky_tree_sum, fp_mul
+from repro.fparith.reciprocal import GUARANTEED_BITS, recip_approx, recip_approx_bits
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+normalish = st.floats(min_value=-1e300, max_value=1e300,
+                      allow_nan=False, allow_infinity=False)
+
+
+def bits(x):
+    return fp64.float_to_bits(x)
+
+
+def val(b):
+    return fp64.bits_to_float(b)
+
+
+class TestAddUnit:
+    @given(finite, finite)
+    @settings(max_examples=500)
+    def test_matches_host_addition(self, a, b):
+        got = val(fp_add(bits(a), bits(b)))
+        want = a + b
+        assert got == want or (math.isnan(got) and math.isnan(want))
+
+    @given(finite, finite)
+    @settings(max_examples=300)
+    def test_matches_host_subtraction(self, a, b):
+        got = val(fp_sub(bits(a), bits(b)))
+        want = a - b
+        assert got == want or (math.isnan(got) and math.isnan(want))
+
+    def test_near_path_selected_for_close_subtraction(self):
+        assert classify_path(bits(1.5), bits(-1.25)) == "near"
+
+    def test_far_path_selected_for_addition(self):
+        assert classify_path(bits(1.5), bits(1.25)) == "far"
+
+    def test_far_path_selected_for_distant_subtraction(self):
+        assert classify_path(bits(1024.0), bits(-1.0)) == "far"
+
+    def test_cancellation_to_zero_is_positive(self):
+        assert fp_add(bits(1.5), bits(-1.5)) == fp64.POS_ZERO
+
+    def test_inf_plus_inf(self):
+        assert fp_add(fp64.POS_INF, fp64.POS_INF) == fp64.POS_INF
+
+    def test_inf_minus_inf_is_nan(self):
+        assert fp64.is_nan(fp_add(fp64.POS_INF, fp64.NEG_INF))
+
+    def test_nan_propagates(self):
+        assert fp64.is_nan(fp_add(fp64.QNAN, bits(1.0)))
+
+    def test_signed_zeros(self):
+        assert fp_add(fp64.NEG_ZERO, fp64.NEG_ZERO) == fp64.NEG_ZERO
+        assert fp_add(fp64.POS_ZERO, fp64.NEG_ZERO) == fp64.POS_ZERO
+
+    def test_sticky_subtraction(self):
+        # A subtraction whose subtrahend contributes only sticky bits.
+        a, b = 1.0, 1e-30
+        assert val(fp_sub(bits(a), bits(b))) == a - b
+
+    @given(st.floats(min_value=1e-308, max_value=1e308))
+    @settings(max_examples=200)
+    def test_x_minus_x_is_zero(self, x):
+        assert fp_sub(bits(x), bits(x)) == fp64.POS_ZERO
+
+    def test_subnormal_sum(self):
+        a = 5e-324
+        assert val(fp_add(bits(a), bits(a))) == a + a
+
+    def test_overflow_rounds_to_infinity(self):
+        big = math.ldexp(1.9999999, 1023)
+        assert fp64.is_inf(fp_add(bits(big), bits(big)))
+
+
+class TestMultiplyUnit:
+    @given(finite, finite)
+    @settings(max_examples=500)
+    def test_matches_host_multiplication(self, a, b):
+        got = val(fp_mul(bits(a), bits(b)))
+        want = a * b
+        assert got == want or (math.isnan(got) and math.isnan(want))
+
+    @given(st.integers(0, (1 << 60) - 1), st.integers(0, (1 << 60) - 1))
+    @settings(max_examples=300)
+    def test_booth_recoding_is_exact(self, a, b):
+        assert chunky_tree_sum(booth_partial_products(a, b)) == a * b
+
+    def test_chunky_tree_empty(self):
+        assert chunky_tree_sum([]) == 0
+
+    def test_zero_times_inf_is_nan(self):
+        assert fp64.is_nan(fp_mul(fp64.POS_ZERO, fp64.POS_INF))
+
+    def test_sign_of_zero_product(self):
+        assert fp_mul(bits(-1.0), fp64.POS_ZERO) == fp64.NEG_ZERO
+
+    def test_underflow_to_subnormal(self):
+        a = 1e-200
+        b = 1e-150
+        assert val(fp_mul(bits(a), bits(b))) == a * b
+
+    def test_overflow_to_infinity(self):
+        assert fp64.is_inf(fp_mul(bits(1e300), bits(1e300)))
+
+
+class TestReciprocalUnit:
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    @settings(max_examples=500)
+    def test_sixteen_bit_accuracy(self, x):
+        approx = recip_approx(x)
+        assert abs(approx * x - 1.0) < 2.0 ** -GUARANTEED_BITS
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    @settings(max_examples=100)
+    def test_negative_inputs_mirror(self, x):
+        assert recip_approx(-x) == -recip_approx(x)
+
+    def test_one_is_nearly_exact(self):
+        assert abs(recip_approx(1.0) - 1.0) < 1e-4
+
+    def test_powers_of_two_exact_exponent(self):
+        for exponent in (-10, -1, 0, 1, 10, 100):
+            x = math.ldexp(1.0, exponent)
+            assert abs(recip_approx(x) * x - 1.0) < 2.0 ** -GUARANTEED_BITS
+
+    def test_zero_gives_infinity(self):
+        assert recip_approx(0.0) == math.inf
+        assert recip_approx(-0.0) == -math.inf
+
+    def test_infinity_gives_zero(self):
+        assert recip_approx(math.inf) == 0.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(recip_approx(float("nan")))
+
+    def test_subnormal_overflows(self):
+        assert recip_approx(5e-324) == math.inf
+
+
+class TestDivision:
+    def test_schedule_has_six_steps(self):
+        assert len(divide_schedule(1.0, 3.0)) == DIVIDE_STEPS == 6
+
+    def test_latency_is_eighteen_cycles(self):
+        assert DIVIDE_LATENCY_CYCLES == 18
+
+    def test_iteration_step(self):
+        assert iteration_step(2.0, 0.5) == 1.0
+
+    @given(st.floats(min_value=-1e150, max_value=1e150),
+           st.floats(min_value=1e-150, max_value=1e150))
+    @settings(max_examples=500)
+    def test_few_ulp_accuracy(self, a, b):
+        want = a / b
+        got = divide(a, b)
+        if want == 0.0:
+            assert got == 0.0
+            return
+        assert abs((got - want) / want) < 1e-13
+
+    def test_converges_from_sixteen_bits(self):
+        # After two Newton iterations the error must be far below the
+        # raw approximation's 2^-16.
+        q = divide(1.0, 3.0)
+        assert abs(q - 1.0 / 3.0) < 1e-15
+
+
+class TestIntegerOps:
+    @given(st.integers(INT64_MIN, INT64_MAX))
+    def test_float_conversion(self, value):
+        assert float_from_int(value) == float(value)
+
+    @given(st.floats(min_value=-1e15, max_value=1e15))
+    def test_truncate_toward_zero(self, value):
+        assert truncate_to_int(value) == int(value)
+
+    def test_truncate_nan_is_zero(self):
+        assert truncate_to_int(float("nan")) == 0
+
+    def test_truncate_saturates(self):
+        assert truncate_to_int(1e300) == INT64_MAX
+        assert truncate_to_int(-1e300) == INT64_MIN
+
+    @given(st.integers(-(1 << 40), 1 << 40), st.integers(-(1 << 20), 1 << 20))
+    def test_integer_multiply_small(self, a, b):
+        assert integer_multiply(a, b) == a * b
+
+    def test_integer_multiply_wraps(self):
+        assert integer_multiply(1 << 63, 2) == 0
+        assert integer_multiply(INT64_MAX, 2) == -2

@@ -1,0 +1,231 @@
+"""Tests for the FPU chip model: vector element sequencing, scoreboard
+interlocks, overflow aborts, and the load/store hazard checker."""
+
+import pytest
+
+from repro.core.encoding import AluInstruction
+from repro.core.exceptions import SimulationError, VectorHazardError
+from repro.core.fpu import Fpu
+
+
+def alu(rr, ra, rb, unit=1, func=0, vl=1, sra=True, srb=True):
+    return AluInstruction(rr=rr, ra=ra, rb=rb, unit=unit, func=func,
+                          vector_length=vl, stride_ra=sra, stride_rb=srb)
+
+
+def run_until_drained(fpu, start=0, limit=200):
+    cycle = start
+    while fpu.busy and cycle < limit:
+        cycle += 1
+        fpu.retire(cycle)
+        fpu.try_issue_element(cycle)
+    return cycle
+
+
+class TestScalarIssue:
+    def test_scalar_add(self):
+        fpu = Fpu()
+        fpu.regs.write(0, 1.0)
+        fpu.regs.write(1, 2.0)
+        fpu.retire(0)
+        fpu.accept_alu(alu(2, 0, 1), 0)
+        run_until_drained(fpu)
+        assert fpu.regs.read(2) == 3.0
+
+    def test_result_not_visible_before_latency(self):
+        fpu = Fpu()
+        fpu.regs.write(0, 1.0)
+        fpu.regs.write(1, 2.0)
+        fpu.accept_alu(alu(2, 0, 1), 0)
+        fpu.retire(2)
+        assert fpu.regs.read(2) == 0.0
+        assert fpu.scoreboard.is_reserved(2)
+        fpu.retire(3)
+        assert fpu.regs.read(2) == 3.0
+        assert not fpu.scoreboard.is_reserved(2)
+
+    def test_ir_frees_cycle_after_last_element(self):
+        fpu = Fpu()
+        fpu.accept_alu(alu(2, 0, 1), 0)
+        assert not fpu.ir_free(0)
+        assert fpu.ir_free(1)
+
+
+class TestVectorSequencing:
+    def test_all_specifiers_increment(self):
+        """Rr always increments; Ra/Rb follow their stride bits."""
+        fpu = Fpu()
+        fpu.regs.write_group(0, [1.0, 2.0, 3.0, 4.0])
+        fpu.regs.write_group(8, [10.0, 20.0, 30.0, 40.0])
+        fpu.accept_alu(alu(16, 0, 8, vl=4), 0)
+        run_until_drained(fpu)
+        assert fpu.regs.read_group(16, 4) == [11.0, 22.0, 33.0, 44.0]
+
+    def test_scalar_source_with_clear_stride_bit(self):
+        fpu = Fpu()
+        fpu.regs.write(32, 10.0)
+        fpu.regs.write_group(0, [1.0, 2.0, 3.0])
+        fpu.accept_alu(alu(16, 32, 0, unit=2, vl=3, sra=False), 0)
+        run_until_drained(fpu)
+        assert fpu.regs.read_group(16, 3) == [10.0, 20.0, 30.0]
+
+    def test_vector_from_scalar_op_scalar(self):
+        """Both stride bits clear: vector := scalar op scalar."""
+        fpu = Fpu()
+        fpu.regs.write(0, 3.0)
+        fpu.regs.write(1, 4.0)
+        fpu.accept_alu(alu(16, 0, 1, vl=4, sra=False, srb=False), 0)
+        run_until_drained(fpu)
+        assert fpu.regs.read_group(16, 4) == [7.0] * 4
+
+    def test_one_element_per_cycle(self):
+        fpu = Fpu()
+        fpu.regs.write_group(0, [1.0] * 16)
+        fpu.regs.write_group(16, [1.0] * 16)
+        fpu.accept_alu(alu(32, 0, 16, vl=16), 0)
+        for cycle in range(1, 16):
+            fpu.retire(cycle)
+            assert fpu.try_issue_element(cycle)
+        assert fpu.alu_ir is None
+
+    def test_recurrence_chains_through_scoreboard(self):
+        """Element k may depend on element k-1 (Figure 8)."""
+        fpu = Fpu()
+        fpu.regs.write(0, 1.0)
+        fpu.regs.write(1, 1.0)
+        fpu.accept_alu(alu(2, 1, 0, vl=8), 0)
+        final = run_until_drained(fpu)
+        assert fpu.regs.read_group(0, 10) == [1.0, 1.0, 2.0, 3.0, 5.0,
+                                              8.0, 13.0, 21.0, 34.0, 55.0]
+        assert final == 24  # 8 chained elements x 3-cycle latency
+
+    def test_unified_file_allows_element_access(self):
+        """Vector results are ordinary scalar registers afterwards."""
+        fpu = Fpu()
+        fpu.regs.write_group(0, [1.0, 2.0])
+        fpu.regs.write_group(8, [5.0, 6.0])
+        fpu.accept_alu(alu(16, 0, 8, vl=2), 0)
+        run_until_drained(fpu)
+        # Scalar op on the second element of the vector result.
+        fpu.accept_alu(alu(20, 17, 17), 30)
+        cycle = 30
+        while fpu.busy:
+            cycle += 1
+            fpu.retire(cycle)
+            fpu.try_issue_element(cycle)
+        assert fpu.regs.read(20) == 16.0
+
+    def test_stats_track_vector_instructions(self):
+        fpu = Fpu()
+        fpu.accept_alu(alu(16, 0, 8, vl=4), 0)
+        run_until_drained(fpu)
+        assert fpu.stats.alu_instructions == 1
+        assert fpu.stats.vector_instructions == 1
+        assert fpu.stats.elements_issued == 4
+        assert fpu.stats.flops == 4
+
+
+class TestOverflowAbort:
+    def test_overflow_discards_remaining_elements(self):
+        fpu = Fpu()
+        fpu.regs.write_group(0, [1.0, 1e308, 1.0, 1.0])
+        fpu.regs.write_group(8, [1.0, 1e308, 1.0, 1.0])
+        fpu.accept_alu(alu(16, 0, 8, vl=4), 0)
+        run_until_drained(fpu)
+        assert fpu.regs.psw.overflow
+        assert fpu.regs.psw.overflow_dest == 17
+        assert fpu.regs.read(17) == float("inf")
+        # Elements after the overflow never executed.
+        assert fpu.regs.read(18) == 0.0
+        assert fpu.regs.read(19) == 0.0
+        assert fpu.stats.overflow_aborts == 1
+
+    def test_ir_freed_after_abort(self):
+        fpu = Fpu()
+        fpu.regs.write(0, 1e308)
+        fpu.regs.write(8, 1e308)
+        fpu.accept_alu(alu(16, 0, 8, unit=2, vl=4), 0)
+        fpu.retire(1)
+        assert fpu.ir_free(1)
+
+
+class TestLoadsStores:
+    def test_load_data_usable_next_cycle(self):
+        fpu = Fpu()
+        fpu.load_write(5, 9.0, 0)
+        assert fpu.scoreboard.is_reserved(5)
+        fpu.retire(1)
+        assert fpu.regs.read(5) == 9.0
+        assert not fpu.scoreboard.is_reserved(5)
+
+    def test_store_waits_for_reservation(self):
+        fpu = Fpu()
+        fpu.regs.write(0, 1.0)
+        fpu.regs.write(1, 2.0)
+        fpu.accept_alu(alu(2, 0, 1), 0)
+        assert not fpu.store_ready(2)
+        fpu.retire(3)
+        assert fpu.store_ready(2)
+        assert fpu.store_read(2, 3) == 3.0
+
+
+class TestHazardChecker:
+    def _vector_in_flight(self, strict):
+        fpu = Fpu(strict_hazards=strict)
+        fpu.accept_alu(alu(16, 0, 8, vl=8), 0)  # element 0 issues now
+        return fpu
+
+    def test_current_element_excluded_from_footprint(self):
+        fpu = self._vector_in_flight(strict=False)
+        footprint = fpu.unissued_footprint()
+        # Element 0 issued; element 1 (rr=17, ra=1, rb=9) is now current
+        # and interlocked by hardware, so the footprint starts at element 2.
+        assert 17 not in footprint
+        assert 18 in footprint
+        assert 2 in footprint
+        assert 10 in footprint
+
+    def test_deep_store_overlap_raises_in_strict_mode(self):
+        fpu = self._vector_in_flight(strict=True)
+        with pytest.raises(VectorHazardError):
+            fpu.store_read(20, 1)  # element 4's destination, not yet issued
+
+    def test_deep_load_overlap_raises_in_strict_mode(self):
+        fpu = self._vector_in_flight(strict=True)
+        with pytest.raises(VectorHazardError):
+            fpu.load_write(3, 1.0, 1)  # element 3's source, not yet read
+
+    def test_store_of_issued_element_is_fine(self):
+        fpu = self._vector_in_flight(strict=True)
+        fpu.store_read(16, 1)  # element 0 already issued
+
+    def test_store_of_vector_source_is_fine(self):
+        """A store only reads -- no conflict with element sources."""
+        fpu = self._vector_in_flight(strict=True)
+        fpu.store_read(4, 1)
+
+    def test_non_strict_mode_records_warnings(self):
+        fpu = self._vector_in_flight(strict=False)
+        fpu.store_read(20, 1)
+        assert len(fpu.hazard_warnings) == 1
+
+    def test_no_hazard_when_idle(self):
+        fpu = Fpu(strict_hazards=True)
+        fpu.load_write(3, 1.0, 0)  # no vector in flight
+
+
+class TestAcceptErrors:
+    def test_accept_when_busy_is_an_error(self):
+        fpu = Fpu()
+        fpu.accept_alu(alu(16, 0, 8, vl=4), 0)
+        with pytest.raises(SimulationError):
+            fpu.accept_alu(alu(20, 0, 8), 0)
+
+    def test_reset_clears_everything(self):
+        fpu = Fpu()
+        fpu.regs.write(0, 5.0)
+        fpu.accept_alu(alu(16, 0, 8, vl=4), 0)
+        fpu.reset()
+        assert not fpu.busy
+        assert fpu.regs.read(0) == 0.0
+        assert fpu.stats.elements_issued == 0

@@ -1,0 +1,150 @@
+"""Tests for the structural hardware models: the reservation-bit RAM and
+the distributed bypass network, including behavioural equivalence with
+the architectural scoreboard."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bypass import (
+    BypassNetwork,
+    CENTRALIZED_WIRE_DELAYS,
+    DISTRIBUTED_WIRE_DELAYS,
+    ResultBus,
+    centralized_forwarding_distance,
+    forwarding_distance,
+)
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import SimulationError
+from repro.core.reservation_ram import ReservationBitRam
+from repro.core.scoreboard import Scoreboard
+
+
+class TestReservationBitRam:
+    def test_set_then_read_next_cycle(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.set_on_issue(5)
+        ram.end_cycle()
+        ram.begin_cycle()
+        assert ram.read(5)
+        ram.end_cycle()
+
+    def test_reads_see_start_of_cycle_state(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.set_on_issue(5)
+        assert not ram.read(5)  # bitlines drive after the read phase
+        ram.end_cycle()
+
+    def test_simultaneous_set_and_clear_different_rows(self):
+        """The true bitline clears one row while the complement bitline
+        sets another -- the single-ended trick."""
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.set_on_issue(3)
+        ram.end_cycle()
+        ram.begin_cycle()
+        ram.clear_on_retire(3)
+        ram.set_on_issue(7)
+        ram.end_cycle()
+        assert not ram.peek(3)
+        assert ram.peek(7)
+
+    def test_clear_then_set_same_row_leaves_it_reserved(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.set_on_issue(4)
+        ram.end_cycle()
+        ram.begin_cycle()
+        ram.clear_on_retire(4)
+        ram.set_on_issue(4)
+        ram.end_cycle()
+        assert ram.peek(4)
+
+    def test_only_one_set_per_cycle(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.set_on_issue(1)
+        with pytest.raises(SimulationError):
+            ram.set_on_issue(2)
+
+    def test_only_one_clear_per_cycle(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        ram.clear_on_retire(1)
+        with pytest.raises(SimulationError):
+            ram.clear_on_retire(2)
+
+    def test_read_port_budget(self):
+        ram = ReservationBitRam()
+        ram.begin_cycle()
+        for register in (0, 1, 2):
+            ram.read(register)
+        with pytest.raises(SimulationError):
+            ram.read(3)
+
+    def test_access_outside_cycle(self):
+        ram = ReservationBitRam()
+        with pytest.raises(SimulationError):
+            ram.read(0)
+
+    def test_one_extra_decoder(self):
+        assert ReservationBitRam().decoder_count == 1
+
+    @given(st.lists(st.tuples(st.sampled_from(["set", "clear"]),
+                              st.integers(0, NUM_REGISTERS - 1)),
+                    max_size=80))
+    @settings(max_examples=60)
+    def test_equivalent_to_architectural_scoreboard(self, operations):
+        """Applying legal set/clear sequences (one of each per cycle) to
+        both models yields identical bit vectors."""
+        ram = ReservationBitRam()
+        scoreboard = Scoreboard()
+        for kind, register in operations:
+            ram.begin_cycle()
+            if kind == "set":
+                if scoreboard.bits[register]:
+                    ram.end_cycle()
+                    continue  # the issue logic never double-reserves
+                ram.set_on_issue(register)
+                scoreboard.reserve(register)
+            else:
+                ram.clear_on_retire(register)
+                scoreboard.clear(register)
+            ram.end_cycle()
+        for register in range(NUM_REGISTERS):
+            assert ram.peek(register) == scoreboard.bits[register]
+
+
+class TestBypassNetwork:
+    def test_bus_selected_for_reserved_source_with_matching_result(self):
+        unit = BypassNetwork("add")
+        value = unit.select(source_register=5, register_file_value=0.0,
+                            result_bus=ResultBus(5, 42.0), reserved=True)
+        assert value == 42.0
+        assert unit.bus_selections == 1
+
+    def test_file_selected_when_not_reserved(self):
+        unit = BypassNetwork("add")
+        value = unit.select(5, 7.0, ResultBus(5, 42.0), reserved=False)
+        assert value == 7.0
+
+    def test_file_selected_for_other_destination(self):
+        unit = BypassNetwork("multiply")
+        value = unit.select(5, 7.0, ResultBus(9, 42.0), reserved=True)
+        assert value == 7.0
+
+    def test_file_selected_with_idle_bus(self):
+        unit = BypassNetwork("reciprocal")
+        assert unit.select(5, 7.0, None, reserved=False) == 7.0
+
+    def test_wire_delay_advantage(self):
+        assert DISTRIBUTED_WIRE_DELAYS == 1
+        assert CENTRALIZED_WIRE_DELAYS == 2
+        assert centralized_forwarding_distance() == forwarding_distance() + 1
+
+    def test_forwarding_distance_matches_machine_timing(self):
+        """The simulator's producer-to-consumer distance equals the
+        bypassed latency (Figure 5's schedule depends on it)."""
+        from repro.core.functional_units import FUNCTIONAL_UNIT_LATENCY
+        assert forwarding_distance() == FUNCTIONAL_UNIT_LATENCY

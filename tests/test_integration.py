@@ -1,0 +1,174 @@
+"""End-to-end integration tests crossing module boundaries."""
+
+import pytest
+
+from repro import (
+    AluInstruction,
+    MachineConfig,
+    Memory,
+    MultiTitan,
+    ProgramBuilder,
+    assemble,
+    decode_alu,
+    encode_alu,
+)
+from repro.core.types import Op
+from repro.mem.memory import Arena, WORD_BYTES
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import build_loop
+
+
+class TestPublicApi:
+    def test_quickstart_sequence(self):
+        """The README quickstart must work as written."""
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=4)
+        program = b.build()
+        machine = MultiTitan(program)
+        machine.fpu.regs.write_group(0, [1.0, 2.0, 3.0, 4.0])
+        machine.fpu.regs.write_group(8, [10.0, 20.0, 30.0, 40.0])
+        result = machine.run()
+        assert machine.fpu.regs.read_group(16, 4) == [11.0, 22.0, 33.0, 44.0]
+        assert result.completion_cycle > 0
+
+    def test_encode_execute_round_trip(self):
+        """An instruction encoded to its 32-bit word, decoded, and issued
+        must behave like the original."""
+        word = encode_alu(AluInstruction(rr=16, ra=0, rb=8, unit=2, func=0,
+                                         vector_length=2))
+        decoded = decode_alu(word)
+        b = ProgramBuilder()
+        b.falu(decoded.op, decoded.rr, decoded.ra, decoded.rb,
+               vl=decoded.vector_length, sra=decoded.stride_ra,
+               srb=decoded.stride_rb)
+        machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
+        machine.fpu.regs.write_group(0, [3.0, 4.0])
+        machine.fpu.regs.write_group(8, [5.0, 6.0])
+        machine.run()
+        assert machine.fpu.regs.read_group(16, 2) == [15.0, 24.0]
+
+
+class TestOverflowProgram:
+    def test_vector_overflow_aborts_and_sets_psw(self):
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        data = arena.alloc_array([2.0, 1e300, 2.0, 2.0])
+        scale = arena.alloc_array([1e10])
+        b = ProgramBuilder()
+        for i in range(4):
+            b.fload(i, 1, i * WORD_BYTES)
+        b.fload(8, 2, 0)
+        b.fmul(16, 8, 0, vl=4, sra=False)
+        machine = MultiTitan(b.build(), memory=memory,
+                             config=MachineConfig(model_ibuffer=False))
+        machine.iregs[1] = data
+        machine.iregs[2] = scale
+        machine.run()
+        psw = machine.fpu.regs.psw
+        assert psw.overflow
+        assert psw.overflow_dest == 17  # second element overflowed
+        assert machine.fpu.regs.read(18) == 0.0  # discarded
+
+
+class TestContextSwitchCost:
+    def test_saving_the_unified_file_is_cheap(self):
+        """Storing all 52 registers takes ~104 store-port cycles, an
+        order of magnitude below a classical 512-word vector file."""
+        memory = Memory()
+        b = ProgramBuilder()
+        for i in range(52):
+            b.fstore(i, 1, i * WORD_BYTES)
+        machine = MultiTitan(b.build(), memory=memory,
+                             config=MachineConfig(model_ibuffer=False))
+        machine.iregs[1] = 4096
+        machine.dcache.warm_range(4096, 52 * WORD_BYTES)
+        result = machine.run()
+        assert result.completion_cycle <= 2 * 52 + 2
+        from repro.baselines.classical import ClassicalVectorMachine
+        assert ClassicalVectorMachine().context_switch_cycles(2) \
+            >= 8 * result.completion_cycle
+
+
+class TestMixedVectorScalar:
+    def test_dot_product_without_data_movement(self):
+        """Multiply as a vector, reduce the *same registers* as scalars:
+        the transfer a split register file would force never happens."""
+        source = """
+            fmul f16, f0, f8, vl=4      ; elementwise products
+            fadd f20, f16, f18, vl=2    ; pairwise sums (tree)
+            fadd f24, f20, f21          ; final scalar add
+            halt
+        """
+        machine = MultiTitan(assemble(source),
+                             config=MachineConfig(model_ibuffer=False))
+        machine.fpu.regs.write_group(0, [1.0, 2.0, 3.0, 4.0])
+        machine.fpu.regs.write_group(8, [10.0, 20.0, 30.0, 40.0])
+        machine.run()
+        assert machine.fpu.regs.read(24) == 10.0 + 40.0 + 90.0 + 160.0
+
+    def test_loads_overlap_reduction(self):
+        """While a reduction issues, the CPU streams the next row in --
+        the matrix-multiply overlap of section 2.1.1."""
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        next_row = arena.alloc_array([float(i) for i in range(8)])
+        # Loads scheduled into the cycles the ALU IR would otherwise
+        # leave the CPU idle -- the compiler interleaving of section 2.1.1.
+        b = ProgramBuilder()
+        b.fadd(8, 0, 4, vl=4)          # tree reduction of R0..R7
+        for i in range(3):
+            b.fload(16 + i, 1, i * WORD_BYTES)
+        b.fadd(12, 8, 10, vl=2)
+        for i in range(3, 5):
+            b.fload(16 + i, 1, i * WORD_BYTES)
+        b.fadd(14, 12, 13)
+        for i in range(5, 8):
+            b.fload(16 + i, 1, i * WORD_BYTES)
+        machine = MultiTitan(b.build(), memory=memory,
+                             config=MachineConfig(model_ibuffer=False))
+        machine.fpu.regs.write_group(0, [1.0] * 8)
+        machine.iregs[1] = next_row
+        machine.dcache.warm_range(next_row, 64)
+        result = machine.run()
+        # All 8 loads hide inside the reduction's 12 cycles (+ drain).
+        assert result.completion_cycle <= 13
+        assert machine.fpu.regs.read(14) == 8.0
+
+
+class TestLatencyConfigurability:
+    def test_longer_latency_slows_recurrences_linearly(self):
+        def run_with(latency):
+            b = ProgramBuilder()
+            b.fadd(2, 1, 0, vl=8)
+            machine = MultiTitan(b.build(), config=MachineConfig(
+                model_ibuffer=False, fpu_latency=latency))
+            machine.fpu.regs.write(0, 1.0)
+            machine.fpu.regs.write(1, 1.0)
+            return machine.run().completion_cycle
+
+        assert run_with(3) == 24
+        assert run_with(1) == 8
+        assert run_with(6) == 48
+
+    def test_latency_barely_affects_independent_vectors(self):
+        def run_with(latency):
+            b = ProgramBuilder()
+            b.fadd(16, 0, 8, vl=8)
+            machine = MultiTitan(b.build(), config=MachineConfig(
+                model_ibuffer=False, fpu_latency=latency))
+            return machine.run().completion_cycle
+
+        assert run_with(6) - run_with(3) == 3  # only the drain grows
+
+
+class TestWarmColdHarness:
+    def test_warm_run_restores_data(self):
+        kernel = build_loop(5)
+        warm = run_kernel(kernel, warm=True)
+        assert warm.passed, warm.check_error
+
+    def test_cold_has_more_misses_than_warm(self):
+        cold = run_kernel(build_loop(1), warm=False)
+        warm = run_kernel(build_loop(1), warm=True)
+        assert cold.cache_misses > warm.cache_misses
+        assert warm.cycles < cold.cycles

@@ -1,0 +1,112 @@
+"""Interrupt semantics (section 2.3.1): in-flight vector instructions
+keep issuing across an interrupt; the handler runs on the CPU meanwhile."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+
+
+def machine_for(program):
+    return MultiTitan(program, config=MachineConfig(model_ibuffer=False))
+
+
+class TestInterruptDelivery:
+    def _program_with_handler(self):
+        b = ProgramBuilder()
+        main_done = b.label("main_done")
+        b.addi(2, 2, 1)        # 0: main body
+        b.addi(2, 2, 1)        # 1
+        b.addi(2, 2, 1)        # 2
+        b.addi(2, 2, 1)        # 3
+        b.j(main_done)
+        handler = b.here("handler")
+        b.addi(3, 3, 100)
+        b.rfe()
+        b.place(main_done)
+        b.halt()
+        return b.build(), handler.index
+
+    def test_handler_runs_and_resumes(self):
+        program, handler_pc = self._program_with_handler()
+        machine = machine_for(program)
+        machine.schedule_interrupt(2, handler_pc)
+        machine.run()
+        assert machine.iregs[3] == 100   # handler executed
+        assert machine.iregs[2] == 4     # main body completed fully
+        assert machine.epc is None
+
+    def test_no_interrupt_without_schedule(self):
+        program, _ = self._program_with_handler()
+        machine = machine_for(program)
+        machine.run()
+        assert machine.iregs[3] == 0
+
+    def test_rfe_outside_handler_is_an_error(self):
+        b = ProgramBuilder()
+        b.rfe()
+        with pytest.raises(SimulationError):
+            machine_for(b.build()).run()
+
+    def test_nested_interrupts_are_deferred(self):
+        """A second interrupt waits until the first handler returns."""
+        program, handler_pc = self._program_with_handler()
+        machine = machine_for(program)
+        machine.schedule_interrupt(1, handler_pc)
+        machine.schedule_interrupt(2, handler_pc)
+        machine.run()
+        assert machine.iregs[3] == 200  # both handled, serially
+
+
+class TestVectorContinuesThroughInterrupt:
+    def test_48_cycle_recursion_completes(self):
+        """"In the case of vector recursion (e.g., r[a] := r[a-1] +
+        r[a-2]) of length 16, the last element would be written 48 cycles
+        later, even if an interrupt occurred in the meantime.\""""
+        b = ProgramBuilder()
+        done = b.label("done")
+        b.fadd(2, 1, 0, vl=16)   # 16-element chained recurrence
+        b.j(done)
+        handler = b.here("handler")
+        b.addi(3, 3, 1)
+        b.addi(3, 3, 1)
+        b.rfe()
+        b.place(done)
+        b.halt()
+        program = b.build()
+
+        machine = machine_for(program)
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        # Deliver while the vector is still issuing (the CPU reaches HALT
+        # after only a few cycles; the interrupt must arrive before it).
+        machine.schedule_interrupt(2, handler.index)
+        result = machine.run()
+
+        assert machine.iregs[3] == 2           # handler ran mid-vector
+        assert result.completion_cycle == 48   # last element written at 48
+        fib = [1.0, 1.0]
+        for _ in range(16):
+            fib.append(fib[-1] + fib[-2])
+        assert machine.fpu.regs.read_group(0, 18) == fib
+
+    def test_handler_alu_op_waits_for_the_vector(self):
+        """The handler's own FPU ALU instruction queues behind the
+        in-flight vector (single ALU instruction register)."""
+        b = ProgramBuilder()
+        done = b.label("done")
+        b.fadd(2, 1, 0, vl=16)
+        b.j(done)
+        handler = b.here("handler")
+        b.fadd(40, 0, 1)   # stalls until the vector drains the IR
+        b.rfe()
+        b.place(done)
+        b.halt()
+        machine = machine_for(b.build())
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        machine.schedule_interrupt(3, handler.index)
+        machine.run()
+        assert machine.fpu.regs.read(40) == 2.0
+        assert machine.stats.stall_alu_ir_busy > 30

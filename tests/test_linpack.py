@@ -1,0 +1,95 @@
+"""Tests for the Linpack workload (dgefa/dgesl, section 3.3)."""
+
+import pytest
+
+from repro.workloads.common import run_kernel
+from repro.workloads.linpack import (
+    build_linpack,
+    generate_system,
+    linpack_flops,
+    measure_linpack,
+    reference_solve,
+)
+
+
+class TestReferenceSolver:
+    def test_solves_identity(self):
+        n = 4
+        a = [0.0] * (n * n)
+        for i in range(n):
+            a[i + n * i] = 1.0
+        b = [1.0, 2.0, 3.0, 4.0]
+        assert reference_solve(n, a, b) == b
+
+    def test_solves_random_system(self):
+        n = 12
+        a, b, x_true = generate_system(n, seed=7)
+        x = reference_solve(n, a, b)
+        for got, want in zip(x, x_true):
+            assert got == pytest.approx(want, rel=1e-8, abs=1e-10)
+
+    def test_pivoting_handles_zero_leading_element(self):
+        a = [0.0, 1.0,   # column 0: a[0][0]=0 forces a pivot swap
+             1.0, 1.0]   # column 1
+        b = [2.0, 3.0]
+        x = reference_solve(2, a, b)
+        # x solves [[0,1],[1,1]] x = b  (column-major storage)
+        assert x[0] == pytest.approx(3.0 - 2.0)
+        assert x[1] == pytest.approx(2.0)
+
+    def test_flop_count(self):
+        assert linpack_flops(100) == int(2e6 / 3 + 2e4)
+
+
+class TestMachineKernels:
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_small_system_solves(self, coding):
+        result = run_kernel(build_linpack(8, coding))
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("coding", ["scalar", "vector"])
+    def test_medium_system_solves(self, coding):
+        result = run_kernel(build_linpack(20, coding))
+        assert result.passed, result.check_error
+
+    def test_odd_size_exercises_remainder_loop(self):
+        result = run_kernel(build_linpack(13, "vector"))
+        assert result.passed, result.check_error
+
+    def test_different_seeds(self):
+        for seed in (1, 2, 3):
+            result = run_kernel(build_linpack(10, "vector", seed=seed))
+            assert result.passed, result.check_error
+
+    def test_pivoting_is_exercised(self):
+        """Random systems must trigger at least one row interchange."""
+        n = 16
+        a, b, _ = generate_system(n, seed=1989)
+        swaps = 0
+        a_work = list(a)
+        for k in range(n - 1):
+            l = max(range(k, n), key=lambda i: abs(a_work[i + n * k]))
+            if l != k:
+                swaps += 1
+            # crude elimination to keep pivot choices realistic
+            piv = a_work[l + n * k]
+            a_work[l + n * k], a_work[k + n * k] = a_work[k + n * k], piv
+        assert swaps > 0
+
+
+class TestPerformanceShape:
+    def test_vector_beats_scalar(self):
+        m = measure_linpack(24)
+        assert m.check_error is None
+        assert m.vector_mflops > m.scalar_mflops
+
+    def test_speedup_is_moderate(self):
+        """The paper's 6.1/4.1 = 1.5x: vectorization helps Linpack less
+        than peak (memory bandwidth bound)."""
+        m = measure_linpack(24)
+        assert 1.1 < m.speedup < 2.5
+
+    def test_warm_beats_cold(self):
+        cold = run_kernel(build_linpack(16, "vector"), warm=False)
+        warm = run_kernel(build_linpack(16, "vector"), warm=True)
+        assert warm.mflops > cold.mflops

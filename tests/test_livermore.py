@@ -1,0 +1,162 @@
+"""Correctness and shape tests for the Livermore Loop kernels."""
+
+import pytest
+
+from repro.cpu.machine import MachineConfig
+from repro.workloads.common import run_kernel
+from repro.workloads.livermore import (
+    ALL_LOOPS,
+    KERNELS,
+    VECTORIZED_LOOPS,
+    build_loop,
+    harmonic_mean,
+    make_data,
+    measure_loop,
+    suite_summary,
+)
+from repro.workloads.livermore.reference import REFERENCES
+
+
+class TestReferenceImplementations:
+    @pytest.mark.parametrize("loop", ALL_LOOPS)
+    def test_reference_returns_outputs_and_flops(self, loop):
+        n, arrays = make_data(loop)
+        outputs, flops = REFERENCES[loop](n, arrays)
+        assert outputs
+        assert flops > 0
+
+    def test_loop3_is_a_dot_product(self):
+        n, arrays = make_data(3)
+        outputs, _ = REFERENCES[3](n, arrays)
+        direct = sum(z * x for z, x in zip(arrays["z"], arrays["x"]))
+        assert outputs["q"] == pytest.approx(direct, rel=1e-12)
+
+    def test_loop11_is_a_prefix_sum(self):
+        n, arrays = make_data(11)
+        outputs, _ = REFERENCES[11](n, arrays)
+        assert outputs["x"][-1] == pytest.approx(sum(arrays["y"]), rel=1e-12)
+
+    def test_loop24_finds_the_minimum(self):
+        n, arrays = make_data(24)
+        outputs, _ = REFERENCES[24](n, arrays)
+        assert arrays["x"][outputs["m"]] == min(arrays["x"])
+
+    def test_data_is_deterministic(self):
+        _, a = make_data(1, seed=42)
+        _, b = make_data(1, seed=42)
+        assert a["y"] == b["y"]
+
+    def test_data_seeds_differ(self):
+        _, a = make_data(1, seed=1)
+        _, b = make_data(1, seed=2)
+        assert a["y"] != b["y"]
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("loop", ALL_LOOPS)
+    def test_default_coding_cold(self, loop):
+        result = run_kernel(build_loop(loop))
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("loop", ALL_LOOPS)
+    def test_scalar_coding(self, loop):
+        result = run_kernel(build_loop(loop, coding="scalar"))
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("loop", sorted(VECTORIZED_LOOPS))
+    def test_vector_coding_warm(self, loop):
+        result = run_kernel(build_loop(loop, coding="vector"), warm=True)
+        assert result.passed, result.check_error
+
+    @pytest.mark.parametrize("loop", [1, 3, 12])
+    def test_alternate_strip_lengths(self, loop):
+        for vl in (2, 4, 8, 16):
+            result = run_kernel(build_loop(loop, coding="vector", vl=vl))
+            assert result.passed, "vl=%d: %s" % (vl, result.check_error)
+
+    def test_loop7_small_strips_only(self):
+        for vl in (2, 4):
+            result = run_kernel(build_loop(7, coding="vector", vl=vl))
+            assert result.passed, "vl=%d: %s" % (vl, result.check_error)
+
+    def test_register_pressure_raises_the_papers_compile_error(self):
+        """Loop 7 needs nine vector temporaries; at VL=8 that exceeds the
+        52-register file -- "a compile error was raised" (section 3)."""
+        from repro.vectorize.allocator import AllocationError
+        with pytest.raises(AllocationError):
+            build_loop(7, coding="vector", vl=8)
+
+    @pytest.mark.parametrize("loop", [1, 3, 5, 11])
+    def test_alternate_problem_sizes(self, loop):
+        for n in (17, 33, 64):
+            result = run_kernel(build_loop(loop, n=n))
+            assert result.passed, "n=%d: %s" % (n, result.check_error)
+
+    @pytest.mark.parametrize("loop", [1, 5, 16, 22])
+    def test_alternate_seeds(self, loop):
+        result = run_kernel(build_loop(loop, seed=2024))
+        assert result.passed, result.check_error
+
+
+class TestPerformanceShape:
+    """The qualitative claims of Figure 14 must hold in simulation."""
+
+    def test_warm_beats_cold_everywhere(self):
+        for loop in (1, 3, 7, 13, 22):
+            m = measure_loop(loop)
+            assert m.warm_mflops > m.cold_mflops, "loop %d" % loop
+
+    def test_vector_beats_scalar_on_vectorized_loops(self):
+        for loop in (1, 3, 7, 9, 12, 21):
+            vector = run_kernel(build_loop(loop, coding="vector"), warm=True)
+            scalar = run_kernel(build_loop(loop, coding="scalar"), warm=True)
+            assert vector.mflops > scalar.mflops, "loop %d" % loop
+
+    def test_first_half_beats_second_half(self):
+        """Warm harmonic mean of loops 1-12 well above loops 13-24."""
+        sample_first = [measure_loop(l).warm_mflops for l in (1, 3, 7, 9)]
+        sample_second = [measure_loop(l).warm_mflops for l in (13, 15, 16, 24)]
+        assert harmonic_mean(sample_first) > 2 * harmonic_mean(sample_second)
+
+    def test_cold_cache_penalty_is_large_for_simple_loops(self):
+        """"factors of about three to six" between cold and warm."""
+        m = measure_loop(1)
+        ratio = m.warm_mflops / m.cold_mflops
+        assert 2.0 < ratio < 8.0
+
+    def test_cold_cache_penalty_is_smaller_for_complex_loops(self):
+        """Loops 13-24 have more branching, so misses are diluted."""
+        simple = measure_loop(1)
+        complex_loop = measure_loop(16)
+        assert (complex_loop.warm_mflops / complex_loop.cold_mflops
+                < simple.warm_mflops / simple.cold_mflops)
+
+    def test_suite_summary_groups(self):
+        measurements = {loop: measure_loop(loop) for loop in (1, 2, 13, 14)}
+        summary = suite_summary(measurements)
+        assert set(summary) == {"1-12", "13-24", "1-24"}
+        assert summary["1-12"][1] > summary["13-24"][1]
+
+
+class TestMiscProperties:
+    def test_registry_covers_all_loops(self):
+        assert set(KERNELS) == set(range(1, 25))
+
+    def test_vectorized_set_matches_registry(self):
+        assert all(KERNELS[l].vectorizable for l in VECTORIZED_LOOPS)
+
+    def test_loop2_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_data(2, n=100)
+
+    def test_kernel_rerun_is_reproducible(self):
+        kernel = build_loop(7)
+        first = run_kernel(kernel)
+        second = run_kernel(kernel)
+        assert first.cycles == second.cycles
+        assert second.passed
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == 2.0
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+        assert harmonic_mean([]) == 0.0

@@ -1,0 +1,123 @@
+"""Property-based tests over randomly generated (valid) machine programs:
+issue-rate invariants, determinism, and latency monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+DATA_WORDS = 64
+
+
+def program_specs():
+    """Random instruction descriptors; all reference valid registers and
+    in-bounds memory so any generated program is legal."""
+    falu = st.tuples(st.just("falu"),
+                     st.integers(0, 2),     # dest bank (x16)
+                     st.integers(0, 2),     # src a bank
+                     st.integers(0, 2),     # src b bank
+                     st.integers(1, 16),    # vl
+                     st.booleans(), st.booleans())
+    load = st.tuples(st.just("load"), st.integers(0, 47),
+                     st.integers(0, DATA_WORDS - 1))
+    store = st.tuples(st.just("store"), st.integers(0, 47),
+                      st.integers(0, DATA_WORDS - 1))
+    integer = st.tuples(st.just("int"), st.integers(1, 15),
+                        st.integers(-100, 100))
+    return st.lists(st.one_of(falu, load, store, integer),
+                    min_size=1, max_size=25)
+
+
+def build_program(specs):
+    b = ProgramBuilder()
+    for spec in specs:
+        kind = spec[0]
+        if kind == "falu":
+            _, dest, src_a, src_b, vl, sra, srb = spec
+            rr = dest * 16
+            ra = src_a * 16
+            rb = src_b * 16
+            if rr + vl > 52:
+                vl = 52 - rr
+            if sra and ra + vl > 52:
+                ra = 0
+            if srb and rb + vl > 52:
+                rb = 0
+            b.fadd(rr, ra, rb, vl=max(1, vl), sra=sra, srb=srb)
+        elif kind == "load":
+            b.fload(spec[1], 1, spec[2] * WORD_BYTES)
+        elif kind == "store":
+            b.fstore(spec[1], 1, spec[2] * WORD_BYTES)
+        else:
+            b.addi(spec[1], spec[1], spec[2])
+    return b.build()
+
+
+def run_program(program, latency=3, warm=True):
+    memory = Memory()
+    arena = Arena(memory, base=256)
+    data = arena.alloc_array([float(i % 7) / 8 + 0.25
+                              for i in range(DATA_WORDS)])
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(model_ibuffer=False,
+                                              fpu_latency=latency))
+    machine.iregs[1] = data
+    for register in range(52):
+        machine.fpu.regs.write(register, (register % 5) * 0.25 + 0.125)
+    if warm:
+        machine.dcache.warm_range(data, DATA_WORDS * WORD_BYTES)
+    result = machine.run()
+    return machine, result
+
+
+class TestRandomProgramInvariants:
+    @given(program_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_issue_rate_caps(self, specs):
+        """Never more than one ALU element, one memory operation per
+        cycle; total at most two per cycle."""
+        machine, result = run_program(build_program(specs))
+        cycles = max(result.completion_cycle, 1)
+        elements = machine.fpu.stats.elements_issued
+        memory_ops = machine.fpu.stats.loads + machine.fpu.stats.stores
+        assert elements <= cycles
+        assert memory_ops <= cycles
+        assert elements + memory_ops <= 2 * cycles
+
+    @given(program_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, specs):
+        program = build_program(specs)
+        machine_a, result_a = run_program(program)
+        machine_b, result_b = run_program(program)
+        assert result_a.completion_cycle == result_b.completion_cycle
+        assert machine_a.fpu.regs.values == machine_b.fpu.regs.values
+        assert machine_a.memory.words == machine_b.memory.words
+
+    @given(program_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_latency_monotonicity(self, specs):
+        """Raising the FPU latency never speeds a program up."""
+        program = build_program(specs)
+        _, fast = run_program(program, latency=1)
+        _, base = run_program(program, latency=3)
+        _, slow = run_program(program, latency=6)
+        assert fast.completion_cycle <= base.completion_cycle \
+            <= slow.completion_cycle
+
+    @given(program_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_cold_never_faster_than_warm(self, specs):
+        program = build_program(specs)
+        _, warm = run_program(program, warm=True)
+        _, cold = run_program(program, warm=False)
+        assert cold.completion_cycle >= warm.completion_cycle
+
+    @given(program_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_scoreboard_clean_after_drain(self, specs):
+        machine, _ = run_program(build_program(specs))
+        assert machine.fpu.scoreboard.reserved_registers() == []
+        assert not machine.fpu.busy

@@ -1,0 +1,81 @@
+"""Robustness tests: runaway programs, bad programs, config edges."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import Program, ProgramBuilder
+from repro.cpu import isa
+from repro.mem.memory import Memory
+
+
+class TestRunawayPrograms:
+    def test_infinite_loop_hits_the_cycle_limit(self):
+        b = ProgramBuilder()
+        top = b.here("spin")
+        b.j(top)
+        machine = MultiTitan(b.build(), config=MachineConfig(
+            model_ibuffer=False, max_cycles=500))
+        with pytest.raises(SimulationError):
+            machine.run()
+
+    def test_explicit_max_cycles_argument(self):
+        b = ProgramBuilder()
+        top = b.here("spin")
+        b.j(top)
+        machine = MultiTitan(b.build(),
+                             config=MachineConfig(model_ibuffer=False))
+        with pytest.raises(SimulationError):
+            machine.run(max_cycles=100)
+
+    def test_pc_off_the_end(self):
+        # A hand-built Program without the auto-HALT.
+        program = Program([(isa.NOP,)], {})
+        machine = MultiTitan(program, config=MachineConfig(model_ibuffer=False))
+        with pytest.raises(SimulationError):
+            machine.run()
+
+    def test_unknown_opcode(self):
+        program = Program([(99, 1, 2)], {})
+        machine = MultiTitan(program, config=MachineConfig(model_ibuffer=False))
+        with pytest.raises(SimulationError):
+            machine.run()
+
+
+class TestConfigEdges:
+    def test_latency_one_machine_works(self):
+        b = ProgramBuilder()
+        b.fadd(2, 0, 1)
+        machine = MultiTitan(b.build(), config=MachineConfig(
+            model_ibuffer=False, fpu_latency=1))
+        machine.fpu.regs.write(0, 2.0)
+        machine.fpu.regs.write(1, 3.0)
+        result = machine.run()
+        assert machine.fpu.regs.read(2) == 5.0
+        assert result.completion_cycle == 1
+
+    def test_zero_miss_penalty(self):
+        memory = Memory()
+        memory.write(256, 1.5)
+        b = ProgramBuilder()
+        b.fload(0, 1, 0)
+        machine = MultiTitan(b.build(), memory=memory, config=MachineConfig(
+            model_ibuffer=False, dcache_miss_penalty=0))
+        machine.iregs[1] = 256
+        result = machine.run()
+        assert result.halt_cycle == 1  # cold but free
+
+    def test_empty_program_is_just_a_halt(self):
+        machine = MultiTitan(ProgramBuilder().build(),
+                             config=MachineConfig(model_ibuffer=False))
+        assert machine.run().completion_cycle == 0
+
+    def test_rerun_after_reset(self):
+        b = ProgramBuilder()
+        b.addi(2, 2, 5)
+        machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
+        machine.run()
+        first = machine.iregs[2]
+        machine.reset_cpu()
+        machine.run()
+        assert machine.iregs[2] == first == 5

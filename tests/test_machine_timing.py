@@ -1,0 +1,353 @@
+"""Cycle-exact reproduction of the paper's timing figures, plus tests of
+the machine's issue rules (dual issue, store port, delay slots, the
+vector/load-store execution constraint)."""
+
+import pytest
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.workloads import fib, gather, graphics, reductions
+
+
+def machine_for(program, memory=None, **config_kwargs):
+    config_kwargs.setdefault("model_ibuffer", False)
+    return MultiTitan(program, memory=memory,
+                      config=MachineConfig(**config_kwargs))
+
+
+class TestFigure5to8:
+    """The reduction and recurrence schedules of Figures 5-8."""
+
+    def test_figure5_scalar_tree_takes_12_cycles(self):
+        outcome = reductions.run_reduction("scalar_tree")
+        assert outcome.cycles == reductions.SCALAR_TREE_CYCLES == 12
+        assert outcome.total == 36.0
+        assert outcome.instructions_transferred == 7
+
+    def test_figure6_linear_vector_takes_24_cycles(self):
+        outcome = reductions.run_reduction("linear_vector")
+        assert outcome.cycles == reductions.LINEAR_VECTOR_CYCLES == 24
+        assert outcome.total == 36.0
+        assert outcome.instructions_transferred == 1
+
+    def test_figure7_vector_tree_takes_12_cycles(self):
+        outcome = reductions.run_reduction("vector_tree")
+        assert outcome.cycles == reductions.VECTOR_TREE_CYCLES == 12
+        assert outcome.total == 36.0
+        assert outcome.instructions_transferred == 3
+
+    def test_figure7_frees_cpu_for_nine_cycles(self):
+        """"There are 9 cycles out of the 12 in which the CPU may issue
+        other instructions.\""""
+        outcome = reductions.run_reduction("vector_tree")
+        assert outcome.free_cpu_cycles == 9
+
+    def test_all_strategies_agree_numerically(self):
+        values = [2.0, -1.5, 3.25, 0.5, 7.0, -2.0, 1.0, 4.75]
+        outcomes = reductions.run_all(values)
+        totals = {o.total for o in outcomes.values()}
+        assert len(totals) == 1
+
+    def test_figure8_fibonacci_takes_24_cycles(self):
+        outcome = fib.run_fibonacci(10)
+        assert outcome.cycles == fib.FIGURE8_CYCLES == 24
+        assert outcome.values == [1.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0,
+                                  21.0, 34.0, 55.0]
+        assert outcome.instructions_transferred == 1
+
+    def test_longer_recurrence_chains_multiple_vectors(self):
+        outcome = fib.run_fibonacci(30)
+        assert outcome.values == fib.fibonacci_reference(30)
+        assert outcome.instructions_transferred == 2
+
+
+class TestFigure9:
+    def test_fixed_stride_loads_one_per_cycle(self):
+        outcome = gather.run_fixed_stride(stride_words=1)
+        assert outcome.values == [10.0 * (k + 1) for k in range(8)]
+        # 8 loads at one per cycle, plus the final load's data cycle.
+        assert outcome.cycles <= 9
+
+    def test_larger_stride_costs_the_same(self):
+        unit = gather.run_fixed_stride(stride_words=1).cycles
+        strided = gather.run_fixed_stride(stride_words=7).cycles
+        assert strided == unit
+
+    def test_linked_list_is_about_double(self):
+        stride = gather.run_fixed_stride().cycles
+        linked = gather.run_linked_list().cycles
+        assert linked == pytest.approx(2 * stride, abs=3)
+        assert gather.run_linked_list().values == \
+            [10.0 * (k + 1) for k in range(8)]
+
+
+class TestFigure13:
+    def test_total_latency_35_cycles(self):
+        outcome = graphics.run_transform()
+        assert outcome.cycles == graphics.FIGURE13_CYCLES == 35
+
+    def test_20_mflops(self):
+        outcome = graphics.run_transform()
+        assert outcome.mflops == pytest.approx(20.0, rel=1e-9)
+
+    def test_single_scoreboard_stall(self):
+        """"There is only one scoreboard stall for data dependencies in
+        the routine" -- one stall event, two stall cycles."""
+        outcome = graphics.run_transform()
+        assert outcome.scoreboard_stalls == 2
+
+    def test_result_is_the_matrix_vector_product(self):
+        matrix = [[1.0, 2.0, 0.0, 0.0],
+                  [0.0, 1.0, 0.0, 0.0],
+                  [0.0, 0.0, 1.0, 0.0],
+                  [0.0, 0.0, 0.0, 1.0]]
+        outcome = graphics.run_transform(matrix=matrix,
+                                         points=[[1.0, 1.0, 1.0, 1.0]])
+        assert outcome.result == [3.0, 1.0, 1.0, 1.0]
+
+    def test_many_points_stream(self):
+        points = [[float(i), 1.0, 2.0, 1.0] for i in range(5)]
+        outcome = graphics.run_transform(points=points)
+        assert len(outcome.result) == 5
+        assert outcome.cycles < 5 * 40  # overlap beats 5 isolated transforms
+
+
+class TestDualIssue:
+    def test_load_overlaps_vector_issue(self):
+        """Peak two operations per cycle: loads proceed through the L/S IR
+        while the ALU IR issues vector elements."""
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        data = arena.alloc_array([float(i) for i in range(8)])
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=8)          # occupies the ALU IR for 8 cycles
+        for i in range(8):
+            b.fload(32 + i, 1, i * WORD_BYTES)
+        program = b.build()
+        machine = machine_for(program, memory)
+        machine.iregs[1] = data
+        machine.dcache.warm_range(data, 64)
+        result = machine.run()
+        # The 8 loads hide entirely under the vector issue + drain.
+        assert result.completion_cycle <= 11
+        assert machine.fpu.regs.read_group(32, 8) == [float(i) for i in range(8)]
+
+    def test_two_ops_per_cycle_peak(self):
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        data = arena.alloc_array([1.0] * 16)
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=16)
+        for i in range(15):
+            b.fload(33 + i, 1, i * WORD_BYTES)
+        program = b.build()
+        machine = machine_for(program, memory)
+        machine.iregs[1] = data
+        machine.dcache.warm_range(data, 16 * WORD_BYTES)
+        result = machine.run()
+        issued_ops = machine.fpu.stats.elements_issued + machine.fpu.stats.loads
+        assert issued_ops / result.completion_cycle > 1.5
+
+
+class TestStorePort:
+    def test_back_to_back_stores_every_other_cycle(self):
+        memory = Memory()
+        b = ProgramBuilder()
+        for i in range(4):
+            b.fstore(i, 1, i * WORD_BYTES)
+        machine = machine_for(b.build(), memory)
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 64)
+        result = machine.run()
+        # 4 stores at 2 cycles each, minus trailing overlap with halt.
+        assert result.completion_cycle == 7
+
+    def test_store_then_alu_overlaps(self):
+        b = ProgramBuilder()
+        b.fstore(0, 1, 0)
+        b.fadd(10, 2, 3)
+        machine = machine_for(b.build(), Memory())
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 16)
+        result = machine.run()
+        assert result.completion_cycle <= 5
+
+
+class TestDelaySlots:
+    def test_integer_load_has_one_delay_slot(self):
+        memory = Memory()
+        memory.write(256, 7)
+        b = ProgramBuilder()
+        b.li(1, 256)
+        b.lw(2, 1, 0)
+        b.addi(3, 2, 1)   # reads r2 in the delay slot -> one stall
+        machine = machine_for(b.build(), memory)
+        machine.dcache.warm_range(256, 8)
+        result = machine.run()
+        assert machine.iregs[3] == 8
+        assert machine.stats.stall_int_delay == 1
+
+    def test_independent_instruction_fills_delay_slot(self):
+        memory = Memory()
+        memory.write(256, 7)
+        b = ProgramBuilder()
+        b.li(1, 256)
+        b.lw(2, 1, 0)
+        b.li(4, 9)        # independent
+        b.addi(3, 2, 1)
+        machine = machine_for(b.build(), memory)
+        machine.dcache.warm_range(256, 8)
+        machine.run()
+        assert machine.stats.stall_int_delay == 0
+
+    def test_taken_branch_costs_two_cycles(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        target = b.label()
+        b.j(target)
+        b.place(target)
+        b.halt()
+        result = machine_for(b.build()).run()
+        assert result.halt_cycle == 3  # li(1) + j(2)
+
+
+class TestVectorInterlock:
+    """The section 2.3.2 execution constraint between a vector instruction
+    and following loads/stores of the current element's registers."""
+
+    def test_store_of_unissued_result_waits(self):
+        """The store reaches the L/S IR while the producing instruction
+        is still waiting (element not yet issued): the interlock, not the
+        scoreboard, must hold it."""
+        b = ProgramBuilder()
+        b.fadd(1, 0, 0)    # R1 := R0 + R0
+        b.fadd(2, 1, 1)    # R2 := R1 + R1, stalls on R1
+        b.fstore(2, 1, 0)  # must not read R2 before the add issues
+        machine = machine_for(b.build(), Memory())
+        machine.fpu.regs.write(0, 1.5)
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 16)
+        machine.run()
+        assert machine.memory.read(256) == 6.0
+        assert machine.stats.stall_vector_interlock >= 1
+
+    def test_stores_in_element_order_follow_the_vector(self):
+        """"If a vector operation is followed by stores of each result
+        register, the stores can be performed in the same order as the
+        result elements are produced.\""""
+        memory = Memory()
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=4)
+        for i in range(4):
+            b.fstore(16 + i, 1, i * WORD_BYTES)
+        machine = machine_for(b.build(), memory)
+        machine.fpu.regs.write_group(0, [1.0, 2.0, 3.0, 4.0])
+        machine.fpu.regs.write_group(8, [10.0, 20.0, 30.0, 40.0])
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 64)
+        machine.run()
+        assert memory.read_block(256, 4) == [11.0, 22.0, 33.0, 44.0]
+
+    def test_load_into_current_element_source_waits(self):
+        memory = Memory()
+        memory.write(256, 99.0)
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=2)
+        b.fload(1, 1, 0)   # element 1 reads R1; the load must wait
+        machine = machine_for(b.build(), memory)
+        machine.fpu.regs.write_group(0, [1.0, 2.0])
+        machine.fpu.regs.write_group(8, [10.0, 20.0])
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 8)
+        machine.run()
+        assert machine.fpu.regs.read(17) == 22.0  # old R1 value used
+        assert machine.fpu.regs.read(1) == 99.0
+
+    def test_fcmp_waits_for_current_element(self):
+        b = ProgramBuilder()
+        b.fadd(2, 0, 1)
+        b.fcmp(5, 2, 0, 1)  # r5 = (R2 < R0)
+        machine = machine_for(b.build())
+        machine.fpu.regs.write(0, 5.0)
+        machine.fpu.regs.write(1, -10.0)
+        machine.run()
+        assert machine.iregs[5] == 1  # -5.0 < 5.0, post-add value
+
+
+class TestCacheTiming:
+    def test_cold_load_pays_miss_penalty(self):
+        memory = Memory()
+        memory.write(256, 4.5)
+        b = ProgramBuilder()
+        b.fload(0, 1, 0)
+        machine = machine_for(b.build(), memory)
+        machine.iregs[1] = 256
+        result = machine.run()
+        assert machine.stats.stall_dcache_miss_cycles == 14
+        assert machine.fpu.regs.read(0) == 4.5
+
+    def test_warm_load_is_single_cycle(self):
+        memory = Memory()
+        memory.write(256, 4.5)
+        b = ProgramBuilder()
+        b.fload(0, 1, 0)
+        machine = machine_for(b.build(), memory)
+        machine.iregs[1] = 256
+        machine.dcache.warm_range(256, 8)
+        result = machine.run()
+        assert machine.stats.stall_dcache_miss_cycles == 0
+        assert result.halt_cycle == 1
+
+    def test_line_neighbour_hits_after_miss(self):
+        memory = Memory()
+        memory.write(256, 1.0)
+        memory.write(264, 2.0)  # same 16-byte line
+        b = ProgramBuilder()
+        b.fload(0, 1, 0)
+        b.fload(1, 1, 8)
+        machine = machine_for(b.build(), memory)
+        machine.iregs[1] = 256
+        machine.run()
+        assert machine.dcache.misses == 1
+        assert machine.dcache.hits == 1
+
+    def test_instruction_buffer_misses_cost_cycles(self):
+        b = ProgramBuilder()
+        for _ in range(8):
+            b.nop()
+        cold = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=True))
+        result = cold.run()
+        assert cold.stats.stall_ibuf_miss_cycles > 0
+
+    def test_configurable_miss_penalty(self):
+        memory = Memory()
+        memory.write(256, 4.5)
+        b = ProgramBuilder()
+        b.fload(0, 1, 0)
+        machine = machine_for(b.build(), memory, dcache_miss_penalty=30)
+        machine.iregs[1] = 256
+        machine.run()
+        assert machine.stats.stall_dcache_miss_cycles == 30
+
+
+class TestAluIrOccupancy:
+    def test_transfer_stalls_while_vector_issues(self):
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=8)
+        b.fadd(32, 0, 8, vl=1)
+        machine = machine_for(b.build())
+        machine.run()
+        assert machine.stats.stall_alu_ir_busy == 7
+
+    def test_integer_work_proceeds_during_vector(self):
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=8)
+        for i in range(6):
+            b.addi(2, 2, 1)
+        machine = machine_for(b.build())
+        result = machine.run()
+        assert machine.iregs[2] == 6
+        # Integer instructions hide under the vector issue + latency:
+        # elements issue in cycles 0..7, the last result lands at 10.
+        assert result.completion_cycle == 10

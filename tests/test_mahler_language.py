@@ -1,0 +1,163 @@
+"""Tests for the textual kernel language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import AssemblerError
+from repro.vectorize.mahler import compile_kernel, parse_kernel
+from repro.workloads.common import Lcg
+
+
+def floats(n, seed=5, lo=0.1, hi=1.5):
+    return Lcg(seed).floats(n, lo, hi)
+
+
+class TestParsing:
+    def test_declarations(self):
+        kernel = parse_kernel("""
+            input a, b;
+            output o;
+            param p;
+            o[0] = a[0] + b[0] * p;
+        """)
+        assert set(kernel._inputs) == {"a", "b"}
+        assert set(kernel._outputs) == {"o"}
+        assert kernel._params == ["p"]
+
+    def test_comments_ignored(self):
+        kernel = parse_kernel("""
+            -- a comment line
+            input a;   -- trailing comment
+            output o;
+            o[0] = a[0];
+        """)
+        assert set(kernel._inputs) == {"a"}
+
+    def test_precedence(self):
+        source = """
+            input a; output o; param p;
+            o[0] = a[0] + a[1] * p - 2.0;
+        """
+        compiled = compile_kernel(source, n=4,
+                                  data={"a": floats(5)}, params={"p": 3.0})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+        a = compiled.data["a"]
+        assert outcome.outputs["o"][0] == pytest.approx(
+            a[0] + a[1] * 3.0 - 2.0, rel=1e-12)
+
+    def test_parentheses_and_unary_minus(self):
+        source = """
+            input a; output o;
+            o[0] = -(a[0] + 1.0) * 2.0;
+        """
+        compiled = compile_kernel(source, n=3, data={"a": floats(3)})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+
+    def test_scientific_literals(self):
+        source = """
+            input a; output o;
+            o[0] = a[0] * 2.5e-1;
+        """
+        compiled = compile_kernel(source, n=3, data={"a": floats(3)})
+        outcome = compiled.run()
+        assert outcome.passed
+        assert outcome.outputs["o"][1] == pytest.approx(
+            compiled.data["a"][1] * 0.25, rel=1e-12)
+
+
+class TestErrors:
+    def test_undeclared_array(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("output o; o[0] = q[0];")
+
+    def test_undeclared_parameter(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("input a; output o; o[0] = a[0] * alpha;")
+
+    def test_assignment_to_input(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("input a; a[0] = a[1];")
+
+    def test_double_declaration(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("input a; param a;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("input a; output o; o[0] = a[0]")
+
+    def test_bad_character(self):
+        with pytest.raises(AssemblerError):
+            parse_kernel("input a; output o; o[0] = a[0] @ 2;")
+
+
+class TestEndToEnd:
+    def test_livermore_loop1_text(self):
+        source = """
+            -- Livermore loop 1: hydro fragment
+            input  y, z;
+            output x;
+            param  q, r, t;
+            x[0] = q + y[0] * (r * z[10] + t * z[11]);
+        """
+        n = 50
+        compiled = compile_kernel(source, n=n,
+                                  data={"y": floats(n), "z": floats(n + 11, 6)},
+                                  params={"q": 0.5, "r": 0.25, "t": 0.125})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+
+    def test_reduction_statement(self):
+        source = """
+            input a, b;
+            sum dot = a[0] * b[0];
+        """
+        n = 32
+        compiled = compile_kernel(source, n=n,
+                                  data={"a": floats(n, 1), "b": floats(n, 2)})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+        direct = sum(x * y for x, y in zip(compiled.data["a"],
+                                           compiled.data["b"]))
+        assert outcome.sums["dot"] == pytest.approx(direct, rel=1e-10)
+
+    def test_division_lowering(self):
+        source = """
+            input a, b; output o;
+            o[0] = a[0] / (b[0] + 1.0);
+        """
+        n = 16
+        compiled = compile_kernel(source, n=n,
+                                  data={"a": floats(n, 3), "b": floats(n, 4)})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+
+    def test_multiple_statements(self):
+        source = """
+            input a; output dbl, sq;
+            param two;
+            dbl[0] = a[0] * two;
+            sq[0]  = a[0] * a[0];
+            sum total = a[0];
+        """
+        n = 20
+        compiled = compile_kernel(source, n=n, data={"a": floats(n)},
+                                  params={"two": 2.0})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error
+
+    @given(st.integers(1, 40), st.integers(0, 9999))
+    @settings(max_examples=15, deadline=None)
+    def test_property_text_equals_python(self, n, seed):
+        source = """
+            input a, b; output o; param p;
+            o[0] = (a[0] + b[0]) * p - a[1] * b[1];
+        """
+        compiled = compile_kernel(source, n=n,
+                                  data={"a": floats(n + 1, seed + 1),
+                                        "b": floats(n + 1, seed + 2)},
+                                  params={"p": 1.5})
+        outcome = compiled.run()
+        assert outcome.passed, outcome.check_error

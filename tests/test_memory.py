@@ -1,0 +1,154 @@
+"""Tests for flat memory, the arena allocator, and the cache models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import SimulationError
+from repro.mem.cache import DirectMappedCache, data_cache, instruction_buffer
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+
+class TestMemory:
+    def test_read_write(self):
+        memory = Memory()
+        memory.write(64, 1.5)
+        assert memory.read(64) == 1.5
+
+    def test_initially_zero(self):
+        assert Memory().read(1024) == 0.0
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(SimulationError):
+            Memory().read(7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Memory().write(-8, 1.0)
+
+    def test_grows_on_demand(self):
+        memory = Memory(size_bytes=64)
+        memory.write(1 << 16, 2.0)
+        assert memory.read(1 << 16) == 2.0
+
+    def test_block_round_trip(self):
+        memory = Memory()
+        memory.write_block(128, [1.0, 2.0, 3.0])
+        assert memory.read_block(128, 3) == [1.0, 2.0, 3.0]
+
+    def test_integers_preserved(self):
+        memory = Memory()
+        memory.write(0, 42)
+        assert memory.read(0) == 42
+        assert type(memory.read(0)) is int
+
+
+class TestArena:
+    def test_sequential_allocation(self):
+        memory = Memory()
+        arena = Arena(memory, base=256)
+        first = arena.alloc(4)
+        second = arena.alloc(2)
+        assert first == 256
+        assert second == 256 + 4 * WORD_BYTES
+
+    def test_alloc_array_initializes(self):
+        memory = Memory()
+        arena = Arena(memory)
+        address = arena.alloc_array([9.0, 8.0])
+        assert memory.read_block(address, 2) == [9.0, 8.0]
+
+    def test_initializer_length_checked(self):
+        with pytest.raises(SimulationError):
+            Arena(Memory()).alloc(3, initial=[1.0])
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=20))
+    def test_allocations_never_overlap(self, sizes):
+        arena = Arena(Memory(), base=0)
+        spans = []
+        for size in sizes:
+            address = arena.alloc(size)
+            spans.append((address, address + size * WORD_BYTES))
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+
+class TestDirectMappedCache:
+    def test_miss_then_hit(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        assert cache.access(0) == 14
+        assert cache.access(0) == 0
+        assert cache.access(8) == 0  # same line
+
+    def test_line_granularity(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        cache.access(0)
+        assert cache.access(16) == 14  # next line
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(64, 16, miss_penalty=14)  # 4 lines
+        assert cache.access(0) == 14
+        assert cache.access(64) == 14  # same index, different tag
+        assert cache.access(0) == 14   # evicted
+
+    def test_dirty_writeback_counted(self):
+        cache = DirectMappedCache(64, 16, miss_penalty=14)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_not_counted(self):
+        cache = DirectMappedCache(64, 16, miss_penalty=14)
+        cache.access(0)
+        cache.access(64)
+        assert cache.writebacks == 0
+
+    def test_warm_range(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        cache.warm_range(0, 256)
+        for address in range(0, 256, 8):
+            assert cache.access(address) == 0
+
+    def test_flush(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) == 14
+
+    def test_hit_rate(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(SimulationError):
+            DirectMappedCache(100, 16)
+
+    def test_contains(self):
+        cache = DirectMappedCache(1024, 16, miss_penalty=14)
+        assert not cache.contains(32)
+        cache.access(32)
+        assert cache.contains(32)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_second_pass_all_hits_when_footprint_fits(self, addresses):
+        """Any word set that fits one pass of a big cache hits on rerun."""
+        cache = DirectMappedCache(1 << 21, 16, miss_penalty=14)
+        footprint = [(a // 8) * 8 for a in addresses]
+        for address in footprint:
+            cache.access(address)
+        for address in footprint:
+            assert cache.access(address) == 0
+
+
+class TestPaperParameters:
+    def test_data_cache_is_64k_direct_mapped_16byte_lines(self):
+        cache = data_cache()
+        assert cache.size_bytes == 64 * 1024
+        assert cache.line_bytes == 16
+        assert cache.miss_penalty == 14
+        assert cache.num_lines == 4096
+
+    def test_instruction_buffer_is_2k(self):
+        buffer = instruction_buffer()
+        assert buffer.size_bytes == 2 * 1024

@@ -1,0 +1,206 @@
+"""Tests for the gap-filling load scheduler pass."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import isa
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.vectorize.scheduler import schedule_loads, schedule_report
+
+
+def run(program, memory, setup=None, warm_bytes=None):
+    machine = MultiTitan(program, memory=memory,
+                         config=MachineConfig(model_ibuffer=False))
+    if setup:
+        setup(machine)
+    if warm_bytes:
+        machine.dcache.warm_range(*warm_bytes)
+    result = machine.run()
+    return machine, result
+
+
+def naive_chain_program():
+    """A four-op dependence chain followed by six unrelated loads."""
+    b = ProgramBuilder()
+    b.fadd(2, 1, 1)
+    b.fadd(3, 2, 2)
+    b.fadd(4, 3, 3)
+    b.fadd(5, 4, 4)
+    for i in range(6):
+        b.fload(30 + i, 1, i * WORD_BYTES)
+    return b.build()
+
+
+class TestGapFilling:
+    def test_loads_interleave_into_chain_gaps(self):
+        program = schedule_loads(naive_chain_program())
+        opcodes = [instruction[0] for instruction in program.instructions]
+        # Loads now sit between the chained FALUs, two per gap.
+        assert opcodes[:7] == [isa.FALU, isa.FLOAD, isa.FLOAD, isa.FALU,
+                               isa.FLOAD, isa.FLOAD, isa.FALU]
+
+    def test_chain_program_gets_faster(self):
+        memory = Memory()
+        arena = Arena(memory, base=256)
+        data = arena.alloc_array([float(i) for i in range(6)])
+
+        def measure(program):
+            fresh = Memory()
+            fresh.words[:] = memory.words
+            machine, result = run(program, fresh,
+                                  setup=lambda m: m.iregs.__setitem__(1, data),
+                                  warm_bytes=(data, 48))
+            return machine, result
+
+        baseline_machine, baseline = measure(naive_chain_program())
+        scheduled_machine, scheduled = measure(
+            schedule_loads(naive_chain_program()))
+        assert scheduled.completion_cycle < baseline.completion_cycle
+        assert scheduled_machine.fpu.regs.read_group(30, 6) == \
+            baseline_machine.fpu.regs.read_group(30, 6)
+        assert scheduled_machine.fpu.regs.read(5) == \
+            baseline_machine.fpu.regs.read(5)
+
+    def test_report_counts_moves(self):
+        before = naive_chain_program()
+        after = schedule_loads(before)
+        report = schedule_report(before, after)
+        assert report["loads_moved"] >= 4
+
+
+class TestLegality:
+    def test_load_does_not_cross_store(self):
+        b = ProgramBuilder()
+        b.fadd(2, 1, 1)
+        b.fadd(3, 2, 2)
+        b.fstore(10, 1, 0)
+        b.fload(30, 1, 0)   # may not pass the store
+        program = schedule_loads(b.build())
+        opcodes = [i[0] for i in program.instructions]
+        assert opcodes.index(isa.FSTORE) < opcodes.index(isa.FLOAD)
+
+    def test_dependent_store_already_fills_the_gap(self):
+        """A store of the producer's result waits the latency out; no
+        load should be pulled past it (it would only delay the chain)."""
+        b = ProgramBuilder()
+        b.fadd(2, 1, 1)
+        b.fstore(2, 1, 0)   # dependent store in the gap
+        b.fadd(3, 2, 2)
+        b.fload(30, 1, 8)
+        before = b.build()
+        after = schedule_loads(before)
+        assert after.instructions == before.instructions
+
+    def test_register_conflict_blocks_the_pull(self):
+        b = ProgramBuilder()
+        b.fadd(2, 1, 1)
+        b.fadd(3, 2, 2)
+        b.fload(3, 1, 0)   # destination read/written by the chain
+        before = b.build()
+        after = schedule_loads(before)
+        assert after.instructions == before.instructions
+
+    def test_base_register_conflict_blocks_the_pull(self):
+        b = ProgramBuilder()
+        b.fadd(2, 1, 1)
+        b.fadd(3, 2, 2)
+        b.addi(1, 1, 8)
+        b.fload(30, 1, 0)   # base produced between gap and load
+        program = schedule_loads(b.build())
+        opcodes = [i[0] for i in program.instructions]
+        assert opcodes.index(isa.ADDI) < opcodes.index(isa.FLOAD)
+
+    def test_vector_footprint_blocks_the_pull(self):
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=8)
+        b.fadd(24, 16, 16, vl=1)
+        b.fload(20, 1, 0)   # element 4's destination of the first vector
+        before = b.build()
+        after = schedule_loads(before)
+        position_falu = max(i for i, ins in enumerate(after.instructions)
+                            if ins[0] == isa.FALU)
+        position_load = next(i for i, ins in enumerate(after.instructions)
+                             if ins[0] == isa.FLOAD)
+        assert position_load > position_falu
+
+    def test_loads_do_not_cross_blocks(self):
+        b = ProgramBuilder()
+        b.fadd(2, 1, 1)
+        b.fadd(3, 2, 2)
+        b.blt(1, 2, b.here("next"))  # block boundary right after the chain
+        b.fload(30, 1, 0)
+        program = schedule_loads(b.build())
+        opcodes = [i[0] for i in program.instructions]
+        assert opcodes.index(isa.BLT) < opcodes.index(isa.FLOAD)
+
+    def test_vector_producer_needs_no_filling(self):
+        """A VL-8 producer occupies the IR for 8 cycles itself; the
+        dependent consumer never stalls, so nothing should move."""
+        b = ProgramBuilder()
+        b.fadd(16, 0, 8, vl=8)
+        b.fadd(24, 16, 17, vl=1)
+        b.fload(40, 1, 0)
+        before = b.build()
+        after = schedule_loads(before)
+        assert after.instructions == before.instructions
+
+
+class TestEquivalenceOnRealKernels:
+    @pytest.mark.parametrize("loop", list(range(1, 25)))
+    def test_livermore_results_identical(self, loop):
+        from repro.workloads.livermore import build_loop
+        from repro.workloads.common import run_kernel, BuiltKernel
+
+        kernel = build_loop(loop)
+        baseline = run_kernel(kernel)
+        scheduled_kernel = BuiltKernel(
+            name=kernel.name + " (scheduled)",
+            program=schedule_loads(kernel.program),
+            memory=kernel.memory,
+            nominal_flops=kernel.nominal_flops,
+            setup=kernel.setup,
+            check=kernel.check,
+        )
+        scheduled = run_kernel(scheduled_kernel)
+        assert scheduled.passed, scheduled.check_error
+        assert scheduled.cycles <= baseline.cycles
+
+    def test_linpack_unharmed(self):
+        from repro.workloads.linpack import build_linpack
+        from repro.workloads.common import run_kernel, BuiltKernel
+
+        kernel = build_linpack(12, "vector")
+        baseline = run_kernel(kernel)
+        scheduled = BuiltKernel(kernel.name, schedule_loads(kernel.program),
+                                kernel.memory, kernel.nominal_flops,
+                                kernel.setup, kernel.check)
+        result = run_kernel(scheduled)
+        assert result.passed, result.check_error
+        assert result.cycles <= baseline.cycles * 1.01
+
+
+class TestFuzzEquivalence:
+    @given(st.integers(0, 10_000), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_random_ir_kernels_unchanged_by_scheduling(self, seed, n):
+        from repro.vectorize.ir import Kernel
+        from repro.workloads.common import Lcg
+
+        k = Kernel(vl=2)
+        a, b_h = k.input("a"), k.input("b")
+        out = k.output("out")
+        k.assign(out, (a[0] * b_h[1] + a[1]) * b_h[0] + a[0])
+        rng = Lcg(seed)
+        data = {"a": rng.floats(n + 1, 0.5, 1.5),
+                "b": rng.floats(n + 1, 0.5, 1.5)}
+        compiled = k.compile(n=n, data=data)
+        baseline = compiled.run()
+        assert baseline.passed
+
+        compiled.program = schedule_loads(compiled.program)
+        scheduled = compiled.run()
+        assert scheduled.passed, scheduled.check_error
+        assert scheduled.outputs == baseline.outputs
+        assert scheduled.cycles <= baseline.cycles

@@ -1,0 +1,134 @@
+"""Tests for pipeline tracing, timeline rendering, and the CLI."""
+
+import pytest
+
+from repro.analysis.timeline import element_issue_cycles, occupancy, render_timeline
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.tools.cli import main
+
+
+def traced_machine(build, setup=None):
+    b = ProgramBuilder()
+    build(b)
+    machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False,
+                                                         trace=True))
+    if setup:
+        setup(machine)
+    machine.run()
+    return machine
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self):
+        b = ProgramBuilder()
+        b.fadd(2, 0, 1)
+        machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
+        machine.run()
+        assert machine.trace is None
+
+    def test_element_events_recorded(self):
+        machine = traced_machine(lambda b: b.fadd(16, 0, 8, vl=4))
+        issues = element_issue_cycles(machine.trace, seq=0)
+        assert issues == [0, 1, 2, 3]
+
+    def test_chained_vector_issue_spacing(self):
+        """Figure 6/8: chained elements issue every `latency` cycles."""
+        def setup(machine):
+            machine.fpu.regs.write(0, 1.0)
+            machine.fpu.regs.write(1, 1.0)
+
+        machine = traced_machine(lambda b: b.fadd(2, 1, 0, vl=8), setup)
+        issues = element_issue_cycles(machine.trace, seq=0)
+        assert issues == [0, 3, 6, 9, 12, 15, 18, 21]
+
+    def test_load_store_events(self):
+        def build(b):
+            b.fstore(0, 1, 0)
+            b.fload(2, 1, 8)
+
+        machine = traced_machine(build,
+                                 setup=lambda m: (m.iregs.__setitem__(1, 256),
+                                                  m.dcache.warm_range(256, 16)))
+        kinds = {event[0] for event in machine.trace}
+        assert "store" in kinds and "load" in kinds
+
+    def test_occupancy(self):
+        machine = traced_machine(lambda b: b.fadd(16, 0, 8, vl=4))
+        assert occupancy(machine.trace, "element") == [0, 1, 2, 3]
+
+
+class TestTimelineRendering:
+    def test_figure5_shape(self):
+        def build(b):
+            b.fadd(8, 0, 1)
+            b.fadd(9, 2, 3)
+            b.fadd(12, 8, 9)
+
+        machine = traced_machine(build)
+        art = render_timeline(machine.trace)
+        assert "R8 := R0 + R1" in art
+        assert "E" in art
+        assert "cycle" in art
+
+    def test_memory_row_present(self):
+        def build(b):
+            b.fload(0, 1, 0)
+
+        machine = traced_machine(build,
+                                 setup=lambda m: m.dcache.warm_range(0, 64))
+        art = render_timeline(machine.trace)
+        assert "Load/Store IR" in art
+        assert "L" in art
+
+    def test_long_labels_truncated(self):
+        machine = traced_machine(lambda b: b.fadd(16, 0, 8, vl=16))
+        art = render_timeline(machine.trace, label_width=10)
+        for line in art.splitlines():
+            label = line[:10]
+            assert len(label) <= 10
+
+
+class TestCli:
+    def test_run_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("fadd f2, f0, f1\nhalt\n")
+        code = main(["run", str(source), "--freg", "0=1.5", "--freg", "1=2.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "F2  = 3.5" in out
+
+    def test_trace_command(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("fadd f16, f0, f8, vl=4\nhalt\n")
+        code = main(["trace", str(source)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycle" in out
+        assert "EEEE" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "35 cycles, 20.0 MFLOPS" in out
+
+    def test_livermore_command(self, capsys):
+        assert main(["livermore", "1", "--coding", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_linpack_command(self, capsys):
+        assert main(["linpack", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_kernel_command(self, tmp_path, capsys):
+        source = tmp_path / "poly.mk"
+        source.write_text("""
+            input a; output o; param c;
+            o[0] = a[0] * a[0] + c;
+        """)
+        code = main(["kernel", str(source), "--n", "10", "--param", "c=1.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "self-check: ok" in out

@@ -1,0 +1,118 @@
+"""Tests for the 512-entry TLB and the section 2.1.2 page-crossing
+argument (scalar loads make vector page crossings restartable for free)."""
+
+import pytest
+
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Memory, WORD_BYTES
+from repro.mem.tlb import PAGE_BYTES, TLB_ENTRIES, Tlb
+
+
+class TestTlbModel:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert tlb.translate(0) == tlb.miss_penalty
+        assert tlb.translate(8) == 0          # same page
+        assert tlb.translate(PAGE_BYTES) == tlb.miss_penalty
+
+    def test_512_entries_4k_pages(self):
+        tlb = Tlb()
+        assert tlb.entries == TLB_ENTRIES == 512
+        assert tlb.page_bytes == PAGE_BYTES == 4096
+        assert tlb.reach_bytes == 2 * 1024 * 1024
+
+    def test_direct_mapped_conflict(self):
+        tlb = Tlb()
+        tlb.translate(0)
+        tlb.translate(TLB_ENTRIES * PAGE_BYTES)  # same index, other tag
+        assert tlb.translate(0) == tlb.miss_penalty
+
+    def test_warm_range(self):
+        tlb = Tlb()
+        tlb.warm_range(0, 3 * PAGE_BYTES)
+        for page in range(3):
+            assert tlb.translate(page * PAGE_BYTES) == 0
+
+    def test_flush_and_stats(self):
+        tlb = Tlb()
+        tlb.translate(0)
+        tlb.translate(0)
+        assert (tlb.hits, tlb.misses) == (1, 1)
+        tlb.flush()
+        assert tlb.translate(0) == tlb.miss_penalty
+        tlb.reset_stats()
+        assert (tlb.hits, tlb.misses) == (0, 0)
+
+
+class TestMachineIntegration:
+    def _loads_program(self, addresses):
+        b = ProgramBuilder()
+        for index, address in enumerate(addresses):
+            b.li(1, address)
+            b.fload(index, 1, 0)
+        return b.build()
+
+    def test_tlb_off_by_default(self):
+        memory = Memory()
+        machine = MultiTitan(self._loads_program([256]), memory=memory,
+                             config=MachineConfig(model_ibuffer=False))
+        machine.dcache.warm_range(0, 4096)
+        baseline = machine.run().completion_cycle
+        assert machine.tlb.misses == 0
+        assert baseline <= 4
+
+    def test_tlb_miss_penalty_applies(self):
+        memory = Memory()
+        config = MachineConfig(model_ibuffer=False, model_tlb=True)
+        machine = MultiTitan(self._loads_program([256]), memory=memory,
+                             config=config)
+        machine.dcache.warm_range(0, 4096)
+        result = machine.run()
+        assert machine.tlb.misses == 1
+        assert result.completion_cycle >= config.tlb_miss_penalty
+
+    def test_warm_tlb_costs_nothing(self):
+        memory = Memory()
+        config = MachineConfig(model_ibuffer=False, model_tlb=True)
+        machine = MultiTitan(self._loads_program([256, 264, 272]),
+                             memory=memory, config=config)
+        machine.dcache.warm_range(0, 4096)
+        machine.tlb.warm_range(0, 4096)
+        result = machine.run()
+        assert machine.tlb.misses == 0
+
+    def test_page_crossing_vector_is_just_scalar_loads(self):
+        """Section 2.1.2: a 'vector' spanning a page boundary needs no
+        restart state -- each element load translates on its own, and the
+        second page simply pays one more TLB miss."""
+        memory = Memory()
+        base = PAGE_BYTES - 4 * WORD_BYTES  # last 4 words of page 0
+        for index in range(8):
+            memory.write(base + index * WORD_BYTES, float(index + 1))
+        b = ProgramBuilder()
+        for index in range(8):             # crosses into page 1 at i=4
+            b.fload(index, 1, index * WORD_BYTES)
+        config = MachineConfig(model_ibuffer=False, model_tlb=True)
+        machine = MultiTitan(b.build(), memory=memory, config=config)
+        machine.iregs[1] = base
+        machine.dcache.warm_range(base, 8 * WORD_BYTES)
+        machine.run()
+        assert machine.tlb.misses == 2     # one per page, nothing special
+        assert machine.fpu.regs.read_group(0, 8) == \
+            [float(i + 1) for i in range(8)]
+
+    def test_stores_and_integer_accesses_translate(self):
+        memory = Memory()
+        b = ProgramBuilder()
+        b.li(1, 256)
+        b.fstore(0, 1, 0)
+        b.li(2, 2 * PAGE_BYTES)
+        b.sw(3, 2, 0)
+        b.lw(4, 2, 8)
+        config = MachineConfig(model_ibuffer=False, model_tlb=True)
+        machine = MultiTitan(b.build(), memory=memory, config=config)
+        machine.dcache.warm_range(0, 3 * PAGE_BYTES)
+        machine.run()
+        assert machine.tlb.misses == 2     # page 0 and page 2
+        assert machine.tlb.hits == 1

@@ -1,0 +1,72 @@
+"""Tests for the issue-slot utilization analysis."""
+
+import pytest
+
+from repro.analysis.utilization import analyze, stall_breakdown, utilization_report
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+
+def traced_run(build, setup=None, memory=None):
+    b = ProgramBuilder()
+    build(b)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=MachineConfig(model_ibuffer=False, trace=True))
+    if setup:
+        setup(machine)
+    result = machine.run()
+    return machine, result
+
+
+class TestAnalyze:
+    def test_pure_vector_occupies_only_the_alu_slot(self):
+        machine, result = traced_run(lambda b: b.fadd(16, 0, 8, vl=8))
+        utilization = analyze(machine.trace, result.completion_cycle)
+        assert utilization.alu_elements == 8
+        assert utilization.memory_ops == 0
+        assert utilization.dual_issue_cycles == 0
+
+    def test_dual_issue_counted(self):
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        data = arena.alloc_array([1.0] * 8)
+
+        def build(b):
+            b.fadd(16, 0, 8, vl=8)
+            for i in range(7):
+                b.fload(32 + i, 1, i * WORD_BYTES)
+
+        machine, result = traced_run(
+            build, memory=memory,
+            setup=lambda m: (m.iregs.__setitem__(1, data),
+                             m.dcache.warm_range(data, 64)))
+        utilization = analyze(machine.trace, result.completion_cycle)
+        assert utilization.dual_issue_cycles >= 6
+        assert utilization.operations_per_cycle > 1.2
+
+    def test_occupancy_bounds(self):
+        machine, result = traced_run(lambda b: b.fadd(2, 0, 1))
+        utilization = analyze(machine.trace, result.completion_cycle)
+        assert 0.0 <= utilization.alu_occupancy <= 1.0
+        assert 0.0 <= utilization.dual_issue_rate <= 1.0
+
+    def test_empty_trace(self):
+        utilization = analyze([], 0)
+        assert utilization.operations_per_cycle == 0.0
+
+
+class TestReport:
+    def test_stall_breakdown_sorted(self):
+        machine, result = traced_run(lambda b: [b.fadd(16, 0, 8, vl=8),
+                                                b.fadd(32, 0, 8, vl=1)])
+        breakdown = stall_breakdown(result.stats)
+        counts = list(breakdown.values())
+        assert counts == sorted(counts, reverse=True)
+        assert breakdown["ALU IR busy"] == 7
+
+    def test_report_text(self):
+        machine, result = traced_run(lambda b: b.fadd(16, 0, 8, vl=4))
+        text = utilization_report(machine.trace, result)
+        assert "operations per cycle" in text
+        assert "ALU slot occupancy" in text

@@ -1,0 +1,119 @@
+"""Additional edge-case tests for the small workload modules and shared
+infrastructure (gather, fib, common helpers, Lcg)."""
+
+import pytest
+
+from repro.workloads.common import Lcg, expect_close, expect_scalar, run_kernel
+from repro.workloads.fib import fibonacci_program, fibonacci_reference, run_fibonacci
+from repro.workloads.gather import (
+    build_linked_list,
+    run_fixed_stride,
+    run_linked_list,
+)
+from repro.mem.memory import Arena, Memory
+
+
+class TestLcg:
+    def test_deterministic(self):
+        assert Lcg(1).floats(5) == Lcg(1).floats(5)
+
+    def test_seed_sensitivity(self):
+        assert Lcg(1).floats(5) != Lcg(2).floats(5)
+
+    def test_range(self):
+        for value in Lcg(3).floats(1000, lo=2.0, hi=5.0):
+            assert 2.0 <= value < 5.0
+
+    def test_distribution_is_not_degenerate(self):
+        values = Lcg(4).floats(1000)
+        assert len(set(values)) == 1000
+        # Roughly uniform: each decile gets its share.
+        deciles = [0] * 10
+        for value in values:
+            deciles[min(int(value * 10), 9)] += 1
+        assert min(deciles) > 50
+
+
+class TestExpectHelpers:
+    def test_expect_close_passes(self):
+        memory = Memory()
+        memory.write_block(0, [1.0, 2.0])
+        assert expect_close(memory, 0, [1.0, 2.0]) is None
+
+    def test_expect_close_reports_index(self):
+        memory = Memory()
+        memory.write_block(0, [1.0, 2.5])
+        error = expect_close(memory, 0, [1.0, 2.0], label="arr")
+        assert "arr[1]" in error
+
+    def test_expect_close_integer_mismatch(self):
+        memory = Memory()
+        memory.write(0, 7)
+        assert expect_close(memory, 0, [8]) is not None
+        assert expect_close(memory, 0, [7]) is None
+
+    def test_expect_scalar(self):
+        assert expect_scalar(1.0, 1.0) is None
+        assert expect_scalar(1.0, 1.1) is not None
+
+
+class TestFibModule:
+    def test_reference(self):
+        assert fibonacci_reference(5) == [1.0, 1.0, 2.0, 3.0, 5.0]
+
+    def test_minimum_count(self):
+        with pytest.raises(ValueError):
+            fibonacci_program(2)
+
+    def test_register_file_limits_long_chains(self):
+        # 52 registers bound the longest in-register sequence.
+        outcome = run_fibonacci(50)
+        assert outcome.values == fibonacci_reference(50)
+        from repro.core.exceptions import EncodingError
+        with pytest.raises(EncodingError):
+            run_fibonacci(60)
+
+    def test_chained_vectors_cost_three_cycles_per_element(self):
+        outcome = run_fibonacci(34)   # 32 chained elements, two instructions
+        assert outcome.cycles == 3 * 32
+
+
+class TestGatherModule:
+    def test_fixed_stride_values_independent_of_stride(self):
+        for stride in (1, 2, 5):
+            outcome = run_fixed_stride(stride_words=stride)
+            assert outcome.values == [10.0 * (k + 1) for k in range(8)]
+
+    def test_linked_list_layout(self):
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        head = build_linked_list(memory, arena, [5.0, 6.0, 7.0])
+        # Walk the list in Python.
+        values = []
+        node = head
+        while node:
+            values.append(memory.read(node + 8))
+            node = memory.read(node)
+        assert values == [5.0, 6.0, 7.0]
+
+    def test_cold_linked_list_still_correct(self):
+        outcome = run_linked_list(warm=False)
+        assert outcome.values == [10.0 * (k + 1) for k in range(8)]
+
+    def test_shorter_gathers(self):
+        outcome = run_fixed_stride(count=4)
+        assert len(outcome.values) == 4
+
+
+class TestRunKernelHarness:
+    def test_check_can_be_skipped(self):
+        from repro.workloads.livermore import build_loop
+        result = run_kernel(build_loop(12), check=False)
+        assert result.check_error is None
+
+    def test_memory_restored_after_run(self):
+        from repro.workloads.livermore import build_loop
+        kernel = build_loop(12)
+        image_before = list(kernel.memory.words)
+        run_kernel(kernel)
+        assert kernel.memory.words == image_before
