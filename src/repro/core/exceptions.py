@@ -35,5 +35,31 @@ class VectorHazardError(SimulationError):
     """
 
 
+class InvariantError(SimulationError):
+    """A machine invariant audit failed (``audit_invariants`` runs):
+    scoreboard/pending-write inconsistency, malformed in-flight vector
+    state, or corrupted cache bookkeeping."""
+
+
+class DivergenceError(SimulationError):
+    """The cycle-level machine and the functional reference executor
+    disagreed on architectural state.
+
+    Raised by :mod:`repro.robustness.differential` at the first diverging
+    write; carries enough context to reproduce and localise the fault.
+    """
+
+    def __init__(self, message, register=None, cycle=None, pc=None,
+                 instruction=None, expected=None, actual=None, seed=None):
+        super().__init__(message)
+        self.register = register
+        self.cycle = cycle
+        self.pc = pc
+        self.instruction = instruction
+        self.expected = expected
+        self.actual = actual
+        self.seed = seed
+
+
 class AssemblerError(ReproError):
     """The textual assembler rejected its input."""

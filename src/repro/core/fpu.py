@@ -38,12 +38,16 @@ class FpuStats:
     def as_dict(self):
         return dict(self.__dict__)
 
+    def load_state(self, state):
+        for key, value in state.items():
+            setattr(self, key, value)
+
 
 class _AluState:
     """The mutable ALU instruction register contents."""
 
     __slots__ = ("op", "rr", "ra", "rb", "remaining", "stride_ra", "stride_rb",
-                 "unary", "seq")
+                 "unary", "seq", "vl")
 
     def __init__(self, instruction):
         self.op = instruction.op
@@ -55,6 +59,23 @@ class _AluState:
         self.stride_rb = instruction.stride_rb
         self.unary = self.op in UNARY_OPS
         self.seq = None
+        self.vl = instruction.vector_length
+
+    @property
+    def element(self):
+        """Index of the current (next-to-issue) element."""
+        return self.vl - self.remaining
+
+    def state_dict(self):
+        """All fields, for checkpointing the in-flight instruction."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_state(cls, state):
+        instance = cls.__new__(cls)
+        for slot in cls.__slots__:
+            setattr(instance, slot, state[slot])
+        return instance
 
 
 class Fpu:
@@ -71,6 +92,12 @@ class Fpu:
         self.alu_ir = None
         self.alu_ir_free_cycle = 0
         self.hazard_warnings = []
+        # The instruction-register state discarded by an overflow abort,
+        # positioned at the overflowing element.  Together with the PSW's
+        # captured destination specifier this is the precise restart state
+        # of section 2.3.3: a handler repairs the operands and calls
+        # :meth:`resume_aborted`.
+        self.aborted_ir = None
         # Optional event trace: list of (kind, cycle, ...) tuples appended
         # by the issue logic when enabled (see repro.analysis.timeline).
         self.trace = None
@@ -172,8 +199,12 @@ class Fpu:
         if result_overflowed(op, a, b, result):
             # Discard all remaining elements; save the destination
             # specifier of the first overflowing element in the PSW.
-            self.regs.psw.record_overflow(rr)
+            # The instruction-register state is parked (not destroyed) so
+            # a handler can repair the operands and resume from the
+            # overflowing element -- the precise restart of section 2.3.3.
+            self.regs.psw.record_overflow(rr, element=state.element)
             self.stats.overflow_aborts += 1
+            self.aborted_ir = state
             self.alu_ir = None
             self.alu_ir_free_cycle = cycle + 1
             return True
@@ -189,6 +220,28 @@ class Fpu:
             if state.stride_rb:
                 state.rb = rb + 1
         return True
+
+    def resume_aborted(self, cycle):
+        """Restart an overflow-aborted vector from its overflowing element.
+
+        The handler is expected to have repaired the source operands (the
+        PSW names the element and its destination specifier).  Clears the
+        PSW, re-latches the parked instruction-register state, and lets
+        the ordinary sequencer reissue the overflowing element and every
+        element after it.  Raises if there is nothing to resume or the
+        instruction register is busy.
+        """
+        if self.aborted_ir is None:
+            raise SimulationError("no overflow-aborted instruction to resume")
+        if not self.ir_free(cycle):
+            raise SimulationError(
+                "ALU IR busy in cycle %d; cannot resume aborted vector" % cycle)
+        state = self.aborted_ir
+        self.aborted_ir = None
+        self.regs.psw.clear()
+        self.alu_ir = state
+        self.try_issue_element(cycle)
+        return state
 
     # ------------------------------------------------------------------
     # Loads and stores (memory port, driven by the CPU through the
@@ -258,6 +311,46 @@ class Fpu:
             self.hazard_warnings.append(message)
 
     # ------------------------------------------------------------------
+    # Checkpointing (repro.robustness)
+    # ------------------------------------------------------------------
+
+    def state_dict(self):
+        """Complete FPU state: registers, PSW, scoreboard, the in-flight
+        instruction register, pending writebacks, and counters."""
+        return {
+            "regs": self.regs.state_dict(),
+            "scoreboard": self.scoreboard.state_dict(),
+            "alu_ir": None if self.alu_ir is None else self.alu_ir.state_dict(),
+            "aborted_ir": (None if self.aborted_ir is None
+                           else self.aborted_ir.state_dict()),
+            "alu_ir_free_cycle": self.alu_ir_free_cycle,
+            "pending": {cycle: [tuple(write) for write in writes]
+                        for cycle, writes in self._pending.items()},
+            "stats": self.stats.as_dict(),
+            "hazard_warnings": list(self.hazard_warnings),
+            "unit_issues": {name: unit.issue_count
+                            for name, unit in self.units.items()},
+        }
+
+    def load_state(self, state):
+        self.regs.load_state(state["regs"])
+        self.scoreboard.load_state(state["scoreboard"])
+        self.alu_ir = (None if state["alu_ir"] is None
+                       else _AluState.from_state(state["alu_ir"]))
+        self.aborted_ir = (None if state["aborted_ir"] is None
+                           else _AluState.from_state(state["aborted_ir"]))
+        self.alu_ir_free_cycle = state["alu_ir_free_cycle"]
+        # Mutate the pending dict in place: the cycle simulator's hot loop
+        # holds an alias.
+        self._pending.clear()
+        for cycle, writes in state["pending"].items():
+            self._pending[cycle] = [tuple(write) for write in writes]
+        self.stats.load_state(state["stats"])
+        self.hazard_warnings[:] = state["hazard_warnings"]
+        for name, count in state["unit_issues"].items():
+            self.units[name].issue_count = count
+
+    # ------------------------------------------------------------------
 
     def reset(self):
         self.regs.reset()
@@ -268,4 +361,5 @@ class Fpu:
         self.alu_ir = None
         self.alu_ir_free_cycle = 0
         self.hazard_warnings = []
+        self.aborted_ir = None
         self._pending = {}

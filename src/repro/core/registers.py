@@ -28,15 +28,34 @@ class ProgramStatusWord:
 
     overflow: bool = False
     overflow_dest: int = None
+    # Which element of the aborted vector instruction overflowed (0 for a
+    # scalar operation).  Together with the instruction's stride bits this
+    # is the complete restart state of section 2.3.3.
+    overflow_element: int = None
 
-    def record_overflow(self, dest_register):
+    def record_overflow(self, dest_register, element=None):
         if not self.overflow:
             self.overflow = True
             self.overflow_dest = dest_register
+            self.overflow_element = element
 
     def clear(self):
         self.overflow = False
         self.overflow_dest = None
+        self.overflow_element = None
+
+    def state_dict(self):
+        """Architectural PSW state for checkpointing."""
+        return {
+            "overflow": self.overflow,
+            "overflow_dest": self.overflow_dest,
+            "overflow_element": self.overflow_element,
+        }
+
+    def load_state(self, state):
+        self.overflow = state["overflow"]
+        self.overflow_dest = state["overflow_dest"]
+        self.overflow_element = state["overflow_element"]
 
 
 class RegisterFile:
@@ -83,6 +102,14 @@ class RegisterFile:
     def snapshot(self):
         """Copy of all register values, e.g. for context-switch costing."""
         return list(self._values)
+
+    def state_dict(self):
+        """Full architectural state (values + PSW) for checkpointing."""
+        return {"values": list(self._values), "psw": self.psw.state_dict()}
+
+    def load_state(self, state):
+        self._values[:] = state["values"]
+        self.psw.load_state(state["psw"])
 
     def reset(self):
         self._values = [0.0] * NUM_REGISTERS

@@ -81,6 +81,16 @@ class Scoreboard:
     def reserved_registers(self):
         return [i for i, bit in enumerate(self._bits) if bit]
 
+    def state_dict(self):
+        """Reservation bits for checkpointing (port audit state is
+        per-cycle scratch and restarts clean)."""
+        return {"bits": list(self._bits)}
+
+    def load_state(self, state):
+        self._bits[:] = state["bits"]
+        self._audit_cycle = -1
+        self._port_use = {port: 0 for port in PORT_BUDGET}
+
     def reset(self):
         self._bits = [False] * NUM_REGISTERS
 

@@ -50,6 +50,9 @@ class MachineConfig:
     tlb_miss_penalty: int = 24
     strict_hazards: bool = False
     audit_scoreboard_ports: bool = False
+    # Validate scoreboard/pending-write/cache consistency every cycle
+    # (repro.robustness.invariants); strict runs only -- it costs time.
+    audit_invariants: bool = False
     trace: bool = False
     max_cycles: int = 200_000_000
 
@@ -76,6 +79,10 @@ class MachineStats:
 
     def as_dict(self):
         return dict(self.__dict__)
+
+    def load_state(self, state):
+        for key, value in state.items():
+            setattr(self, key, value)
 
 
 @dataclass
@@ -128,6 +135,13 @@ class MultiTitan:
         self.icache = DirectMappedCache(
             self.config.icache_size, self.config.ibuf_line,
             miss_penalty=self.config.ibuf_miss_penalty, name="instruction-L2")
+        # Harness attachments (repro.robustness); survive reset_cpu().
+        # fault_plan injects perturbations at chosen cycles; commit_hook
+        # fires after each committed CPU instruction; retire_hook fires
+        # for each FPU register writeback.
+        self.fault_plan = None
+        self.commit_hook = None
+        self.retire_hook = None
         self.reset_cpu()
 
     # ------------------------------------------------------------------
@@ -165,9 +179,119 @@ class MultiTitan:
         raise NotImplementedError("run the program twice instead")
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore (repro.robustness)
+    # ------------------------------------------------------------------
 
-    def run(self, max_cycles=None):
-        """Run until HALT and the FPU drains; return a :class:`RunResult`."""
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self):
+        """Capture the complete architectural state as plain data.
+
+        Everything a restarted machine needs is included: the CPU
+        (integer registers, PC/EPC, pipeline-ready cycles, pending
+        interrupts), the FPU (52-register file, PSW, scoreboard, the
+        in-flight ALU instruction register, pending writebacks), cache
+        and TLB tags, and a sparse memory delta.  ``restore`` of the
+        result into a machine running the same program round-trips
+        bit-exactly, even mid-vector -- the paper's restartable-state
+        claim (sections 2.3.1-2.3.3) made executable.
+        """
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "program_length": len(self.program.instructions),
+            "program_hash": hash(tuple(self.program.instructions)),
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "epc": self.epc,
+            "halted": self.halted,
+            "cpu_ready": self.cpu_ready,
+            "port_free": self.port_free,
+            "alu_seq": self._alu_seq,
+            "interrupts": [tuple(entry) for entry in self._interrupts],
+            "iregs": list(self.iregs),
+            "ireg_ready": list(self.ireg_ready),
+            "stats": self.stats.as_dict(),
+            "fpu": self.fpu.state_dict(),
+            "dcache": self.dcache.state_dict(),
+            "ibuf": self.ibuf.state_dict(),
+            "icache": self.icache.state_dict(),
+            "tlb": self.tlb.state_dict(),
+            "memory": self.memory.delta_snapshot(),
+        }
+
+    def restore(self, snapshot):
+        """Restore a :meth:`snapshot`, including in-flight FPU state.
+
+        The machine must be running the same program the snapshot was
+        taken from; a :meth:`run` call afterwards resumes from the
+        captured cycle and completes with the same results and cycle
+        counts as an uninterrupted run.
+        """
+        if snapshot.get("version") != self.SNAPSHOT_VERSION:
+            raise SimulationError(
+                "snapshot version %r not supported" % (snapshot.get("version"),))
+        if (snapshot["program_length"] != len(self.program.instructions)
+                or snapshot["program_hash"]
+                != hash(tuple(self.program.instructions))):
+            raise SimulationError(
+                "snapshot was taken from a different program")
+        self.cycle = snapshot["cycle"]
+        self.pc = snapshot["pc"]
+        self.epc = snapshot["epc"]
+        self.halted = snapshot["halted"]
+        self.cpu_ready = snapshot["cpu_ready"]
+        self.port_free = snapshot["port_free"]
+        self._alu_seq = snapshot["alu_seq"]
+        self._interrupts = [tuple(entry) for entry in snapshot["interrupts"]]
+        self.iregs[:] = snapshot["iregs"]
+        self.ireg_ready[:] = snapshot["ireg_ready"]
+        self.stats.load_state(snapshot["stats"])
+        self.fpu.load_state(snapshot["fpu"])
+        self.dcache.load_state(snapshot["dcache"])
+        self.ibuf.load_state(snapshot["ibuf"])
+        self.icache.load_state(snapshot["icache"])
+        self.tlb.load_state(snapshot["tlb"])
+        self.memory.restore_delta(snapshot["memory"])
+        return self
+
+    # ------------------------------------------------------------------
+    # Diagnosable errors: every SimulationError raised while running
+    # carries the machine context (cycle, pc, current instruction).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _attach_context(error, cycle, pc, instruction=None):
+        """Append machine context to an in-flight error.
+
+        The original message stays as a stable prefix so existing
+        matching keeps working; the structured fields are also set as
+        attributes for programmatic use.
+        """
+        text = "%s [cycle=%d pc=%d" % (error.args[0] if error.args else "",
+                                       cycle, pc)
+        if instruction is not None:
+            text += " instr=%s" % (isa.disassemble(instruction),)
+        text += "]"
+        error.args = (text,) + error.args[1:]
+        error.cycle = cycle
+        error.pc = pc
+        error.instruction = instruction
+        return error
+
+    def _error(self, message, cycle, pc, instruction=None):
+        return self._attach_context(SimulationError(message), cycle, pc,
+                                    instruction)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles=None, stop_cycle=None):
+        """Run until HALT and the FPU drains; return a :class:`RunResult`.
+
+        ``stop_cycle`` pauses the simulation cleanly once ``cycle``
+        reaches it (no error) with all in-flight state intact; a
+        subsequent ``run()`` -- or a :meth:`restore` of a
+        :meth:`snapshot` into a fresh machine -- resumes from there.
+        """
         limit = max_cycles or self.config.max_cycles
         config = self.config
         stats = self.stats
@@ -202,8 +326,28 @@ class MultiTitan:
                                         isa.BLE, isa.BGT)
         J, HALT, NOP, FCMP = isa.J, isa.HALT, isa.NOP, isa.FCMP
 
+        faults = self.fault_plan
+        commit_hook = self.commit_hook
+        retire_hook = self.retire_hook
+        audit = None
+        if config.audit_invariants:
+            from repro.robustness.invariants import audit_invariants
+            audit = audit_invariants
+
         last_retire_cycle = 0
+        stopped = False
         while cycle < limit:
+            # -- harness hooks (no-ops unless attached) -----------------
+            if stop_cycle is not None and cycle >= stop_cycle:
+                stopped = True
+                break
+            if faults is not None:
+                extra_stall = faults.apply(self, cycle)
+                if extra_stall:
+                    cpu_ready = max(cpu_ready, cycle + extra_stall)
+            if audit is not None:
+                audit(self, cycle)
+
             # -- phase 1: FPU retirement --------------------------------
             if pending:
                 ready = pending.pop(cycle, None)
@@ -213,6 +357,8 @@ class MultiTitan:
                         values[register] = value
                         sb_bits[register] = False
                     last_retire_cycle = cycle
+                    if retire_hook is not None:
+                        retire_hook(self, cycle, ready)
 
             # -- phase 2: FPU vector element issue ----------------------
             if fpu.alu_ir is not None:
@@ -238,7 +384,8 @@ class MultiTitan:
                 cycle += 1
                 continue
             if pc >= program_length:
-                raise SimulationError("PC %d ran off the end of the program" % pc)
+                raise self._error(
+                    "PC %d ran off the end of the program" % pc, cycle, pc)
 
             if model_ibuffer:
                 penalty = ibuf.access(pc << 2)
@@ -255,6 +402,7 @@ class MultiTitan:
 
             instruction = instructions[pc]
             opcode = instruction[0]
+            issue_pc = pc
 
             # ---- FPU ALU transfer (over the address bus) ----
             if opcode == FALU:
@@ -265,6 +413,7 @@ class MultiTitan:
                 state = _AluState.__new__(_AluState)
                 (state.op, state.rr, state.ra, state.rb, state.remaining,
                  sra, srb, state.unary) = instruction[1:]
+                state.vl = state.remaining
                 state.stride_ra = bool(sra)
                 state.stride_rb = bool(srb)
                 state.seq = self._alu_seq
@@ -313,7 +462,10 @@ class MultiTitan:
                 if penalty:
                     stats.stall_dcache_miss_cycles += penalty
                 effective = cycle + penalty
-                fpu.load_write(fd, memory_words[address >> 3], effective)
+                try:
+                    fpu.load_write(fd, memory_words[address >> 3], effective)
+                except SimulationError as err:
+                    raise self._attach_context(err, cycle, pc, instruction)
                 if self.trace is not None:
                     self.trace.append(("load", effective, fd))
                 stats.fpu_loads += 1
@@ -351,7 +503,10 @@ class MultiTitan:
                 if penalty:
                     stats.stall_dcache_miss_cycles += penalty
                 effective = cycle + penalty
-                value = fpu.store_read(fs, effective)
+                try:
+                    value = fpu.store_read(fs, effective)
+                except SimulationError as err:
+                    raise self._attach_context(err, cycle, pc, instruction)
                 if address >> 3 >= len(memory_words):
                     memory.write(address, value)
                     memory_words = memory.words
@@ -553,7 +708,8 @@ class MultiTitan:
 
             elif opcode == isa.RFE:
                 if self.epc is None:
-                    raise SimulationError("rfe outside an interrupt handler")
+                    raise self._error("rfe outside an interrupt handler",
+                                      cycle, pc, instruction)
                 stats.instructions += 1
                 pc = self.epc
                 self.epc = None
@@ -565,12 +721,16 @@ class MultiTitan:
                 stats.instructions += 1
 
             else:
-                raise SimulationError("unknown opcode %d at pc %d" % (opcode, pc))
+                raise self._error("unknown opcode %d at pc %d" % (opcode, pc),
+                                  cycle, pc, instruction)
 
+            if commit_hook is not None:
+                commit_hook(self, cycle, issue_pc, instruction)
             cycle += 1
 
-        if cycle >= limit and not halted:
-            raise SimulationError("simulation exceeded %d cycles" % limit)
+        if not stopped and cycle >= limit and not halted:
+            raise self._error("simulation exceeded %d cycles" % limit,
+                              cycle, pc)
 
         self.cycle = cycle
         self.pc = pc

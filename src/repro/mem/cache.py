@@ -64,6 +64,27 @@ class DirectMappedCache:
         self._tags = [None] * self.num_lines
         self._dirty = [False] * self.num_lines
 
+    def state_dict(self):
+        """Tags, dirt, and counters for checkpointing."""
+        return {
+            "tags": list(self._tags),
+            "dirty": list(self._dirty),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
+    def load_state(self, state):
+        if len(state["tags"]) != self.num_lines:
+            raise SimulationError(
+                "cache snapshot has %d lines, %s cache has %d"
+                % (len(state["tags"]), self.name, self.num_lines))
+        self._tags = list(state["tags"])
+        self._dirty = list(state["dirty"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.writebacks = state["writebacks"]
+
     def reset_stats(self):
         self.hits = 0
         self.misses = 0

@@ -43,6 +43,30 @@ class Memory:
         self._index(address + (len(values) - 1) * WORD_BYTES)
         self._words[start : start + len(values)] = list(values)
 
+    def delta_snapshot(self):
+        """Sparse snapshot: only words differing from the 0.0 fill.
+
+        Workloads touch a small fraction of the address space, so the
+        delta is far smaller than a full image.  Word *types* matter (the
+        FPU distinguishes int and float register data), so an integer 0
+        is part of the delta even though ``0 == 0.0``.
+        """
+        words = {}
+        for index, word in enumerate(self._words):
+            if type(word) is not float or word != 0.0:
+                words[index] = word
+        return {"length": len(self._words), "words": words}
+
+    def restore_delta(self, snapshot):
+        """Restore the exact image captured by :meth:`delta_snapshot`.
+
+        Mutates the existing word list in place so aliases (the cycle
+        simulator's hot-loop local) stay valid.
+        """
+        self._words[:] = [0.0] * snapshot["length"]
+        for index, word in snapshot["words"].items():
+            self._words[index] = word
+
     @property
     def size_bytes(self):
         return len(self._words) * WORD_BYTES

@@ -57,6 +57,16 @@ class Tlb:
     def flush(self):
         self._tags = [None] * self.entries
 
+    def state_dict(self):
+        """Tags and counters for checkpointing."""
+        return {"tags": list(self._tags), "hits": self.hits,
+                "misses": self.misses}
+
+    def load_state(self, state):
+        self._tags = list(state["tags"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def reset_stats(self):
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,46 @@
+"""Robustness harness: checkpoint/restore, fault injection, self-checking.
+
+Three pillars, all built on the machine's harness hooks:
+
+* **Checkpoint/restore** -- ``Machine.snapshot()`` / ``Machine.restore()``
+  (on :class:`~repro.cpu.machine.MultiTitan` itself) capture the complete
+  architectural and micro-architectural state, bit-exactly, even
+  mid-vector.
+* **Fault injection** -- :class:`FaultPlan` schedules deterministic,
+  seed-reproducible bit flips and stalls against a running machine.
+* **Differential self-checking** -- :class:`DifferentialChecker` runs a
+  pure functional :class:`ReferenceExecutor` in lockstep with the
+  cycle-level machine and raises :class:`~repro.core.exceptions.
+  DivergenceError` at the first architectural disagreement, while
+  :func:`audit_invariants` (the ``MachineConfig.audit_invariants`` flag)
+  validates scoreboard/pipeline bookkeeping every cycle.
+
+``python -m repro.robustness.smoke`` runs a seeded fault-injection
+campaign asserting that every injected architectural fault is either
+detected or fully masked -- never silent.
+"""
+
+from repro.core.exceptions import DivergenceError, InvariantError
+from repro.robustness.differential import (
+    DifferentialChecker,
+    bit_exact,
+    check_kernel,
+    run_differential,
+)
+from repro.robustness.faults import FaultEvent, FaultPlan, flip_word_bit
+from repro.robustness.invariants import audit_invariants
+from repro.robustness.reference import ReferenceExecutor
+
+__all__ = [
+    "DifferentialChecker",
+    "DivergenceError",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantError",
+    "ReferenceExecutor",
+    "audit_invariants",
+    "bit_exact",
+    "check_kernel",
+    "flip_word_bit",
+    "run_differential",
+]

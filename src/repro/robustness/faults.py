@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the MultiTitan simulator.
+
+A :class:`FaultPlan` is a schedule of perturbations applied by the
+machine's run loop at the top of chosen cycles: single-bit flips in the
+FPU or integer register files, scoreboard reservation-bit flips, memory
+word corruption, cache-tag corruption (a timing fault -- the cache stores
+tags only), and forced pipeline stalls.  Plans built with
+:meth:`FaultPlan.random` derive every choice from one seeded
+``random.Random`` so any failing campaign reproduces from its seed alone
+-- the seed rides along on the plan and is reported by
+:meth:`FaultPlan.describe`.
+
+What a fault *should* do is the point: scoreboard flips must be caught by
+the invariant audit (:mod:`repro.robustness.invariants`), register and
+memory flips by the differential checker (:mod:`repro.robustness.
+differential`) at the first dependent retirement, and stalls must be
+architecturally invisible (pure timing).  The smoke campaign
+(``python -m repro.robustness.smoke``) asserts exactly this taxonomy.
+"""
+
+import struct
+from random import Random
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import SimulationError
+from repro.cpu import isa
+
+KINDS = ("freg", "ireg", "scoreboard", "memory", "cache_tag", "stall")
+
+
+def flip_word_bit(value, bit):
+    """Flip one bit of a 64-bit register/memory word.
+
+    Floats are flipped in their IEEE-754 encoding; ints in two's
+    complement (the flip stays within the low 64 bits).
+    """
+    if not 0 <= bit < 64:
+        raise SimulationError("bit index %d outside a 64-bit word" % bit)
+    if type(value) is float:
+        (word,) = struct.unpack("<Q", struct.pack("<d", value))
+        (flipped,) = struct.unpack("<d", struct.pack("<Q", word ^ (1 << bit)))
+        return flipped
+    return value ^ (1 << bit)
+
+
+class FaultEvent:
+    """One scheduled perturbation."""
+
+    __slots__ = ("cycle", "kind", "target", "bit", "stall_cycles", "fired")
+
+    def __init__(self, cycle, kind, target=None, bit=None, stall_cycles=0):
+        if kind not in KINDS:
+            raise SimulationError("unknown fault kind %r" % (kind,))
+        self.cycle = cycle
+        self.kind = kind
+        self.target = target
+        self.bit = bit
+        self.stall_cycles = stall_cycles
+        self.fired = False
+
+    def describe(self):
+        if self.kind == "freg":
+            what = "flip bit %d of FPU register R%d" % (self.bit, self.target)
+        elif self.kind == "ireg":
+            what = "flip bit %d of integer register r%d" % (self.bit,
+                                                            self.target)
+        elif self.kind == "scoreboard":
+            what = "flip scoreboard reservation bit of R%d" % self.target
+        elif self.kind == "memory":
+            what = "flip bit %d of memory word at address %d" % (self.bit,
+                                                                 self.target)
+        elif self.kind == "cache_tag":
+            what = "corrupt data-cache tag of line %d" % self.target
+        else:
+            what = "stall the CPU for %d cycles" % self.stall_cycles
+        return "cycle %d: %s" % (self.cycle, what)
+
+
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    Attach with ``machine.fault_plan = plan``; the run loop calls
+    :meth:`apply` each cycle (events for that cycle fire once).
+    """
+
+    def __init__(self, events=(), seed=None):
+        self.seed = seed
+        self._by_cycle = {}
+        self.events = []
+        for event in events:
+            self.add(event)
+
+    def add(self, event):
+        self.events.append(event)
+        self._by_cycle.setdefault(event.cycle, []).append(event)
+        return event
+
+    # -- builder helpers ------------------------------------------------
+
+    def flip_freg(self, cycle, register, bit):
+        return self.add(FaultEvent(cycle, "freg", target=register, bit=bit))
+
+    def flip_ireg(self, cycle, register, bit):
+        return self.add(FaultEvent(cycle, "ireg", target=register, bit=bit))
+
+    def flip_scoreboard(self, cycle, register):
+        return self.add(FaultEvent(cycle, "scoreboard", target=register))
+
+    def flip_memory(self, cycle, address, bit):
+        return self.add(FaultEvent(cycle, "memory", target=address, bit=bit))
+
+    def corrupt_cache_tag(self, cycle, line_index):
+        return self.add(FaultEvent(cycle, "cache_tag", target=line_index))
+
+    def stall(self, cycle, stall_cycles):
+        return self.add(FaultEvent(cycle, "stall", stall_cycles=stall_cycles))
+
+    # -- deterministic random campaigns ---------------------------------
+
+    @classmethod
+    def random(cls, seed, max_cycle, count=1, kinds=("freg", "ireg", "memory"),
+               registers=None, memory_words=64):
+        """A plan whose every choice derives from ``Random(seed)``.
+
+        The same seed always builds the same plan, so a failing fault run
+        is reproducible from the seed alone.
+        """
+        rng = Random(seed)
+        plan = cls(seed=seed)
+        registers = list(registers) if registers is not None \
+            else list(range(NUM_REGISTERS))
+        for _ in range(count):
+            kind = rng.choice(list(kinds))
+            cycle = rng.randrange(max(1, max_cycle))
+            if kind == "freg":
+                plan.flip_freg(cycle, rng.choice(registers), rng.randrange(64))
+            elif kind == "ireg":
+                plan.flip_ireg(cycle,
+                               rng.randrange(1, isa.NUM_INT_REGISTERS),
+                               rng.randrange(64))
+            elif kind == "scoreboard":
+                plan.flip_scoreboard(cycle, rng.choice(registers))
+            elif kind == "memory":
+                plan.flip_memory(cycle, rng.randrange(memory_words) * 8,
+                                 rng.randrange(64))
+            elif kind == "cache_tag":
+                plan.corrupt_cache_tag(cycle, rng.randrange(64))
+            else:
+                plan.stall(cycle, rng.randrange(1, 16))
+        return plan
+
+    # -- application ----------------------------------------------------
+
+    def apply(self, machine, cycle):
+        """Fire this cycle's events against the machine; return extra
+        stall cycles to charge to the CPU."""
+        events = self._by_cycle.get(cycle)
+        if not events:
+            return 0
+        stall = 0
+        for event in events:
+            if event.fired:
+                continue
+            event.fired = True
+            if event.kind == "freg":
+                values = machine.fpu.regs.values
+                values[event.target] = flip_word_bit(values[event.target],
+                                                     event.bit)
+            elif event.kind == "ireg":
+                machine.iregs[event.target] = flip_word_bit(
+                    machine.iregs[event.target], event.bit)
+            elif event.kind == "scoreboard":
+                bits = machine.fpu.scoreboard.bits
+                bits[event.target] = not bits[event.target]
+            elif event.kind == "memory":
+                words = machine.memory.words
+                index = event.target >> 3
+                if index < len(words):
+                    words[index] = flip_word_bit(words[index], event.bit)
+            elif event.kind == "cache_tag":
+                tags = machine.dcache._tags
+                line = event.target % len(tags)
+                tags[line] = None if tags[line] is not None else 0
+            elif event.kind == "stall":
+                stall += event.stall_cycles
+        return stall
+
+    @property
+    def fired_events(self):
+        return [event for event in self.events if event.fired]
+
+    def describe(self):
+        lines = ["fault plan (seed=%r):" % (self.seed,)]
+        for event in self.events:
+            status = "fired" if event.fired else "pending"
+            lines.append("  [%s] %s" % (status, event.describe()))
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Per-cycle machine invariant audits (``MachineConfig.audit_invariants``).
+
+The MultiTitan's precise-state story rests on bookkeeping that must stay
+mutually consistent every cycle: a scoreboard reservation bit is set if
+and only if exactly one write to that register is in flight, the in-flight
+ALU instruction register describes elements that still fit the register
+file, and cache tag stores keep their shape.  ``audit_invariants`` checks
+all of it and raises :class:`~repro.core.exceptions.InvariantError` with
+the cycle number at the first violation -- this is how injected
+scoreboard corruption (see :mod:`repro.robustness.faults`) is *detected*
+rather than silently mis-timing the program.
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import InvariantError
+
+
+def audit_scoreboard(fpu, cycle):
+    """Reservation bits must match pending writebacks one-for-one."""
+    pending_registers = []
+    for writes in fpu._pending.values():
+        for register, _value in writes:
+            pending_registers.append(register)
+    seen = set()
+    for register in pending_registers:
+        if register in seen:
+            raise InvariantError(
+                "cycle %d: two writes in flight to R%d (the second would "
+                "be lost)" % (cycle, register))
+        seen.add(register)
+    bits = fpu.scoreboard.bits
+    for register in seen:
+        if not bits[register]:
+            raise InvariantError(
+                "cycle %d: write in flight to R%d but its reservation bit "
+                "is clear" % (cycle, register))
+    for register, bit in enumerate(bits):
+        if bit and register not in seen:
+            raise InvariantError(
+                "cycle %d: R%d is reserved but no write is in flight"
+                % (cycle, register))
+
+
+def audit_alu_ir(fpu, cycle):
+    """The in-flight vector state must describe a legal element range."""
+    for label, state in (("alu_ir", fpu.alu_ir),
+                         ("aborted_ir", fpu.aborted_ir)):
+        if state is None:
+            continue
+        if not 1 <= state.remaining <= state.vl:
+            raise InvariantError(
+                "cycle %d: %s remaining=%d outside 1..vl=%d"
+                % (cycle, label, state.remaining, state.vl))
+        if not (0 <= state.ra < NUM_REGISTERS
+                and 0 <= state.rb < NUM_REGISTERS
+                and 0 <= state.rr < NUM_REGISTERS):
+            raise InvariantError(
+                "cycle %d: %s specifiers (Rr=%d Ra=%d Rb=%d) outside the "
+                "register file" % (cycle, label, state.rr, state.ra,
+                                   state.rb))
+        if state.rr + state.remaining > NUM_REGISTERS:
+            raise InvariantError(
+                "cycle %d: %s destinations R%d..R%d run past R%d"
+                % (cycle, label, state.rr, state.rr + state.remaining - 1,
+                   NUM_REGISTERS - 1))
+
+
+def audit_write_ports(fpu, cycle):
+    """Structural reservation-RAM constraint (section 2.3.1).
+
+    The reservation bits live in single-ended RAM columns
+    (:mod:`repro.core.reservation_ram`): one clear rides the R-port word
+    line and one the memory port, so at most two writes -- one ALU
+    result, one load -- may retire in any single cycle.  The sequencer
+    guarantees this by issuing one element and one load per cycle;
+    corrupted pending-write schedules break it.
+    """
+    for retire_cycle, writes in fpu._pending.items():
+        if len(writes) > 2:
+            raise InvariantError(
+                "cycle %d: %d writes scheduled to retire together in cycle "
+                "%d; the reservation RAM can clear at most two bits"
+                % (cycle, len(writes), retire_cycle))
+        if retire_cycle <= cycle - 1:
+            # Bypass/forwarding contract: a result issued in cycle i is
+            # bypassed to consumers at i+latency; a write scheduled in
+            # the past can never retire and would wedge its register.
+            raise InvariantError(
+                "cycle %d: pending write to R%d scheduled for already-"
+                "elapsed cycle %d" % (cycle, writes[0][0], retire_cycle))
+
+
+def audit_register_values(fpu, cycle):
+    """Register words hold exactly one 64-bit datum: float or int."""
+    for register, value in enumerate(fpu.regs.values):
+        if type(value) is not float and type(value) is not int:
+            raise InvariantError(
+                "cycle %d: R%d holds non-architectural value %r"
+                % (cycle, register, value))
+
+
+def audit_units(fpu, cycle):
+    """Every issued element went through exactly one functional unit."""
+    issued = sum(unit.issue_count for unit in fpu.units.values())
+    if issued != fpu.stats.elements_issued:
+        raise InvariantError(
+            "cycle %d: functional units issued %d elements, sequencer "
+            "counted %d" % (cycle, issued, fpu.stats.elements_issued))
+
+
+def audit_caches(machine, cycle):
+    """Tag stores must keep their configured geometry."""
+    for cache in (machine.dcache, machine.ibuf, machine.icache):
+        if len(cache._tags) != cache.num_lines:
+            raise InvariantError(
+                "cycle %d: %s cache has %d tag entries for %d lines"
+                % (cycle, cache.name, len(cache._tags), cache.num_lines))
+        if cache.hits < 0 or cache.misses < 0:
+            raise InvariantError(
+                "cycle %d: %s cache counters went negative"
+                % (cycle, cache.name))
+
+
+def audit_invariants(machine, cycle):
+    """The full per-cycle audit; called by the run loop in strict runs."""
+    fpu = machine.fpu
+    audit_scoreboard(fpu, cycle)
+    audit_write_ports(fpu, cycle)
+    audit_alu_ir(fpu, cycle)
+    audit_register_values(fpu, cycle)
+    audit_units(fpu, cycle)
+    audit_caches(machine, cycle)
+    return True

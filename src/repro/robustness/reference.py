@@ -1,0 +1,252 @@
+"""A pure functional reference executor for the MultiTitan ISA.
+
+No timing, no scoreboard, no caches: each instruction's architectural
+effects are applied immediately and in program order.  WRL 89/8's claim
+(sections 2.3.1-2.3.3) is that the pipelined machine's state is always
+*precise* -- every element of a vector instruction passes through the
+scalar scoreboard, so the cycle-level machine must be observationally
+equal to this sequential semantics.  The differential checker
+(:mod:`repro.robustness.differential`) runs the two in lockstep and
+reports the first disagreement.
+
+The executor supports two modes:
+
+* **standalone** -- :meth:`ReferenceExecutor.run` follows its own control
+  flow from ``pc`` until HALT;
+* **follow** -- :meth:`ReferenceExecutor.execute` applies one committed
+  instruction handed to it by the machine's commit hook (this is how the
+  differential checker tracks interrupt handlers without modelling
+  interrupt timing).
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import SimulationError
+from repro.core.types import UNARY_OPS, execute_op, result_overflowed
+from repro.cpu import isa
+
+
+class ReferenceExecutor:
+    """Sequential, untimed interpreter over decoded instruction tuples."""
+
+    def __init__(self, instructions, iregs=None, fregs=None,
+                 memory_words=None, pc=0):
+        self.instructions = instructions
+        self.pc = pc
+        self.epc = None
+        self.halted = False
+        self.steps = 0
+        self.iregs = list(iregs) if iregs is not None \
+            else [0] * isa.NUM_INT_REGISTERS
+        self.fregs = list(fregs) if fregs is not None \
+            else [0.0] * NUM_REGISTERS
+        self.memory = list(memory_words) if memory_words is not None else []
+        self.psw_overflow = False
+        self.psw_overflow_dest = None
+        self.psw_overflow_element = None
+
+    @classmethod
+    def from_machine(cls, machine):
+        """Start from a machine's current architectural state (after any
+        setup hook has populated registers and memory)."""
+        executor = cls(
+            machine.program.instructions,
+            iregs=machine.iregs,
+            fregs=machine.fpu.regs.values,
+            memory_words=machine.memory.words,
+            pc=machine.pc,
+        )
+        executor.epc = machine.epc
+        executor.halted = machine.halted
+        return executor
+
+    # ------------------------------------------------------------------
+
+    def _mem_index(self, address):
+        if address % 8:
+            raise SimulationError(
+                "reference executor: unaligned access at %d" % address)
+        index = address >> 3
+        if index >= len(self.memory):
+            self.memory.extend([0.0] * (index + 1 - len(self.memory)))
+        return index
+
+    def execute(self, instruction, pc=None):
+        """Apply one instruction; return its architectural effects.
+
+        The result is a dict with ``freg_writes``, ``ireg_writes``,
+        ``mem_writes`` (lists of ``(target, value)``) and ``next_pc``.
+        ``freg_writes`` lists vector elements in issue order, truncated
+        at the first overflowing element exactly like the hardware abort.
+        """
+        follow = pc is not None
+        if follow:
+            self.pc = pc
+        opcode = instruction[0]
+        iregs = self.iregs
+        fregs = self.fregs
+        freg_writes = []
+        ireg_writes = []
+        mem_writes = []
+        next_pc = self.pc + 1
+
+        if opcode == isa.FALU:
+            op, rr, ra, rb, remaining, sra, srb, unary = instruction[1:]
+            vl = remaining
+            while remaining:
+                a = fregs[ra]
+                b = fregs[rb] if not unary else None
+                result = execute_op(op, a, b)
+                fregs[rr] = result
+                freg_writes.append((rr, result))
+                if result_overflowed(op, a, b, result):
+                    if not self.psw_overflow:
+                        self.psw_overflow = True
+                        self.psw_overflow_dest = rr
+                        self.psw_overflow_element = vl - remaining
+                    break
+                remaining -= 1
+                rr += 1
+                if sra:
+                    ra += 1
+                if srb:
+                    rb += 1
+
+        elif opcode == isa.FLOAD:
+            fd, ra, offset = instruction[1], instruction[2], instruction[3]
+            value = self.memory[self._mem_index(iregs[ra] + offset)]
+            fregs[fd] = value
+            freg_writes.append((fd, value))
+
+        elif opcode == isa.FSTORE:
+            fs, ra, offset = instruction[1], instruction[2], instruction[3]
+            index = self._mem_index(iregs[ra] + offset)
+            self.memory[index] = fregs[fs]
+            mem_writes.append((index, fregs[fs]))
+
+        elif opcode == isa.ADDI:
+            rd, ra, imm = instruction[1], instruction[2], instruction[3]
+            if rd:
+                iregs[rd] = iregs[ra] + imm
+                ireg_writes.append((rd, iregs[rd]))
+
+        elif opcode in (isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR):
+            rd, ra, rb = instruction[1], instruction[2], instruction[3]
+            a, b = iregs[ra], iregs[rb]
+            if opcode == isa.ADD:
+                value = a + b
+            elif opcode == isa.SUB:
+                value = a - b
+            elif opcode == isa.MUL:
+                value = a * b
+            elif opcode == isa.AND:
+                value = a & b
+            elif opcode == isa.OR:
+                value = a | b
+            else:
+                value = a ^ b
+            if rd:
+                iregs[rd] = value
+                ireg_writes.append((rd, value))
+
+        elif opcode in (isa.LI, isa.MULI, isa.SLL, isa.SRA):
+            if opcode == isa.LI:
+                rd, value = instruction[1], instruction[2]
+            else:
+                rd, ra, imm = instruction[1], instruction[2], instruction[3]
+                if opcode == isa.MULI:
+                    value = iregs[ra] * imm
+                elif opcode == isa.SLL:
+                    value = iregs[ra] << imm
+                else:
+                    value = iregs[ra] >> imm
+            if rd:
+                iregs[rd] = value
+                ireg_writes.append((rd, value))
+
+        elif opcode == isa.LW:
+            rd, ra, offset = instruction[1], instruction[2], instruction[3]
+            value = self.memory[self._mem_index(iregs[ra] + offset)]
+            if rd:
+                iregs[rd] = int(value)
+                ireg_writes.append((rd, iregs[rd]))
+
+        elif opcode == isa.SW:
+            rs, ra, offset = instruction[1], instruction[2], instruction[3]
+            index = self._mem_index(iregs[ra] + offset)
+            self.memory[index] = iregs[rs]
+            mem_writes.append((index, iregs[rs]))
+
+        elif opcode in isa.BRANCH_OPS:
+            ra, rb, target = instruction[1], instruction[2], instruction[3]
+            if isa.branch_taken(opcode, iregs[ra], iregs[rb]):
+                next_pc = target
+
+        elif opcode == isa.J:
+            next_pc = instruction[1]
+
+        elif opcode == isa.FCMP:
+            rd, fa, fb, cond = (instruction[1], instruction[2],
+                                instruction[3], instruction[4])
+            a, b = fregs[fa], fregs[fb]
+            if cond == isa.CMP_EQ:
+                flag = a == b
+            elif cond == isa.CMP_LT:
+                flag = a < b
+            else:
+                flag = a <= b
+            if rd:
+                iregs[rd] = 1 if flag else 0
+                ireg_writes.append((rd, iregs[rd]))
+
+        elif opcode == isa.NOP:
+            pass
+
+        elif opcode == isa.RFE:
+            if self.epc is not None:
+                next_pc = self.epc
+                self.epc = None
+            elif follow:
+                # The machine dispatched the interrupt; the reference only
+                # sees the committed stream.  Resync control flow at the
+                # next commit.
+                next_pc = None
+            else:
+                raise SimulationError(
+                    "reference executor: rfe outside an interrupt handler")
+
+        elif opcode == isa.HALT:
+            self.halted = True
+            next_pc = self.pc
+
+        else:
+            raise SimulationError(
+                "reference executor: unknown opcode %d" % opcode)
+
+        self.pc = next_pc
+        self.steps += 1
+        return {
+            "freg_writes": freg_writes,
+            "ireg_writes": ireg_writes,
+            "mem_writes": mem_writes,
+            "next_pc": next_pc,
+        }
+
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Standalone mode: execute the instruction at the current pc."""
+        if self.halted:
+            raise SimulationError("reference executor already halted")
+        if self.pc >= len(self.instructions):
+            raise SimulationError(
+                "reference executor: PC %d ran off the end" % self.pc)
+        return self.execute(self.instructions[self.pc])
+
+    def run(self, max_steps=10_000_000):
+        """Standalone mode: run from the current pc until HALT."""
+        while not self.halted:
+            if self.steps >= max_steps:
+                raise SimulationError(
+                    "reference executor exceeded %d steps" % max_steps)
+            self.step()
+        return self

@@ -1,0 +1,195 @@
+"""Seeded fault-injection smoke campaign.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.robustness.smoke --seeds 30 --seed 1989
+
+Each seed builds a fresh copy of a small deterministic vector workload,
+injects one randomly placed fault (seed-derived, reproducible), and runs
+it under the full detection stack: per-cycle invariant audits, the
+lockstep differential checker, and a final bit-exact state check.  Every
+run is classified:
+
+* **detected** -- a :class:`~repro.core.exceptions.SimulationError`
+  (divergence, invariant violation, or machine hazard) named the fault;
+* **masked** -- no error and the final architectural state is bit-exact
+  against the fault-free baseline (timing-only faults such as stalls and
+  cache-tag corruption land here, as do flips of dead state);
+* **silent** -- the state differs from the baseline and nothing noticed.
+
+Silent corruption is the only failure: the campaign exits non-zero and
+prints the exact command that reproduces the offending seed.
+"""
+
+import argparse
+import sys
+
+from repro.core.exceptions import SimulationError
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Memory
+from repro.robustness.differential import DifferentialChecker, bit_exact
+from repro.robustness.faults import KINDS, FaultPlan
+
+VL = 16
+A_BASE = 0          # words 0..15
+B_BASE = 128        # words 16..31
+C_BASE = 256        # words 32..47
+SUM_BASE = 512      # word 64
+MEMORY_WORDS = 66   # fault-injection address range (covers all data)
+
+
+def build_workload():
+    """A small, fully deterministic vector + scalar workload.
+
+    Loads two 16-element arrays, multiplies and adds them element-wise
+    with VL=16 FPU instructions, stores the result, then accumulates an
+    integer checksum over the stored words.  Exercises FPU loads/stores,
+    vector ALU sequencing, the scoreboard, and the integer data path --
+    every architectural structure the fault injector can touch.
+    """
+    builder = ProgramBuilder()
+    builder.li(1, A_BASE)
+    builder.li(2, B_BASE)
+    builder.li(3, C_BASE)
+    for i in range(VL):
+        builder.fload(i, 1, 8 * i)
+    for i in range(VL):
+        builder.fload(VL + i, 2, 8 * i)
+    builder.fmul(2 * VL, 0, VL, vl=VL)        # C[i] = A[i] * B[i]
+    builder.fadd(0, 2 * VL, VL, vl=VL)        # A'[i] = C[i] + B[i]
+    for i in range(VL):
+        builder.fstore(2 * VL + i, 3, 8 * i)
+    builder.li(4, 0)                          # k
+    builder.li(5, VL)                         # n
+    builder.li(6, 0)                          # checksum
+    builder.li(7, C_BASE)
+    top, close = builder.counted_loop(4, 5)
+    builder.lw(8, 7, 0)
+    builder.add(6, 6, 8)
+    builder.addi(7, 7, 8)
+    builder.addi(4, 4, 1)
+    close()
+    builder.sw(6, 0, SUM_BASE)
+    return builder.build()
+
+
+def build_memory():
+    memory = Memory(size_bytes=8192)
+    for i in range(VL):
+        # Exact binary fractions: products and sums stay exact, so the
+        # baseline is bit-reproducible across platforms.
+        memory.write(A_BASE + 8 * i, 1.5 + 0.25 * i)
+        memory.write(B_BASE + 8 * i, 0.75 + 0.125 * i)
+    return memory
+
+
+def make_machine(audit=False):
+    config = MachineConfig(audit_invariants=True) if audit else None
+    return MultiTitan(build_workload(), memory=build_memory(), config=config)
+
+
+def architectural_state(machine):
+    return {
+        "fregs": list(machine.fpu.regs.values),
+        "iregs": list(machine.iregs),
+        "memory": machine.memory.delta_snapshot(),
+        "psw": machine.fpu.regs.psw.state_dict(),
+    }
+
+
+def states_equal(a, b):
+    """Bit-exact architectural equality (0.0 vs -0.0 and int vs float
+    differences count as corruption)."""
+    for key in ("fregs", "iregs"):
+        if len(a[key]) != len(b[key]):
+            return False
+        for x, y in zip(a[key], b[key]):
+            if not bit_exact(x, y):
+                return False
+    mem_a, mem_b = a["memory"], b["memory"]
+    if mem_a["length"] != mem_b["length"]:
+        return False
+    if set(mem_a["words"]) != set(mem_b["words"]):
+        return False
+    for index, word in mem_a["words"].items():
+        if not bit_exact(word, mem_b["words"][index]):
+            return False
+    return a["psw"] == b["psw"]
+
+
+def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run):
+    """Run one seeded fault campaign; return (verdict, detail)."""
+    machine = make_machine(audit=True)
+    plan = FaultPlan.random(seed, max_cycle=baseline_cycles,
+                            count=faults_per_run, kinds=kinds,
+                            memory_words=MEMORY_WORDS)
+    machine.fault_plan = plan
+    checker = DifferentialChecker(machine)
+    try:
+        machine.run(max_cycles=10 * baseline_cycles + 1000)
+        checker.final_check()
+    except SimulationError as error:
+        return "detected", "%s: %s" % (type(error).__name__, error)
+    finally:
+        checker.detach()
+    if states_equal(architectural_state(machine), baseline):
+        return "masked", plan.describe()
+    return "silent", plan.describe()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="seeded fault-injection smoke campaign")
+    parser.add_argument("--seeds", type=int, default=30,
+                        help="number of seeds to run (default 30)")
+    parser.add_argument("--seed", type=int, default=1989,
+                        help="base seed; campaign runs seed..seed+seeds-1")
+    parser.add_argument("--faults", type=int, default=1,
+                        help="faults injected per run (default 1)")
+    parser.add_argument("--kinds", default=",".join(KINDS),
+                        help="comma-separated fault kinds (default: all)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every run, not just failures")
+    args = parser.parse_args(argv)
+
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind)
+    for kind in kinds:
+        if kind not in KINDS:
+            parser.error("unknown fault kind %r (choose from %s)"
+                         % (kind, ", ".join(KINDS)))
+
+    # Fault-free baseline: the golden final state and the cycle budget
+    # that bounds where faults may land.
+    golden = make_machine(audit=True)
+    result = golden.run()
+    baseline = architectural_state(golden)
+    baseline_cycles = result.completion_cycle
+    print("baseline: %d cycles, checksum word = %r"
+          % (baseline_cycles, golden.memory.read(SUM_BASE)))
+
+    counts = {"detected": 0, "masked": 0, "silent": 0}
+    failures = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        verdict, detail = run_seed(seed, baseline, baseline_cycles,
+                                   kinds, args.faults)
+        counts[verdict] += 1
+        if verdict == "silent":
+            failures.append(seed)
+        if args.verbose or verdict == "silent":
+            print("seed %d: %s\n  %s"
+                  % (seed, verdict.upper(), detail.replace("\n", "\n  ")))
+
+    print("campaign: %d seeds -> %d detected, %d masked, %d silent"
+          % (args.seeds, counts["detected"], counts["masked"],
+             counts["silent"]))
+    if failures:
+        for seed in failures:
+            print("reproduce with: python -m repro.robustness.smoke "
+                  "--seed %d --seeds 1 --verbose" % seed)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Differential self-checking: the cycle-level machine against the pure
+functional reference executor, on real workloads and under injected
+faults."""
+
+import pytest
+
+from repro.core.exceptions import DivergenceError
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.robustness import (
+    DifferentialChecker,
+    FaultPlan,
+    ReferenceExecutor,
+    bit_exact,
+    check_kernel,
+    run_differential,
+)
+from repro.workloads.graphics import (
+    POINT_BASE_REG,
+    RESULT_BASE_REG,
+    load_matrix,
+    reference_transform,
+    transform_program,
+)
+from repro.workloads.linpack import build_linpack
+from repro.workloads.livermore import build_loop
+
+
+def fast_config(**overrides):
+    return MachineConfig(model_ibuffer=False, **overrides)
+
+
+class TestBitExact:
+    def test_distinguishes_signed_zero_and_types(self):
+        assert bit_exact(1.5, 1.5)
+        assert not bit_exact(0.0, -0.0)
+        assert not bit_exact(1, 1.0)
+        assert bit_exact(float("nan"), float("nan"))
+        assert not bit_exact(float("nan"), float("-nan"))
+
+
+class TestReferenceStandalone:
+    def test_matches_machine_on_vector_scalar_mix(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.li(2, 256)
+        for i in range(8):
+            b.fload(i, 1, 8 * i)
+        b.fmul(8, 0, 0, vl=8)           # squares
+        b.fadd(16, 8, 0, vl=8)          # x^2 + x
+        for i in range(8):
+            b.fstore(16 + i, 2, 8 * i)
+        b.li(3, 0)
+        b.li(4, 8)
+        b.li(5, 0)
+        top = b.here("sum")
+        b.lw(6, 2, 0)
+        b.add(5, 5, 6)
+        b.addi(2, 2, 8)
+        b.addi(3, 3, 1)
+        b.blt(3, 4, top)
+        b.sw(5, 0, 512)
+        program = b.build()
+
+        def build_memory():
+            memory = Memory(size_bytes=4096)
+            for i in range(8):
+                memory.write(8 * i, 0.5 + 0.25 * i)
+            return memory
+
+        machine = MultiTitan(program, memory=build_memory(),
+                             config=fast_config())
+        machine.run()
+
+        reference = ReferenceExecutor(program.instructions,
+                                      memory_words=build_memory().words)
+        reference.run()
+
+        assert reference.halted
+        for register in range(52):
+            assert bit_exact(reference.fregs[register],
+                             machine.fpu.regs.values[register])
+        for register in range(32):
+            assert bit_exact(reference.iregs[register],
+                             machine.iregs[register])
+        for index, word in enumerate(reference.memory):
+            assert bit_exact(word, machine.memory.words[index])
+
+    def test_reference_models_overflow_abort(self):
+        """The reference truncates a vector at its first overflowing
+        element and records the PSW capture, like the hardware."""
+        b = ProgramBuilder()
+        b.fmul(16, 0, 8, vl=4)
+        program = b.build()
+        reference = ReferenceExecutor(program.instructions)
+        reference.fregs[0:4] = [1.0, 1e200, 3.0, 4.0]
+        reference.fregs[8:12] = [1.0, 1e200, 1.0, 1.0]
+        effects = reference.execute(program.instructions[0], pc=0)
+        assert effects["freg_writes"] == [(16, 1.0), (17, float("inf"))]
+        assert reference.psw_overflow
+        assert reference.psw_overflow_dest == 17
+        assert reference.psw_overflow_element == 1
+        assert reference.fregs[18] == 0.0
+
+
+class TestCleanWorkloads:
+    """Acceptance: the checker runs clean on every existing workload."""
+
+    @pytest.mark.parametrize("loop", [1, 3, 7, 12])
+    def test_livermore_loops(self, loop):
+        checker = check_kernel(build_loop(loop))
+        assert checker.commits > 0
+        assert checker.retirements > 0
+
+    def test_livermore_scalar_coding(self):
+        checker = check_kernel(build_loop(3, coding="scalar"))
+        assert checker.commits > 0
+
+    def test_linpack(self):
+        checker = check_kernel(build_linpack(8, "vector"))
+        assert checker.retirements > 0
+
+    def test_graphics_transform(self):
+        matrix = [[float(i * 4 + j + 1) for j in range(4)] for i in range(4)]
+        points = [[1.0, 2.0, 3.0, 1.0], [0.5, -1.0, 2.0, 1.0]]
+        memory = Memory()
+        arena = Arena(memory, base=64)
+        flat = [c for point in points for c in point]
+        in_base = arena.alloc_array(flat)
+        out_base = arena.alloc(4 * len(points))
+
+        def setup(machine):
+            machine.iregs[POINT_BASE_REG] = in_base
+            machine.iregs[RESULT_BASE_REG] = out_base
+            load_matrix(machine, matrix)
+
+        result, checker = run_differential(
+            transform_program(len(points)), memory=memory,
+            config=fast_config(), setup=setup)
+        assert checker.retirements > 0
+        for index, point in enumerate(points):
+            got = memory.read_block(out_base + 4 * index * WORD_BYTES, 4)
+            assert got == reference_transform(matrix, point)
+
+    def test_interrupt_handler_stream_is_checked_too(self):
+        """The reference follows the committed stream, so the handler's
+        instructions are verified without modelling interrupt timing."""
+        b = ProgramBuilder()
+        done = b.label("done")
+        b.fadd(2, 1, 0, vl=16)
+        b.j(done)
+        handler = b.here("handler")
+        b.addi(3, 3, 5)
+        b.rfe()
+        b.place(done)
+        b.halt()
+        program = b.build()
+
+        machine = MultiTitan(program, config=fast_config())
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        machine.schedule_interrupt(2, handler.index)
+        checker = DifferentialChecker(machine)
+        machine.run()
+        checker.final_check()
+        assert machine.iregs[3] == 5
+        assert checker.commits >= 5
+
+
+class TestFaultDetection:
+    def _vector_machine(self, trace=False):
+        b = ProgramBuilder()
+        b.fadd(8, 0, 0, vl=8)
+        b.halt()
+        machine = MultiTitan(b.build(), config=fast_config(trace=trace))
+        machine.fpu.regs.write_group(0, [float(i + 1) for i in range(8)])
+        return machine
+
+    def test_single_bit_fault_detected_within_one_retirement(self):
+        """Acceptance: a single-bit register flip is flagged at the first
+        retirement that consumed it -- not later."""
+        # Discover when element 5 (destination R13) issues, from a clean
+        # traced run; its source F5 is read in that same cycle.
+        probe = self._vector_machine(trace=True)
+        probe.run()
+        issue_cycle = next(cycle for kind, cycle, _seq, rr in probe.trace
+                           if kind == "element" and rr == 13)
+
+        machine = self._vector_machine()
+        plan = FaultPlan()
+        plan.flip_freg(issue_cycle, 5, 51)  # corrupt F5 as element 5 reads it
+        machine.fault_plan = plan
+        checker = DifferentialChecker(machine)
+        with pytest.raises(DivergenceError) as info:
+            machine.run()
+            checker.final_check()
+        error = info.value
+        assert error.register == 13
+        # Caught at exactly the faulty element's own retirement.
+        assert error.cycle == issue_cycle + machine.config.fpu_latency
+        assert not bit_exact(error.actual, error.expected)
+
+    def test_integer_fault_detected_at_commit(self):
+        b = ProgramBuilder()
+        b.li(1, 10)
+        b.addi(2, 1, 5)
+        b.addi(3, 2, 1)
+        b.halt()
+        machine = MultiTitan(b.build(), config=fast_config())
+        plan = FaultPlan()
+        plan.flip_ireg(1, 1, 3)  # corrupt r1 after li commits
+        machine.fault_plan = plan
+        checker = DifferentialChecker(machine)
+        with pytest.raises(DivergenceError) as info:
+            machine.run()
+            checker.final_check()
+        assert info.value.register in (1, 2, 3)
+
+    def test_memory_fault_detected(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.nop()
+        b.nop()
+        b.nop()
+        b.fload(0, 1, 0)
+        b.fstore(0, 1, 8)
+        b.halt()
+        memory = Memory(size_bytes=1024)
+        memory.write(0, 2.5)
+        machine = MultiTitan(b.build(), memory=memory, config=fast_config())
+        plan = FaultPlan()
+        plan.flip_memory(2, 0, 50)  # corrupt the word before the load
+        machine.fault_plan = plan
+        checker = DifferentialChecker(machine)
+        with pytest.raises(DivergenceError):
+            machine.run()
+            checker.final_check()
+
+    def test_fault_free_run_is_clean(self):
+        machine = self._vector_machine()
+        checker = DifferentialChecker(machine)
+        machine.run()
+        checker.final_check()
+        assert checker.retirements == 8
+
+    def test_detach_stops_checking(self):
+        machine = self._vector_machine()
+        checker = DifferentialChecker(machine)
+        checker.detach()
+        plan = FaultPlan()
+        plan.flip_freg(0, 3, 40)
+        machine.fault_plan = plan
+        machine.run()  # no divergence raised: hooks removed
+        assert checker.commits == 0

@@ -1,0 +1,476 @@
+"""The robustness harness: checkpoint/restore round-trips, fault
+injection, invariant audits, overflow restart, strict-hazard recovery,
+and machine-context error reporting."""
+
+import pytest
+
+from repro.core.exceptions import (
+    InvariantError,
+    SimulationError,
+    VectorHazardError,
+)
+from repro.cpu import isa
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import Program, ProgramBuilder
+from repro.robustness import FaultPlan, audit_invariants, flip_word_bit
+from repro.robustness import smoke
+from repro.robustness.faults import FaultEvent
+
+
+def machine_for(program, memory=None, **overrides):
+    config = MachineConfig(model_ibuffer=False, **overrides)
+    return MultiTitan(program, memory=memory, config=config)
+
+
+def recurrence_program():
+    """The section 2.3.1 VL=16 chained reduction: element k depends on
+    elements k-1 and k-2, so the vector drains over 48 cycles while the
+    CPU reaches HALT almost immediately."""
+    b = ProgramBuilder()
+    b.fadd(2, 1, 0, vl=16)
+    b.halt()
+    return b.build()
+
+
+def fibonacci(count):
+    values = [1.0, 1.0]
+    for _ in range(count):
+        values.append(values[-1] + values[-2])
+    return values
+
+
+class TestSnapshotRoundTrip:
+    def test_mid_vector_roundtrip_vl16_reduction(self):
+        """Acceptance: interrupt a VL=16 reduction mid-flight, snapshot,
+        restore into a fresh machine, and complete with identical results
+        and cycle counts."""
+        program = recurrence_program()
+
+        baseline = machine_for(program)
+        baseline.fpu.regs.write(0, 1.0)
+        baseline.fpu.regs.write(1, 1.0)
+        uninterrupted = baseline.run()
+        assert uninterrupted.completion_cycle == 48
+
+        paused = machine_for(program)
+        paused.fpu.regs.write(0, 1.0)
+        paused.fpu.regs.write(1, 1.0)
+        paused.run(stop_cycle=10)
+        assert paused.cycle == 10
+        snap = paused.snapshot()
+        # The snapshot caught the machine genuinely mid-vector.
+        assert snap["fpu"]["alu_ir"] is not None
+        assert 0 < snap["fpu"]["alu_ir"]["remaining"] < 16
+        assert any(snap["fpu"]["scoreboard"]["bits"])
+        assert snap["fpu"]["pending"]
+
+        restored = machine_for(program)
+        restored.restore(snap)
+        # Bit-exact round trip, including in-flight _AluState.
+        assert restored.snapshot() == snap
+
+        resumed = paused.run()
+        restarted = restored.run()
+        expected = fibonacci(16)
+        assert paused.fpu.regs.read_group(0, 18) == expected
+        assert restored.fpu.regs.read_group(0, 18) == expected
+        assert resumed.completion_cycle == 48
+        assert restarted.completion_cycle == 48
+
+    def test_roundtrip_with_pending_interrupt_and_handler(self):
+        """Snapshot/restore preserves EPC and the pending-interrupt queue:
+        a run paused before its interrupt fires still takes the handler."""
+        b = ProgramBuilder()
+        done = b.label("done")
+        b.fadd(2, 1, 0, vl=16)
+        b.j(done)
+        handler = b.here("handler")
+        b.addi(3, 3, 1)
+        b.rfe()
+        b.place(done)
+        b.halt()
+        program = b.build()
+
+        def fresh():
+            machine = machine_for(program)
+            machine.fpu.regs.write(0, 1.0)
+            machine.fpu.regs.write(1, 1.0)
+            machine.schedule_interrupt(2, handler.index)
+            return machine
+
+        baseline = fresh()
+        reference_result = baseline.run()
+
+        paused = fresh()
+        paused.run(stop_cycle=1)  # before the interrupt delivers
+        snap = paused.snapshot()
+        assert snap["interrupts"] == [(2, handler.index)]
+
+        restored = machine_for(program)
+        restored.restore(snap)
+        restored._interrupts = [tuple(e) for e in snap["interrupts"]]
+        result = restored.run()
+
+        assert restored.iregs[3] == 1  # handler still executed
+        assert restored.fpu.regs.read_group(0, 18) == fibonacci(16)
+        assert result.completion_cycle == reference_result.completion_cycle
+
+    def test_restore_rejects_different_program(self):
+        program = recurrence_program()
+        snap = machine_for(program).snapshot()
+        other = ProgramBuilder()
+        other.addi(1, 1, 1)
+        with pytest.raises(SimulationError, match="different program"):
+            machine_for(other.build()).restore(snap)
+
+    def test_restore_rejects_unknown_version(self):
+        program = recurrence_program()
+        machine = machine_for(program)
+        snap = machine.snapshot()
+        snap["version"] = 999
+        with pytest.raises(SimulationError, match="version"):
+            machine.restore(snap)
+
+    def test_restore_preserves_memory_word_types(self):
+        """The sparse memory delta keeps int-vs-float identity -- an
+        integer zero is captured even though ``0 == 0.0``."""
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.sw(1, 0, 8)       # memory word 1 becomes integer 0
+        b.halt()
+        program = b.build()
+        machine = machine_for(program)
+        machine.run()
+        snap = machine.snapshot()
+        assert snap["memory"]["words"][1] == 0
+        assert type(snap["memory"]["words"][1]) is int
+        restored = machine_for(program)
+        restored.restore(snap)
+        assert type(restored.memory.words[1]) is int
+
+
+class TestOverflowRestart:
+    """Section 2.3.3: the PSW pins the first overflowing element's Rr,
+    and the parked instruction-register state restarts from there."""
+
+    def _overflowing_machine(self):
+        b = ProgramBuilder()
+        b.fmul(16, 0, 8, vl=8)  # both sources strided
+        b.halt()
+        machine = machine_for(b.build())
+        a = [1.0, 2.0, 1e200, 4.0, 5.0, 6.0, 7.0, 8.0]
+        bv = [1.0, 1.0, 1e200, 1.0, 1.0, 1.0, 1.0, 1.0]
+        machine.fpu.regs.write_group(0, a)
+        machine.fpu.regs.write_group(8, bv)
+        return machine
+
+    def test_strided_vector_overflow_pins_first_rr(self):
+        machine = self._overflowing_machine()
+        machine.run()
+        psw = machine.fpu.regs.psw
+        assert psw.overflow
+        assert psw.overflow_dest == 18      # Rr of the first overflow
+        assert psw.overflow_element == 2
+        assert machine.fpu.regs.read(16) == 1.0
+        assert machine.fpu.regs.read(17) == 2.0
+        assert machine.fpu.regs.read(18) == float("inf")
+        # Elements after the overflowing one were discarded.
+        assert machine.fpu.regs.read_group(19, 5) == [0.0] * 5
+        assert machine.fpu.stats.overflow_aborts == 1
+
+    def test_broadcast_source_overflow_is_element_zero(self):
+        """Stride bits clear: the scalar-broadcast operands overflow on
+        the very first element."""
+        b = ProgramBuilder()
+        b.fmul(16, 0, 8, vl=4, sra=False, srb=False)
+        b.halt()
+        machine = machine_for(b.build())
+        machine.fpu.regs.write(0, 1e200)
+        machine.fpu.regs.write(8, 1e200)
+        machine.run()
+        psw = machine.fpu.regs.psw
+        assert (psw.overflow_dest, psw.overflow_element) == (16, 0)
+
+    def test_resume_aborted_restarts_from_overflowing_element(self):
+        machine = self._overflowing_machine()
+        machine.run()
+        fpu = machine.fpu
+        parked = fpu.aborted_ir
+        assert parked is not None
+        assert parked.rr == 18 and parked.element == 2
+        assert parked.remaining == 6
+
+        # The handler repairs the offending operands (the PSW names the
+        # element; the stride bits locate its sources) and resumes.
+        fpu.regs.write(2, 3.0)
+        fpu.regs.write(10, 1.0)
+        cycle = machine.cycle
+        fpu.resume_aborted(cycle)
+        while fpu.busy and cycle < machine.cycle + 100:
+            cycle += 1
+            fpu.retire(cycle)
+            fpu.try_issue_element(cycle)
+
+        assert not fpu.regs.psw.overflow
+        assert fpu.aborted_ir is None
+        # Elements 0-1 kept their pre-abort results; 2-7 completed.
+        assert fpu.regs.read_group(16, 8) == [1.0, 2.0, 3.0, 4.0,
+                                              5.0, 6.0, 7.0, 8.0]
+
+    def test_resume_without_abort_raises(self):
+        machine = machine_for(recurrence_program())
+        with pytest.raises(SimulationError, match="to resume"):
+            machine.fpu.resume_aborted(0)
+
+    def test_aborted_state_survives_snapshot(self):
+        machine = self._overflowing_machine()
+        machine.run()
+        snap = machine.snapshot()
+        assert snap["fpu"]["aborted_ir"]["rr"] == 18
+        restored = self._overflowing_machine()
+        restored.restore(snap)
+        assert restored.fpu.aborted_ir.rr == 18
+        assert restored.fpu.aborted_ir.remaining == 6
+
+
+class TestStrictHazards:
+    """Section 2.3.2 leaves load-vs-vector ordering to the compiler;
+    strict mode turns a violation into a diagnosable error, and the
+    machine stays restorable afterwards."""
+
+    def _hazard_program(self):
+        b = ProgramBuilder()
+        b.fadd(16, 8, 8, vl=8)  # consumes F8..F15 over 8 cycles
+        b.fload(12, 1, 0)       # F12 feeds a not-yet-issued element
+        b.halt()
+        return b.build()
+
+    def _reordered_program(self):
+        b = ProgramBuilder()
+        b.fload(12, 1, 0)       # hoisted ahead of the vector: deterministic
+        b.fadd(16, 8, 8, vl=8)
+        b.halt()
+        return b.build()
+
+    def _setup(self, machine):
+        machine.memory.write(0, 7.0)
+        machine.fpu.regs.write_group(8, [float(i) for i in range(1, 9)])
+
+    def test_strict_mode_flags_load_into_unissued_element(self):
+        machine = machine_for(self._hazard_program(), strict_hazards=True)
+        self._setup(machine)
+        with pytest.raises(VectorHazardError) as info:
+            machine.run()
+        error = info.value
+        # Stable message prefix plus appended machine context.
+        assert str(error).startswith("load of R12")
+        assert "overlaps an unissued element" in str(error)
+        assert "[cycle=" in str(error)
+        assert error.pc == 1
+        assert error.instruction[0] == isa.FLOAD
+
+    def test_same_program_passes_after_restore_and_reorder(self):
+        machine = machine_for(self._hazard_program(), strict_hazards=True)
+        self._setup(machine)
+        snap = machine.snapshot()
+        with pytest.raises(VectorHazardError):
+            machine.run()
+
+        # The error is precise: restoring the pre-run snapshot brings the
+        # machine back bit-exactly despite the aborted run.
+        machine.restore(snap)
+        assert machine.snapshot() == snap
+
+        # The compiler-reordered schedule of the same computation passes
+        # strict mode and produces the deterministic result.
+        reordered = machine_for(self._reordered_program(),
+                                strict_hazards=True)
+        self._setup(reordered)
+        reordered.run()
+        expected = [2.0, 4.0, 6.0, 8.0, 14.0, 12.0, 14.0, 16.0]
+        assert reordered.fpu.regs.read_group(16, 8) == expected
+        assert reordered.fpu.regs.read(12) == 7.0
+
+    def test_default_mode_records_warning_and_continues(self):
+        machine = machine_for(self._hazard_program())
+        self._setup(machine)
+        machine.run()
+        assert machine.fpu.hazard_warnings
+        assert "load of R12" in machine.fpu.hazard_warnings[0]
+
+
+class TestErrorContext:
+    """Every SimulationError out of the run loop carries cycle, PC, and
+    the offending instruction, with the original message as a stable
+    prefix."""
+
+    def test_pc_off_end(self):
+        program = Program([(isa.NOP,)], {})
+        machine = machine_for(program)
+        with pytest.raises(SimulationError) as info:
+            machine.run()
+        error = info.value
+        assert str(error).startswith("PC 1 ran off the end")
+        assert error.pc == 1
+        assert error.cycle >= 1
+        assert error.instruction is None
+
+    def test_rfe_outside_handler(self):
+        b = ProgramBuilder()
+        b.rfe()
+        machine = machine_for(b.build())
+        with pytest.raises(SimulationError) as info:
+            machine.run()
+        error = info.value
+        assert str(error).startswith("rfe outside an interrupt handler")
+        assert "[cycle=0 pc=0 instr=rfe]" in str(error)
+        assert error.instruction == (isa.RFE,)
+
+    def test_cycle_limit_exceeded(self):
+        b = ProgramBuilder()
+        loop = b.here("loop")
+        b.j(loop)
+        machine = machine_for(b.build())
+        with pytest.raises(SimulationError) as info:
+            machine.run(max_cycles=50)
+        error = info.value
+        assert str(error).startswith("simulation exceeded 50 cycles")
+        assert error.cycle == 50
+
+
+class TestFaultInjection:
+    def test_flip_word_bit_is_involutive(self):
+        value = 1.5
+        flipped = flip_word_bit(value, 51)
+        assert flipped != value
+        assert flip_word_bit(flipped, 51) == value
+        assert flip_word_bit(12, 3) == 4
+        assert flip_word_bit(-0.0, 63) == 0.0
+        with pytest.raises(SimulationError):
+            flip_word_bit(1.0, 64)
+
+    def test_random_plans_reproduce_from_seed(self):
+        first = FaultPlan.random(seed=1234, max_cycle=500, count=8,
+                                 kinds=("freg", "ireg", "memory", "stall"))
+        second = FaultPlan.random(seed=1234, max_cycle=500, count=8,
+                                  kinds=("freg", "ireg", "memory", "stall"))
+        assert [e.describe() for e in first.events] \
+            == [e.describe() for e in second.events]
+        assert first.seed == 1234
+        assert "seed=1234" in first.describe()
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown fault kind"):
+            FaultEvent(0, "alpha-particle")
+
+    def test_scoreboard_flip_caught_by_invariant_audit(self):
+        machine = machine_for(recurrence_program(), audit_invariants=True)
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        plan = FaultPlan()
+        plan.flip_scoreboard(5, 40)  # R40 is idle: reserved-but-unwritten
+        machine.fault_plan = plan
+        with pytest.raises(InvariantError, match="R40 is reserved"):
+            machine.run()
+        assert plan.fired_events
+
+    def test_stall_fault_is_architecturally_invisible(self):
+        program = recurrence_program()
+        clean = machine_for(program)
+        clean.fpu.regs.write(0, 1.0)
+        clean.fpu.regs.write(1, 1.0)
+        clean_result = clean.run()
+
+        stalled = machine_for(program)
+        stalled.fpu.regs.write(0, 1.0)
+        stalled.fpu.regs.write(1, 1.0)
+        plan = FaultPlan()
+        plan.stall(0, 25)
+        stalled.fault_plan = plan
+        stalled_result = stalled.run()
+
+        assert stalled.fpu.regs.read_group(0, 18) \
+            == clean.fpu.regs.read_group(0, 18)
+        assert stalled_result.completion_cycle \
+            >= clean_result.completion_cycle
+
+    def test_register_flip_mutates_live_register_file(self):
+        machine = machine_for(recurrence_program())
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        plan = FaultPlan()
+        plan.flip_freg(0, 40, 52)
+        machine.fault_plan = plan
+        machine.run()
+        assert machine.fpu.regs.read(40) == flip_word_bit(0.0, 52)
+
+
+class TestInvariantAudit:
+    def _machine(self):
+        machine = machine_for(recurrence_program())
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        return machine
+
+    def test_clean_strict_run_passes_every_cycle(self):
+        machine = machine_for(recurrence_program(), audit_invariants=True)
+        machine.fpu.regs.write(0, 1.0)
+        machine.fpu.regs.write(1, 1.0)
+        result = machine.run()
+        assert result.completion_cycle == 48
+        assert machine.fpu.regs.read_group(0, 18) == fibonacci(16)
+
+    def test_pending_write_without_reservation(self):
+        machine = self._machine()
+        machine.fpu._pending[10] = [(4, 1.0)]
+        with pytest.raises(InvariantError, match="reservation bit is clear"):
+            audit_invariants(machine, 0)
+
+    def test_double_write_in_flight(self):
+        machine = self._machine()
+        machine.fpu.scoreboard.bits[4] = True
+        machine.fpu._pending[10] = [(4, 1.0), (4, 2.0)]
+        with pytest.raises(InvariantError, match="two writes in flight"):
+            audit_invariants(machine, 0)
+
+    def test_malformed_inflight_vector_state(self):
+        machine = self._machine()
+        machine.run(stop_cycle=5)
+        machine.fpu.alu_ir.remaining = 0
+        with pytest.raises(InvariantError, match="outside 1..vl"):
+            audit_invariants(machine, 5)
+
+    def test_reservation_ram_write_port_budget(self):
+        """At most one ALU result and one load may retire together: three
+        writes in one cycle exceed the single-ended clear ports."""
+        machine = self._machine()
+        machine.fpu.scoreboard.bits[30] = True
+        machine.fpu.scoreboard.bits[31] = True
+        machine.fpu.scoreboard.bits[32] = True
+        machine.fpu._pending[10] = [(30, 1.0), (31, 2.0), (32, 3.0)]
+        with pytest.raises(InvariantError, match="at most two bits"):
+            audit_invariants(machine, 0)
+
+    def test_stale_pending_write_detected(self):
+        machine = self._machine()
+        machine.fpu.scoreboard.bits[30] = True
+        machine.fpu._pending[3] = [(30, 1.0)]
+        with pytest.raises(InvariantError, match="already-elapsed"):
+            audit_invariants(machine, 20)
+
+    def test_corrupted_register_value_type(self):
+        machine = self._machine()
+        machine.fpu.regs.values[9] = "garbage"
+        with pytest.raises(InvariantError, match="non-architectural"):
+            audit_invariants(machine, 0)
+
+
+class TestSmokeCampaign:
+    def test_short_campaign_has_no_silent_corruption(self, capsys):
+        assert smoke.main(["--seeds", "6", "--seed", "1989"]) == 0
+        out = capsys.readouterr().out
+        assert "0 silent" in out
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            smoke.main(["--kinds", "gamma-ray"])
