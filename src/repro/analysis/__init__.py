@@ -10,8 +10,18 @@ from repro.analysis.metrics import (
     time_vector_op,
 )
 from repro.analysis.report import render_curve, render_table
-from repro.analysis.timeline import element_issue_cycles, occupancy, render_timeline
-from repro.analysis.utilization import analyze, stall_breakdown, utilization_report
+from repro.analysis.timeline import (
+    TimelineObserver,
+    element_issue_cycles,
+    occupancy,
+    render_timeline,
+)
+from repro.analysis.utilization import (
+    UtilizationObserver,
+    analyze,
+    stall_breakdown,
+    utilization_report,
+)
 from repro.analysis.storage import (
     CLASSICAL_TOTAL,
     CLASSICAL_VECTOR,
@@ -25,6 +35,8 @@ from repro.analysis.storage import (
 __all__ = [
     "CLASSICAL_TOTAL",
     "CLASSICAL_VECTOR",
+    "TimelineObserver",
+    "UtilizationObserver",
     "analyze",
     "element_issue_cycles",
     "occupancy",

@@ -1,15 +1,51 @@
 """Render pipeline timelines in the style of the paper's Figures 5-8/13.
 
-Enable tracing with ``MachineConfig(trace=True)``; after a run,
-``machine.trace`` holds ``("alu", cycle, seq, instruction)`` acceptance
-events, ``("element", cycle, seq, rr)`` FPU element issues, and
-``("load"/"store", cycle, register)`` memory-port events.
+Trace events come off the machine's event bus (:mod:`repro.core.events`):
+``("alu", cycle, seq, instruction)`` acceptance events, ``("element",
+cycle, seq, rr)`` FPU element issues, and ``("load"/"store", cycle,
+register)`` memory-port events.  Either enable ``MachineConfig(
+trace=True)`` and read ``machine.trace`` after a run, or attach a
+:class:`TimelineObserver` to any machine's bus directly.
 :func:`render_timeline` turns the trace into an ASCII chart: one row per
 ALU instruction (transfer marked ``T``, element issues ``E``, occupancy
 ``=``), plus a row for the Load/Store instruction register.
 """
 
+from repro.core.events import TraceRecorder
 from repro.cpu import isa
+
+
+class TimelineObserver:
+    """Collect a renderable pipeline trace by subscribing to a machine's
+    event bus -- no ``MachineConfig(trace=True)`` needed.
+
+    Usage::
+
+        observer = TimelineObserver(machine)   # before machine.run()
+        machine.run()
+        print(observer.render())
+        observer.detach()
+    """
+
+    def __init__(self, machine):
+        self._recorder = TraceRecorder()
+        self._bus = machine.events
+        self._recorder.attach(self._bus)
+
+    @property
+    def trace(self):
+        """The recorded trace events (tuple-compatible, in bus order)."""
+        return self._recorder.events
+
+    def detach(self):
+        """Stop observing; the recorded trace stays readable."""
+        if self._bus is not None:
+            self._recorder.detach(self._bus)
+            self._bus = None
+
+    def render(self, max_cycles=None, label_width=28):
+        return render_timeline(self.trace, max_cycles=max_cycles,
+                               label_width=label_width)
 
 
 def _alu_rows(trace):

@@ -5,7 +5,9 @@ and one load/store may issue per cycle.  Given a traced run
 (``MachineConfig(trace=True)``), :func:`analyze` reports how full each
 issue slot actually was, the dual-issue rate, and a stall breakdown from
 the machine statistics -- the numbers behind statements like "a peak
-issue rate of two operations per cycle".
+issue rate of two operations per cycle".  For long runs,
+:class:`UtilizationObserver` subscribes to the machine's event bus and
+accumulates the same counts incrementally, without storing a trace.
 """
 
 from dataclasses import dataclass
@@ -37,6 +39,53 @@ class Utilization:
     @property
     def dual_issue_rate(self):
         return self.dual_issue_cycles / self.cycles if self.cycles else 0.0
+
+
+class UtilizationObserver:
+    """Accumulate issue-slot occupancy straight off a machine's event bus.
+
+    Unlike :func:`analyze`, which post-processes a recorded trace, this
+    observer counts as events are published, so utilization of an
+    arbitrarily long run costs O(distinct busy cycles) memory and no
+    trace buffer.  Attach before ``machine.run()``::
+
+        observer = UtilizationObserver(machine)
+        result = machine.run()
+        print(observer.result(result.completion_cycle).operations_per_cycle)
+        observer.detach()
+    """
+
+    def __init__(self, machine):
+        self._bus = machine.events
+        self._alu_cycles = set()
+        self._memory_cycles = set()
+        self.memory_ops = 0
+        self._bus.subscribe("element", self._on_element)
+        self._bus.subscribe("load", self._on_memory)
+        self._bus.subscribe("store", self._on_memory)
+
+    def _on_element(self, event):
+        self._alu_cycles.add(event[1])
+
+    def _on_memory(self, event):
+        self.memory_ops += 1
+        self._memory_cycles.add(event[1])
+
+    def detach(self):
+        if self._bus is not None:
+            self._bus.unsubscribe("element", self._on_element)
+            self._bus.unsubscribe("load", self._on_memory)
+            self._bus.unsubscribe("store", self._on_memory)
+            self._bus = None
+
+    def result(self, cycles):
+        """The accumulated :class:`Utilization` over ``cycles``."""
+        return Utilization(
+            cycles=max(cycles, 1),
+            alu_elements=len(self._alu_cycles),
+            memory_ops=self.memory_ops,
+            dual_issue_cycles=len(self._alu_cycles & self._memory_cycles),
+        )
 
 
 def analyze(trace, cycles):

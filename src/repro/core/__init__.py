@@ -10,7 +10,13 @@ Public surface:
 * :class:`repro.core.scoreboard.Scoreboard` -- the write reservation table.
 * :mod:`repro.core.functional_units` -- pipelined add/multiply/reciprocal.
 * :mod:`repro.core.types` -- operation enums and semantics (Figure 4).
+* :mod:`repro.core.semantics` -- the single source of per-opcode
+  architectural effects plus program predecoding (shared by the cycle
+  loop and the functional reference).
+* :mod:`repro.core.events` -- the typed event bus machines publish on.
 """
+
+from repro.core.events import EventBus, TraceRecorder
 
 from repro.core.encoding import (
     AluInstruction,
@@ -49,6 +55,7 @@ __all__ = [
     "AssemblerError",
     "CYCLE_TIME_NS",
     "EncodingError",
+    "EventBus",
     "FLOP_OPS",
     "FUNCTIONAL_UNIT_LATENCY",
     "Fpu",
@@ -67,6 +74,7 @@ __all__ = [
     "STORAGE_BITS",
     "Scoreboard",
     "SimulationError",
+    "TraceRecorder",
     "UNARY_OPS",
     "Unit",
     "VectorHazardError",

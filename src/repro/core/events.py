@@ -1,0 +1,242 @@
+"""A typed event bus for the execution core.
+
+The cycle simulator used to communicate with its observers through two
+ad-hoc channels: a ``trace`` list of bare tuples (``("alu", cycle, seq,
+instr)``) and a pair of mutable hook attributes (``commit_hook`` /
+``retire_hook``).  This module replaces both with one structured
+mechanism: the machine publishes typed :class:`Event` objects on an
+:class:`EventBus`, and observers (timeline rendering, utilization
+analysis, the differential checker, user code) subscribe by kind.
+
+Events are ``tuple`` subclasses whose first element is the kind string,
+so every consumer of the old trace tuples -- ``event[0] == "alu"``,
+``_, cycle, seq, instr = event`` -- keeps working verbatim while new
+code reads named fields (``event.cycle``, ``event.seq``).
+
+Performance contract: the hot loop asks the bus for a per-kind
+*publisher* callable once per run (:meth:`EventBus.publisher`) and gets
+``None`` when nobody is listening, so an unobserved run constructs no
+event objects at all.  Subscribe before calling ``run()``;
+subscriptions made mid-run take effect on the next run.
+"""
+
+
+class Event(tuple):
+    """Base class: a structured event that still behaves like the
+    legacy ``(kind, ...)`` trace tuple."""
+
+    __slots__ = ()
+
+    @property
+    def kind(self):
+        return self[0]
+
+    @property
+    def cycle(self):
+        return self[1]
+
+    def __repr__(self):
+        return "%s%s" % (type(self).__name__, tuple(self))
+
+
+class AluTransferEvent(Event):
+    """An FPU ALU instruction transferred into the ALU IR.
+
+    Fields: ``("alu", cycle, seq, instruction)``.
+    """
+
+    __slots__ = ()
+    KIND = "alu"
+
+    def __new__(cls, cycle, seq, instruction):
+        return tuple.__new__(cls, ("alu", cycle, seq, instruction))
+
+    @property
+    def seq(self):
+        return self[2]
+
+    @property
+    def instruction(self):
+        return self[3]
+
+
+class ElementIssueEvent(Event):
+    """One vector element issued by the FPU sequencer.
+
+    Fields: ``("element", cycle, seq, register)``.
+    """
+
+    __slots__ = ()
+    KIND = "element"
+
+    def __new__(cls, cycle, seq, register):
+        return tuple.__new__(cls, ("element", cycle, seq, register))
+
+    @property
+    def seq(self):
+        return self[2]
+
+    @property
+    def register(self):
+        return self[3]
+
+
+class LoadIssueEvent(Event):
+    """An FPU load issued on the memory port.
+
+    Fields: ``("load", cycle, register)``.
+    """
+
+    __slots__ = ()
+    KIND = "load"
+
+    def __new__(cls, cycle, register):
+        return tuple.__new__(cls, ("load", cycle, register))
+
+    @property
+    def register(self):
+        return self[2]
+
+
+class StoreIssueEvent(Event):
+    """An FPU store issued on the memory port.
+
+    Fields: ``("store", cycle, register)``.
+    """
+
+    __slots__ = ()
+    KIND = "store"
+
+    def __new__(cls, cycle, register):
+        return tuple.__new__(cls, ("store", cycle, register))
+
+    @property
+    def register(self):
+        return self[2]
+
+
+class CommitEvent(Event):
+    """A CPU instruction committed (what the old ``commit_hook`` saw).
+
+    Fields: ``("commit", cycle, pc, instruction)``.
+    """
+
+    __slots__ = ()
+    KIND = "commit"
+
+    def __new__(cls, cycle, pc, instruction):
+        return tuple.__new__(cls, ("commit", cycle, pc, instruction))
+
+    @property
+    def pc(self):
+        return self[2]
+
+    @property
+    def instruction(self):
+        return self[3]
+
+
+class RetireEvent(Event):
+    """FPU register writebacks completing in one cycle (the old
+    ``retire_hook``).
+
+    Fields: ``("retire", cycle, writes)`` where ``writes`` is a list of
+    ``(register, value)`` in writeback order.
+    """
+
+    __slots__ = ()
+    KIND = "retire"
+
+    def __new__(cls, cycle, writes):
+        return tuple.__new__(cls, ("retire", cycle, writes))
+
+    @property
+    def writes(self):
+        return self[2]
+
+
+#: All kinds published by the execution core, in rough frequency order.
+EVENT_KINDS = (
+    ElementIssueEvent.KIND,
+    CommitEvent.KIND,
+    LoadIssueEvent.KIND,
+    StoreIssueEvent.KIND,
+    AluTransferEvent.KIND,
+    RetireEvent.KIND,
+)
+
+#: The kinds that make up a pipeline trace (what ``machine.trace``
+#: records when ``MachineConfig(trace=True)``).
+TRACE_KINDS = ("alu", "element", "load", "store")
+
+
+class EventBus:
+    """Kind-keyed publish/subscribe with zero cost when idle."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self):
+        self._subscribers = {}
+
+    def subscribe(self, kind, callback):
+        """Register ``callback`` for events of ``kind``; returns the
+        callback so it can be kept for :meth:`unsubscribe`."""
+        if kind not in EVENT_KINDS:
+            raise ValueError("unknown event kind %r (expected one of %s)"
+                             % (kind, ", ".join(EVENT_KINDS)))
+        self._subscribers.setdefault(kind, []).append(callback)
+        return callback
+
+    def unsubscribe(self, kind, callback):
+        """Remove one subscription; ignores callbacks not subscribed."""
+        callbacks = self._subscribers.get(kind)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+            if not callbacks:
+                del self._subscribers[kind]
+
+    def has_subscribers(self, kind):
+        return bool(self._subscribers.get(kind))
+
+    def publisher(self, kind):
+        """A callable delivering one event to ``kind``'s subscribers, or
+        ``None`` when there are none (hot-loop fast path)."""
+        callbacks = self._subscribers.get(kind)
+        if not callbacks:
+            return None
+        if len(callbacks) == 1:
+            return callbacks[0]
+        snapshot = tuple(callbacks)
+
+        def fanout(event):
+            for callback in snapshot:
+                callback(event)
+
+        return fanout
+
+    def publish(self, event):
+        """Deliver one event immediately (observer-side convenience; the
+        hot loop uses :meth:`publisher`)."""
+        callbacks = self._subscribers.get(event[0])
+        if callbacks:
+            for callback in tuple(callbacks):
+                callback(event)
+
+
+class TraceRecorder:
+    """A subscriber that accumulates trace events into a plain list --
+    the implementation behind ``MachineConfig(trace=True)``."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events = []
+
+    def attach(self, bus, kinds=TRACE_KINDS):
+        for kind in kinds:
+            bus.subscribe(kind, self.events.append)
+        return self
+
+    def detach(self, bus, kinds=TRACE_KINDS):
+        for kind in kinds:
+            bus.unsubscribe(kind, self.events.append)

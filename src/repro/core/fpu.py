@@ -15,6 +15,7 @@ reductions and recurrences vectorize.
 """
 
 from repro.core.encoding import AluInstruction, NUM_REGISTERS
+from repro.core.events import ElementIssueEvent
 from repro.core.exceptions import SimulationError, VectorHazardError
 from repro.core.functional_units import FUNCTIONAL_UNIT_LATENCY, UNIT_OF_OP, make_units
 from repro.core.registers import RegisterFile
@@ -98,9 +99,10 @@ class Fpu:
         # of section 2.3.3: a handler repairs the operands and calls
         # :meth:`resume_aborted`.
         self.aborted_ir = None
-        # Optional event trace: list of (kind, cycle, ...) tuples appended
-        # by the issue logic when enabled (see repro.analysis.timeline).
-        self.trace = None
+        # Optional observer: a callable receiving an ElementIssueEvent for
+        # every issued element, or None (the execution core installs the
+        # event bus's "element" publisher here at the start of each run).
+        self.emit_element = None
         # Writes in flight: cycle -> list of (register, value, unit_name).
         self._pending = {}
 
@@ -190,8 +192,8 @@ class Fpu:
         self.units[UNIT_OF_OP[op]].issue_count += 1
         self.scoreboard.reserve(rr, cycle)
         self._pending.setdefault(cycle + self.latency, []).append((rr, result))
-        if self.trace is not None:
-            self.trace.append(("element", cycle, state.seq, rr))
+        if self.emit_element is not None:
+            self.emit_element(ElementIssueEvent(cycle, state.seq, rr))
         self.stats.elements_issued += 1
         if op in FLOP_OPS:
             self.stats.flops += 1

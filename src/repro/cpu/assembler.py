@@ -94,6 +94,18 @@ def assemble(source):
             labels[name] = builder.label(name)
         return labels[name]
 
+    def get_target(token, line_number):
+        """A branch/jump target: label name, or absolute index as
+        ``@N``/``N`` (the disassembler's notation round-trips)."""
+        token = token.strip()
+        text = token[1:] if token.startswith("@") else token
+        if text.isdigit():
+            return int(text)
+        if token.startswith("@"):
+            raise AssemblerError("line %d: bad branch target %r"
+                                 % (line_number, token))
+        return get_label(token)
+
     for line_number, raw_line in enumerate(source.splitlines(), start=1):
         line = raw_line.split(";")[0].split("#")[0].strip()
         if not line:
@@ -112,6 +124,8 @@ def assemble(source):
             builder.nop()
         elif mnemonic == "halt":
             builder.halt()
+        elif mnemonic == "rfe":
+            builder.rfe()
         elif mnemonic == "li":
             builder.li(_int_reg(operands[0], line_number),
                        _immediate(operands[1], line_number))
@@ -144,9 +158,9 @@ def assemble(source):
                     "bge": builder.bge, "ble": builder.ble, "bgt": builder.bgt}
             emit[mnemonic](_int_reg(operands[0], line_number),
                            _int_reg(operands[1], line_number),
-                           get_label(operands[2]))
+                           get_target(operands[2], line_number))
         elif mnemonic == "j":
-            builder.j(get_label(operands[0]))
+            builder.j(get_target(operands[0], line_number))
         elif mnemonic.startswith("fcmp"):
             cond_name = mnemonic.split(".")[-1] if "." in mnemonic else "lt"
             cond = {"eq": isa.CMP_EQ, "lt": isa.CMP_LT, "le": isa.CMP_LE}.get(cond_name)

@@ -63,18 +63,12 @@ OPCODE_NAMES = {
     FALU: "falu", FCMP: "fcmp", RFE: "rfe",
 }
 
-_BRANCH_TEST = {
-    BEQ: lambda a, b: a == b,
-    BNE: lambda a, b: a != b,
-    BLT: lambda a, b: a < b,
-    BGE: lambda a, b: a >= b,
-    BLE: lambda a, b: a <= b,
-    BGT: lambda a, b: a > b,
-}
-
-
 def branch_taken(opcode, a, b):
-    return _BRANCH_TEST[opcode](a, b)
+    """Whether a branch opcode is taken (convenience re-dispatch into
+    :mod:`repro.core.semantics`, the single home of branch conditions;
+    imported lazily because semantics itself imports this module)."""
+    from repro.core.semantics import BRANCH_TESTS
+    return BRANCH_TESTS[opcode](a, b)
 
 
 def disassemble(instruction, index=None):

@@ -1,5 +1,12 @@
 """The MultiTitan system simulator: CPU + FPU + caches, cycle by cycle.
 
+This module owns the machine's *state* (registers, caches, snapshots,
+interrupts) and its configuration; the cycle-by-cycle behaviour lives in
+the staged execution core, :mod:`repro.cpu.pipeline`, and the
+architectural per-opcode semantics in :mod:`repro.core.semantics`.
+Observers attach through the typed event bus at ``machine.events``
+(:mod:`repro.core.events`).
+
 Timing contract (calibrated against Figures 5-9 and 13 of WRL 89/8; the
 figure tests assert the published cycle counts exactly):
 
@@ -17,10 +24,13 @@ figure tests assert the published cycle counts exactly):
 
 from dataclasses import dataclass
 
+from repro.core import semantics
+from repro.core.events import EventBus, TraceRecorder
 from repro.core.exceptions import SimulationError
-from repro.core.fpu import Fpu, _AluState
+from repro.core.fpu import Fpu
 from repro.core.functional_units import CYCLE_TIME_NS, FUNCTIONAL_UNIT_LATENCY
 from repro.cpu import isa
+from repro.cpu.pipeline import ExecutionCore, MachineStats, RunResult  # noqa: F401  (re-exported)
 from repro.mem.cache import data_cache, instruction_buffer
 from repro.mem.memory import Memory
 
@@ -57,58 +67,13 @@ class MachineConfig:
     max_cycles: int = 200_000_000
 
 
-@dataclass
-class MachineStats:
-    """Counters accumulated over one run."""
-
-    cycles: int = 0
-    instructions: int = 0
-    integer_instructions: int = 0
-    branch_instructions: int = 0
-    taken_branches: int = 0
-    fpu_loads: int = 0
-    fpu_stores: int = 0
-    falu_transfers: int = 0
-    stall_alu_ir_busy: int = 0
-    stall_scoreboard: int = 0
-    stall_vector_interlock: int = 0
-    stall_port: int = 0
-    stall_int_delay: int = 0
-    stall_dcache_miss_cycles: int = 0
-    stall_ibuf_miss_cycles: int = 0
-
-    def as_dict(self):
-        return dict(self.__dict__)
-
-    def load_state(self, state):
-        for key, value in state.items():
-            setattr(self, key, value)
-
-
-@dataclass
-class RunResult:
-    """Outcome of :meth:`MultiTitan.run`."""
-
-    halt_cycle: int
-    completion_cycle: int
-    stats: MachineStats
-    fpu_stats: "FpuStats"
-    dcache_hits: int
-    dcache_misses: int
-
-    def elapsed_seconds(self, cycle_time_ns=CYCLE_TIME_NS):
-        return self.completion_cycle * cycle_time_ns * 1e-9
-
-    def mflops(self, nominal_flops, cycle_time_ns=CYCLE_TIME_NS):
-        """MFLOPS from a nominal flop count at the machine clock."""
-        seconds = self.elapsed_seconds(cycle_time_ns)
-        if seconds <= 0:
-            return 0.0
-        return nominal_flops / seconds / 1e6
-
-
 class MultiTitan:
-    """One MultiTitan processor: CPU chip + FPU chip + caches."""
+    """One MultiTitan processor: CPU chip + FPU chip + caches.
+
+    Warm-cache measurements run the program twice via
+    :func:`repro.workloads.common.run_cold_and_warm` (caches and memory
+    survive :meth:`reset_cpu`); there is no separate cache-preload step.
+    """
 
     def __init__(self, program, memory=None, config=None):
         self.config = config or MachineConfig()
@@ -135,13 +100,15 @@ class MultiTitan:
         self.icache = DirectMappedCache(
             self.config.icache_size, self.config.ibuf_line,
             miss_penalty=self.config.ibuf_miss_penalty, name="instruction-L2")
-        # Harness attachments (repro.robustness); survive reset_cpu().
-        # fault_plan injects perturbations at chosen cycles; commit_hook
-        # fires after each committed CPU instruction; retire_hook fires
-        # for each FPU register writeback.
+        # Observers subscribe here (repro.core.events): "alu" / "element"
+        # / "load" / "store" trace events plus "commit" and "retire".
+        # Subscribe before run(); publishers are resolved at run start.
+        self.events = EventBus()
+        self._trace_recorder = None
+        # Harness attachment (repro.robustness): fault_plan injects
+        # perturbations at chosen cycles; it survives reset_cpu().
         self.fault_plan = None
-        self.commit_hook = None
-        self.retire_hook = None
+        self.core = ExecutionCore(self)
         self.reset_cpu()
 
     # ------------------------------------------------------------------
@@ -152,16 +119,46 @@ class MultiTitan:
         self.pc = 0
         self.iregs = [0] * isa.NUM_INT_REGISTERS
         self.ireg_ready = [0] * isa.NUM_INT_REGISTERS
-        self.port_free = 0
-        self.cpu_ready = 0
         self.halted = False
         self.stats = MachineStats()
         self.fpu.reset()
-        self.trace = [] if self.config.trace else None
-        self.fpu.trace = self.trace
+        self.core.reset()
+        if self._trace_recorder is not None:
+            self._trace_recorder.detach(self.events)
+            self._trace_recorder = None
+        if self.config.trace:
+            self._trace_recorder = TraceRecorder().attach(self.events)
+            self.trace = self._trace_recorder.events
+        else:
+            self.trace = None
         self._alu_seq = 0
         self.epc = None
         self._interrupts = []  # (cycle, handler_pc), soonest first
+
+    @property
+    def decoded(self):
+        """The predecoded program (see :mod:`repro.core.semantics`)."""
+        return self.program.decoded
+
+    # Issue and memory-port readiness live on their pipeline stages; these
+    # delegating properties keep the machine's historical surface (tests,
+    # snapshots, and the robustness harness read/write them here).
+
+    @property
+    def cpu_ready(self):
+        return self.core.issue.cpu_ready
+
+    @cpu_ready.setter
+    def cpu_ready(self, value):
+        self.core.issue.cpu_ready = value
+
+    @property
+    def port_free(self):
+        return self.core.mem_port.port_free
+
+    @port_free.setter
+    def port_free(self, value):
+        self.core.mem_port.port_free = value
 
     def schedule_interrupt(self, cycle, handler_pc):
         """Deliver an interrupt: at (or after) ``cycle`` the CPU saves its
@@ -172,17 +169,14 @@ class MultiTitan:
         self._interrupts.append((cycle, handler_pc))
         self._interrupts.sort()
 
-    def warm_caches(self):
-        """Mark every line that currently maps as present (a warm start
-        approximated by preloading nothing -- prefer running the program
-        twice via :func:`run_cold_then_warm`)."""
-        raise NotImplementedError("run the program twice instead")
-
     # ------------------------------------------------------------------
     # Checkpoint / restore (repro.robustness)
     # ------------------------------------------------------------------
 
-    SNAPSHOT_VERSION = 1
+    # Version 2: program identity is a SHA-256 digest of the instruction
+    # stream (version 1 used Python's process-salted hash(), which never
+    # validated across processes).
+    SNAPSHOT_VERSION = 2
 
     def snapshot(self):
         """Capture the complete architectural state as plain data.
@@ -194,12 +188,15 @@ class MultiTitan:
         and TLB tags, and a sparse memory delta.  ``restore`` of the
         result into a machine running the same program round-trips
         bit-exactly, even mid-vector -- the paper's restartable-state
-        claim (sections 2.3.1-2.3.3) made executable.
+        claim (sections 2.3.1-2.3.3) made executable.  The snapshot is
+        plain data keyed by a stable program digest, so it may be
+        serialized and restored in a different Python process.
         """
         return {
             "version": self.SNAPSHOT_VERSION,
             "program_length": len(self.program.instructions),
-            "program_hash": hash(tuple(self.program.instructions)),
+            "program_digest": semantics.program_digest(
+                self.program.instructions),
             "cycle": self.cycle,
             "pc": self.pc,
             "epc": self.epc,
@@ -227,12 +224,20 @@ class MultiTitan:
         captured cycle and completes with the same results and cycle
         counts as an uninterrupted run.
         """
-        if snapshot.get("version") != self.SNAPSHOT_VERSION:
+        version = snapshot.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            if version == 1:
+                raise SimulationError(
+                    "snapshot version 1 not supported: its program_hash "
+                    "was process-salted and cannot be validated; re-take "
+                    "the snapshot with this build (version %d)"
+                    % self.SNAPSHOT_VERSION)
             raise SimulationError(
-                "snapshot version %r not supported" % (snapshot.get("version"),))
+                "snapshot version %r not supported (expected %d)"
+                % (version, self.SNAPSHOT_VERSION))
         if (snapshot["program_length"] != len(self.program.instructions)
-                or snapshot["program_hash"]
-                != hash(tuple(self.program.instructions))):
+                or snapshot["program_digest"]
+                != semantics.program_digest(self.program.instructions)):
             raise SimulationError(
                 "snapshot was taken from a different program")
         self.cycle = snapshot["cycle"]
@@ -292,463 +297,4 @@ class MultiTitan:
         subsequent ``run()`` -- or a :meth:`restore` of a
         :meth:`snapshot` into a fresh machine -- resumes from there.
         """
-        limit = max_cycles or self.config.max_cycles
-        config = self.config
-        stats = self.stats
-        fpu = self.fpu
-        memory_words = self.memory.words
-        memory = self.memory
-        instructions = self.program.instructions
-        iregs = self.iregs
-        ireg_ready = self.ireg_ready
-        sb_bits = fpu.scoreboard.bits
-        dcache = self.dcache
-        ibuf = self.ibuf
-        model_ibuffer = config.model_ibuffer
-        model_tlb = config.model_tlb
-        tlb = self.tlb
-        store_cycles = config.store_port_cycles
-        taken_cost = config.taken_branch_cycles
-        program_length = len(instructions)
-
-        cycle = self.cycle
-        pc = self.pc
-        halted = self.halted
-        halt_cycle = None
-        cpu_ready = self.cpu_ready
-        port_free = self.port_free
-        pending = fpu._pending
-        FALU, FLOAD, FSTORE = isa.FALU, isa.FLOAD, isa.FSTORE
-        LW, SW, LI, ADD, ADDI, SUB = isa.LW, isa.SW, isa.LI, isa.ADD, isa.ADDI, isa.SUB
-        MUL, MULI, SLL, SRA = isa.MUL, isa.MULI, isa.SLL, isa.SRA
-        AND_, OR_, XOR = isa.AND, isa.OR, isa.XOR
-        BEQ, BNE, BLT, BGE, BLE, BGT = (isa.BEQ, isa.BNE, isa.BLT, isa.BGE,
-                                        isa.BLE, isa.BGT)
-        J, HALT, NOP, FCMP = isa.J, isa.HALT, isa.NOP, isa.FCMP
-
-        faults = self.fault_plan
-        commit_hook = self.commit_hook
-        retire_hook = self.retire_hook
-        audit = None
-        if config.audit_invariants:
-            from repro.robustness.invariants import audit_invariants
-            audit = audit_invariants
-
-        last_retire_cycle = 0
-        stopped = False
-        while cycle < limit:
-            # -- harness hooks (no-ops unless attached) -----------------
-            if stop_cycle is not None and cycle >= stop_cycle:
-                stopped = True
-                break
-            if faults is not None:
-                extra_stall = faults.apply(self, cycle)
-                if extra_stall:
-                    cpu_ready = max(cpu_ready, cycle + extra_stall)
-            if audit is not None:
-                audit(self, cycle)
-
-            # -- phase 1: FPU retirement --------------------------------
-            if pending:
-                ready = pending.pop(cycle, None)
-                if ready:
-                    values = fpu.regs.values
-                    for register, value in ready:
-                        values[register] = value
-                        sb_bits[register] = False
-                    last_retire_cycle = cycle
-                    if retire_hook is not None:
-                        retire_hook(self, cycle, ready)
-
-            # -- phase 2: FPU vector element issue ----------------------
-            if fpu.alu_ir is not None:
-                fpu.try_issue_element(cycle)
-
-            # -- termination check --------------------------------------
-            if halted:
-                if fpu.alu_ir is None and not pending:
-                    break
-                cycle += 1
-                continue
-
-            # -- phase 3: CPU instruction -------------------------------
-            if cycle < cpu_ready:
-                cycle += 1
-                continue
-            if self._interrupts and cycle >= self._interrupts[0][0] \
-                    and self.epc is None:
-                _, handler = self._interrupts.pop(0)
-                self.epc = pc
-                pc = handler
-                cpu_ready = cycle + taken_cost  # pipeline redirect
-                cycle += 1
-                continue
-            if pc >= program_length:
-                raise self._error(
-                    "PC %d ran off the end of the program" % pc, cycle, pc)
-
-            if model_ibuffer:
-                penalty = ibuf.access(pc << 2)
-                if penalty and config.model_external_icache:
-                    # The on-chip buffer refills from the external
-                    # instruction cache when it holds the line.
-                    if self.icache.access(pc << 2) == 0:
-                        penalty = config.icache_hit_penalty
-                if penalty:
-                    stats.stall_ibuf_miss_cycles += penalty
-                    cpu_ready = cycle + penalty
-                    cycle += 1
-                    continue
-
-            instruction = instructions[pc]
-            opcode = instruction[0]
-            issue_pc = pc
-
-            # ---- FPU ALU transfer (over the address bus) ----
-            if opcode == FALU:
-                if fpu.alu_ir is not None or cycle < fpu.alu_ir_free_cycle:
-                    stats.stall_alu_ir_busy += 1
-                    cycle += 1
-                    continue
-                state = _AluState.__new__(_AluState)
-                (state.op, state.rr, state.ra, state.rb, state.remaining,
-                 sra, srb, state.unary) = instruction[1:]
-                state.vl = state.remaining
-                state.stride_ra = bool(sra)
-                state.stride_rb = bool(srb)
-                state.seq = self._alu_seq
-                if self.trace is not None:
-                    self.trace.append(("alu", cycle, self._alu_seq, instruction))
-                self._alu_seq += 1
-                fpu.alu_ir = state
-                fpu.stats.alu_instructions += 1
-                if state.remaining > 1:
-                    fpu.stats.vector_instructions += 1
-                fpu.try_issue_element(cycle)
-                stats.falu_transfers += 1
-                stats.instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            # ---- FPU load ----
-            elif opcode == FLOAD:
-                fd, ra, offset = instruction[1], instruction[2], instruction[3]
-                if cycle < port_free:
-                    stats.stall_port += 1
-                    cycle += 1
-                    continue
-                # Execution constraint against the *current* (next-to-issue)
-                # element of an in-flight vector instruction (WRL 89/8
-                # section 2.3.2); deeper overlaps are the compiler's job.
-                state = fpu.alu_ir
-                if state is not None and (
-                        fd == state.rr or fd == state.ra
-                        or (not state.unary and fd == state.rb)):
-                    stats.stall_vector_interlock += 1
-                    cycle += 1
-                    continue
-                if sb_bits[fd]:
-                    stats.stall_scoreboard += 1
-                    cycle += 1
-                    continue
-                if ireg_ready[ra] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                address = iregs[ra] + offset
-                penalty = dcache.access(address)
-                if model_tlb:
-                    penalty += tlb.translate(address)
-                if penalty:
-                    stats.stall_dcache_miss_cycles += penalty
-                effective = cycle + penalty
-                try:
-                    fpu.load_write(fd, memory_words[address >> 3], effective)
-                except SimulationError as err:
-                    raise self._attach_context(err, cycle, pc, instruction)
-                if self.trace is not None:
-                    self.trace.append(("load", effective, fd))
-                stats.fpu_loads += 1
-                stats.instructions += 1
-                port_free = effective + 1
-                cpu_ready = effective + 1
-                pc += 1
-
-            # ---- FPU store ----
-            elif opcode == FSTORE:
-                fs, ra, offset = instruction[1], instruction[2], instruction[3]
-                if cycle < port_free:
-                    stats.stall_port += 1
-                    cycle += 1
-                    continue
-                # Stall until the current vector element (whose result this
-                # store would read) has issued and reserved its register.
-                state = fpu.alu_ir
-                if state is not None and fs == state.rr:
-                    stats.stall_vector_interlock += 1
-                    cycle += 1
-                    continue
-                if sb_bits[fs]:
-                    stats.stall_scoreboard += 1
-                    cycle += 1
-                    continue
-                if ireg_ready[ra] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                address = iregs[ra] + offset
-                penalty = dcache.access(address, is_write=True)
-                if model_tlb:
-                    penalty += tlb.translate(address)
-                if penalty:
-                    stats.stall_dcache_miss_cycles += penalty
-                effective = cycle + penalty
-                try:
-                    value = fpu.store_read(fs, effective)
-                except SimulationError as err:
-                    raise self._attach_context(err, cycle, pc, instruction)
-                if address >> 3 >= len(memory_words):
-                    memory.write(address, value)
-                    memory_words = memory.words
-                else:
-                    memory_words[address >> 3] = value
-                if self.trace is not None:
-                    self.trace.append(("store", effective, fs))
-                stats.fpu_stores += 1
-                stats.instructions += 1
-                port_free = effective + store_cycles
-                cpu_ready = effective + 1
-                pc += 1
-
-            # ---- integer ALU ----
-            elif opcode == ADDI:
-                rd, ra, imm = instruction[1], instruction[2], instruction[3]
-                if ireg_ready[ra] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                if rd:
-                    iregs[rd] = iregs[ra] + imm
-                stats.instructions += 1
-                stats.integer_instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            elif opcode in (ADD, SUB, MUL, AND_, OR_, XOR):
-                rd, ra, rb = instruction[1], instruction[2], instruction[3]
-                if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                a, bv = iregs[ra], iregs[rb]
-                if opcode == ADD:
-                    value = a + bv
-                elif opcode == SUB:
-                    value = a - bv
-                elif opcode == MUL:
-                    value = a * bv
-                elif opcode == AND_:
-                    value = a & bv
-                elif opcode == OR_:
-                    value = a | bv
-                else:
-                    value = a ^ bv
-                if rd:
-                    iregs[rd] = value
-                stats.instructions += 1
-                stats.integer_instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            elif opcode in (LI, MULI, SLL, SRA):
-                if opcode == LI:
-                    rd, imm = instruction[1], instruction[2]
-                    value = imm
-                else:
-                    rd, ra, imm = instruction[1], instruction[2], instruction[3]
-                    if ireg_ready[ra] > cycle:
-                        stats.stall_int_delay += 1
-                        cycle += 1
-                        continue
-                    if opcode == MULI:
-                        value = iregs[ra] * imm
-                    elif opcode == SLL:
-                        value = iregs[ra] << imm
-                    else:
-                        value = iregs[ra] >> imm
-                if rd:
-                    iregs[rd] = value
-                stats.instructions += 1
-                stats.integer_instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            # ---- integer load/store ----
-            elif opcode == LW:
-                rd, ra, offset = instruction[1], instruction[2], instruction[3]
-                if cycle < port_free:
-                    stats.stall_port += 1
-                    cycle += 1
-                    continue
-                if ireg_ready[ra] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                address = iregs[ra] + offset
-                penalty = dcache.access(address)
-                if model_tlb:
-                    penalty += tlb.translate(address)
-                if penalty:
-                    stats.stall_dcache_miss_cycles += penalty
-                value = memory_words[address >> 3]
-                if rd:
-                    iregs[rd] = int(value)
-                    ireg_ready[rd] = cycle + penalty + 2  # one delay slot
-                stats.instructions += 1
-                stats.integer_instructions += 1
-                port_free = cycle + penalty + 1
-                cpu_ready = cycle + penalty + 1
-                pc += 1
-
-            elif opcode == SW:
-                rs, ra, offset = instruction[1], instruction[2], instruction[3]
-                if cycle < port_free:
-                    stats.stall_port += 1
-                    cycle += 1
-                    continue
-                if ireg_ready[ra] > cycle or ireg_ready[rs] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                address = iregs[ra] + offset
-                penalty = dcache.access(address, is_write=True)
-                if model_tlb:
-                    penalty += tlb.translate(address)
-                if penalty:
-                    stats.stall_dcache_miss_cycles += penalty
-                if address >> 3 >= len(memory_words):
-                    memory.write(address, iregs[rs])
-                    memory_words = memory.words
-                else:
-                    memory_words[address >> 3] = iregs[rs]
-                stats.instructions += 1
-                stats.integer_instructions += 1
-                port_free = cycle + penalty + store_cycles
-                cpu_ready = cycle + penalty + 1
-                pc += 1
-
-            # ---- control ----
-            elif opcode in (BEQ, BNE, BLT, BGE, BLE, BGT):
-                ra, rb, target = instruction[1], instruction[2], instruction[3]
-                if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
-                    stats.stall_int_delay += 1
-                    cycle += 1
-                    continue
-                a, bv = iregs[ra], iregs[rb]
-                if opcode == BEQ:
-                    taken = a == bv
-                elif opcode == BNE:
-                    taken = a != bv
-                elif opcode == BLT:
-                    taken = a < bv
-                elif opcode == BGE:
-                    taken = a >= bv
-                elif opcode == BLE:
-                    taken = a <= bv
-                else:
-                    taken = a > bv
-                stats.instructions += 1
-                stats.branch_instructions += 1
-                if taken:
-                    stats.taken_branches += 1
-                    pc = target
-                    cpu_ready = cycle + taken_cost
-                else:
-                    pc += 1
-                    cpu_ready = cycle + 1
-
-            elif opcode == J:
-                stats.instructions += 1
-                stats.branch_instructions += 1
-                stats.taken_branches += 1
-                pc = instruction[1]
-                cpu_ready = cycle + taken_cost
-
-            elif opcode == FCMP:
-                rd, fa, fb, cond = (instruction[1], instruction[2],
-                                    instruction[3], instruction[4])
-                state = fpu.alu_ir
-                if state is not None and (fa == state.rr or fb == state.rr):
-                    stats.stall_vector_interlock += 1
-                    cycle += 1
-                    continue
-                if sb_bits[fa] or sb_bits[fb]:
-                    stats.stall_scoreboard += 1
-                    cycle += 1
-                    continue
-                values = fpu.regs.values
-                a, bv = values[fa], values[fb]
-                if cond == isa.CMP_EQ:
-                    flag = a == bv
-                elif cond == isa.CMP_LT:
-                    flag = a < bv
-                else:
-                    flag = a <= bv
-                if rd:
-                    iregs[rd] = 1 if flag else 0
-                    ireg_ready[rd] = cycle + 2  # one delay slot
-                stats.instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            elif opcode == NOP:
-                stats.instructions += 1
-                pc += 1
-                cpu_ready = cycle + 1
-
-            elif opcode == isa.RFE:
-                if self.epc is None:
-                    raise self._error("rfe outside an interrupt handler",
-                                      cycle, pc, instruction)
-                stats.instructions += 1
-                pc = self.epc
-                self.epc = None
-                cpu_ready = cycle + taken_cost
-
-            elif opcode == HALT:
-                halted = True
-                halt_cycle = cycle
-                stats.instructions += 1
-
-            else:
-                raise self._error("unknown opcode %d at pc %d" % (opcode, pc),
-                                  cycle, pc, instruction)
-
-            if commit_hook is not None:
-                commit_hook(self, cycle, issue_pc, instruction)
-            cycle += 1
-
-        if not stopped and cycle >= limit and not halted:
-            raise self._error("simulation exceeded %d cycles" % limit,
-                              cycle, pc)
-
-        self.cycle = cycle
-        self.pc = pc
-        self.halted = halted
-        self.cpu_ready = cpu_ready
-        self.port_free = port_free
-
-        # The routine is complete when the CPU reached HALT *and* the last
-        # FPU result has been written back (a result retiring in cycle c is
-        # usable from cycle c, so c itself is the elapsed-cycle count).
-        completion = halt_cycle if halt_cycle is not None else cycle
-        completion = max(completion, last_retire_cycle)
-        stats.cycles = completion
-        return RunResult(
-            halt_cycle=halt_cycle if halt_cycle is not None else cycle,
-            completion_cycle=completion,
-            stats=stats,
-            fpu_stats=self.fpu.stats,
-            dcache_hits=dcache.hits,
-            dcache_misses=dcache.misses,
-        )
+        return self.core.run(max_cycles=max_cycles, stop_cycle=stop_cycle)

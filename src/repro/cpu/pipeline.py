@@ -1,0 +1,716 @@
+"""The staged execution core of the MultiTitan system simulator.
+
+This module replaces the former ~450-line monolithic loop in
+``MultiTitan.run()`` with an explicit structure:
+
+* :class:`FetchStage` -- instruction delivery through the 2 KB on-chip
+  buffer (optionally backed by the external instruction cache); owns the
+  instruction-fetch stall counter.
+* :class:`IssueStage` -- the scalar issue point: one CPU instruction
+  attempts to issue per cycle once ``cpu_ready`` allows; owns the issue
+  stall counters (integer delay slots, ALU-IR-busy transfer stalls,
+  scoreboard and vector-interlock stalls).
+* :class:`MemPortStage` -- the single blocking memory port shared by
+  integer and FPU loads/stores (stores hold it for two cycles); owns the
+  port-busy and data-cache-miss stall counters.
+* :class:`FpuSequencer` -- the FPU side: ALU instruction acceptance,
+  per-cycle vector element issue, and result retirement (the FPU's own
+  scoreboard stall counter lives in ``Fpu.stats``).
+* :class:`ExecutionCore` -- drives the stages cycle by cycle over the
+  **predecoded** program (:func:`repro.core.semantics.predecode`): each
+  instruction word is decoded exactly once at load into a dense
+  ``(kind, ...)`` entry with pre-bound per-opcode semantics callables,
+  so the hot loop never re-inspects opcodes.
+
+Architectural semantics (what each opcode *does*) live in exactly one
+place -- :mod:`repro.core.semantics` -- shared with the functional
+reference executor; this module owns *timing* (when it happens).
+
+Stall-counter ownership: the counters are stored on the run's
+:class:`MachineStats` record (the serialization surface for snapshots
+and results); each stage exposes its own counters as attributes
+delegating to that record, and by convention only that stage's logic in
+the core loop updates them.  The core loop hoists stage state into
+locals for the duration of a ``run()`` call -- simulation speed is a
+contract here (see ``benchmarks/bench_simspeed.py``) -- and writes it
+back to the stages at every exit point.
+
+Observers hook the core through the machine's typed event bus
+(:mod:`repro.core.events`): ``alu`` / ``element`` / ``load`` / ``store``
+trace events plus ``commit`` and ``retire``.  Publishers are resolved
+once per run; an unobserved run pays nothing.
+"""
+
+from dataclasses import dataclass
+
+from repro.core import semantics
+from repro.core.events import (
+    AluTransferEvent,
+    CommitEvent,
+    LoadIssueEvent,
+    RetireEvent,
+    StoreIssueEvent,
+)
+from repro.core.exceptions import SimulationError
+from repro.core.fpu import _AluState
+from repro.core.functional_units import CYCLE_TIME_NS
+
+
+@dataclass
+class MachineStats:
+    """Counters accumulated over one run.
+
+    This record is the single storage for the whole core's counters --
+    it is what snapshots serialize and what ``RunResult`` reports.  The
+    stall counters are each owned by one pipeline stage (see the stage
+    classes), which exposes them under stage-local names.
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    integer_instructions: int = 0
+    branch_instructions: int = 0
+    taken_branches: int = 0
+    fpu_loads: int = 0
+    fpu_stores: int = 0
+    falu_transfers: int = 0
+    stall_alu_ir_busy: int = 0
+    stall_scoreboard: int = 0
+    stall_vector_interlock: int = 0
+    stall_port: int = 0
+    stall_int_delay: int = 0
+    stall_dcache_miss_cycles: int = 0
+    stall_ibuf_miss_cycles: int = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+    def load_state(self, state):
+        for key, value in state.items():
+            setattr(self, key, value)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`repro.cpu.machine.MultiTitan.run`."""
+
+    halt_cycle: int
+    completion_cycle: int
+    stats: MachineStats
+    fpu_stats: "FpuStats"
+    dcache_hits: int
+    dcache_misses: int
+
+    def elapsed_seconds(self, cycle_time_ns=CYCLE_TIME_NS):
+        return self.completion_cycle * cycle_time_ns * 1e-9
+
+    def mflops(self, nominal_flops, cycle_time_ns=CYCLE_TIME_NS):
+        """MFLOPS from a nominal flop count at the machine clock."""
+        seconds = self.elapsed_seconds(cycle_time_ns)
+        if seconds <= 0:
+            return 0.0
+        return nominal_flops / seconds / 1e6
+
+
+def _stat_counter(field):
+    """A stage attribute delegating to one MachineStats field.
+
+    The stage *owns* the counter (its logic is the only writer); the
+    stats record *stores* it (so snapshot/restore and RunResult keep
+    their format without a separate sync step).
+    """
+
+    def get(self):
+        return getattr(self.machine.stats, field)
+
+    def set(self, value):
+        setattr(self.machine.stats, field, value)
+
+    return property(get, set, doc="owned counter -> MachineStats.%s" % field)
+
+
+class FetchStage:
+    """Instruction delivery: the 2 KB on-chip buffer, optionally backed
+    by the 64 KB external instruction cache (Figure 1)."""
+
+    __slots__ = ("machine", "ibuf", "icache", "enabled", "model_external",
+                 "external_hit_penalty")
+
+    #: stall cycles charged while the instruction buffer refills
+    stall_cycles = _stat_counter("stall_ibuf_miss_cycles")
+
+    def __init__(self, machine):
+        config = machine.config
+        self.machine = machine
+        self.ibuf = machine.ibuf
+        self.icache = machine.icache
+        self.enabled = config.model_ibuffer
+        self.model_external = config.model_external_icache
+        self.external_hit_penalty = config.icache_hit_penalty
+
+    def penalty(self, pc):
+        """Fetch-stall penalty for the instruction at ``pc`` (0 = hit).
+
+        The on-chip buffer refills from the external instruction cache
+        when that cache holds the line; otherwise from memory.
+        """
+        penalty = self.ibuf.access(pc << 2)
+        if penalty and self.model_external and self.icache.access(pc << 2) == 0:
+            penalty = self.external_hit_penalty
+        return penalty
+
+
+class IssueStage:
+    """The scalar issue point: at most one CPU instruction issues per
+    cycle, gated by ``cpu_ready`` (pipeline redirects, delay slots,
+    memory-port completion all push it forward)."""
+
+    __slots__ = ("machine", "cpu_ready")
+
+    #: integer operand not yet past its load/FCMP delay slot
+    stall_int_delay = _stat_counter("stall_int_delay")
+    #: FALU transfer found the FPU ALU instruction register busy
+    stall_alu_ir_busy = _stat_counter("stall_alu_ir_busy")
+    #: FPU load/store/FCMP waiting on a reserved (in-flight) register
+    stall_scoreboard = _stat_counter("stall_scoreboard")
+    #: section 2.3.2 interlock against the current vector element
+    stall_vector_interlock = _stat_counter("stall_vector_interlock")
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.cpu_ready = 0
+
+
+class MemPortStage:
+    """The single blocking memory port: integer and FPU loads/stores
+    share it; a store holds it ``store_cycles`` cycles; a data-cache
+    miss (plus optional TLB miss) stalls the whole pipeline."""
+
+    __slots__ = ("machine", "dcache", "tlb", "model_tlb", "store_cycles",
+                 "port_free")
+
+    #: issue attempted while the port was still held
+    stall_port = _stat_counter("stall_port")
+    #: data-cache (and TLB) miss stall cycles
+    miss_stall_cycles = _stat_counter("stall_dcache_miss_cycles")
+
+    def __init__(self, machine):
+        config = machine.config
+        self.machine = machine
+        self.dcache = machine.dcache
+        self.tlb = machine.tlb
+        self.model_tlb = config.model_tlb
+        self.store_cycles = config.store_port_cycles
+        self.port_free = 0
+
+    def access_penalty(self, address, is_write=False):
+        """Data-side access penalty for one reference (0 = hit)."""
+        penalty = self.dcache.access(address, is_write=is_write)
+        if self.model_tlb:
+            penalty += self.tlb.translate(address)
+        return penalty
+
+
+class FpuSequencer:
+    """The FPU side of the core: accepts ALU transfers into the
+    instruction register, issues one vector element per cycle through
+    the scalar scoreboard, and retires results whose latency elapsed.
+
+    Scoreboard stalls of the element sequencer are counted by the FPU
+    itself (``Fpu.stats.scoreboard_stall_cycles``).
+    """
+
+    __slots__ = ("machine", "fpu", "last_retire_cycle")
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.fpu = machine.fpu
+        self.last_retire_cycle = 0
+
+    def accept_transfer(self, entry, cycle, emit_alu):
+        """Latch a predecoded FALU entry into the (free) ALU IR and try
+        to issue its first element -- the Figure 13 schedule."""
+        machine = self.machine
+        fpu = self.fpu
+        state = _AluState.__new__(_AluState)
+        (_, state.op, state.rr, state.ra, state.rb, vl,
+         state.stride_ra, state.stride_rb, state.unary, instruction) = entry
+        state.remaining = vl
+        state.vl = vl
+        seq = machine._alu_seq
+        state.seq = seq
+        machine._alu_seq = seq + 1
+        if emit_alu is not None:
+            emit_alu(AluTransferEvent(cycle, seq, instruction))
+        fpu.alu_ir = state
+        fpu.stats.alu_instructions += 1
+        if vl > 1:
+            fpu.stats.vector_instructions += 1
+        fpu.try_issue_element(cycle)
+
+
+class ExecutionCore:
+    """Cycle-by-cycle driver over the predecoded program.
+
+    Owns the four stages and the run loop.  The loop hoists stage and
+    machine state into locals (this is the measured hot path; see the
+    module docstring) and restores it on every exit, so stage state is
+    authoritative between runs.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.fetch = FetchStage(machine)
+        self.issue = IssueStage(machine)
+        self.mem_port = MemPortStage(machine)
+        self.sequencer = FpuSequencer(machine)
+
+    def reset(self):
+        self.issue.cpu_ready = 0
+        self.mem_port.port_free = 0
+        self.sequencer.last_retire_cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles=None, stop_cycle=None):
+        """Run until HALT and the FPU drains; return a :class:`RunResult`.
+
+        ``stop_cycle`` pauses the simulation cleanly once ``cycle``
+        reaches it (no error) with all in-flight state intact; a
+        subsequent ``run()`` -- or a restore of a snapshot into a fresh
+        machine -- resumes from there.
+        """
+        machine = self.machine
+        config = machine.config
+        limit = max_cycles or config.max_cycles
+        stats = machine.stats
+        fpu = self.sequencer.fpu
+        memory = machine.memory
+        memory_words = memory.words
+        instructions = machine.program.instructions
+        decoded = machine.decoded
+        iregs = machine.iregs
+        ireg_ready = machine.ireg_ready
+        sb_bits = fpu.scoreboard.bits
+        fetch_stage = self.fetch
+        fetch_penalty = fetch_stage.penalty
+        model_ibuffer = fetch_stage.enabled
+        mem_port = self.mem_port
+        dcache_access = mem_port.dcache.access
+        model_tlb = mem_port.model_tlb
+        tlb_translate = mem_port.tlb.translate
+        store_cycles = mem_port.store_cycles
+        taken_cost = config.taken_branch_cycles
+        program_length = len(decoded)
+        try_issue_element = fpu.try_issue_element
+
+        # Dispatch kinds (bound late: repro.core.semantics may still be
+        # initializing when this module is first imported -- see the
+        # import-cycle note in that module's docstring).
+        K_FALU = semantics.K_FALU
+        K_FLOAD = semantics.K_FLOAD
+        K_FSTORE = semantics.K_FSTORE
+        K_INT_IMM = semantics.K_INT_IMM
+        K_INT_BINOP = semantics.K_INT_BINOP
+        K_LI = semantics.K_LI
+        K_LW = semantics.K_LW
+        K_SW = semantics.K_SW
+        K_BRANCH = semantics.K_BRANCH
+        K_J = semantics.K_J
+        K_FCMP = semantics.K_FCMP
+        K_NOP = semantics.K_NOP
+        K_RFE = semantics.K_RFE
+        K_HALT = semantics.K_HALT
+
+        cycle = machine.cycle
+        pc = machine.pc
+        halted = machine.halted
+        halt_cycle = None
+        cpu_ready = self.issue.cpu_ready
+        port_free = mem_port.port_free
+        pending = fpu._pending
+
+        bus = machine.events
+        emit_alu = bus.publisher("alu")
+        emit_load = bus.publisher("load")
+        emit_store = bus.publisher("store")
+        emit_commit = bus.publisher("commit")
+        emit_retire = bus.publisher("retire")
+        fpu.emit_element = bus.publisher("element")
+
+        faults = machine.fault_plan
+        audit = None
+        if config.audit_invariants:
+            from repro.robustness.invariants import audit_invariants
+            audit = audit_invariants
+
+        last_retire_cycle = 0
+        stopped = False
+        try:
+            while cycle < limit:
+                # -- harness hooks (no-ops unless attached) -------------
+                if stop_cycle is not None and cycle >= stop_cycle:
+                    stopped = True
+                    break
+                if faults is not None:
+                    extra_stall = faults.apply(machine, cycle)
+                    if extra_stall:
+                        cpu_ready = max(cpu_ready, cycle + extra_stall)
+                if audit is not None:
+                    audit(machine, cycle)
+
+                # -- FpuSequencer: result retirement --------------------
+                if pending:
+                    ready = pending.pop(cycle, None)
+                    if ready:
+                        values = fpu.regs.values
+                        for register, value in ready:
+                            values[register] = value
+                            sb_bits[register] = False
+                        last_retire_cycle = cycle
+                        if emit_retire is not None:
+                            emit_retire(RetireEvent(cycle, ready))
+
+                # -- FpuSequencer: vector element issue -----------------
+                if fpu.alu_ir is not None:
+                    try_issue_element(cycle)
+
+                # -- termination check ----------------------------------
+                if halted:
+                    if fpu.alu_ir is None and not pending:
+                        break
+                    cycle += 1
+                    continue
+
+                # -- IssueStage: may a CPU instruction issue? -----------
+                if cycle < cpu_ready:
+                    cycle += 1
+                    continue
+                if machine._interrupts and cycle >= machine._interrupts[0][0] \
+                        and machine.epc is None:
+                    _, handler = machine._interrupts.pop(0)
+                    machine.epc = pc
+                    pc = handler
+                    cpu_ready = cycle + taken_cost  # pipeline redirect
+                    cycle += 1
+                    continue
+                if pc >= program_length:
+                    raise machine._error(
+                        "PC %d ran off the end of the program" % pc, cycle, pc)
+
+                # -- FetchStage: instruction delivery -------------------
+                if model_ibuffer:
+                    penalty = fetch_penalty(pc)
+                    if penalty:
+                        stats.stall_ibuf_miss_cycles += penalty
+                        cpu_ready = cycle + penalty
+                        cycle += 1
+                        continue
+
+                entry = decoded[pc]
+                kind = entry[0]
+                issue_pc = pc
+
+                # ---- FPU ALU transfer (over the address bus) ----
+                if kind == K_FALU:
+                    if fpu.alu_ir is not None or cycle < fpu.alu_ir_free_cycle:
+                        stats.stall_alu_ir_busy += 1
+                        cycle += 1
+                        continue
+                    self.sequencer.accept_transfer(entry, cycle, emit_alu)
+                    stats.falu_transfers += 1
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- FPU load ----
+                elif kind == K_FLOAD:
+                    fd, ra, offset = entry[1], entry[2], entry[3]
+                    if cycle < port_free:
+                        stats.stall_port += 1
+                        cycle += 1
+                        continue
+                    # Execution constraint against the *current*
+                    # (next-to-issue) element of an in-flight vector
+                    # instruction (WRL 89/8 section 2.3.2); deeper
+                    # overlaps are the compiler's job.
+                    state = fpu.alu_ir
+                    if state is not None and (
+                            fd == state.rr or fd == state.ra
+                            or (not state.unary and fd == state.rb)):
+                        stats.stall_vector_interlock += 1
+                        cycle += 1
+                        continue
+                    if sb_bits[fd]:
+                        stats.stall_scoreboard += 1
+                        cycle += 1
+                        continue
+                    if ireg_ready[ra] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    effective = cycle + penalty
+                    try:
+                        fpu.load_write(fd, memory_words[address >> 3],
+                                       effective)
+                    except SimulationError as err:
+                        raise machine._attach_context(err, cycle, pc,
+                                                      instructions[pc])
+                    if emit_load is not None:
+                        emit_load(LoadIssueEvent(effective, fd))
+                    stats.fpu_loads += 1
+                    stats.instructions += 1
+                    port_free = effective + 1
+                    cpu_ready = effective + 1
+                    pc += 1
+
+                # ---- FPU store ----
+                elif kind == K_FSTORE:
+                    fs, ra, offset = entry[1], entry[2], entry[3]
+                    if cycle < port_free:
+                        stats.stall_port += 1
+                        cycle += 1
+                        continue
+                    # Stall until the current vector element (whose
+                    # result this store would read) has issued and
+                    # reserved its register.
+                    state = fpu.alu_ir
+                    if state is not None and fs == state.rr:
+                        stats.stall_vector_interlock += 1
+                        cycle += 1
+                        continue
+                    if sb_bits[fs]:
+                        stats.stall_scoreboard += 1
+                        cycle += 1
+                        continue
+                    if ireg_ready[ra] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address, True)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    effective = cycle + penalty
+                    try:
+                        value = fpu.store_read(fs, effective)
+                    except SimulationError as err:
+                        raise machine._attach_context(err, cycle, pc,
+                                                      instructions[pc])
+                    if address >> 3 >= len(memory_words):
+                        memory.write(address, value)
+                        memory_words = memory.words
+                    else:
+                        memory_words[address >> 3] = value
+                    if emit_store is not None:
+                        emit_store(StoreIssueEvent(effective, fs))
+                    stats.fpu_stores += 1
+                    stats.instructions += 1
+                    port_free = effective + store_cycles
+                    cpu_ready = effective + 1
+                    pc += 1
+
+                # ---- integer ALU (register-immediate) ----
+                elif kind == K_INT_IMM:
+                    rd, ra, imm, op_fn = entry[1], entry[2], entry[3], entry[4]
+                    if ireg_ready[ra] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    if rd:
+                        iregs[rd] = op_fn(iregs[ra], imm)
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- integer ALU (three-register) ----
+                elif kind == K_INT_BINOP:
+                    rd, ra, rb, op_fn = entry[1], entry[2], entry[3], entry[4]
+                    if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    if rd:
+                        iregs[rd] = op_fn(iregs[ra], iregs[rb])
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- load immediate ----
+                elif kind == K_LI:
+                    rd = entry[1]
+                    if rd:
+                        iregs[rd] = entry[2]
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- integer load/store ----
+                elif kind == K_LW:
+                    rd, ra, offset = entry[1], entry[2], entry[3]
+                    if cycle < port_free:
+                        stats.stall_port += 1
+                        cycle += 1
+                        continue
+                    if ireg_ready[ra] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    value = memory_words[address >> 3]
+                    if rd:
+                        iregs[rd] = int(value)
+                        ireg_ready[rd] = cycle + penalty + 2  # one delay slot
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    port_free = cycle + penalty + 1
+                    cpu_ready = cycle + penalty + 1
+                    pc += 1
+
+                elif kind == K_SW:
+                    rs, ra, offset = entry[1], entry[2], entry[3]
+                    if cycle < port_free:
+                        stats.stall_port += 1
+                        cycle += 1
+                        continue
+                    if ireg_ready[ra] > cycle or ireg_ready[rs] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address, True)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    if address >> 3 >= len(memory_words):
+                        memory.write(address, iregs[rs])
+                        memory_words = memory.words
+                    else:
+                        memory_words[address >> 3] = iregs[rs]
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    port_free = cycle + penalty + store_cycles
+                    cpu_ready = cycle + penalty + 1
+                    pc += 1
+
+                # ---- control ----
+                elif kind == K_BRANCH:
+                    ra, rb, target, test = (entry[1], entry[2], entry[3],
+                                            entry[4])
+                    if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
+                        stats.stall_int_delay += 1
+                        cycle += 1
+                        continue
+                    stats.instructions += 1
+                    stats.branch_instructions += 1
+                    if test(iregs[ra], iregs[rb]):
+                        stats.taken_branches += 1
+                        pc = target
+                        cpu_ready = cycle + taken_cost
+                    else:
+                        pc += 1
+                        cpu_ready = cycle + 1
+
+                elif kind == K_J:
+                    stats.instructions += 1
+                    stats.branch_instructions += 1
+                    stats.taken_branches += 1
+                    pc = entry[1]
+                    cpu_ready = cycle + taken_cost
+
+                elif kind == K_FCMP:
+                    rd, fa, fb, test = entry[1], entry[2], entry[3], entry[4]
+                    state = fpu.alu_ir
+                    if state is not None and (fa == state.rr
+                                              or fb == state.rr):
+                        stats.stall_vector_interlock += 1
+                        cycle += 1
+                        continue
+                    if sb_bits[fa] or sb_bits[fb]:
+                        stats.stall_scoreboard += 1
+                        cycle += 1
+                        continue
+                    values = fpu.regs.values
+                    if rd:
+                        iregs[rd] = 1 if test(values[fa], values[fb]) else 0
+                        ireg_ready[rd] = cycle + 2  # one delay slot
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                elif kind == K_NOP:
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                elif kind == K_RFE:
+                    if machine.epc is None:
+                        raise machine._error(
+                            "rfe outside an interrupt handler",
+                            cycle, pc, instructions[pc])
+                    stats.instructions += 1
+                    pc = machine.epc
+                    machine.epc = None
+                    cpu_ready = cycle + taken_cost
+
+                elif kind == K_HALT:
+                    halted = True
+                    halt_cycle = cycle
+                    stats.instructions += 1
+
+                else:
+                    raise machine._error(
+                        "unknown opcode %d at pc %d" % (entry[1], pc),
+                        cycle, pc, instructions[pc])
+
+                if emit_commit is not None:
+                    emit_commit(CommitEvent(cycle, issue_pc,
+                                            instructions[issue_pc]))
+                cycle += 1
+        finally:
+            # Stage state is authoritative between runs: write the
+            # hoisted locals back even when an error propagates, so
+            # diagnostics and snapshots see the faulting cycle.
+            machine.cycle = cycle
+            machine.pc = pc
+            machine.halted = halted
+            self.issue.cpu_ready = cpu_ready
+            mem_port.port_free = port_free
+            self.sequencer.last_retire_cycle = last_retire_cycle
+
+        if not stopped and cycle >= limit and not halted:
+            raise machine._error("simulation exceeded %d cycles" % limit,
+                                 cycle, pc)
+
+        # The routine is complete when the CPU reached HALT *and* the
+        # last FPU result has been written back (a result retiring in
+        # cycle c is usable from cycle c, so c itself is the
+        # elapsed-cycle count).
+        completion = halt_cycle if halt_cycle is not None else cycle
+        completion = max(completion, last_retire_cycle)
+        stats.cycles = completion
+        return RunResult(
+            halt_cycle=halt_cycle if halt_cycle is not None else cycle,
+            completion_cycle=completion,
+            stats=stats,
+            fpu_stats=fpu.stats,
+            dcache_hits=mem_port.dcache.hits,
+            dcache_misses=mem_port.dcache.misses,
+        )

@@ -31,9 +31,24 @@ class Program:
         self.instructions = instructions
         self.labels = labels
         self.source_comments = source_comments or {}
+        self._decoded = None
 
     def __len__(self):
         return len(self.instructions)
+
+    @property
+    def decoded(self):
+        """Predecoded dispatch entries, parallel to ``instructions``.
+
+        Built lazily, exactly once per program (instructions are
+        immutable after ``build()``), and shared by every machine and
+        reference executor running this program -- see
+        :func:`repro.core.semantics.predecode`.
+        """
+        if self._decoded is None:
+            from repro.core import semantics
+            self._decoded = semantics.predecode(self.instructions)
+        return self._decoded
 
     def disassemble(self):
         label_at = {label.index: label.name for label in self.labels.values()}

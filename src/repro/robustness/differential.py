@@ -1,14 +1,14 @@
 """Differential self-checking: cycle-level machine vs functional reference.
 
-A :class:`DifferentialChecker` attaches to a :class:`~repro.cpu.machine.
-MultiTitan` through two harness hooks:
+A :class:`DifferentialChecker` subscribes to two kinds on the machine's
+event bus (``machine.events``, :mod:`repro.core.events`):
 
-* ``commit_hook`` -- after every committed CPU instruction the reference
+* ``commit`` -- after every committed CPU instruction the reference
   executor applies the same instruction functionally and the checker
   compares integer-register and memory effects immediately (they commit
   in the same cycle on the machine);
-* ``retire_hook`` -- FPU results reach the register file ``latency``
-  cycles after issue, so each writeback is compared against a per-register
+* ``retire`` -- FPU results reach the register file ``latency`` cycles
+  after issue, so each writeback is compared against a per-register
   FIFO of values the reference predicted at commit time.
 
 The first disagreement raises :class:`~repro.core.exceptions.
@@ -51,19 +51,21 @@ class DifferentialChecker:
         self._expected_writes = {}   # register -> deque of expected values
         self._expected_pc = machine.pc
         self._last_epc = machine.epc
-        machine.commit_hook = self._on_commit
-        machine.retire_hook = self._on_retire
+        machine.events.subscribe("commit", self._on_commit)
+        machine.events.subscribe("retire", self._on_retire)
 
     def detach(self):
-        self.machine.commit_hook = None
-        self.machine.retire_hook = None
+        self.machine.events.unsubscribe("commit", self._on_commit)
+        self.machine.events.unsubscribe("retire", self._on_retire)
 
     # ------------------------------------------------------------------
 
     def _diverge(self, message, **context):
         raise DivergenceError("divergence: " + message, **context)
 
-    def _on_commit(self, machine, cycle, pc, instruction):
+    def _on_commit(self, event):
+        machine = self.machine
+        _, cycle, pc, instruction = event
         if self.check_control_flow and self._expected_pc is not None \
                 and pc != self._expected_pc:
             # An interrupt dispatch legitimately redirects the committed
@@ -100,7 +102,8 @@ class DifferentialChecker:
         for register, value in effects["freg_writes"]:
             self._expected_writes.setdefault(register, deque()).append(value)
 
-    def _on_retire(self, machine, cycle, ready):
+    def _on_retire(self, event):
+        _, cycle, ready = event
         for register, value in ready:
             queue = self._expected_writes.get(register)
             if not queue:

@@ -9,27 +9,58 @@ equal to this sequential semantics.  The differential checker
 (:mod:`repro.robustness.differential`) runs the two in lockstep and
 reports the first disagreement.
 
+The executor interprets the same **predecoded** dispatch entries as the
+cycle-accurate execution core, through a per-kind handler table; the
+per-opcode tables themselves (integer ops, branch and FCMP conditions,
+FPU element arithmetic) come from :mod:`repro.core.semantics`.  That
+module is the single source of truth for architectural behaviour -- the
+only thing defined here is the untimed *application order* of effects.
+
 The executor supports two modes:
 
 * **standalone** -- :meth:`ReferenceExecutor.run` follows its own control
   flow from ``pc`` until HALT;
 * **follow** -- :meth:`ReferenceExecutor.execute` applies one committed
-  instruction handed to it by the machine's commit hook (this is how the
-  differential checker tracks interrupt handlers without modelling
+  instruction handed to it by the machine's commit events (this is how
+  the differential checker tracks interrupt handlers without modelling
   interrupt timing).
 """
 
 from repro.core.encoding import NUM_REGISTERS
 from repro.core.exceptions import SimulationError
-from repro.core.types import UNARY_OPS, execute_op, result_overflowed
+from repro.core.semantics import (
+    K_BRANCH,
+    K_FALU,
+    K_FCMP,
+    K_FLOAD,
+    K_FSTORE,
+    K_HALT,
+    K_INT_BINOP,
+    K_INT_IMM,
+    K_J,
+    K_LI,
+    K_LW,
+    K_NOP,
+    K_RFE,
+    K_SW,
+    decode_one,
+    execute_op,
+    predecode,
+    result_overflowed,
+)
 from repro.cpu import isa
+
+#: Handler result meaning "control continues at pc + 1".  A sentinel is
+#: needed because ``None`` is a legitimate next_pc (follow-mode ``rfe``
+#: asks the checker to resync at the next commit).
+_SEQUENTIAL = object()
 
 
 class ReferenceExecutor:
-    """Sequential, untimed interpreter over decoded instruction tuples."""
+    """Sequential, untimed interpreter over predecoded dispatch entries."""
 
     def __init__(self, instructions, iregs=None, fregs=None,
-                 memory_words=None, pc=0):
+                 memory_words=None, pc=0, decoded=None):
         self.instructions = instructions
         self.pc = pc
         self.epc = None
@@ -43,17 +74,37 @@ class ReferenceExecutor:
         self.psw_overflow = False
         self.psw_overflow_dest = None
         self.psw_overflow_element = None
+        self._decoded = decoded if decoded is not None \
+            else predecode(instructions)
+        self._dispatch = {
+            K_FALU: self._exec_falu,
+            K_FLOAD: self._exec_fload,
+            K_FSTORE: self._exec_fstore,
+            K_INT_IMM: self._exec_int_imm,
+            K_INT_BINOP: self._exec_int_binop,
+            K_LI: self._exec_li,
+            K_LW: self._exec_lw,
+            K_SW: self._exec_sw,
+            K_BRANCH: self._exec_branch,
+            K_J: self._exec_j,
+            K_FCMP: self._exec_fcmp,
+            K_NOP: self._exec_nop,
+            K_RFE: self._exec_rfe,
+            K_HALT: self._exec_halt,
+        }
 
     @classmethod
     def from_machine(cls, machine):
         """Start from a machine's current architectural state (after any
-        setup hook has populated registers and memory)."""
+        setup hook has populated registers and memory); the predecoded
+        program is shared with the machine."""
         executor = cls(
             machine.program.instructions,
             iregs=machine.iregs,
             fregs=machine.fpu.regs.values,
             memory_words=machine.memory.words,
             pc=machine.pc,
+            decoded=machine.decoded,
         )
         executor.epc = machine.epc
         executor.halted = machine.halted
@@ -81,155 +132,149 @@ class ReferenceExecutor:
         follow = pc is not None
         if follow:
             self.pc = pc
-        opcode = instruction[0]
-        iregs = self.iregs
-        fregs = self.fregs
-        freg_writes = []
-        ireg_writes = []
-        mem_writes = []
-        next_pc = self.pc + 1
-
-        if opcode == isa.FALU:
-            op, rr, ra, rb, remaining, sra, srb, unary = instruction[1:]
-            vl = remaining
-            while remaining:
-                a = fregs[ra]
-                b = fregs[rb] if not unary else None
-                result = execute_op(op, a, b)
-                fregs[rr] = result
-                freg_writes.append((rr, result))
-                if result_overflowed(op, a, b, result):
-                    if not self.psw_overflow:
-                        self.psw_overflow = True
-                        self.psw_overflow_dest = rr
-                        self.psw_overflow_element = vl - remaining
-                    break
-                remaining -= 1
-                rr += 1
-                if sra:
-                    ra += 1
-                if srb:
-                    rb += 1
-
-        elif opcode == isa.FLOAD:
-            fd, ra, offset = instruction[1], instruction[2], instruction[3]
-            value = self.memory[self._mem_index(iregs[ra] + offset)]
-            fregs[fd] = value
-            freg_writes.append((fd, value))
-
-        elif opcode == isa.FSTORE:
-            fs, ra, offset = instruction[1], instruction[2], instruction[3]
-            index = self._mem_index(iregs[ra] + offset)
-            self.memory[index] = fregs[fs]
-            mem_writes.append((index, fregs[fs]))
-
-        elif opcode == isa.ADDI:
-            rd, ra, imm = instruction[1], instruction[2], instruction[3]
-            if rd:
-                iregs[rd] = iregs[ra] + imm
-                ireg_writes.append((rd, iregs[rd]))
-
-        elif opcode in (isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR):
-            rd, ra, rb = instruction[1], instruction[2], instruction[3]
-            a, b = iregs[ra], iregs[rb]
-            if opcode == isa.ADD:
-                value = a + b
-            elif opcode == isa.SUB:
-                value = a - b
-            elif opcode == isa.MUL:
-                value = a * b
-            elif opcode == isa.AND:
-                value = a & b
-            elif opcode == isa.OR:
-                value = a | b
-            else:
-                value = a ^ b
-            if rd:
-                iregs[rd] = value
-                ireg_writes.append((rd, value))
-
-        elif opcode in (isa.LI, isa.MULI, isa.SLL, isa.SRA):
-            if opcode == isa.LI:
-                rd, value = instruction[1], instruction[2]
-            else:
-                rd, ra, imm = instruction[1], instruction[2], instruction[3]
-                if opcode == isa.MULI:
-                    value = iregs[ra] * imm
-                elif opcode == isa.SLL:
-                    value = iregs[ra] << imm
-                else:
-                    value = iregs[ra] >> imm
-            if rd:
-                iregs[rd] = value
-                ireg_writes.append((rd, value))
-
-        elif opcode == isa.LW:
-            rd, ra, offset = instruction[1], instruction[2], instruction[3]
-            value = self.memory[self._mem_index(iregs[ra] + offset)]
-            if rd:
-                iregs[rd] = int(value)
-                ireg_writes.append((rd, iregs[rd]))
-
-        elif opcode == isa.SW:
-            rs, ra, offset = instruction[1], instruction[2], instruction[3]
-            index = self._mem_index(iregs[ra] + offset)
-            self.memory[index] = iregs[rs]
-            mem_writes.append((index, iregs[rs]))
-
-        elif opcode in isa.BRANCH_OPS:
-            ra, rb, target = instruction[1], instruction[2], instruction[3]
-            if isa.branch_taken(opcode, iregs[ra], iregs[rb]):
-                next_pc = target
-
-        elif opcode == isa.J:
-            next_pc = instruction[1]
-
-        elif opcode == isa.FCMP:
-            rd, fa, fb, cond = (instruction[1], instruction[2],
-                                instruction[3], instruction[4])
-            a, b = fregs[fa], fregs[fb]
-            if cond == isa.CMP_EQ:
-                flag = a == b
-            elif cond == isa.CMP_LT:
-                flag = a < b
-            else:
-                flag = a <= b
-            if rd:
-                iregs[rd] = 1 if flag else 0
-                ireg_writes.append((rd, iregs[rd]))
-
-        elif opcode == isa.NOP:
-            pass
-
-        elif opcode == isa.RFE:
-            if self.epc is not None:
-                next_pc = self.epc
-                self.epc = None
-            elif follow:
-                # The machine dispatched the interrupt; the reference only
-                # sees the committed stream.  Resync control flow at the
-                # next commit.
-                next_pc = None
-            else:
-                raise SimulationError(
-                    "reference executor: rfe outside an interrupt handler")
-
-        elif opcode == isa.HALT:
-            self.halted = True
-            next_pc = self.pc
-
+        index = self.pc
+        # The common case hands us the program's own instruction object,
+        # whose dispatch entry was predecoded once at construction;
+        # anything else (synthetic instructions in tests, mid-stream
+        # patches) decodes on the fly.
+        if (isinstance(index, int) and 0 <= index < len(self.instructions)
+                and self.instructions[index] is instruction):
+            entry = self._decoded[index]
         else:
-            raise SimulationError(
-                "reference executor: unknown opcode %d" % opcode)
-
-        self.pc = next_pc
-        self.steps += 1
-        return {
-            "freg_writes": freg_writes,
-            "ireg_writes": ireg_writes,
-            "mem_writes": mem_writes,
-            "next_pc": next_pc,
+            entry = decode_one(instruction)
+        effects = {
+            "freg_writes": [],
+            "ireg_writes": [],
+            "mem_writes": [],
+            "next_pc": self.pc + 1,
         }
+        handler = self._dispatch.get(entry[0])
+        if handler is None:
+            raise SimulationError(
+                "reference executor: unknown opcode %d" % entry[1])
+        next_pc = handler(entry, effects, follow)
+        if next_pc is not _SEQUENTIAL:
+            effects["next_pc"] = next_pc
+        self.pc = effects["next_pc"]
+        self.steps += 1
+        return effects
+
+    # -- per-kind handlers (architectural effects only) -----------------
+
+    def _exec_falu(self, entry, effects, follow):
+        _, op, rr, ra, rb, vl, sra, srb, unary, _instruction = entry
+        fregs = self.fregs
+        writes = effects["freg_writes"]
+        remaining = vl
+        while remaining:
+            a = fregs[ra]
+            b = fregs[rb] if not unary else None
+            result = execute_op(op, a, b)
+            fregs[rr] = result
+            writes.append((rr, result))
+            if result_overflowed(op, a, b, result):
+                if not self.psw_overflow:
+                    self.psw_overflow = True
+                    self.psw_overflow_dest = rr
+                    self.psw_overflow_element = vl - remaining
+                break
+            remaining -= 1
+            rr += 1
+            if sra:
+                ra += 1
+            if srb:
+                rb += 1
+        return _SEQUENTIAL
+
+    def _exec_fload(self, entry, effects, follow):
+        _, fd, ra, offset = entry
+        value = self.memory[self._mem_index(self.iregs[ra] + offset)]
+        self.fregs[fd] = value
+        effects["freg_writes"].append((fd, value))
+        return _SEQUENTIAL
+
+    def _exec_fstore(self, entry, effects, follow):
+        _, fs, ra, offset = entry
+        index = self._mem_index(self.iregs[ra] + offset)
+        value = self.fregs[fs]
+        self.memory[index] = value
+        effects["mem_writes"].append((index, value))
+        return _SEQUENTIAL
+
+    def _exec_int_imm(self, entry, effects, follow):
+        _, rd, ra, imm, op_fn = entry
+        if rd:
+            iregs = self.iregs
+            iregs[rd] = op_fn(iregs[ra], imm)
+            effects["ireg_writes"].append((rd, iregs[rd]))
+        return _SEQUENTIAL
+
+    def _exec_int_binop(self, entry, effects, follow):
+        _, rd, ra, rb, op_fn = entry
+        if rd:
+            iregs = self.iregs
+            iregs[rd] = op_fn(iregs[ra], iregs[rb])
+            effects["ireg_writes"].append((rd, iregs[rd]))
+        return _SEQUENTIAL
+
+    def _exec_li(self, entry, effects, follow):
+        _, rd, imm = entry
+        if rd:
+            self.iregs[rd] = imm
+            effects["ireg_writes"].append((rd, imm))
+        return _SEQUENTIAL
+
+    def _exec_lw(self, entry, effects, follow):
+        _, rd, ra, offset = entry
+        value = self.memory[self._mem_index(self.iregs[ra] + offset)]
+        if rd:
+            self.iregs[rd] = int(value)
+            effects["ireg_writes"].append((rd, self.iregs[rd]))
+        return _SEQUENTIAL
+
+    def _exec_sw(self, entry, effects, follow):
+        _, rs, ra, offset = entry
+        index = self._mem_index(self.iregs[ra] + offset)
+        value = self.iregs[rs]
+        self.memory[index] = value
+        effects["mem_writes"].append((index, value))
+        return _SEQUENTIAL
+
+    def _exec_branch(self, entry, effects, follow):
+        _, ra, rb, target, test, _opcode = entry
+        if test(self.iregs[ra], self.iregs[rb]):
+            return target
+        return _SEQUENTIAL
+
+    def _exec_j(self, entry, effects, follow):
+        return entry[1]
+
+    def _exec_fcmp(self, entry, effects, follow):
+        _, rd, fa, fb, test = entry
+        if rd:
+            self.iregs[rd] = 1 if test(self.fregs[fa], self.fregs[fb]) else 0
+            effects["ireg_writes"].append((rd, self.iregs[rd]))
+        return _SEQUENTIAL
+
+    def _exec_nop(self, entry, effects, follow):
+        return _SEQUENTIAL
+
+    def _exec_rfe(self, entry, effects, follow):
+        if self.epc is not None:
+            next_pc = self.epc
+            self.epc = None
+            return next_pc
+        if follow:
+            # The machine dispatched the interrupt; the reference only
+            # sees the committed stream.  Resync control flow at the
+            # next commit.
+            return None
+        raise SimulationError(
+            "reference executor: rfe outside an interrupt handler")
+
+    def _exec_halt(self, entry, effects, follow):
+        self.halted = True
+        return self.pc
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,190 @@
+"""Tests for the typed event bus, the staged execution core's publishers,
+and the event-driven analysis observers (timeline + utilization).
+"""
+
+import pytest
+
+from repro.analysis.timeline import (
+    TimelineObserver,
+    element_issue_cycles,
+    render_timeline,
+)
+from repro.analysis.utilization import UtilizationObserver, analyze
+from repro.core.events import (
+    AluTransferEvent,
+    CommitEvent,
+    ElementIssueEvent,
+    EventBus,
+    LoadIssueEvent,
+    RetireEvent,
+    StoreIssueEvent,
+    TraceRecorder,
+)
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.program import ProgramBuilder
+
+
+def figure5_machine(trace=False):
+    """The Figure-5 scalar-tree shape: three dependent scalar adds."""
+    b = ProgramBuilder()
+    b.fadd(8, 0, 1)
+    b.fadd(9, 2, 3)
+    b.fadd(12, 8, 9)
+    return MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False,
+                                                      trace=trace))
+
+
+class TestEventTypes:
+    def test_events_are_legacy_tuples(self):
+        event = AluTransferEvent(4, 0, (24, 0, 8, 0, 1, 1, 1, 1, False))
+        assert event[0] == "alu"
+        kind, cycle, seq, instruction = event
+        assert (kind, cycle, seq) == ("alu", 4, 0)
+        assert event.kind == "alu"
+        assert event.cycle == 4
+        assert event.seq == 0
+        assert event.instruction == instruction
+
+    def test_named_fields(self):
+        assert ElementIssueEvent(3, 1, 16).register == 16
+        assert LoadIssueEvent(2, 5).register == 5
+        assert StoreIssueEvent(7, 9).register == 9
+        assert CommitEvent(1, 4, (0,)).pc == 4
+        assert RetireEvent(6, [(16, 1.0)]).writes == [(16, 1.0)]
+
+    def test_repr_names_the_type(self):
+        assert "ElementIssueEvent" in repr(ElementIssueEvent(3, 1, 16))
+
+
+class TestEventBus:
+    def test_publisher_is_none_when_idle(self):
+        assert EventBus().publisher("element") is None
+
+    def test_subscribe_publish_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("element", seen.append)
+        event = ElementIssueEvent(0, 0, 16)
+        bus.publish(event)
+        assert seen == [event]
+        bus.unsubscribe("element", seen.append)
+        bus.publish(ElementIssueEvent(1, 0, 17))
+        assert seen == [event]
+        assert not bus.has_subscribers("element")
+
+    def test_publisher_fans_out(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe("commit", first.append)
+        bus.subscribe("commit", second.append)
+        publisher = bus.publisher("commit")
+        event = CommitEvent(0, 0, (0,))
+        publisher(event)
+        assert first == [event] and second == [event]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventBus().subscribe("mystery", lambda event: None)
+
+
+class TestCorePublishers:
+    def test_trace_config_still_records_tuples(self):
+        machine = figure5_machine(trace=True)
+        machine.run()
+        kinds = [event[0] for event in machine.trace]
+        assert kinds.count("alu") == 3
+        assert kinds.count("element") == 3
+
+    def test_commit_and_retire_events(self):
+        machine = figure5_machine()
+        commits, retires = [], []
+        machine.events.subscribe("commit", commits.append)
+        machine.events.subscribe("retire", retires.append)
+        machine.run()
+        # 3 FALU transfers + HALT commit; 3 scalar results retire.
+        assert len(commits) == 4
+        assert all(isinstance(event, CommitEvent) for event in commits)
+        assert sum(len(event.writes) for event in retires) == 3
+        retired = [register for event in retires
+                   for register, _value in event.writes]
+        assert sorted(retired) == [8, 9, 12]
+
+    def test_unobserved_run_allocates_no_trace(self):
+        machine = figure5_machine()
+        machine.run()
+        assert machine.trace is None
+
+    def test_reset_cpu_clears_trace_without_duplicating(self):
+        machine = figure5_machine(trace=True)
+        machine.run()
+        first = list(machine.trace)
+        machine.reset_cpu()
+        assert machine.trace == []
+        machine.run()
+        assert [event[0] for event in machine.trace] \
+            == [event[0] for event in first]
+
+
+class TestTimelineObserver:
+    def test_figure5_timeline_via_bus(self):
+        """render_timeline over the event-bus path reproduces the
+        Figure-5 chart: three transfers, the third add waiting on its
+        operands' 3-cycle latency."""
+        machine = figure5_machine()
+        observer = TimelineObserver(machine)
+        machine.run()
+        observer.detach()
+        assert element_issue_cycles(observer.trace, seq=0) == [0]
+        assert element_issue_cycles(observer.trace, seq=1) == [1]
+        # The dependent add issues once R8 and R9 have retired.
+        assert element_issue_cycles(observer.trace, seq=2) == [4]
+        art = observer.render()
+        assert "R8 := R0 + R1" in art
+        assert "R12 := R8 + R9" in art
+        assert "cycle" in art and "E" in art and "T" in art
+
+    def test_observer_matches_trace_config(self):
+        machine = figure5_machine(trace=True)
+        observer = TimelineObserver(machine)
+        machine.run()
+        observer.detach()
+        assert list(observer.trace) == list(machine.trace)
+        assert render_timeline(observer.trace) \
+            == render_timeline(machine.trace)
+
+    def test_detach_stops_recording(self):
+        machine = figure5_machine()
+        observer = TimelineObserver(machine)
+        observer.detach()
+        machine.run()
+        assert observer.trace == []
+
+
+class TestUtilizationObserver:
+    def test_matches_offline_analyze(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        for lane in range(4):
+            b.fload(lane, 1, lane * 8)
+        b.fadd(16, 0, 8, vl=4)
+        machine = MultiTitan(b.build(), config=MachineConfig(
+            model_ibuffer=False, trace=True))
+        machine.dcache.warm_range(0, 64)
+        observer = UtilizationObserver(machine)
+        result = machine.run()
+        observer.detach()
+        live = observer.result(result.completion_cycle)
+        offline = analyze(machine.trace, result.completion_cycle)
+        assert live == offline
+        assert live.memory_ops == 4
+        assert live.alu_elements > 0
+
+
+class TestTraceRecorder:
+    def test_attach_detach(self):
+        bus = EventBus()
+        recorder = TraceRecorder().attach(bus)
+        bus.publish(ElementIssueEvent(0, 0, 16))
+        recorder.detach(bus)
+        bus.publish(ElementIssueEvent(1, 0, 17))
+        assert len(recorder.events) == 1
