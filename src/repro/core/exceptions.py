@@ -41,6 +41,17 @@ class InvariantError(SimulationError):
     state, or corrupted cache bookkeeping."""
 
 
+class LivelockError(SimulationError):
+    """The watchdog cycle budget expired before the program halted.
+
+    Raised by the execution core when a run exceeds its cycle limit; the
+    message carries a livelock diagnostic (current PC, per-stage stall
+    counters, pending scoreboard bits) so a wedged pipeline can be
+    triaged from the error alone.  See
+    :func:`repro.robustness.watchdog.watchdog_budget`.
+    """
+
+
 class DivergenceError(SimulationError):
     """The cycle-level machine and the functional reference executor
     disagreed on architectural state.

@@ -696,8 +696,14 @@ class ExecutionCore:
             self.sequencer.last_retire_cycle = last_retire_cycle
 
         if not stopped and cycle >= limit and not halted:
-            raise machine._error("simulation exceeded %d cycles" % limit,
-                                 cycle, pc)
+            # Lazy import, like the invariants hook above: this is a cold
+            # path and robustness sits on top of the core.
+            from repro.core.exceptions import LivelockError
+            from repro.robustness.watchdog import livelock_diagnostic
+            raise machine._attach_context(
+                LivelockError("simulation exceeded %d cycles; %s"
+                              % (limit, livelock_diagnostic(machine))),
+                cycle, pc)
 
         # The routine is complete when the CPU reached HALT *and* the
         # last FPU result has been written back (a result retiring in

@@ -24,6 +24,59 @@ class Label:
         return "Label(%r@%s)" % (self.name, self.index)
 
 
+_FALU_MNEMONICS = {
+    Op.ADD: "fadd", Op.SUB: "fsub", Op.MUL: "fmul", Op.ITER: "fiter",
+    Op.RECIP: "frecip", Op.FLOAT: "ffloat", Op.TRUNC: "ftrunc",
+    Op.IMUL: "fimul",
+}
+
+_FCMP_CONDS = {isa.CMP_EQ: "eq", isa.CMP_LT: "lt", isa.CMP_LE: "le"}
+
+
+def instruction_source(instruction):
+    """Render one decoded instruction tuple as assembler input text.
+
+    Unlike :func:`repro.cpu.isa.disassemble` (which renders FPU ALU
+    operations in the paper's Figure-3 notation), every line produced
+    here reassembles to the identical tuple via
+    :func:`repro.cpu.assembler.assemble`.  Branch and jump targets use
+    the absolute ``@N`` notation, so the text is position-exact.
+    """
+    opcode = instruction[0]
+    name = isa.OPCODE_NAMES.get(opcode)
+    if opcode in (isa.NOP, isa.HALT, isa.RFE):
+        return name
+    if opcode == isa.LI:
+        return "li r%d, %d" % instruction[1:]
+    if opcode in (isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR):
+        return "%s r%d, r%d, r%d" % ((name,) + instruction[1:])
+    if opcode in (isa.ADDI, isa.MULI, isa.SLL, isa.SRA):
+        return "%s r%d, r%d, %d" % ((name,) + instruction[1:])
+    if opcode in (isa.LW, isa.SW):
+        return "%s r%d, %d(r%d)" % (name, instruction[1], instruction[3],
+                                    instruction[2])
+    if opcode in isa.BRANCH_OPS:
+        return "%s r%d, r%d, @%d" % ((name,) + instruction[1:])
+    if opcode == isa.J:
+        return "j @%d" % instruction[1]
+    if opcode in (isa.FLOAD, isa.FSTORE):
+        return "%s f%d, %d(r%d)" % (name, instruction[1], instruction[3],
+                                    instruction[2])
+    if opcode == isa.FCMP:
+        return "fcmp.%s r%d, f%d, f%d" % (_FCMP_CONDS[instruction[4]],
+                                          instruction[1], instruction[2],
+                                          instruction[3])
+    if opcode == isa.FALU:
+        op, rr, ra, rb, vl, sra, srb, _unary = instruction[1:]
+        mnemonic = _FALU_MNEMONICS[Op(op)]
+        if Op(op) in UNARY_OPS:
+            return "%s f%d, f%d, vl=%d, sa=%d" % (mnemonic, rr, ra, vl, sra)
+        return ("%s f%d, f%d, f%d, vl=%d, sa=%d, sb=%d"
+                % (mnemonic, rr, ra, rb, vl, sra, srb))
+    raise AssemblerError("cannot render instruction %r as source"
+                         % (instruction,))
+
+
 class Program:
     """An assembled program: decoded instruction tuples plus labels."""
 
@@ -62,6 +115,18 @@ class Program:
                 text += "    ; %s" % comment
             lines.append(text)
         return "\n".join(lines)
+
+    def to_source(self):
+        """Assembler text that reassembles to these exact instruction
+        tuples (one instruction per line, ``@N`` branch targets).
+
+        The fuzzer's triage bundles store minimized programs in this
+        form; ``assemble(program.to_source()).instructions ==
+        program.instructions`` holds for every program the builder can
+        produce.
+        """
+        return "\n".join(instruction_source(instruction)
+                         for instruction in self.instructions) + "\n"
 
 
 class ProgramBuilder:

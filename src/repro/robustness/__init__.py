@@ -18,9 +18,14 @@ Three pillars, all built on the machine's harness hooks:
 ``python -m repro.robustness.smoke`` runs a seeded fault-injection
 campaign asserting that every injected architectural fault is either
 detected or fully masked -- never silent.
+
+On top of the pillars sits the **coverage-guided differential fuzzer**
+(:mod:`repro.robustness.fuzz`): seeded generation of valid programs,
+architectural coverage binning, automatic shrinking of failures, and
+triage bundles -- ``python -m repro.tools.cli fuzz`` drives it.
 """
 
-from repro.core.exceptions import DivergenceError, InvariantError
+from repro.core.exceptions import DivergenceError, InvariantError, LivelockError
 from repro.robustness.differential import (
     DifferentialChecker,
     bit_exact,
@@ -30,6 +35,7 @@ from repro.robustness.differential import (
 from repro.robustness.faults import FaultEvent, FaultPlan, flip_word_bit
 from repro.robustness.invariants import audit_invariants
 from repro.robustness.reference import ReferenceExecutor
+from repro.robustness.watchdog import livelock_diagnostic, watchdog_budget
 
 __all__ = [
     "DifferentialChecker",
@@ -37,10 +43,13 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "InvariantError",
+    "LivelockError",
     "ReferenceExecutor",
     "audit_invariants",
     "bit_exact",
     "check_kernel",
     "flip_word_bit",
+    "livelock_diagnostic",
     "run_differential",
+    "watchdog_budget",
 ]

@@ -118,12 +118,15 @@ class FaultPlan:
     # -- deterministic random campaigns ---------------------------------
 
     @classmethod
-    def random(cls, seed, max_cycle, count=1, kinds=("freg", "ireg", "memory"),
+    def random(cls, seed, max_cycle, count=1, kinds=KINDS,
                registers=None, memory_words=64):
         """A plan whose every choice derives from ``Random(seed)``.
 
         The same seed always builds the same plan, so a failing fault run
-        is reproducible from the seed alone.
+        is reproducible from the seed alone.  By default every fault kind
+        in :data:`KINDS` is drawn from -- architectural flips (``freg``,
+        ``ireg``, ``memory``), bookkeeping corruption (``scoreboard``,
+        ``cache_tag``), and pure timing faults (``stall``).
         """
         rng = Random(seed)
         plan = cls(seed=seed)

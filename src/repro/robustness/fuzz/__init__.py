@@ -1,0 +1,62 @@
+"""Coverage-guided differential ISA fuzzer.
+
+The pipeline: :func:`generate_case` emits architecturally valid
+programs from a seed (coverage-biased when a :class:`CoverageMap` is
+supplied); :func:`run_case` executes each differentially against the
+functional reference under the full detection stack; :func:`fuzz` runs
+whole campaigns; :func:`shrink_case` minimises failures while
+preserving their :func:`failure_signature`; and :mod:`~repro.
+robustness.fuzz.triage` packages each minimised failure as a
+self-contained bundle with a one-line repro command.
+
+``python -m repro.tools.cli fuzz run|repro|coverage`` is the
+command-line surface; planted bugs (:data:`~repro.robustness.fuzz.
+bugs.BUGS`) validate the whole loop end to end.
+"""
+
+from repro.robustness.fuzz.bugs import BUGS, install_bug
+from repro.robustness.fuzz.coverage import (
+    COVERAGE_UNIVERSE,
+    CoverageMap,
+    coverage_universe,
+    vl_bucket,
+)
+from repro.robustness.fuzz.driver import (
+    CampaignResult,
+    CaseResult,
+    failure_signature,
+    fuzz,
+    run_case,
+)
+from repro.robustness.fuzz.generator import GeneratedCase, generate_case
+from repro.robustness.fuzz.shrink import ShrinkResult, shrink_case
+from repro.robustness.fuzz.triage import (
+    decode_data,
+    encode_data,
+    load_bundle,
+    repro_bundle,
+    write_bundle,
+)
+
+__all__ = [
+    "BUGS",
+    "COVERAGE_UNIVERSE",
+    "CampaignResult",
+    "CaseResult",
+    "CoverageMap",
+    "GeneratedCase",
+    "ShrinkResult",
+    "coverage_universe",
+    "decode_data",
+    "encode_data",
+    "failure_signature",
+    "fuzz",
+    "generate_case",
+    "install_bug",
+    "load_bundle",
+    "repro_bundle",
+    "run_case",
+    "shrink_case",
+    "vl_bucket",
+    "write_bundle",
+]

@@ -1,0 +1,106 @@
+"""Planted machine bugs for validating the fuzzer end to end.
+
+Each bug models a realistic implementation defect in the cycle-level
+machine -- the functional reference is never touched, so a working
+detection stack must flag every one.  They are installed per-machine via
+:func:`install_bug` (which returns an undo callable) and are reachable
+from the CLI as ``fuzz run --bug <name>``; the shrinker tests use them
+to prove that minimisation preserves failure signatures.
+
+* ``flipped-scoreboard-clear`` -- a completing FPU writeback leaves its
+  scoreboard reservation bit *set* (the clear is lost).  The per-cycle
+  invariant audit catches the reservation with no pending write.
+* ``off-by-one-stride`` -- the FALU transfer decodes a strided RA
+  specifier one register high, so every strided vector reads its
+  sources shifted by one: a silent wrong-value defect only the lockstep
+  differential checker can see.
+* ``dropped-overflow-restart`` -- the machine's FPU never detects
+  overflow, so a vector that should abort mid-flight (WRL 89/8 section
+  2.3.3) keeps issuing elements; the checker sees writebacks the
+  sequential reference never produced.
+"""
+
+from repro.core.encoding import NUM_REGISTERS
+from repro.core.exceptions import SimulationError
+
+
+def _install_flipped_scoreboard_clear(machine):
+    state = {"fired": False}
+
+    def handler(event):
+        if state["fired"] or not event.writes:
+            return
+        state["fired"] = True
+        register = event.writes[0][0]
+        machine.fpu.scoreboard.bits[register] = True
+
+    machine.events.subscribe("retire", handler)
+
+    def undo():
+        machine.events.unsubscribe("retire", handler)
+
+    return undo
+
+
+class _OffByOneStrideSequencer:
+    """Delegating wrapper whose transfer decodes strided RA one high."""
+
+    def __init__(self, inner):
+        object.__setattr__(self, "_inner", inner)
+
+    def accept_transfer(self, entry, cycle, emit_alu):
+        # Predecoded FALU entry: (kind, op, rr, ra, rb, vl, sra, srb,
+        # unary, instruction).  Keep the shifted specifier in range so
+        # the defect stays silent rather than dying on a bounds check.
+        if entry[6] and entry[3] + entry[5] < NUM_REGISTERS:
+            entry = entry[:3] + (entry[3] + 1,) + entry[4:]
+        return self._inner.accept_transfer(entry, cycle, emit_alu)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __setattr__(self, name, value):
+        setattr(object.__getattribute__(self, "_inner"), name, value)
+
+
+def _install_off_by_one_stride(machine):
+    inner = machine.core.sequencer
+    machine.core.sequencer = _OffByOneStrideSequencer(inner)
+
+    def undo():
+        machine.core.sequencer = inner
+
+    return undo
+
+
+def _install_dropped_overflow_restart(machine):
+    # The machine's FPU calls ``result_overflowed`` through its module
+    # globals; the reference executor binds its own copy, so patching
+    # here breaks only the machine side.  Module-wide, hence the
+    # mandatory undo (run_case and the triage replay both install
+    # through install_bug and restore in a finally block).
+    from repro.core import fpu as fpu_module
+    original = fpu_module.result_overflowed
+    fpu_module.result_overflowed = lambda op, a, b, result: False
+
+    def undo():
+        fpu_module.result_overflowed = original
+
+    return undo
+
+
+BUGS = {
+    "flipped-scoreboard-clear": _install_flipped_scoreboard_clear,
+    "off-by-one-stride": _install_off_by_one_stride,
+    "dropped-overflow-restart": _install_dropped_overflow_restart,
+}
+
+
+def install_bug(machine, name):
+    """Install a planted bug on one machine; returns an undo callable."""
+    try:
+        installer = BUGS[name]
+    except KeyError:
+        raise SimulationError("unknown planted bug %r (choose from %s)"
+                              % (name, ", ".join(sorted(BUGS))))
+    return installer(machine)

@@ -1,0 +1,268 @@
+"""Coverage binning for the differential fuzzer.
+
+A :class:`CoverageMap` subscribes to a machine's ``commit`` events and
+classifies every committed instruction into one architectural bin.  The
+bin universe is fixed and enumerable (:func:`coverage_universe`), so a
+campaign can report "bins hit / bins defined" and the generator can ask
+which shapes it has never produced (:meth:`CoverageMap.unhit`) and steer
+its weights toward them.
+
+Bins encode the shape of the *timing* event, not just the opcode:
+
+* FPU ALU: ``("falu", op, vl-bucket, stride-kind, hazard)`` where the
+  stride kind is the SRa/SRb bit pair (``"u0"``/``"u1"`` for unary ops)
+  and the hazard is whether the transfer found the ALU instruction
+  register busy;
+* FPU loads/stores: which issue-stage interlock (scoreboard, the section
+  2.3.2 current-element interlock, or the memory port) delayed them, and
+  whether the data-cache reference hit or missed;
+* integer loads/stores: port and delay-slot stalls, hit/miss;
+* FCMP per condition with its interlock class; branches per opcode with
+  taken/not-taken; integer ALU ops with/without delay-slot stalls;
+* ``("overflow", vl-bucket)`` when a vector instruction aborts on a
+  mid-vector overflow (section 2.3.3).
+
+Classification reads the deltas of the run's stall counters between
+commits -- each stalled issue attempt burns a cycle *before* the commit
+event fires, so the counter movement since the previous commit belongs
+to the committed instruction.
+"""
+
+from repro.core.types import Op
+from repro.cpu import isa
+
+VL_BUCKETS = ("1", "2-4", "5-8", "9-16")
+
+#: FPU ALU ops by arity (the stride-kind encoding differs).
+BINARY_FALU_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.ITER, Op.IMUL)
+UNARY_FALU_OPS = (Op.RECIP, Op.FLOAT, Op.TRUNC)
+
+FALU_HAZARDS = ("none", "ir_busy")
+LS_HAZARDS = ("none", "scoreboard", "interlock", "port")
+INT_LS_HAZARDS = ("none", "port", "delay")
+FCMP_HAZARDS = ("none", "scoreboard", "interlock")
+FCMP_CONDS = {isa.CMP_EQ: "eq", isa.CMP_LT: "lt", isa.CMP_LE: "le"}
+
+_DELAY_INT_OPS = ("add", "sub", "mul", "and", "or", "xor",
+                  "addi", "muli", "sll", "sra")
+
+
+def vl_bucket(vl):
+    """The coverage bucket for a vector length (1..16)."""
+    if vl <= 1:
+        return "1"
+    if vl <= 4:
+        return "2-4"
+    if vl <= 8:
+        return "5-8"
+    return "9-16"
+
+
+def _build_universe():
+    bins = set()
+    for op in BINARY_FALU_OPS:
+        for bucket in VL_BUCKETS:
+            for stride in ("00", "01", "10", "11"):
+                for hazard in FALU_HAZARDS:
+                    bins.add(("falu", op.name.lower(), bucket, stride, hazard))
+    for op in UNARY_FALU_OPS:
+        for bucket in VL_BUCKETS:
+            for stride in ("u0", "u1"):
+                for hazard in FALU_HAZARDS:
+                    bins.add(("falu", op.name.lower(), bucket, stride, hazard))
+    for kind in ("fload", "fstore"):
+        for hazard in LS_HAZARDS:
+            for outcome in ("hit", "miss"):
+                bins.add((kind, hazard, outcome))
+    for kind in ("lw", "sw"):
+        for hazard in INT_LS_HAZARDS:
+            for outcome in ("hit", "miss"):
+                bins.add((kind, hazard, outcome))
+    for cond in FCMP_CONDS.values():
+        for hazard in FCMP_HAZARDS:
+            bins.add(("fcmp", cond, hazard))
+    for opcode in sorted(isa.BRANCH_OPS):
+        for direction in ("taken", "not-taken"):
+            bins.add(("branch", isa.OPCODE_NAMES[opcode], direction))
+    bins.add(("branch", "j", "taken"))
+    for name in _DELAY_INT_OPS:
+        for hazard in ("none", "delay"):
+            bins.add(("int", name, hazard))
+    bins.add(("int", "li", "none"))
+    bins.add(("int", "nop", "none"))
+    for bucket in VL_BUCKETS:
+        bins.add(("overflow", bucket))
+    return frozenset(bins)
+
+
+#: Every bin the fuzzer can hit; the denominator of coverage reports.
+COVERAGE_UNIVERSE = _build_universe()
+
+
+def coverage_universe():
+    """The full (frozen) bin universe."""
+    return COVERAGE_UNIVERSE
+
+
+class CoverageMap:
+    """Per-bin hit counts, accumulated across any number of runs.
+
+    Attach to each machine before ``run()``; the map survives detach, so
+    one instance accumulates a whole campaign and its :meth:`unhit` view
+    feeds the generator's bias between cases.
+    """
+
+    #: (attribute path under machine, field) pairs snapshotted per commit.
+    _STAT_FIELDS = ("stall_alu_ir_busy", "stall_scoreboard",
+                    "stall_vector_interlock", "stall_port",
+                    "stall_int_delay", "taken_branches")
+
+    def __init__(self):
+        self.hits = {}
+        self._machine = None
+        self._prev = None
+        self._last_falu_bucket = None
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, machine):
+        if self._machine is not None:
+            raise ValueError("coverage map already attached to a machine")
+        self._machine = machine
+        self._prev = self._read_counters()
+        machine.events.subscribe("commit", self._on_commit)
+        return self
+
+    def detach(self):
+        if self._machine is None:
+            return self
+        # Attribute any overflow abort that happened after the last
+        # commit (vector elements keep issuing through the drain).
+        self._check_overflow(self._read_counters())
+        self._machine.events.unsubscribe("commit", self._on_commit)
+        self._machine = None
+        self._prev = None
+        return self
+
+    def _read_counters(self):
+        machine = self._machine
+        stats = machine.stats
+        counters = {field: getattr(stats, field)
+                    for field in self._STAT_FIELDS}
+        counters["dcache_misses"] = machine.dcache.misses
+        counters["overflow_aborts"] = machine.fpu.stats.overflow_aborts
+        return counters
+
+    # -- classification --------------------------------------------------
+
+    def record(self, bin_key):
+        self.hits[bin_key] = self.hits.get(bin_key, 0) + 1
+
+    def _check_overflow(self, now):
+        if now["overflow_aborts"] > self._prev["overflow_aborts"] \
+                and self._last_falu_bucket is not None:
+            self.record(("overflow", self._last_falu_bucket))
+
+    def _on_commit(self, event):
+        now = self._read_counters()
+        prev = self._prev
+        delta = {key: now[key] - prev[key] for key in prev}
+        self._prev = now
+        overflowed = delta["overflow_aborts"] > 0
+        if overflowed and self._last_falu_bucket is not None:
+            self.record(("overflow", self._last_falu_bucket))
+        instruction = event.instruction
+        opcode = instruction[0]
+
+        if opcode == isa.FALU:
+            _, op, _rr, _ra, _rb, vl, sra, srb, unary = instruction
+            bucket = vl_bucket(vl)
+            if overflowed and self._last_falu_bucket is None:
+                # A first element issued -- and overflowed -- right at
+                # this instruction's own transfer.
+                self.record(("overflow", bucket))
+            self._last_falu_bucket = bucket
+            stride = "u%d" % sra if unary else "%d%d" % (sra, srb)
+            hazard = "ir_busy" if delta["stall_alu_ir_busy"] else "none"
+            self.record(("falu", Op(op).name.lower(), bucket, stride, hazard))
+        elif opcode in (isa.FLOAD, isa.FSTORE):
+            kind = "fload" if opcode == isa.FLOAD else "fstore"
+            if delta["stall_vector_interlock"]:
+                hazard = "interlock"
+            elif delta["stall_scoreboard"]:
+                hazard = "scoreboard"
+            elif delta["stall_port"]:
+                hazard = "port"
+            else:
+                hazard = "none"
+            outcome = "miss" if delta["dcache_misses"] else "hit"
+            self.record((kind, hazard, outcome))
+        elif opcode in (isa.LW, isa.SW):
+            kind = "lw" if opcode == isa.LW else "sw"
+            if delta["stall_port"]:
+                hazard = "port"
+            elif delta["stall_int_delay"]:
+                hazard = "delay"
+            else:
+                hazard = "none"
+            outcome = "miss" if delta["dcache_misses"] else "hit"
+            self.record((kind, hazard, outcome))
+        elif opcode == isa.FCMP:
+            cond = FCMP_CONDS.get(instruction[4], "le")
+            if delta["stall_vector_interlock"]:
+                hazard = "interlock"
+            elif delta["stall_scoreboard"]:
+                hazard = "scoreboard"
+            else:
+                hazard = "none"
+            self.record(("fcmp", cond, hazard))
+        elif opcode in isa.BRANCH_OPS:
+            direction = "taken" if delta["taken_branches"] else "not-taken"
+            self.record(("branch", isa.OPCODE_NAMES[opcode], direction))
+        elif opcode == isa.J:
+            self.record(("branch", "j", "taken"))
+        elif opcode == isa.NOP:
+            self.record(("int", "nop", "none"))
+        elif opcode == isa.LI:
+            self.record(("int", "li", "none"))
+        else:
+            name = isa.OPCODE_NAMES.get(opcode)
+            if name in _DELAY_INT_OPS:
+                hazard = "delay" if delta["stall_int_delay"] else "none"
+                self.record(("int", name, hazard))
+            # HALT / RFE commits carry no bin.
+
+    # -- reporting -------------------------------------------------------
+
+    def hit_count(self):
+        return len(self.hits)
+
+    def unhit(self):
+        """Bins defined but never hit, as a sorted list."""
+        return sorted(COVERAGE_UNIVERSE - set(self.hits))
+
+    def unhit_falu(self):
+        """Unhit FPU ALU bins -- the generator's bias targets."""
+        return [key for key in self.unhit() if key[0] == "falu"]
+
+    def merge(self, other):
+        for key, count in other.hits.items():
+            self.hits[key] = self.hits.get(key, 0) + count
+        return self
+
+    def summary(self):
+        total = len(COVERAGE_UNIVERSE)
+        hit = self.hit_count()
+        return ("coverage: %d/%d bins hit (%.1f%%)"
+                % (hit, total, 100.0 * hit / total))
+
+    def report(self, max_unhit=20):
+        lines = [self.summary()]
+        unhit = self.unhit()
+        if unhit:
+            lines.append("unhit bins (%d):" % len(unhit))
+            for key in unhit[:max_unhit]:
+                lines.append("  %s" % (key,))
+            if len(unhit) > max_unhit:
+                lines.append("  ... and %d more" % (len(unhit) - max_unhit))
+        return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Lockstep differential execution of fuzz cases.
+
+One fuzz case runs twice.  First the functional reference executor
+(:mod:`repro.robustness.reference`) interprets the program sequentially;
+this establishes that the case terminates and yields the step count that
+sizes the watchdog budget.  Then the cycle-level machine runs under the
+full detection stack -- the :class:`~repro.robustness.differential.
+DifferentialChecker` auditing every retirement in lockstep, per-cycle
+invariant audits, and the watchdog -- with an optional planted bug
+(:mod:`repro.robustness.fuzz.bugs`) or :class:`~repro.robustness.faults.
+FaultPlan` composed on top.
+
+Failures are summarised by a **signature**: the error class plus the
+stable category of its message, with the per-run machine context
+(``[cycle=... pc=...]``) stripped and register/cycle numbers
+generalised.  The shrinker relies on signatures being invariant under
+minimisation -- deleting instructions moves the failure to a different
+cycle and often a different register, but a flipped scoreboard bit still
+dies as the same *kind* of invariant violation.
+"""
+
+import re
+
+from repro.core.exceptions import (DivergenceError, InvariantError,
+                                   LivelockError, SimulationError)
+from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.mem.memory import Memory
+from repro.robustness.differential import DifferentialChecker
+from repro.robustness.reference import ReferenceExecutor
+from repro.robustness.watchdog import watchdog_budget
+
+from repro.robustness.fuzz.coverage import CoverageMap
+from repro.robustness.fuzz.generator import generate_case
+
+#: Reference-executor step ceiling; generated programs run a few hundred
+#: steps, so hitting this means the generator emitted a non-terminating
+#: program (a generator bug, reported as such).
+MAX_REFERENCE_STEPS = 100_000
+
+_DIVERGENCE_TAGS = (
+    ("unexpected FPU writeback", "unexpected-writeback"),
+    ("never retired", "missing-retire"),
+    ("final FPU register", "final-freg"),
+    ("FPU register", "freg"),
+    ("integer register", "ireg"),
+    ("memory word", "memory"),
+    ("control flow", "control-flow"),
+    ("PSW", "psw"),
+)
+
+
+def _slug(message, limit=48):
+    text = re.sub(r"\d+", "N", message.lower())
+    text = re.sub(r"[^a-z]+", "-", text).strip("-")
+    return text[:limit].rstrip("-")
+
+
+def failure_signature(error):
+    """A stable category for a failure, invariant under shrinking.
+
+    The machine context suffix (cycle/pc/instruction) and any literal
+    numbers are dropped: a minimised program fails at a different cycle
+    in a different register, but for the same architectural reason.
+    """
+    message = error.args[0] if error.args else str(error)
+    cut = message.find(" [cycle=")
+    if cut != -1:
+        message = message[:cut]
+    if isinstance(error, DivergenceError):
+        for key, tag in _DIVERGENCE_TAGS:
+            if key in message:
+                return "divergence:" + tag
+        return "divergence:" + _slug(message)
+    if isinstance(error, LivelockError):
+        return "livelock"
+    if isinstance(error, InvariantError):
+        return "invariant:" + _slug(message)
+    if isinstance(error, SimulationError):
+        return "error:" + _slug(message)
+    return type(error).__name__ + ":" + _slug(message)
+
+
+class CaseResult:
+    """Outcome of one differential run.
+
+    ``verdict`` is ``"pass"``, ``"fail"`` (the machine raised -- the
+    error and its signature ride along), or ``"generator-error"`` (the
+    *reference* rejected the program: by construction that is a
+    generator defect, not a machine one).
+    """
+
+    __slots__ = ("verdict", "error", "signature", "failure_cycle",
+                 "reference_steps")
+
+    def __init__(self, verdict, error=None, signature=None,
+                 failure_cycle=None, reference_steps=None):
+        self.verdict = verdict
+        self.error = error
+        self.signature = signature
+        self.failure_cycle = failure_cycle
+        self.reference_steps = reference_steps
+
+    @property
+    def failed(self):
+        return self.verdict == "fail"
+
+    def __repr__(self):
+        if self.verdict == "fail":
+            return "CaseResult(fail, %s)" % self.signature
+        return "CaseResult(%s)" % self.verdict
+
+
+def build_machine(program, memory_words, audit=True):
+    """A fresh machine over a copy of the case's memory image."""
+    memory = Memory(size_bytes=len(memory_words) * 8)
+    memory.words[:] = list(memory_words)
+    config = MachineConfig(audit_invariants=audit)
+    return MultiTitan(program, memory=memory, config=config)
+
+
+def run_case(program, memory_words, bug=None, audit=True, fault_plan=None,
+             coverage=None):
+    """Run one program differentially; return a :class:`CaseResult`.
+
+    ``bug`` names a planted bug from :mod:`repro.robustness.fuzz.bugs`
+    to install on the machine side only (the reference stays golden).
+    ``fault_plan`` composes state perturbation on top of the same
+    detection stack.  ``coverage`` is attached for the duration of the
+    run when given.
+    """
+    reference = ReferenceExecutor(program.instructions,
+                                  memory_words=list(memory_words),
+                                  decoded=program.decoded)
+    try:
+        reference.run(max_steps=MAX_REFERENCE_STEPS)
+    except Exception as error:  # noqa: BLE001 - any reference failure
+        return CaseResult("generator-error", error=error,
+                          signature=failure_signature(error))
+    budget = watchdog_budget(8 * reference.steps + 64)
+
+    machine = build_machine(program, memory_words, audit=audit)
+    if fault_plan is not None:
+        machine.fault_plan = fault_plan
+    checker = DifferentialChecker(machine)
+    if coverage is not None:
+        coverage.attach(machine)
+    undo = None
+    if bug is not None:
+        from repro.robustness.fuzz.bugs import install_bug
+        undo = install_bug(machine, bug)
+    try:
+        machine.run(max_cycles=budget)
+        checker.final_check()
+    except SimulationError as error:
+        return CaseResult("fail", error=error,
+                          signature=failure_signature(error),
+                          failure_cycle=machine.cycle,
+                          reference_steps=reference.steps)
+    finally:
+        if undo is not None:
+            undo()
+        if coverage is not None:
+            coverage.detach()
+        checker.detach()
+    return CaseResult("pass", reference_steps=reference.steps)
+
+
+class CampaignFailure:
+    """One failing seed of a campaign, with everything triage needs."""
+
+    __slots__ = ("case", "result")
+
+    def __init__(self, case, result):
+        self.case = case
+        self.result = result
+
+
+class CampaignResult:
+    __slots__ = ("cases", "failures", "generator_errors", "coverage")
+
+    def __init__(self, cases, failures, generator_errors, coverage):
+        self.cases = cases
+        self.failures = failures
+        self.generator_errors = generator_errors
+        self.coverage = coverage
+
+    @property
+    def clean(self):
+        return not self.failures and not self.generator_errors
+
+    def summary(self):
+        lines = ["fuzz: %d cases, %d failures, %d generator errors"
+                 % (self.cases, len(self.failures),
+                    len(self.generator_errors))]
+        lines.append(self.coverage.summary())
+        for failure in self.failures:
+            lines.append("  seed %d: %s" % (failure.case.seed,
+                                            failure.result.signature))
+        for failure in self.generator_errors:
+            lines.append("  seed %d: generator error: %s"
+                         % (failure.case.seed, failure.result.error))
+        return "\n".join(lines)
+
+
+def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
+         max_failures=None, on_case=None):
+    """Run a coverage-guided campaign of ``seeds`` generated cases.
+
+    The coverage map accumulates across cases and feeds back into the
+    generator (unhit FPU ALU bins are synthesised directly), so later
+    seeds explore shapes earlier seeds missed.  Returns a
+    :class:`CampaignResult`; with ``max_failures`` the campaign stops
+    early once that many failing seeds are collected.
+    """
+    coverage = coverage if coverage is not None else CoverageMap()
+    failures = []
+    generator_errors = []
+    ran = 0
+    for index in range(seeds):
+        seed = base_seed + index
+        case = generate_case(seed, coverage=coverage)
+        result = run_case(case.program, case.memory_words, bug=bug,
+                          audit=audit, coverage=coverage)
+        ran += 1
+        if on_case is not None:
+            on_case(case, result)
+        if result.verdict == "fail":
+            failures.append(CampaignFailure(case, result))
+        elif result.verdict == "generator-error":
+            generator_errors.append(CampaignFailure(case, result))
+        if max_failures is not None and len(failures) >= max_failures:
+            break
+    return CampaignResult(ran, failures, generator_errors, coverage)

@@ -1,0 +1,794 @@
+"""Seeded generation of architecturally valid MultiTitan programs.
+
+Every program this module emits is valid **by construction**: it
+assembles, terminates, and -- the property the differential fuzzer
+rests on -- is free of the one behaviour the paper leaves to the
+compiler, loads/stores/compares that touch *deeper* (not-yet-issued)
+elements of an in-flight vector instruction (WRL 89/8 section 2.3.2).
+The hardware interlocks only the current-element specifiers sitting in
+the instruction register; a generated program may touch those (that is
+the ``ls_conflict`` strategy -- it exercises the interlock), but never
+the deeper footprint, whose outcome is timing-dependent and would
+diverge from the sequential reference for a correct machine.
+
+The generator tracks three pieces of static state to guarantee this:
+
+* a **type tag** per FPU register (``"f"``/``"i"``): ``execute_op``
+  distinguishes float and integer register values, so FLOAT/IMUL only
+  ever see int-tagged registers and ADD/SUB/MUL/ITER/RECIP only
+  float-tagged ones.  Operations that can overflow additionally require
+  an all-float destination range, so a mid-vector overflow abort (which
+  leaves the remaining elements unwritten) cannot strand a stale tag.
+* the **deep footprint** of vector instructions still possibly in
+  flight: the union of every element-1..vl-1 register specifier.
+  Inside loop bodies and conditionally executed blocks footprints
+  accumulate instead of being replaced, and vector instructions emitted
+  into a loop body refuse footprints overlapping any load/store/compare
+  already in the body -- iteration N+1's leading loads run while
+  iteration N's trailing vector may still be issuing.
+* **known integer registers**: loop bounds and branch operands whose
+  values the generator derives statically, so every backward branch is
+  a counted loop and every other branch jumps strictly forward --
+  termination by construction.
+
+Memory is laid out in fixed regions (float data, huge values near the
+overflow threshold, integer data, and separate float/int scratch areas)
+addressed through base registers the program never modifies, so every
+access is aligned and in range.
+
+The weighted strategies favour the hazard-rich shapes named in the
+paper: RAW chains feeding vector sources, recurrences/reductions
+through overlapping specifiers, mid-vector overflow aborts, load/store
+traffic against in-flight vectors, and strided streams that straddle
+cache lines.  When a :class:`~repro.robustness.fuzz.coverage.
+CoverageMap` is supplied, the generator spends a fraction of its budget
+synthesising exactly the FPU ALU shapes the map has never seen.
+"""
+
+from random import Random
+
+from repro.core.encoding import MAX_VECTOR_LENGTH, NUM_REGISTERS
+from repro.core.types import Op, UNARY_OPS
+from repro.cpu import isa
+from repro.cpu.program import ProgramBuilder
+from repro.robustness.fuzz.coverage import vl_bucket
+
+# ----------------------------------------------------------------------
+# Memory layout (word indices; addresses are words * 8)
+# ----------------------------------------------------------------------
+
+FLOAT_WORDS = (0, 64)       # exact binary fractions
+HUGE_WORDS = (64, 72)       # powers of two near the overflow threshold
+INT_WORDS = (72, 104)       # small integers
+FSCRATCH_WORDS = (104, 168)  # float scratch (fstore targets)
+ISCRATCH_WORDS = (168, 200)  # integer scratch (sw targets)
+MEMORY_WORDS = 200
+
+#: Base registers r1..r5 hold the region bases and are never modified.
+R_FLOAT, R_HUGE, R_INT, R_FSCR, R_ISCR = 1, 2, 3, 4, 5
+BASE_REGS = {
+    R_FLOAT: FLOAT_WORDS[0] * 8,
+    R_HUGE: HUGE_WORDS[0] * 8,
+    R_INT: INT_WORDS[0] * 8,
+    R_FSCR: FSCRATCH_WORDS[0] * 8,
+    R_ISCR: ISCRATCH_WORDS[0] * 8,
+}
+
+#: Integer registers free for generated code (r0 reads zero, r1..r5 are
+#: bases).
+FREE_IREGS = tuple(range(6, isa.NUM_INT_REGISTERS))
+
+#: Float-in, float-out operations; all of them can overflow, so they
+#: require an all-float destination range (see the module docstring).
+F_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.ITER, Op.RECIP)
+
+_NEEDS = {Op.FLOAT: "i", Op.IMUL: "i"}
+_PRODUCES = {Op.TRUNC: "i", Op.IMUL: "i"}
+
+
+def build_memory_words(rng):
+    """The initial memory image for one generated case.
+
+    Float data uses exact binary fractions so every arithmetic result is
+    bit-reproducible across platforms; integer words are genuinely
+    ``int``-typed (the register file distinguishes the two).
+    """
+    words = [0.0] * MEMORY_WORDS
+    for index in range(*FLOAT_WORDS):
+        words[index] = rng.randrange(-2048, 2049) * 0.125
+    for index in range(*HUGE_WORDS):
+        words[index] = 2.0 ** rng.randrange(980, 1024)
+    for index in range(*INT_WORDS):
+        words[index] = rng.randrange(-999, 1000)
+    for index in range(*FSCRATCH_WORDS):
+        words[index] = rng.randrange(-64, 65) * 0.25
+    for index in range(*ISCRATCH_WORDS):
+        words[index] = rng.randrange(-9, 10)
+    return words
+
+
+class GeneratedCase:
+    """One generated fuzz case: the program, its memory image, and how
+    it was made (seed + the strategy trace, for triage bundles)."""
+
+    __slots__ = ("program", "memory_words", "seed", "strategies")
+
+    def __init__(self, program, memory_words, seed, strategies):
+        self.program = program
+        self.memory_words = memory_words
+        self.seed = seed
+        self.strategies = tuple(strategies)
+
+
+class _Generator:
+    """Single-use builder of one :class:`GeneratedCase`."""
+
+    def __init__(self, seed, coverage=None, max_instructions=64):
+        self.rng = Random(seed)
+        self.seed = seed
+        self.coverage = coverage
+        self.max_instructions = max_instructions
+        self.builder = ProgramBuilder()
+        self.tags = ["f"] * NUM_REGISTERS
+        self.scratch_tags = {}          # FSCRATCH word index -> tag
+        self.deep = set()               # deep footprint of in-flight vectors
+        self.known = {0: 0}             # int register -> statically known value
+        self.block_depth = 0            # >0 inside loop body / cond block
+        self.body_ls_regs = set()       # fregs touched by ls/fcmp in loop body
+        self.in_loop = False
+        self.reserved_iregs = set()     # loop counters/bounds: never clobber
+        self.strategies = []
+        self.last_falu_vl = 0
+
+    # -- small helpers ---------------------------------------------------
+
+    @property
+    def emitted(self):
+        return len(self.builder._instructions)
+
+    def budget_left(self):
+        return self.max_instructions - self.emitted
+
+    def pick_freg(self, tag=None, avoid_deep=False, span=1):
+        """A random FPU register (start of a ``span``-register run),
+        optionally tag- and footprint-constrained."""
+        rng = self.rng
+        for _ in range(40):
+            reg = rng.randrange(NUM_REGISTERS - span + 1)
+            run = range(reg, reg + span)
+            if tag is not None and any(self.tags[r] != tag for r in run):
+                continue
+            if avoid_deep and any(r in self.deep for r in run):
+                continue
+            return reg
+        return None
+
+    def pick_vl(self):
+        rng = self.rng
+        bucket = rng.choice(("1", "2-4", "5-8", "9-16"))
+        low, _, high = bucket.partition("-")
+        return rng.randint(int(low), int(high or low))
+
+    # -- FPU ALU emission with full validity checking --------------------
+
+    def _falu_tags(self, op, rr, ra, rb, vl, sra, srb):
+        """Element-by-element tag simulation of one FPU ALU instruction.
+
+        Returns the post-instruction tag list when the instruction is
+        valid (every element sees correctly typed operands; overflowing
+        ops see an all-float destination; block context stays
+        tag-neutral), else None.
+        """
+        unary = op in UNARY_OPS
+        if not 1 <= vl <= MAX_VECTOR_LENGTH:
+            return None
+        if rr + vl > NUM_REGISTERS:
+            return None
+        if ra + (vl - 1) * (1 if sra else 0) >= NUM_REGISTERS:
+            return None
+        if not unary and rb + (vl - 1) * (1 if srb else 0) >= NUM_REGISTERS:
+            return None
+        need = _NEEDS.get(op, "f")
+        produce = _PRODUCES.get(op, "f")
+        can_overflow = op in F_OPS
+        tags = list(self.tags)
+        r, a, b = rr, ra, rb
+        for _ in range(vl):
+            if tags[a] != need:
+                return None
+            if not unary and tags[b] != need:
+                return None
+            if can_overflow and tags[r] != "f":
+                return None
+            if self.block_depth and tags[r] != produce:
+                return None
+            tags[r] = produce
+            r += 1
+            a += 1 if sra else 0
+            b += 1 if srb else 0
+        return tags
+
+    def _falu_deep(self, op, rr, ra, rb, vl, sra, srb):
+        unary = op in UNARY_OPS
+        deep = set()
+        for element in range(1, vl):
+            deep.add(rr + element)
+            deep.add(ra + (element if sra else 0))
+            if not unary:
+                deep.add(rb + (element if srb else 0))
+        return deep
+
+    def try_falu(self, op, rr, ra, rb, vl, sra, srb):
+        """Emit one FPU ALU instruction if it is valid here; returns
+        True on success."""
+        if op in UNARY_OPS:
+            # Canonical encoding: unary source text omits rb/SRb, so the
+            # builder must emit the same zeros the assembler would.
+            rb, srb = 0, 0
+        tags = self._falu_tags(op, rr, ra, rb, vl, sra, srb)
+        if tags is None:
+            return False
+        deep = self._falu_deep(op, rr, ra, rb, vl, sra, srb)
+        if self.in_loop and deep & self.body_ls_regs:
+            # Iteration N+1's leading loads would race this vector.
+            return False
+        self.tags = tags
+        if self.block_depth:
+            self.deep |= deep
+        else:
+            self.deep = deep
+        self.builder.falu(op, rr, ra, rb, vl,
+                          sra=bool(sra), srb=bool(srb))
+        self.last_falu_vl = vl
+        return True
+
+    def random_falu(self, op=None, vl=None, sra=None, srb=None):
+        """Emit one random valid FPU ALU instruction; returns its
+        (rr, ra, rb, vl, sra, srb) on success, else None."""
+        rng = self.rng
+        for _ in range(40):
+            this_op = op if op is not None else rng.choice(
+                (Op.ADD, Op.SUB, Op.MUL, Op.ITER, Op.RECIP,
+                 Op.ADD, Op.SUB, Op.MUL,  # weight the common flops
+                 Op.FLOAT, Op.TRUNC, Op.IMUL))
+            this_vl = vl if vl is not None else self.pick_vl()
+            this_sra = sra if sra is not None else rng.randrange(2)
+            this_srb = srb if srb is not None else rng.randrange(2)
+            if this_op in UNARY_OPS:
+                this_srb = 0
+            rr = rng.randrange(NUM_REGISTERS)
+            ra = rng.randrange(NUM_REGISTERS)
+            rb = 0 if this_op in UNARY_OPS else rng.randrange(NUM_REGISTERS)
+            if self.try_falu(this_op, rr, ra, rb, this_vl, this_sra,
+                             this_srb):
+                return (rr, ra, rb, this_vl, this_sra, this_srb)
+        return None
+
+    def materialize(self, tag, regs):
+        """Load registers from the matching data region so their tags
+        become ``tag``; returns True when all loads were legal."""
+        for reg in regs:
+            if self.tags[reg] == tag:
+                continue
+            if reg in self.deep or self.block_depth:
+                return False
+            if tag == "i":
+                word = self.rng.randrange(*INT_WORDS) - INT_WORDS[0]
+                self.builder.fload(reg, R_INT, word * 8)
+            else:
+                word = self.rng.randrange(*FLOAT_WORDS)
+                self.builder.fload(reg, R_FLOAT, word * 8)
+            self.tags[reg] = tag
+            if self.in_loop:
+                self.body_ls_regs.add(reg)
+        return True
+
+    # -- non-vector emission with footprint/tag discipline ---------------
+
+    def emit_fload(self, reg, base, offset, tag):
+        """An FPU load honouring footprint and block tag-neutrality."""
+        if reg in self.deep:
+            return False
+        if self.block_depth and self.tags[reg] != tag:
+            return False
+        self.builder.fload(reg, base, offset)
+        self.tags[reg] = tag
+        if self.in_loop:
+            self.body_ls_regs.add(reg)
+        return True
+
+    def emit_fstore(self, reg, word):
+        """An FPU store into the float scratch region."""
+        if reg in self.deep:
+            return False
+        slot_tag = self.scratch_tags.get(word, "f")
+        if self.block_depth and self.tags[reg] != slot_tag:
+            return False
+        self.builder.fstore(reg, R_FSCR, (word - FSCRATCH_WORDS[0]) * 8)
+        self.scratch_tags[word] = self.tags[reg]
+        if self.in_loop:
+            self.body_ls_regs.add(reg)
+        return True
+
+    def emit_fcmp(self, rd, fa, fb, cond):
+        if fa in self.deep or fb in self.deep:
+            return False
+        self.builder.fcmp(rd, fa, fb, cond)
+        self.known.pop(rd, None)
+        if self.in_loop:
+            self.body_ls_regs.update((fa, fb))
+        return True
+
+    def free_ireg(self, exclude=()):
+        rng = self.rng
+        candidates = [reg for reg in FREE_IREGS
+                      if reg not in exclude
+                      and reg not in self.reserved_iregs]
+        return rng.choice(candidates) if candidates else None
+
+    # -- strategies ------------------------------------------------------
+
+    def s_vector_alu(self):
+        emitted = self.random_falu() is not None
+        if emitted and self.rng.random() < 0.5:
+            self.random_falu()
+        return emitted
+
+    def s_raw_chain(self):
+        """A vector instruction whose sources are the destination range
+        of the previous one -- a RAW chain resolved element by element
+        through the scoreboard."""
+        rng = self.rng
+        first = self.random_falu(op=rng.choice(F_OPS))
+        if first is None:
+            return False
+        rr, _ra, _rb, vl, _sra, _srb = first
+        op = rng.choice(F_OPS)
+        target = self.pick_freg(tag="f", span=vl)
+        if target is None:
+            return False
+        if not self.try_falu(op, target, rr, rr, vl, 1, 1):
+            return False
+        if rng.random() < 0.7:
+            # Touch the chained vector's current-element specifiers
+            # while it waits on its sources: the issue-stage interlock
+            # (section 2.3.2) fires, which plain in-flight vectors
+            # rarely trigger (their elements issue too quickly).
+            choice = rng.random()
+            if choice < 0.4 and target not in self.deep:
+                self.emit_fstore(target, rng.randrange(*FSCRATCH_WORDS))
+            elif choice < 0.7 and rr not in self.deep:
+                word = rng.randrange(*FLOAT_WORDS)
+                self.emit_fload(rr, R_FLOAT, word * 8, "f")
+            elif target not in self.deep and rr not in self.deep:
+                rd = self.free_ireg()
+                if rd is not None:
+                    self.emit_fcmp(rd, target, rr, rng.choice(
+                        (isa.CMP_EQ, isa.CMP_LT, isa.CMP_LE)))
+        return True
+
+    def s_recurrence(self):
+        """A first-order recurrence: element k's source is element k-1's
+        destination (rr = ra + 1 with both striding), the paper's
+        "arbitrary data dependencies between elements are legal"."""
+        vl = max(2, self.pick_vl())
+        base = self.pick_freg(tag="f", span=vl + 1)
+        if base is None:
+            return False
+        constant = self.pick_freg(tag="f")
+        if constant is None:
+            return False
+        op = self.rng.choice((Op.ADD, Op.SUB, Op.MUL))
+        return self.try_falu(op, base + 1, base, constant, vl, 1, 0)
+
+    def s_ls_conflict(self):
+        """Loads/stores/compares against the *current-element* specifiers
+        of an in-flight vector -- the interlocked-but-legal side of
+        section 2.3.2."""
+        first = self.random_falu(op=self.rng.choice(F_OPS),
+                                 vl=self.rng.randint(4, MAX_VECTOR_LENGTH))
+        if first is None:
+            return False
+        rr, ra, rb, _vl, _sra, _srb = first
+        candidates = [reg for reg in (rr, ra, rb) if reg not in self.deep]
+        if not candidates:
+            return True
+        rng = self.rng
+        for _ in range(rng.randint(1, 2)):
+            reg = rng.choice(candidates)
+            choice = rng.random()
+            if choice < 0.4:
+                word = rng.randrange(*FLOAT_WORDS)
+                self.emit_fload(reg, R_FLOAT, word * 8, "f")
+            elif choice < 0.7:
+                word = rng.randrange(*FSCRATCH_WORDS)
+                self.emit_fstore(reg, word)
+            else:
+                rd = self.free_ireg()
+                other = rng.choice(candidates)
+                if rd is not None:
+                    self.emit_fcmp(rd, reg, other, rng.choice(
+                        (isa.CMP_EQ, isa.CMP_LT, isa.CMP_LE)))
+        return True
+
+    def s_mem_stream(self):
+        """A strided load/store stream: small strides stay within cache
+        lines, large ones straddle a new line per access."""
+        rng = self.rng
+        stride_words = rng.choice((1, 1, 2, 4, 8))
+        count = rng.randint(3, 6)
+        kind = rng.random()
+        if kind < 0.4:
+            # FPU load stream from the float region.
+            start = rng.randrange(FLOAT_WORDS[0],
+                                  FLOAT_WORDS[1] - stride_words * count)
+            reg = self.pick_freg(avoid_deep=True, span=count)
+            if reg is None:
+                return False
+            for index in range(count):
+                self.emit_fload(reg + index, R_FLOAT,
+                                (start + index * stride_words) * 8, "f")
+        elif kind < 0.6:
+            # FPU store stream (back-to-back stores hold the port).
+            regs = [self.pick_freg(avoid_deep=True) for _ in range(count)]
+            words = rng.sample(range(*FSCRATCH_WORDS), count)
+            for reg, word in zip(regs, words):
+                if reg is not None:
+                    self.emit_fstore(reg, word)
+        elif kind < 0.8:
+            # Integer load stream with an immediate use (delay slot).
+            # The integer region is only 32 words, so clamp the stride.
+            stride_words = min(stride_words, 4)
+            span = stride_words * count
+            start = rng.randrange(INT_WORDS[0], INT_WORDS[1] - span)
+            rd = self.free_ireg()
+            acc = self.free_ireg(exclude=(rd,))
+            if rd is None or acc is None:
+                return False
+            consumers = {"add": self.builder.add, "sub": self.builder.sub,
+                         "mul": self.builder.mul, "and": self.builder.and_,
+                         "or": self.builder.or_, "xor": self.builder.xor}
+            immediates = {"addi": self.builder.addi,
+                          "muli": self.builder.muli,
+                          "sll": self.builder.sll, "sra": self.builder.sra}
+            for index in range(count):
+                self.builder.lw(rd, R_INT,
+                                (start - INT_WORDS[0]
+                                 + index * stride_words) * 8)
+                # Consume the load immediately: the delay-slot stall.
+                name = rng.choice(sorted(consumers) + sorted(immediates))
+                if name in consumers:
+                    consumers[name](acc, acc, rd)
+                else:
+                    immediates[name](acc, rd, rng.randrange(0, 8))
+            self.known.pop(rd, None)
+            self.known.pop(acc, None)
+        else:
+            # Integer store stream into the integer scratch region.
+            source = self.free_ireg()
+            if source is None:
+                return False
+            words = rng.sample(range(*ISCRATCH_WORDS), count)
+            for word in words:
+                self.builder.sw(source, R_ISCR,
+                                (word - ISCRATCH_WORDS[0]) * 8)
+        return True
+
+    def s_lw_base_chain(self):
+        """A load whose base register is itself a just-loaded value: the
+        second load issues into the first's delay slot."""
+        rng = self.rng
+        r_addr = self.free_ireg()
+        r_base = self.free_ireg(exclude=(r_addr,))
+        rd = self.free_ireg(exclude=(r_addr, r_base))
+        if None in (r_addr, r_base, rd):
+            return False
+        target_word = rng.randrange(*INT_WORDS)
+        slot = rng.randrange(*ISCRATCH_WORDS)
+        offset = (slot - ISCRATCH_WORDS[0]) * 8
+        self.builder.li(r_addr, target_word * 8)
+        self.builder.sw(r_addr, R_ISCR, offset)
+        self.builder.lw(r_base, R_ISCR, offset)
+        self.builder.lw(rd, r_base, 0)
+        # Store the just-loaded value: a store issuing into the load's
+        # delay slot.
+        slot2 = rng.randrange(*ISCRATCH_WORDS)
+        self.builder.sw(rd, R_ISCR, (slot2 - ISCRATCH_WORDS[0]) * 8)
+        self.known[r_addr] = target_word * 8
+        self.known.pop(r_base, None)
+        self.known.pop(rd, None)
+        return True
+
+    def s_int_block(self):
+        rng = self.rng
+        for _ in range(rng.randint(2, 4)):
+            rd = self.free_ireg()
+            if rd is None:
+                return False
+            choice = rng.random()
+            if choice < 0.3:
+                value = rng.randrange(-500, 500)
+                self.builder.li(rd, value)
+                self.known[rd] = value
+            elif choice < 0.7:
+                ra = self.free_ireg()
+                imm = rng.randrange(0, 8) if rng.random() < 0.3 \
+                    else rng.randrange(-100, 100)
+                emit = rng.choice((self.builder.addi, self.builder.muli,
+                                   self.builder.sll, self.builder.sra))
+                if emit in (self.builder.sll, self.builder.sra):
+                    imm = rng.randrange(0, 8)
+                emit(rd, ra, imm)
+                if ra in self.known:
+                    fn = {self.builder.addi: lambda a, k: a + k,
+                          self.builder.muli: lambda a, k: a * k,
+                          self.builder.sll: lambda a, k: a << k,
+                          self.builder.sra: lambda a, k: a >> k}[emit]
+                    self.known[rd] = fn(self.known[ra], imm)
+                else:
+                    self.known.pop(rd, None)
+            else:
+                ra, rb = self.free_ireg(), self.free_ireg()
+                emit = rng.choice((self.builder.add, self.builder.sub,
+                                   self.builder.mul, self.builder.and_,
+                                   self.builder.or_, self.builder.xor))
+                emit(rd, ra, rb)
+                if ra in self.known and rb in self.known:
+                    fn = {self.builder.add: lambda a, b: a + b,
+                          self.builder.sub: lambda a, b: a - b,
+                          self.builder.mul: lambda a, b: a * b,
+                          self.builder.and_: lambda a, b: a & b,
+                          self.builder.or_: lambda a, b: a | b,
+                          self.builder.xor: lambda a, b: a ^ b}[emit]
+                    self.known[rd] = fn(self.known[ra], self.known[rb])
+                else:
+                    self.known.pop(rd, None)
+        return True
+
+    def s_branch_block(self):
+        """A forward conditional skip.  The skipped block must be
+        tag-neutral: the generator cannot know statically whether it
+        executes."""
+        rng = self.rng
+        builder = self.builder
+        if rng.random() < 0.3:
+            # An unconditional jump to the next instruction: exercises
+            # the taken-jump redirect without dead code.
+            label = builder.label()
+            builder.j(label)
+            builder.place(label)
+            return True
+        if rng.random() < 0.5:
+            # FCMP-driven branch: direction statically unknown.
+            fa = self.pick_freg(avoid_deep=True)
+            fb = self.pick_freg(avoid_deep=True)
+            rd = self.free_ireg()
+            if None in (fa, fb, rd):
+                return False
+            self.emit_fcmp(rd, fa, fb,
+                           rng.choice((isa.CMP_EQ, isa.CMP_LT, isa.CMP_LE)))
+            opcode = rng.choice((builder.beq, builder.bne))
+            ra, rb = rd, 0
+        else:
+            ra = self.free_ireg()
+            rb = self.free_ireg(exclude=(ra,))
+            if ra is None or rb is None:
+                return False
+            if rng.random() < 0.5:
+                # Known operands: both directions of every branch opcode
+                # are reachable across seeds, not left to whatever values
+                # earlier strategies happened to compute.
+                left, right = rng.randrange(-4, 5), rng.randrange(-4, 5)
+                builder.li(ra, left)
+                builder.li(rb, right)
+                self.known[ra] = left
+                self.known[rb] = right
+            opcode = rng.choice((builder.beq, builder.bne, builder.blt,
+                                 builder.bge, builder.ble, builder.bgt))
+        skip = builder.label()
+        opcode(ra, rb, skip)
+        self.block_depth += 1
+        written = self._neutral_block(rng.randint(1, 3))
+        self.block_depth -= 1
+        for reg in written:
+            self.known.pop(reg, None)
+        builder.place(skip)
+        return True
+
+    def _neutral_block(self, length):
+        """Emit ``length`` tag-neutral operations (safe whether or not
+        they execute); returns the integer registers written."""
+        rng = self.rng
+        written = set()
+        for _ in range(length):
+            choice = rng.random()
+            if choice < 0.3:
+                reg = self.pick_freg(tag="f", avoid_deep=True)
+                if reg is not None:
+                    word = rng.randrange(*FLOAT_WORDS)
+                    self.emit_fload(reg, R_FLOAT, word * 8, "f")
+            elif choice < 0.5:
+                self.random_falu(op=rng.choice(F_OPS))
+            elif choice < 0.7:
+                rd = self.free_ireg()
+                if rd is not None:
+                    word = rng.randrange(*INT_WORDS) - INT_WORDS[0]
+                    self.builder.lw(rd, R_INT, word * 8)
+                    written.add(rd)
+            elif choice < 0.85:
+                source = self.free_ireg()
+                if source is not None:
+                    word = rng.randrange(*ISCRATCH_WORDS) - ISCRATCH_WORDS[0]
+                    self.builder.sw(source, R_ISCR, word * 8)
+            else:
+                rd = self.free_ireg()
+                ra = self.free_ireg()
+                if rd is not None and ra is not None:
+                    self.builder.addi(rd, ra, rng.randrange(-50, 50))
+                    written.add(rd)
+        for reg in written:
+            self.known.pop(reg, None)
+        return written
+
+    def s_overflow(self):
+        """A vector multiply that overflows at a chosen element: the
+        machine must abort the remaining elements and record the PSW
+        state exactly like the sequential reference (section 2.3.3)."""
+        rng = self.rng
+        vl = self.pick_vl()
+        at = rng.randrange(vl)
+        source = self.pick_freg(tag="f", avoid_deep=True, span=vl)
+        dest = self.pick_freg(tag="f", span=vl)
+        if source is None or dest is None:
+            return False
+        for element in range(vl):
+            if element == at:
+                word = rng.randrange(*HUGE_WORDS) - HUGE_WORDS[0]
+                ok = self.emit_fload(source + element, R_HUGE, word * 8, "f")
+            else:
+                word = rng.randrange(*FLOAT_WORDS)
+                ok = self.emit_fload(source + element, R_FLOAT, word * 8, "f")
+            if not ok:
+                return False
+        return self.try_falu(Op.MUL, dest, source, source, vl, 1, 1)
+
+    def s_loop(self):
+        """A counted loop with a tag-neutral body."""
+        rng = self.rng
+        if self.block_depth or self.budget_left() < 10:
+            return False
+        counter = self.free_ireg()
+        bound = self.free_ireg(exclude=(counter,))
+        if counter is None or bound is None:
+            return False
+        count = rng.randint(2, 4)
+        self.builder.li(counter, 0)
+        self.builder.li(bound, count)
+        self.known[counter] = 0
+        self.known[bound] = count
+        _top, close = self.builder.counted_loop(counter, bound)
+        self.block_depth += 1
+        self.in_loop = True
+        self.body_ls_regs = set()
+        self.reserved_iregs = {counter, bound}
+        self._neutral_block(rng.randint(2, 4))
+        self.reserved_iregs = set()
+        self.in_loop = False
+        self.body_ls_regs = set()
+        self.block_depth -= 1
+        self.builder.addi(counter, counter, 1)
+        close()
+        self.known[counter] = count
+        return True
+
+    def s_nops(self):
+        for _ in range(self.rng.randint(1, 2)):
+            self.builder.nop()
+        return True
+
+    # -- coverage-directed synthesis -------------------------------------
+
+    def s_target_falu(self):
+        """Synthesize an FPU ALU instruction for a specific unhit
+        coverage bin (op x vl-bucket x stride x hazard)."""
+        if self.coverage is None:
+            return False
+        unhit = self.coverage.unhit_falu()
+        if not unhit:
+            return False
+        rng = self.rng
+        _, op_name, bucket, stride, hazard = rng.choice(unhit)
+        op = Op[op_name.upper()]
+        low, _, high = bucket.partition("-")
+        vl = rng.randint(int(low), int(high or low))
+        if stride.startswith("u"):
+            sra, srb = int(stride[1]), 0
+        else:
+            sra, srb = int(stride[0]), int(stride[1])
+        need = _NEEDS.get(op, "f")
+
+        # Find a register assignment; materialize int-typed sources when
+        # the op needs them and none are available.
+        placement = None
+        for _ in range(60):
+            rr = rng.randrange(NUM_REGISTERS)
+            ra = rng.randrange(NUM_REGISTERS)
+            rb = rng.randrange(NUM_REGISTERS)
+            if self._falu_tags(op, rr, ra, rb, vl, sra, srb) is not None:
+                placement = (rr, ra, rb)
+                break
+        if placement is None and need == "i" and not self.block_depth:
+            span = 1 + (vl - 1) * sra
+            ra = self.pick_freg(avoid_deep=True, span=span)
+            if ra is None:
+                return False
+            if not self.materialize("i", range(ra, ra + span)):
+                return False
+            rb = ra if op is Op.IMUL else 0
+            for _ in range(60):
+                rr = rng.randrange(NUM_REGISTERS)
+                if self._falu_tags(op, rr, ra, rb, vl, sra, srb) is not None:
+                    placement = (rr, ra, rb)
+                    break
+        if placement is None:
+            return False
+        rr, ra, rb = placement
+
+        if hazard == "ir_busy":
+            # A vector still issuing when the target transfers: emit a
+            # short float vector immediately before.
+            self.random_falu(op=rng.choice(F_OPS), vl=rng.randint(2, 4))
+        else:
+            # Pad so any earlier vector has drained by the transfer.
+            for _ in range(min(18, self.last_falu_vl + 2)):
+                self.builder.nop()
+        return self.try_falu(op, rr, ra, rb, vl, sra, srb)
+
+    # -- top level -------------------------------------------------------
+
+    _STRATEGIES = (
+        ("vector_alu", "s_vector_alu", 3),
+        ("raw_chain", "s_raw_chain", 2),
+        ("recurrence", "s_recurrence", 1),
+        ("ls_conflict", "s_ls_conflict", 2),
+        ("mem_stream", "s_mem_stream", 3),
+        ("lw_base_chain", "s_lw_base_chain", 1),
+        ("int_block", "s_int_block", 2),
+        ("branch_block", "s_branch_block", 2),
+        ("overflow", "s_overflow", 1),
+        ("loop", "s_loop", 1),
+        ("nops", "s_nops", 1),
+    )
+
+    def generate(self):
+        builder = self.builder
+        for reg, address in sorted(BASE_REGS.items()):
+            builder.li(reg, address)
+            self.known[reg] = address
+        names = [name for name, _, weight in self._STRATEGIES
+                 for _ in range(weight)]
+        rng = self.rng
+        while self.budget_left() > 8:
+            if self.coverage is not None and rng.random() < 0.5:
+                if self.s_target_falu():
+                    self.strategies.append("target_falu")
+                    continue
+            name = rng.choice(names)
+            method = getattr(self, dict(
+                (n, m) for n, m, _ in self._STRATEGIES)[name])
+            if method():
+                self.strategies.append(name)
+        program = builder.build()
+        return GeneratedCase(program, build_memory_words(Random(self.seed)),
+                             self.seed, self.strategies)
+
+
+def generate_case(seed, coverage=None, max_instructions=64):
+    """Generate one valid fuzz case from a seed.
+
+    The same seed always yields the same program and memory image;
+    supplying a :class:`CoverageMap` only changes which shapes the
+    generator favours, never the validity guarantees.
+    """
+    return _Generator(seed, coverage=coverage,
+                      max_instructions=max_instructions).generate()

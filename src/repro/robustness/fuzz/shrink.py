@@ -1,0 +1,178 @@
+"""Automatic minimisation of failing fuzz cases.
+
+The shrinker repeatedly simplifies a failing program while preserving
+its **failure signature** (:func:`repro.robustness.fuzz.driver.
+failure_signature`): a candidate survives only if it still fails the
+differential run for the same architectural reason.  Candidates that
+become invalid -- branches past the end, type confusion the generator
+would never emit, non-terminating loops -- reject themselves, because
+they either fail the *reference* prerun (a ``generator-error`` verdict)
+or die with a different signature.
+
+Three reductions run to a fixpoint, cheapest first:
+
+1. **ddmin chunk deletion** -- delete runs of instructions, halving the
+   chunk size down to 1 (single-instruction sweep).  Branch targets are
+   remapped across deletions; the trailing HALT is never deleted.
+2. **field shrinking** -- lower vector lengths toward 1, zero stride
+   bits, and shrink immediates/offsets toward 0 (offsets stay
+   word-aligned).
+
+Every candidate execution counts against ``max_attempts``, so shrinking
+a pathological case degrades to "best effort so far" rather than
+hanging.
+"""
+
+from repro.cpu import isa
+from repro.cpu.program import Program
+
+from repro.robustness.fuzz.driver import run_case
+
+#: Operand index of the immediate/offset field, per opcode.
+_IMM_INDEX = {isa.LI: 2, isa.ADDI: 3, isa.MULI: 3, isa.SLL: 3, isa.SRA: 3}
+_OFFSET_INDEX = {isa.LW: 3, isa.SW: 3, isa.FLOAD: 3, isa.FSTORE: 3}
+
+
+class ShrinkResult:
+    __slots__ = ("program", "signature", "original_length", "attempts")
+
+    def __init__(self, program, signature, original_length, attempts):
+        self.program = program
+        self.signature = signature
+        self.original_length = original_length
+        self.attempts = attempts
+
+    def __repr__(self):
+        return ("ShrinkResult(%d -> %d instructions, %s, %d attempts)"
+                % (self.original_length, len(self.program.instructions),
+                   self.signature, self.attempts))
+
+
+def _delete(instructions, indices):
+    """Delete ``indices`` and remap branch/jump targets across the gap.
+
+    A target pointing into the deleted region lands on the next
+    surviving instruction; targets past the end clamp to the final
+    (HALT) slot.
+    """
+    removed = sorted(indices)
+    kept = [instruction for index, instruction in enumerate(instructions)
+            if index not in indices]
+
+    def remap(target):
+        shift = 0
+        for index in removed:
+            if index < target:
+                shift += 1
+            else:
+                break
+        return max(0, min(target - shift, len(kept) - 1))
+
+    out = []
+    for instruction in kept:
+        opcode = instruction[0]
+        if opcode in isa.BRANCH_OPS:
+            instruction = instruction[:3] + (remap(instruction[3]),)
+        elif opcode == isa.J:
+            instruction = (opcode, remap(instruction[1]))
+        out.append(instruction)
+    return out
+
+
+def _field_variants(instruction):
+    """Smaller versions of one instruction, most aggressive first."""
+    opcode = instruction[0]
+    variants = []
+    if opcode == isa.FALU:
+        op, rr, ra, rb, vl, sra, srb, unary = instruction[1:]
+        if vl > 1:
+            variants.append((opcode, op, rr, ra, rb, 1, sra, srb, unary))
+            if vl > 2:
+                variants.append((opcode, op, rr, ra, rb, vl // 2,
+                                 sra, srb, unary))
+        if sra:
+            variants.append((opcode, op, rr, ra, rb, vl, 0, srb, unary))
+        if srb and not unary:
+            variants.append((opcode, op, rr, ra, rb, vl, sra, 0, unary))
+    elif opcode in _IMM_INDEX:
+        index = _IMM_INDEX[opcode]
+        value = instruction[index]
+        if value:
+            variants.append(instruction[:index] + (0,)
+                            + instruction[index + 1:])
+            if abs(value) > 1:
+                variants.append(instruction[:index] + (value // 2,)
+                                + instruction[index + 1:])
+    elif opcode in _OFFSET_INDEX:
+        index = _OFFSET_INDEX[opcode]
+        value = instruction[index]
+        if value:
+            variants.append(instruction[:index] + (0,)
+                            + instruction[index + 1:])
+            half = (value // 16) * 8       # halve, staying word-aligned
+            if half != value:
+                variants.append(instruction[:index] + (half,)
+                                + instruction[index + 1:])
+    return variants
+
+
+def shrink_case(program, memory_words, signature, bug=None, audit=True,
+                max_attempts=2000):
+    """Minimise a failing program, preserving its failure signature.
+
+    Returns a :class:`ShrinkResult` whose program is the smallest
+    variant found that still fails identically (the original program if
+    nothing smaller failed the same way).
+    """
+    state = {"attempts": 0}
+
+    def still_fails(instructions):
+        if state["attempts"] >= max_attempts:
+            return False
+        state["attempts"] += 1
+        candidate = Program(list(instructions), {})
+        try:
+            result = run_case(candidate, memory_words, bug=bug, audit=audit)
+        except Exception:  # noqa: BLE001 - invalid candidates self-reject
+            return False
+        return result.failed and result.signature == signature
+
+    current = list(program.instructions)
+
+    # -- phase 1: ddmin chunk deletion (never the trailing HALT) --------
+    progress = True
+    while progress and state["attempts"] < max_attempts:
+        progress = False
+        chunk = max(1, (len(current) - 1) // 2)
+        while chunk >= 1 and state["attempts"] < max_attempts:
+            start = 0
+            while start < len(current) - 1:
+                indices = set(range(start, min(start + chunk,
+                                               len(current) - 1)))
+                if not indices:
+                    break
+                candidate = _delete(current, indices)
+                if len(candidate) >= 1 and still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    # Re-try the same window: more may go.
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+
+        # -- phase 2: field shrinking, interleaved until fixpoint -------
+        for index in range(len(current) - 1):
+            for variant in _field_variants(current[index]):
+                candidate = list(current)
+                candidate[index] = variant
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+            if state["attempts"] >= max_attempts:
+                break
+
+    return ShrinkResult(Program(current, {}), signature,
+                        len(program.instructions), state["attempts"])

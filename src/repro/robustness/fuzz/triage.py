@@ -1,0 +1,163 @@
+"""Triage bundles: everything needed to replay a fuzz failure.
+
+A bundle is a directory:
+
+* ``program.s`` -- the *minimised* failing program, in assembler text
+  that reassembles to the exact instruction tuples
+  (:meth:`repro.cpu.program.Program.to_source`);
+* ``original.s`` -- the unshrunk generated program, for context;
+* ``memory.json`` -- the initial memory image, bit-exact;
+* ``snapshot.json`` -- ``Machine.snapshot()`` captured immediately
+  before the failing cycle of the minimised run (the machine paused via
+  ``stop_cycle``, planted bug installed, detection stack off);
+* ``meta.json`` -- seed, generator strategy trace, planted bug,
+  failure signature, the full error text, and the one-line repro
+  command.
+
+``meta.json`` stores plain JSON; the memory image and snapshot go
+through :func:`encode_data`, which keeps what JSON would mangle:
+non-finite floats travel as ``{"~float": hex}``, tuples as
+``{"~tuple": [...]}``, and non-string-keyed dicts as
+``{"~dict": [[key, value], ...]}``.  Finite floats are left to JSON
+itself -- Python emits shortest-round-trip representations, so they
+come back bit-exact (including the sign of ``-0.0``).
+"""
+
+import json
+import os
+
+from repro.cpu.assembler import assemble
+
+from repro.robustness.fuzz.driver import run_case
+
+#: The one-line reproduction command stored in every bundle.
+REPRO_COMMAND = "python -m repro.tools.cli fuzz --repro %s"
+
+_NONFINITE = frozenset(("inf", "-inf", "nan"))
+
+
+def encode_data(value):
+    """Recursively encode plain data for strict JSON, losslessly."""
+    if isinstance(value, bool) or value is None \
+            or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return {"~float": value.hex()}
+        return value
+    if isinstance(value, tuple):
+        return {"~tuple": [encode_data(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_data(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) and not key.startswith("~")
+               for key in value):
+            return {key: encode_data(item) for key, item in value.items()}
+        return {"~dict": [[encode_data(key), encode_data(item)]
+                          for key, item in value.items()]}
+    raise TypeError("cannot encode %r for a triage bundle" % (value,))
+
+
+def decode_data(value):
+    """Inverse of :func:`encode_data`."""
+    if isinstance(value, list):
+        return [decode_data(item) for item in value]
+    if isinstance(value, dict):
+        if set(value) == {"~float"}:
+            return float.fromhex(value["~float"])
+        if set(value) == {"~tuple"}:
+            return tuple(decode_data(item) for item in value["~tuple"])
+        if set(value) == {"~dict"}:
+            return {decode_data(key): decode_data(item)
+                    for key, item in value["~dict"]}
+        return {key: decode_data(item) for key, item in value.items()}
+    return value
+
+
+def _capture_snapshot(program, memory_words, bug, failure_cycle):
+    """The machine's state paused just before the failing cycle.
+
+    The detection stack is off (no checker, no audits): the point is
+    the pre-failure *architectural* state, which a raising run never
+    yields.  Returns None when the failure fires before the pause point
+    can be reached cleanly.
+    """
+    from repro.robustness.fuzz.bugs import install_bug
+    from repro.robustness.fuzz.driver import build_machine
+
+    if failure_cycle is None:
+        return None
+    machine = build_machine(program, memory_words, audit=False)
+    undo = install_bug(machine, bug) if bug is not None else None
+    try:
+        machine.run(stop_cycle=failure_cycle)
+        return machine.snapshot()
+    except Exception:  # noqa: BLE001 - snapshot is best-effort context
+        return None
+    finally:
+        if undo is not None:
+            undo()
+
+
+def write_bundle(directory, case, result, shrunk, bug=None):
+    """Write a triage bundle for one shrunk failure; returns the path.
+
+    ``case`` is the originating :class:`~repro.robustness.fuzz.
+    generator.GeneratedCase`, ``result`` the failing :class:`~repro.
+    robustness.fuzz.driver.CaseResult`, ``shrunk`` the :class:`~repro.
+    robustness.fuzz.shrink.ShrinkResult`.
+    """
+    os.makedirs(directory, exist_ok=True)
+    minimized = shrunk.program
+
+    # The minimised program's own failing cycle (it differs from the
+    # original's) anchors the pre-failure snapshot.
+    replay = run_case(minimized, case.memory_words, bug=bug)
+    snapshot = _capture_snapshot(minimized, case.memory_words, bug,
+                                 replay.failure_cycle)
+
+    with open(os.path.join(directory, "program.s"), "w") as handle:
+        handle.write(minimized.to_source())
+    with open(os.path.join(directory, "original.s"), "w") as handle:
+        handle.write(case.program.to_source())
+    with open(os.path.join(directory, "memory.json"), "w") as handle:
+        json.dump(encode_data(list(case.memory_words)), handle)
+    with open(os.path.join(directory, "snapshot.json"), "w") as handle:
+        json.dump(encode_data(snapshot), handle)
+    meta = {
+        "seed": case.seed,
+        "strategies": list(case.strategies),
+        "bug": bug,
+        "signature": result.signature,
+        "report": str(result.error),
+        "failure_cycle": replay.failure_cycle,
+        "original_instructions": len(case.program.instructions),
+        "minimized_instructions": len(minimized.instructions),
+        "shrink_attempts": shrunk.attempts,
+        "repro": REPRO_COMMAND % directory,
+    }
+    with open(os.path.join(directory, "meta.json"), "w") as handle:
+        json.dump(meta, handle, indent=2)
+    return directory
+
+
+def load_bundle(directory):
+    """Load a bundle; returns (program, memory_words, meta)."""
+    with open(os.path.join(directory, "program.s")) as handle:
+        program = assemble(handle.read())
+    with open(os.path.join(directory, "memory.json")) as handle:
+        memory_words = decode_data(json.load(handle))
+    with open(os.path.join(directory, "meta.json")) as handle:
+        meta = json.load(handle)
+    return program, memory_words, meta
+
+
+def repro_bundle(directory):
+    """Re-run a bundle's minimised program; returns (result, meta).
+
+    The caller decides what "reproduced" means; the natural check is
+    ``result.failed and result.signature == meta["signature"]``.
+    """
+    program, memory_words, meta = load_bundle(directory)
+    result = run_case(program, memory_words, bug=meta.get("bug"))
+    return result, meta

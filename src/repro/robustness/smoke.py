@@ -30,6 +30,7 @@ from repro.cpu.program import ProgramBuilder
 from repro.mem.memory import Memory
 from repro.robustness.differential import DifferentialChecker, bit_exact
 from repro.robustness.faults import KINDS, FaultPlan
+from repro.robustness.watchdog import watchdog_budget
 
 VL = 16
 A_BASE = 0          # words 0..15
@@ -119,23 +120,25 @@ def states_equal(a, b):
 
 
 def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run):
-    """Run one seeded fault campaign; return (verdict, detail)."""
+    """Run one seeded fault campaign; return (verdict, detail, kinds)."""
     machine = make_machine(audit=True)
     plan = FaultPlan.random(seed, max_cycle=baseline_cycles,
                             count=faults_per_run, kinds=kinds,
                             memory_words=MEMORY_WORDS)
     machine.fault_plan = plan
+    kinds_used = tuple(sorted({event.kind for event in plan.events}))
     checker = DifferentialChecker(machine)
     try:
-        machine.run(max_cycles=10 * baseline_cycles + 1000)
+        machine.run(max_cycles=watchdog_budget(baseline_cycles))
         checker.final_check()
     except SimulationError as error:
-        return "detected", "%s: %s" % (type(error).__name__, error)
+        return ("detected", "%s: %s" % (type(error).__name__, error),
+                kinds_used)
     finally:
         checker.detach()
     if states_equal(architectural_state(machine), baseline):
-        return "masked", plan.describe()
-    return "silent", plan.describe()
+        return "masked", plan.describe(), kinds_used
+    return "silent", plan.describe(), kinds_used
 
 
 def main(argv=None):
@@ -169,11 +172,16 @@ def main(argv=None):
           % (baseline_cycles, golden.memory.read(SUM_BASE)))
 
     counts = {"detected": 0, "masked": 0, "silent": 0}
+    by_kind = {kind: {"detected": 0, "masked": 0, "silent": 0}
+               for kind in kinds}
     failures = []
     for seed in range(args.seed, args.seed + args.seeds):
-        verdict, detail = run_seed(seed, baseline, baseline_cycles,
-                                   kinds, args.faults)
+        verdict, detail, kinds_used = run_seed(seed, baseline,
+                                               baseline_cycles, kinds,
+                                               args.faults)
         counts[verdict] += 1
+        for kind in kinds_used:
+            by_kind[kind][verdict] += 1
         if verdict == "silent":
             failures.append(seed)
         if args.verbose or verdict == "silent":
@@ -183,6 +191,13 @@ def main(argv=None):
     print("campaign: %d seeds -> %d detected, %d masked, %d silent"
           % (args.seeds, counts["detected"], counts["masked"],
              counts["silent"]))
+    print("per-kind outcomes (a multi-fault run counts under each kind "
+          "it injected):")
+    for kind in kinds:
+        outcome = by_kind[kind]
+        print("  %-10s %3d detected, %3d masked, %3d silent"
+              % (kind, outcome["detected"], outcome["masked"],
+                 outcome["silent"]))
     if failures:
         for seed in failures:
             print("reproduce with: python -m repro.robustness.smoke "

@@ -1,0 +1,70 @@
+"""The shared simulation watchdog: cycle budgets and livelock diagnosis.
+
+Every harness that runs an arbitrary (possibly wedged) program against
+the machine -- the fault-injection smoke campaign, the differential
+fuzzer, the shrinker's candidate replays -- needs the same two things: a
+cycle budget proportional to a known-good baseline, and a useful error
+when the budget expires.  The budget formula lives here exactly once
+(:func:`watchdog_budget`), and :func:`livelock_diagnostic` renders the
+state a wedged pipeline leaves behind: the current PC, every per-stage
+stall counter, and the scoreboard bits still pending -- which together
+name the interlock a livelock is spinning on.
+
+The execution core raises :class:`~repro.core.exceptions.LivelockError`
+(a :class:`~repro.core.exceptions.SimulationError`) with this diagnostic
+whenever a run exceeds its cycle limit, so callers that merely pass
+``max_cycles=watchdog_budget(baseline)`` get the full report for free.
+"""
+
+#: Multiple of the baseline allowed before a run is declared wedged.
+BUDGET_FACTOR = 10
+
+#: Flat allowance so short baselines still tolerate cold-cache and
+#: fault-induced stall noise.
+BUDGET_SLACK = 1000
+
+
+def watchdog_budget(baseline_cycles):
+    """The cycle budget for a run whose fault-free baseline is known.
+
+    A perturbed run (injected faults, fuzzed interleavings) may stall far
+    longer than its baseline, but a run exceeding ten times the baseline
+    plus slack is wedged, not slow.
+    """
+    return BUDGET_FACTOR * baseline_cycles + BUDGET_SLACK
+
+
+#: MachineStats stall counters, labelled by the pipeline stage that owns
+#: them (see :mod:`repro.cpu.pipeline`).
+STALL_COUNTERS = (
+    ("fetch", "stall_ibuf_miss_cycles"),
+    ("issue", "stall_int_delay"),
+    ("issue", "stall_alu_ir_busy"),
+    ("issue", "stall_scoreboard"),
+    ("issue", "stall_vector_interlock"),
+    ("mem_port", "stall_port"),
+    ("mem_port", "stall_dcache_miss_cycles"),
+)
+
+
+def livelock_diagnostic(machine):
+    """One line naming what a wedged machine is waiting on.
+
+    Reports the current PC, every non-zero per-stage stall counter (plus
+    the FPU sequencer's own scoreboard stalls), and the registers whose
+    scoreboard reservation bits are still pending -- a stuck bit here is
+    the classic livelock: everything downstream waits on a writeback that
+    will never come.
+    """
+    stats = machine.stats
+    stalls = ["%s.%s=%d" % (stage, field.replace("stall_", ""),
+                            getattr(stats, field))
+              for stage, field in STALL_COUNTERS if getattr(stats, field)]
+    fpu_stalls = machine.fpu.stats.scoreboard_stall_cycles
+    if fpu_stalls:
+        stalls.append("fpu.element_scoreboard=%d" % fpu_stalls)
+    pending = [register for register, bit
+               in enumerate(machine.fpu.scoreboard.bits) if bit]
+    return ("livelock diagnostic: pc=%d stalls[%s] pending scoreboard "
+            "bits %s" % (machine.pc, " ".join(stalls) or "none",
+                         ["R%d" % r for r in pending] or "none"))

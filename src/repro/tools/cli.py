@@ -7,6 +7,9 @@
     python -m repro livermore [loops...] [--coding vector|scalar]
     python -m repro linpack [--n N]
     python -m repro figures
+    python -m repro fuzz run [--seeds N] [--bug NAME] [--out DIR]
+    python -m repro fuzz repro BUNDLE       (also: fuzz --repro BUNDLE)
+    python -m repro fuzz coverage [--seeds N]
 """
 
 import argparse
@@ -146,6 +149,77 @@ def cmd_figures(args):
     return 0
 
 
+def cmd_fuzz_run(args):
+    import os
+
+    from repro.robustness.fuzz import fuzz, shrink_case, write_bundle
+
+    result = fuzz(seeds=args.seeds, base_seed=args.seed, bug=args.bug,
+                  max_failures=args.max_failures)
+    print(result.summary())
+    status = 0
+    for failure in result.failures:
+        status = 1
+        directory = os.path.join(args.out, "seed-%d" % failure.case.seed)
+        shrunk = shrink_case(failure.case.program, failure.case.memory_words,
+                             failure.result.signature, bug=args.bug,
+                             max_attempts=args.shrink_attempts)
+        write_bundle(directory, failure.case, failure.result, shrunk,
+                     bug=args.bug)
+        print("seed %d: %s; minimized %d -> %d instructions"
+              % (failure.case.seed, failure.result.signature,
+                 shrunk.original_length, len(shrunk.program.instructions)))
+        print("  bundle: %s" % directory)
+        print("  repro:  python -m repro.tools.cli fuzz --repro %s"
+              % directory)
+    if result.generator_errors:
+        status = 1
+    if args.min_bins and result.coverage.hit_count() < args.min_bins:
+        print("COVERAGE FLOOR FAILED: %d bins hit, floor is %d"
+              % (result.coverage.hit_count(), args.min_bins))
+        print(result.coverage.report())
+        status = 1
+    return status
+
+
+def cmd_fuzz_repro(args):
+    from repro.robustness.fuzz import repro_bundle
+
+    bundle = args.repro if args.repro else args.bundle
+    result, meta = repro_bundle(bundle)
+    print("bundle: %s" % bundle)
+    print("expected: %s (seed %s, bug %s)"
+          % (meta["signature"], meta.get("seed"), meta.get("bug")))
+    if result.failed and result.signature == meta["signature"]:
+        print("reproduced: %s" % result.error)
+        return 0
+    if result.failed:
+        print("DIFFERENT FAILURE: %s (%s)" % (result.signature, result.error))
+    else:
+        print("DID NOT REPRODUCE: run finished with verdict %s"
+              % result.verdict)
+    return 1
+
+
+def cmd_fuzz_coverage(args):
+    from repro.robustness.fuzz import fuzz
+
+    result = fuzz(seeds=args.seeds, base_seed=args.seed)
+    print("ran %d cases, %d failures" % (result.cases, len(result.failures)))
+    print(result.coverage.report(max_unhit=args.max_unhit))
+    return 1 if result.failures or result.generator_errors else 0
+
+
+def cmd_fuzz(args):
+    if getattr(args, "repro", None) and args.fuzz_command is None:
+        return cmd_fuzz_repro(args)
+    if args.fuzz_command is None:
+        print("usage: repro fuzz {run,repro,coverage} (or fuzz --repro "
+              "BUNDLE)", file=sys.stderr)
+        return 2
+    return args.fuzz_handler(args)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,6 +266,46 @@ def build_parser():
 
     fig_parser = sub.add_parser("figures", help="check the timing figures")
     fig_parser.set_defaults(handler=cmd_figures)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="coverage-guided differential ISA fuzzer")
+    fuzz_parser.add_argument("--repro", metavar="BUNDLE",
+                             help="replay a triage bundle (same as "
+                                  "'fuzz repro BUNDLE')")
+    fuzz_parser.set_defaults(handler=cmd_fuzz, fuzz_command=None)
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command")
+
+    fr = fuzz_sub.add_parser("run", help="run a fuzz campaign; shrink and "
+                                         "bundle every failure")
+    fr.add_argument("--seeds", type=int, default=200,
+                    help="number of generated cases (default 200)")
+    fr.add_argument("--seed", type=int, default=0,
+                    help="base seed; cases use seed..seed+seeds-1")
+    fr.add_argument("--bug", default=None,
+                    help="plant a known machine bug (see repro.robustness."
+                         "fuzz.bugs) to validate the fuzzer")
+    fr.add_argument("--out", default="fuzz-failures",
+                    help="directory for triage bundles (default "
+                         "fuzz-failures/)")
+    fr.add_argument("--min-bins", type=int, default=0,
+                    help="fail unless at least this many coverage bins hit")
+    fr.add_argument("--max-failures", type=int, default=None,
+                    help="stop the campaign after this many failures")
+    fr.add_argument("--shrink-attempts", type=int, default=2000,
+                    help="candidate budget per shrink (default 2000)")
+    fr.set_defaults(fuzz_handler=cmd_fuzz_run)
+
+    fp = fuzz_sub.add_parser("repro", help="replay a triage bundle")
+    fp.add_argument("bundle", help="bundle directory written by 'fuzz run'")
+    fp.set_defaults(fuzz_handler=cmd_fuzz_repro)
+
+    fc = fuzz_sub.add_parser("coverage",
+                             help="run seeds and report coverage bins")
+    fc.add_argument("--seeds", type=int, default=200)
+    fc.add_argument("--seed", type=int, default=0)
+    fc.add_argument("--max-unhit", type=int, default=40,
+                    help="unhit bins to list (default 40)")
+    fc.set_defaults(fuzz_handler=cmd_fuzz_coverage)
     return parser
 
 

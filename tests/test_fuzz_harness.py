@@ -1,0 +1,255 @@
+"""The fuzzing harness around the generator: watchdog budgets and
+livelock diagnostics, architectural coverage binning, all-kinds fault
+plans, the smoke campaign's per-kind report, failure signatures, triage
+encoding, and the CLI surface."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.core.exceptions import DivergenceError, InvariantError
+from repro.cpu.machine import MultiTitan
+from repro.cpu.program import ProgramBuilder
+from repro.robustness import LivelockError, watchdog_budget
+from repro.robustness.faults import KINDS, FaultPlan
+from repro.robustness.fuzz import (
+    COVERAGE_UNIVERSE,
+    CoverageMap,
+    decode_data,
+    encode_data,
+    failure_signature,
+    vl_bucket,
+)
+from repro.robustness.watchdog import (
+    BUDGET_FACTOR,
+    BUDGET_SLACK,
+    livelock_diagnostic,
+)
+from repro.robustness import smoke
+from repro.tools import cli
+
+
+# ---------------------------------------------------------------------------
+# Watchdog and livelock diagnostics
+# ---------------------------------------------------------------------------
+
+def test_watchdog_budget_formula():
+    assert watchdog_budget(100) == BUDGET_FACTOR * 100 + BUDGET_SLACK
+    assert watchdog_budget(0) == BUDGET_SLACK
+
+
+def test_livelock_error_carries_diagnostic():
+    builder = ProgramBuilder()
+    top = builder.here()
+    builder.j(top)
+    machine = MultiTitan(builder.build())
+    with pytest.raises(LivelockError) as info:
+        machine.run(max_cycles=50)
+    message = str(info.value)
+    assert "simulation exceeded 50 cycles" in message
+    assert "livelock diagnostic" in message
+    assert "pc=" in message
+    assert "scoreboard" in message
+
+
+def test_livelock_diagnostic_reports_stalls_and_scoreboard():
+    builder = ProgramBuilder()
+    builder.fadd(2, 1, 0, vl=16)
+    machine = MultiTitan(builder.build())
+    machine.run(stop_cycle=3)   # vector still in flight
+    text = livelock_diagnostic(machine)
+    assert text.startswith("livelock diagnostic: pc=")
+    assert "pending scoreboard bits" in text
+
+
+# ---------------------------------------------------------------------------
+# Coverage binning
+# ---------------------------------------------------------------------------
+
+def test_coverage_universe_shape():
+    assert len(COVERAGE_UNIVERSE) == 284
+    assert ("falu", "add", "2-4", "11", "none") in COVERAGE_UNIVERSE
+    assert ("falu", "recip", "9-16", "u1", "ir_busy") in COVERAGE_UNIVERSE
+    assert ("fload", "interlock", "miss") in COVERAGE_UNIVERSE
+    assert ("branch", "blt", "not-taken") in COVERAGE_UNIVERSE
+    assert ("overflow", "1") in COVERAGE_UNIVERSE
+    # Unary ops never encode a two-bit stride kind.
+    assert ("falu", "recip", "1", "11", "none") not in COVERAGE_UNIVERSE
+
+
+def test_vl_buckets():
+    assert [vl_bucket(v) for v in (1, 2, 4, 5, 8, 9, 16)] == \
+        ["1", "2-4", "2-4", "5-8", "5-8", "9-16", "9-16"]
+
+
+def _run_with_coverage(builder, setup=None):
+    machine = MultiTitan(builder.build())
+    if setup is not None:
+        setup(machine)
+    coverage = CoverageMap()
+    coverage.attach(machine)
+    machine.run()
+    coverage.detach()
+    return coverage
+
+
+def test_coverage_classifies_falu_and_loads():
+    builder = ProgramBuilder()
+    builder.fload(0, 0, 0)
+    builder.fadd(8, 0, 4, vl=4)
+    coverage = _run_with_coverage(builder)
+    assert ("fload", "none", "miss") in coverage.hits
+    assert ("falu", "add", "2-4", "11", "none") in coverage.hits
+    assert coverage.unhit_falu()
+    assert all(key[0] == "falu" for key in coverage.unhit_falu())
+
+
+def test_coverage_attributes_overflow_to_vl_bucket():
+    builder = ProgramBuilder()
+    builder.fmul(4, 0, 0, vl=1)
+
+    def setup(machine):
+        machine.fpu.regs.write(0, 2.0 ** 1000)
+
+    coverage = _run_with_coverage(builder, setup)
+    assert ("overflow", "1") in coverage.hits
+    assert ("falu", "mul", "1", "11", "none") in coverage.hits
+
+
+def test_coverage_merge_and_summary():
+    a = CoverageMap()
+    a.record(("int", "nop", "none"))
+    b = CoverageMap()
+    b.record(("int", "nop", "none"))
+    b.record(("int", "li", "none"))
+    a.merge(b)
+    assert a.hits[("int", "nop", "none")] == 2
+    assert a.hit_count() == 2
+    assert a.summary() == "coverage: 2/284 bins hit (0.7%)"
+
+
+def test_coverage_map_attaches_to_one_machine_at_a_time():
+    builder = ProgramBuilder()
+    machine = MultiTitan(builder.build())
+    coverage = CoverageMap()
+    coverage.attach(machine)
+    with pytest.raises(ValueError):
+        coverage.attach(machine)
+    coverage.detach()
+    coverage.detach()   # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and the smoke campaign's per-kind report
+# ---------------------------------------------------------------------------
+
+def test_random_fault_plan_defaults_to_all_kinds():
+    plan = FaultPlan.random(1, max_cycle=100, count=60)
+    assert {event.kind for event in plan.events} == set(KINDS)
+
+
+def test_smoke_campaign_reports_per_kind_outcomes(capsys):
+    assert smoke.main(["--seeds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-kind outcomes" in out
+    for kind in KINDS:
+        assert kind in out
+
+
+# ---------------------------------------------------------------------------
+# Failure signatures
+# ---------------------------------------------------------------------------
+
+def test_failure_signature_strips_context_and_numbers():
+    error = DivergenceError("divergence: FPU register R7 retired 1.0, "
+                            "reference computed 2.0 [cycle=12 pc=3]")
+    assert failure_signature(error) == "divergence:freg"
+    assert failure_signature(
+        DivergenceError("divergence: unexpected FPU writeback to R4")
+    ) == "divergence:unexpected-writeback"
+    assert failure_signature(LivelockError("anything")) == "livelock"
+    first = failure_signature(
+        InvariantError("cycle 9: R5 is reserved but no write is in flight"))
+    second = failure_signature(
+        InvariantError("cycle 77: R31 is reserved but no write is in "
+                       "flight [cycle=77 pc=4]"))
+    assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Triage data encoding
+# ---------------------------------------------------------------------------
+
+def test_encode_decode_roundtrip_is_lossless():
+    data = {
+        "floats": [1.5, -0.0, float("inf"), float("-inf"), float("nan")],
+        "big": 2 ** 80,
+        "flags": [True, False, None],
+        "tuple": (1, (2.0, "x")),
+        "~marker-like-key": 3,
+        "intkeys": {0: "a", (1, 2): "b"},
+    }
+    encoded = encode_data(data)
+    # Strict JSON round-trip (what the bundle files actually do).
+    decoded = decode_data(json.loads(json.dumps(encoded, allow_nan=False)))
+    assert decoded["big"] == 2 ** 80
+    assert decoded["flags"] == [True, False, None]
+    assert decoded["flags"][0] is True
+    assert decoded["tuple"] == (1, (2.0, "x"))
+    assert isinstance(decoded["tuple"], tuple)
+    assert decoded["~marker-like-key"] == 3
+    assert decoded["intkeys"] == {0: "a", (1, 2): "b"}
+    floats = decoded["floats"]
+    assert floats[0] == 1.5
+    assert math.copysign(1.0, floats[1]) == -1.0
+    assert floats[2] == float("inf") and floats[3] == float("-inf")
+    assert math.isnan(floats[4])
+
+
+def test_encode_rejects_unencodable_objects():
+    with pytest.raises(TypeError):
+        encode_data({"bad": object()})
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+def test_cli_fuzz_requires_a_subcommand_or_repro(capsys):
+    assert cli.main(["fuzz"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_cli_fuzz_coverage_runs_clean(capsys):
+    assert cli.main(["fuzz", "coverage", "--seeds", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "ran 5 cases, 0 failures" in out
+    assert "coverage:" in out
+
+
+def test_cli_fuzz_run_coverage_floor_fails_when_unreachable(capsys):
+    assert cli.main(["fuzz", "run", "--seeds", "2",
+                     "--min-bins", "284"]) == 1
+    assert "COVERAGE FLOOR FAILED" in capsys.readouterr().out
+
+
+def test_cli_fuzz_run_bundles_and_repros_a_planted_bug(tmp_path, capsys):
+    out_dir = str(tmp_path / "bundles")
+    status = cli.main(["fuzz", "run", "--seeds", "20",
+                       "--bug", "flipped-scoreboard-clear",
+                       "--max-failures", "1", "--out", out_dir])
+    assert status == 1
+    captured = capsys.readouterr().out
+    assert "minimized" in captured
+    bundles = sorted(os.listdir(out_dir))
+    assert bundles
+    bundle = os.path.join(out_dir, bundles[0])
+    for name in ("program.s", "original.s", "memory.json",
+                 "snapshot.json", "meta.json"):
+        assert os.path.exists(os.path.join(bundle, name))
+    assert cli.main(["fuzz", "repro", bundle]) == 0
+    assert "reproduced" in capsys.readouterr().out
+    # The documented one-liner form.
+    assert cli.main(["fuzz", "--repro", bundle]) == 0
