@@ -7,49 +7,45 @@ penalty and measures the cold-cache MFLOPS of a bandwidth-bound loop
 must collapse with the penalty while warm performance stays flat.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.cpu.machine import MachineConfig
-from repro.workloads.common import run_kernel
-from repro.workloads.livermore import build_loop
+from repro.api import RunRequest
 
 PENALTIES = (0, 7, 14, 28, 56)
+CASES = (("ll1_cold", 1, False), ("ll1_warm", 1, True),
+         ("ll16_cold", 16, False))
+
+REQUESTS = [RunRequest("livermore", {"loop": loop, "warm": warm},
+                       config={"dcache_miss_penalty": penalty,
+                               "ibuf_miss_penalty": penalty})
+            for penalty in PENALTIES for _name, loop, warm in CASES]
 
 
 def test_miss_penalty_sweep(benchmark):
-    def experiment():
-        table = {}
-        for penalty in PENALTIES:
-            config = MachineConfig(dcache_miss_penalty=penalty,
-                                   ibuf_miss_penalty=penalty)
-            table[penalty] = {
-                "ll1_cold": run_kernel(build_loop(1), config=config),
-                "ll1_warm": run_kernel(build_loop(1), config=config, warm=True),
-                "ll16_cold": run_kernel(build_loop(16), config=config),
-            }
-        return table
+    results = run_requests(benchmark, REQUESTS)
+    table = {penalty: {} for penalty in PENALTIES}
+    iterator = iter(results)
+    for penalty in PENALTIES:
+        for name, _loop, _warm in CASES:
+            result = next(iterator)
+            assert result.passed, result.check_error
+            table[penalty][name] = result.metrics["mflops"]
 
-    table = run_once(benchmark, experiment)
     rows = []
     for penalty in PENALTIES:
         entry = table[penalty]
-        for result in entry.values():
-            assert result.passed, result.check_error
-        rows.append([penalty, entry["ll1_cold"].mflops,
-                     entry["ll1_warm"].mflops, entry["ll16_cold"].mflops])
+        rows.append([penalty, entry["ll1_cold"], entry["ll1_warm"],
+                     entry["ll16_cold"]])
     print()
     print(render_table(
         ["miss penalty", "LL1 cold", "LL1 warm", "LL16 cold"],
         rows, title="Ablation A3: MFLOPS vs miss penalty",
         float_format="%.2f"))
 
-    assert table[0]["ll1_cold"].mflops > 2 * table[56]["ll1_cold"].mflops
-    warm_spread = (table[0]["ll1_warm"].mflops
-                   / table[56]["ll1_warm"].mflops)
+    assert table[0]["ll1_cold"] > 2 * table[56]["ll1_cold"]
+    warm_spread = table[0]["ll1_warm"] / table[56]["ll1_warm"]
     assert warm_spread < 1.6  # warm runs barely see the penalty
-    cold_spread_compute = (table[0]["ll16_cold"].mflops
-                           / table[56]["ll16_cold"].mflops)
-    cold_spread_memory = (table[0]["ll1_cold"].mflops
-                          / table[56]["ll1_cold"].mflops)
+    cold_spread_compute = table[0]["ll16_cold"] / table[56]["ll16_cold"]
+    cold_spread_memory = table[0]["ll1_cold"] / table[56]["ll1_cold"]
     assert cold_spread_memory > cold_spread_compute  # misses diluted by branching

@@ -7,42 +7,37 @@ reductions degrade nearly linearly with latency while streaming
 elementwise code barely cares.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.cpu.machine import MachineConfig
-from repro.workloads.common import run_kernel
-from repro.workloads.livermore import build_loop
+from repro.api import RunRequest
 
 LATENCIES = (1, 2, 3, 5, 8)
 LOOPS = {1: "elementwise (LL1)", 3: "reduction (LL3)", 11: "recurrence (LL11)"}
 
+REQUESTS = [RunRequest("livermore", {"loop": loop, "warm": True},
+                       config={"model_ibuffer": False,
+                               "fpu_latency": latency})
+            for latency in LATENCIES for loop in LOOPS]
+
 
 def test_latency_sweep(benchmark):
-    def experiment():
-        table = {}
-        for latency in LATENCIES:
-            config = MachineConfig(model_ibuffer=False, fpu_latency=latency)
-            table[latency] = {
-                loop: run_kernel(build_loop(loop), config=config, warm=True)
-                for loop in LOOPS
-            }
-        return table
-
-    table = run_once(benchmark, experiment)
-    for latency, results in table.items():
-        for loop, result in results.items():
-            assert result.passed, (latency, loop, result.check_error)
+    results = run_requests(benchmark, REQUESTS)
+    table = {latency: {} for latency in LATENCIES}
+    for request, result in zip(REQUESTS, results):
+        assert result.passed, (request.params, result.check_error)
+        latency = request.config["fpu_latency"]
+        table[latency][request.params["loop"]] = result.metrics["cycles"]
 
     rows = []
     for latency in LATENCIES:
-        rows.append([latency] + [table[latency][loop].cycles for loop in LOOPS])
+        rows.append([latency] + [table[latency][loop] for loop in LOOPS])
     print()
     print(render_table(["latency"] + list(LOOPS.values()), rows,
                        title="Ablation A2: cycles vs FPU latency (warm)"))
 
     def degradation(loop):
-        return table[8][loop].cycles / table[1][loop].cycles
+        return table[8][loop] / table[1][loop]
 
     # Recurrences track latency nearly linearly; streaming code does not.
     assert degradation(11) > 2.0

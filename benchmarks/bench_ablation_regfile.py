@@ -7,46 +7,18 @@ reduction/recurrence costs against the classical machine where the
 vector/scalar split forces element moves.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
 from repro.analysis.storage import CLASSICAL_VECTOR, UNIFIED, storage_ratio
-from repro.baselines.classical import ClassicalVectorMachine
-from repro.cpu.machine import MachineConfig, MultiTitan
-from repro.cpu.program import ProgramBuilder
-from repro.mem.memory import Memory, WORD_BYTES
-from repro.workloads import reductions
+from repro.api import RunRequest
 
-
-def simulate_full_state_save():
-    memory = Memory()
-    b = ProgramBuilder()
-    for i in range(52):
-        b.fstore(i, 1, i * WORD_BYTES)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=MachineConfig(model_ibuffer=False))
-    machine.iregs[1] = 4096
-    machine.dcache.warm_range(4096, 52 * WORD_BYTES)
-    return machine.run().completion_cycle
+REQUESTS = [RunRequest("regfile-ablation")]
 
 
 def test_register_file_ablation(benchmark):
-    def experiment():
-        save_cycles = simulate_full_state_save()
-        classical = ClassicalVectorMachine()
-        classical_save = classical.context_switch_cycles(store_cycles_per_word=2)
-        reduce_unified = reductions.run_reduction("vector_tree").cycles
-        classical.vload(7, [float(i + 1) for i in range(8)])
-        classical.reset_cycles()
-        classical.sum_reduce(7)
-        return {
-            "save_cycles": save_cycles,
-            "classical_save": classical_save,
-            "reduce_unified": reduce_unified,
-            "reduce_classical": classical.cycles,
-        }
-
-    outcome = run_once(benchmark, experiment)
+    (result,) = run_requests(benchmark, REQUESTS)
+    outcome = result.metrics
     rows = [
         ["register storage (bits)", UNIFIED.bits, CLASSICAL_VECTOR.bits],
         ["context switch (cycles, measured/modelled)",

@@ -6,45 +6,27 @@ doubles, so stride-1 traffic hits every other access cold, stride >= 2
 misses every access, and a warm cache erases the difference entirely.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.cpu.machine import MachineConfig, MultiTitan
-from repro.cpu.program import ProgramBuilder
-from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.api import RunRequest
 
 ELEMENTS = 64
 STRIDES = (1, 2, 4, 8)
 
-
-def run_strided(stride, warm):
-    memory = Memory()
-    arena = Arena(memory, base=256)
-    base = arena.alloc(ELEMENTS * stride)
-    for index in range(ELEMENTS):
-        memory.write(base + index * stride * WORD_BYTES, float(index))
-    b = ProgramBuilder()
-    # Sweep through the array in blocks of 16 loads + one vector op.
-    for block in range(0, ELEMENTS, 16):
-        for i in range(16):
-            b.fload(i, 1, (block + i) * stride * WORD_BYTES)
-        b.fadd(16, 0, 0, vl=16)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=MachineConfig(model_ibuffer=False))
-    machine.iregs[1] = base
-    if warm:
-        machine.dcache.warm_range(base, ELEMENTS * stride * WORD_BYTES)
-    result = machine.run()
-    return result.completion_cycle, machine.dcache.misses
+REQUESTS = [RunRequest("stride", {"stride": stride, "warm": warm,
+                                  "elements": ELEMENTS})
+            for stride in STRIDES for warm in (False, True)]
 
 
 def test_stride_sweep(benchmark):
-    def experiment():
-        return {stride: {"cold": run_strided(stride, warm=False),
-                         "warm": run_strided(stride, warm=True)}
-                for stride in STRIDES}
+    results = run_requests(benchmark, REQUESTS)
+    table = {stride: {} for stride in STRIDES}
+    for request, result in zip(REQUESTS, results):
+        kind = "warm" if request.params["warm"] else "cold"
+        table[request.params["stride"]][kind] = (
+            result.metrics["cycles"], result.metrics["misses"])
 
-    table = run_once(benchmark, experiment)
     rows = []
     for stride in STRIDES:
         cold_cycles, cold_misses = table[stride]["cold"]

@@ -7,38 +7,40 @@ strips pay loop overhead, long strips pay register pressure (loop 7
 cannot even compile at VL = 8 -- the paper's compile error).
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.vectorize.allocator import AllocationError
-from repro.workloads.common import run_kernel
 from repro.workloads.livermore import build_loop
 
 STRIP_LENGTHS = (1, 2, 4, 8, 16)
 
+REQUESTS = [RunRequest("livermore",
+                       {"loop": 1, "coding": "vector", "vl": vl,
+                        "warm": True})
+            for vl in STRIP_LENGTHS]
+
 
 def test_strip_length_sweep(benchmark):
-    def experiment():
-        table = {}
-        for vl in STRIP_LENGTHS:
-            result = run_kernel(build_loop(1, coding="vector", vl=vl),
-                                warm=True)
-            assert result.passed, result.check_error
-            table[vl] = result
-        return table
+    results = run_requests(benchmark, REQUESTS)
+    table = {}
+    for request, result in zip(REQUESTS, results):
+        assert result.passed, result.check_error
+        table[request.params["vl"]] = result.metrics
 
-    table = run_once(benchmark, experiment)
-    rows = [[vl, table[vl].cycles, table[vl].mflops] for vl in STRIP_LENGTHS]
+    rows = [[vl, table[vl]["cycles"], table[vl]["mflops"]]
+            for vl in STRIP_LENGTHS]
     print()
     print(render_table(["VL", "cycles (warm)", "MFLOPS"], rows,
                        title="Ablation A4: LL1 vs strip length",
                        float_format="%.2f"))
 
     # Longer strips amortize loop overhead monotonically...
-    assert table[8].mflops > table[2].mflops > table[1].mflops
+    assert table[8]["mflops"] > table[2]["mflops"] > table[1]["mflops"]
     # ...with diminishing returns past the natural length of 8.
-    gain_2_to_8 = table[8].mflops / table[2].mflops
-    gain_8_to_16 = table[16].mflops / table[8].mflops
+    gain_2_to_8 = table[8]["mflops"] / table[2]["mflops"]
+    gain_8_to_16 = table[16]["mflops"] / table[8]["mflops"]
     assert gain_2_to_8 > gain_8_to_16
 
     # And register pressure caps the sweep: loop 7 cannot compile at 8.

@@ -9,108 +9,44 @@ the MultiTitan wins reductions and recurrences outright because they
 never leave the unified register file.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.baselines.classical import ClassicalVectorMachine
-from repro.cpu.machine import MachineConfig, MultiTitan
-from repro.cpu.program import ProgramBuilder
-from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.api import RunRequest
 
 N = 64
+WORKLOADS = ("elementwise", "dot", "recurrence")
 
-
-def multititan_elementwise():
-    memory = Memory()
-    arena = Arena(memory, base=256)
-    a = arena.alloc_array([1.0] * N)
-    b_addr = arena.alloc_array([2.0] * N)
-    out = arena.alloc(N)
-    b = ProgramBuilder()
-    from repro.vectorize.builder import VectorKernelBuilder
-    vb = VectorKernelBuilder(b, vl=8)
-    ah, bh, oh = vb.array(a), vb.array(b_addr), vb.array(out)
-
-    def body(vl):
-        x = vb.vload(ah, 0, vl=vl)
-        y = vb.vload(bh, 0, vl=vl)
-        vb.vstore(oh, vb.mul(x, y, into=x))
-
-    vb.strip_loop(N, body)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=MachineConfig(model_ibuffer=False))
-    machine.dcache.warm_range(0, 4096)
-    return machine.run().completion_cycle
-
-
-def multititan_dot():
-    from repro.workloads.blas import ddot_kernel
-    from repro.workloads.common import run_kernel
-    result = run_kernel(ddot_kernel(N), warm=True)
-    assert result.passed
-    return result.cycles
-
-
-def multititan_recurrence():
-    b = ProgramBuilder()
-    remaining = N
-    dest = 2
-    while remaining > 0:
-        step = min(remaining, 16)
-        b.fadd(dest, dest - 1, dest - 2, vl=step)
-        # Re-seed at the bottom of the register file for the next chunk.
-        if remaining - step > 0:
-            b.fadd(0, dest + step - 2, 1, vl=1, srb=False)
-            b.fadd(1, dest + step - 1, 1, vl=1, srb=False)
-            dest = 2
-        remaining -= step
-    machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
-    machine.fpu.regs.write(0, 0.001)
-    machine.fpu.regs.write(1, 0.001)
-    return machine.run().completion_cycle
-
-
-def classical_times():
-    machine = ClassicalVectorMachine()
-    machine.vload(0, [1.0] * N)
-    machine.vload(1, [2.0] * N)
-    machine.reset_cycles()
-    machine.vop("mul", 2, 0, 1)
-    machine.vstore(2)
-    elementwise = machine.cycles
-
-    machine.reset_cycles()
-    machine.dot_product(0, 1, n=N)
-    dot = machine.cycles
-
-    machine.reset_cycles()
-    machine.first_order_recurrence(0.0, [0.5] * N)
-    recurrence = machine.cycles
-    return elementwise, dot, recurrence
+REQUESTS = [RunRequest("classical-compare", {"workload": workload, "n": N})
+            for workload in WORKLOADS]
 
 
 def test_classical_comparison(benchmark):
-    def experiment():
-        return {
-            "multititan": (multititan_elementwise(), multititan_dot(),
-                           multititan_recurrence()),
-            "classical": classical_times(),
-        }
+    results = run_requests(benchmark, REQUESTS)
+    outcome = {}
+    for request, result in zip(REQUESTS, results):
+        assert result.passed, result.check_error
+        outcome[request.params["workload"]] = result.metrics
 
-    outcome = run_once(benchmark, experiment)
-    mt = outcome["multititan"]
-    cl = outcome["classical"]
     rows = [
-        ["elementwise multiply (64)", mt[0], cl[0]],
-        ["dot product (64)", mt[1], cl[1]],
-        ["first-order recurrence (64)", mt[2], cl[2]],
+        ["elementwise multiply (64)",
+         outcome["elementwise"]["multititan_cycles"],
+         outcome["elementwise"]["classical_cycles"]],
+        ["dot product (64)", outcome["dot"]["multititan_cycles"],
+         outcome["dot"]["classical_cycles"]],
+        ["first-order recurrence (64)",
+         outcome["recurrence"]["multititan_cycles"],
+         outcome["recurrence"]["classical_cycles"]],
     ]
     print()
     print(render_table(["workload", "MultiTitan cycles", "classical cycles"],
                        rows, title="Ablation A6: unified vs classical machine"))
 
     # The classical machine streams elementwise work faster (peak bias)...
-    assert cl[0] < mt[0]
+    assert (outcome["elementwise"]["classical_cycles"]
+            < outcome["elementwise"]["multititan_cycles"])
     # ...but loses reductions and recurrences to the unified file.
-    assert mt[1] < cl[1]
-    assert mt[2] < cl[2]
+    assert (outcome["dot"]["multititan_cycles"]
+            < outcome["dot"]["classical_cycles"])
+    assert (outcome["recurrence"]["multititan_cycles"]
+            < outcome["recurrence"]["classical_cycles"])

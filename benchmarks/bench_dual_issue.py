@@ -7,45 +7,17 @@ than 1 ALU element/cycle, never more than 1 memory op/cycle, combined
 rate approaching 2.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.cpu.machine import MachineConfig, MultiTitan
-from repro.cpu.program import ProgramBuilder
-from repro.mem.memory import Arena, Memory, WORD_BYTES
+from repro.api import RunRequest
 
-
-def build_peak_kernel(repeats=12):
-    """Alternating VL-16 vector ops and 15 loads for the next iteration."""
-    memory = Memory()
-    arena = Arena(memory, base=64)
-    data = arena.alloc_array([1.0] * 16)
-    b = ProgramBuilder()
-    for _ in range(repeats):
-        b.fadd(16, 0, 16, vl=16, srb=False)
-        for i in range(15):
-            b.fload(i, 1, i * WORD_BYTES)
-    program = b.build()
-    machine = MultiTitan(program, memory=memory,
-                         config=MachineConfig(model_ibuffer=False))
-    machine.iregs[1] = data
-    machine.dcache.warm_range(data, 16 * WORD_BYTES)
-    return machine
+REQUESTS = [RunRequest("dual-issue", {"repeats": 12})]
 
 
 def test_dual_issue_peak(benchmark):
-    def experiment():
-        machine = build_peak_kernel()
-        result = machine.run()
-        ops = machine.fpu.stats.elements_issued + machine.fpu.stats.loads
-        return {
-            "cycles": result.completion_cycle,
-            "alu_elements": machine.fpu.stats.elements_issued,
-            "loads": machine.fpu.stats.loads,
-            "ops_per_cycle": ops / result.completion_cycle,
-        }
-
-    outcome = run_once(benchmark, experiment)
+    (result,) = run_requests(benchmark, REQUESTS)
+    outcome = result.metrics
     print()
     print(render_table(
         ["metric", "value"],

@@ -5,10 +5,10 @@ cycles / 1 instruction, vector tree = 12 cycles / 3 instructions with 9
 CPU-free cycles.  All three must agree numerically.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.workloads import reductions
+from repro.api import RunRequest
 
 PAPER = {
     "scalar_tree": (12, 7),
@@ -16,20 +16,26 @@ PAPER = {
     "vector_tree": (12, 3),
 }
 
+REQUESTS = [RunRequest("reduction", {"strategy": strategy})
+            for strategy in PAPER]
+
 
 def test_reduction_strategies(benchmark):
-    outcomes = run_once(benchmark, reductions.run_all)
+    results = run_requests(benchmark, REQUESTS)
     rows = []
-    for name, outcome in outcomes.items():
+    by_strategy = {}
+    for request, result in zip(REQUESTS, results):
+        name = request.params["strategy"]
+        by_strategy[name] = result.metrics
         cycles_paper, instrs_paper = PAPER[name]
-        rows.append([name, outcome.cycles, cycles_paper,
-                     outcome.instructions_transferred, instrs_paper,
-                     outcome.free_cpu_cycles])
-        assert outcome.cycles == cycles_paper
-        assert outcome.instructions_transferred == instrs_paper
-        assert outcome.total == 36.0
+        rows.append([name, result.metrics["cycles"], cycles_paper,
+                     result.metrics["instructions_transferred"], instrs_paper,
+                     result.metrics["free_cpu_cycles"]])
+        assert result.metrics["cycles"] == cycles_paper
+        assert result.metrics["instructions_transferred"] == instrs_paper
+        assert result.metrics["total"] == 36.0
     print()
     print(render_table(
         ["strategy", "cycles", "paper", "instrs", "paper", "cpu-free"],
         rows, title="Figures 5-7: summing 8 elements"))
-    assert outcomes["vector_tree"].free_cpu_cycles == 9
+    assert by_strategy["vector_tree"]["free_cpu_cycles"] == 9

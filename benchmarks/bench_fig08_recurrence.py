@@ -6,26 +6,28 @@ recurrence on the classical vector machine baseline, where it cannot
 vectorize at all.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.baselines.classical import ClassicalVectorMachine
+from repro.api import RunRequest
 from repro.workloads import fib
+
+REQUESTS = [RunRequest("fib", {"count": 10})]
 
 
 def test_fibonacci_recurrence(benchmark):
-    outcome = run_once(benchmark, lambda: fib.run_fibonacci(10))
-    assert outcome.cycles == 24
-    assert outcome.values == fib.fibonacci_reference(10)
-    assert outcome.instructions_transferred == 1
+    (result,) = run_requests(benchmark, REQUESTS)
+    assert result.passed, result.check_error
+    metrics = result.metrics
+    assert metrics["cycles"] == 24
+    assert metrics["values"] == fib.fibonacci_reference(10)
 
-    classical = ClassicalVectorMachine()
-    classical.first_order_recurrence(1.0, [1.0] * 8)
     rows = [
-        ["MultiTitan (1 vector instr)", outcome.cycles],
-        ["classical vector machine (scalar loop)", classical.cycles],
+        ["MultiTitan (1 vector instr)", metrics["cycles"]],
+        ["classical vector machine (scalar loop)",
+         metrics["classical_cycles"]],
     ]
     print()
     print(render_table(["machine", "cycles"], rows,
                        title="Figure 8: 8-step additive recurrence"))
-    assert classical.cycles > outcome.cycles
+    assert metrics["classical_cycles"] > metrics["cycles"]

@@ -5,33 +5,32 @@ the offset; a linked-list gather costs "only a doubling of the time"
 thanks to the alternating pointer temporaries.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
-from repro.workloads import gather
+from repro.api import RunRequest
+
+REQUESTS = [
+    RunRequest("gather", {"pattern": "stride", "stride_words": 1}),
+    RunRequest("gather", {"pattern": "stride", "stride_words": 7}),
+    RunRequest("gather", {"pattern": "linked"}),
+]
 
 
 def test_fixed_stride_and_linked_list(benchmark):
-    def experiment():
-        return {
-            "stride1": gather.run_fixed_stride(stride_words=1),
-            "stride7": gather.run_fixed_stride(stride_words=7),
-            "linked": gather.run_linked_list(),
-        }
-
-    outcomes = run_once(benchmark, experiment)
-    expected = [10.0 * (k + 1) for k in range(8)]
-    for outcome in outcomes.values():
-        assert outcome.values == expected
+    stride1, stride7, linked = run_requests(benchmark, REQUESTS)
+    for result in (stride1, stride7, linked):
+        assert result.passed, result.check_error
 
     rows = [
-        ["fixed stride 1", outcomes["stride1"].cycles, "~1 cycle/element"],
-        ["fixed stride 7", outcomes["stride7"].cycles, "same (offset folding)"],
-        ["linked list", outcomes["linked"].cycles, "~2 cycles/element"],
+        ["fixed stride 1", stride1.metrics["cycles"], "~1 cycle/element"],
+        ["fixed stride 7", stride7.metrics["cycles"],
+         "same (offset folding)"],
+        ["linked list", linked.metrics["cycles"], "~2 cycles/element"],
     ]
     print()
     print(render_table(["access pattern", "cycles", "paper's claim"], rows,
                        title="Figure 9: loading 8 vector elements"))
-    assert outcomes["stride7"].cycles == outcomes["stride1"].cycles
-    ratio = outcomes["linked"].cycles / outcomes["stride1"].cycles
+    assert stride7.metrics["cycles"] == stride1.metrics["cycles"]
+    ratio = linked.metrics["cycles"] / stride1.metrics["cycles"]
     assert 1.7 < ratio < 2.5

@@ -5,46 +5,25 @@ issue distance x 40 ns; division as the 6-operation schedule); the X-MP
 column is the paper's published reference.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.reference_data import FIGURE10_LATENCIES_NS
-from repro.core.types import Op
-from repro.cpu.machine import MachineConfig, MultiTitan
-from repro.cpu.program import ProgramBuilder
 
+OPS = {
+    "addition/subtraction": "add",
+    "multiplication": "mul",
+    "division (via 1/x)": "div",
+}
 
-def measure_dependent_latency(op):
-    """Cycles between an op's issue and the earliest dependent issue."""
-    b = ProgramBuilder()
-    b.falu(op, 2, 0, 1)
-    b.fadd(3, 2, 2)  # dependent consumer
-    machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
-    machine.fpu.regs.write(0, 1.5)
-    machine.fpu.regs.write(1, 2.5)
-    result = machine.run()
-    # Producer issues at 0; consumer at `latency`; completes +3.
-    return result.completion_cycle - 3
-
-
-def measure_division_latency():
-    b = ProgramBuilder()
-    b.fdiv_seq(q=10, a=0, b=1, temps=(20, 21))
-    machine = MultiTitan(b.build(), config=MachineConfig(model_ibuffer=False))
-    machine.fpu.regs.write(0, 7.0)
-    machine.fpu.regs.write(1, 3.0)
-    return machine.run().completion_cycle
+REQUESTS = [RunRequest("latency", {"op": op}) for op in OPS.values()]
 
 
 def test_figure10_latencies(benchmark):
-    def experiment():
-        return {
-            "addition/subtraction": measure_dependent_latency(Op.ADD) * 40.0,
-            "multiplication": measure_dependent_latency(Op.MUL) * 40.0,
-            "division (via 1/x)": measure_division_latency() * 40.0,
-        }
-
-    measured = run_once(benchmark, experiment)
+    results = run_requests(benchmark, REQUESTS)
+    measured = {operation: result.metrics["nanoseconds"]
+                for operation, result in zip(OPS, results)}
     rows = []
     for operation, (paper_fpu, paper_xmp) in FIGURE10_LATENCIES_NS.items():
         rows.append([operation, measured[operation], paper_fpu, paper_xmp])

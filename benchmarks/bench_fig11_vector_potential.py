@@ -6,9 +6,10 @@ points: the effective vectorization of the Livermore loops obtained from
 simulated scalar vs. vector codings.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_curve, render_table
+from repro.api import RunRequest
 from repro.baselines.amdahl import (
     CRAY_1S_PEAK_RATIO,
     MULTITITAN_PEAK_RATIO,
@@ -16,22 +17,21 @@ from repro.baselines.amdahl import (
     measured_vector_fraction,
     overall_speedup,
 )
-from repro.workloads.common import run_kernel
-from repro.workloads.livermore import build_loop
 
 SAMPLE_LOOPS = (1, 3, 7, 12)
 
+REQUESTS = [RunRequest("livermore",
+                       {"loop": loop, "coding": coding, "warm": True})
+            for loop in SAMPLE_LOOPS for coding in ("scalar", "vector")]
+
 
 def test_figure11(benchmark):
-    def experiment():
-        measured = {}
-        for loop in SAMPLE_LOOPS:
-            scalar = run_kernel(build_loop(loop, coding="scalar"), warm=True)
-            vector = run_kernel(build_loop(loop, coding="vector"), warm=True)
-            measured[loop] = (scalar.cycles, vector.cycles)
-        return measured
-
-    measured = run_once(benchmark, experiment)
+    results = run_requests(benchmark, REQUESTS)
+    measured = {}
+    for request, result in zip(REQUESTS, results):
+        assert result.passed, result.check_error
+        cycles = measured.setdefault(request.params["loop"], {})
+        cycles[request.params["coding"]] = result.metrics["cycles"]
 
     curves = figure11_curves()
     print()
@@ -50,7 +50,9 @@ def test_figure11(benchmark):
                        float_format="%.2f"))
 
     rows = []
-    for loop, (scalar_cycles, vector_cycles) in measured.items():
+    for loop in SAMPLE_LOOPS:
+        scalar_cycles = measured[loop]["scalar"]
+        vector_cycles = measured[loop]["vector"]
         speedup = scalar_cycles / vector_cycles
         fraction = measured_vector_fraction(scalar_cycles, vector_cycles)
         rows.append(["LL%02d" % loop, speedup, fraction])

@@ -7,24 +7,30 @@ amortized rate exceeding the single-point rate.
 
 import pytest
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.reference_data import GRAPHICS_TRANSFORM
-from repro.workloads import graphics
+
+REQUESTS = [RunRequest("graphics", {"points": 1}),
+            RunRequest("graphics", {"points": 16})]
 
 
 def test_figure13_graphics_transform(benchmark):
-    outcome = run_once(benchmark, graphics.run_transform)
-    assert outcome.cycles == GRAPHICS_TRANSFORM["cycles"] == 35
-    assert abs(outcome.mflops - GRAPHICS_TRANSFORM["mflops"]) < 1e-9
+    single, stream = run_requests(benchmark, REQUESTS)
+    assert single.metrics["cycles"] == GRAPHICS_TRANSFORM["cycles"] == 35
+    assert abs(single.metrics["mflops"]
+               - GRAPHICS_TRANSFORM["mflops"]) < 1e-9
 
-    stream = graphics.run_transform(points=[[1.0, 2.0, 3.0, 1.0]] * 16)
     rows = [
-        ["cycles (one point)", outcome.cycles, GRAPHICS_TRANSFORM["cycles"]],
-        ["latency us", outcome.cycles * 40e-3, GRAPHICS_TRANSFORM["latency_us"]],
-        ["MFLOPS (one point)", outcome.mflops, GRAPHICS_TRANSFORM["mflops"]],
-        ["MFLOPS (16-point stream)", stream.mflops, None],
+        ["cycles (one point)", single.metrics["cycles"],
+         GRAPHICS_TRANSFORM["cycles"]],
+        ["latency us", single.metrics["cycles"] * 40e-3,
+         GRAPHICS_TRANSFORM["latency_us"]],
+        ["MFLOPS (one point)", single.metrics["mflops"],
+         GRAPHICS_TRANSFORM["mflops"]],
+        ["MFLOPS (16-point stream)", stream.metrics["mflops"], None],
     ]
     print()
     print(render_table(["metric", "measured", "paper"], rows,
@@ -32,4 +38,5 @@ def test_figure13_graphics_transform(benchmark):
                        float_format="%.2f"))
     # The transform is ALU-IR-issue bound, so streaming sustains (rather
     # than exceeds) the single-point rate: ~36 cycles per point.
-    assert stream.mflops == pytest.approx(outcome.mflops, rel=0.10)
+    assert stream.metrics["mflops"] == pytest.approx(
+        single.metrics["mflops"], rel=0.10)

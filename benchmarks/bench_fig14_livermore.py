@@ -15,20 +15,29 @@ Absolute MFLOPS differ from the paper (different codings and problem
 sizes); shape is the reproduction target.
 """
 
-from conftest import run_once
+from types import SimpleNamespace
 
-from repro.analysis.metrics import harmonic_mean
+from conftest import run_requests
+
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.reference_data import FIGURE14_HARMONIC_MEANS, FIGURE14_MFLOPS
-from repro.workloads.livermore import ALL_LOOPS, measure_loop, suite_summary
+from repro.workloads.livermore import ALL_LOOPS, suite_summary
+
+REQUESTS = [RunRequest("livermore-pair", {"loop": loop})
+            for loop in ALL_LOOPS]
 
 
 def test_figure14_livermore_loops(benchmark):
-    measurements = run_once(
-        benchmark, lambda: {loop: measure_loop(loop) for loop in ALL_LOOPS})
+    results = run_requests(benchmark, REQUESTS)
 
-    for loop, m in measurements.items():
-        assert m.passed, "loop %d: %s" % (loop, m.check_error)
+    measurements = {}
+    for request, result in zip(REQUESTS, results):
+        loop = request.params["loop"]
+        assert result.passed, "loop %d: %s" % (loop, result.check_error)
+        measurements[loop] = SimpleNamespace(
+            cold_mflops=result.metrics["cold_mflops"],
+            warm_mflops=result.metrics["warm_mflops"])
 
     rows = []
     for loop in ALL_LOOPS:

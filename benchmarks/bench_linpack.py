@@ -6,35 +6,38 @@ Absolute numbers depend on n; the scalar/vector ratio and its modesty are
 the reproduction targets.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.reference_data import LINPACK_MFLOPS
-from repro.workloads.linpack import measure_linpack
 
 ORDER = 40
 
+REQUESTS = [RunRequest("linpack", {"n": ORDER})]
+
 
 def test_linpack(benchmark):
-    measurement = run_once(benchmark, lambda: measure_linpack(ORDER))
-    assert measurement.check_error is None
+    (result,) = run_requests(benchmark, REQUESTS)
+    assert result.passed, result.check_error
+    metrics = result.metrics
 
     paper_ratio = (LINPACK_MFLOPS["MultiTitan vector"]
                    / LINPACK_MFLOPS["MultiTitan scalar"])
     rows = [
-        ["scalar MFLOPS", measurement.scalar_mflops,
+        ["scalar MFLOPS", metrics["scalar_mflops"],
          LINPACK_MFLOPS["MultiTitan scalar"]],
-        ["vector MFLOPS", measurement.vector_mflops,
+        ["vector MFLOPS", metrics["vector_mflops"],
          LINPACK_MFLOPS["MultiTitan vector"]],
-        ["vector/scalar speedup", measurement.speedup, paper_ratio],
+        ["vector/scalar speedup", metrics["speedup"], paper_ratio],
     ]
     print()
     print(render_table(["metric", "measured (n=%d)" % ORDER, "paper (n=100)"],
                        rows, title="Section 3.3: Linpack",
                        float_format="%.2f"))
 
-    assert measurement.vector_mflops > measurement.scalar_mflops
+    assert metrics["vector_mflops"] > metrics["scalar_mflops"]
     # The speedup stays modest, well under the 2x peak capability.
-    assert 1.1 < measurement.speedup < 2.0
+    assert 1.1 < metrics["speedup"] < 2.0
     # And the Livermore-style high-reuse kernels vectorize better than
     # Linpack does, as the paper observes.

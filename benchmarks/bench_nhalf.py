@@ -6,26 +6,30 @@ typically partitions into length-8 vectors.  Measured here by fitting
 Hockney's T(n) = (n + n_half)/r_inf to simulated vector adds.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
-from repro.analysis.metrics import N_HALF_LIMIT, measure_n_half
+from repro.analysis.metrics import N_HALF_LIMIT
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.hockney import ALL_MODELS
+
+VARIANTS = {
+    "ALU only": False,
+    "load/compute/store": True,
+}
+
+REQUESTS = [RunRequest("nhalf", {"include_memory": include})
+            for include in VARIANTS.values()]
 
 
 def test_n_half(benchmark):
-    def experiment():
-        return {
-            "ALU only": measure_n_half(include_memory=False),
-            "load/compute/store": measure_n_half(include_memory=True),
-        }
-
-    measured = run_once(benchmark, experiment)
+    results = run_requests(benchmark, REQUESTS)
+    measured = dict(zip(VARIANTS, results))
     rows = []
     for name, result in measured.items():
-        rows.append(["MultiTitan (%s)" % name, result["n_half"],
-                     result["r_inf_per_cycle"]])
-        assert result["n_half"] < N_HALF_LIMIT
+        rows.append(["MultiTitan (%s)" % name, result.metrics["n_half"],
+                     result.metrics["r_inf_per_cycle"]])
+        assert result.metrics["n_half"] < N_HALF_LIMIT
     for model in ALL_MODELS[1:]:
         rows.append([model.name + " (published)", model.n_half, None])
     print()
@@ -34,6 +38,6 @@ def test_n_half(benchmark):
                        float_format="%.2f"))
 
     # Efficiency at the machine's natural vector length of 8.
-    alu = measured["ALU only"]["n_half"]
+    alu = measured["ALU only"].metrics["n_half"]
     efficiency = 8.0 / (8.0 + alu)
     assert efficiency > 0.7  # >70% of peak at VL=8; the Cray-1 gets 35%

@@ -8,48 +8,23 @@ stream -- warm-cache, in vector and scalar codings, and checks that the
 sustained rates and their ~2x ratio land in the paper's regime.
 """
 
-from conftest import run_once
+from conftest import run_requests
 
 from repro.analysis.report import render_table
+from repro.api import RunRequest
 from repro.baselines.reference_data import SUSTAINED_MFLOPS
-from repro.workloads.blas import daxpy_kernel, ddot_kernel
-from repro.workloads.common import run_kernel
-from repro.workloads.graphics import FLOPS_PER_POINT, run_transform
-from repro.workloads.livermore import build_loop
 
-
-def composite(coding):
-    """Total (flops, cycles) over the application mix."""
-    total_flops = 0
-    total_cycles = 0
-    for kernel in (daxpy_kernel(256, coding=coding),
-                   ddot_kernel(256, coding=coding)):
-        result = run_kernel(kernel, warm=True)
-        assert result.passed, result.check_error
-        total_flops += result.nominal_flops
-        total_cycles += result.cycles
-    for loop in (1, 7):
-        result = run_kernel(build_loop(loop, coding=coding), warm=True)
-        assert result.passed, result.check_error
-        total_flops += result.nominal_flops
-        total_cycles += result.cycles
-    # The graphics transform has no scalar recoding in the paper either;
-    # it contributes its (short-vector) stream to both mixes.
-    stream = run_transform(points=[[1.0, 2.0, 3.0, 1.0]] * 8)
-    total_flops += FLOPS_PER_POINT * 8
-    total_cycles += stream.cycles
-    return total_flops, total_cycles
+REQUESTS = [RunRequest("sustained", {"coding": coding})
+            for coding in ("vector", "scalar")]
 
 
 def test_sustained_rates(benchmark):
-    def experiment():
-        rates = {}
-        for coding in ("vector", "scalar"):
-            flops, cycles = composite(coding)
-            rates[coding] = flops / (cycles * 40e-9) / 1e6
-        return rates
+    results = run_requests(benchmark, REQUESTS)
+    rates = {}
+    for request, result in zip(REQUESTS, results):
+        assert result.passed, result.check_error
+        rates[request.params["coding"]] = result.metrics["mflops"]
 
-    rates = run_once(benchmark, experiment)
     rows = [
         ["vectorized", rates["vector"], SUSTAINED_MFLOPS["vectorized"]],
         ["scalar", rates["scalar"], SUSTAINED_MFLOPS["scalar"]],

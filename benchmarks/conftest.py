@@ -4,11 +4,33 @@ Every benchmark regenerates one of the paper's tables or figures and
 prints a measured-vs-paper comparison (run with ``pytest benchmarks/
 --benchmark-only -s`` to see the tables).  Simulations are deterministic,
 so each benchmark executes a single round.
+
+Benchmarks declare :class:`repro.api.RunRequest` lists and run them
+through :func:`run_requests`, which fans them across one shared
+:class:`repro.api.Session`.  Two environment variables tune it:
+
+* ``REPRO_BENCH_JOBS``  -- worker processes (default 1);
+* ``REPRO_BENCH_CACHE`` -- result-cache directory (default: no cache).
 """
 
-import pytest
+import os
+
+from repro.api import Session
+
+
+def bench_session():
+    """The session benchmarks share, configured from the environment."""
+    return Session(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+                   cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None)
 
 
 def run_once(benchmark, fn):
     """Run a deterministic experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_requests(benchmark, requests):
+    """Run declarative requests through the shared session, timed as one
+    benchmark round; returns results in request order."""
+    session = bench_session()
+    return run_once(benchmark, lambda: session.run_many(requests))

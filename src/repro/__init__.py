@@ -21,12 +21,25 @@ Quickstart::
     result = machine.run()
     print(machine.fpu.regs.read_group(16, 4), result.completion_cycle)
 
+Campaigns (benchmark sweeps, ablation grids, smoke/fuzz runs) go through
+the session API instead of driving machines by hand::
+
+    from repro import Session, RunRequest
+
+    session = Session(jobs=4, cache_dir=".repro-cache")
+    results = session.run_many(
+        [RunRequest("livermore-pair", {"loop": loop}) for loop in (1, 7)])
+
 Subpackages: :mod:`repro.core` (the FPU), :mod:`repro.cpu` (CPU +
 assembler + machine), :mod:`repro.mem` (caches), :mod:`repro.fparith`
 (bit-level arithmetic), :mod:`repro.vectorize` (Mahler-like vector IR),
 :mod:`repro.workloads` (Livermore Loops, Linpack, graphics),
-:mod:`repro.baselines` (classical vector machine, Hockney, Amdahl), and
-:mod:`repro.analysis` (metrics and report rendering).
+:mod:`repro.baselines` (classical vector machine, Hockney, Amdahl),
+:mod:`repro.analysis` (metrics and report rendering), :mod:`repro.api` /
+:mod:`repro.orchestrate` (the session API and the campaign runner).
+
+``RunResult`` is the session-level result; the machine-level cycle
+outcome of ``MultiTitan.run`` is exported as ``MachineRunResult``.
 """
 
 from repro.core import (
@@ -46,10 +59,12 @@ from repro.cpu import (
     MultiTitan,
     Program,
     ProgramBuilder,
-    RunResult,
+    RunResult as MachineRunResult,
     assemble,
 )
 from repro.mem import Arena, Memory
+from repro.api import RunRequest, RunResult, Session
+from repro.workloads.common import run_kernel
 
 __version__ = "1.0.0"
 
@@ -61,15 +76,19 @@ __all__ = [
     "Fpu",
     "MAX_VECTOR_LENGTH",
     "MachineConfig",
+    "MachineRunResult",
     "Memory",
     "MultiTitan",
     "NUM_REGISTERS",
     "Op",
     "Program",
     "ProgramBuilder",
+    "RunRequest",
     "RunResult",
+    "Session",
     "assemble",
     "decode_alu",
     "disassemble_alu",
     "encode_alu",
+    "run_kernel",
 ]

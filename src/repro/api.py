@@ -1,0 +1,416 @@
+"""The unified run-session API: one surface for every simulation job.
+
+Historically the repo had four inconsistent entry points -- bare
+``run_kernel`` calls, ``python -m repro.robustness.smoke``, the fuzz CLI,
+and eighteen hand-rolled benchmark driver loops.  This module replaces
+them with one surface:
+
+* :class:`RunRequest` -- a *declarative* description of a job: a workload
+  name from the registry, plain-data params, ``MachineConfig`` overrides,
+  and one normalized cycle budget (``max_cycles`` -- the request object
+  also accepts the legacy spellings ``stop_cycle``, ``watchdog_budget``
+  and ``cycle_budget`` and folds them in).
+* :class:`RunResult` -- the structured, versioned, JSON-serializable
+  outcome.  ``to_dict()`` is deterministic (no wall-clock, no worker
+  identity), so campaign JSON is byte-identical at any worker count.
+* :class:`Session` -- owns configuration, seeding, parallelism, caching
+  and result serialization.  ``Session.run_many`` fans requests across a
+  worker pool through :mod:`repro.orchestrate`, with a digest-keyed
+  on-disk result cache.
+
+Workload executors register with :func:`register_workload`; the standard
+set (Livermore, Linpack, BLAS, the paper's figure experiments, the
+fault-injection smoke seed, fuzz campaigns, host-speed) lives in
+:mod:`repro.workloads.experiments`.
+
+Example::
+
+    from repro import Session, RunRequest
+
+    session = Session(jobs=4, cache_dir=".repro-cache")
+    requests = [RunRequest("livermore-pair", {"loop": n}) for n in (1, 7)]
+    for result in session.run_many(requests):
+        print(result.params["loop"], result.metrics["warm_mflops"])
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from repro import orchestrate
+from repro.cpu.machine import MachineConfig
+
+#: Legacy kwarg spellings normalized into RunRequest.max_cycles.
+MAX_CYCLES_ALIASES = ("stop_cycle", "watchdog_budget", "cycle_budget")
+
+
+def _plain(value):
+    """Normalize params to JSON-stable plain data (tuples -> lists)."""
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, list):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    return value
+
+
+@dataclass
+class RunRequest:
+    """A declarative simulation job: pure data, safe to pickle, hash,
+    and serialize -- the orchestrator's unit of work.
+
+    ``params`` are workload-specific keyword arguments; ``config`` holds
+    ``MachineConfig`` field overrides (validated eagerly, so a typo fails
+    at request construction, not inside a worker); ``max_cycles`` is the
+    single normalized cycle-budget knob that the executors map onto
+    whatever their machinery calls it (``machine.run(max_cycles=...)``,
+    the differential watchdog budget, ...).
+    """
+
+    workload: str
+    params: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    max_cycles: int = None
+
+    def __post_init__(self):
+        self.params = _plain(dict(self.params or {}))
+        for alias in MAX_CYCLES_ALIASES:
+            if alias in self.params:
+                value = self.params.pop(alias)
+                if self.max_cycles is not None and self.max_cycles != value:
+                    raise ValueError(
+                        "conflicting cycle budgets: max_cycles=%r and %s=%r"
+                        % (self.max_cycles, alias, value))
+                self.max_cycles = value
+        self.config = _plain(dict(self.config or {}))
+        MachineConfig.from_overrides(self.config)  # validate field names
+
+    def machine_config(self, **defaults):
+        """A MachineConfig from executor ``defaults`` with the request's
+        overrides applied on top (the request wins)."""
+        return MachineConfig.from_overrides(self.config, **defaults)
+
+    def config_fingerprint(self):
+        return self.machine_config().fingerprint()
+
+    def to_dict(self):
+        return {"workload": self.workload, "params": self.params,
+                "config": self.config, "max_cycles": self.max_cycles}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(workload=payload["workload"],
+                   params=payload.get("params") or {},
+                   config=payload.get("config") or {},
+                   max_cycles=payload.get("max_cycles"))
+
+
+@dataclass
+class RunResult:
+    """The structured outcome of one request.
+
+    ``metrics`` holds the workload's deterministic measurements
+    (cycles, MFLOPS, verdicts, ...); ``to_dict()`` emits exactly the
+    versioned payload that lands in cache entries and ``BENCH_*.json``.
+    ``cached``/``wall_seconds`` are run-time telemetry and deliberately
+    stay out of the serialized form.
+    """
+
+    workload: str
+    params: dict
+    config: dict
+    metrics: dict
+    check_error: str = None
+    program_digest: str = None
+    key: str = ""
+    cached: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self):
+        return self.check_error is None
+
+    def to_dict(self):
+        return {
+            "schema": orchestrate.RESULT_SCHEMA,
+            "workload": self.workload,
+            "params": self.params,
+            "config": self.config,
+            "metrics": self.metrics,
+            "check_error": self.check_error,
+            "program_digest": self.program_digest,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        if payload.get("schema") != orchestrate.RESULT_SCHEMA:
+            raise ValueError("result schema is %r, expected %r"
+                             % (payload.get("schema"),
+                                orchestrate.RESULT_SCHEMA))
+        return cls(workload=payload["workload"], params=payload["params"],
+                   config=payload["config"], metrics=payload["metrics"],
+                   check_error=payload.get("check_error"),
+                   program_digest=payload.get("program_digest"),
+                   key=payload.get("key", ""))
+
+
+class Outcome:
+    """What a workload executor returns: metrics plus optional extras."""
+
+    __slots__ = ("metrics", "check_error", "program_digest")
+
+    def __init__(self, metrics, check_error=None, program_digest=None):
+        self.metrics = metrics
+        self.check_error = check_error
+        self.program_digest = program_digest
+
+
+# ---------------------------------------------------------------------------
+# The workload registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY = {}
+
+
+def register_workload(name, digest=None):
+    """Register an executor: ``fn(request) -> Outcome``.
+
+    ``digest`` optionally maps a request to the SHA-256 digest of the
+    program it will run (``repro.core.semantics.program_digest``); when
+    given, the digest becomes part of the result-cache key, so cached
+    entries invalidate automatically when kernel codegen changes.
+    """
+
+    def wrap(fn):
+        fn.digest = digest
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def _ensure_registered():
+    if not _REGISTRY:
+        from repro.workloads import experiments  # noqa: F401  (registers)
+
+
+def workload_names():
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def get_workload(name):
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError("unknown workload %r (registered: %s)"
+                         % (name, ", ".join(sorted(_REGISTRY)))) from None
+
+
+def execute_request(request, cache=None):
+    """Run one request, through the result cache when one is given."""
+    fn = get_workload(request.workload)
+    program_digest = fn.digest(request) if fn.digest else None
+    from repro.workloads.experiments import CACHE_SALT
+    key = orchestrate.cache_key(request.workload, request.params,
+                                request.config_fingerprint(),
+                                program_digest=program_digest,
+                                salt=CACHE_SALT)
+    if cache is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            result = RunResult.from_dict(payload)
+            result.cached = True
+            return result
+    outcome = fn(request)
+    result = RunResult(workload=request.workload, params=request.params,
+                       config=request.config, metrics=_plain(outcome.metrics),
+                       check_error=outcome.check_error,
+                       program_digest=outcome.program_digest or program_digest,
+                       key=key)
+    if cache is not None:
+        cache.put(key, result.to_dict())
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Machine reset/restore helper (the session owns warm/cold discipline)
+# ---------------------------------------------------------------------------
+
+def restore_point(machine):
+    """Capture the machine's current state via ``Machine.snapshot()`` and
+    return ``rewind(keep_caches=False)``.
+
+    ``rewind()`` restores everything bit-exactly (the full snapshot
+    machinery).  ``rewind(keep_caches=True)`` is the warm-measurement
+    discipline: memory data and CPU/FPU state roll back to the capture
+    point while cache *contents* survive (only their hit/miss statistics
+    clear) -- the paper's "the loops were run twice, thus preloading the
+    code and the data".
+    """
+    snapshot = machine.snapshot()
+
+    def rewind(keep_caches=False):
+        if keep_caches:
+            machine.memory.restore_delta(snapshot["memory"])
+            machine.reset_cpu()
+            machine.dcache.reset_stats()
+            machine.ibuf.reset_stats()
+        else:
+            machine.restore(snapshot)
+        return machine
+
+    return rewind
+
+
+# ---------------------------------------------------------------------------
+# Named sweeps (declarative campaign definitions for the CLI and CI)
+# ---------------------------------------------------------------------------
+
+def sweep_requests(name, quick=False, seed=None):
+    """Build the request list for a named sweep.
+
+    ``quick`` shrinks the sweep for CI smoke runs; ``seed`` threads the
+    session's base seed into seeded workloads.
+    """
+    if name == "livermore":
+        loops = (1, 3, 7, 12) if quick else tuple(range(1, 25))
+        return [RunRequest("livermore-pair", {"loop": loop})
+                for loop in loops]
+    if name == "linpack":
+        return [RunRequest("linpack", {"n": 24 if quick else 40})]
+    if name == "ablation-latency":
+        latencies = (1, 3, 8) if quick else (1, 2, 3, 5, 8)
+        return [RunRequest("livermore",
+                           {"loop": loop, "warm": True},
+                           config={"model_ibuffer": False,
+                                   "fpu_latency": latency})
+                for latency in latencies for loop in (1, 3, 11)]
+    if name == "ablation-cache":
+        penalties = (0, 14, 56) if quick else (0, 7, 14, 28, 56)
+        requests = []
+        for penalty in penalties:
+            config = {"dcache_miss_penalty": penalty,
+                      "ibuf_miss_penalty": penalty}
+            requests.append(RunRequest("livermore", {"loop": 1, "warm": False},
+                                       config=config))
+            requests.append(RunRequest("livermore", {"loop": 1, "warm": True},
+                                       config=config))
+            requests.append(RunRequest("livermore", {"loop": 16,
+                                                     "warm": False},
+                                       config=config))
+        return requests
+    if name == "figures":
+        return ([RunRequest("reduction", {"strategy": strategy})
+                 for strategy in ("scalar_tree", "linear_vector",
+                                  "vector_tree")]
+                + [RunRequest("fib", {"count": 10}),
+                   RunRequest("graphics", {"points": 1}),
+                   RunRequest("gather", {"pattern": "stride",
+                                         "stride_words": 1}),
+                   RunRequest("gather", {"pattern": "linked"})])
+    if name == "sustained":
+        return [RunRequest("sustained", {"coding": coding})
+                for coding in ("vector", "scalar")]
+    if name == "simspeed":
+        iterations = 2_000 if quick else 20_000
+        return [RunRequest("simspeed", {"kernel": kernel,
+                                        "iterations": iterations})
+                for kernel in ("int_loop", "vector_chain", "mixed_mem")]
+    if name == "smoke":
+        seeds = 6 if quick else 30
+        base = 1989 if seed is None else seed
+        return [RunRequest("smoke-seed", {"seed": base + index})
+                for index in range(seeds)]
+    raise ValueError("unknown sweep %r (available: %s)"
+                     % (name, ", ".join(SWEEPS)))
+
+
+SWEEPS = ("livermore", "linpack", "ablation-latency", "ablation-cache",
+          "figures", "sustained", "simspeed", "smoke")
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+class Session:
+    """One configured simulation session: the single public entry point
+    for running anything, serially or fanned across a worker pool.
+
+    ``config`` -- MachineConfig overrides applied to every request that
+    does not set the same field itself; ``jobs`` -- default pool width;
+    ``cache_dir`` -- digest-keyed on-disk result cache (None disables
+    caching); ``seed`` -- base seed threaded into seeded sweeps;
+    ``progress`` -- a line sink (e.g. ``print``) for per-task and
+    per-worker progress output.
+    """
+
+    def __init__(self, config=None, jobs=1, cache_dir=None, seed=1989,
+                 progress=None):
+        if isinstance(config, MachineConfig):
+            config = config.as_dict()
+        self.config = _plain(dict(config or {}))
+        MachineConfig.from_overrides(self.config)
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.seed = seed
+        self.progress = progress
+
+    # -- request construction ------------------------------------------
+
+    def request(self, workload, params=None, config=None, max_cycles=None):
+        """A RunRequest with the session's config underneath the
+        request's own overrides."""
+        merged = dict(self.config)
+        merged.update(config or {})
+        return RunRequest(workload, params=params or {}, config=merged,
+                          max_cycles=max_cycles)
+
+    def sweep(self, name, quick=False):
+        return [self.request(req.workload, req.params, req.config,
+                             req.max_cycles)
+                for req in sweep_requests(name, quick=quick, seed=self.seed)]
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, request, params=None, config=None, max_cycles=None):
+        """Run one job.  ``request`` is a RunRequest or a workload name
+        (with ``params``/``config`` building the request inline)."""
+        if isinstance(request, str):
+            request = self.request(request, params=params, config=config,
+                                   max_cycles=max_cycles)
+        return self.run_many([request])[0]
+
+    def run_many(self, requests, jobs=None):
+        """Run independent requests across the worker pool; results come
+        back in request order regardless of completion order."""
+        run = orchestrate.run_campaign(
+            list(requests), jobs=self.jobs if jobs is None else max(1, jobs),
+            cache_dir=self.cache_dir, progress=self.progress)
+        self.last_campaign = run
+        return run.results
+
+    def run_kernel(self, kernel, warm=False, check=True, max_cycles=None):
+        """Run an already-built :class:`~repro.workloads.common.
+        BuiltKernel` under the session's machine config (no caching --
+        built kernels carry callables and are not declarative)."""
+        from repro.workloads.common import run_kernel
+
+        return run_kernel(kernel,
+                          config=MachineConfig.from_overrides(self.config),
+                          warm=warm, check=check, max_cycles=max_cycles)
+
+    # -- serialization --------------------------------------------------
+
+    def write_json(self, path, results, sweep="campaign"):
+        """Write the canonical, schema-versioned BENCH_*.json."""
+        return orchestrate.write_bench_json(path, results, sweep=sweep)
+
+
+def default_cache_dir():
+    """The conventional cache location (used by the CLI's --cache-dir
+    default): $REPRO_CACHE_DIR or .repro-cache in the working tree."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")

@@ -22,7 +22,9 @@ figure tests assert the published cycle counts exactly):
   slot; a data-cache miss stalls the (blocking) pipeline 14 cycles.
 """
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import dataclass, fields
 
 from repro.core import semantics
 from repro.core.events import EventBus, TraceRecorder
@@ -65,6 +67,46 @@ class MachineConfig:
     audit_invariants: bool = False
     trace: bool = False
     max_cycles: int = 200_000_000
+
+    #: Fields that change what is *observed*, not what is *computed*: two
+    #: configs differing only here produce identical architectural results
+    #: and cycle counts, so they share a result-cache fingerprint.
+    OBSERVATION_FIELDS = ("trace", "audit_invariants", "audit_scoreboard_ports")
+
+    def as_dict(self):
+        """All fields as a plain JSON-serializable dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fingerprint(self):
+        """Stable SHA-256 over every result-affecting field.
+
+        The digest keys the on-disk result cache (:mod:`repro.orchestrate`):
+        any change to a timing or structure parameter produces a different
+        fingerprint, while observation-only toggles (tracing, invariant
+        audits) do not.
+        """
+        payload = {name: value for name, value in self.as_dict().items()
+                   if name not in self.OBSERVATION_FIELDS}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_overrides(cls, overrides=None, **defaults):
+        """Build a config from ``defaults`` with ``overrides`` on top.
+
+        Unknown keys raise ``ValueError`` naming the valid fields, so a
+        typo in a declarative sweep fails loudly instead of silently
+        running the default machine.
+        """
+        merged = dict(defaults)
+        merged.update(overrides or {})
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(merged) - valid)
+        if unknown:
+            raise ValueError(
+                "unknown MachineConfig field(s) %s (valid: %s)"
+                % (", ".join(unknown), ", ".join(sorted(valid))))
+        return cls(**merged)
 
 
 class MultiTitan:

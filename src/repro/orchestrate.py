@@ -1,0 +1,345 @@
+"""Parallel campaign orchestration with a digest-keyed result cache.
+
+Every heavy job in the repo -- benchmark sweeps, ablation grids, the
+fault-injection smoke campaign, fuzz seed campaigns -- is a set of
+*independent* simulations, so this module fans them across a worker pool
+(:func:`run_campaign`) and memoizes each one in an on-disk cache keyed by
+
+    SHA-256(program digest x MachineConfig fingerprint x run kwargs)
+
+so re-running an unchanged sweep is a pure cache hit.  Results are
+structured and versioned (:data:`BENCH_SCHEMA`); :func:`write_bench_json`
+emits the canonical ``BENCH_*.json`` files the perf trajectory is built
+from, byte-identical regardless of worker count.
+
+The public entry point is :class:`repro.api.Session`; this module is the
+engine underneath it.  Requests travel to workers as plain dicts (the
+declarative form of :class:`repro.api.RunRequest`), so the pool works
+under both the fork and spawn start methods.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+
+#: Version tag of one serialized run result (see RunResult.to_dict).
+RESULT_SCHEMA = "repro-run/1"
+
+#: Version tag of a BENCH_*.json campaign document.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def cache_key(workload, params, config_fingerprint, program_digest=None,
+              salt=""):
+    """The cache key: program digest x config fingerprint x run kwargs.
+
+    ``program_digest`` is the SHA-256 of the built instruction stream
+    (``repro.core.semantics.program_digest``) when the workload can
+    provide one; compound experiments that run several programs fall
+    back to ``salt`` (a code-version token bumped when executor
+    behaviour changes) so stale entries never masquerade as current.
+    """
+    payload = {
+        "schema": RESULT_SCHEMA,
+        "workload": workload,
+        "params": params,
+        "config_fingerprint": config_fingerprint,
+        "program_digest": program_digest,
+        "salt": salt,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Digest-keyed on-disk store of serialized run results.
+
+    One JSON file per entry, fanned into 256 prefix directories.  Writes
+    are atomic (temp file + ``os.replace``), and *any* unreadable or
+    malformed entry is treated as a miss and deleted, so a corrupted
+    cache heals itself instead of poisoning campaigns.
+    """
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+
+    def _path(self, key):
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    def get(self, key):
+        """The stored payload dict, or None (miss or corrupt entry)."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != RESULT_SCHEMA:
+                raise ValueError("entry schema %r" % payload.get("schema"))
+            if not isinstance(payload.get("metrics"), dict):
+                raise ValueError("entry has no metrics dict")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError, UnicodeDecodeError):
+            # Corrupted entry: quarantine by deletion and recompute.
+            self.corrupted += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self):
+        count = 0
+        for _root, _dirs, files in os.walk(self.directory):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count
+
+
+# ---------------------------------------------------------------------------
+# The worker pool
+# ---------------------------------------------------------------------------
+
+def _execute_task(task):
+    """Worker entry: run one serialized request; return (index, payload,
+    sidecar).  Top-level so it pickles under the spawn start method."""
+    index, request_dict, cache_dir = task
+    from repro import api  # deferred: workers import the full stack once
+
+    request = api.RunRequest.from_dict(request_dict)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    start = time.perf_counter()
+    result = api.execute_request(request, cache=cache)
+    sidecar = {
+        "wall_seconds": time.perf_counter() - start,
+        "cached": result.cached,
+        "pid": os.getpid(),
+    }
+    return index, result.to_dict(), sidecar
+
+
+class CampaignRun:
+    """Everything one campaign produced: ordered results + pool telemetry."""
+
+    def __init__(self, results, sidecars, wall_seconds, jobs):
+        self.results = results
+        self.sidecars = sidecars
+        self.wall_seconds = wall_seconds
+        self.jobs = jobs
+
+    @property
+    def cached_count(self):
+        return sum(1 for side in self.sidecars if side["cached"])
+
+    def worker_utilization(self):
+        """Per-worker (pid) task counts and busy time, for the progress
+        report: {pid: {"tasks": n, "busy_seconds": s}}."""
+        workers = {}
+        for side in self.sidecars:
+            entry = workers.setdefault(side["pid"],
+                                       {"tasks": 0, "busy_seconds": 0.0})
+            entry["tasks"] += 1
+            entry["busy_seconds"] += side["wall_seconds"]
+        return workers
+
+    def summary_table(self):
+        from repro.analysis.report import render_table
+
+        rows = []
+        for result, side in zip(self.results, self.sidecars):
+            metric = _headline_metric(result.metrics)
+            rows.append([result.workload, _brief_params(result.params),
+                         metric, "ok" if result.passed else "FAIL",
+                         "hit" if side["cached"] else "ran",
+                         side["wall_seconds"]])
+        title = ("campaign: %d runs, %d cache hits, %.2fs wall at jobs=%d"
+                 % (len(self.results), self.cached_count, self.wall_seconds,
+                    self.jobs))
+        return render_table(
+            ["workload", "params", "result", "check", "cache", "secs"],
+            rows, title=title, float_format="%.2f")
+
+
+def _brief_params(params, limit=40):
+    text = ",".join("%s=%s" % (key, value)
+                    for key, value in sorted(params.items()))
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+def _headline_metric(metrics):
+    for key in ("mflops", "warm_mflops", "cycles", "verdict", "cases"):
+        if key in metrics:
+            return "%s=%s" % (key, metrics[key])
+    if metrics:
+        key = sorted(metrics)[0]
+        return "%s=%s" % (key, metrics[key])
+    return ""
+
+
+def run_campaign(requests, jobs=1, cache_dir=None, progress=None):
+    """Run independent requests across ``jobs`` workers; results keep
+    request order regardless of completion order or worker count.
+
+    ``progress`` is a callable taking one line of text (e.g. ``print``);
+    it receives a per-task line as each task finishes and per-worker
+    utilization lines at the end.
+    """
+    serialized = [request.to_dict() for request in requests]
+    tasks = [(index, request_dict, cache_dir)
+             for index, request_dict in enumerate(serialized)]
+    start = time.perf_counter()
+    outcomes = [None] * len(tasks)
+    sidecars = [None] * len(tasks)
+    done = 0
+
+    def note(index, sidecar):
+        if progress is None:
+            return
+        request_dict = serialized[index]
+        progress("[%d/%d] worker %d: %s(%s) %s in %.2fs"
+                 % (done, len(tasks), sidecar["pid"],
+                    request_dict["workload"],
+                    _brief_params(request_dict.get("params", {})),
+                    "cache hit" if sidecar["cached"] else "ran",
+                    sidecar["wall_seconds"]))
+
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            index, payload, sidecar = _execute_task(task)
+            outcomes[index] = payload
+            sidecars[index] = sidecar
+            done += 1
+            note(index, sidecar)
+        effective_jobs = 1
+    else:
+        effective_jobs = min(jobs, len(tasks))
+        method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                  else None)
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=effective_jobs) as pool:
+            for index, payload, sidecar in pool.imap_unordered(
+                    _execute_task, tasks):
+                outcomes[index] = payload
+                sidecars[index] = sidecar
+                done += 1
+                note(index, sidecar)
+
+    wall = time.perf_counter() - start
+    from repro import api
+
+    results = [api.RunResult.from_dict(payload) for payload in outcomes]
+    for result, sidecar in zip(results, sidecars):
+        result.cached = sidecar["cached"]
+        result.wall_seconds = sidecar["wall_seconds"]
+    run = CampaignRun(results, sidecars, wall, effective_jobs)
+    if progress is not None:
+        for pid, entry in sorted(run.worker_utilization().items()):
+            progress("worker %d: %d task(s), %.2fs busy (%.0f%% of wall)"
+                     % (pid, entry["tasks"], entry["busy_seconds"],
+                        100.0 * entry["busy_seconds"] / wall if wall else 0.0))
+    return run
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json: the versioned campaign document
+# ---------------------------------------------------------------------------
+
+def bench_document(results, sweep="campaign"):
+    """The canonical campaign document (deterministic: no wall-clock,
+    no worker identity -- jobs=1 and jobs=N produce identical bytes)."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "sweep": sweep,
+        "count": len(results),
+        "results": [result.to_dict() for result in results],
+    }
+
+
+def dump_bench_json(results, sweep="campaign"):
+    """Canonical BENCH_*.json text for a list of results."""
+    return json.dumps(bench_document(results, sweep=sweep),
+                      sort_keys=True, indent=2) + "\n"
+
+
+def write_bench_json(path, results, sweep="campaign"):
+    text = dump_bench_json(results, sweep=sweep)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def validate_bench_json(source):
+    """Validate a BENCH_*.json document (path or parsed dict).
+
+    Raises ``ValueError`` describing the first problem; returns the
+    parsed document when it conforms to :data:`BENCH_SCHEMA`.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = source
+    if not isinstance(document, dict):
+        raise ValueError("bench document must be a JSON object")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError("schema is %r, expected %r"
+                         % (document.get("schema"), BENCH_SCHEMA))
+    if not isinstance(document.get("sweep"), str):
+        raise ValueError("missing sweep name")
+    results = document.get("results")
+    if not isinstance(results, list):
+        raise ValueError("results must be a list")
+    if document.get("count") != len(results):
+        raise ValueError("count %r does not match %d results"
+                         % (document.get("count"), len(results)))
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ValueError("results[%d] is not an object" % index)
+        if entry.get("schema") != RESULT_SCHEMA:
+            raise ValueError("results[%d].schema is %r, expected %r"
+                             % (index, entry.get("schema"), RESULT_SCHEMA))
+        for field, kind in (("workload", str), ("params", dict),
+                            ("config", dict), ("metrics", dict),
+                            ("key", str)):
+            if not isinstance(entry.get(field), kind):
+                raise ValueError("results[%d].%s missing or not a %s"
+                                 % (index, field, kind.__name__))
+        if not (entry.get("check_error") is None
+                or isinstance(entry["check_error"], str)):
+            raise ValueError("results[%d].check_error must be null or text"
+                             % index)
+    return document
+
+
+def print_progress(line):
+    """Default progress sink: one line to stderr, immediately flushed."""
+    print(line, file=sys.stderr, flush=True)

@@ -119,14 +119,16 @@ def build_machine(program, memory_words, audit=True):
 
 
 def run_case(program, memory_words, bug=None, audit=True, fault_plan=None,
-             coverage=None):
+             coverage=None, max_cycles=None):
     """Run one program differentially; return a :class:`CaseResult`.
 
     ``bug`` names a planted bug from :mod:`repro.robustness.fuzz.bugs`
     to install on the machine side only (the reference stays golden).
     ``fault_plan`` composes state perturbation on top of the same
     detection stack.  ``coverage`` is attached for the duration of the
-    run when given.
+    run when given.  ``max_cycles`` -- the normalized cycle-budget kwarg
+    (:class:`repro.api.RunRequest`) -- caps the reference-sized watchdog
+    budget when given.
     """
     reference = ReferenceExecutor(program.instructions,
                                   memory_words=list(memory_words),
@@ -137,6 +139,8 @@ def run_case(program, memory_words, bug=None, audit=True, fault_plan=None,
         return CaseResult("generator-error", error=error,
                           signature=failure_signature(error))
     budget = watchdog_budget(8 * reference.steps + 64)
+    if max_cycles is not None:
+        budget = min(budget, max_cycles)
 
     machine = build_machine(program, memory_words, audit=audit)
     if fault_plan is not None:
@@ -203,7 +207,7 @@ class CampaignResult:
 
 
 def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
-         max_failures=None, on_case=None):
+         max_failures=None, on_case=None, max_cycles=None):
     """Run a coverage-guided campaign of ``seeds`` generated cases.
 
     The coverage map accumulates across cases and feeds back into the
@@ -220,7 +224,8 @@ def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
         seed = base_seed + index
         case = generate_case(seed, coverage=coverage)
         result = run_case(case.program, case.memory_words, bug=bug,
-                          audit=audit, coverage=coverage)
+                          audit=audit, coverage=coverage,
+                          max_cycles=max_cycles)
         ran += 1
         if on_case is not None:
             on_case(case, result)

@@ -21,7 +21,6 @@ Silent corruption is the only failure: the campaign exits non-zero and
 prints the exact command that reproduces the offending seed.
 """
 
-import argparse
 import sys
 
 from repro.core.exceptions import SimulationError
@@ -29,7 +28,7 @@ from repro.cpu.machine import MachineConfig, MultiTitan
 from repro.cpu.program import ProgramBuilder
 from repro.mem.memory import Memory
 from repro.robustness.differential import DifferentialChecker, bit_exact
-from repro.robustness.faults import KINDS, FaultPlan
+from repro.robustness.faults import FaultPlan
 from repro.robustness.watchdog import watchdog_budget
 
 VL = 16
@@ -119,8 +118,13 @@ def states_equal(a, b):
     return a["psw"] == b["psw"]
 
 
-def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run):
-    """Run one seeded fault campaign; return (verdict, detail, kinds)."""
+def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run,
+             max_cycles=None):
+    """Run one seeded fault campaign; return (verdict, detail, kinds).
+
+    ``max_cycles`` overrides the default watchdog budget (the normalized
+    cycle-budget kwarg of :class:`repro.api.RunRequest`).
+    """
     machine = make_machine(audit=True)
     plan = FaultPlan.random(seed, max_cycle=baseline_cycles,
                             count=faults_per_run, kinds=kinds,
@@ -128,8 +132,10 @@ def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run):
     machine.fault_plan = plan
     kinds_used = tuple(sorted({event.kind for event in plan.events}))
     checker = DifferentialChecker(machine)
+    budget = max_cycles if max_cycles is not None \
+        else watchdog_budget(baseline_cycles)
     try:
-        machine.run(max_cycles=watchdog_budget(baseline_cycles))
+        machine.run(max_cycles=budget)
         checker.final_check()
     except SimulationError as error:
         return ("detected", "%s: %s" % (type(error).__name__, error),
@@ -142,68 +148,22 @@ def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run):
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description="seeded fault-injection smoke campaign")
-    parser.add_argument("--seeds", type=int, default=30,
-                        help="number of seeds to run (default 30)")
-    parser.add_argument("--seed", type=int, default=1989,
-                        help="base seed; campaign runs seed..seed+seeds-1")
-    parser.add_argument("--faults", type=int, default=1,
-                        help="faults injected per run (default 1)")
-    parser.add_argument("--kinds", default=",".join(KINDS),
-                        help="comma-separated fault kinds (default: all)")
-    parser.add_argument("--verbose", action="store_true",
-                        help="print every run, not just failures")
-    args = parser.parse_args(argv)
+    """Deprecated entry point: forwards to ``python -m repro smoke``.
 
-    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind)
-    for kind in kinds:
-        if kind not in KINDS:
-            parser.error("unknown fault kind %r (choose from %s)"
-                         % (kind, ", ".join(KINDS)))
+    The campaign now runs through the unified CLI and the orchestrator
+    (``repro.api.Session``), which adds ``--jobs``, ``--cache-dir`` and
+    ``--json``.  This shim keeps the historical flag surface and return
+    codes while warning once.
+    """
+    import warnings
 
-    # Fault-free baseline: the golden final state and the cycle budget
-    # that bounds where faults may land.
-    golden = make_machine(audit=True)
-    result = golden.run()
-    baseline = architectural_state(golden)
-    baseline_cycles = result.completion_cycle
-    print("baseline: %d cycles, checksum word = %r"
-          % (baseline_cycles, golden.memory.read(SUM_BASE)))
+    warnings.warn(
+        "python -m repro.robustness.smoke is deprecated; use "
+        "python -m repro smoke (same flags, plus --jobs/--cache-dir/--json)",
+        DeprecationWarning, stacklevel=2)
+    from repro.tools.cli import main as cli_main
 
-    counts = {"detected": 0, "masked": 0, "silent": 0}
-    by_kind = {kind: {"detected": 0, "masked": 0, "silent": 0}
-               for kind in kinds}
-    failures = []
-    for seed in range(args.seed, args.seed + args.seeds):
-        verdict, detail, kinds_used = run_seed(seed, baseline,
-                                               baseline_cycles, kinds,
-                                               args.faults)
-        counts[verdict] += 1
-        for kind in kinds_used:
-            by_kind[kind][verdict] += 1
-        if verdict == "silent":
-            failures.append(seed)
-        if args.verbose or verdict == "silent":
-            print("seed %d: %s\n  %s"
-                  % (seed, verdict.upper(), detail.replace("\n", "\n  ")))
-
-    print("campaign: %d seeds -> %d detected, %d masked, %d silent"
-          % (args.seeds, counts["detected"], counts["masked"],
-             counts["silent"]))
-    print("per-kind outcomes (a multi-fault run counts under each kind "
-          "it injected):")
-    for kind in kinds:
-        outcome = by_kind[kind]
-        print("  %-10s %3d detected, %3d masked, %3d silent"
-              % (kind, outcome["detected"], outcome["masked"],
-                 outcome["silent"]))
-    if failures:
-        for seed in failures:
-            print("reproduce with: python -m repro.robustness.smoke "
-                  "--seed %d --seeds 1 --verbose" % seed)
-        return 1
-    return 0
+    return cli_main(["smoke"] + list(sys.argv[1:] if argv is None else argv))
 
 
 if __name__ == "__main__":

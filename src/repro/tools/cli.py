@@ -1,9 +1,17 @@
-"""Command-line interface: run assembly, trace pipelines, run workloads.
+"""Command-line interface: run assembly, trace pipelines, run campaigns.
+
+The campaign subcommands (``bench``, ``sweep``, ``smoke``, ``fuzz run``)
+all share ``--jobs/--seed/--cache-dir/--json`` and run through
+:class:`repro.api.Session`, so they fan across the same worker pool and
+the same digest-keyed result cache.
 
 ::
 
     python -m repro run program.s [--trace] [--cold] [--freg N=VAL ...]
     python -m repro trace program.s
+    python -m repro bench SWEEP... [--quick] [--validate] [--out DIR]
+    python -m repro sweep WORKLOAD [--set K=V ...] [--grid FIELD=V1,V2 ...]
+    python -m repro smoke [--seeds N] [--kinds K,K] [--faults N]
     python -m repro livermore [loops...] [--coding vector|scalar]
     python -m repro linpack [--n N]
     python -m repro figures
@@ -13,6 +21,7 @@
 """
 
 import argparse
+import os
 import sys
 
 from repro.analysis.report import render_table
@@ -149,8 +158,221 @@ def cmd_figures(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Campaign subcommands (Session-backed: shared --jobs/--seed/--cache-dir/--json)
+# ---------------------------------------------------------------------------
+
+def _add_campaign_flags(parser, seed_default=1989, seed=True):
+    """The shared campaign surface: every Session-backed subcommand takes
+    the same parallelism/caching/serialization flags."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1: in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="digest-keyed result cache directory "
+                             "(unset: no caching)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write the campaign as a BENCH-schema JSON "
+                             "document")
+    if seed:
+        parser.add_argument("--seed", type=int, default=seed_default,
+                            help="base seed (default %d)" % seed_default)
+
+
+def _session(args, progress=False):
+    from repro.api import Session
+    from repro.orchestrate import print_progress
+
+    return Session(jobs=args.jobs, cache_dir=args.cache_dir,
+                   seed=getattr(args, "seed", 1989),
+                   progress=print_progress
+                   if (progress or args.jobs > 1) else None)
+
+
+def _parse_value(text):
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def cmd_bench(args):
+    from repro import orchestrate
+    from repro.api import SWEEPS
+
+    names = list(SWEEPS) if "all" in args.sweeps else args.sweeps
+    session = _session(args, progress=True)
+    status = 0
+    for name in names:
+        results = session.run_many(session.sweep(name, quick=args.quick))
+        print(session.last_campaign.summary_table())
+        for result in results:
+            if not result.passed:
+                status = 1
+                print("CHECK FAILED: %s(%s): %s"
+                      % (result.workload, result.params, result.check_error))
+        if args.json_path and len(names) == 1:
+            path = args.json_path
+        else:
+            path = os.path.join(args.out,
+                                "BENCH_%s.json" % name.replace("-", "_"))
+        session.write_json(path, results, sweep=name)
+        if args.validate:
+            orchestrate.validate_bench_json(path)
+        print("wrote %s (%d results%s)"
+              % (path, len(results),
+                 ", schema validated" if args.validate else ""))
+    return status
+
+
+def cmd_sweep(args):
+    """A generic ablation grid: one workload crossed with config values."""
+    params = {}
+    for item in args.set or []:
+        name, _, value = item.partition("=")
+        params[name] = _parse_value(value)
+    axes = []
+    for item in args.grid or []:
+        field_name, _, values = item.partition("=")
+        axes.append((field_name,
+                     [_parse_value(v) for v in values.split(",") if v]))
+    session = _session(args, progress=True)
+    requests = []
+    points = [{}]
+    for field_name, values in axes:
+        points = [dict(point, **{field_name: value})
+                  for value in values for point in points]
+    for point in points:
+        requests.append(session.request(args.workload, params=dict(params),
+                                        config=point))
+    results = session.run_many(requests)
+    print(session.last_campaign.summary_table())
+    if args.json_path:
+        session.write_json(args.json_path, results, sweep="sweep")
+        print("wrote %s" % args.json_path)
+    return 1 if any(not result.passed for result in results) else 0
+
+
+def cmd_smoke(args):
+    from repro.robustness import smoke
+    from repro.robustness.faults import KINDS
+
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind)
+    for kind in kinds:
+        if kind not in KINDS:
+            print("error: unknown fault kind %r (choose from %s)"
+                  % (kind, ", ".join(KINDS)), file=sys.stderr)
+            raise SystemExit(2)
+
+    # Fault-free baseline: the golden final state and the cycle budget
+    # that bounds where faults may land.
+    golden = smoke.make_machine(audit=True)
+    baseline_cycles = golden.run().completion_cycle
+    print("baseline: %d cycles, checksum word = %r"
+          % (baseline_cycles, golden.memory.read(smoke.SUM_BASE)))
+
+    session = _session(args)
+    requests = [session.request("smoke-seed",
+                                {"seed": seed, "faults": args.faults,
+                                 "kinds": list(kinds)})
+                for seed in range(args.seed, args.seed + args.seeds)]
+    results = session.run_many(requests)
+
+    counts = {"detected": 0, "masked": 0, "silent": 0}
+    by_kind = {kind: {"detected": 0, "masked": 0, "silent": 0}
+               for kind in kinds}
+    failures = []
+    for request, result in zip(requests, results):
+        verdict = result.metrics["verdict"]
+        counts[verdict] += 1
+        for kind in result.metrics["kinds_used"]:
+            by_kind[kind][verdict] += 1
+        if verdict == "silent":
+            failures.append(request.params["seed"])
+        if args.verbose or verdict == "silent":
+            detail = result.metrics["detail"]
+            print("seed %d: %s\n  %s"
+                  % (request.params["seed"], verdict.upper(),
+                     detail.replace("\n", "\n  ")))
+
+    print("campaign: %d seeds -> %d detected, %d masked, %d silent"
+          % (args.seeds, counts["detected"], counts["masked"],
+             counts["silent"]))
+    print("per-kind outcomes (a multi-fault run counts under each kind "
+          "it injected):")
+    for kind in kinds:
+        outcome = by_kind[kind]
+        print("  %-10s %3d detected, %3d masked, %3d silent"
+              % (kind, outcome["detected"], outcome["masked"],
+                 outcome["silent"]))
+    if args.json_path:
+        session.write_json(args.json_path, results, sweep="smoke")
+    if failures:
+        for seed in failures:
+            print("reproduce with: python -m repro smoke "
+                  "--seed %d --seeds 1 --verbose" % seed)
+        return 1
+    return 0
+
+
+def _fuzz_chunked(args):
+    """Fan a fuzz campaign across worker processes in seed chunks.
+
+    Each chunk runs its own coverage-feedback loop; the campaign floor is
+    checked against the union of chunk bins.  Shrinking/bundling needs the
+    in-process case objects, so it stays with ``--jobs 1``.
+    """
+    session = _session(args)
+    chunk = -(-args.seeds // args.jobs)  # ceil
+    requests = []
+    base = args.seed
+    remaining = args.seeds
+    while remaining > 0:
+        size = min(chunk, remaining)
+        requests.append(session.request(
+            "fuzz", {"seeds": size, "base_seed": base, "bug": args.bug}))
+        base += size
+        remaining -= size
+    results = session.run_many(requests)
+    cases = sum(result.metrics["cases"] for result in results)
+    failures = [failure for result in results
+                for failure in result.metrics["failures"]]
+    generator_errors = [seed for result in results
+                        for seed in result.metrics["generator_errors"]]
+    bins = set()
+    for result in results:
+        bins.update(result.metrics["hit_bins"])
+    print("fuzz: %d cases, %d failures, %d generator errors "
+          "(%d chunks at jobs=%d)"
+          % (cases, len(failures), len(generator_errors), len(requests),
+             args.jobs))
+    print("coverage: %d bins hit (union of per-chunk maps)" % len(bins))
+    status = 0
+    for failure in failures:
+        status = 1
+        print("seed %d: %s (re-run with --jobs 1 to shrink and bundle)"
+              % (failure["seed"], failure["signature"]))
+    if generator_errors:
+        status = 1
+        for seed in generator_errors:
+            print("seed %d: generator error" % seed)
+    if args.min_bins and len(bins) < args.min_bins:
+        print("COVERAGE FLOOR FAILED: %d bins hit, floor is %d"
+              % (len(bins), args.min_bins))
+        status = 1
+    if args.json_path:
+        session.write_json(args.json_path, results, sweep="fuzz")
+    return status
+
+
 def cmd_fuzz_run(args):
-    import os
+    if args.jobs > 1:
+        return _fuzz_chunked(args)
 
     from repro.robustness.fuzz import fuzz, shrink_case, write_bundle
 
@@ -179,6 +401,26 @@ def cmd_fuzz_run(args):
               % (result.coverage.hit_count(), args.min_bins))
         print(result.coverage.report())
         status = 1
+    if args.json_path:
+        from repro.api import RunResult
+        from repro.orchestrate import write_bench_json
+
+        summary = RunResult(
+            workload="fuzz",
+            params={"seeds": args.seeds, "base_seed": args.seed,
+                    "bug": args.bug},
+            config={},
+            metrics={
+                "cases": result.cases,
+                "failures": [{"seed": failure.case.seed,
+                              "signature": failure.result.signature}
+                             for failure in result.failures],
+                "generator_errors": [failure.case.seed for failure
+                                     in result.generator_errors],
+                "coverage_bins": result.coverage.hit_count(),
+            },
+            check_error=None if result.clean else "campaign not clean")
+        write_bench_json(args.json_path, [summary], sweep="fuzz")
     return status
 
 
@@ -267,6 +509,51 @@ def build_parser():
     fig_parser = sub.add_parser("figures", help="check the timing figures")
     fig_parser.set_defaults(handler=cmd_figures)
 
+    from repro.api import SWEEPS
+
+    bench_parser = sub.add_parser(
+        "bench", help="run named benchmark sweeps, write BENCH_*.json")
+    bench_parser.add_argument("sweeps", nargs="+",
+                              choices=list(SWEEPS) + ["all"],
+                              metavar="SWEEP",
+                              help="sweep name (%s, or 'all')"
+                                   % ", ".join(SWEEPS))
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="shrunken sweeps for CI smoke runs")
+    bench_parser.add_argument("--validate", action="store_true",
+                              help="schema-validate each written JSON file")
+    bench_parser.add_argument("--out", default=".", metavar="DIR",
+                              help="directory for BENCH_*.json (default .)")
+    _add_campaign_flags(bench_parser)
+    bench_parser.set_defaults(handler=cmd_bench)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run one workload across a config grid")
+    sweep_parser.add_argument("workload", help="registered workload name")
+    sweep_parser.add_argument("--set", action="append", metavar="KEY=VAL",
+                              help="workload parameter")
+    sweep_parser.add_argument("--grid", action="append",
+                              metavar="FIELD=V1,V2,...",
+                              help="MachineConfig field values to cross")
+    _add_campaign_flags(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    smoke_parser = sub.add_parser(
+        "smoke", help="seeded fault-injection smoke campaign")
+    smoke_parser.add_argument("--seeds", type=int, default=30,
+                              help="number of seeds to run (default 30)")
+    smoke_parser.add_argument("--faults", type=int, default=1,
+                              help="faults injected per run (default 1)")
+    from repro.robustness.faults import KINDS
+
+    smoke_parser.add_argument("--kinds", default=",".join(KINDS),
+                              help="comma-separated fault kinds "
+                                   "(default: all)")
+    smoke_parser.add_argument("--verbose", action="store_true",
+                              help="print every run, not just failures")
+    _add_campaign_flags(smoke_parser)
+    smoke_parser.set_defaults(handler=cmd_smoke)
+
     fuzz_parser = sub.add_parser(
         "fuzz", help="coverage-guided differential ISA fuzzer")
     fuzz_parser.add_argument("--repro", metavar="BUNDLE",
@@ -293,6 +580,7 @@ def build_parser():
                     help="stop the campaign after this many failures")
     fr.add_argument("--shrink-attempts", type=int, default=2000,
                     help="candidate budget per shrink (default 2000)")
+    _add_campaign_flags(fr, seed=False)
     fr.set_defaults(fuzz_handler=cmd_fuzz_run)
 
     fp = fuzz_sub.add_parser("repro", help="replay a triage bundle")

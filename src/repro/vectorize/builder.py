@@ -150,7 +150,10 @@ class VectorKernelBuilder:
 
     def _note_touch(self, array):
         if self._touched is not None:
-            self._touched.add(array)
+            # dict-as-ordered-set: iteration order must be insertion order,
+            # not id()-hash order, so rebuilt kernels are byte-identical
+            # (the program digest keys snapshots and the result cache).
+            self._touched[array] = None
 
     def vload(self, array, offset=0, vl=None, stride=None):
         """Load ``vl`` elements of ``array`` starting at the current loop
@@ -312,7 +315,7 @@ class VectorKernelBuilder:
 
         def emit_strip(vl, advance):
             self.fpu.mark()
-            self._touched = set()
+            self._touched = {}
             body(vl)
             touched = self._touched
             self._touched = None
@@ -355,7 +358,7 @@ class VectorKernelBuilder:
 
         def emit_strip(vl):
             self.fpu.mark()
-            self._touched = set()
+            self._touched = {}
             body(vl)
             touched = self._touched
             self._touched = None
@@ -399,7 +402,7 @@ class VectorKernelBuilder:
             full, remainder = divmod(n, unroll)
 
             def emit_block(copies):
-                self._touched = set()
+                self._touched = {}
                 for index in range(copies):
                     self.fpu.mark()
                     self._offset_elems = index

@@ -58,39 +58,45 @@ def _machine_for(kernel, config):
     return machine
 
 
-def run_kernel(kernel, config=None, warm=False, check=True):
+def run_kernel(kernel, config=None, warm=False, check=True, max_cycles=None):
     """Run a kernel and measure MFLOPS.
 
     ``warm=False`` starts with empty instruction and data caches (the
     paper's "cold cache" numbers).  ``warm=True`` runs the program once to
-    preload both caches, restores the initial memory data, resets the CPU
-    and FPU, and measures a second pass (the paper's "warm cache": "the
-    loops were run twice, thus preloading the code and the data").
+    preload both caches, rewinds the architectural state, and measures a
+    second pass (the paper's "warm cache": "the loops were run twice, thus
+    preloading the code and the data").  Both passes share one
+    session-owned rewind helper built on ``Machine.snapshot()``
+    (:func:`repro.api.restore_point`): the warm pass rolls back memory and
+    CPU/FPU state while keeping the cache contents it just loaded, and the
+    final rewind leaves the kernel's memory image ready for a re-run.
     """
+    from repro.api import restore_point
+
     config = config or MachineConfig()
-    snapshot = list(kernel.memory.words)
     machine = _machine_for(kernel, config)
+    rewind = restore_point(machine)
     if warm:
-        machine.run()
-        kernel.memory.words[:] = snapshot
-        machine.reset_cpu()
-        machine.dcache.reset_stats()
-        machine.ibuf.reset_stats()
+        machine.run(max_cycles=max_cycles)
+        rewind(keep_caches=True)
         if kernel.setup:
             kernel.setup(machine)
-    result = machine.run()
+    result = machine.run(max_cycles=max_cycles)
     error = None
     if check and kernel.check:
         error = kernel.check(machine)
-    # Restore the memory image so the kernel can be re-run.
-    kernel.memory.words[:] = snapshot
+    cache_hits = machine.dcache.hits
+    cache_misses = machine.dcache.misses
+    # Rewind so the kernel (which shares `memory` with the machine) can
+    # be re-run from its initial image.
+    rewind()
     return KernelResult(
         name=kernel.name,
         cycles=result.completion_cycle,
         nominal_flops=kernel.nominal_flops,
         mflops=result.mflops(kernel.nominal_flops, config.cycle_time_ns),
-        cache_hits=machine.dcache.hits,
-        cache_misses=machine.dcache.misses,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
         check_error=error,
         run=result,
     )

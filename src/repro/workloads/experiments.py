@@ -1,0 +1,554 @@
+"""The registered workload executors behind :mod:`repro.api`.
+
+Every experiment the repo knows how to run -- the paper's figure
+reproductions, the Livermore/Linpack/BLAS suites, the ablation kernels,
+the fault-injection smoke seed, fuzz campaigns, and the host-speed
+kernels -- is one named executor here: a function from a declarative
+:class:`~repro.api.RunRequest` to an :class:`~repro.api.Outcome` whose
+metrics are plain JSON data.  The benchmark files under ``benchmarks/``
+declare request lists against these names instead of carrying their own
+driver loops, and ``python -m repro bench`` fans the same requests across
+the orchestrator's worker pool.
+
+Metrics are deterministic functions of (params x MachineConfig), with one
+exception: ``simspeed`` measures *host* wall-clock speed, so its
+``cycles_per_second`` varies run to run (its ``simulated_cycles`` is
+still deterministic).
+
+Bump :data:`CACHE_SALT` when changing any executor's behaviour; it is
+folded into every cache key, so old on-disk entries stop matching.
+"""
+
+from functools import lru_cache
+
+from repro.api import Outcome, register_workload
+from repro.core.semantics import program_digest
+from repro.workloads.common import run_kernel
+
+#: Code-version token folded into every result-cache key.
+CACHE_SALT = "experiments/1"
+
+
+def _kernel_metrics(result):
+    return {
+        "cycles": result.cycles,
+        "mflops": result.mflops,
+        "nominal_flops": result.nominal_flops,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Livermore / Linpack / BLAS
+# ---------------------------------------------------------------------------
+
+def _livermore_kernel(params):
+    from repro.workloads.livermore import build_loop
+
+    return build_loop(params["loop"], coding=params.get("coding", "vector"),
+                      n=params.get("n"), vl=params.get("vl"),
+                      seed=params.get("seed", 1989))
+
+
+def _livermore_digest(request):
+    return program_digest(_livermore_kernel(request.params)
+                          .program.instructions)
+
+
+@register_workload("livermore", digest=_livermore_digest)
+def run_livermore(request):
+    """One Livermore loop, one pass (params: loop, coding, n, vl, warm)."""
+    kernel = _livermore_kernel(request.params)
+    result = run_kernel(kernel, config=request.machine_config(),
+                        warm=request.params.get("warm", False),
+                        max_cycles=request.max_cycles)
+    return Outcome(_kernel_metrics(result), check_error=result.check_error)
+
+
+@register_workload("livermore-pair", digest=_livermore_digest)
+def run_livermore_pair(request):
+    """One Livermore loop, cold and warm (the Figure 14 measurement)."""
+    config = request.machine_config()
+    cold = run_kernel(_livermore_kernel(request.params), config=config,
+                      warm=False, max_cycles=request.max_cycles)
+    warm = run_kernel(_livermore_kernel(request.params), config=config,
+                      warm=True, max_cycles=request.max_cycles)
+    return Outcome(
+        {
+            "cold_mflops": cold.mflops,
+            "warm_mflops": warm.mflops,
+            "cold_cycles": cold.cycles,
+            "warm_cycles": warm.cycles,
+            "nominal_flops": cold.nominal_flops,
+        },
+        check_error=cold.check_error or warm.check_error)
+
+
+_BLAS_BUILDERS = {}
+
+
+def _blas_kernel(params):
+    from repro.workloads import blas
+
+    if not _BLAS_BUILDERS:
+        _BLAS_BUILDERS.update(daxpy=blas.daxpy_kernel, ddot=blas.ddot_kernel,
+                              dcopy=blas.dcopy_kernel, dscal=blas.dscal_kernel)
+    try:
+        builder = _BLAS_BUILDERS[params.get("routine", "daxpy")]
+    except KeyError:
+        raise ValueError("unknown BLAS routine %r (have: %s)"
+                         % (params.get("routine"),
+                            ", ".join(sorted(_BLAS_BUILDERS)))) from None
+    return builder(params.get("n", 128),
+                   coding=params.get("coding", "vector"))
+
+
+def _blas_digest(request):
+    return program_digest(_blas_kernel(request.params).program.instructions)
+
+
+@register_workload("blas", digest=_blas_digest)
+def run_blas(request):
+    """One BLAS level-1 kernel (params: routine, n, coding, warm)."""
+    result = run_kernel(_blas_kernel(request.params),
+                        config=request.machine_config(),
+                        warm=request.params.get("warm", True),
+                        max_cycles=request.max_cycles)
+    return Outcome(_kernel_metrics(result), check_error=result.check_error)
+
+
+@register_workload("linpack")
+def run_linpack(request):
+    """Linpack, scalar and vector codings (params: n)."""
+    from repro.workloads.linpack import measure_linpack
+
+    measurement = measure_linpack(request.params.get("n", 40),
+                                  config=request.machine_config())
+    return Outcome(
+        {
+            "n": measurement.n,
+            "scalar_mflops": measurement.scalar_mflops,
+            "vector_mflops": measurement.vector_mflops,
+            "scalar_cycles": measurement.scalar_cycles,
+            "vector_cycles": measurement.vector_cycles,
+            "speedup": measurement.speedup,
+        },
+        check_error=measurement.check_error)
+
+
+# ---------------------------------------------------------------------------
+# The paper's figure experiments
+# ---------------------------------------------------------------------------
+
+@register_workload("reduction")
+def run_reduction(request):
+    """One of the three Figure 5-7 reduction strategies."""
+    from repro.workloads import reductions
+
+    outcome = reductions.run_reduction(request.params["strategy"])
+    return Outcome({
+        "cycles": outcome.cycles,
+        "instructions_transferred": outcome.instructions_transferred,
+        "free_cpu_cycles": outcome.free_cpu_cycles,
+        "total": outcome.total,
+    })
+
+
+@register_workload("fib")
+def run_fib(request):
+    """The Figure 8 Fibonacci recurrence, plus the classical baseline's
+    scalar-loop cost for the same 8-step recurrence."""
+    from repro.baselines.classical import ClassicalVectorMachine
+    from repro.workloads import fib
+
+    outcome = fib.run_fibonacci(request.params.get("count", 10))
+    classical = ClassicalVectorMachine()
+    classical.first_order_recurrence(1.0, [1.0] * 8)
+    error = None
+    if outcome.values != fib.fibonacci_reference(len(outcome.values)):
+        error = "fibonacci values diverge from the reference"
+    return Outcome(
+        {
+            "cycles": outcome.cycles,
+            "values": list(outcome.values),
+            "instructions_transferred": outcome.instructions_transferred,
+            "classical_cycles": classical.cycles,
+        },
+        check_error=error)
+
+
+@register_workload("gather")
+def run_gather(request):
+    """Figure 9 vector loads (params: pattern=stride|linked, stride_words,
+    count)."""
+    from repro.workloads import gather
+
+    pattern = request.params.get("pattern", "stride")
+    count = request.params.get("count", 8)
+    if pattern == "stride":
+        outcome = gather.run_fixed_stride(
+            stride_words=request.params.get("stride_words", 1), count=count)
+    elif pattern == "linked":
+        outcome = gather.run_linked_list(count=count)
+    else:
+        raise ValueError("unknown gather pattern %r" % pattern)
+    expected = [10.0 * (k + 1) for k in range(count)]
+    error = None if list(outcome.values) == expected else \
+        "gathered values diverge from the reference"
+    return Outcome({"cycles": outcome.cycles,
+                    "values": list(outcome.values)}, check_error=error)
+
+
+@register_workload("graphics")
+def run_graphics(request):
+    """The Figure 13 graphics transform (params: points = stream length)."""
+    from repro.workloads import graphics
+
+    count = request.params.get("points", 1)
+    outcome = graphics.run_transform(points=[[1.0, 2.0, 3.0, 1.0]] * count)
+    return Outcome({
+        "cycles": outcome.cycles,
+        "mflops": outcome.mflops,
+        "scoreboard_stalls": outcome.scoreboard_stalls,
+    })
+
+
+@register_workload("latency")
+def run_latency(request):
+    """Figure 10 producer-to-consumer latencies (params: op = add|sub|
+    mul|div), in cycles and nanoseconds at the 40 ns clock."""
+    from repro.core.types import Op
+    from repro.cpu.machine import MultiTitan
+    from repro.cpu.program import ProgramBuilder
+
+    name = request.params.get("op", "add")
+    config = request.machine_config(model_ibuffer=False)
+    if name == "div":
+        b = ProgramBuilder()
+        b.fdiv_seq(q=10, a=0, b=1, temps=(20, 21))
+        machine = MultiTitan(b.build(), config=config)
+        machine.fpu.regs.write(0, 7.0)
+        machine.fpu.regs.write(1, 3.0)
+        cycles = machine.run().completion_cycle
+    else:
+        op = {"add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL}[name]
+        b = ProgramBuilder()
+        b.falu(op, 2, 0, 1)
+        b.fadd(3, 2, 2)  # dependent consumer
+        machine = MultiTitan(b.build(), config=config)
+        machine.fpu.regs.write(0, 1.5)
+        machine.fpu.regs.write(1, 2.5)
+        # Producer issues at 0; consumer at `latency`; completes +3.
+        cycles = machine.run().completion_cycle - 3
+    return Outcome({"cycles": cycles,
+                    "nanoseconds": cycles * config.cycle_time_ns})
+
+
+@register_workload("dual-issue")
+def run_dual_issue(request):
+    """Section 2.4's peak of two operations per cycle (params: repeats)."""
+    from repro.cpu.machine import MultiTitan
+    from repro.cpu.program import ProgramBuilder
+    from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+    repeats = request.params.get("repeats", 12)
+    memory = Memory()
+    arena = Arena(memory, base=64)
+    data = arena.alloc_array([1.0] * 16)
+    b = ProgramBuilder()
+    for _ in range(repeats):
+        b.fadd(16, 0, 16, vl=16, srb=False)
+        for i in range(15):
+            b.fload(i, 1, i * WORD_BYTES)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=request.machine_config(model_ibuffer=False))
+    machine.iregs[1] = data
+    machine.dcache.warm_range(data, 16 * WORD_BYTES)
+    result = machine.run()
+    ops = machine.fpu.stats.elements_issued + machine.fpu.stats.loads
+    return Outcome({
+        "cycles": result.completion_cycle,
+        "alu_elements": machine.fpu.stats.elements_issued,
+        "loads": machine.fpu.stats.loads,
+        "ops_per_cycle": ops / result.completion_cycle,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Ablations and baselines
+# ---------------------------------------------------------------------------
+
+@register_workload("stride")
+def run_stride(request):
+    """Ablation A5: strided loads vs the 16-byte line (params: stride,
+    warm, elements)."""
+    from repro.cpu.machine import MultiTitan
+    from repro.cpu.program import ProgramBuilder
+    from repro.mem.memory import Arena, Memory, WORD_BYTES
+
+    stride = request.params.get("stride", 1)
+    warm = request.params.get("warm", False)
+    elements = request.params.get("elements", 64)
+    memory = Memory()
+    arena = Arena(memory, base=256)
+    base = arena.alloc(elements * stride)
+    for index in range(elements):
+        memory.write(base + index * stride * WORD_BYTES, float(index))
+    b = ProgramBuilder()
+    # Sweep through the array in blocks of 16 loads + one vector op.
+    for block in range(0, elements, 16):
+        for i in range(16):
+            b.fload(i, 1, (block + i) * stride * WORD_BYTES)
+        b.fadd(16, 0, 0, vl=16)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=request.machine_config(model_ibuffer=False))
+    machine.iregs[1] = base
+    if warm:
+        machine.dcache.warm_range(base, elements * stride * WORD_BYTES)
+    result = machine.run()
+    return Outcome({"cycles": result.completion_cycle,
+                    "misses": machine.dcache.misses})
+
+
+@register_workload("regfile-ablation")
+def run_regfile_ablation(request):
+    """Ablation A1: context-switch and reduction costs, unified vs the
+    classical split register file."""
+    from repro.baselines.classical import ClassicalVectorMachine
+    from repro.cpu.machine import MultiTitan
+    from repro.cpu.program import ProgramBuilder
+    from repro.mem.memory import Memory, WORD_BYTES
+    from repro.workloads import reductions
+
+    memory = Memory()
+    b = ProgramBuilder()
+    for i in range(52):
+        b.fstore(i, 1, i * WORD_BYTES)
+    machine = MultiTitan(b.build(), memory=memory,
+                         config=request.machine_config(model_ibuffer=False))
+    machine.iregs[1] = 4096
+    machine.dcache.warm_range(4096, 52 * WORD_BYTES)
+    save_cycles = machine.run().completion_cycle
+
+    classical = ClassicalVectorMachine()
+    classical_save = classical.context_switch_cycles(store_cycles_per_word=2)
+    reduce_unified = reductions.run_reduction("vector_tree").cycles
+    classical.vload(7, [float(i + 1) for i in range(8)])
+    classical.reset_cycles()
+    classical.sum_reduce(7)
+    return Outcome({
+        "save_cycles": save_cycles,
+        "classical_save": classical_save,
+        "reduce_unified": reduce_unified,
+        "reduce_classical": classical.cycles,
+    })
+
+
+@register_workload("classical-compare")
+def run_classical_compare(request):
+    """Ablation A6: the same micro-workload on the MultiTitan and the
+    classical vector machine (params: workload = elementwise|dot|
+    recurrence, n)."""
+    from repro.baselines.classical import ClassicalVectorMachine
+    from repro.cpu.machine import MultiTitan
+    from repro.cpu.program import ProgramBuilder
+    from repro.mem.memory import Arena, Memory
+    from repro.vectorize.builder import VectorKernelBuilder
+
+    workload = request.params.get("workload", "elementwise")
+    n = request.params.get("n", 64)
+    config = request.machine_config(model_ibuffer=False)
+    classical = ClassicalVectorMachine()
+
+    if workload == "elementwise":
+        memory = Memory()
+        arena = Arena(memory, base=256)
+        a = arena.alloc_array([1.0] * n)
+        b_addr = arena.alloc_array([2.0] * n)
+        out = arena.alloc(n)
+        b = ProgramBuilder()
+        vb = VectorKernelBuilder(b, vl=8)
+        ah, bh, oh = vb.array(a), vb.array(b_addr), vb.array(out)
+
+        def body(vl):
+            x = vb.vload(ah, 0, vl=vl)
+            y = vb.vload(bh, 0, vl=vl)
+            vb.vstore(oh, vb.mul(x, y, into=x))
+
+        vb.strip_loop(n, body)
+        machine = MultiTitan(b.build(), memory=memory, config=config)
+        machine.dcache.warm_range(0, 4096)
+        multititan = machine.run().completion_cycle
+
+        classical.vload(0, [1.0] * n)
+        classical.vload(1, [2.0] * n)
+        classical.reset_cycles()
+        classical.vop("mul", 2, 0, 1)
+        classical.vstore(2)
+    elif workload == "dot":
+        from repro.workloads.blas import ddot_kernel
+
+        result = run_kernel(ddot_kernel(n), config=config, warm=True)
+        if result.check_error:
+            return Outcome({}, check_error=result.check_error)
+        multititan = result.cycles
+        classical.vload(0, [1.0] * n)
+        classical.vload(1, [2.0] * n)
+        classical.reset_cycles()
+        classical.dot_product(0, 1, n=n)
+    elif workload == "recurrence":
+        b = ProgramBuilder()
+        remaining = n
+        dest = 2
+        while remaining > 0:
+            step = min(remaining, 16)
+            b.fadd(dest, dest - 1, dest - 2, vl=step)
+            # Re-seed at the bottom of the register file for the next chunk.
+            if remaining - step > 0:
+                b.fadd(0, dest + step - 2, 1, vl=1, srb=False)
+                b.fadd(1, dest + step - 1, 1, vl=1, srb=False)
+                dest = 2
+            remaining -= step
+        machine = MultiTitan(b.build(), config=config)
+        machine.fpu.regs.write(0, 0.001)
+        machine.fpu.regs.write(1, 0.001)
+        multititan = machine.run().completion_cycle
+        classical.reset_cycles()
+        classical.first_order_recurrence(0.0, [0.5] * n)
+    else:
+        raise ValueError("unknown classical-compare workload %r" % workload)
+    return Outcome({"multititan_cycles": multititan,
+                    "classical_cycles": classical.cycles})
+
+
+@register_workload("nhalf")
+def run_nhalf(request):
+    """Hockney's half-performance length fit (params: include_memory)."""
+    from repro.analysis.metrics import measure_n_half
+
+    fit = measure_n_half(
+        include_memory=request.params.get("include_memory", False))
+    return Outcome({
+        "n_half": fit["n_half"],
+        "r_inf_per_cycle": fit["r_inf_per_cycle"],
+        "samples": [[n, cycles] for n, cycles in fit["samples"]],
+    })
+
+
+@register_workload("sustained")
+def run_sustained(request):
+    """Section 4's sustained-MFLOPS application mix (params: coding)."""
+    from repro.workloads.blas import daxpy_kernel, ddot_kernel
+    from repro.workloads.graphics import FLOPS_PER_POINT, run_transform
+    from repro.workloads.livermore import build_loop
+
+    coding = request.params.get("coding", "vector")
+    config = request.machine_config()
+    total_flops = 0
+    total_cycles = 0
+    for kernel in (daxpy_kernel(256, coding=coding),
+                   ddot_kernel(256, coding=coding)):
+        result = run_kernel(kernel, config=config, warm=True)
+        if result.check_error:
+            return Outcome({}, check_error=result.check_error)
+        total_flops += result.nominal_flops
+        total_cycles += result.cycles
+    for loop in (1, 7):
+        result = run_kernel(build_loop(loop, coding=coding), config=config,
+                            warm=True)
+        if result.check_error:
+            return Outcome({}, check_error=result.check_error)
+        total_flops += result.nominal_flops
+        total_cycles += result.cycles
+    # The graphics transform has no scalar recoding in the paper either;
+    # it contributes its (short-vector) stream to both mixes.
+    stream = run_transform(points=[[1.0, 2.0, 3.0, 1.0]] * 8)
+    total_flops += FLOPS_PER_POINT * 8
+    total_cycles += stream.cycles
+    mflops = total_flops / (total_cycles * config.cycle_time_ns * 1e-9) / 1e6
+    return Outcome({"mflops": mflops, "flops": total_flops,
+                    "cycles": total_cycles})
+
+
+# ---------------------------------------------------------------------------
+# Host speed, robustness, fuzzing
+# ---------------------------------------------------------------------------
+
+@register_workload("simspeed")
+def run_simspeed(request):
+    """Host simulation speed (params: kernel, iterations, repeats).
+    ``cycles_per_second`` measures the *host* and is the one
+    non-deterministic metric in the registry."""
+    from repro.workloads.simspeed import time_kernel
+
+    row = time_kernel(request.params.get("kernel", "int_loop"),
+                      request.params.get("iterations", 20_000),
+                      request.params.get("repeats", 1))
+    return Outcome({"simulated_cycles": row["simulated_cycles"],
+                    "cycles_per_second": row["cycles_per_second"]})
+
+
+@lru_cache(maxsize=1)
+def _smoke_baseline():
+    """The fault-free golden state, computed once per worker process."""
+    from repro.robustness import smoke
+
+    golden = smoke.make_machine(audit=True)
+    result = golden.run()
+    return smoke.architectural_state(golden), result.completion_cycle
+
+
+@register_workload("smoke-seed")
+def run_smoke_seed(request):
+    """One seed of the fault-injection smoke campaign (params: seed,
+    faults, kinds)."""
+    from repro.robustness import smoke
+    from repro.robustness.faults import KINDS
+
+    kinds = tuple(request.params.get("kinds") or KINDS)
+    unknown = sorted(set(kinds) - set(KINDS))
+    if unknown:
+        raise ValueError("unknown fault kind(s) %s (choose from %s)"
+                         % (", ".join(unknown), ", ".join(KINDS)))
+    baseline, baseline_cycles = _smoke_baseline()
+    verdict, detail, kinds_used = smoke.run_seed(
+        request.params["seed"], baseline, baseline_cycles, kinds,
+        request.params.get("faults", 1), max_cycles=request.max_cycles)
+    return Outcome({
+        "verdict": verdict,
+        "detail": detail,
+        "kinds_used": list(kinds_used),
+        "baseline_cycles": baseline_cycles,
+    })
+
+
+@register_workload("fuzz")
+def run_fuzz_chunk(request):
+    """A chunk of the differential fuzz campaign (params: seeds,
+    base_seed, bug).  Each chunk runs its own coverage feedback loop;
+    the CLI merges chunk coverage for the campaign floor."""
+    from repro.robustness.fuzz import fuzz
+
+    result = fuzz(seeds=request.params.get("seeds", 100),
+                  base_seed=request.params.get("base_seed", 0),
+                  bug=request.params.get("bug"),
+                  max_cycles=request.max_cycles)
+    failures = [{"seed": failure.case.seed,
+                 "signature": failure.result.signature}
+                for failure in result.failures]
+    generator_errors = [failure.case.seed
+                        for failure in result.generator_errors]
+    hit_bins = sorted("/".join(str(part) for part in bin_key)
+                      for bin_key in result.coverage.hits)
+    return Outcome(
+        {
+            "cases": result.cases,
+            "failures": failures,
+            "generator_errors": generator_errors,
+            "coverage_bins": len(hit_bins),
+            "hit_bins": hit_bins,
+        },
+        check_error=None if result.clean else
+        "%d failure(s), %d generator error(s)"
+        % (len(failures), len(generator_errors)))

@@ -1,0 +1,280 @@
+"""The session API and the campaign orchestrator.
+
+Covers the contracts the rest of the repo leans on: digest-keyed cache
+hits and invalidation, byte-identical campaign JSON at any worker count,
+corrupted-cache self-healing, kwarg normalization behind RunRequest, the
+schema validator, and the deprecation shim over the old smoke entry
+point.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.api import (
+    MAX_CYCLES_ALIASES,
+    RunRequest,
+    RunResult,
+    Session,
+    execute_request,
+    restore_point,
+    sweep_requests,
+    SWEEPS,
+)
+from repro.cpu.machine import MachineConfig
+from repro.orchestrate import (
+    ResultCache,
+    cache_key,
+    dump_bench_json,
+    validate_bench_json,
+    write_bench_json,
+)
+
+FAST_REQUESTS = [
+    RunRequest("reduction", {"strategy": "scalar_tree"}),
+    RunRequest("reduction", {"strategy": "vector_tree"}),
+    RunRequest("fib", {"count": 10}),
+    RunRequest("gather", {"pattern": "linked"}),
+]
+
+
+# ---------------------------------------------------------------------------
+# RunRequest normalization
+# ---------------------------------------------------------------------------
+
+class TestRunRequest:
+    @pytest.mark.parametrize("alias", MAX_CYCLES_ALIASES)
+    def test_legacy_cycle_budget_spellings_fold_into_max_cycles(self, alias):
+        request = RunRequest("fib", {"count": 10, alias: 5000})
+        assert request.max_cycles == 5000
+        assert alias not in request.params
+
+    def test_conflicting_cycle_budgets_raise(self):
+        with pytest.raises(ValueError, match="conflicting cycle budgets"):
+            RunRequest("fib", {"stop_cycle": 10}, max_cycles=20)
+
+    def test_unknown_config_field_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            RunRequest("fib", config={"fpu_latencyy": 3})
+
+    def test_params_normalize_to_plain_data(self):
+        request = RunRequest("fib", {"shape": (1, 2), "nested": {"k": (3,)}})
+        assert request.params == {"shape": [1, 2], "nested": {"k": [3]}}
+
+    def test_round_trips_through_dict(self):
+        request = RunRequest("livermore", {"loop": 7},
+                             config={"fpu_latency": 5}, max_cycles=100)
+        assert RunRequest.from_dict(request.to_dict()) == request
+
+
+class TestConfigFingerprint:
+    def test_observation_fields_do_not_change_the_fingerprint(self):
+        base = MachineConfig().fingerprint()
+        assert MachineConfig(trace=True).fingerprint() == base
+        assert MachineConfig(audit_invariants=True).fingerprint() == base
+
+    def test_performance_fields_change_the_fingerprint(self):
+        assert (MachineConfig(fpu_latency=5).fingerprint()
+                != MachineConfig().fingerprint())
+
+    def test_from_overrides_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            MachineConfig.from_overrides({"no_such_field": 1})
+
+
+# ---------------------------------------------------------------------------
+# The result cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_identical_request_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = execute_request(RunRequest("fib", {"count": 10}), cache=cache)
+        second = execute_request(RunRequest("fib", {"count": 10}), cache=cache)
+        assert not first.cached
+        assert second.cached
+        assert first.to_dict() == second.to_dict()
+        assert cache.hits == 1
+
+    def test_param_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute_request(RunRequest("fib", {"count": 10}), cache=cache)
+        other = execute_request(RunRequest("fib", {"count": 12}), cache=cache)
+        assert not other.cached
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = RunRequest("livermore", {"loop": 1})
+        execute_request(request, cache=cache)
+        slower = execute_request(
+            RunRequest("livermore", {"loop": 1},
+                       config={"fpu_latency": 5}), cache=cache)
+        assert not slower.cached
+        again = execute_request(request, cache=cache)
+        assert again.cached
+
+    def test_observation_config_still_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute_request(RunRequest("fib", {"count": 10}), cache=cache)
+        traced = execute_request(
+            RunRequest("fib", {"count": 10}, config={"audit_invariants": True}),
+            cache=cache)
+        assert traced.cached
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = RunRequest("fib", {"count": 10})
+        first = execute_request(request, cache=cache)
+        # Corrupt every stored entry on disk.
+        corrupted = 0
+        for root, _dirs, files in os.walk(tmp_path):
+            for name in files:
+                with open(os.path.join(root, name), "w") as handle:
+                    handle.write("{not json")
+                corrupted += 1
+        assert corrupted == 1
+        again = execute_request(request, cache=cache)
+        assert not again.cached            # corrupt entry treated as a miss
+        assert cache.corrupted == 1
+        assert again.to_dict() == first.to_dict()
+        third = execute_request(request, cache=cache)
+        assert third.cached                # and the cache healed itself
+
+    def test_cache_key_depends_on_program_digest(self):
+        base = dict(workload="w", params={"a": 1}, config_fingerprint="f")
+        assert (cache_key(**base, program_digest="d1")
+                != cache_key(**base, program_digest="d2"))
+        assert (cache_key(**base, salt="v1")
+                != cache_key(**base, salt="v2"))
+
+
+def test_program_builds_are_deterministic():
+    """Rebuilding a kernel yields a byte-identical instruction stream --
+    the property the digest-keyed cache stands on (regression: the
+    vector builder used to emit pointer bumps in set order)."""
+    from repro.core.semantics import program_digest
+    from repro.workloads.livermore import build_loop
+
+    digests = {program_digest(build_loop(1).program.instructions)
+               for _ in range(3)}
+    assert len(digests) == 1
+
+
+# ---------------------------------------------------------------------------
+# Campaigns: determinism across worker counts
+# ---------------------------------------------------------------------------
+
+class TestCampaignDeterminism:
+    def test_jobs1_and_jobs4_produce_byte_identical_json(self):
+        serial = Session(jobs=1).run_many(list(FAST_REQUESTS))
+        fanned = Session(jobs=4).run_many(list(FAST_REQUESTS))
+        assert (dump_bench_json(serial, sweep="t")
+                == dump_bench_json(fanned, sweep="t"))
+
+    def test_results_come_back_in_request_order(self):
+        results = Session(jobs=2).run_many(list(FAST_REQUESTS))
+        assert [r.workload for r in results] == [r.workload
+                                                 for r in FAST_REQUESTS]
+        assert [r.params for r in results] == [r.params
+                                               for r in FAST_REQUESTS]
+
+    def test_pool_and_cache_compose(self, tmp_path):
+        session = Session(jobs=2, cache_dir=tmp_path)
+        session.run_many(list(FAST_REQUESTS))
+        again = session.run_many(list(FAST_REQUESTS))
+        assert all(result.cached for result in again)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json schema
+# ---------------------------------------------------------------------------
+
+class TestBenchJson:
+    def test_written_document_validates(self, tmp_path):
+        results = Session().run_many(list(FAST_REQUESTS))
+        path = write_bench_json(tmp_path / "BENCH_t.json", results, sweep="t")
+        document = validate_bench_json(path)
+        assert document["count"] == len(FAST_REQUESTS)
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_json({"schema": "something/9", "sweep": "t",
+                                 "count": 0, "results": []})
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        results = Session().run_many([RunRequest("fib", {"count": 10})])
+        path = write_bench_json(tmp_path / "b.json", results, sweep="t")
+        with open(path) as handle:
+            document = json.load(handle)
+        document["count"] = 5
+        with pytest.raises(ValueError, match="count"):
+            validate_bench_json(document)
+
+    def test_result_round_trips(self):
+        (result,) = Session().run_many([RunRequest("fib", {"count": 10})])
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Session surface
+# ---------------------------------------------------------------------------
+
+class TestSession:
+    def test_session_config_merges_under_request_overrides(self):
+        session = Session(config={"fpu_latency": 5})
+        request = session.request("livermore", {"loop": 1})
+        assert request.config["fpu_latency"] == 5
+        override = session.request("livermore", {"loop": 1},
+                                   config={"fpu_latency": 2})
+        assert override.config["fpu_latency"] == 2
+
+    def test_every_named_sweep_builds(self):
+        for name in SWEEPS:
+            requests = sweep_requests(name, quick=True)
+            assert requests, name
+
+    def test_unknown_sweep_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            sweep_requests("no-such-sweep")
+
+    def test_run_kernel_through_session(self):
+        from repro.workloads.livermore import build_loop
+
+        result = Session().run_kernel(build_loop(1), warm=True)
+        assert result.passed
+        assert result.cycles > 0
+
+
+def test_restore_point_rewinds_for_identical_reruns():
+    """The session-owned rewind helper restores the machine bit-exactly:
+    running the same kernel twice through one machine gives identical
+    cycle counts and identical memory."""
+    from repro.cpu.machine import MultiTitan
+    from repro.workloads.livermore import build_loop
+
+    kernel = build_loop(1)
+    machine = MultiTitan(kernel.program, memory=kernel.memory)
+    rewind = restore_point(machine)
+    first = machine.run().completion_cycle
+    rewind()
+    second = machine.run().completion_cycle
+    assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+
+def test_smoke_shim_forwards_and_warns(capsys):
+    from repro.robustness import smoke
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        status = smoke.main(["--seeds", "2", "--seed", "1989"])
+    assert status == 0
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    out = capsys.readouterr().out
+    assert "campaign: 2 seeds" in out
