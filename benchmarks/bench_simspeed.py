@@ -38,6 +38,21 @@ def main(argv=None):
     repeats = 1 if args.quick else 3
 
     rows = [time_kernel(name, iterations, repeats) for name in KERNELS]
+    slow_rows = {name: time_kernel(name, iterations, repeats,
+                                   fast_path=False) for name in KERNELS}
+    for row in rows:
+        slow = slow_rows[row["kernel"]]
+        # Same program, same config: the two paths must simulate the
+        # same number of cycles or the fast path is simply wrong.
+        if slow["simulated_cycles"] != row["simulated_cycles"]:
+            print("FAIL: fast path simulated %d cycles on %s, slow path %d"
+                  % (row["simulated_cycles"], row["kernel"],
+                     slow["simulated_cycles"]), file=sys.stderr)
+            return 1
+        row["slow_cycles_per_second"] = slow["cycles_per_second"]
+        row["fast_slow_ratio"] = (row["cycles_per_second"]
+                                  / slow["cycles_per_second"]
+                                  if slow["cycles_per_second"] else 0.0)
     product = 1.0
     for row in rows:
         product *= row["cycles_per_second"]
@@ -49,14 +64,25 @@ def main(argv=None):
     else:
         print("simulation speed (simulated cycles / wall-clock second)")
         for row in rows:
-            print("  %-14s %12d cycles   %12.0f cyc/s"
+            print("  %-14s %12d cycles   %12.0f cyc/s   (per-cycle loop"
+                  " %12.0f cyc/s, ratio %.1fx)"
                   % (row["kernel"], row["simulated_cycles"],
-                     row["cycles_per_second"]))
+                     row["cycles_per_second"],
+                     row["slow_cycles_per_second"], row["fast_slow_ratio"]))
         print("  %-14s %28.0f cyc/s" % ("geomean", geomean))
     # A wedged simulator (e.g. an accidental per-cycle O(n) scan) shows up
     # as orders of magnitude, not percent; fail the smoke run outright.
     if geomean < 10_000:
         print("FAIL: simulation speed collapsed below 10k cycles/s",
+              file=sys.stderr)
+        return 1
+    # The fast path earns its complexity on the vector kernel (element
+    # bursts + loop memoization); anything under 3x means a regression
+    # disabled it silently.
+    vector = next(row for row in rows if row["kernel"] == "vector_chain")
+    if vector["fast_slow_ratio"] < 3.0:
+        print("FAIL: fast path only %.2fx the per-cycle loop on "
+              "vector_chain (floor 3.0x)" % vector["fast_slow_ratio"],
               file=sys.stderr)
         return 1
     return 0

@@ -198,6 +198,14 @@ class EventBus:
     def has_subscribers(self, kind):
         return bool(self._subscribers.get(kind))
 
+    def active(self):
+        """Whether *any* kind has a subscriber.
+
+        The execution core consults this once per run: an observed
+        machine must take the event-emitting slow path (the fast path
+        coalesces cycles and would skip or batch event deliveries)."""
+        return any(self._subscribers.values())
+
     def publisher(self, kind):
         """A callable delivering one event to ``kind``'s subscribers, or
         ``None`` when there are none (hot-loop fast path)."""

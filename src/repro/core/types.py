@@ -126,6 +126,31 @@ def _require_int(value, op_name):
     return value
 
 
+_QUIET_NAN = float("nan")
+
+
+def nan_result(a, b=None):
+    """The architectural NaN payload for a NaN-valued operation result.
+
+    C-level float arithmetic propagates whichever operand's payload the
+    compiled operand order favours, and CPython's adaptive interpreter
+    can change that order *at one call site mid-process* (the
+    unspecialized ``PyNumber_Add`` path and the specialized inline
+    float add compile the commutative ``+`` with opposite operand
+    orders).  Hardware payload propagation is therefore not a usable
+    semantic.  The architecture instead defines: the first NaN operand
+    propagates unchanged; an invalid operation on non-NaN operands
+    (``inf - inf``, ``0 * inf``) yields the canonical quiet NaN.  Every
+    arithmetic site -- :func:`execute_op` and the fast-path burst
+    helpers -- must route NaN results through this function.
+    """
+    if a != a:
+        return a
+    if type(b) is float and b != b:
+        return b
+    return _QUIET_NAN
+
+
 def execute_op(op, a, b):
     """Compute an ALU operation on two register values.
 
@@ -134,16 +159,21 @@ def execute_op(op, a, b):
     Returns the result register value.
     """
     if op == Op.ADD:
-        return _require_float(a, "add") + _require_float(b, "add")
+        result = _require_float(a, "add") + _require_float(b, "add")
+        return result if result == result else nan_result(a, b)
     if op == Op.SUB:
-        return _require_float(a, "subtract") - _require_float(b, "subtract")
+        result = _require_float(a, "subtract") - _require_float(b, "subtract")
+        return result if result == result else nan_result(a, b)
     if op == Op.MUL:
-        return _require_float(a, "multiply") * _require_float(b, "multiply")
+        result = _require_float(a, "multiply") * _require_float(b, "multiply")
+        return result if result == result else nan_result(a, b)
     if op == Op.ITER:
-        return iteration_step(_require_float(a, "iteration step"),
-                              _require_float(b, "iteration step"))
+        result = iteration_step(_require_float(a, "iteration step"),
+                                _require_float(b, "iteration step"))
+        return result if result == result else nan_result(a, b)
     if op == Op.RECIP:
-        return recip_approx(_require_float(a, "reciprocal"))
+        result = recip_approx(_require_float(a, "reciprocal"))
+        return result if result == result else nan_result(a)
     if op == Op.FLOAT:
         return float_from_int(_require_int(a, "float"))
     if op == Op.TRUNC:

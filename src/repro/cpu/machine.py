@@ -66,12 +66,19 @@ class MachineConfig:
     # (repro.robustness.invariants); strict runs only -- it costs time.
     audit_invariants: bool = False
     trace: bool = False
+    # Allow the execution core's fast path (superblock dispatch, vector
+    # element bursts, quiescent-cycle skipping).  Bit-exact with the
+    # per-cycle loop -- the fastpath-equivalence fuzz job enforces it --
+    # and automatically bypassed per-run whenever an observer, stop
+    # cycle, fault plan, or invariant audit needs cycle granularity.
+    fast_path: bool = True
     max_cycles: int = 200_000_000
 
     #: Fields that change what is *observed*, not what is *computed*: two
     #: configs differing only here produce identical architectural results
     #: and cycle counts, so they share a result-cache fingerprint.
-    OBSERVATION_FIELDS = ("trace", "audit_invariants", "audit_scoreboard_ports")
+    OBSERVATION_FIELDS = ("trace", "audit_invariants", "audit_scoreboard_ports",
+                          "fast_path")
 
     def as_dict(self):
         """All fields as a plain JSON-serializable dict."""

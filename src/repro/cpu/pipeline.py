@@ -51,9 +51,64 @@ from repro.core.events import (
     RetireEvent,
     StoreIssueEvent,
 )
+from math import isinf
+
 from repro.core.exceptions import SimulationError
-from repro.core.fpu import _AluState
-from repro.core.functional_units import CYCLE_TIME_NS
+from repro.core.fpu import _AluState, _BURST_BINOP
+from repro.core.functional_units import CYCLE_TIME_NS, UNIT_OF_OP
+from operator import eq as _op_eq, ge as _op_ge, gt as _op_gt
+from operator import le as _op_le, lt as _op_lt, ne as _op_ne
+
+
+def _taken_run(test, c, e, cap):
+    """Length of the initial run of ``True`` in ``test(c + j*e, 0)`` for
+    ``j = 1..cap``.
+
+    ``test`` is one of the six ``operator`` comparison functions used by
+    :data:`repro.core.semantics.BRANCH_TESTS`; ``c`` and ``e`` are the
+    difference and per-iteration difference of the two branch operands
+    just after a taken evaluation (``j = 0``, known True).  The result
+    is how many further evaluations stay taken, so the loop exit (or
+    the cycle limit, via ``cap``) is always reached by concrete
+    simulation.  ``test(a, b)`` for these operators depends only on
+    ``a - b``, which advances linearly.
+    """
+    if test is _op_gt:
+        test, c, e = _op_lt, -c, -e
+    elif test is _op_ge:
+        test, c, e = _op_le, -c, -e
+    if test is _op_lt:
+        if e == 0:
+            return cap if c < 0 else 0
+        if e > 0:
+            if c + e >= 0:
+                return 0
+            j = (-1 - c) // e  # last j with c + j*e <= -1
+            return j if j < cap else cap
+        return cap if c + e < 0 else 0
+    if test is _op_le:
+        if e == 0:
+            return cap if c <= 0 else 0
+        if e > 0:
+            if c + e > 0:
+                return 0
+            j = -c // e  # last j with c + j*e <= 0
+            return j if j < cap else cap
+        return cap if c + e <= 0 else 0
+    if test is _op_ne:
+        if e == 0:
+            return cap if c else 0
+        if c % e == 0:
+            j0 = -c // e  # the one j where c + j*e == 0
+            if j0 >= 1:
+                j = j0 - 1
+                return j if j < cap else cap
+        return cap
+    if test is _op_eq:
+        if e == 0:
+            return cap if c == 0 else 0
+        return 1 if c + e == 0 else 0
+    return 0
 
 
 @dataclass
@@ -279,7 +334,30 @@ class ExecutionCore:
         reaches it (no error) with all in-flight state intact; a
         subsequent ``run()`` -- or a restore of a snapshot into a fresh
         machine -- resumes from there.
+
+        Dispatches to the fast path (:meth:`_run_fast`: superblock
+        dispatch, vector element bursts, quiescent-cycle skipping) when
+        nothing needs per-cycle visibility; otherwise -- any event-bus
+        subscriber, a ``stop_cycle``, a fault plan, per-cycle audits, or
+        pending interrupts -- the per-cycle loop runs.  Both paths
+        produce bit-identical architectural state, cycle counts, and
+        stats (enforced by the fast-vs-slow differential fuzz mode).
         """
+        machine = self.machine
+        config = machine.config
+        if (config.fast_path
+                and stop_cycle is None
+                and machine.fault_plan is None
+                and not config.audit_invariants
+                and not config.audit_scoreboard_ports
+                and not machine._interrupts
+                and not machine.events.active()):
+            return self._run_fast(max_cycles)
+        return self._run_slow(max_cycles, stop_cycle)
+
+    def _run_slow(self, max_cycles=None, stop_cycle=None):
+        """The reference per-cycle loop: every cycle is simulated one at
+        a time, events are published, and harness hooks fire."""
         machine = self.machine
         config = machine.config
         limit = max_cycles or config.max_cycles
@@ -705,18 +783,1341 @@ class ExecutionCore:
                               % (limit, livelock_diagnostic(machine))),
                 cycle, pc)
 
-        # The routine is complete when the CPU reached HALT *and* the
-        # last FPU result has been written back (a result retiring in
-        # cycle c is usable from cycle c, so c itself is the
-        # elapsed-cycle count).
+        return self._build_result(halt_cycle, cycle, last_retire_cycle)
+
+    def _build_result(self, halt_cycle, cycle, last_retire_cycle):
+        """The run epilogue shared by both paths.
+
+        The routine is complete when the CPU reached HALT *and* the last
+        FPU result has been written back (a result retiring in cycle c
+        is usable from cycle c, so c itself is the elapsed-cycle count).
+        """
+        stats = self.machine.stats
         completion = halt_cycle if halt_cycle is not None else cycle
         completion = max(completion, last_retire_cycle)
         stats.cycles = completion
+        dcache = self.mem_port.dcache
         return RunResult(
             halt_cycle=halt_cycle if halt_cycle is not None else cycle,
             completion_cycle=completion,
             stats=stats,
-            fpu_stats=fpu.stats,
-            dcache_hits=mem_port.dcache.hits,
-            dcache_misses=mem_port.dcache.misses,
+            fpu_stats=self.sequencer.fpu.stats,
+            dcache_hits=dcache.hits,
+            dcache_misses=dcache.misses,
         )
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _advance_fpu(cycle, target, limit, fpu, pending, values, sb_bits):
+        """Advance FPU activity from just after ``cycle`` through
+        ``min(target, limit)`` during a deterministic CPU wait.
+
+        With the sequencer idle, only due writebacks exist: they retire
+        at their exact cycles (a pure jump).  With an instruction in
+        flight, every cycle is stepped so elements keep issuing.  No
+        work is performed at or past ``limit`` (the per-cycle loop never
+        enters its body there).  Returns the cycle of the last
+        retirement performed, or ``None``.
+        """
+        end = target if target < limit else limit
+        last_key = None
+        if fpu.alu_ir is None:
+            while pending:
+                key = min(pending)
+                if key > end or key >= limit:
+                    break
+                ready = pending.pop(key)
+                for register, value in ready:
+                    values[register] = value
+                    sb_bits[register] = False
+                last_key = key
+            return last_key
+        try_issue_element = fpu.try_issue_element
+        while cycle < end:
+            cycle += 1
+            if cycle >= limit:
+                break
+            ready = pending.pop(cycle, None)
+            if ready:
+                for register, value in ready:
+                    values[register] = value
+                    sb_bits[register] = False
+                last_key = cycle
+            if fpu.alu_ir is not None:
+                try_issue_element(cycle)
+        return last_key
+
+    def _plan_store_run(self, run, cycle, port_free, limit, iregs,
+                        memory_words, mem_len):
+        """Closed-form schedule for a straight-line FPU store run.
+
+        Purely reads state and returns either ``None`` (some store in
+        the run needs the per-cycle path: a cache miss or out-of-bounds
+        address, an in-flight ALU instruction the burst rules cannot
+        prove conflict-free, a read that would race an unissued element
+        and raise the ordering-hazard warning, or the cycle limit landing
+        inside the run) or a plan tuple describing exactly the state the
+        per-cycle loop would reach: the memory writes, the issue cycle of
+        the last store, per-counter stall totals, and -- when the ALU IR
+        drains during the run -- the precomputed element results.
+
+        The schedule is exact because during a store run nothing can
+        reserve a new register (stores write no registers, element
+        destinations are checked clear up front) so retirements only ever
+        *clear* scoreboard bits: every element of the in-flight
+        instruction issues back-to-back, and each store's stall span
+        against the port, the interlocked current element, and the
+        scoreboard is a closed formula in the same priority order the
+        per-cycle loop applies.
+        """
+        fpu = self.sequencer.fpu
+        sb_bits = fpu.scoreboard.bits
+        values = fpu.regs.values
+        pending = fpu._pending
+        latency = fpu.latency
+        num_registers = len(sb_bits)
+        state = fpu.alu_ir
+
+        # Pending writes are unique per register (scoreboard invariant),
+        # so a flat map gives each register's release cycle and value.
+        retire_key = {}
+        retire_val = {}
+        if pending:
+            for key, writes in pending.items():
+                for register, value in writes:
+                    retire_key[register] = key
+                    retire_val[register] = value
+
+        n_elems = 0
+        rr0 = dest_hi = c0 = 0
+        results = None
+        if state is not None:
+            opfn = _BURST_BINOP.get(state.op)
+            if opfn is None:
+                return None
+            n_elems = state.remaining
+            rr0 = state.rr
+            dest_hi = rr0 + n_elems - 1
+            c0 = cycle + 1  # next element issues next cycle at earliest
+            if dest_hi >= num_registers:
+                return None
+            ra_k, rb_k = state.ra, state.rb
+            stride_ra, stride_rb = state.stride_ra, state.stride_rb
+            results = []
+            for k in range(n_elems):
+                if ra_k >= num_registers or rb_k >= num_registers:
+                    return None
+                if rr0 <= ra_k <= dest_hi or rr0 <= rb_k <= dest_hi:
+                    return None
+                # An in-flight write to a source or the destination is
+                # fine as long as it retires no later than this
+                # element's issue cycle (retirement precedes issue
+                # within a cycle); any later and the element stalls,
+                # shifting the whole schedule -- per-cycle path then.
+                ik = c0 + k
+                key = retire_key.get(ra_k)
+                if key is None:
+                    a = values[ra_k]
+                elif key <= ik:
+                    a = retire_val[ra_k]
+                else:
+                    return None
+                key = retire_key.get(rb_k)
+                if key is None:
+                    b = values[rb_k]
+                elif key <= ik:
+                    b = retire_val[rb_k]
+                else:
+                    return None
+                key = retire_key.get(rr0 + k)
+                if key is not None and (key > ik or k == n_elems - 1):
+                    # A write retiring at the last element's issue cycle
+                    # could land exactly on the commit horizon, where
+                    # the ordering of pop vs. reserve matters; leave
+                    # that corner to the per-cycle path.
+                    return None
+                if type(a) is not float or type(b) is not float:
+                    return None
+                result = opfn(a, b)
+                if isinf(result) or result != result:
+                    # Overflow (or infinity propagation, equally rare)
+                    # aborts or threads PSW state through the sequencer,
+                    # and NaN results take the architectural payload
+                    # (repro.core.types.nan_result); only the per-cycle
+                    # path models those.
+                    return None
+                results.append(result)
+                if stride_ra:
+                    ra_k += 1
+                if stride_rb:
+                    rb_k += 1
+
+        dc_tags = self.mem_port.dcache._tags
+        dc_lines = self.mem_port.dcache.num_lines
+        dc_lbytes = self.mem_port.dcache.line_bytes
+        store_cycles = self.mem_port.store_cycles
+        base = iregs[run.ra]
+        offsets = run.offsets
+        fss = run.fss
+        c_end = c0 + n_elems - 1
+        t = cycle
+        pf = port_free
+        port_stalls = interlock_stalls = sb_stalls = 0
+        writes_plan = []
+        for i in range(run.n):
+            fs = fss[i]
+            if t < pf:
+                port_stalls += pf - t
+                t = pf
+            if n_elems and rr0 <= fs <= dest_hi:
+                k = fs - rr0
+                ik = c0 + k
+                if t < ik - 1:
+                    # Would read the element stale and append the
+                    # ordering-hazard warning; only the per-cycle path
+                    # reproduces that.
+                    return None
+                if t == ik - 1:
+                    interlock_stalls += 1
+                    t = ik
+                rk = ik + latency
+                if t < rk:
+                    sb_stalls += rk - t
+                    t = rk
+                value = results[k]
+            else:
+                rk = retire_key.get(fs)
+                if rk is None:
+                    value = values[fs]
+                else:
+                    if t < rk:
+                        sb_stalls += rk - t
+                        t = rk
+                    value = retire_val[fs]
+            address = base + offsets[i]
+            word = address >> 3
+            line = address // dc_lbytes
+            if (word < 0 or word >= mem_len
+                    or dc_tags[line % dc_lines] != line // dc_lines):
+                return None
+            writes_plan.append((word, line % dc_lines, value))
+            pf = t + store_cycles
+            t += 1
+        t_last = t - 1
+        if n_elems and c_end > t_last + 1:
+            # The in-flight instruction outlives the run; issuing its
+            # elements past the CPU's cycle is unsound (a later
+            # instruction could still touch their registers).
+            return None
+        if t_last + 2 > limit:
+            return None
+        return (writes_plan, t_last, port_stalls, interlock_stalls,
+                sb_stalls, n_elems, rr0, c0, c_end, results)
+
+    def _run_fast(self, max_cycles=None):
+        """The unobserved fast path: bit-identical to :meth:`_run_slow`
+        but coalescing work the per-cycle loop repeats.
+
+        Three mechanisms (see DESIGN.md section 14):
+
+        * **superblock dispatch** -- straight-line runs of simple
+          integer instructions (:func:`repro.core.semantics.superblocks`)
+          execute block-at-a-time once their preconditions (FPU idle,
+          operands past all delay slots, fetch lines resident) hold;
+        * **vector element bursts** -- a conflict-free remainder of an
+          in-flight vector instruction issues in one call
+          (:meth:`repro.core.fpu.Fpu.try_issue_burst`) while the CPU is
+          stalled on the busy ALU IR;
+        * **quiescent-cycle skipping** -- waits whose release cycle is
+          already known (``cpu_ready`` holds, deterministic delay-slot
+          and port waits, the post-HALT drain) jump ``cycle`` forward,
+          retiring any writebacks that fall inside the skipped span at
+          their exact cycles.
+
+        Per-cycle semantics that the per-cycle loop exercises as side
+        effects are preserved exactly: stalled issue slots re-fetch from
+        the instruction buffer (so buffer hit counters advance per spin,
+        one fewer when the run dies at the cycle limit mid-wait), stall
+        cycles are attributed to the same counters in the same priority
+        order, and FPU retirement always precedes element issue within a
+        cycle.
+        """
+        machine = self.machine
+        config = machine.config
+        limit = max_cycles or config.max_cycles
+        stats = machine.stats
+        fpu = self.sequencer.fpu
+        memory = machine.memory
+        memory_words = memory.words
+        instructions = machine.program.instructions
+        decoded = machine.decoded
+        blocks = machine.program.blocks
+        iregs = machine.iregs
+        ireg_ready = machine.ireg_ready
+        sb_bits = fpu.scoreboard.bits
+        values = fpu.regs.values
+        fetch_stage = self.fetch
+        fetch_penalty = fetch_stage.penalty
+        model_ibuffer = fetch_stage.enabled
+        ibuf = fetch_stage.ibuf
+        ibuf_contains = ibuf.contains
+        mem_port = self.mem_port
+        dcache_access = mem_port.dcache.access
+        model_tlb = mem_port.model_tlb
+        tlb_translate = mem_port.tlb.translate
+        store_cycles = mem_port.store_cycles
+        taken_cost = config.taken_branch_cycles
+        program_length = len(decoded)
+        try_issue_element = fpu.try_issue_element
+        try_issue_burst = fpu.try_issue_burst
+        load_runs, store_runs = machine.program.mem_runs
+        fpu_stats = fpu.stats
+        dcache = mem_port.dcache
+        dc_tags = dcache._tags
+        dc_dirty = dcache._dirty
+        dc_lines = dcache.num_lines
+        dc_lbytes = dcache.line_bytes
+        mem_len = len(memory_words)
+
+        K_FALU = semantics.K_FALU
+        K_FLOAD = semantics.K_FLOAD
+        K_FSTORE = semantics.K_FSTORE
+        K_INT_IMM = semantics.K_INT_IMM
+        K_INT_BINOP = semantics.K_INT_BINOP
+        K_LI = semantics.K_LI
+        K_LW = semantics.K_LW
+        K_SW = semantics.K_SW
+        K_BRANCH = semantics.K_BRANCH
+        K_J = semantics.K_J
+        K_FCMP = semantics.K_FCMP
+        K_NOP = semantics.K_NOP
+        K_RFE = semantics.K_RFE
+        K_HALT = semantics.K_HALT
+
+        cycle = machine.cycle
+        pc = machine.pc
+        halted = machine.halted
+        halt_cycle = None
+        cpu_ready = self.issue.cpu_ready
+        port_free = mem_port.port_free
+        pending = fpu._pending
+
+        # No observers by construction (run() dispatched here because the
+        # bus is silent), so no publishers are resolved at all.
+        fpu.emit_element = None
+
+        # Above this cycle no integer register is inside a delay slot;
+        # superblocks use it to skip per-operand readiness checks.
+        ireg_horizon = max(ireg_ready)
+
+        # -- steady-state loop memoization ----------------------------
+        # The limiting form of quiescent-cycle skipping: when two
+        # consecutive trips around a loop-closing backward branch have
+        # identical effects (FPU registers at a fixed point, identical
+        # relative timing, constant integer-register deltas, zero cache
+        # misses, idempotent stores, a straight-line body whose memory
+        # addresses do not move), the remaining trip count follows from
+        # the branch test in closed form and the skipped iterations
+        # collapse into one bulk counter update.  Every condition below
+        # is load-bearing; see DESIGN.md section 14.
+        memo_pc = -1  # loop-head pc under observation
+        memo_prev = None  # head snapshot from the previous visit
+        memo_delta = None  # per-iteration delta awaiting confirmation
+        memo_clean = True  # no non-idempotent store since last head
+        memo_fails = 0
+        memo_dead = -1  # head pc given up on (hot non-memoizable loop)
+        memo_counters = (
+            (stats, "instructions"),
+            (stats, "integer_instructions"),
+            (stats, "branch_instructions"),
+            (stats, "taken_branches"),
+            (stats, "fpu_loads"),
+            (stats, "fpu_stores"),
+            (stats, "falu_transfers"),
+            (stats, "stall_alu_ir_busy"),
+            (stats, "stall_scoreboard"),
+            (stats, "stall_vector_interlock"),
+            (stats, "stall_port"),
+            (stats, "stall_int_delay"),
+            (stats, "stall_dcache_miss_cycles"),
+            (stats, "stall_ibuf_miss_cycles"),
+            (fpu_stats, "elements_issued"),
+            (fpu_stats, "flops"),
+            (fpu_stats, "alu_instructions"),
+            (fpu_stats, "vector_instructions"),
+            (fpu_stats, "scoreboard_stall_cycles"),
+            (fpu_stats, "loads"),
+            (fpu_stats, "stores"),
+            (dcache, "hits"),
+            (ibuf, "hits"),
+            (machine, "_alu_seq"),
+        ) + tuple((unit, "issue_count") for unit in fpu.units.values())
+        memo_body_safe = frozenset((K_INT_IMM, K_INT_BINOP, K_LI, K_NOP,
+                                    K_FCMP, K_FALU))
+
+        def _memo_head(head_pc, branch_pc, test, t_ra, t_rb,
+                       cycle_now, cpu_ready_now, port_free_now, lr_now):
+            """One observation of a taken loop-closing branch.
+
+            Returns ``(jump, pf_jump, lr_jump)``: cycles to add to
+            ``cycle`` / ``cpu_ready``, to ``port_free`` and to
+            ``last_retire_cycle`` (all zero until a steady state is
+            confirmed twice).  ``port_free`` and ``last_retire_cycle``
+            get their own jumps because a body without stores (or
+            retirements) leaves them frozen on the per-cycle path while
+            ``cycle`` advances.
+            """
+            nonlocal memo_pc, memo_prev, memo_delta, memo_clean
+            nonlocal memo_fails, memo_dead
+            clean = memo_clean
+            memo_clean = True
+            snap = (
+                tuple(iregs),
+                tuple(values),
+                cpu_ready_now - cycle_now,
+                port_free_now,
+                dcache.misses,
+                ibuf.misses,
+                fpu_stats.overflow_aborts,
+                len(fpu.hazard_warnings),
+                len(memory_words),
+                tuple([getattr(obj, name) for obj, name in memo_counters]),
+                cycle_now,
+                lr_now,
+            )
+            if memo_pc != head_pc or memo_prev is None:
+                if memo_pc != head_pc:
+                    memo_fails = 0
+                memo_pc = head_pc
+                memo_prev = snap
+                memo_delta = None
+                return 0, 0, 0
+            prev = memo_prev
+            memo_prev = snap
+            span = cycle_now - prev[10]
+            lr_d = lr_now - prev[11]
+            pf_d = port_free_now - prev[3]
+            if (not clean or span <= 0
+                    or snap[1] != prev[1]  # FPU regs at a fixed point
+                    or snap[2] != prev[2]  # same relative waits
+                    or snap[4] != prev[4]  # no cache misses, aborts,
+                    or snap[5] != prev[5]  # hazard warnings or memory
+                    or snap[6] != prev[6]  # growth inside the trip
+                    or snap[7] != prev[7]
+                    or snap[8] != prev[8]
+                    or (lr_d != 0 and lr_d != span)
+                    or (pf_d != 0 and pf_d != span)):
+                memo_delta = None
+                memo_fails += 1
+                if memo_fails >= 8:
+                    memo_dead = head_pc
+                return 0, 0, 0
+            prev_ir = prev[0]
+            new_ir = snap[0]
+            if prev_ir == new_ir:
+                ireg_deltas = ()
+            else:
+                ireg_deltas = tuple(
+                    [(index, after - before) for index, (before, after)
+                     in enumerate(zip(prev_ir, new_ir)) if before != after])
+            counter_deltas = tuple(
+                [after - before for before, after in zip(prev[9], snap[9])])
+            delta = (span, lr_d, pf_d, ireg_deltas, counter_deltas)
+            if delta != memo_delta:
+                unconfirmed = memo_delta is None
+                memo_delta = delta
+                if not unconfirmed:
+                    memo_fails += 1
+                    if memo_fails >= 8:
+                        memo_dead = head_pc
+                return 0, 0, 0
+            # Confirmed twice.  The trip must be the straight-line body
+            # [head_pc, branch_pc] executed exactly once with this
+            # branch as its only control transfer; then the only
+            # iteration-varying inputs are the linearly-moving integer
+            # registers, and the body scan proves no memory address or
+            # stored integer depends on one of those.
+            if (counter_deltas[2] != 1  # branch_instructions
+                    or counter_deltas[3] != 1  # taken_branches
+                    or counter_deltas[0] != branch_pc - head_pc + 1):
+                memo_fails += 1
+                if memo_fails >= 8:
+                    memo_dead = head_pc
+                return 0, 0, 0
+            moved = dict(ireg_deltas)
+            for body_pc in range(head_pc, branch_pc):
+                body_entry = decoded[body_pc]
+                body_kind = body_entry[0]
+                if body_kind in memo_body_safe:
+                    continue
+                if body_kind == K_FLOAD or body_kind == K_LW:
+                    if moved.get(body_entry[2]):
+                        break
+                elif body_kind == K_FSTORE:
+                    if moved.get(body_entry[2]):
+                        break
+                elif body_kind == K_SW:
+                    if moved.get(body_entry[1]) or moved.get(body_entry[2]):
+                        break
+                else:
+                    break
+            else:
+                cap = (limit - span - cycle_now) // span
+                if cap <= 0:
+                    return 0, 0, 0
+                e = moved.get(t_ra, 0) - moved.get(t_rb, 0)
+                k = _taken_run(test, iregs[t_ra] - iregs[t_rb], e, cap)
+                if k <= 0:
+                    return 0, 0, 0
+                for index, d in ireg_deltas:
+                    iregs[index] += k * d
+                for pair, d in zip(memo_counters, counter_deltas):
+                    if d:
+                        obj, name = pair
+                        setattr(obj, name, getattr(obj, name) + k * d)
+                memo_prev = None
+                jump = k * span
+                return (jump, jump if pf_d else 0, jump if lr_d else 0)
+            memo_fails += 1
+            if memo_fails >= 8:
+                memo_dead = head_pc
+            return 0, 0, 0
+
+        last_retire_cycle = 0
+        limit_hit = False
+        try:
+            while cycle < limit:
+                # -- FpuSequencer: retirement, then element issue -------
+                if pending:
+                    ready = pending.pop(cycle, None)
+                    if ready:
+                        for register, value in ready:
+                            values[register] = value
+                            sb_bits[register] = False
+                        last_retire_cycle = cycle
+                if fpu.alu_ir is not None:
+                    try_issue_element(cycle)
+
+                # -- termination: HALT reached, drain the FPU -----------
+                if halted:
+                    if fpu.alu_ir is not None:
+                        cycle += 1
+                        continue
+                    if not pending:
+                        break
+                    target = min(pending)
+                    cycle = target if target < limit else limit
+                    continue
+
+                # -- IssueStage: known-length wait for cpu_ready --------
+                if cycle < cpu_ready:
+                    if fpu.alu_ir is not None:
+                        cycle += 1
+                        continue
+                    target = cpu_ready
+                    if pending:
+                        key = min(pending)
+                        if key < target:
+                            target = key
+                    cycle = target if target < limit else limit
+                    continue
+                if pc >= program_length:
+                    raise machine._error(
+                        "PC %d ran off the end of the program" % pc, cycle, pc)
+
+                # -- superblock dispatch --------------------------------
+                block = blocks[pc]
+                if (block is not None and fpu.alu_ir is None and not pending
+                        and cycle >= ireg_horizon
+                        and cycle + block.n_instructions + 1 <= limit):
+                    resident = True
+                    if model_ibuffer:
+                        for address in block.fetch_addresses:
+                            if not ibuf_contains(address):
+                                resident = False
+                                break
+                    if resident:
+                        n = block.n_instructions
+                        if model_ibuffer:
+                            ibuf.hits += n
+                        for body_entry in block.body:
+                            body_kind = body_entry[0]
+                            if body_kind == K_INT_IMM:
+                                rd = body_entry[1]
+                                if rd:
+                                    iregs[rd] = body_entry[4](
+                                        iregs[body_entry[2]], body_entry[3])
+                            elif body_kind == K_INT_BINOP:
+                                rd = body_entry[1]
+                                if rd:
+                                    iregs[rd] = body_entry[4](
+                                        iregs[body_entry[2]],
+                                        iregs[body_entry[3]])
+                            elif body_kind == K_LI:
+                                rd = body_entry[1]
+                                if rd:
+                                    iregs[rd] = body_entry[2]
+                            # K_NOP: instruction count only
+                        stats.instructions += n
+                        stats.integer_instructions += block.n_integer
+                        n_body = block.n_body
+                        terminal = block.terminal
+                        if terminal is None:
+                            pc += n_body
+                            cycle += n_body
+                            cpu_ready = cycle
+                        else:
+                            branch_cycle = cycle + n_body
+                            stats.branch_instructions += 1
+                            memo_args = None
+                            if terminal[0] == K_J:
+                                stats.taken_branches += 1
+                                pc = terminal[1]
+                                cpu_ready = branch_cycle + taken_cost
+                            elif terminal[4](iregs[terminal[1]],
+                                             iregs[terminal[2]]):
+                                stats.taken_branches += 1
+                                if terminal[3] <= pc \
+                                        and terminal[3] != memo_dead:
+                                    memo_args = (terminal[3], pc + n_body,
+                                                 terminal[4], terminal[1],
+                                                 terminal[2])
+                                pc = terminal[3]
+                                cpu_ready = branch_cycle + taken_cost
+                            else:
+                                pc += n_body + 1
+                                cpu_ready = branch_cycle + 1
+                            cycle = branch_cycle + 1
+                            if memo_args is not None:
+                                if (fpu.alu_ir is None and not pending
+                                        and fpu.aborted_ir is None
+                                        and not model_tlb
+                                        and cycle >= ireg_horizon):
+                                    jump, pf_jump, lr_jump = _memo_head(
+                                        memo_args[0], memo_args[1],
+                                        memo_args[2], memo_args[3],
+                                        memo_args[4], cycle, cpu_ready,
+                                        port_free, last_retire_cycle)
+                                    if jump:
+                                        cycle += jump
+                                        cpu_ready += jump
+                                        port_free += pf_jump
+                                        last_retire_cycle += lr_jump
+                                else:
+                                    memo_prev = None
+                        continue
+
+                # -- FetchStage: per-instruction delivery ---------------
+                if model_ibuffer:
+                    penalty = fetch_penalty(pc)
+                    if penalty:
+                        stats.stall_ibuf_miss_cycles += penalty
+                        cpu_ready = cycle + penalty
+                        cycle += 1
+                        continue
+
+                entry = decoded[pc]
+                kind = entry[0]
+
+                # ---- FPU ALU transfer ----
+                if kind == K_FALU:
+                    if fpu.alu_ir is not None or cycle < fpu.alu_ir_free_cycle:
+                        stalls = 0
+                        limit_hit = False
+                        while True:
+                            state = fpu.alu_ir
+                            if (state is None
+                                    and cycle >= fpu.alu_ir_free_cycle):
+                                break
+                            # In-flight writebacks outside the burst's
+                            # register footprint are harmless (the burst
+                            # precheck refuses any reserved source or
+                            # destination); they retire at their exact
+                            # cycles in the drain below.
+                            if (state is not None
+                                    and cycle + state.remaining + 1 < limit):
+                                issued = try_issue_burst(cycle + 1)
+                                if issued:
+                                    stalls += issued + 1
+                                    cycle += issued + 1
+                                    while pending:
+                                        key = min(pending)
+                                        if key > cycle:
+                                            break
+                                        ready = pending.pop(key)
+                                        for register, value in ready:
+                                            values[register] = value
+                                            sb_bits[register] = False
+                                        last_retire_cycle = key
+                                    continue
+                            stalls += 1
+                            cycle += 1
+                            if cycle >= limit:
+                                limit_hit = True
+                                break
+                            ready = pending.pop(cycle, None)
+                            if ready:
+                                for register, value in ready:
+                                    values[register] = value
+                                    sb_bits[register] = False
+                                last_retire_cycle = cycle
+                            if fpu.alu_ir is not None:
+                                try_issue_element(cycle)
+                        stats.stall_alu_ir_busy += stalls
+                        if model_ibuffer:
+                            ibuf.hits += stalls - 1 if limit_hit else stalls
+                        if limit_hit:
+                            break
+                    self.sequencer.accept_transfer(entry, cycle, None)
+                    stats.falu_transfers += 1
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- FPU load ----
+                elif kind == K_FLOAD:
+                    # Load-run batch: consecutive floads off one base
+                    # register with distinct destinations issue one per
+                    # cycle with no stalls once the FPU is idle, the
+                    # port is free, and the base is past its delay slot.
+                    # Each load's writeback retires before the next
+                    # load's scoreboard check, so with no other pending
+                    # writes the registers can be written directly.
+                    run = load_runs[pc]
+                    if (run is not None and fpu.alu_ir is None
+                            and not pending and not model_tlb
+                            and cycle >= port_free
+                            and ireg_ready[run.ra] <= cycle
+                            and cycle + run.n + 1 <= limit):
+                        run_ok = True
+                        if model_ibuffer:
+                            for address in run.fetch_addresses:
+                                if not ibuf_contains(address):
+                                    run_ok = False
+                                    break
+                        if run_ok:
+                            base = iregs[run.ra]
+                            loaded = []
+                            for offset in run.offsets:
+                                address = base + offset
+                                word = address >> 3
+                                line = address // dc_lbytes
+                                if (word < 0 or word >= mem_len
+                                        or dc_tags[line % dc_lines]
+                                        != line // dc_lines):
+                                    run_ok = False
+                                    break
+                                loaded.append(memory_words[word])
+                        if run_ok:
+                            n = run.n
+                            if model_ibuffer:
+                                ibuf.hits += n - 1
+                            dcache.hits += n
+                            fds = run.fds
+                            for index in range(n):
+                                values[fds[index]] = loaded[index]
+                            stats.fpu_loads += n
+                            stats.instructions += n
+                            fpu_stats.loads += n
+                            cycle += n
+                            port_free = cycle
+                            cpu_ready = cycle
+                            last_retire_cycle = cycle
+                            pc += n
+                            continue
+                    fd, ra, offset = entry[1], entry[2], entry[3]
+                    state = fpu.alu_ir
+                    if (cycle < port_free
+                            or (state is not None
+                                and (fd == state.rr or fd == state.ra
+                                     or (not state.unary and fd == state.rb)))
+                            or sb_bits[fd] or ireg_ready[ra] > cycle):
+                        port_stalls = interlock_stalls = 0
+                        sb_stalls = int_stalls = 0
+                        limit_hit = False
+                        while True:
+                            if fpu.alu_ir is None and not pending:
+                                # Deterministic remainder: the port and
+                                # the delay slot release at known cycles
+                                # and nothing can re-block them.
+                                if cycle < port_free:
+                                    target = (port_free if port_free < limit
+                                              else limit)
+                                    port_stalls += target - cycle
+                                    cycle = target
+                                    if cycle >= limit:
+                                        limit_hit = True
+                                        break
+                                if ireg_ready[ra] > cycle:
+                                    target = ireg_ready[ra]
+                                    if target > limit:
+                                        target = limit
+                                    int_stalls += target - cycle
+                                    cycle = target
+                                    if cycle >= limit:
+                                        limit_hit = True
+                                        break
+                                break
+                            if cycle < port_free:
+                                port_stalls += 1
+                            else:
+                                state = fpu.alu_ir
+                                if (state is not None
+                                        and (fd == state.rr or fd == state.ra
+                                             or (not state.unary
+                                                 and fd == state.rb))):
+                                    interlock_stalls += 1
+                                elif sb_bits[fd]:
+                                    sb_stalls += 1
+                                elif ireg_ready[ra] > cycle:
+                                    int_stalls += 1
+                                else:
+                                    break
+                            cycle += 1
+                            if cycle >= limit:
+                                limit_hit = True
+                                break
+                            ready = pending.pop(cycle, None)
+                            if ready:
+                                for register, value in ready:
+                                    values[register] = value
+                                    sb_bits[register] = False
+                                last_retire_cycle = cycle
+                            if fpu.alu_ir is not None:
+                                try_issue_element(cycle)
+                        stats.stall_port += port_stalls
+                        stats.stall_vector_interlock += interlock_stalls
+                        stats.stall_scoreboard += sb_stalls
+                        stats.stall_int_delay += int_stalls
+                        if model_ibuffer:
+                            spins = (port_stalls + interlock_stalls
+                                     + sb_stalls + int_stalls)
+                            ibuf.hits += spins - 1 if limit_hit else spins
+                        if limit_hit:
+                            break
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    effective = cycle + penalty
+                    try:
+                        fpu.load_write(fd, memory_words[address >> 3],
+                                       effective)
+                    except SimulationError as err:
+                        raise machine._attach_context(err, cycle, pc,
+                                                      instructions[pc])
+                    stats.fpu_loads += 1
+                    stats.instructions += 1
+                    port_free = effective + 1
+                    cpu_ready = effective + 1
+                    pc += 1
+
+                # ---- FPU store ----
+                elif kind == K_FSTORE:
+                    # Store-run scheduler: consecutive fstores off one
+                    # base register have a closed-form schedule (see
+                    # _plan_store_run); the plan is validated in full
+                    # before any state mutates, so a bail falls through
+                    # to the per-cycle arm with nothing to undo.
+                    run = store_runs[pc]
+                    if (run is not None and not model_tlb
+                            and ireg_ready[run.ra] <= cycle):
+                        run_ok = True
+                        if model_ibuffer:
+                            for address in run.fetch_addresses:
+                                if not ibuf_contains(address):
+                                    run_ok = False
+                                    break
+                        plan = None
+                        if run_ok:
+                            plan = self._plan_store_run(
+                                run, cycle, port_free, limit, iregs,
+                                memory_words, mem_len)
+                        if plan is not None:
+                            (writes_plan, t_last, port_stalls,
+                             interlock_stalls, sb_stalls, n_elems, rr0,
+                             c0, c_end, results) = plan
+                            n = run.n
+                            end_cycle = t_last + 1
+                            if model_ibuffer:
+                                ibuf.hits += (n - 1 + port_stalls
+                                              + interlock_stalls
+                                              + sb_stalls)
+                            dcache.hits += n
+                            for word, line, value in writes_plan:
+                                old = memory_words[word]
+                                if old is not value and not (
+                                        type(old) is type(value)
+                                        and old == value and value != 0):
+                                    memo_clean = False
+                                memory_words[word] = value
+                                dc_dirty[line] = True
+                            batch_last = -1
+                            if pending:
+                                for key in tuple(pending):
+                                    if key < end_cycle:
+                                        for register, value in \
+                                                pending.pop(key):
+                                            values[register] = value
+                                            sb_bits[register] = False
+                                        if key > batch_last:
+                                            batch_last = key
+                            if n_elems:
+                                state = fpu.alu_ir
+                                unit = fpu.units[UNIT_OF_OP[state.op]]
+                                unit.issue_count += n_elems
+                                fpu_stats.elements_issued += n_elems
+                                fpu_stats.flops += n_elems
+                                retire0 = c0 + fpu.latency
+                                for k in range(n_elems):
+                                    retire_at = retire0 + k
+                                    dest = rr0 + k
+                                    if retire_at < end_cycle:
+                                        values[dest] = results[k]
+                                        if retire_at > batch_last:
+                                            batch_last = retire_at
+                                    else:
+                                        sb_bits[dest] = True
+                                        if retire_at in pending:
+                                            pending[retire_at].append(
+                                                (dest, results[k]))
+                                        else:
+                                            pending[retire_at] = [
+                                                (dest, results[k])]
+                                fpu.alu_ir = None
+                                fpu.alu_ir_free_cycle = c_end + 1
+                            if batch_last > last_retire_cycle:
+                                last_retire_cycle = batch_last
+                            stats.stall_port += port_stalls
+                            stats.stall_vector_interlock += interlock_stalls
+                            stats.stall_scoreboard += sb_stalls
+                            stats.fpu_stores += n
+                            stats.instructions += n
+                            fpu_stats.stores += n
+                            cycle = end_cycle
+                            cpu_ready = end_cycle
+                            port_free = t_last + store_cycles
+                            pc += n
+                            continue
+                    fs, ra, offset = entry[1], entry[2], entry[3]
+                    state = fpu.alu_ir
+                    if (cycle < port_free
+                            or (state is not None and fs == state.rr)
+                            or sb_bits[fs] or ireg_ready[ra] > cycle):
+                        port_stalls = interlock_stalls = 0
+                        sb_stalls = int_stalls = 0
+                        limit_hit = False
+                        while True:
+                            if fpu.alu_ir is None and not pending:
+                                if cycle < port_free:
+                                    target = (port_free if port_free < limit
+                                              else limit)
+                                    port_stalls += target - cycle
+                                    cycle = target
+                                    if cycle >= limit:
+                                        limit_hit = True
+                                        break
+                                if ireg_ready[ra] > cycle:
+                                    target = ireg_ready[ra]
+                                    if target > limit:
+                                        target = limit
+                                    int_stalls += target - cycle
+                                    cycle = target
+                                    if cycle >= limit:
+                                        limit_hit = True
+                                        break
+                                break
+                            if cycle < port_free:
+                                port_stalls += 1
+                            else:
+                                state = fpu.alu_ir
+                                if state is not None and fs == state.rr:
+                                    interlock_stalls += 1
+                                elif sb_bits[fs]:
+                                    sb_stalls += 1
+                                elif ireg_ready[ra] > cycle:
+                                    int_stalls += 1
+                                else:
+                                    break
+                            cycle += 1
+                            if cycle >= limit:
+                                limit_hit = True
+                                break
+                            ready = pending.pop(cycle, None)
+                            if ready:
+                                for register, value in ready:
+                                    values[register] = value
+                                    sb_bits[register] = False
+                                last_retire_cycle = cycle
+                            if fpu.alu_ir is not None:
+                                try_issue_element(cycle)
+                        stats.stall_port += port_stalls
+                        stats.stall_vector_interlock += interlock_stalls
+                        stats.stall_scoreboard += sb_stalls
+                        stats.stall_int_delay += int_stalls
+                        if model_ibuffer:
+                            spins = (port_stalls + interlock_stalls
+                                     + sb_stalls + int_stalls)
+                            ibuf.hits += spins - 1 if limit_hit else spins
+                        if limit_hit:
+                            break
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address, True)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    effective = cycle + penalty
+                    try:
+                        value = fpu.store_read(fs, effective)
+                    except SimulationError as err:
+                        raise machine._attach_context(err, cycle, pc,
+                                                      instructions[pc])
+                    word = address >> 3
+                    if word >= len(memory_words):
+                        memo_clean = False
+                        memory.write(address, value)
+                        memory_words = memory.words
+                        mem_len = len(memory_words)
+                    else:
+                        old = memory_words[word]
+                        if old is not value and not (
+                                type(old) is type(value)
+                                and old == value and value != 0):
+                            memo_clean = False
+                        memory_words[word] = value
+                    stats.fpu_stores += 1
+                    stats.instructions += 1
+                    port_free = effective + store_cycles
+                    cpu_ready = effective + 1
+                    pc += 1
+
+                # ---- integer ALU (register-immediate) ----
+                elif kind == K_INT_IMM:
+                    rd, ra, imm, op_fn = entry[1], entry[2], entry[3], entry[4]
+                    if ireg_ready[ra] > cycle:
+                        target = ireg_ready[ra]
+                        last_key = self._advance_fpu(cycle, target, limit,
+                                                     fpu, pending, values,
+                                                     sb_bits)
+                        if last_key is not None:
+                            last_retire_cycle = last_key
+                        if target >= limit:
+                            stats.stall_int_delay += limit - cycle
+                            if model_ibuffer:
+                                ibuf.hits += limit - cycle - 1
+                            cycle = limit
+                            break
+                        stats.stall_int_delay += target - cycle
+                        if model_ibuffer:
+                            ibuf.hits += target - cycle
+                        cycle = target
+                    if rd:
+                        iregs[rd] = op_fn(iregs[ra], imm)
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- integer ALU (three-register) ----
+                elif kind == K_INT_BINOP:
+                    rd, ra, rb, op_fn = entry[1], entry[2], entry[3], entry[4]
+                    if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
+                        target = ireg_ready[ra]
+                        if ireg_ready[rb] > target:
+                            target = ireg_ready[rb]
+                        last_key = self._advance_fpu(cycle, target, limit,
+                                                     fpu, pending, values,
+                                                     sb_bits)
+                        if last_key is not None:
+                            last_retire_cycle = last_key
+                        if target >= limit:
+                            stats.stall_int_delay += limit - cycle
+                            if model_ibuffer:
+                                ibuf.hits += limit - cycle - 1
+                            cycle = limit
+                            break
+                        stats.stall_int_delay += target - cycle
+                        if model_ibuffer:
+                            ibuf.hits += target - cycle
+                        cycle = target
+                    if rd:
+                        iregs[rd] = op_fn(iregs[ra], iregs[rb])
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- load immediate ----
+                elif kind == K_LI:
+                    rd = entry[1]
+                    if rd:
+                        iregs[rd] = entry[2]
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                # ---- integer load/store ----
+                elif kind == K_LW:
+                    rd, ra, offset = entry[1], entry[2], entry[3]
+                    if cycle < port_free or ireg_ready[ra] > cycle:
+                        # Both releases are deterministic; the slow loop
+                        # charges the port first, then the delay slot.
+                        release = port_free if port_free > cycle else cycle
+                        port_stalls = release - cycle
+                        end = release
+                        int_stalls = 0
+                        if ireg_ready[ra] > release:
+                            int_stalls = ireg_ready[ra] - release
+                            end = ireg_ready[ra]
+                        last_key = self._advance_fpu(cycle, end, limit, fpu,
+                                                     pending, values, sb_bits)
+                        if last_key is not None:
+                            last_retire_cycle = last_key
+                        if end >= limit:
+                            span = limit - cycle
+                            clipped = (port_stalls if port_stalls < span
+                                       else span)
+                            stats.stall_port += clipped
+                            stats.stall_int_delay += span - clipped
+                            if model_ibuffer:
+                                ibuf.hits += span - 1
+                            cycle = limit
+                            break
+                        stats.stall_port += port_stalls
+                        stats.stall_int_delay += int_stalls
+                        if model_ibuffer:
+                            ibuf.hits += port_stalls + int_stalls
+                        cycle = end
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    value = memory_words[address >> 3]
+                    if rd:
+                        iregs[rd] = int(value)
+                        ready_at = cycle + penalty + 2  # one delay slot
+                        ireg_ready[rd] = ready_at
+                        if ready_at > ireg_horizon:
+                            ireg_horizon = ready_at
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    port_free = cycle + penalty + 1
+                    cpu_ready = cycle + penalty + 1
+                    pc += 1
+
+                elif kind == K_SW:
+                    rs, ra, offset = entry[1], entry[2], entry[3]
+                    if (cycle < port_free or ireg_ready[ra] > cycle
+                            or ireg_ready[rs] > cycle):
+                        release = port_free if port_free > cycle else cycle
+                        port_stalls = release - cycle
+                        int_release = ireg_ready[ra]
+                        if ireg_ready[rs] > int_release:
+                            int_release = ireg_ready[rs]
+                        end = release
+                        int_stalls = 0
+                        if int_release > release:
+                            int_stalls = int_release - release
+                            end = int_release
+                        last_key = self._advance_fpu(cycle, end, limit, fpu,
+                                                     pending, values, sb_bits)
+                        if last_key is not None:
+                            last_retire_cycle = last_key
+                        if end >= limit:
+                            span = limit - cycle
+                            clipped = (port_stalls if port_stalls < span
+                                       else span)
+                            stats.stall_port += clipped
+                            stats.stall_int_delay += span - clipped
+                            if model_ibuffer:
+                                ibuf.hits += span - 1
+                            cycle = limit
+                            break
+                        stats.stall_port += port_stalls
+                        stats.stall_int_delay += int_stalls
+                        if model_ibuffer:
+                            ibuf.hits += port_stalls + int_stalls
+                        cycle = end
+                    address = iregs[ra] + offset
+                    penalty = dcache_access(address, True)
+                    if model_tlb:
+                        penalty += tlb_translate(address)
+                    if penalty:
+                        stats.stall_dcache_miss_cycles += penalty
+                    word = address >> 3
+                    value = iregs[rs]
+                    if word >= len(memory_words):
+                        memo_clean = False
+                        memory.write(address, value)
+                        memory_words = memory.words
+                        mem_len = len(memory_words)
+                    else:
+                        old = memory_words[word]
+                        if old is not value and not (
+                                type(old) is type(value)
+                                and old == value and value != 0):
+                            memo_clean = False
+                        memory_words[word] = value
+                    stats.instructions += 1
+                    stats.integer_instructions += 1
+                    port_free = cycle + penalty + store_cycles
+                    cpu_ready = cycle + penalty + 1
+                    pc += 1
+
+                # ---- control ----
+                elif kind == K_BRANCH:
+                    ra, rb, target_pc, test = (entry[1], entry[2], entry[3],
+                                               entry[4])
+                    if ireg_ready[ra] > cycle or ireg_ready[rb] > cycle:
+                        target = ireg_ready[ra]
+                        if ireg_ready[rb] > target:
+                            target = ireg_ready[rb]
+                        last_key = self._advance_fpu(cycle, target, limit,
+                                                     fpu, pending, values,
+                                                     sb_bits)
+                        if last_key is not None:
+                            last_retire_cycle = last_key
+                        if target >= limit:
+                            stats.stall_int_delay += limit - cycle
+                            if model_ibuffer:
+                                ibuf.hits += limit - cycle - 1
+                            cycle = limit
+                            break
+                        stats.stall_int_delay += target - cycle
+                        if model_ibuffer:
+                            ibuf.hits += target - cycle
+                        cycle = target
+                    stats.instructions += 1
+                    stats.branch_instructions += 1
+                    if test(iregs[ra], iregs[rb]):
+                        stats.taken_branches += 1
+                        branch_at = pc
+                        pc = target_pc
+                        cpu_ready = cycle + taken_cost
+                        if target_pc <= branch_at and target_pc != memo_dead:
+                            cycle += 1
+                            if (fpu.alu_ir is None and not pending
+                                    and fpu.aborted_ir is None
+                                    and not model_tlb
+                                    and cycle >= ireg_horizon):
+                                jump, pf_jump, lr_jump = _memo_head(
+                                    target_pc, branch_at, test, ra, rb,
+                                    cycle, cpu_ready, port_free,
+                                    last_retire_cycle)
+                                if jump:
+                                    cycle += jump
+                                    cpu_ready += jump
+                                    port_free += pf_jump
+                                    last_retire_cycle += lr_jump
+                            else:
+                                memo_prev = None
+                            continue
+                    else:
+                        pc += 1
+                        cpu_ready = cycle + 1
+
+                elif kind == K_J:
+                    stats.instructions += 1
+                    stats.branch_instructions += 1
+                    stats.taken_branches += 1
+                    pc = entry[1]
+                    cpu_ready = cycle + taken_cost
+
+                elif kind == K_FCMP:
+                    rd, fa, fb, test = entry[1], entry[2], entry[3], entry[4]
+                    state = fpu.alu_ir
+                    if ((state is not None
+                         and (fa == state.rr or fb == state.rr))
+                            or sb_bits[fa] or sb_bits[fb]):
+                        interlock_stalls = sb_stalls = 0
+                        limit_hit = False
+                        while True:
+                            state = fpu.alu_ir
+                            if (state is not None
+                                    and (fa == state.rr or fb == state.rr)):
+                                interlock_stalls += 1
+                            elif sb_bits[fa] or sb_bits[fb]:
+                                sb_stalls += 1
+                            else:
+                                break
+                            cycle += 1
+                            if cycle >= limit:
+                                limit_hit = True
+                                break
+                            ready = pending.pop(cycle, None)
+                            if ready:
+                                for register, value in ready:
+                                    values[register] = value
+                                    sb_bits[register] = False
+                                last_retire_cycle = cycle
+                            if fpu.alu_ir is not None:
+                                try_issue_element(cycle)
+                        stats.stall_vector_interlock += interlock_stalls
+                        stats.stall_scoreboard += sb_stalls
+                        if model_ibuffer:
+                            spins = interlock_stalls + sb_stalls
+                            ibuf.hits += spins - 1 if limit_hit else spins
+                        if limit_hit:
+                            break
+                    if rd:
+                        iregs[rd] = 1 if test(values[fa], values[fb]) else 0
+                        ready_at = cycle + 2  # one delay slot
+                        ireg_ready[rd] = ready_at
+                        if ready_at > ireg_horizon:
+                            ireg_horizon = ready_at
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                elif kind == K_NOP:
+                    stats.instructions += 1
+                    pc += 1
+                    cpu_ready = cycle + 1
+
+                elif kind == K_RFE:
+                    if machine.epc is None:
+                        raise machine._error(
+                            "rfe outside an interrupt handler",
+                            cycle, pc, instructions[pc])
+                    stats.instructions += 1
+                    pc = machine.epc
+                    machine.epc = None
+                    cpu_ready = cycle + taken_cost
+
+                elif kind == K_HALT:
+                    halted = True
+                    halt_cycle = cycle
+                    stats.instructions += 1
+
+                else:
+                    raise machine._error(
+                        "unknown opcode %d at pc %d" % (entry[1], pc),
+                        cycle, pc, instructions[pc])
+
+                cycle += 1
+        finally:
+            machine.cycle = cycle
+            machine.pc = pc
+            machine.halted = halted
+            self.issue.cpu_ready = cpu_ready
+            mem_port.port_free = port_free
+            self.sequencer.last_retire_cycle = last_retire_cycle
+
+        if cycle >= limit and not halted:
+            from repro.core.exceptions import LivelockError
+            from repro.robustness.watchdog import livelock_diagnostic
+            raise machine._attach_context(
+                LivelockError("simulation exceeded %d cycles; %s"
+                              % (limit, livelock_diagnostic(machine))),
+                cycle, pc)
+
+        return self._build_result(halt_cycle, cycle, last_retire_cycle)

@@ -25,7 +25,7 @@ from repro.core.exceptions import (DivergenceError, InvariantError,
                                    LivelockError, SimulationError)
 from repro.cpu.machine import MachineConfig, MultiTitan
 from repro.mem.memory import Memory
-from repro.robustness.differential import DifferentialChecker
+from repro.robustness.differential import DifferentialChecker, bit_exact
 from repro.robustness.reference import ReferenceExecutor
 from repro.robustness.watchdog import watchdog_budget
 
@@ -110,11 +110,11 @@ class CaseResult:
         return "CaseResult(%s)" % self.verdict
 
 
-def build_machine(program, memory_words, audit=True):
+def build_machine(program, memory_words, audit=True, fast_path=True):
     """A fresh machine over a copy of the case's memory image."""
     memory = Memory(size_bytes=len(memory_words) * 8)
     memory.words[:] = list(memory_words)
-    config = MachineConfig(audit_invariants=audit)
+    config = MachineConfig(audit_invariants=audit, fast_path=fast_path)
     return MultiTitan(program, memory=memory, config=config)
 
 
@@ -169,6 +169,128 @@ def run_case(program, memory_words, bug=None, audit=True, fault_plan=None,
     return CaseResult("pass", reference_steps=reference.steps)
 
 
+def _state_difference(a, b, path=""):
+    """First differing path between two snapshot-like structures, or
+    None.  Floats compare by bit pattern (NaN payloads and signed
+    zeroes count)."""
+    if type(a) is not type(b):
+        return "%s: type %s != %s" % (path, type(a).__name__,
+                                      type(b).__name__)
+    if isinstance(a, dict):
+        if sorted(a) != sorted(b):
+            return "%s: keys differ" % path
+        for key in a:
+            found = _state_difference(a[key], b[key], "%s.%s" % (path, key))
+            if found is not None:
+                return found
+        return None
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return "%s: length %d != %d" % (path, len(a), len(b))
+        for index, (left, right) in enumerate(zip(a, b)):
+            found = _state_difference(left, right,
+                                      "%s[%d]" % (path, index))
+            if found is not None:
+                return found
+        return None
+    if not bit_exact(a, b):
+        return "%s: %r != %r" % (path, a, b)
+    return None
+
+
+def run_case_fast_slow(program, memory_words, coverage=None,
+                       max_cycles=None):
+    """Run one case twice -- fast path enabled, then disabled -- and
+    require bit-identical outcomes.
+
+    The fast-path dispatcher only engages on a machine with no
+    observers or audits attached, which is exactly the configuration
+    the rest of the fuzzer never covers; here the per-cycle slow path
+    doubles as the oracle.  Final snapshots (registers, scoreboard,
+    in-flight FPU state, caches, memory delta, stats) and the
+    :class:`~repro.cpu.pipeline.RunResult` scalars must match bit for
+    bit; errors must match by signature and cycle.  Divergences carry
+    ``fastslow:`` signatures.
+    """
+    reference = ReferenceExecutor(program.instructions,
+                                  memory_words=list(memory_words),
+                                  decoded=program.decoded)
+    try:
+        reference.run(max_steps=MAX_REFERENCE_STEPS)
+    except Exception as error:  # noqa: BLE001 - any reference failure
+        return CaseResult("generator-error", error=error,
+                          signature=failure_signature(error))
+    budget = watchdog_budget(8 * reference.steps + 64)
+    if max_cycles is not None:
+        budget = min(budget, max_cycles)
+
+    outcomes = {}
+    for label, fast in (("fast", True), ("slow", False)):
+        machine = build_machine(program, memory_words, audit=False,
+                                fast_path=fast)
+        if coverage is not None and not fast:
+            # Coverage subscribes to the event bus, which would force
+            # the slow path anyway; keep the fast run unobserved.
+            coverage.attach(machine)
+        try:
+            result = machine.run(max_cycles=budget)
+            outcomes[label] = (result, machine, None)
+        except SimulationError as error:
+            outcomes[label] = (None, machine, error)
+        finally:
+            if coverage is not None and not fast:
+                coverage.detach()
+
+    fast_result, fast_machine, fast_error = outcomes["fast"]
+    slow_result, slow_machine, slow_error = outcomes["slow"]
+    if (fast_error is None) != (slow_error is None):
+        raised = "fast" if fast_error is not None else "slow"
+        error = DivergenceError(
+            "fast/slow divergence: only the %s path raised: %s"
+            % (raised, fast_error or slow_error))
+        return CaseResult("fail", error=error,
+                          signature="fastslow:error-asymmetry",
+                          failure_cycle=fast_machine.cycle,
+                          reference_steps=reference.steps)
+    if fast_error is not None:
+        fast_sig = failure_signature(fast_error)
+        slow_sig = failure_signature(slow_error)
+        if (fast_sig != slow_sig
+                or fast_machine.cycle != slow_machine.cycle):
+            error = DivergenceError(
+                "fast/slow divergence: fast raised %s at cycle %d, "
+                "slow raised %s at cycle %d"
+                % (fast_sig, fast_machine.cycle, slow_sig,
+                   slow_machine.cycle))
+            return CaseResult("fail", error=error,
+                              signature="fastslow:error-mismatch",
+                              failure_cycle=fast_machine.cycle,
+                              reference_steps=reference.steps)
+        return CaseResult("pass", reference_steps=reference.steps)
+
+    for field in ("halt_cycle", "completion_cycle", "dcache_hits",
+                  "dcache_misses"):
+        if getattr(fast_result, field) != getattr(slow_result, field):
+            error = DivergenceError(
+                "fast/slow divergence: RunResult.%s: %r != %r"
+                % (field, getattr(fast_result, field),
+                   getattr(slow_result, field)))
+            return CaseResult("fail", error=error,
+                              signature="fastslow:result-" + field,
+                              failure_cycle=fast_machine.cycle,
+                              reference_steps=reference.steps)
+    found = _state_difference(fast_machine.snapshot(),
+                              slow_machine.snapshot())
+    if found is not None:
+        error = DivergenceError("fast/slow divergence: %s" % found)
+        field = found.split(":")[0].lstrip(".").split(".")[0].split("[")[0]
+        return CaseResult("fail", error=error,
+                          signature="fastslow:" + (field or "state"),
+                          failure_cycle=fast_machine.cycle,
+                          reference_steps=reference.steps)
+    return CaseResult("pass", reference_steps=reference.steps)
+
+
 class CampaignFailure:
     """One failing seed of a campaign, with everything triage needs."""
 
@@ -207,14 +329,18 @@ class CampaignResult:
 
 
 def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
-         max_failures=None, on_case=None, max_cycles=None):
+         max_failures=None, on_case=None, max_cycles=None,
+         fast_slow=False):
     """Run a coverage-guided campaign of ``seeds`` generated cases.
 
     The coverage map accumulates across cases and feeds back into the
     generator (unhit FPU ALU bins are synthesised directly), so later
     seeds explore shapes earlier seeds missed.  Returns a
     :class:`CampaignResult`; with ``max_failures`` the campaign stops
-    early once that many failing seeds are collected.
+    early once that many failing seeds are collected.  With
+    ``fast_slow`` each case instead runs through
+    :func:`run_case_fast_slow`, pitting the fast-path execution core
+    against the per-cycle loop (``bug`` and ``audit`` do not apply).
     """
     coverage = coverage if coverage is not None else CoverageMap()
     failures = []
@@ -223,9 +349,14 @@ def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
     for index in range(seeds):
         seed = base_seed + index
         case = generate_case(seed, coverage=coverage)
-        result = run_case(case.program, case.memory_words, bug=bug,
-                          audit=audit, coverage=coverage,
-                          max_cycles=max_cycles)
+        if fast_slow:
+            result = run_case_fast_slow(case.program, case.memory_words,
+                                        coverage=coverage,
+                                        max_cycles=max_cycles)
+        else:
+            result = run_case(case.program, case.memory_words, bug=bug,
+                              audit=audit, coverage=coverage,
+                              max_cycles=max_cycles)
         ran += 1
         if on_case is not None:
             on_case(case, result)

@@ -371,13 +371,16 @@ def _fuzz_chunked(args):
 
 
 def cmd_fuzz_run(args):
-    if args.jobs > 1:
+    if args.jobs > 1 and not getattr(args, "fast_slow", False):
+        # The chunked session workload runs the standard differential
+        # stack; the fast/slow mode stays single-process.
         return _fuzz_chunked(args)
 
     from repro.robustness.fuzz import fuzz, shrink_case, write_bundle
 
     result = fuzz(seeds=args.seeds, base_seed=args.seed, bug=args.bug,
-                  max_failures=args.max_failures)
+                  max_failures=args.max_failures,
+                  fast_slow=getattr(args, "fast_slow", False))
     print(result.summary())
     status = 0
     for failure in result.failures:
@@ -580,6 +583,10 @@ def build_parser():
                     help="stop the campaign after this many failures")
     fr.add_argument("--shrink-attempts", type=int, default=2000,
                     help="candidate budget per shrink (default 2000)")
+    fr.add_argument("--fast-slow", action="store_true",
+                    help="differential fast-path campaign: run every case "
+                         "with the fast-path execution core on and off and "
+                         "require bit-identical end state")
     _add_campaign_flags(fr, seed=False)
     fr.set_defaults(fuzz_handler=cmd_fuzz_run)
 

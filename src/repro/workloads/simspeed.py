@@ -90,14 +90,21 @@ KERNELS = {
 }
 
 
-def time_kernel(name, iterations, repeats):
-    """Best-of-``repeats`` simulated-cycles-per-second for one kernel."""
+def time_kernel(name, iterations, repeats, fast_path=True):
+    """Best-of-``repeats`` simulated-cycles-per-second for one kernel.
+
+    ``fast_path=False`` times the reference per-cycle loop instead of
+    the superblock/burst fast path; both must simulate the same number
+    of cycles (enforced by the fast-vs-slow differential fuzz mode and
+    by ``benchmarks/bench_simspeed.py``'s ratio gate).
+    """
     program, setup = KERNELS[name](iterations)
     best = 0.0
     cycles = 0
     for _ in range(repeats):
         machine = MultiTitan(program, memory=Memory(),
-                             config=MachineConfig(model_ibuffer=False))
+                             config=MachineConfig(model_ibuffer=False,
+                                                  fast_path=fast_path))
         if setup:
             setup(machine)
         start = time.perf_counter()

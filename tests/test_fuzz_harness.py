@@ -151,11 +151,17 @@ def test_random_fault_plan_defaults_to_all_kinds():
 
 
 def test_smoke_campaign_reports_per_kind_outcomes(capsys):
-    assert smoke.main(["--seeds", "3"]) == 0
+    assert cli.main(["smoke", "--seeds", "3"]) == 0
     out = capsys.readouterr().out
     assert "per-kind outcomes" in out
     for kind in KINDS:
         assert kind in out
+
+
+def test_smoke_main_shim_warns_and_forwards(capsys):
+    with pytest.warns(DeprecationWarning, match="python -m repro smoke"):
+        assert smoke.main(["--seeds", "1"]) == 0
+    assert "per-kind outcomes" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------

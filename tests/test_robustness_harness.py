@@ -13,8 +13,8 @@ from repro.cpu import isa
 from repro.cpu.machine import MachineConfig, MultiTitan
 from repro.cpu.program import Program, ProgramBuilder
 from repro.robustness import FaultPlan, audit_invariants, flip_word_bit
-from repro.robustness import smoke
 from repro.robustness.faults import FaultEvent
+from repro.tools import cli
 
 
 def machine_for(program, memory=None, **overrides):
@@ -467,10 +467,10 @@ class TestInvariantAudit:
 
 class TestSmokeCampaign:
     def test_short_campaign_has_no_silent_corruption(self, capsys):
-        assert smoke.main(["--seeds", "6", "--seed", "1989"]) == 0
+        assert cli.main(["smoke", "--seeds", "6", "--seed", "1989"]) == 0
         out = capsys.readouterr().out
         assert "0 silent" in out
 
     def test_rejects_unknown_kind(self):
         with pytest.raises(SystemExit):
-            smoke.main(["--kinds", "gamma-ray"])
+            cli.main(["smoke", "--kinds", "gamma-ray"])
