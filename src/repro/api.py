@@ -114,6 +114,14 @@ class RunResult:
     versioned payload that lands in cache entries and ``BENCH_*.json``.
     ``cached``/``wall_seconds`` are run-time telemetry and deliberately
     stay out of the serialized form.
+
+    ``failure`` is the typed terminal failure record when the task did
+    not produce a usable outcome -- ``{"kind", "error", "attempts"}``
+    with ``kind`` in :data:`repro.orchestrate.FAILURE_KINDS` (timeout,
+    worker_crash, task_error, check_fail, quarantined) -- and
+    ``attempts`` is the per-attempt failure history (empty when the
+    first attempt succeeded), so a campaign that survived retries or
+    quarantined a poison task still serializes deterministically.
     """
 
     workload: str
@@ -123,12 +131,14 @@ class RunResult:
     check_error: str = None
     program_digest: str = None
     key: str = ""
+    failure: dict = None
+    attempts: list = field(default_factory=list)
     cached: bool = False
     wall_seconds: float = 0.0
 
     @property
     def passed(self):
-        return self.check_error is None
+        return self.check_error is None and self.failure is None
 
     def to_dict(self):
         return {
@@ -140,6 +150,8 @@ class RunResult:
             "check_error": self.check_error,
             "program_digest": self.program_digest,
             "key": self.key,
+            "failure": self.failure,
+            "attempts": list(self.attempts),
         }
 
     @classmethod
@@ -152,7 +164,9 @@ class RunResult:
                    config=payload["config"], metrics=payload["metrics"],
                    check_error=payload.get("check_error"),
                    program_digest=payload.get("program_digest"),
-                   key=payload.get("key", ""))
+                   key=payload.get("key", ""),
+                   failure=payload.get("failure"),
+                   attempts=list(payload.get("attempts") or []))
 
 
 class Outcome:
@@ -225,11 +239,15 @@ def execute_request(request, cache=None):
             result.cached = True
             return result
     outcome = fn(request)
+    failure = None
+    if outcome.check_error is not None:
+        failure = orchestrate.failure_record("check_fail",
+                                             outcome.check_error)
     result = RunResult(workload=request.workload, params=request.params,
                        config=request.config, metrics=_plain(outcome.metrics),
                        check_error=outcome.check_error,
                        program_digest=outcome.program_digest or program_digest,
-                       key=key)
+                       key=key, failure=failure)
     if cache is not None:
         cache.put(key, result.to_dict())
     return result
@@ -341,15 +359,23 @@ class Session:
     for running anything, serially or fanned across a worker pool.
 
     ``config`` -- MachineConfig overrides applied to every request that
-    does not set the same field itself; ``jobs`` -- default pool width;
+    does not set the same field itself; ``jobs`` -- default fleet width;
     ``cache_dir`` -- digest-keyed on-disk result cache (None disables
-    caching); ``seed`` -- base seed threaded into seeded sweeps;
-    ``progress`` -- a line sink (e.g. ``print``) for per-task and
-    per-worker progress output.
+    caching); ``seed`` -- base seed threaded into seeded sweeps and the
+    retry-backoff jitter; ``progress`` -- a line sink (e.g. ``print``)
+    for per-task and per-worker progress output.
+
+    Fault-tolerance knobs (see :func:`repro.orchestrate.run_campaign`):
+    ``task_timeout`` -- per-task wall-clock bound enforced by the
+    supervisor's watchdog; ``max_retries`` -- transient-failure retries
+    before a task is quarantined; ``journal_dir`` -- crash-safe campaign
+    journal directory enabling ``run_many(..., resume=True)``.
     """
 
     def __init__(self, config=None, jobs=1, cache_dir=None, seed=1989,
-                 progress=None):
+                 progress=None, task_timeout=None,
+                 max_retries=orchestrate.DEFAULT_MAX_RETRIES,
+                 journal_dir=None, resume=False):
         if isinstance(config, MachineConfig):
             config = config.as_dict()
         self.config = _plain(dict(config or {}))
@@ -358,6 +384,10 @@ class Session:
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.seed = seed
         self.progress = progress
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.journal_dir = str(journal_dir) if journal_dir else None
+        self.resume = bool(resume)
 
     # -- request construction ------------------------------------------
 
@@ -384,12 +414,22 @@ class Session:
                                    max_cycles=max_cycles)
         return self.run_many([request])[0]
 
-    def run_many(self, requests, jobs=None):
-        """Run independent requests across the worker pool; results come
-        back in request order regardless of completion order."""
+    def run_many(self, requests, jobs=None, resume=None, chaos=None,
+                 start_method=None):
+        """Run independent requests across the supervised worker fleet;
+        results come back in request order regardless of completion
+        order, retries or failures.  ``resume=True`` replays this
+        campaign's journal (requires ``journal_dir``) and re-executes
+        only unfinished tasks; ``chaos`` injects orchestration-layer
+        faults (:class:`repro.robustness.chaos.ChaosPlan`)."""
         run = orchestrate.run_campaign(
             list(requests), jobs=self.jobs if jobs is None else max(1, jobs),
-            cache_dir=self.cache_dir, progress=self.progress)
+            cache_dir=self.cache_dir, progress=self.progress,
+            task_timeout=self.task_timeout, max_retries=self.max_retries,
+            journal_dir=self.journal_dir,
+            resume=self.resume if resume is None else resume, chaos=chaos,
+            start_method=start_method,
+            seed=self.seed if isinstance(self.seed, int) else 0)
         self.last_campaign = run
         return run.results
 

@@ -1,0 +1,143 @@
+"""Crash-safe campaign journal: the orchestrator's resume log.
+
+A campaign is identified by the SHA-256 digest of its ordered,
+serialized request list (the same canonical-JSON discipline as the
+result cache), and its journal is one append-only JSONL file named by
+that digest.  The supervisor appends one line per *finalized* task --
+success, or a terminal structured failure -- flushed and fsynced before
+the next task is dispatched, so after a crash, a ``kill -9`` or a
+``KeyboardInterrupt`` the journal holds exactly the set of completed
+tasks (a torn final line from a crash mid-append is detected and
+dropped on load).
+
+``--resume`` replays the journal: every journaled task is restored
+without re-execution, and only the remainder runs.  Entries are keyed
+by a per-task digest as well as the campaign digest, so a journal can
+never leak results across edited campaigns -- any mismatch simply
+ignores the stale line.
+"""
+
+import hashlib
+import json
+import os
+
+#: Version tag of one journal file (header line).
+JOURNAL_SCHEMA = "repro-journal/1"
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def task_digest(request_dict):
+    """SHA-256 of one serialized request: the per-entry identity."""
+    return hashlib.sha256(_canonical(request_dict).encode("utf-8")).hexdigest()
+
+
+def campaign_digest(serialized_requests):
+    """SHA-256 of the ordered request list: the journal's identity."""
+    return hashlib.sha256(
+        _canonical(list(serialized_requests)).encode("utf-8")).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only JSONL log of finalized task outcomes for one campaign.
+
+    Line 1 is a header (schema, campaign digest, task count); every
+    further line is ``{"index", "task", "result", "sidecar"}``.  Writes
+    go through a single ``write()`` call followed by flush+fsync, so a
+    crash can tear at most the line being written, never an earlier one.
+    """
+
+    def __init__(self, directory, serialized_requests):
+        self.directory = str(directory)
+        self.serialized = [dict(request) for request in serialized_requests]
+        self.campaign = campaign_digest(self.serialized)
+        self.task_digests = [task_digest(request)
+                             for request in self.serialized]
+        self.path = os.path.join(self.directory,
+                                 "journal-%s.jsonl" % self.campaign[:16])
+        self._handle = None
+
+    # -- writing --------------------------------------------------------
+
+    def _open(self, fresh=False):
+        if self._handle is not None:
+            return self._handle
+        os.makedirs(self.directory, exist_ok=True)
+        exists = os.path.exists(self.path) and not fresh
+        self._handle = open(self.path, "a" if exists else "w",
+                            encoding="utf-8")
+        if not exists:
+            self._append({"schema": JOURNAL_SCHEMA, "campaign": self.campaign,
+                          "count": len(self.serialized)})
+        return self._handle
+
+    def _append(self, payload):
+        handle = self._handle
+        handle.write(_canonical(payload) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def start_fresh(self):
+        """Truncate any previous journal for this campaign (non-resume
+        runs must not inherit stale entries)."""
+        self.close()
+        self._open(fresh=True)
+
+    def record(self, index, result_payload, sidecar):
+        """Durably append one finalized task outcome."""
+        self._open()
+        self._append({"index": index, "task": self.task_digests[index],
+                      "result": result_payload, "sidecar": sidecar})
+
+    def close(self):
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    # -- reading --------------------------------------------------------
+
+    def load(self):
+        """Restore finalized outcomes: ``{index: (result, sidecar)}``.
+
+        Tolerates a missing file, a torn trailing line, and entries from
+        a differently-shaped campaign (header or per-task digest
+        mismatches are skipped, never trusted).
+        """
+        restored = {}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except (FileNotFoundError, OSError):
+            return restored
+        header = None
+        for line in lines:
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crash mid-append
+            if not isinstance(payload, dict):
+                continue
+            if header is None:
+                header = payload
+                if (payload.get("schema") != JOURNAL_SCHEMA
+                        or payload.get("campaign") != self.campaign
+                        or payload.get("count") != len(self.serialized)):
+                    return {}
+                continue
+            index = payload.get("index")
+            if not isinstance(index, int):
+                continue
+            if not 0 <= index < len(self.serialized):
+                continue
+            if payload.get("task") != self.task_digests[index]:
+                continue
+            result = payload.get("result")
+            sidecar = payload.get("sidecar")
+            if not isinstance(result, dict) or not isinstance(sidecar, dict):
+                continue
+            restored[index] = (result, sidecar)
+        return restored

@@ -1,36 +1,86 @@
-"""Parallel campaign orchestration with a digest-keyed result cache.
+"""Fault-tolerant parallel campaign orchestration with a result cache.
 
 Every heavy job in the repo -- benchmark sweeps, ablation grids, the
 fault-injection smoke campaign, fuzz seed campaigns -- is a set of
-*independent* simulations, so this module fans them across a worker pool
-(:func:`run_campaign`) and memoizes each one in an on-disk cache keyed by
+*independent* simulations, so this module fans them across a supervised
+worker fleet (:func:`run_campaign`) and memoizes each one in an on-disk
+cache keyed by
 
     SHA-256(program digest x MachineConfig fingerprint x run kwargs)
 
-so re-running an unchanged sweep is a pure cache hit.  Results are
-structured and versioned (:data:`BENCH_SCHEMA`); :func:`write_bench_json`
-emits the canonical ``BENCH_*.json`` files the perf trajectory is built
-from, byte-identical regardless of worker count.
+so re-running an unchanged sweep is a pure cache hit.
+
+The execution engine is a **supervisor**, not a bare pool: every task
+carries an optional wall-clock timeout enforced by a watchdog that
+SIGKILLs and respawns wedged workers; transient failures (worker death,
+in-task exceptions, cache I/O errors) retry with seeded-jitter
+exponential backoff; and a task that keeps failing is *quarantined*
+after its attempt budget -- it degrades to a structured failure record
+(see ``RunResult.failure``) instead of sinking the campaign.  Finalized
+outcomes stream into a crash-safe append-only journal
+(:mod:`repro.journal`) keyed by the campaign digest, so an interrupted
+campaign resumes exactly where it stopped (``resume=True`` /
+``--resume``).
+
+Results are structured and versioned (:data:`BENCH_SCHEMA`);
+:func:`write_bench_json` emits the canonical ``BENCH_*.json`` files the
+perf trajectory is built from, byte-identical regardless of worker
+count -- even when some tasks terminate as failure records.
 
 The public entry point is :class:`repro.api.Session`; this module is the
 engine underneath it.  Requests travel to workers as plain dicts (the
-declarative form of :class:`repro.api.RunRequest`), so the pool works
-under both the fork and spawn start methods.
+declarative form of :class:`repro.api.RunRequest`), so the fleet works
+under both the fork and spawn start methods.  The orchestration-layer
+chaos harness (:mod:`repro.robustness.chaos`) injects worker kills,
+hangs, transient exceptions and cache corruption through the same task
+tuples to prove all of the above.
 """
 
+import heapq
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
+import random
 import sys
 import tempfile
 import time
+from collections import deque
 
 #: Version tag of one serialized run result (see RunResult.to_dict).
-RESULT_SCHEMA = "repro-run/1"
+#: v2 adds the typed failure record and the per-attempt failure history.
+RESULT_SCHEMA = "repro-run/2"
 
 #: Version tag of a BENCH_*.json campaign document.
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Prior document generations validate_bench_json still accepts
+#: (checked-in trajectory artifacts predate the failure-record schema).
+LEGACY_BENCH_SCHEMAS = {"repro-bench/1": "repro-run/1"}
+
+#: The typed failure taxonomy carried by RunResult.failure and by every
+#: per-attempt record: the watchdog killed the task (``timeout``), the
+#: worker process died under it (``worker_crash``), the task raised
+#: (``task_error``), the workload's self-check failed (``check_fail``),
+#: or the attempt budget ran out (``quarantined``).
+FAILURE_KINDS = ("timeout", "worker_crash", "task_error", "check_fail",
+                 "quarantined")
+
+#: Default attempt policy: one initial attempt plus this many retries.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential retry backoff (seconds); attempt ``n`` waits
+#: ``retry_base * 2**(n-1)`` scaled by seeded jitter in [0.5, 1.5).
+DEFAULT_RETRY_BASE = 0.25
+
+#: Supervisor poll quantum: watchdog deadline resolution and the upper
+#: bound on how stale worker liveness information can get.
+_POLL_SECONDS = 0.05
+
+#: Temp files in the result cache older than this many seconds are
+#: stale leftovers of killed workers and are swept on construction.
+DEFAULT_TEMP_SWEEP_AGE = 300.0
 
 
 def cache_key(workload, params, config_fingerprint, program_digest=None,
@@ -61,17 +111,48 @@ class ResultCache:
     One JSON file per entry, fanned into 256 prefix directories.  Writes
     are atomic (temp file + ``os.replace``), and *any* unreadable or
     malformed entry is treated as a miss and deleted, so a corrupted
-    cache heals itself instead of poisoning campaigns.
+    cache heals itself instead of poisoning campaigns.  Construction
+    sweeps stale ``.tmp-*`` files left behind by killed workers;
+    ``len()`` counts only committed entries, never in-flight temps.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, temp_sweep_age=DEFAULT_TEMP_SWEEP_AGE):
         self.directory = str(directory)
         self.hits = 0
         self.misses = 0
         self.corrupted = 0
+        self.swept_temps = 0
+        if temp_sweep_age is not None:
+            self._sweep_stale_temps(temp_sweep_age)
 
     def _path(self, key):
         return os.path.join(self.directory, key[:2], key + ".json")
+
+    @staticmethod
+    def _is_temp(name):
+        return name.startswith(".tmp-")
+
+    def _sweep_stale_temps(self, age):
+        """Remove ``.tmp-*`` droppings older than ``age`` seconds.
+
+        A worker SIGKILLed mid-``put`` leaves its temp file behind; the
+        age guard keeps a sweep from racing a *live* concurrent writer
+        whose temp is about to be renamed into place.
+        """
+        if not os.path.isdir(self.directory):
+            return
+        now = time.time()
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if not self._is_temp(name):
+                    continue
+                path = os.path.join(root, name)
+                try:
+                    if now - os.path.getmtime(path) >= age:
+                        os.remove(path)
+                        self.swept_temps += 1
+                except OSError:
+                    pass  # vanished under us or unreadable: not ours to sweep
 
     def get(self, key):
         """The stored payload dict, or None (miss or corrupt entry)."""
@@ -87,7 +168,10 @@ class ResultCache:
             self.misses += 1
             return None
         except (ValueError, OSError, UnicodeDecodeError):
-            # Corrupted entry: quarantine by deletion and recompute.
+            # Corrupted entry: quarantine by deletion and recompute.  A
+            # concurrent writer may heal (replace) or delete the entry
+            # between our open and our remove; either way the file being
+            # gone is success, not an error.
             self.corrupted += 1
             self.misses += 1
             try:
@@ -118,22 +202,42 @@ class ResultCache:
     def __len__(self):
         count = 0
         for _root, _dirs, files in os.walk(self.directory):
-            count += sum(1 for name in files if name.endswith(".json"))
+            count += sum(1 for name in files
+                         if name.endswith(".json")
+                         and not self._is_temp(name))
         return count
 
 
 # ---------------------------------------------------------------------------
-# The worker pool
+# Worker-side execution
 # ---------------------------------------------------------------------------
 
-def _execute_task(task):
-    """Worker entry: run one serialized request; return (index, payload,
-    sidecar).  Top-level so it pickles under the spawn start method."""
-    index, request_dict, cache_dir = task
+#: One ResultCache per (process, directory): workers reuse the instance
+#: across tasks so the stale-temp sweep runs once per worker, not per task.
+_PROCESS_CACHES = {}
+
+
+def _cache_for(cache_dir):
+    if not cache_dir:
+        return None
+    cache = _PROCESS_CACHES.get(cache_dir)
+    if cache is None:
+        cache = ResultCache(cache_dir)
+        _PROCESS_CACHES[cache_dir] = cache
+    return cache
+
+
+def _run_attempt(request_dict, cache_dir, directive):
+    """Execute one serialized request (one attempt); returns
+    ``(payload, sidecar)``.  Top-level so it pickles under spawn."""
+    if directive:
+        from repro.robustness import chaos
+        chaos.apply_worker_directive(directive, request_dict, cache_dir)
     from repro import api  # deferred: workers import the full stack once
 
     request = api.RunRequest.from_dict(request_dict)
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache = _cache_for(cache_dir)
+    corrupted_before = cache.corrupted if cache is not None else 0
     start = time.perf_counter()
     result = api.execute_request(request, cache=cache)
     sidecar = {
@@ -141,31 +245,494 @@ def _execute_task(task):
         "cached": result.cached,
         "pid": os.getpid(),
     }
-    return index, result.to_dict(), sidecar
+    if cache is not None and cache.corrupted > corrupted_before:
+        sidecar["cache_corrupted"] = cache.corrupted - corrupted_before
+    return result.to_dict(), sidecar
 
+
+def _worker_main(task_recv, result_send):
+    """Worker process entry: serve tasks from the supervisor until the
+    ``None`` sentinel (or pipe loss) ends the fleet."""
+    while True:
+        try:
+            item = task_recv.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, attempt, request_dict, cache_dir, directive = item
+        try:
+            payload, sidecar = _run_attempt(request_dict, cache_dir,
+                                            directive)
+            message = ("ok", index, attempt, payload, sidecar)
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:  # report, never die: supervisor decides
+            message = ("error", index, attempt,
+                       "%s: %s" % (type(exc).__name__, exc))
+        try:
+            result_send.send(message)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Failure records
+# ---------------------------------------------------------------------------
+
+def attempt_record(attempt, kind, error):
+    """One per-attempt failure record (the ``RunResult.attempts`` shape)."""
+    return {"attempt": int(attempt), "kind": str(kind), "error": str(error)}
+
+
+def failure_record(kind, error, attempts=1):
+    """The terminal typed failure record (the ``RunResult.failure`` shape)."""
+    return {"kind": str(kind), "error": str(error), "attempts": int(attempts)}
+
+
+def _quarantined_payload(request_dict, attempts_log):
+    """The structured failure a poison task degrades to after its
+    attempt budget: schema-valid, deterministic, empty metrics."""
+    kinds = ", ".join(record["kind"] for record in attempts_log)
+    error = ("quarantined after %d failed attempt(s): %s"
+             % (len(attempts_log), kinds))
+    return {
+        "schema": RESULT_SCHEMA,
+        "workload": request_dict["workload"],
+        "params": request_dict.get("params") or {},
+        "config": request_dict.get("config") or {},
+        "metrics": {},
+        "check_error": error,
+        "program_digest": None,
+        "key": "",
+        "failure": failure_record("quarantined", error, len(attempts_log)),
+        "attempts": list(attempts_log),
+    }
+
+
+def _retry_delay(retry_base, attempt, seed, index):
+    """Exponential backoff with deterministic seeded jitter in [0.5, 1.5)."""
+    jitter_seed = (int(seed) * 1000003 + index) * 1000003 + attempt
+    jitter = 0.5 + random.Random(jitter_seed).random()
+    return retry_base * (2 ** (attempt - 1)) * jitter
+
+
+# ---------------------------------------------------------------------------
+# Progress: one exception-safe sink for every campaign line
+# ---------------------------------------------------------------------------
+
+class ProgressSink:
+    """All campaign progress output flows through here.
+
+    The sink never lets a broken ``emit`` callable kill a campaign, and
+    the utilization flush is driven from ``run_campaign``'s ``finally``
+    so it happens on exception paths (KeyboardInterrupt, worker loss)
+    exactly as on clean completion -- with whatever subset of tasks
+    actually finished.
+    """
+
+    def __init__(self, emit, total):
+        self._emit = emit
+        self.total = total
+        self.done = 0
+
+    @property
+    def enabled(self):
+        return self._emit is not None
+
+    def line(self, text):
+        if self._emit is None:
+            return
+        try:
+            self._emit(text)
+        except Exception:
+            pass  # a broken progress sink must never sink the campaign
+
+    def task(self, request_dict, sidecar):
+        """One finalized task: emitted *after* the done counter moves so
+        ``[done/total]`` always names the finished count."""
+        self.done += 1
+        if self._emit is None:
+            return
+        if sidecar.get("failed"):
+            verb = "FAILED"
+        elif sidecar.get("resumed"):
+            verb = "resumed from journal"
+        elif sidecar.get("cached"):
+            verb = "cache hit"
+        else:
+            verb = "ran"
+        retried = sidecar.get("retried", 0)
+        if retried:
+            verb += " after %d retr%s" % (retried,
+                                          "y" if retried == 1 else "ies")
+        self.line("[%d/%d] worker %s: %s(%s) %s in %.2fs"
+                  % (self.done, self.total, sidecar.get("pid", 0),
+                     request_dict["workload"],
+                     _brief_params(request_dict.get("params", {})),
+                     verb, sidecar.get("wall_seconds", 0.0)))
+
+    def utilization(self, sidecars, wall):
+        """Per-worker task counts and busy time over whatever finished."""
+        if self._emit is None:
+            return
+        workers = {}
+        for side in sidecars:
+            if side is None or side.get("resumed"):
+                continue
+            entry = workers.setdefault(side.get("pid", 0),
+                                       {"tasks": 0, "busy_seconds": 0.0})
+            entry["tasks"] += 1
+            entry["busy_seconds"] += side.get("wall_seconds", 0.0)
+        for pid, entry in sorted(workers.items()):
+            self.line("worker %s: %d task(s), %.2fs busy (%.0f%% of wall)"
+                      % (pid, entry["tasks"], entry["busy_seconds"],
+                         100.0 * entry["busy_seconds"] / wall
+                         if wall else 0.0))
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """One supervised worker process plus its private task/result pipes.
+
+    Per-worker pipes (instead of shared queues) are what make SIGKILL
+    survivable: a worker killed mid-``send`` can tear only its own
+    channel -- the supervisor sees EOF on that pipe and reschedules --
+    never a shared lock that would wedge the whole fleet.
+    """
+
+    def __init__(self, context, worker_id):
+        self.id = worker_id
+        task_recv, self.task_send = context.Pipe(duplex=False)
+        self.result_recv, result_send = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_worker_main, args=(task_recv, result_send),
+            daemon=True, name="repro-worker-%d" % worker_id)
+        self.process.start()
+        task_recv.close()
+        result_send.close()
+        self.current = None  # (index, attempt, deadline-or-None)
+
+    @property
+    def busy(self):
+        return self.current is not None
+
+    def dispatch(self, item, deadline):
+        self.task_send.send(item)
+        self.current = (item[0], item[1], deadline)
+
+    def close_pipes(self):
+        for conn in (self.task_send, self.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def kill(self):
+        """SIGKILL and reap: for wedged or already-dead workers."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        self.close_pipes()
+
+    def shutdown(self):
+        """Polite stop: sentinel, bounded join, then the hammer."""
+        try:
+            self.task_send.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.close_pipes()
+
+
+class Supervisor:
+    """The fault-tolerant campaign engine.
+
+    State machine per task: ``ready -> dispatched -> (finalized |
+    attempt-failed)``; a failed attempt re-enters ``ready`` through the
+    ``delayed`` backoff heap until the attempt budget quarantines it.
+    State machine per worker: ``idle -> busy -> (idle | killed ->
+    respawned)``; the watchdog kills workers past their task deadline
+    and replaces workers that died, so the fleet width is invariant.
+    """
+
+    def __init__(self, serialized, pending, jobs, cache_dir=None,
+                 task_timeout=None, max_retries=DEFAULT_MAX_RETRIES,
+                 retry_base=DEFAULT_RETRY_BASE, seed=0, chaos=None,
+                 start_method=None, on_final=None):
+        self.serialized = serialized
+        self.cache_dir = cache_dir
+        self.jobs = max(1, min(int(jobs), len(pending) or 1))
+        self.task_timeout = task_timeout
+        self.max_attempts = max(0, int(max_retries)) + 1
+        self.retry_base = retry_base
+        self.seed = seed
+        self.chaos = chaos
+        self.on_final = on_final
+        if start_method is None and \
+                "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self.context = multiprocessing.get_context(start_method)
+        self.attempts_log = {index: [] for index in pending}
+        self.ready = deque((index, 1) for index in pending)
+        self.delayed = []  # heap of (ready_time, index, attempt)
+        self.remaining = set(pending)
+        self.workers = []
+        self.finalized = 0
+        self.respawned = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self):
+        try:
+            self.workers = [_WorkerHandle(self.context, worker_id)
+                            for worker_id in range(self.jobs)]
+            while self.remaining:
+                self._promote_delayed()
+                self._dispatch()
+                self._collect()
+                self._check_deadlines()
+                self._check_liveness()
+        finally:
+            aborted = bool(self.remaining)
+            for worker in self.workers:
+                try:
+                    if aborted:
+                        worker.kill()
+                    else:
+                        worker.shutdown()
+                except Exception:
+                    pass
+
+    def _respawn(self, worker):
+        """Replace a dead/killed worker with a fresh one, same slot."""
+        worker.close_pipes()
+        slot = self.workers.index(worker)
+        self.workers[slot] = _WorkerHandle(self.context, worker.id)
+        self.respawned += 1
+
+    # -- scheduling -----------------------------------------------------
+
+    def _promote_delayed(self):
+        now = time.monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _ready_time, index, attempt = heapq.heappop(self.delayed)
+            self.ready.append((index, attempt))
+
+    def _directive(self, index, attempt):
+        if self.chaos is None:
+            return None
+        return self.chaos.directive(index, attempt)
+
+    def _dispatch(self):
+        for worker in self.workers:
+            if not self.ready:
+                return
+            if worker.busy:
+                continue
+            if not worker.process.is_alive():
+                self._respawn(worker)
+                continue  # the fresh handle dispatches next pass
+            index, attempt = self.ready.popleft()
+            deadline = (time.monotonic() + self.task_timeout
+                        if self.task_timeout else None)
+            item = (index, attempt, self.serialized[index], self.cache_dir,
+                    self._directive(index, attempt))
+            try:
+                worker.dispatch(item, deadline)
+            except (BrokenPipeError, OSError):
+                # Died between the liveness check and the send.
+                self.ready.appendleft((index, attempt))
+                self._respawn(worker)
+
+    # -- collection and the watchdog ------------------------------------
+
+    def _collect(self):
+        busy = [worker for worker in self.workers if worker.busy]
+        if not busy:
+            if not self.ready and self.delayed:
+                pause = max(0.0, self.delayed[0][0] - time.monotonic())
+                time.sleep(min(pause, _POLL_SECONDS))
+            elif not self.ready and self.remaining:
+                raise RuntimeError(
+                    "supervisor stalled: %d task(s) unaccounted for"
+                    % len(self.remaining))
+            return
+        by_conn = {worker.result_recv: worker for worker in busy}
+        for conn in multiprocessing.connection.wait(list(by_conn),
+                                                    timeout=_POLL_SECONDS):
+            worker = by_conn[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._worker_died(worker)
+                continue
+            self._handle_message(worker, message)
+
+    def _handle_message(self, worker, message):
+        if message[0] == "ok":
+            _tag, index, _attempt, payload, sidecar = message
+            worker.current = None
+            if index in self.remaining:
+                self._finalize_ok(index, payload, sidecar)
+        elif message[0] == "error":
+            _tag, index, attempt, error = message
+            worker.current = None
+            if index in self.remaining:
+                self._attempt_failed(index, attempt, "task_error", error)
+
+    def _worker_died(self, worker):
+        current = worker.current
+        worker.kill()  # join() first: exitcode is only stable once reaped
+        exitcode = worker.process.exitcode
+        self._respawn(worker)
+        if current is not None:
+            index, attempt, _deadline = current
+            if index in self.remaining:
+                self._attempt_failed(
+                    index, attempt, "worker_crash",
+                    "worker process died (exit code %s)" % exitcode)
+
+    def _check_deadlines(self):
+        if not self.task_timeout:
+            return
+        now = time.monotonic()
+        for worker in list(self.workers):
+            if not worker.busy:
+                continue
+            index, attempt, deadline = worker.current
+            if deadline is None or now < deadline:
+                continue
+            worker.kill()
+            self._respawn(worker)
+            if index in self.remaining:
+                self._attempt_failed(
+                    index, attempt, "timeout",
+                    "task exceeded %.2fs wall-clock timeout"
+                    % self.task_timeout)
+
+    def _check_liveness(self):
+        for worker in list(self.workers):
+            if worker.process.is_alive():
+                continue
+            if worker.busy:
+                self._worker_died(worker)
+            elif self.remaining:
+                self._respawn(worker)
+
+    # -- outcomes -------------------------------------------------------
+
+    def _attempt_failed(self, index, attempt, kind, error):
+        log = self.attempts_log[index]
+        log.append(attempt_record(attempt, kind, error))
+        if attempt >= self.max_attempts:
+            payload = _quarantined_payload(self.serialized[index], log)
+            sidecar = {"wall_seconds": 0.0, "cached": False, "pid": 0,
+                       "failed": True}
+            self._finalize(index, payload, sidecar)
+            return
+        ready_time = time.monotonic() + _retry_delay(
+            self.retry_base, attempt, self.seed, index)
+        heapq.heappush(self.delayed, (ready_time, index, attempt + 1))
+
+    def _finalize_ok(self, index, payload, sidecar):
+        log = self.attempts_log[index]
+        if log:
+            payload = dict(payload, attempts=list(log))
+            sidecar = dict(sidecar, retried=len(log))
+        self._finalize(index, payload, sidecar)
+
+    def _finalize(self, index, payload, sidecar):
+        self.remaining.discard(index)
+        self.finalized += 1
+        if self.on_final is not None:
+            self.on_final(index, payload, sidecar)
+        interrupt_after = getattr(self.chaos, "interrupt_after", None)
+        if (interrupt_after is not None and self.finalized >= interrupt_after
+                and self.remaining):
+            raise KeyboardInterrupt(
+                "chaos: injected interrupt after %d task(s)" % self.finalized)
+
+
+def _run_inline(serialized, pending, cache_dir, max_retries, retry_base,
+                seed, on_final):
+    """The in-process engine for plain ``jobs=1`` campaigns (no chaos,
+    no timeout): same retry/quarantine discipline, no subprocesses."""
+    max_attempts = max(0, int(max_retries)) + 1
+    for index in pending:
+        log = []
+        attempt = 1
+        while True:
+            try:
+                payload, sidecar = _run_attempt(serialized[index], cache_dir,
+                                                None)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                log.append(attempt_record(
+                    attempt, "task_error",
+                    "%s: %s" % (type(exc).__name__, exc)))
+                if attempt >= max_attempts:
+                    payload = _quarantined_payload(serialized[index], log)
+                    sidecar = {"wall_seconds": 0.0, "cached": False,
+                               "pid": os.getpid(), "failed": True}
+                    break
+                time.sleep(_retry_delay(retry_base, attempt, seed, index))
+                attempt += 1
+                continue
+            if log:
+                payload = dict(payload, attempts=list(log))
+                sidecar = dict(sidecar, retried=len(log))
+            break
+        on_final(index, payload, sidecar)
+
+
+# ---------------------------------------------------------------------------
+# The campaign runner
+# ---------------------------------------------------------------------------
 
 class CampaignRun:
-    """Everything one campaign produced: ordered results + pool telemetry."""
+    """Everything one campaign produced: ordered results + telemetry."""
 
-    def __init__(self, results, sidecars, wall_seconds, jobs):
+    def __init__(self, results, sidecars, wall_seconds, jobs,
+                 journal_path=None, resumed_count=0):
         self.results = results
         self.sidecars = sidecars
         self.wall_seconds = wall_seconds
         self.jobs = jobs
+        self.journal_path = journal_path
+        self.resumed_count = resumed_count
 
     @property
     def cached_count(self):
         return sum(1 for side in self.sidecars if side["cached"])
+
+    @property
+    def failed_count(self):
+        return sum(1 for result in self.results
+                   if result.failure is not None)
+
+    @property
+    def retried_count(self):
+        return sum(1 for result in self.results if result.attempts)
 
     def worker_utilization(self):
         """Per-worker (pid) task counts and busy time, for the progress
         report: {pid: {"tasks": n, "busy_seconds": s}}."""
         workers = {}
         for side in self.sidecars:
-            entry = workers.setdefault(side["pid"],
+            entry = workers.setdefault(side.get("pid", 0),
                                        {"tasks": 0, "busy_seconds": 0.0})
             entry["tasks"] += 1
-            entry["busy_seconds"] += side["wall_seconds"]
+            entry["busy_seconds"] += side.get("wall_seconds", 0.0)
         return workers
 
     def summary_table(self):
@@ -174,10 +741,18 @@ class CampaignRun:
         rows = []
         for result, side in zip(self.results, self.sidecars):
             metric = _headline_metric(result.metrics)
+            if result.failure is not None:
+                check = result.failure["kind"].upper()
+            else:
+                check = "ok" if result.passed else "FAIL"
+            if side.get("resumed"):
+                source = "journal"
+            elif side.get("failed"):
+                source = "-"
+            else:
+                source = "hit" if side["cached"] else "ran"
             rows.append([result.workload, _brief_params(result.params),
-                         metric, "ok" if result.passed else "FAIL",
-                         "hit" if side["cached"] else "ran",
-                         side["wall_seconds"]])
+                         metric, check, source, side["wall_seconds"]])
         title = ("campaign: %d runs, %d cache hits, %.2fs wall at jobs=%d"
                  % (len(self.results), self.cached_count, self.wall_seconds,
                     self.jobs))
@@ -202,68 +777,90 @@ def _headline_metric(metrics):
     return ""
 
 
-def run_campaign(requests, jobs=1, cache_dir=None, progress=None):
-    """Run independent requests across ``jobs`` workers; results keep
-    request order regardless of completion order or worker count.
+def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
+                 task_timeout=None, max_retries=DEFAULT_MAX_RETRIES,
+                 retry_base=DEFAULT_RETRY_BASE, journal_dir=None,
+                 resume=False, chaos=None, start_method=None, seed=0):
+    """Run independent requests across a supervised worker fleet;
+    results keep request order regardless of completion order, worker
+    count, retries or failures.
 
-    ``progress`` is a callable taking one line of text (e.g. ``print``);
-    it receives a per-task line as each task finishes and per-worker
-    utilization lines at the end.
+    ``task_timeout`` bounds each task's wall-clock (the watchdog kills
+    and respawns the worker past it); ``max_retries`` bounds transient
+    retries before a task is quarantined into a structured failure;
+    ``journal_dir`` enables the crash-safe campaign journal and
+    ``resume=True`` replays it, re-executing only unfinished tasks;
+    ``chaos`` accepts a :class:`repro.robustness.chaos.ChaosPlan` to
+    inject orchestration-layer faults; ``start_method`` pins the
+    multiprocessing start method (default: fork where available).
+    ``progress`` is a callable taking one line of text (e.g. ``print``).
     """
     serialized = [request.to_dict() for request in requests]
-    tasks = [(index, request_dict, cache_dir)
-             for index, request_dict in enumerate(serialized)]
+    total = len(serialized)
+    sink = ProgressSink(progress, total)
+    outcomes = [None] * total
+    sidecars = [None] * total
+
+    journal = None
+    restored = {}
+    if journal_dir:
+        from repro.journal import CampaignJournal
+
+        journal = CampaignJournal(journal_dir, serialized)
+        if resume:
+            restored = journal.load()
+        else:
+            journal.start_fresh()
+    for index, (payload, sidecar) in sorted(restored.items()):
+        outcomes[index] = payload
+        sidecars[index] = dict(sidecar, resumed=True)
+    if restored:
+        sink.done = len(restored)
+        sink.line("resumed %d/%d task(s) from journal %s"
+                  % (len(restored), total, journal.path))
+    pending = [index for index in range(total) if outcomes[index] is None]
+
+    def on_final(index, payload, sidecar):
+        outcomes[index] = payload
+        sidecars[index] = sidecar
+        if journal is not None:
+            journal.record(index, payload, sidecar)
+        sink.task(serialized[index], sidecar)
+
+    supervised = bool(pending) and (jobs > 1 or chaos is not None
+                                    or task_timeout is not None
+                                    or start_method is not None)
+    effective_jobs = 1
     start = time.perf_counter()
-    outcomes = [None] * len(tasks)
-    sidecars = [None] * len(tasks)
-    done = 0
+    try:
+        if supervised:
+            supervisor = Supervisor(
+                serialized, pending, jobs, cache_dir=cache_dir,
+                task_timeout=task_timeout, max_retries=max_retries,
+                retry_base=retry_base, seed=seed, chaos=chaos,
+                start_method=start_method, on_final=on_final)
+            effective_jobs = supervisor.jobs
+            supervisor.run()
+        elif pending:
+            _run_inline(serialized, pending, cache_dir, max_retries,
+                        retry_base, seed, on_final)
+    finally:
+        wall = time.perf_counter() - start
+        if journal is not None:
+            journal.close()
+        # Exception-safe utilization flush: emitted for whatever subset
+        # of tasks actually finished, on interrupt exactly as on success.
+        sink.utilization(sidecars, wall)
 
-    def note(index, sidecar):
-        if progress is None:
-            return
-        request_dict = serialized[index]
-        progress("[%d/%d] worker %d: %s(%s) %s in %.2fs"
-                 % (done, len(tasks), sidecar["pid"],
-                    request_dict["workload"],
-                    _brief_params(request_dict.get("params", {})),
-                    "cache hit" if sidecar["cached"] else "ran",
-                    sidecar["wall_seconds"]))
-
-    if jobs <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            index, payload, sidecar = _execute_task(task)
-            outcomes[index] = payload
-            sidecars[index] = sidecar
-            done += 1
-            note(index, sidecar)
-        effective_jobs = 1
-    else:
-        effective_jobs = min(jobs, len(tasks))
-        method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
-                  else None)
-        context = multiprocessing.get_context(method)
-        with context.Pool(processes=effective_jobs) as pool:
-            for index, payload, sidecar in pool.imap_unordered(
-                    _execute_task, tasks):
-                outcomes[index] = payload
-                sidecars[index] = sidecar
-                done += 1
-                note(index, sidecar)
-
-    wall = time.perf_counter() - start
     from repro import api
 
     results = [api.RunResult.from_dict(payload) for payload in outcomes]
     for result, sidecar in zip(results, sidecars):
-        result.cached = sidecar["cached"]
-        result.wall_seconds = sidecar["wall_seconds"]
-    run = CampaignRun(results, sidecars, wall, effective_jobs)
-    if progress is not None:
-        for pid, entry in sorted(run.worker_utilization().items()):
-            progress("worker %d: %d task(s), %.2fs busy (%.0f%% of wall)"
-                     % (pid, entry["tasks"], entry["busy_seconds"],
-                        100.0 * entry["busy_seconds"] / wall if wall else 0.0))
-    return run
+        result.cached = bool(sidecar.get("cached"))
+        result.wall_seconds = sidecar.get("wall_seconds", 0.0)
+    return CampaignRun(results, sidecars, wall, effective_jobs,
+                       journal_path=journal.path if journal else None,
+                       resumed_count=len(restored))
 
 
 # ---------------------------------------------------------------------------
@@ -272,7 +869,8 @@ def run_campaign(requests, jobs=1, cache_dir=None, progress=None):
 
 def bench_document(results, sweep="campaign"):
     """The canonical campaign document (deterministic: no wall-clock,
-    no worker identity -- jobs=1 and jobs=N produce identical bytes)."""
+    no worker identity -- jobs=1 and jobs=N produce identical bytes,
+    including the failure records of partially-failed campaigns)."""
     return {
         "schema": BENCH_SCHEMA,
         "sweep": sweep,
@@ -297,12 +895,40 @@ def write_bench_json(path, results, sweep="campaign"):
     return path
 
 
+def _validate_failure_fields(entry, index):
+    failure = entry.get("failure")
+    if failure is not None:
+        if not isinstance(failure, dict):
+            raise ValueError("results[%d].failure must be null or an object"
+                             % index)
+        if failure.get("kind") not in FAILURE_KINDS:
+            raise ValueError("results[%d].failure.kind is %r, expected one "
+                             "of %s" % (index, failure.get("kind"),
+                                        ", ".join(FAILURE_KINDS)))
+        if not isinstance(failure.get("error"), str):
+            raise ValueError("results[%d].failure.error must be text" % index)
+        if not isinstance(failure.get("attempts"), int):
+            raise ValueError("results[%d].failure.attempts must be an int"
+                             % index)
+    attempts = entry.get("attempts", [])
+    if not isinstance(attempts, list):
+        raise ValueError("results[%d].attempts must be a list" % index)
+    for position, record in enumerate(attempts):
+        if (not isinstance(record, dict)
+                or not isinstance(record.get("attempt"), int)
+                or record.get("kind") not in FAILURE_KINDS
+                or not isinstance(record.get("error"), str)):
+            raise ValueError("results[%d].attempts[%d] is not a valid "
+                             "per-attempt failure record" % (index, position))
+
+
 def validate_bench_json(source):
     """Validate a BENCH_*.json document (path or parsed dict).
 
     Raises ``ValueError`` describing the first problem; returns the
-    parsed document when it conforms to :data:`BENCH_SCHEMA`.
-    """
+    parsed document when it conforms to :data:`BENCH_SCHEMA` (or to a
+    legacy generation listed in :data:`LEGACY_BENCH_SCHEMAS`, for
+    checked-in trajectory artifacts)."""
     if isinstance(source, (str, os.PathLike)):
         with open(source, encoding="utf-8") as handle:
             document = json.load(handle)
@@ -310,9 +936,16 @@ def validate_bench_json(source):
         document = source
     if not isinstance(document, dict):
         raise ValueError("bench document must be a JSON object")
-    if document.get("schema") != BENCH_SCHEMA:
+    schema = document.get("schema")
+    if schema == BENCH_SCHEMA:
+        result_schema = RESULT_SCHEMA
+        current = True
+    elif schema in LEGACY_BENCH_SCHEMAS:
+        result_schema = LEGACY_BENCH_SCHEMAS[schema]
+        current = False
+    else:
         raise ValueError("schema is %r, expected %r"
-                         % (document.get("schema"), BENCH_SCHEMA))
+                         % (schema, BENCH_SCHEMA))
     if not isinstance(document.get("sweep"), str):
         raise ValueError("missing sweep name")
     results = document.get("results")
@@ -324,9 +957,9 @@ def validate_bench_json(source):
     for index, entry in enumerate(results):
         if not isinstance(entry, dict):
             raise ValueError("results[%d] is not an object" % index)
-        if entry.get("schema") != RESULT_SCHEMA:
+        if entry.get("schema") != result_schema:
             raise ValueError("results[%d].schema is %r, expected %r"
-                             % (index, entry.get("schema"), RESULT_SCHEMA))
+                             % (index, entry.get("schema"), result_schema))
         for field, kind in (("workload", str), ("params", dict),
                             ("config", dict), ("metrics", dict),
                             ("key", str)):
@@ -337,6 +970,8 @@ def validate_bench_json(source):
                 or isinstance(entry["check_error"], str)):
             raise ValueError("results[%d].check_error must be null or text"
                              % index)
+        if current:
+            _validate_failure_fields(entry, index)
     return document
 
 

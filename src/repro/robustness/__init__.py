@@ -23,9 +23,16 @@ On top of the pillars sits the **coverage-guided differential fuzzer**
 (:mod:`repro.robustness.fuzz`): seeded generation of valid programs,
 architectural coverage binning, automatic shrinking of failures, and
 triage bundles -- ``python -m repro.tools.cli fuzz`` drives it.
+
+One layer further up, the **orchestration chaos harness**
+(:mod:`repro.robustness.chaos`) injects campaign-level faults -- worker
+SIGKILLs, hangs, transient exceptions, cache corruption, mid-campaign
+interrupts -- and asserts the supervised campaign engine
+(:mod:`repro.orchestrate`) loses nothing: ``python -m repro chaos``.
 """
 
 from repro.core.exceptions import DivergenceError, InvariantError, LivelockError
+from repro.robustness.chaos import ChaosError, ChaosPlan, run_chaos_campaign
 from repro.robustness.differential import (
     DifferentialChecker,
     bit_exact,
@@ -38,6 +45,8 @@ from repro.robustness.reference import ReferenceExecutor
 from repro.robustness.watchdog import livelock_diagnostic, watchdog_budget
 
 __all__ = [
+    "ChaosError",
+    "ChaosPlan",
     "DifferentialChecker",
     "DivergenceError",
     "FaultEvent",
@@ -50,6 +59,7 @@ __all__ = [
     "check_kernel",
     "flip_word_bit",
     "livelock_diagnostic",
+    "run_chaos_campaign",
     "run_differential",
     "watchdog_budget",
 ]

@@ -1,0 +1,340 @@
+"""Orchestration-layer chaos harness: prove the supervisor survives.
+
+PR 1 injected faults *inside* the machine (bit flips, stalls); this
+module injects faults *around* it, at campaign granularity -- the same
+§2.3.3 restart philosophy one layer up: abort the faulting unit (here, a
+worker process), preserve enough state (the journal + result cache) to
+resume exactly.
+
+A :class:`ChaosPlan` deterministically assigns orchestration faults to
+task indices:
+
+* ``kill``      -- the worker SIGKILLs itself mid-task (no cleanup, no
+                   goodbye: the supervisor must notice the death,
+                   respawn the worker and retry the task);
+* ``hang``      -- the worker sleeps far past the task timeout (the
+                   watchdog must kill and respawn it);
+* ``transient`` -- the task raises :class:`ChaosError` (the retry path
+                   for in-task exceptions and cache I/O errors);
+* ``corrupt``   -- the task's result-cache entry is overwritten with
+                   garbage before execution (the cache must detect,
+                   delete and recompute -- self-healing under load).
+
+Faults fire on attempt 1 only (``persistent=False``), so a healthy
+supervisor recovers every task; ``persistent=True`` makes a fault fire
+on every attempt, driving the task into quarantine -- the poison-task
+path.  ``interrupt_after=N`` raises ``KeyboardInterrupt`` in the
+*supervisor* after N finalized tasks, simulating a mid-campaign ^C /
+SIGTERM for journal-resume testing.
+
+:func:`run_chaos_campaign` is the end-to-end harness behind
+``python -m repro chaos`` and the CI ``chaos-smoke`` job: it runs a
+seeded chaos campaign and asserts zero lost tasks, request-order
+results, a structured failure record for every injected fault,
+byte-identical ``BENCH`` documents between ``jobs=1`` and ``jobs=N``,
+and interrupt/resume equivalence through the journal.
+"""
+
+import os
+import random
+import signal
+import time
+
+
+class ChaosError(RuntimeError):
+    """The injected transient failure (``transient`` fault kind)."""
+
+
+#: The orchestration fault kinds a plan can assign to a task.
+FAULT_KINDS = ("kill", "hang", "transient", "corrupt")
+
+#: Expected per-attempt failure-record kind for each injected fault that
+#: surfaces as an attempt failure (``corrupt`` self-heals in-attempt and
+#: is observed through cache telemetry instead).
+EXPECTED_RECORD = {"kill": "worker_crash", "hang": "timeout",
+                   "transient": "task_error"}
+
+
+class ChaosPlan:
+    """A deterministic assignment of orchestration faults to tasks.
+
+    ``faults`` maps task index -> fault kind; build one explicitly or
+    with :meth:`seeded`.  The plan lives supervisor-side; workers only
+    ever see plain-dict directives, so it works under both fork and
+    spawn start methods.
+    """
+
+    def __init__(self, faults=None, interrupt_after=None,
+                 hang_seconds=3600.0, persistent=False):
+        self.faults = {int(index): str(kind)
+                       for index, kind in (faults or {}).items()}
+        for index, kind in self.faults.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError("unknown fault kind %r at task %d "
+                                 "(choose from %s)"
+                                 % (kind, index, ", ".join(FAULT_KINDS)))
+        self.interrupt_after = interrupt_after
+        self.hang_seconds = float(hang_seconds)
+        self.persistent = bool(persistent)
+
+    @classmethod
+    def seeded(cls, seed, tasks, kills=1, hangs=1, transients=1, corrupts=1,
+               **kwargs):
+        """Assign the requested fault counts to distinct seeded task
+        indices (deterministic in ``(seed, tasks)`` and the counts)."""
+        wanted = (["kill"] * kills + ["hang"] * hangs
+                  + ["transient"] * transients + ["corrupt"] * corrupts)
+        if len(wanted) > tasks:
+            raise ValueError("%d faults do not fit in %d tasks"
+                             % (len(wanted), tasks))
+        indices = random.Random(seed).sample(range(tasks), len(wanted))
+        return cls(faults=dict(zip(indices, wanted)), **kwargs)
+
+    def directive(self, index, attempt):
+        """The worker-side fault directive for one attempt, or None.
+
+        Non-persistent plans fault only the first attempt, so retries
+        recover; persistent plans fault every attempt, so the task
+        exhausts its budget and quarantines.
+        """
+        kind = self.faults.get(index)
+        if kind is None:
+            return None
+        if attempt > 1 and not self.persistent:
+            return None
+        directive = {"kind": kind}
+        if kind == "hang":
+            directive["seconds"] = self.hang_seconds
+        return directive
+
+    def kinds(self):
+        """``{task index: fault kind}`` for assertions and reports."""
+        return dict(self.faults)
+
+
+def apply_worker_directive(directive, request_dict, cache_dir):
+    """Execute one chaos directive inside a worker, before the task.
+
+    Called by the orchestrator's attempt runner when the supervisor
+    attached a directive to the task tuple.
+    """
+    kind = directive.get("kind")
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(directive.get("seconds", 3600.0)))
+    elif kind == "transient":
+        raise ChaosError("chaos: injected transient failure")
+    elif kind == "corrupt":
+        _corrupt_cache_entry(request_dict, cache_dir)
+    else:
+        raise ValueError("unknown chaos directive kind %r" % kind)
+
+
+def _corrupt_cache_entry(request_dict, cache_dir):
+    """Overwrite the task's result-cache entry with garbage, simulating
+    mid-campaign on-disk corruption; execution then proceeds normally
+    and the cache's self-healing path must absorb it."""
+    if not cache_dir:
+        return
+    from repro import api, orchestrate
+    from repro.workloads.experiments import CACHE_SALT
+
+    request = api.RunRequest.from_dict(request_dict)
+    fn = api.get_workload(request.workload)
+    digest = fn.digest(request) if fn.digest else None
+    key = orchestrate.cache_key(request.workload, request.params,
+                                request.config_fingerprint(),
+                                program_digest=digest, salt=CACHE_SALT)
+    path = os.path.join(str(cache_dir), key[:2], key + ".json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"schema": "chaos-garbage", "metrics": ')
+
+
+# ---------------------------------------------------------------------------
+# The end-to-end harness (CLI `repro chaos`, CI `chaos-smoke`)
+# ---------------------------------------------------------------------------
+
+class ChaosReport:
+    """What one chaos harness run established."""
+
+    def __init__(self, plan, tasks, jobs):
+        self.plan = plan
+        self.tasks = tasks
+        self.jobs = jobs
+        self.problems = []
+        self.lines = []
+
+    @property
+    def ok(self):
+        return not self.problems
+
+    def note(self, text):
+        self.lines.append(text)
+
+    def problem(self, text):
+        self.problems.append(text)
+
+    def render(self):
+        out = ["chaos harness: %d tasks, %d fault(s) injected, jobs=%d"
+               % (self.tasks, len(self.plan.faults), self.jobs)]
+        for index, kind in sorted(self.plan.kinds().items()):
+            out.append("  fault: task %d <- %s" % (index, kind))
+        out.extend("  " + line for line in self.lines)
+        if self.problems:
+            out.append("CHAOS HARNESS FAILED: %d problem(s)"
+                       % len(self.problems))
+            out.extend("  problem: " + text for text in self.problems)
+        else:
+            out.append("chaos harness: all checks passed")
+        return "\n".join(out)
+
+
+def chaos_requests(tasks):
+    """A deterministic mixed bag of cheap workloads to torture."""
+    from repro.api import RunRequest
+
+    strategies = ("scalar_tree", "linear_vector", "vector_tree")
+    requests = []
+    for index in range(tasks):
+        which = index % 3
+        if which == 0:
+            requests.append(RunRequest("fib", {"count": 8 + index % 5}))
+        elif which == 1:
+            requests.append(RunRequest(
+                "reduction", {"strategy": strategies[index % 3]}))
+        else:
+            requests.append(RunRequest(
+                "gather", {"pattern": "stride",
+                           "stride_words": 1 + index % 3}))
+    return requests
+
+
+def _check_campaign(report, label, plan, requests, run):
+    """Assert the invariants every chaos campaign must keep: zero lost
+    tasks, request-order results, recovery, and a structured failure
+    record for every injected fault."""
+    from repro.orchestrate import dump_bench_json
+
+    if len(run.results) != len(requests):
+        report.problem("%s: %d tasks submitted, %d results"
+                       % (label, len(requests), len(run.results)))
+        return None
+    for index, (request, result) in enumerate(zip(requests, run.results)):
+        if result is None:
+            report.problem("%s: task %d lost" % (label, index))
+            return None
+        if (result.workload != request.workload
+                or result.params != request.params):
+            report.problem("%s: task %d out of order (%s(%s) != %s(%s))"
+                           % (label, index, result.workload, result.params,
+                              request.workload, request.params))
+    for index, kind in sorted(plan.kinds().items()):
+        result = run.results[index]
+        if not result.passed:
+            report.problem("%s: task %d (%s fault) did not recover: %s"
+                           % (label, index, kind,
+                              result.failure or result.check_error))
+            continue
+        if kind == "corrupt":
+            side = run.sidecars[index]
+            if not side.get("cache_corrupted"):
+                report.problem("%s: task %d corrupt fault left no "
+                               "self-healing telemetry" % (label, index))
+            continue
+        recorded = [record["kind"] for record in result.attempts]
+        expected = EXPECTED_RECORD[kind]
+        if expected not in recorded:
+            report.problem("%s: task %d %s fault left no %r attempt "
+                           "record (got %s)"
+                           % (label, index, kind, expected, recorded or "[]"))
+    report.note("%s: %d/%d tasks finalized, %d retried, %d failed"
+                % (label, len(run.results), len(requests),
+                   run.retried_count, run.failed_count))
+    return dump_bench_json(run.results, sweep="chaos")
+
+
+def run_chaos_campaign(tasks=12, jobs=4, seed=1989, task_timeout=2.0,
+                       max_retries=2, retry_base=0.05, kills=1, hangs=1,
+                       transients=1, corrupts=1, start_method=None,
+                       workdir=None, progress=None, check_determinism=True,
+                       check_resume=True):
+    """Run the seeded chaos campaign and verify every invariant.
+
+    Returns a :class:`ChaosReport`; ``report.ok`` is the CI verdict.
+    ``workdir`` (default: a fresh temp directory, removed on success)
+    holds the result caches and the resume journal.
+    """
+    import shutil
+    import tempfile
+
+    from repro import orchestrate
+
+    owned = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    requests = chaos_requests(tasks)
+    plan = ChaosPlan.seeded(seed, tasks, kills=kills, hangs=hangs,
+                            transients=transients, corrupts=corrupts)
+    report = ChaosReport(plan, tasks, jobs)
+
+    def campaign(label, use_jobs, chaos, resume=False, journal=False):
+        return orchestrate.run_campaign(
+            list(requests), jobs=use_jobs,
+            cache_dir=os.path.join(workdir, "cache-" + label.split()[0]),
+            progress=progress, task_timeout=task_timeout,
+            max_retries=max_retries, retry_base=retry_base,
+            journal_dir=os.path.join(workdir, "journal") if journal else None,
+            resume=resume, chaos=chaos, start_method=start_method, seed=seed)
+
+    fanned_bytes = _check_campaign(
+        report, "fanned (jobs=%d)" % jobs, plan, requests,
+        campaign("fanned", jobs, plan))
+
+    if check_determinism and fanned_bytes is not None:
+        serial_bytes = _check_campaign(
+            report, "serial (jobs=1)", plan, requests,
+            campaign("serial", 1, plan))
+        if serial_bytes is not None:
+            if serial_bytes == fanned_bytes:
+                report.note("determinism: BENCH bytes identical at jobs=1 "
+                            "and jobs=%d (%d bytes)"
+                            % (jobs, len(fanned_bytes)))
+            else:
+                report.problem("nondeterministic BENCH bytes between "
+                               "jobs=1 and jobs=%d" % jobs)
+
+    if check_resume and fanned_bytes is not None:
+        interrupting = ChaosPlan(faults=plan.faults,
+                                 interrupt_after=max(1, tasks // 2),
+                                 hang_seconds=plan.hang_seconds)
+        interrupted = False
+        try:
+            campaign("resume", jobs, interrupting, journal=True)
+        except KeyboardInterrupt:
+            interrupted = True
+        if not interrupted:
+            report.problem("resume: injected interrupt did not fire")
+        else:
+            resumed_plan = ChaosPlan(faults=plan.faults,
+                                     hang_seconds=plan.hang_seconds)
+            resumed = campaign("resume", jobs, resumed_plan, resume=True,
+                               journal=True)
+            resumed_bytes = _check_campaign(
+                report, "resumed (jobs=%d)" % jobs, plan, requests, resumed)
+            if resumed.resumed_count < 1:
+                report.problem("resume: journal restored no tasks")
+            else:
+                report.note("resume: %d task(s) restored from journal, "
+                            "%d re-executed"
+                            % (resumed.resumed_count,
+                               tasks - resumed.resumed_count))
+            if resumed_bytes is not None and resumed_bytes != fanned_bytes:
+                report.problem("resume: resumed BENCH bytes differ from the "
+                               "uninterrupted run")
+
+    if owned and report.ok:
+        shutil.rmtree(workdir, ignore_errors=True)
+    elif not report.ok:
+        report.note("workdir kept for inspection: %s" % workdir)
+    return report

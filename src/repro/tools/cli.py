@@ -1,9 +1,12 @@
 """Command-line interface: run assembly, trace pipelines, run campaigns.
 
-The campaign subcommands (``bench``, ``sweep``, ``smoke``, ``fuzz run``)
-all share ``--jobs/--seed/--cache-dir/--json`` and run through
-:class:`repro.api.Session`, so they fan across the same worker pool and
-the same digest-keyed result cache.
+The campaign subcommands (``bench``, ``sweep``, ``smoke``, ``fuzz run``,
+``chaos``) all share ``--jobs/--seed/--cache-dir/--json`` plus the
+fault-tolerance flags ``--task-timeout/--max-retries/--journal-dir/
+--resume``, and run through :class:`repro.api.Session`, so they fan
+across the same supervised worker fleet and the same digest-keyed
+result cache.  A campaign interrupted by ^C or SIGTERM keeps its
+journal; rerunning with ``--resume`` executes only unfinished tasks.
 
 ::
 
@@ -12,6 +15,7 @@ the same digest-keyed result cache.
     python -m repro bench SWEEP... [--quick] [--validate] [--out DIR]
     python -m repro sweep WORKLOAD [--set K=V ...] [--grid FIELD=V1,V2 ...]
     python -m repro smoke [--seeds N] [--kinds K,K] [--faults N]
+    python -m repro chaos [--tasks N] [--jobs N] [--spawn]
     python -m repro livermore [loops...] [--coding vector|scalar]
     python -m repro linpack [--n N]
     python -m repro figures
@@ -164,7 +168,7 @@ def cmd_figures(args):
 
 def _add_campaign_flags(parser, seed_default=1989, seed=True):
     """The shared campaign surface: every Session-backed subcommand takes
-    the same parallelism/caching/serialization flags."""
+    the same parallelism/caching/fault-tolerance/serialization flags."""
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1: in-process)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -174,6 +178,22 @@ def _add_campaign_flags(parser, seed_default=1989, seed=True):
                         metavar="PATH",
                         help="write the campaign as a BENCH-schema JSON "
                              "document")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock bound; the supervisor "
+                             "kills and retries tasks past it (unset: "
+                             "no timeout)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="transient-failure retries before a task is "
+                             "quarantined as a structured failure "
+                             "(default 2)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="crash-safe campaign journal directory; an "
+                             "interrupted campaign resumes with --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay this campaign's journal and run only "
+                             "the unfinished tasks (requires --journal-dir)")
     if seed:
         parser.add_argument("--seed", type=int, default=seed_default,
                             help="base seed (default %d)" % seed_default)
@@ -183,10 +203,16 @@ def _session(args, progress=False):
     from repro.api import Session
     from repro.orchestrate import print_progress
 
+    if args.resume and not args.journal_dir:
+        print("error: --resume requires --journal-dir", file=sys.stderr)
+        raise SystemExit(2)
     return Session(jobs=args.jobs, cache_dir=args.cache_dir,
                    seed=getattr(args, "seed", 1989),
                    progress=print_progress
-                   if (progress or args.jobs > 1) else None)
+                   if (progress or args.jobs > 1) else None,
+                   task_timeout=args.task_timeout,
+                   max_retries=args.max_retries,
+                   journal_dir=args.journal_dir, resume=args.resume)
 
 
 def _parse_value(text):
@@ -455,6 +481,29 @@ def cmd_fuzz_coverage(args):
     return 1 if result.failures or result.generator_errors else 0
 
 
+def cmd_chaos(args):
+    """Orchestration-layer chaos harness: seeded worker kills, hangs,
+    transient failures and cache corruption against the supervised
+    campaign engine; exits non-zero on any lost task, wrong order,
+    missing failure record or nondeterministic BENCH bytes."""
+    from repro.orchestrate import print_progress
+    from repro.robustness.chaos import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        tasks=args.tasks, jobs=args.jobs, seed=args.seed,
+        task_timeout=args.task_timeout
+        if args.task_timeout is not None else 2.0,
+        max_retries=args.max_retries, kills=args.kills, hangs=args.hangs,
+        transients=args.transients, corrupts=args.corrupts,
+        start_method="spawn" if args.spawn else None,
+        workdir=args.workdir,
+        progress=print_progress if args.verbose else None,
+        check_determinism=not args.no_determinism,
+        check_resume=not args.no_resume)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_fuzz(args):
     if getattr(args, "repro", None) and args.fuzz_command is None:
         return cmd_fuzz_repro(args)
@@ -557,6 +606,40 @@ def build_parser():
     _add_campaign_flags(smoke_parser)
     smoke_parser.set_defaults(handler=cmd_smoke)
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="orchestration-layer chaos harness (worker kills, "
+                      "hangs, transient faults, cache corruption)")
+    chaos_parser.add_argument("--tasks", type=int, default=12,
+                              help="campaign size (default 12)")
+    chaos_parser.add_argument("--kills", type=int, default=1,
+                              help="tasks whose worker is SIGKILLed "
+                                   "mid-task (default 1)")
+    chaos_parser.add_argument("--hangs", type=int, default=1,
+                              help="tasks that hang past the timeout "
+                                   "(default 1)")
+    chaos_parser.add_argument("--transients", type=int, default=1,
+                              help="tasks raising a transient exception "
+                                   "(default 1)")
+    chaos_parser.add_argument("--corrupts", type=int, default=1,
+                              help="tasks whose cache entry is corrupted "
+                                   "(default 1)")
+    chaos_parser.add_argument("--spawn", action="store_true",
+                              help="run workers under the spawn start "
+                                   "method instead of fork")
+    chaos_parser.add_argument("--workdir", default=None, metavar="DIR",
+                              help="cache/journal directory (default: "
+                                   "fresh temp dir, removed on success)")
+    chaos_parser.add_argument("--no-determinism", action="store_true",
+                              help="skip the jobs=1 vs jobs=N BENCH "
+                                   "byte-identity check")
+    chaos_parser.add_argument("--no-resume", action="store_true",
+                              help="skip the interrupt + --resume "
+                                   "journal check")
+    chaos_parser.add_argument("--verbose", action="store_true",
+                              help="stream per-task supervisor progress")
+    _add_campaign_flags(chaos_parser)
+    chaos_parser.set_defaults(handler=cmd_chaos, jobs=4)
+
     fuzz_parser = sub.add_parser(
         "fuzz", help="coverage-guided differential ISA fuzzer")
     fuzz_parser.add_argument("--repro", metavar="BUNDLE",
@@ -604,10 +687,33 @@ def build_parser():
     return parser
 
 
+def _raise_keyboard_interrupt(_signum, _frame):
+    raise KeyboardInterrupt
+
+
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        # SIGTERM drains through the same journal-preserving path as ^C.
+        import signal
+
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError, AttributeError):
+        pass  # non-main thread or platform without SIGTERM
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # No raw traceback: finished work is already journaled/cached.
+        journal_dir = getattr(args, "journal_dir", None)
+        if journal_dir:
+            print("\ninterrupted: journal saved under %s -- rerun the same "
+                  "command with --resume to skip completed tasks"
+                  % journal_dir, file=sys.stderr)
+        else:
+            print("\ninterrupted (use --journal-dir DIR to make campaigns "
+                  "resumable with --resume)", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

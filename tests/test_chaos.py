@@ -1,0 +1,98 @@
+"""The orchestration-layer chaos harness.
+
+ChaosPlan's deterministic fault assignment and per-attempt directive
+semantics, plus one small end-to-end ``run_chaos_campaign`` covering
+all four fault kinds, jobs=1 vs jobs=N byte-determinism, and
+interrupt + journal resume.
+"""
+
+import pytest
+
+from repro.robustness.chaos import (
+    EXPECTED_RECORD,
+    FAULT_KINDS,
+    ChaosError,
+    ChaosPlan,
+    apply_worker_directive,
+    chaos_requests,
+    run_chaos_campaign,
+)
+
+
+class TestChaosPlan:
+    def test_seeded_assignment_is_deterministic(self):
+        first = ChaosPlan.seeded(7, 12).kinds()
+        second = ChaosPlan.seeded(7, 12).kinds()
+        assert first == second
+        assert ChaosPlan.seeded(8, 12).kinds() != first
+
+    def test_seeded_faults_land_on_distinct_tasks(self):
+        plan = ChaosPlan.seeded(3, 8, kills=2, hangs=2, transients=2,
+                                corrupts=2)
+        assert len(plan.faults) == 8
+        assert sorted(plan.faults.values()) == sorted(
+            ["kill"] * 2 + ["hang"] * 2 + ["transient"] * 2 + ["corrupt"] * 2)
+
+    def test_too_many_faults_for_the_campaign_raise(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            ChaosPlan.seeded(1, 2, kills=3)
+
+    def test_unknown_fault_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ChaosPlan(faults={0: "gremlins"})
+
+    def test_directive_fires_on_first_attempt_only(self):
+        plan = ChaosPlan(faults={2: "transient"})
+        assert plan.directive(2, 1) == {"kind": "transient"}
+        assert plan.directive(2, 2) is None       # retry recovers
+        assert plan.directive(0, 1) is None       # unfaulted task
+
+    def test_persistent_directive_fires_on_every_attempt(self):
+        plan = ChaosPlan(faults={2: "transient"}, persistent=True)
+        assert plan.directive(2, 3) == {"kind": "transient"}
+
+    def test_hang_directive_carries_the_duration(self):
+        plan = ChaosPlan(faults={0: "hang"}, hang_seconds=5.5)
+        assert plan.directive(0, 1) == {"kind": "hang", "seconds": 5.5}
+
+    def test_every_fault_kind_has_coverage_semantics(self):
+        # Every kind either maps to an expected attempt record or is the
+        # self-healing cache fault observed through telemetry.
+        assert set(EXPECTED_RECORD) | {"corrupt"} == set(FAULT_KINDS)
+
+
+class TestWorkerDirectives:
+    def test_transient_directive_raises_chaos_error(self):
+        with pytest.raises(ChaosError, match="injected transient"):
+            apply_worker_directive({"kind": "transient"}, {}, None)
+
+    def test_unknown_directive_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos directive"):
+            apply_worker_directive({"kind": "gremlins"}, {}, None)
+
+    def test_corrupt_without_cache_is_a_no_op(self):
+        apply_worker_directive(
+            {"kind": "corrupt"},
+            {"workload": "fib", "params": {"count": 8}}, None)
+
+
+def test_chaos_requests_are_deterministic_and_sized():
+    first = chaos_requests(9)
+    second = chaos_requests(9)
+    assert len(first) == 9
+    assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+    assert {r.workload for r in first} == {"fib", "reduction", "gather"}
+
+
+def test_chaos_campaign_end_to_end(tmp_path):
+    """The full harness on a small campaign: every fault kind injected,
+    zero lost tasks, byte-identical BENCH at jobs=1 vs jobs=2, and
+    interrupt + resume through the journal."""
+    report = run_chaos_campaign(
+        tasks=6, jobs=2, seed=11, task_timeout=1.0, max_retries=2,
+        retry_base=0.02, workdir=str(tmp_path))
+    assert report.ok, report.render()
+    rendered = report.render()
+    assert "all checks passed" in rendered
+    assert "BENCH bytes identical" in rendered
+    assert "restored from journal" in rendered

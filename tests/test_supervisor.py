@@ -1,0 +1,398 @@
+"""The fault-tolerant campaign engine: supervisor, journal, telemetry.
+
+Covers the robustness contracts layered over plain campaign execution:
+worker-death and watchdog-timeout recovery with typed per-attempt
+records, poison-task quarantine, the crash-safe journal and
+interrupt/``--resume`` byte-equivalence, stale-temp sweeping and
+corrupt-entry telemetry in the result cache, the exception-safe
+progress sink, and spawn start-method compatibility.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import orchestrate
+from repro.api import RunRequest
+from repro.journal import CampaignJournal, campaign_digest, task_digest
+from repro.orchestrate import (
+    FAILURE_KINDS,
+    RESULT_SCHEMA,
+    ProgressSink,
+    ResultCache,
+    dump_bench_json,
+    run_campaign,
+    validate_bench_json,
+)
+from repro.robustness.chaos import ChaosPlan
+
+SMALL = [
+    RunRequest("fib", {"count": 8}),
+    RunRequest("reduction", {"strategy": "scalar_tree"}),
+    RunRequest("fib", {"count": 9}),
+]
+
+FAST = dict(retry_base=0.01, seed=0)
+
+
+def _entry_payload(metrics=None):
+    return {"schema": RESULT_SCHEMA, "workload": "w", "params": {},
+            "config": {}, "metrics": metrics or {"cycles": 1},
+            "check_error": None, "program_digest": None, "key": "k"}
+
+
+# ---------------------------------------------------------------------------
+# ResultCache: temp hygiene and self-healing telemetry
+# ---------------------------------------------------------------------------
+
+class TestCacheTempHygiene:
+    def test_len_counts_committed_entries_not_inflight_temps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, _entry_payload())
+        (tmp_path / "ab" / ".tmp-inflight.json").write_text("{")
+        assert len(cache) == 1
+
+    def test_stale_temps_swept_on_construction(self, tmp_path):
+        sub = tmp_path / "ab"
+        sub.mkdir()
+        stale = sub / ".tmp-stale.json"
+        stale.write_text("{")
+        old = os.path.getmtime(stale) - 3600
+        os.utime(stale, (old, old))
+        fresh = sub / ".tmp-fresh.json"
+        fresh.write_text("{")
+        committed = sub / ("ab" + "0" * 62 + ".json")
+        committed.write_text(json.dumps(_entry_payload()))
+
+        cache = ResultCache(tmp_path)
+        assert cache.swept_temps == 1
+        assert not stale.exists()      # killed-worker dropping removed
+        assert fresh.exists()          # live concurrent writer untouched
+        assert committed.exists()
+
+    def test_sweep_age_zero_takes_fresh_temps_too(self, tmp_path):
+        sub = tmp_path / "cd"
+        sub.mkdir()
+        (sub / ".tmp-now.json").write_text("{")
+        cache = ResultCache(tmp_path, temp_sweep_age=0)
+        assert cache.swept_temps == 1
+
+    def test_sweep_disabled_with_none(self, tmp_path):
+        sub = tmp_path / "ef"
+        sub.mkdir()
+        temp = sub / ".tmp-kept.json"
+        temp.write_text("{")
+        old = os.path.getmtime(temp) - 3600
+        os.utime(temp, (old, old))
+        cache = ResultCache(tmp_path, temp_sweep_age=None)
+        assert cache.swept_temps == 0
+        assert temp.exists()
+
+
+class TestCacheSelfHealingTelemetry:
+    KEY = "ab" + "1" * 62
+
+    def _commit(self, cache, payload=None):
+        cache.put(self.KEY, payload or _entry_payload())
+        return os.path.join(str(cache.directory), self.KEY[:2],
+                            self.KEY + ".json")
+
+    def test_truncated_entry_counts_deletes_and_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = self._commit(cache)
+        with open(path, "w") as handle:
+            handle.write('{"schema": "repro-run/2", "metr')
+        assert cache.get(self.KEY) is None
+        assert cache.corrupted == 1
+        assert cache.misses == 1
+        assert not os.path.exists(path)    # quarantined by deletion
+        cache.put(self.KEY, _entry_payload())
+        assert cache.get(self.KEY) is not None
+        assert cache.hits == 1
+
+    def test_wrong_schema_entry_is_corruption_not_a_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = self._commit(cache, dict(_entry_payload(),
+                                        schema="repro-run/1"))
+        assert cache.get(self.KEY) is None
+        assert cache.corrupted == 1
+        assert not os.path.exists(path)
+
+    def test_entry_without_metrics_dict_is_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._commit(cache, dict(_entry_payload(), metrics=None))
+        assert cache.get(self.KEY) is None
+        assert cache.corrupted == 1
+
+    def test_concurrent_writer_race_vanished_file_still_heals(
+            self, tmp_path, monkeypatch):
+        """A concurrent writer may heal or delete a corrupt entry between
+        our open and our remove; the file being gone must read as
+        success, not an error."""
+        cache = ResultCache(tmp_path)
+        path = self._commit(cache)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+
+        real_remove = os.remove
+
+        def racing_remove(target, *args, **kwargs):
+            real_remove(target, *args, **kwargs)   # the other writer won
+            raise FileNotFoundError(target)
+
+        monkeypatch.setattr(orchestrate.os, "remove", racing_remove)
+        assert cache.get(self.KEY) is None          # no exception escapes
+        assert cache.corrupted == 1
+
+
+# ---------------------------------------------------------------------------
+# Supervisor: recovery, quarantine, determinism of failure records
+# ---------------------------------------------------------------------------
+
+class TestSupervisorRecovery:
+    def test_worker_kill_recovers_with_worker_crash_record(self):
+        plan = ChaosPlan(faults={1: "kill"})
+        run = run_campaign(list(SMALL), jobs=2, chaos=plan, **FAST)
+        result = run.results[1]
+        assert result.passed
+        assert [record["kind"] for record in result.attempts] == \
+            ["worker_crash"]
+        assert all(r.passed for r in run.results)
+        assert run.retried_count == 1 and run.failed_count == 0
+
+    def test_hung_task_recovers_with_timeout_record(self):
+        plan = ChaosPlan(faults={0: "hang"}, hang_seconds=30.0)
+        run = run_campaign(list(SMALL), jobs=2, chaos=plan,
+                           task_timeout=0.6, **FAST)
+        result = run.results[0]
+        assert result.passed
+        assert result.attempts[0]["kind"] == "timeout"
+        assert "0.60s" in result.attempts[0]["error"]
+
+    def test_persistent_fault_quarantines_after_attempt_budget(self):
+        plan = ChaosPlan(faults={1: "transient"}, persistent=True)
+        run = run_campaign(list(SMALL), jobs=2, chaos=plan,
+                           max_retries=1, **FAST)
+        result = run.results[1]
+        assert not result.passed
+        assert result.failure["kind"] == "quarantined"
+        assert result.failure["attempts"] == 2
+        assert [record["kind"] for record in result.attempts] == \
+            ["task_error", "task_error"]
+        assert result.metrics == {}
+        # A quarantined task never sinks its neighbours.
+        assert run.results[0].passed and run.results[2].passed
+        assert run.failed_count == 1
+
+    def test_failure_records_are_byte_deterministic_across_jobs(self):
+        plan = ChaosPlan(faults={0: "kill", 2: "transient"})
+        runs = [run_campaign(list(SMALL), jobs=jobs, chaos=plan, **FAST)
+                for jobs in (1, 3)]
+        texts = {dump_bench_json(run.results, sweep="t") for run in runs}
+        assert len(texts) == 1
+
+    def test_bench_document_with_failures_validates(self, tmp_path):
+        plan = ChaosPlan(faults={0: "transient"}, persistent=True)
+        run = run_campaign(list(SMALL), jobs=2, chaos=plan,
+                           max_retries=0, **FAST)
+        document = validate_bench_json(
+            json.loads(dump_bench_json(run.results, sweep="t")))
+        assert document["results"][0]["failure"]["kind"] == "quarantined"
+
+
+class TestSpawnStartMethod:
+    def test_kill_recovery_under_spawn(self):
+        """The fleet works under spawn: tasks travel as plain dicts and
+        the worker entry point is importable, so a SIGKILLed worker is
+        respawned and its task retried exactly as under fork."""
+        plan = ChaosPlan(faults={0: "kill"})
+        run = run_campaign(list(SMALL), jobs=2, chaos=plan,
+                           start_method="spawn", **FAST)
+        assert all(result.passed for result in run.results)
+        assert [record["kind"] for record in run.results[0].attempts] == \
+            ["worker_crash"]
+
+
+# ---------------------------------------------------------------------------
+# Journal: crash-safety and resume equivalence
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def _serialized(self):
+        return [request.to_dict() for request in SMALL]
+
+    def test_record_and_load_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path, self._serialized())
+        journal.start_fresh()
+        journal.record(1, {"metrics": {"cycles": 7}}, {"pid": 1})
+        journal.close()
+        restored = CampaignJournal(tmp_path, self._serialized()).load()
+        assert set(restored) == {1}
+        result, sidecar = restored[1]
+        assert result["metrics"] == {"cycles": 7}
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        journal = CampaignJournal(tmp_path, self._serialized())
+        journal.start_fresh()
+        journal.record(0, {"metrics": {}}, {})
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"index": 2, "task": "')   # crash mid-append
+        restored = CampaignJournal(tmp_path, self._serialized()).load()
+        assert set(restored) == {0}
+
+    def test_edited_campaign_invalidates_the_journal(self, tmp_path):
+        journal = CampaignJournal(tmp_path, self._serialized())
+        journal.start_fresh()
+        journal.record(0, {"metrics": {}}, {})
+        journal.close()
+        edited = self._serialized()
+        edited.append(RunRequest("fib", {"count": 11}).to_dict())
+        assert CampaignJournal(tmp_path, edited).load() == {}
+
+    def test_task_digest_mismatch_skips_the_stale_line(self, tmp_path):
+        journal = CampaignJournal(tmp_path, self._serialized())
+        journal.start_fresh()
+        journal.record(0, {"metrics": {}}, {})
+        journal.close()
+        with open(journal.path) as handle:
+            text = handle.read().replace(journal.task_digests[0], "0" * 64)
+        with open(journal.path, "w") as handle:
+            handle.write(text)
+        assert CampaignJournal(tmp_path, self._serialized()).load() == {}
+
+    def test_start_fresh_truncates_previous_entries(self, tmp_path):
+        journal = CampaignJournal(tmp_path, self._serialized())
+        journal.start_fresh()
+        journal.record(0, {"metrics": {}}, {})
+        journal.start_fresh()
+        journal.close()
+        assert CampaignJournal(tmp_path, self._serialized()).load() == {}
+
+    def test_digests_are_order_sensitive(self):
+        serialized = self._serialized()
+        assert campaign_digest(serialized) != \
+            campaign_digest(list(reversed(serialized)))
+        assert task_digest(serialized[0]) != task_digest(serialized[1])
+
+
+class TestInterruptResume:
+    def test_resume_reexecutes_only_unfinished_tasks_byte_identically(
+            self, tmp_path):
+        requests = list(SMALL) + [RunRequest("fib", {"count": 10})]
+        clean = run_campaign(list(requests), jobs=2, **FAST)
+        clean_bytes = dump_bench_json(clean.results, sweep="t")
+
+        interrupting = ChaosPlan(interrupt_after=2)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(list(requests), jobs=2, chaos=interrupting,
+                         journal_dir=tmp_path, **FAST)
+
+        resumed = run_campaign(list(requests), jobs=2,
+                               journal_dir=tmp_path, resume=True, **FAST)
+        assert resumed.resumed_count >= 2
+        assert resumed.resumed_count < len(requests)
+        assert dump_bench_json(resumed.results, sweep="t") == clean_bytes
+
+    def test_fully_journaled_campaign_resumes_without_execution(
+            self, tmp_path):
+        first = run_campaign(list(SMALL), jobs=2, journal_dir=tmp_path,
+                             **FAST)
+        again = run_campaign(list(SMALL), jobs=2, journal_dir=tmp_path,
+                             resume=True, **FAST)
+        assert again.resumed_count == len(SMALL)
+        assert all(side.get("resumed") for side in again.sidecars)
+        assert (dump_bench_json(again.results, sweep="t")
+                == dump_bench_json(first.results, sweep="t"))
+
+    def test_resume_without_journal_runs_everything(self):
+        run = run_campaign(list(SMALL), jobs=1, resume=True, **FAST)
+        assert run.resumed_count == 0
+        assert all(result.passed for result in run.results)
+
+
+# ---------------------------------------------------------------------------
+# ProgressSink: exception safety and verbs
+# ---------------------------------------------------------------------------
+
+class TestProgressSink:
+    def test_broken_emit_never_raises(self):
+        def broken(_line):
+            raise RuntimeError("sink is broken")
+
+        sink = ProgressSink(broken, total=2)
+        sink.line("hello")
+        sink.task({"workload": "fib", "params": {}}, {"wall_seconds": 0.0})
+        sink.utilization([{"pid": 1, "wall_seconds": 0.1}], wall=0.1)
+        assert sink.done == 1
+
+    def test_broken_progress_does_not_sink_a_campaign(self):
+        def broken(_line):
+            raise RuntimeError("sink is broken")
+
+        run = run_campaign(list(SMALL), jobs=1, progress=broken, **FAST)
+        assert all(result.passed for result in run.results)
+
+    def test_verbs_for_each_sidecar_shape(self):
+        lines = []
+        sink = ProgressSink(lines.append, total=4)
+        task = {"workload": "fib", "params": {"count": 8}}
+        sink.task(task, {"wall_seconds": 0.1, "pid": 1})
+        sink.task(task, {"wall_seconds": 0.0, "pid": 1, "cached": True})
+        sink.task(task, {"wall_seconds": 0.2, "pid": 2, "retried": 2})
+        sink.task(task, {"wall_seconds": 0.0, "pid": 0, "failed": True})
+        assert "ran" in lines[0]
+        assert "cache hit" in lines[1]
+        assert "after 2 retries" in lines[2]
+        assert "FAILED" in lines[3]
+        assert lines[3].startswith("[4/4]")
+
+    def test_utilization_skips_resumed_tasks(self):
+        lines = []
+        sink = ProgressSink(lines.append, total=2)
+        sink.utilization([{"pid": 1, "wall_seconds": 0.5},
+                          {"pid": 2, "wall_seconds": 0.5, "resumed": True},
+                          None], wall=1.0)
+        assert len(lines) == 1 and "worker 1" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Schema v2: failure fields under validation, legacy acceptance
+# ---------------------------------------------------------------------------
+
+class TestFailureSchema:
+    def _document(self, **overrides):
+        entry = dict(_entry_payload(), failure=None, attempts=[])
+        entry.update(overrides)
+        return {"schema": orchestrate.BENCH_SCHEMA, "sweep": "t",
+                "count": 1, "results": [entry]}
+
+    def test_valid_failure_record_passes(self):
+        failure = {"kind": "quarantined", "error": "boom", "attempts": 3}
+        attempts = [{"attempt": 1, "kind": "timeout", "error": "slow"}]
+        validate_bench_json(self._document(failure=failure,
+                                           attempts=attempts))
+
+    def test_unknown_failure_kind_rejected(self):
+        bad = {"kind": "gremlins", "error": "boom", "attempts": 1}
+        with pytest.raises(ValueError, match="failure.kind"):
+            validate_bench_json(self._document(failure=bad))
+
+    def test_malformed_attempt_record_rejected(self):
+        with pytest.raises(ValueError, match="attempts\\[0\\]"):
+            validate_bench_json(self._document(
+                attempts=[{"attempt": "one", "kind": "timeout",
+                           "error": "slow"}]))
+
+    def test_every_failure_kind_is_accepted(self):
+        for kind in FAILURE_KINDS:
+            validate_bench_json(self._document(
+                failure={"kind": kind, "error": "x", "attempts": 1}))
+
+    def test_legacy_v1_document_still_validates(self):
+        entry = dict(_entry_payload(), schema="repro-run/1")
+        entry.pop("program_digest")
+        document = {"schema": "repro-bench/1", "sweep": "t", "count": 1,
+                    "results": [entry]}
+        validate_bench_json(document)   # no failure fields required
