@@ -45,14 +45,18 @@ outcome of ``MultiTitan.run`` is exported as ``MachineRunResult``.
 from repro.core import (
     AluInstruction,
     CYCLE_TIME_NS,
+    ExecutionBackend,
     FUNCTIONAL_UNIT_LATENCY,
     Fpu,
     MAX_VECTOR_LENGTH,
     NUM_REGISTERS,
     Op,
+    backend_names,
+    create_machine,
     decode_alu,
     disassemble_alu,
     encode_alu,
+    get_backend,
 )
 from repro.cpu import (
     MachineConfig,
@@ -72,6 +76,7 @@ __all__ = [
     "AluInstruction",
     "Arena",
     "CYCLE_TIME_NS",
+    "ExecutionBackend",
     "FUNCTIONAL_UNIT_LATENCY",
     "Fpu",
     "MAX_VECTOR_LENGTH",
@@ -87,8 +92,11 @@ __all__ = [
     "RunResult",
     "Session",
     "assemble",
+    "backend_names",
+    "create_machine",
     "decode_alu",
     "disassemble_alu",
     "encode_alu",
+    "get_backend",
     "run_kernel",
 ]

@@ -37,6 +37,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro import orchestrate
+from repro.core import backend as backend_mod
 from repro.cpu.machine import MachineConfig
 
 #: Legacy kwarg spellings normalized into RunRequest.max_cycles.
@@ -64,13 +65,16 @@ class RunRequest:
     at request construction, not inside a worker); ``max_cycles`` is the
     single normalized cycle-budget knob that the executors map onto
     whatever their machinery calls it (``machine.run(max_cycles=...)``,
-    the differential watchdog budget, ...).
+    the differential watchdog budget, ...); ``backend`` names a
+    registered execution backend (:mod:`repro.core.backend`; ``None``
+    means the default, and unknown names fail at construction).
     """
 
     workload: str
     params: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
     max_cycles: int = None
+    backend: str = None
 
     def __post_init__(self):
         self.params = _plain(dict(self.params or {}))
@@ -84,6 +88,8 @@ class RunRequest:
                 self.max_cycles = value
         self.config = _plain(dict(self.config or {}))
         MachineConfig.from_overrides(self.config)  # validate field names
+        if self.backend is not None:
+            backend_mod.get_backend(self.backend)  # validate the name
 
     def machine_config(self, **defaults):
         """A MachineConfig from executor ``defaults`` with the request's
@@ -93,16 +99,33 @@ class RunRequest:
     def config_fingerprint(self):
         return self.machine_config().fingerprint()
 
+    def resolved_backend(self):
+        """The backend name this request runs on (never ``None``)."""
+        return self.backend or backend_mod.DEFAULT_BACKEND
+
+    def create_machine(self, program, memory=None, **defaults):
+        """Build the request's machine: its backend, its config.
+
+        ``defaults`` are executor-side ``MachineConfig`` defaults that
+        the request's own overrides win over, exactly like
+        :meth:`machine_config`.
+        """
+        return backend_mod.create_machine(
+            self.backend, program, memory=memory,
+            config=self.machine_config(**defaults))
+
     def to_dict(self):
         return {"workload": self.workload, "params": self.params,
-                "config": self.config, "max_cycles": self.max_cycles}
+                "config": self.config, "max_cycles": self.max_cycles,
+                "backend": self.backend}
 
     @classmethod
     def from_dict(cls, payload):
         return cls(workload=payload["workload"],
                    params=payload.get("params") or {},
                    config=payload.get("config") or {},
-                   max_cycles=payload.get("max_cycles"))
+                   max_cycles=payload.get("max_cycles"),
+                   backend=payload.get("backend"))
 
 
 @dataclass
@@ -133,6 +156,7 @@ class RunResult:
     key: str = ""
     failure: dict = None
     attempts: list = field(default_factory=list)
+    backend: str = backend_mod.DEFAULT_BACKEND
     cached: bool = False
     wall_seconds: float = 0.0
 
@@ -146,6 +170,7 @@ class RunResult:
             "workload": self.workload,
             "params": self.params,
             "config": self.config,
+            "backend": self.backend,
             "metrics": self.metrics,
             "check_error": self.check_error,
             "program_digest": self.program_digest,
@@ -166,7 +191,9 @@ class RunResult:
                    program_digest=payload.get("program_digest"),
                    key=payload.get("key", ""),
                    failure=payload.get("failure"),
-                   attempts=list(payload.get("attempts") or []))
+                   attempts=list(payload.get("attempts") or []),
+                   backend=payload.get("backend",
+                                       backend_mod.DEFAULT_BACKEND))
 
 
 class Outcome:
@@ -231,7 +258,8 @@ def execute_request(request, cache=None):
     key = orchestrate.cache_key(request.workload, request.params,
                                 request.config_fingerprint(),
                                 program_digest=program_digest,
-                                salt=CACHE_SALT)
+                                salt=CACHE_SALT,
+                                backend=request.resolved_backend())
     if cache is not None:
         payload = cache.get(key)
         if payload is not None:
@@ -247,7 +275,8 @@ def execute_request(request, cache=None):
                        config=request.config, metrics=_plain(outcome.metrics),
                        check_error=outcome.check_error,
                        program_digest=outcome.program_digest or program_digest,
-                       key=key, failure=failure)
+                       key=key, failure=failure,
+                       backend=request.resolved_backend())
     if cache is not None:
         cache.put(key, result.to_dict())
     return result
@@ -375,11 +404,14 @@ class Session:
     def __init__(self, config=None, jobs=1, cache_dir=None, seed=1989,
                  progress=None, task_timeout=None,
                  max_retries=orchestrate.DEFAULT_MAX_RETRIES,
-                 journal_dir=None, resume=False):
+                 journal_dir=None, resume=False, backend=None):
         if isinstance(config, MachineConfig):
             config = config.as_dict()
         self.config = _plain(dict(config or {}))
         MachineConfig.from_overrides(self.config)
+        if backend is not None:
+            backend_mod.get_backend(backend)  # validate the name
+        self.backend = backend
         self.jobs = max(1, int(jobs))
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.seed = seed
@@ -391,27 +423,31 @@ class Session:
 
     # -- request construction ------------------------------------------
 
-    def request(self, workload, params=None, config=None, max_cycles=None):
+    def request(self, workload, params=None, config=None, max_cycles=None,
+                backend=None):
         """A RunRequest with the session's config underneath the
-        request's own overrides."""
+        request's own overrides (same precedence for ``backend``: the
+        request-level name wins over the session default)."""
         merged = dict(self.config)
         merged.update(config or {})
         return RunRequest(workload, params=params or {}, config=merged,
-                          max_cycles=max_cycles)
+                          max_cycles=max_cycles,
+                          backend=backend or self.backend)
 
     def sweep(self, name, quick=False):
         return [self.request(req.workload, req.params, req.config,
-                             req.max_cycles)
+                             req.max_cycles, backend=req.backend)
                 for req in sweep_requests(name, quick=quick, seed=self.seed)]
 
     # -- execution ------------------------------------------------------
 
-    def run(self, request, params=None, config=None, max_cycles=None):
+    def run(self, request, params=None, config=None, max_cycles=None,
+            backend=None):
         """Run one job.  ``request`` is a RunRequest or a workload name
         (with ``params``/``config`` building the request inline)."""
         if isinstance(request, str):
             request = self.request(request, params=params, config=config,
-                                   max_cycles=max_cycles)
+                                   max_cycles=max_cycles, backend=backend)
         return self.run_many([request])[0]
 
     def run_many(self, requests, jobs=None, resume=None, chaos=None,
@@ -433,7 +469,8 @@ class Session:
         self.last_campaign = run
         return run.results
 
-    def run_kernel(self, kernel, warm=False, check=True, max_cycles=None):
+    def run_kernel(self, kernel, warm=False, check=True, max_cycles=None,
+                   backend=None):
         """Run an already-built :class:`~repro.workloads.common.
         BuiltKernel` under the session's machine config (no caching --
         built kernels carry callables and are not declarative)."""
@@ -441,7 +478,8 @@ class Session:
 
         return run_kernel(kernel,
                           config=MachineConfig.from_overrides(self.config),
-                          warm=warm, check=check, max_cycles=max_cycles)
+                          warm=warm, check=check, max_cycles=max_cycles,
+                          backend=backend or self.backend)
 
     # -- serialization --------------------------------------------------
 

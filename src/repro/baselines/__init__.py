@@ -13,6 +13,10 @@ from repro.baselines.classical import (
     ClassicalVectorMachine,
     VECTOR_REGISTER_BITS,
 )
+from repro.baselines.classical_machine import (
+    ClassicalCycleTiming,
+    ClassicalVectorBackend,
+)
 from repro.baselines.hockney import (
     ALL_MODELS,
     CRAY_1,
@@ -30,7 +34,9 @@ __all__ = [
     "CRAY_1",
     "CRAY_1S_PEAK_RATIO",
     "CYBER_205",
+    "ClassicalCycleTiming",
     "ClassicalTiming",
+    "ClassicalVectorBackend",
     "ClassicalVectorMachine",
     "ICL_DAP",
     "MULTITITAN",

@@ -14,8 +14,19 @@ Public surface:
   architectural effects plus program predecoding (shared by the cycle
   loop and the functional reference).
 * :mod:`repro.core.events` -- the typed event bus machines publish on.
+* :mod:`repro.core.backend` -- the :class:`ExecutionBackend` protocol
+  and the named backend registry.
 """
 
+from repro.core.backend import (
+    BackendSpec,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    backend_names,
+    create_machine,
+    get_backend,
+    register_backend,
+)
 from repro.core.events import EventBus, TraceRecorder
 
 from repro.core.encoding import (
@@ -53,9 +64,12 @@ from repro.core.types import FLOP_OPS, Func, Op, UNARY_OPS, Unit, execute_op, op
 __all__ = [
     "AluInstruction",
     "AssemblerError",
+    "BackendSpec",
     "CYCLE_TIME_NS",
+    "DEFAULT_BACKEND",
     "EncodingError",
     "EventBus",
+    "ExecutionBackend",
     "FLOP_OPS",
     "FUNCTIONAL_UNIT_LATENCY",
     "Fpu",
@@ -78,14 +92,18 @@ __all__ = [
     "UNARY_OPS",
     "Unit",
     "VectorHazardError",
+    "backend_names",
+    "create_machine",
     "decode_alu",
     "decode_load_store",
     "disassemble_alu",
     "encode_alu",
     "encode_load_store",
     "execute_op",
+    "get_backend",
     "latency_ns",
     "make_units",
     "op_for",
+    "register_backend",
     "unit_func_for",
 ]

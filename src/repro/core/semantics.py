@@ -362,6 +362,23 @@ def memory_runs(decoded):
     return load_runs, store_runs
 
 
+def check_vector_lengths(decoded, max_vl):
+    """Reject FALU entries whose VL exceeds the configured ceiling.
+
+    Machines call this once at construction (every backend shares the
+    predecoded entry list), so a program that violates the configured
+    ``MachineConfig.max_vl`` fails loudly up front -- naming the pc --
+    instead of deep inside a run.
+    """
+    from repro.core.exceptions import SimulationError
+
+    for pc, entry in enumerate(decoded):
+        if entry[0] == K_FALU and entry[5] > max_vl:
+            raise SimulationError(
+                "FALU at pc=%d has vl=%d, above the configured "
+                "max_vl=%d" % (pc, entry[5], max_vl))
+
+
 # ----------------------------------------------------------------------
 # Stable program identity
 # ----------------------------------------------------------------------

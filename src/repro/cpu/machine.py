@@ -27,6 +27,8 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.core import semantics
+from repro.core.backend import ExecutionBackend
+from repro.core.encoding import MAX_VECTOR_LENGTH, NUM_REGISTERS
 from repro.core.events import EventBus, TraceRecorder
 from repro.core.exceptions import SimulationError
 from repro.core.fpu import Fpu
@@ -73,6 +75,10 @@ class MachineConfig:
     # cycle, fault plan, or invariant audit needs cycle granularity.
     fast_path: bool = True
     max_cycles: int = 200_000_000
+    # Ceiling on a single FALU instruction's vector length.  The ISA
+    # encoding caps VL at MAX_VECTOR_LENGTH; machines additionally
+    # reject programs exceeding this configured ceiling at construction.
+    max_vl: int = MAX_VECTOR_LENGTH
 
     #: Fields that change what is *observed*, not what is *computed*: two
     #: configs differing only here produce identical architectural results
@@ -97,13 +103,67 @@ class MachineConfig:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def validate(self):
+        """Reject inconsistent configurations, naming the bad field.
+
+        Called at machine construction (every backend) and from
+        :meth:`from_overrides`, so a declarative sweep or a
+        :class:`repro.api.RunRequest` carrying an impossible machine
+        fails loudly up front instead of deep inside the pipeline.
+        Returns ``self`` so calls chain.
+        """
+        def require(condition, field, why):
+            if not condition:
+                raise ValueError(
+                    "invalid MachineConfig.%s=%r: %s"
+                    % (field, getattr(self, field), why))
+
+        require(self.fpu_latency >= 1, "fpu_latency",
+                "a zero-latency FPU stage cannot model the writeback "
+                "pipeline (must be >= 1)")
+        require(self.cycle_time_ns > 0, "cycle_time_ns",
+                "the machine clock must have a positive period")
+        require(self.max_cycles >= 1, "max_cycles",
+                "the watchdog budget must allow at least one cycle")
+        require(self.store_port_cycles >= 1, "store_port_cycles",
+                "a store holds the memory port for at least one cycle")
+        require(self.taken_branch_cycles >= 1, "taken_branch_cycles",
+                "a taken branch takes at least one cycle")
+        for field in ("dcache_miss_penalty", "ibuf_miss_penalty",
+                      "icache_hit_penalty", "tlb_miss_penalty"):
+            require(getattr(self, field) >= 0, field,
+                    "penalties cannot be negative")
+        for size_field, line_field in (("dcache_size", "dcache_line"),
+                                       ("ibuf_size", "ibuf_line"),
+                                       ("icache_size", "ibuf_line")):
+            line = getattr(self, line_field)
+            require(line >= 1, line_field,
+                    "cache lines must hold at least one byte")
+            require(getattr(self, size_field) >= line, size_field,
+                    "the cache must hold at least one %s-byte line"
+                    % line)
+            require(getattr(self, size_field) % line == 0, size_field,
+                    "the cache size must be a whole number of %s-byte "
+                    "lines (%s)" % (line, line_field))
+        require(self.max_vl >= 1, "max_vl",
+                "vector instructions have at least one element")
+        require(self.max_vl <= NUM_REGISTERS, "max_vl",
+                "the VL ceiling cannot exceed the %d-register file"
+                % NUM_REGISTERS)
+        require(self.max_vl <= MAX_VECTOR_LENGTH, "max_vl",
+                "the VL ceiling cannot exceed the ISA encoding's "
+                "maximum of %d" % MAX_VECTOR_LENGTH)
+        return self
+
     @classmethod
     def from_overrides(cls, overrides=None, **defaults):
         """Build a config from ``defaults`` with ``overrides`` on top.
 
         Unknown keys raise ``ValueError`` naming the valid fields, so a
         typo in a declarative sweep fails loudly instead of silently
-        running the default machine.
+        running the default machine; the merged config is
+        :meth:`validate`\\ d, so inconsistent values fail just as
+        loudly.
         """
         merged = dict(defaults)
         merged.update(overrides or {})
@@ -113,11 +173,18 @@ class MachineConfig:
             raise ValueError(
                 "unknown MachineConfig field(s) %s (valid: %s)"
                 % (", ".join(unknown), ", ".join(sorted(valid))))
-        return cls(**merged)
+        return cls(**merged).validate()
 
 
-class MultiTitan:
+class MultiTitan(ExecutionBackend):
     """One MultiTitan processor: CPU chip + FPU chip + caches.
+
+    Implements the :class:`repro.core.backend.ExecutionBackend`
+    contract; registered twice in the backend registry -- as
+    ``"percycle"`` (fast path disabled) and ``"fastpath"`` (the
+    default) -- because the two share this machine but form distinct
+    dispatch strategies whose equivalence the fuzzer's fast-vs-slow
+    lockstep mode proves.
 
     Warm-cache measurements run the program twice via
     :func:`repro.workloads.common.run_cold_and_warm` (caches and memory
@@ -125,8 +192,9 @@ class MultiTitan:
     """
 
     def __init__(self, program, memory=None, config=None):
-        self.config = config or MachineConfig()
+        self.config = (config or MachineConfig()).validate()
         self.program = program
+        semantics.check_vector_lengths(program.decoded, self.config.max_vl)
         self.memory = memory if memory is not None else Memory()
         self.fpu = Fpu(
             latency=self.config.fpu_latency,
@@ -161,6 +229,11 @@ class MultiTitan:
         self.reset_cpu()
 
     # ------------------------------------------------------------------
+
+    @property
+    def backend_id(self):
+        """Registry name of the dispatch strategy in effect."""
+        return "fastpath" if self.config.fast_path else "percycle"
 
     def reset_cpu(self):
         """Reset CPU and FPU state; caches and memory are untouched."""

@@ -6,6 +6,8 @@ ints for integer data).  Addresses are in bytes and must be 8-byte
 aligned, matching the double-only FPU.
 """
 
+from math import copysign
+
 from repro.core.exceptions import SimulationError
 
 WORD_BYTES = 8
@@ -49,11 +51,15 @@ class Memory:
         Workloads touch a small fraction of the address space, so the
         delta is far smaller than a full image.  Word *types* matter (the
         FPU distinguishes int and float register data), so an integer 0
-        is part of the delta even though ``0 == 0.0``.
+        is part of the delta even though ``0 == 0.0`` — and so is a
+        stored ``-0.0``, which compares equal to the fill but is a
+        different bit pattern.
         """
         words = {}
         for index, word in enumerate(self._words):
             if type(word) is not float or word != 0.0:
+                words[index] = word
+            elif copysign(1.0, word) < 0.0:
                 words[index] = word
         return {"length": len(self._words), "words": words}
 

@@ -49,15 +49,18 @@ import time
 from collections import deque
 
 #: Version tag of one serialized run result (see RunResult.to_dict).
-#: v2 adds the typed failure record and the per-attempt failure history.
-RESULT_SCHEMA = "repro-run/2"
+#: v2 added the typed failure record and the per-attempt failure
+#: history; v3 adds the execution-backend id.
+RESULT_SCHEMA = "repro-run/3"
 
 #: Version tag of a BENCH_*.json campaign document.
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Prior document generations validate_bench_json still accepts
-#: (checked-in trajectory artifacts predate the failure-record schema).
-LEGACY_BENCH_SCHEMAS = {"repro-bench/1": "repro-run/1"}
+#: (checked-in trajectory artifacts predate the failure-record and
+#: backend-id schemas).
+LEGACY_BENCH_SCHEMAS = {"repro-bench/1": "repro-run/1",
+                        "repro-bench/2": "repro-run/2"}
 
 #: The typed failure taxonomy carried by RunResult.failure and by every
 #: per-attempt record: the watchdog killed the task (``timeout``), the
@@ -84,7 +87,7 @@ DEFAULT_TEMP_SWEEP_AGE = 300.0
 
 
 def cache_key(workload, params, config_fingerprint, program_digest=None,
-              salt=""):
+              salt="", backend=None):
     """The cache key: program digest x config fingerprint x run kwargs.
 
     ``program_digest`` is the SHA-256 of the built instruction stream
@@ -92,6 +95,10 @@ def cache_key(workload, params, config_fingerprint, program_digest=None,
     provide one; compound experiments that run several programs fall
     back to ``salt`` (a code-version token bumped when executor
     behaviour changes) so stale entries never masquerade as current.
+    ``backend`` is the resolved execution-backend id
+    (:mod:`repro.core.backend`): the same workload on two backends
+    measures two different machines, so their entries must never
+    collide.
     """
     payload = {
         "schema": RESULT_SCHEMA,
@@ -100,6 +107,7 @@ def cache_key(workload, params, config_fingerprint, program_digest=None,
         "config_fingerprint": config_fingerprint,
         "program_digest": program_digest,
         "salt": salt,
+        "backend": backend,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -971,6 +979,9 @@ def validate_bench_json(source):
             raise ValueError("results[%d].check_error must be null or text"
                              % index)
         if current:
+            if not isinstance(entry.get("backend"), str):
+                raise ValueError("results[%d].backend missing or not a str"
+                                 % index)
             _validate_failure_fields(entry, index)
     return document
 

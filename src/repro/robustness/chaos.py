@@ -145,7 +145,8 @@ def _corrupt_cache_entry(request_dict, cache_dir):
     digest = fn.digest(request) if fn.digest else None
     key = orchestrate.cache_key(request.workload, request.params,
                                 request.config_fingerprint(),
-                                program_digest=digest, salt=CACHE_SALT)
+                                program_digest=digest, salt=CACHE_SALT,
+                                backend=request.resolved_backend())
     path = os.path.join(str(cache_dir), key[:2], key + ".json")
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

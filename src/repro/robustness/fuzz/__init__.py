@@ -27,6 +27,7 @@ from repro.robustness.fuzz.driver import (
     failure_signature,
     fuzz,
     run_case,
+    run_case_backends,
 )
 from repro.robustness.fuzz.generator import GeneratedCase, generate_case
 from repro.robustness.fuzz.shrink import ShrinkResult, shrink_case
@@ -56,6 +57,7 @@ __all__ = [
     "load_bundle",
     "repro_bundle",
     "run_case",
+    "run_case_backends",
     "shrink_case",
     "vl_bucket",
     "write_bundle",

@@ -90,15 +90,19 @@ class CaseResult:
     """
 
     __slots__ = ("verdict", "error", "signature", "failure_cycle",
-                 "reference_steps")
+                 "reference_steps", "timings")
 
     def __init__(self, verdict, error=None, signature=None,
-                 failure_cycle=None, reference_steps=None):
+                 failure_cycle=None, reference_steps=None, timings=None):
         self.verdict = verdict
         self.error = error
         self.signature = signature
         self.failure_cycle = failure_cycle
         self.reference_steps = reference_steps
+        #: Cross-backend runs report {backend: {"cycles", "domain"}} --
+        #: the per-backend timing the ISA contract deliberately leaves
+        #: unconstrained across domains.
+        self.timings = timings
 
     @property
     def failed(self):
@@ -291,6 +295,186 @@ def run_case_fast_slow(program, memory_words, coverage=None,
     return CaseResult("pass", reference_steps=reference.steps)
 
 
+#: Extra watchdog headroom for the classical timing domain: every
+#: vector stream pays a 15-cycle startup and every scalar memory op its
+#: full flat latency, so the same program legitimately runs many times
+#: longer than on the MultiTitan.
+_CLASSICAL_STEP_FACTOR = 64
+_CLASSICAL_STEP_SLACK = 256
+
+
+def _normalized_architectural(state):
+    """An :meth:`ExecutionBackend.architectural_state` dict with the
+    sparse memory delta expanded to a dense word list (so images that
+    only differ in lazy-growth shape still compare equal)."""
+    memory = state["memory"]
+    words = [0.0] * memory["length"]     # the delta's implicit fill
+    for index, word in memory["words"].items():
+        words[index] = word
+    return {
+        "fregs": state["fregs"],
+        "iregs": state["iregs"],
+        "memory": words,
+        "psw": state["psw"],
+        "halted": state["halted"],
+    }
+
+
+def _pad_memories(states):
+    """Zero-pad every dense memory list to the longest one: trailing
+    never-written words are architecturally zero (float fill, matching
+    :meth:`Memory.delta_snapshot`)."""
+    longest = max(len(state["memory"]) for state in states)
+    for state in states:
+        state["memory"] = state["memory"] + [0.0] * (longest -
+                                                     len(state["memory"]))
+
+
+def run_case_backends(program, memory_words, backends=None, coverage=None,
+                      max_cycles=None):
+    """Run one case on every named backend against one golden oracle.
+
+    The functional reference executes first and becomes the golden
+    architectural state.  Each backend then runs the same program over
+    its own copy of the memory image and must reproduce that state
+    bit-exactly wherever the ISA contract defines it (register files,
+    memory, PSW, halt) -- timing is per-backend and is *reported*, not
+    compared, across timing domains.  Backends that share a timing
+    domain (``percycle``/``fastpath``) must additionally agree on
+    RunResult scalars and their full snapshots, bit for bit.
+
+    Divergence signatures: ``crossbackend:<backend>:<field>`` against
+    the golden state, ``timingdomain:<domain>:<field>`` within a
+    domain.  A passing result carries ``timings`` -- the per-backend
+    cycle counts.
+    """
+    from repro.core.backend import backend_names, create_machine, get_backend
+
+    backends = tuple(backends) if backends else backend_names()
+    specs = [get_backend(name) for name in backends]
+    reference = ReferenceExecutor(program.instructions,
+                                  memory_words=list(memory_words),
+                                  decoded=program.decoded)
+    try:
+        reference.run(max_steps=MAX_REFERENCE_STEPS)
+    except Exception as error:  # noqa: BLE001 - any reference failure
+        return CaseResult("generator-error", error=error,
+                          signature=failure_signature(error))
+    golden = {
+        "fregs": list(reference.fregs),
+        "iregs": list(reference.iregs),
+        "memory": list(reference.memory),
+        "psw": {
+            "overflow": reference.psw_overflow,
+            "overflow_dest": reference.psw_overflow_dest,
+            "overflow_element": reference.psw_overflow_element,
+        },
+        "halted": True,
+    }
+
+    outcomes = {}
+    timings = {}
+    for spec in specs:
+        if spec.timing_domain == "classical":
+            budget = watchdog_budget(
+                _CLASSICAL_STEP_FACTOR * reference.steps
+                + _CLASSICAL_STEP_SLACK)
+        else:
+            budget = watchdog_budget(8 * reference.steps + 64)
+        if max_cycles is not None:
+            budget = min(budget, max_cycles)
+        memory = Memory(size_bytes=len(memory_words) * 8)
+        memory.words[:] = list(memory_words)
+        machine = create_machine(spec.name, program, memory=memory,
+                                 config=MachineConfig(audit_invariants=False))
+        # Coverage subscribes to the event bus; only the per-cycle loop
+        # publishes the full event stream (and observers would force
+        # the fast path off anyway).
+        observe = coverage is not None and spec.name == "percycle"
+        if observe:
+            coverage.attach(machine)
+        try:
+            result = machine.run(max_cycles=budget)
+            outcomes[spec.name] = (result, machine, None)
+            timings[spec.name] = {"cycles": result.completion_cycle,
+                                  "domain": spec.timing_domain}
+        except SimulationError as error:
+            outcomes[spec.name] = (None, machine, error)
+        finally:
+            if observe:
+                coverage.detach()
+
+    for spec in specs:
+        result, machine, error = outcomes[spec.name]
+        if error is not None:
+            wrapped = DivergenceError(
+                "cross-backend divergence: backend %r raised where the "
+                "reference ran clean: %s" % (spec.name, error))
+            return CaseResult("fail", error=wrapped,
+                              signature="crossbackend:%s:%s"
+                              % (spec.name, failure_signature(error)),
+                              failure_cycle=machine.cycle,
+                              reference_steps=reference.steps)
+
+    golden_state = dict(golden)
+    states = {name: _normalized_architectural(
+        outcome[1].architectural_state())
+        for name, outcome in outcomes.items()}
+    _pad_memories([golden_state] + list(states.values()))
+    for spec in specs:
+        found = _state_difference(states[spec.name], golden_state)
+        if found is not None:
+            error = DivergenceError(
+                "cross-backend divergence: backend %r vs reference: %s"
+                % (spec.name, found))
+            field = found.split(":")[0].lstrip(".").split(".")[0] \
+                .split("[")[0]
+            return CaseResult("fail", error=error,
+                              signature="crossbackend:%s:%s"
+                              % (spec.name, field or "state"),
+                              failure_cycle=outcomes[spec.name][1].cycle,
+                              reference_steps=reference.steps)
+
+    by_domain = {}
+    for spec in specs:
+        by_domain.setdefault(spec.timing_domain, []).append(spec.name)
+    for domain, names in by_domain.items():
+        anchor_result, anchor_machine, _ = outcomes[names[0]]
+        for name in names[1:]:
+            result, machine, _ = outcomes[name]
+            for field in ("halt_cycle", "completion_cycle", "dcache_hits",
+                          "dcache_misses"):
+                if getattr(result, field) != getattr(anchor_result, field):
+                    error = DivergenceError(
+                        "timing-domain divergence (%s): RunResult.%s: "
+                        "%s=%r %s=%r"
+                        % (domain, field, names[0],
+                           getattr(anchor_result, field), name,
+                           getattr(result, field)))
+                    return CaseResult(
+                        "fail", error=error,
+                        signature="timingdomain:%s:%s" % (domain, field),
+                        failure_cycle=machine.cycle,
+                        reference_steps=reference.steps)
+            found = _state_difference(machine.snapshot(),
+                                      anchor_machine.snapshot())
+            if found is not None:
+                error = DivergenceError(
+                    "timing-domain divergence (%s): %s vs %s: %s"
+                    % (domain, name, names[0], found))
+                field = found.split(":")[0].lstrip(".").split(".")[0] \
+                    .split("[")[0]
+                return CaseResult(
+                    "fail", error=error,
+                    signature="timingdomain:%s:%s" % (domain,
+                                                      field or "state"),
+                    failure_cycle=machine.cycle,
+                    reference_steps=reference.steps)
+
+    return CaseResult("pass", reference_steps=reference.steps,
+                      timings=timings)
+
+
 class CampaignFailure:
     """One failing seed of a campaign, with everything triage needs."""
 
@@ -330,7 +514,7 @@ class CampaignResult:
 
 def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
          max_failures=None, on_case=None, max_cycles=None,
-         fast_slow=False):
+         fast_slow=False, backends=None):
     """Run a coverage-guided campaign of ``seeds`` generated cases.
 
     The coverage map accumulates across cases and feeds back into the
@@ -341,6 +525,10 @@ def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
     ``fast_slow`` each case instead runs through
     :func:`run_case_fast_slow`, pitting the fast-path execution core
     against the per-cycle loop (``bug`` and ``audit`` do not apply).
+    With ``backends`` (a tuple of registered backend names) each case
+    runs through :func:`run_case_backends`, the cross-backend
+    equivalence oracle (``bug``, ``audit`` and ``fast_slow`` do not
+    apply).
     """
     coverage = coverage if coverage is not None else CoverageMap()
     failures = []
@@ -349,7 +537,12 @@ def fuzz(seeds=200, base_seed=0, bug=None, audit=True, coverage=None,
     for index in range(seeds):
         seed = base_seed + index
         case = generate_case(seed, coverage=coverage)
-        if fast_slow:
+        if backends:
+            result = run_case_backends(case.program, case.memory_words,
+                                       backends=backends,
+                                       coverage=coverage,
+                                       max_cycles=max_cycles)
+        elif fast_slow:
             result = run_case_fast_slow(case.program, case.memory_words,
                                         coverage=coverage,
                                         max_cycles=max_cycles)

@@ -23,8 +23,9 @@ prints the exact command that reproduces the offending seed.
 
 import sys
 
+from repro.core.backend import create_machine
 from repro.core.exceptions import SimulationError
-from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.machine import MachineConfig, MultiTitan  # noqa: F401  (re-exported)
 from repro.cpu.program import ProgramBuilder
 from repro.mem.memory import Memory
 from repro.robustness.differential import DifferentialChecker, bit_exact
@@ -84,9 +85,10 @@ def build_memory():
     return memory
 
 
-def make_machine(audit=False):
+def make_machine(audit=False, backend=None):
     config = MachineConfig(audit_invariants=True) if audit else None
-    return MultiTitan(build_workload(), memory=build_memory(), config=config)
+    return create_machine(backend, build_workload(), memory=build_memory(),
+                          config=config)
 
 
 def architectural_state(machine):
@@ -119,13 +121,15 @@ def states_equal(a, b):
 
 
 def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run,
-             max_cycles=None):
+             max_cycles=None, backend=None):
     """Run one seeded fault campaign; return (verdict, detail, kinds).
 
     ``max_cycles`` overrides the default watchdog budget (the normalized
-    cycle-budget kwarg of :class:`repro.api.RunRequest`).
+    cycle-budget kwarg of :class:`repro.api.RunRequest`).  ``backend``
+    must stay in the multititan timing domain -- fault injection drives
+    the unified machine's pipeline hooks.
     """
-    machine = make_machine(audit=True)
+    machine = make_machine(audit=True, backend=backend)
     plan = FaultPlan.random(seed, max_cycle=baseline_cycles,
                             count=faults_per_run, kinds=kinds,
                             memory_words=MEMORY_WORDS)
@@ -147,23 +151,30 @@ def run_seed(seed, baseline, baseline_cycles, kinds, faults_per_run,
     return "silent", plan.describe(), kinds_used
 
 
-def main(argv=None):
+def main(argv=None, backend=None):
     """Deprecated entry point: forwards to ``python -m repro smoke``.
 
     The campaign now runs through the unified CLI and the orchestrator
-    (``repro.api.Session``), which adds ``--jobs``, ``--cache-dir`` and
-    ``--json``.  This shim keeps the historical flag surface and return
-    codes while warning once.
+    (``repro.api.Session``), which adds ``--jobs``, ``--cache-dir``,
+    ``--json`` and ``--backend``.  This shim keeps the historical flag
+    surface and return codes while warning once; it forwards an explicit
+    ``backend`` so the campaign records which machine it ran on.
     """
     import warnings
 
     warnings.warn(
         "python -m repro.robustness.smoke is deprecated; use "
-        "python -m repro smoke (same flags, plus --jobs/--cache-dir/--json)",
+        "python -m repro smoke (same flags, plus --jobs/--cache-dir/"
+        "--json/--backend)",
         DeprecationWarning, stacklevel=2)
     from repro.tools.cli import main as cli_main
 
-    return cli_main(["smoke"] + list(sys.argv[1:] if argv is None else argv))
+    flags = list(sys.argv[1:] if argv is None else argv)
+    # Forward the machine selection explicitly: the legacy surface had
+    # no flag for it, and the new CLI must not silently re-default.
+    if backend is not None and "--backend" not in flags:
+        flags = ["--backend", backend] + flags
+    return cli_main(["smoke"] + flags)
 
 
 if __name__ == "__main__":

@@ -1,11 +1,13 @@
 """Command-line interface: run assembly, trace pipelines, run campaigns.
 
 The campaign subcommands (``bench``, ``sweep``, ``smoke``, ``fuzz run``,
-``chaos``) all share ``--jobs/--seed/--cache-dir/--json`` plus the
-fault-tolerance flags ``--task-timeout/--max-retries/--journal-dir/
+``chaos``) all share ``--jobs/--seed/--cache-dir/--json/--backend`` plus
+the fault-tolerance flags ``--task-timeout/--max-retries/--journal-dir/
 --resume``, and run through :class:`repro.api.Session`, so they fan
 across the same supervised worker fleet and the same digest-keyed
-result cache.  A campaign interrupted by ^C or SIGTERM keeps its
+result cache.  ``--backend`` selects a registered execution backend
+(:mod:`repro.core.backend`) for every request; ``fuzz run --backends
+A,B,...`` instead runs the cross-backend equivalence oracle.  A campaign interrupted by ^C or SIGTERM keeps its
 journal; rerunning with ``--resume`` executes only unfinished tasks.
 
 ::
@@ -20,6 +22,7 @@ journal; rerunning with ``--resume`` executes only unfinished tasks.
     python -m repro linpack [--n N]
     python -m repro figures
     python -m repro fuzz run [--seeds N] [--bug NAME] [--out DIR]
+                             [--backends percycle,fastpath,classical]
     python -m repro fuzz repro BUNDLE       (also: fuzz --repro BUNDLE)
     python -m repro fuzz coverage [--seeds N]
 """
@@ -169,8 +172,14 @@ def cmd_figures(args):
 def _add_campaign_flags(parser, seed_default=1989, seed=True):
     """The shared campaign surface: every Session-backed subcommand takes
     the same parallelism/caching/fault-tolerance/serialization flags."""
+    from repro.core.backend import backend_names
+
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1: in-process)")
+    parser.add_argument("--backend", default=None,
+                        choices=list(backend_names()),
+                        help="execution backend for every request "
+                             "(default: the registry default, fastpath)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="digest-keyed result cache directory "
                              "(unset: no caching)")
@@ -212,7 +221,8 @@ def _session(args, progress=False):
                    if (progress or args.jobs > 1) else None,
                    task_timeout=args.task_timeout,
                    max_retries=args.max_retries,
-                   journal_dir=args.journal_dir, resume=args.resume)
+                   journal_dir=args.journal_dir, resume=args.resume,
+                   backend=getattr(args, "backend", None))
 
 
 def _parse_value(text):
@@ -297,7 +307,7 @@ def cmd_smoke(args):
 
     # Fault-free baseline: the golden final state and the cycle budget
     # that bounds where faults may land.
-    golden = smoke.make_machine(audit=True)
+    golden = smoke.make_machine(audit=True, backend=args.backend)
     baseline_cycles = golden.run().completion_cycle
     print("baseline: %d cycles, checksum word = %r"
           % (baseline_cycles, golden.memory.read(smoke.SUM_BASE)))
@@ -346,7 +356,30 @@ def cmd_smoke(args):
     return 0
 
 
-def _fuzz_chunked(args):
+def _parse_backends(text):
+    """The ``--backends A,B,...`` comma list, validated, or None."""
+    if not text:
+        return None
+    from repro.core.backend import get_backend
+
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    for name in names:
+        get_backend(name)  # raises with the registered list
+    return names
+
+
+def _print_backend_timings(backends, backend_cycles, timed_cases):
+    """The per-backend timing report: where the ISA contract lets
+    timing differ, show it instead of comparing it."""
+    if not timed_cases:
+        return
+    means = ", ".join("%s=%.1f" % (name, backend_cycles[name] / timed_cases)
+                      for name in backends if name in backend_cycles)
+    print("per-backend mean cycles over %d passing case(s): %s"
+          % (timed_cases, means))
+
+
+def _fuzz_chunked(args, backends=None):
     """Fan a fuzz campaign across worker processes in seed chunks.
 
     Each chunk runs its own coverage-feedback loop; the campaign floor is
@@ -360,8 +393,10 @@ def _fuzz_chunked(args):
     remaining = args.seeds
     while remaining > 0:
         size = min(chunk, remaining)
-        requests.append(session.request(
-            "fuzz", {"seeds": size, "base_seed": base, "bug": args.bug}))
+        params = {"seeds": size, "base_seed": base, "bug": args.bug}
+        if backends:
+            params["backends"] = list(backends)
+        requests.append(session.request("fuzz", params))
         base += size
         remaining -= size
     results = session.run_many(requests)
@@ -378,6 +413,15 @@ def _fuzz_chunked(args):
           % (cases, len(failures), len(generator_errors), len(requests),
              args.jobs))
     print("coverage: %d bins hit (union of per-chunk maps)" % len(bins))
+    if backends:
+        backend_cycles = {}
+        timed_cases = 0
+        for result in results:
+            timed_cases += result.metrics.get("timed_cases", 0)
+            for name, total in result.metrics.get("backend_cycles",
+                                                  {}).items():
+                backend_cycles[name] = backend_cycles.get(name, 0) + total
+        _print_backend_timings(backends, backend_cycles, timed_cases)
     status = 0
     for failure in failures:
         status = 1
@@ -397,20 +441,48 @@ def _fuzz_chunked(args):
 
 
 def cmd_fuzz_run(args):
+    backends = _parse_backends(getattr(args, "backends", None))
+    if backends and getattr(args, "fast_slow", False):
+        print("error: --backends and --fast-slow are exclusive campaign "
+              "modes", file=sys.stderr)
+        raise SystemExit(2)
     if args.jobs > 1 and not getattr(args, "fast_slow", False):
         # The chunked session workload runs the standard differential
-        # stack; the fast/slow mode stays single-process.
-        return _fuzz_chunked(args)
+        # stack (or the cross-backend oracle); the fast/slow mode stays
+        # single-process.
+        return _fuzz_chunked(args, backends=backends)
 
     from repro.robustness.fuzz import fuzz, shrink_case, write_bundle
 
+    backend_cycles = {}
+    timed_cases = [0]
+
+    def _collect(case, case_result):
+        if case_result.timings:
+            timed_cases[0] += 1
+            for name, row in case_result.timings.items():
+                backend_cycles[name] = (backend_cycles.get(name, 0)
+                                        + row["cycles"])
+
     result = fuzz(seeds=args.seeds, base_seed=args.seed, bug=args.bug,
                   max_failures=args.max_failures,
-                  fast_slow=getattr(args, "fast_slow", False))
+                  fast_slow=getattr(args, "fast_slow", False),
+                  backends=backends,
+                  on_case=_collect if backends else None)
     print(result.summary())
+    if backends:
+        _print_backend_timings(backends, backend_cycles, timed_cases[0])
     status = 0
     for failure in result.failures:
         status = 1
+        if backends:
+            # Cross-backend signatures replay through run_case_backends,
+            # not the single-machine stack the shrinker drives; report
+            # the seed for a targeted re-run instead of minimising.
+            print("seed %d: %s (re-run with repro.robustness.fuzz."
+                  "run_case_backends to investigate)"
+                  % (failure.case.seed, failure.result.signature))
+            continue
         directory = os.path.join(args.out, "seed-%d" % failure.case.seed)
         shrunk = shrink_case(failure.case.program, failure.case.memory_words,
                              failure.result.signature, bug=args.bug,
@@ -437,7 +509,8 @@ def cmd_fuzz_run(args):
         summary = RunResult(
             workload="fuzz",
             params={"seeds": args.seeds, "base_seed": args.seed,
-                    "bug": args.bug},
+                    "bug": args.bug,
+                    "backends": list(backends) if backends else None},
             config={},
             metrics={
                 "cases": result.cases,
@@ -670,6 +743,12 @@ def build_parser():
                     help="differential fast-path campaign: run every case "
                          "with the fast-path execution core on and off and "
                          "require bit-identical end state")
+    fr.add_argument("--backends", default=None, metavar="A,B,...",
+                    help="cross-backend campaign: run every case on each "
+                         "named backend (see repro.core.backend) against "
+                         "the functional reference; architectural state "
+                         "must match bit-exactly, timing is reported "
+                         "per backend")
     _add_campaign_flags(fr, seed=False)
     fr.set_defaults(fuzz_handler=cmd_fuzz_run)
 

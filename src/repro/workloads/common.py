@@ -15,8 +15,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.backend import create_machine
 from repro.core.functional_units import CYCLE_TIME_NS
-from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.cpu.machine import MachineConfig, MultiTitan  # noqa: F401  (re-exported)
 from repro.mem.memory import Memory
 
 
@@ -51,14 +52,16 @@ class KernelResult:
         return self.check_error is None
 
 
-def _machine_for(kernel, config):
-    machine = MultiTitan(kernel.program, memory=kernel.memory, config=config)
+def _machine_for(kernel, config, backend=None):
+    machine = create_machine(backend, kernel.program, memory=kernel.memory,
+                             config=config)
     if kernel.setup:
         kernel.setup(machine)
     return machine
 
 
-def run_kernel(kernel, config=None, warm=False, check=True, max_cycles=None):
+def run_kernel(kernel, config=None, warm=False, check=True, max_cycles=None,
+               backend=None):
     """Run a kernel and measure MFLOPS.
 
     ``warm=False`` starts with empty instruction and data caches (the
@@ -70,11 +73,16 @@ def run_kernel(kernel, config=None, warm=False, check=True, max_cycles=None):
     (:func:`repro.api.restore_point`): the warm pass rolls back memory and
     CPU/FPU state while keeping the cache contents it just loaded, and the
     final rewind leaves the kernel's memory image ready for a re-run.
+
+    ``backend`` selects a registered execution backend
+    (:mod:`repro.core.backend`); the default is the standard machine.
+    On the cache-less classical backend ``warm`` still reruns the
+    kernel, but both passes time identically.
     """
     from repro.api import restore_point
 
     config = config or MachineConfig()
-    machine = _machine_for(kernel, config)
+    machine = _machine_for(kernel, config, backend=backend)
     rewind = restore_point(machine)
     if warm:
         machine.run(max_cycles=max_cycles)

@@ -22,11 +22,36 @@ folded into every cache key, so old on-disk entries stop matching.
 from functools import lru_cache
 
 from repro.api import Outcome, register_workload
+from repro.core.backend import get_backend
 from repro.core.semantics import program_digest
 from repro.workloads.common import run_kernel
 
 #: Code-version token folded into every result-cache key.
-CACHE_SALT = "experiments/1"
+CACHE_SALT = "experiments/2"
+
+
+def _require_default_backend(request):
+    """Guard for executors whose machines are built deep inside helper
+    modules: they run on the default machine only, and silently
+    recording a different backend id would corrupt the BENCH record."""
+    if request.backend is not None:
+        raise ValueError(
+            "workload %r does not support backend selection; drop "
+            "--backend or use a backend-aware workload (livermore, "
+            "livermore-pair, blas, linpack, simspeed run on every "
+            "registered backend; latency, dual-issue, stride, sustained, "
+            "regfile-ablation, classical-compare, smoke-seed accept the "
+            "multititan-domain backends)" % request.workload)
+
+
+def _require_multititan(request, why):
+    """Guard for executors needing the unified machine specifically."""
+    spec = get_backend(request.resolved_backend())
+    if spec.timing_domain != "multititan":
+        raise ValueError(
+            "workload %r requires a multititan-domain backend (%s); "
+            "backend %r is in domain %r"
+            % (request.workload, why, spec.name, spec.timing_domain))
 
 
 def _kernel_metrics(result):
@@ -62,7 +87,8 @@ def run_livermore(request):
     kernel = _livermore_kernel(request.params)
     result = run_kernel(kernel, config=request.machine_config(),
                         warm=request.params.get("warm", False),
-                        max_cycles=request.max_cycles)
+                        max_cycles=request.max_cycles,
+                        backend=request.backend)
     return Outcome(_kernel_metrics(result), check_error=result.check_error)
 
 
@@ -71,9 +97,11 @@ def run_livermore_pair(request):
     """One Livermore loop, cold and warm (the Figure 14 measurement)."""
     config = request.machine_config()
     cold = run_kernel(_livermore_kernel(request.params), config=config,
-                      warm=False, max_cycles=request.max_cycles)
+                      warm=False, max_cycles=request.max_cycles,
+                      backend=request.backend)
     warm = run_kernel(_livermore_kernel(request.params), config=config,
-                      warm=True, max_cycles=request.max_cycles)
+                      warm=True, max_cycles=request.max_cycles,
+                      backend=request.backend)
     return Outcome(
         {
             "cold_mflops": cold.mflops,
@@ -114,7 +142,8 @@ def run_blas(request):
     result = run_kernel(_blas_kernel(request.params),
                         config=request.machine_config(),
                         warm=request.params.get("warm", True),
-                        max_cycles=request.max_cycles)
+                        max_cycles=request.max_cycles,
+                        backend=request.backend)
     return Outcome(_kernel_metrics(result), check_error=result.check_error)
 
 
@@ -124,7 +153,8 @@ def run_linpack(request):
     from repro.workloads.linpack import measure_linpack
 
     measurement = measure_linpack(request.params.get("n", 40),
-                                  config=request.machine_config())
+                                  config=request.machine_config(),
+                                  backend=request.backend)
     return Outcome(
         {
             "n": measurement.n,
@@ -146,6 +176,7 @@ def run_reduction(request):
     """One of the three Figure 5-7 reduction strategies."""
     from repro.workloads import reductions
 
+    _require_default_backend(request)
     outcome = reductions.run_reduction(request.params["strategy"])
     return Outcome({
         "cycles": outcome.cycles,
@@ -162,6 +193,7 @@ def run_fib(request):
     from repro.baselines.classical import ClassicalVectorMachine
     from repro.workloads import fib
 
+    _require_default_backend(request)
     outcome = fib.run_fibonacci(request.params.get("count", 10))
     classical = ClassicalVectorMachine()
     classical.first_order_recurrence(1.0, [1.0] * 8)
@@ -184,6 +216,7 @@ def run_gather(request):
     count)."""
     from repro.workloads import gather
 
+    _require_default_backend(request)
     pattern = request.params.get("pattern", "stride")
     count = request.params.get("count", 8)
     if pattern == "stride":
@@ -205,6 +238,7 @@ def run_graphics(request):
     """The Figure 13 graphics transform (params: points = stream length)."""
     from repro.workloads import graphics
 
+    _require_default_backend(request)
     count = request.params.get("points", 1)
     outcome = graphics.run_transform(points=[[1.0, 2.0, 3.0, 1.0]] * count)
     return Outcome({
@@ -219,15 +253,16 @@ def run_latency(request):
     """Figure 10 producer-to-consumer latencies (params: op = add|sub|
     mul|div), in cycles and nanoseconds at the 40 ns clock."""
     from repro.core.types import Op
-    from repro.cpu.machine import MultiTitan
     from repro.cpu.program import ProgramBuilder
 
+    _require_multititan(request, "it measures the unified pipeline's "
+                        "producer-to-consumer bypass")
     name = request.params.get("op", "add")
     config = request.machine_config(model_ibuffer=False)
     if name == "div":
         b = ProgramBuilder()
         b.fdiv_seq(q=10, a=0, b=1, temps=(20, 21))
-        machine = MultiTitan(b.build(), config=config)
+        machine = request.create_machine(b.build(), model_ibuffer=False)
         machine.fpu.regs.write(0, 7.0)
         machine.fpu.regs.write(1, 3.0)
         cycles = machine.run().completion_cycle
@@ -236,7 +271,7 @@ def run_latency(request):
         b = ProgramBuilder()
         b.falu(op, 2, 0, 1)
         b.fadd(3, 2, 2)  # dependent consumer
-        machine = MultiTitan(b.build(), config=config)
+        machine = request.create_machine(b.build(), model_ibuffer=False)
         machine.fpu.regs.write(0, 1.5)
         machine.fpu.regs.write(1, 2.5)
         # Producer issues at 0; consumer at `latency`; completes +3.
@@ -248,10 +283,11 @@ def run_latency(request):
 @register_workload("dual-issue")
 def run_dual_issue(request):
     """Section 2.4's peak of two operations per cycle (params: repeats)."""
-    from repro.cpu.machine import MultiTitan
     from repro.cpu.program import ProgramBuilder
     from repro.mem.memory import Arena, Memory, WORD_BYTES
 
+    _require_multititan(request, "it measures the unified machine's "
+                        "dual-issue peak")
     repeats = request.params.get("repeats", 12)
     memory = Memory()
     arena = Arena(memory, base=64)
@@ -261,8 +297,8 @@ def run_dual_issue(request):
         b.fadd(16, 0, 16, vl=16, srb=False)
         for i in range(15):
             b.fload(i, 1, i * WORD_BYTES)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=request.machine_config(model_ibuffer=False))
+    machine = request.create_machine(b.build(), memory=memory,
+                                     model_ibuffer=False)
     machine.iregs[1] = data
     machine.dcache.warm_range(data, 16 * WORD_BYTES)
     result = machine.run()
@@ -283,10 +319,10 @@ def run_dual_issue(request):
 def run_stride(request):
     """Ablation A5: strided loads vs the 16-byte line (params: stride,
     warm, elements)."""
-    from repro.cpu.machine import MultiTitan
     from repro.cpu.program import ProgramBuilder
     from repro.mem.memory import Arena, Memory, WORD_BYTES
 
+    _require_multititan(request, "it measures data-cache line reuse")
     stride = request.params.get("stride", 1)
     warm = request.params.get("warm", False)
     elements = request.params.get("elements", 64)
@@ -301,8 +337,8 @@ def run_stride(request):
         for i in range(16):
             b.fload(i, 1, (block + i) * stride * WORD_BYTES)
         b.fadd(16, 0, 0, vl=16)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=request.machine_config(model_ibuffer=False))
+    machine = request.create_machine(b.build(), memory=memory,
+                                     model_ibuffer=False)
     machine.iregs[1] = base
     if warm:
         machine.dcache.warm_range(base, elements * stride * WORD_BYTES)
@@ -316,17 +352,18 @@ def run_regfile_ablation(request):
     """Ablation A1: context-switch and reduction costs, unified vs the
     classical split register file."""
     from repro.baselines.classical import ClassicalVectorMachine
-    from repro.cpu.machine import MultiTitan
     from repro.cpu.program import ProgramBuilder
     from repro.mem.memory import Memory, WORD_BYTES
     from repro.workloads import reductions
 
+    _require_multititan(request, "it contrasts the unified register "
+                        "file against the analytic classical model")
     memory = Memory()
     b = ProgramBuilder()
     for i in range(52):
         b.fstore(i, 1, i * WORD_BYTES)
-    machine = MultiTitan(b.build(), memory=memory,
-                         config=request.machine_config(model_ibuffer=False))
+    machine = request.create_machine(b.build(), memory=memory,
+                                     model_ibuffer=False)
     machine.iregs[1] = 4096
     machine.dcache.warm_range(4096, 52 * WORD_BYTES)
     save_cycles = machine.run().completion_cycle
@@ -351,11 +388,12 @@ def run_classical_compare(request):
     classical vector machine (params: workload = elementwise|dot|
     recurrence, n)."""
     from repro.baselines.classical import ClassicalVectorMachine
-    from repro.cpu.machine import MultiTitan
     from repro.cpu.program import ProgramBuilder
     from repro.mem.memory import Arena, Memory
     from repro.vectorize.builder import VectorKernelBuilder
 
+    _require_multititan(request, "it contrasts the unified machine "
+                        "against the analytic classical model")
     workload = request.params.get("workload", "elementwise")
     n = request.params.get("n", 64)
     config = request.machine_config(model_ibuffer=False)
@@ -377,7 +415,8 @@ def run_classical_compare(request):
             vb.vstore(oh, vb.mul(x, y, into=x))
 
         vb.strip_loop(n, body)
-        machine = MultiTitan(b.build(), memory=memory, config=config)
+        machine = request.create_machine(b.build(), memory=memory,
+                                         model_ibuffer=False)
         machine.dcache.warm_range(0, 4096)
         multititan = machine.run().completion_cycle
 
@@ -389,7 +428,8 @@ def run_classical_compare(request):
     elif workload == "dot":
         from repro.workloads.blas import ddot_kernel
 
-        result = run_kernel(ddot_kernel(n), config=config, warm=True)
+        result = run_kernel(ddot_kernel(n), config=config, warm=True,
+                            backend=request.backend)
         if result.check_error:
             return Outcome({}, check_error=result.check_error)
         multititan = result.cycles
@@ -410,7 +450,7 @@ def run_classical_compare(request):
                 b.fadd(1, dest + step - 1, 1, vl=1, srb=False)
                 dest = 2
             remaining -= step
-        machine = MultiTitan(b.build(), config=config)
+        machine = request.create_machine(b.build(), model_ibuffer=False)
         machine.fpu.regs.write(0, 0.001)
         machine.fpu.regs.write(1, 0.001)
         multititan = machine.run().completion_cycle
@@ -427,6 +467,7 @@ def run_nhalf(request):
     """Hockney's half-performance length fit (params: include_memory)."""
     from repro.analysis.metrics import measure_n_half
 
+    _require_default_backend(request)
     fit = measure_n_half(
         include_memory=request.params.get("include_memory", False))
     return Outcome({
@@ -443,20 +484,23 @@ def run_sustained(request):
     from repro.workloads.graphics import FLOPS_PER_POINT, run_transform
     from repro.workloads.livermore import build_loop
 
+    _require_multititan(request, "the graphics transform stage builds "
+                        "the unified machine internally")
     coding = request.params.get("coding", "vector")
     config = request.machine_config()
     total_flops = 0
     total_cycles = 0
     for kernel in (daxpy_kernel(256, coding=coding),
                    ddot_kernel(256, coding=coding)):
-        result = run_kernel(kernel, config=config, warm=True)
+        result = run_kernel(kernel, config=config, warm=True,
+                            backend=request.backend)
         if result.check_error:
             return Outcome({}, check_error=result.check_error)
         total_flops += result.nominal_flops
         total_cycles += result.cycles
     for loop in (1, 7):
         result = run_kernel(build_loop(loop, coding=coding), config=config,
-                            warm=True)
+                            warm=True, backend=request.backend)
         if result.check_error:
             return Outcome({}, check_error=result.check_error)
         total_flops += result.nominal_flops
@@ -484,17 +528,19 @@ def run_simspeed(request):
 
     row = time_kernel(request.params.get("kernel", "int_loop"),
                       request.params.get("iterations", 20_000),
-                      request.params.get("repeats", 1))
+                      request.params.get("repeats", 1),
+                      backend=request.backend)
     return Outcome({"simulated_cycles": row["simulated_cycles"],
                     "cycles_per_second": row["cycles_per_second"]})
 
 
-@lru_cache(maxsize=1)
-def _smoke_baseline():
-    """The fault-free golden state, computed once per worker process."""
+@lru_cache(maxsize=None)
+def _smoke_baseline(backend=None):
+    """The fault-free golden state, computed once per worker process
+    (and per backend)."""
     from repro.robustness import smoke
 
-    golden = smoke.make_machine(audit=True)
+    golden = smoke.make_machine(audit=True, backend=backend)
     result = golden.run()
     return smoke.architectural_state(golden), result.completion_cycle
 
@@ -506,15 +552,18 @@ def run_smoke_seed(request):
     from repro.robustness import smoke
     from repro.robustness.faults import KINDS
 
+    _require_multititan(request, "fault injection drives the unified "
+                        "machine's pipeline hooks")
     kinds = tuple(request.params.get("kinds") or KINDS)
     unknown = sorted(set(kinds) - set(KINDS))
     if unknown:
         raise ValueError("unknown fault kind(s) %s (choose from %s)"
                          % (", ".join(unknown), ", ".join(KINDS)))
-    baseline, baseline_cycles = _smoke_baseline()
+    baseline, baseline_cycles = _smoke_baseline(request.backend)
     verdict, detail, kinds_used = smoke.run_seed(
         request.params["seed"], baseline, baseline_cycles, kinds,
-        request.params.get("faults", 1), max_cycles=request.max_cycles)
+        request.params.get("faults", 1), max_cycles=request.max_cycles,
+        backend=request.backend)
     return Outcome({
         "verdict": verdict,
         "detail": detail,
@@ -530,10 +579,28 @@ def run_fuzz_chunk(request):
     the CLI merges chunk coverage for the campaign floor."""
     from repro.robustness.fuzz import fuzz
 
+    backends = request.params.get("backends")
+    if request.backend is not None and not backends:
+        raise ValueError(
+            "the fuzz workload compares backends internally; pass "
+            "params[\"backends\"] (CLI: --backends A,B,...) instead of "
+            "--backend")
+    backend_cycles = {}
+    timed_cases = [0]
+
+    def _collect(case, case_result):
+        if case_result.timings:
+            timed_cases[0] += 1
+            for name, row in case_result.timings.items():
+                backend_cycles[name] = (backend_cycles.get(name, 0)
+                                        + row["cycles"])
+
     result = fuzz(seeds=request.params.get("seeds", 100),
                   base_seed=request.params.get("base_seed", 0),
                   bug=request.params.get("bug"),
-                  max_cycles=request.max_cycles)
+                  max_cycles=request.max_cycles,
+                  backends=tuple(backends) if backends else None,
+                  on_case=_collect if backends else None)
     failures = [{"seed": failure.case.seed,
                  "signature": failure.result.signature}
                 for failure in result.failures]
@@ -541,14 +608,18 @@ def run_fuzz_chunk(request):
                         for failure in result.generator_errors]
     hit_bins = sorted("/".join(str(part) for part in bin_key)
                       for bin_key in result.coverage.hits)
+    metrics = {
+        "cases": result.cases,
+        "failures": failures,
+        "generator_errors": generator_errors,
+        "coverage_bins": len(hit_bins),
+        "hit_bins": hit_bins,
+    }
+    if backends:
+        metrics["backend_cycles"] = backend_cycles
+        metrics["timed_cases"] = timed_cases[0]
     return Outcome(
-        {
-            "cases": result.cases,
-            "failures": failures,
-            "generator_errors": generator_errors,
-            "coverage_bins": len(hit_bins),
-            "hit_bins": hit_bins,
-        },
+        metrics,
         check_error=None if result.clean else
         "%d failure(s), %d generator error(s)"
         % (len(failures), len(generator_errors)))

@@ -423,10 +423,13 @@ class LinpackMeasurement:
     check_error: str = None
 
 
-def measure_linpack(n=DEFAULT_N, config=None, warm=True, seed=1989):
+def measure_linpack(n=DEFAULT_N, config=None, warm=True, seed=1989,
+                    backend=None):
     """Run both codings; the paper reports 4.1 scalar / 6.1 vector MFLOPS."""
-    scalar = run_kernel(build_linpack(n, "scalar", seed), config=config, warm=warm)
-    vector = run_kernel(build_linpack(n, "vector", seed), config=config, warm=warm)
+    scalar = run_kernel(build_linpack(n, "scalar", seed), config=config,
+                        warm=warm, backend=backend)
+    vector = run_kernel(build_linpack(n, "vector", seed), config=config,
+                        warm=warm, backend=backend)
     return LinpackMeasurement(
         n=n,
         scalar_mflops=scalar.mflops,

@@ -13,7 +13,8 @@ run the same kernels declaratively.
 
 import time
 
-from repro.cpu.machine import MachineConfig, MultiTitan
+from repro.core.backend import create_machine
+from repro.cpu.machine import MachineConfig, MultiTitan  # noqa: F401  (re-exported)
 from repro.cpu.program import ProgramBuilder
 from repro.mem.memory import Memory
 
@@ -90,21 +91,23 @@ KERNELS = {
 }
 
 
-def time_kernel(name, iterations, repeats, fast_path=True):
+def time_kernel(name, iterations, repeats, fast_path=True, backend=None):
     """Best-of-``repeats`` simulated-cycles-per-second for one kernel.
 
     ``fast_path=False`` times the reference per-cycle loop instead of
     the superblock/burst fast path; both must simulate the same number
     of cycles (enforced by the fast-vs-slow differential fuzz mode and
-    by ``benchmarks/bench_simspeed.py``'s ratio gate).
+    by ``benchmarks/bench_simspeed.py``'s ratio gate).  ``backend``
+    times a registered execution backend instead (the named backend's
+    dispatch strategy then wins over ``fast_path``).
     """
     program, setup = KERNELS[name](iterations)
     best = 0.0
     cycles = 0
     for _ in range(repeats):
-        machine = MultiTitan(program, memory=Memory(),
-                             config=MachineConfig(model_ibuffer=False,
-                                                  fast_path=fast_path))
+        machine = create_machine(
+            backend, program, memory=Memory(),
+            config=MachineConfig(model_ibuffer=False, fast_path=fast_path))
         if setup:
             setup(machine)
         start = time.perf_counter()

@@ -39,7 +39,8 @@ FAST = dict(retry_base=0.01, seed=0)
 def _entry_payload(metrics=None):
     return {"schema": RESULT_SCHEMA, "workload": "w", "params": {},
             "config": {}, "metrics": metrics or {"cycles": 1},
-            "check_error": None, "program_digest": None, "key": "k"}
+            "check_error": None, "program_digest": None, "key": "k",
+            "backend": "fastpath"}
 
 
 # ---------------------------------------------------------------------------
