@@ -451,13 +451,17 @@ class Session:
         return self.run_many([request])[0]
 
     def run_many(self, requests, jobs=None, resume=None, chaos=None,
-                 start_method=None):
+                 start_method=None, should_abort=None):
         """Run independent requests across the supervised worker fleet;
         results come back in request order regardless of completion
         order, retries or failures.  ``resume=True`` replays this
         campaign's journal (requires ``journal_dir``) and re-executes
         only unfinished tasks; ``chaos`` injects orchestration-layer
-        faults (:class:`repro.robustness.chaos.ChaosPlan`)."""
+        faults (:class:`repro.robustness.chaos.ChaosPlan`);
+        ``should_abort`` is polled between dispatches and stops the
+        campaign with :class:`repro.orchestrate.CampaignAborted` when it
+        turns true (the service's drain/cancel path -- journaled tasks
+        survive for ``--resume``)."""
         run = orchestrate.run_campaign(
             list(requests), jobs=self.jobs if jobs is None else max(1, jobs),
             cache_dir=self.cache_dir, progress=self.progress,
@@ -465,7 +469,8 @@ class Session:
             journal_dir=self.journal_dir,
             resume=self.resume if resume is None else resume, chaos=chaos,
             start_method=start_method,
-            seed=self.seed if isinstance(self.seed, int) else 0)
+            seed=self.seed if isinstance(self.seed, int) else 0,
+            should_abort=should_abort)
         self.last_campaign = run
         return run.results
 

@@ -7,22 +7,44 @@ that digest.  The supervisor appends one line per *finalized* task --
 success, or a terminal structured failure -- flushed and fsynced before
 the next task is dispatched, so after a crash, a ``kill -9`` or a
 ``KeyboardInterrupt`` the journal holds exactly the set of completed
-tasks (a torn final line from a crash mid-append is detected and
-dropped on load).
+tasks.
+
+Because every append is one ``write()`` of ``line + "\\n"`` followed by
+flush+fsync, a crash can tear only the *final* line, and a torn line is
+exactly a line missing its newline terminator.  :meth:`CampaignJournal.
+load` therefore drops an unterminated tail silently (that is the
+expected crash artifact) but treats everything else -- an unparseable
+*terminated* line, a line whose index or per-task digest does not match
+this campaign -- as damage worth reporting: such lines are counted in
+:attr:`CampaignJournal.load_report` and surfaced as warnings by the
+orchestrator instead of vanishing.  :meth:`CampaignJournal.
+repair_torn_tail` truncates a torn tail before a resume appends new
+records, so a partial line never fuses with the next append into a
+corrupt mid-file line.
 
 ``--resume`` replays the journal: every journaled task is restored
 without re-execution, and only the remainder runs.  Entries are keyed
 by a per-task digest as well as the campaign digest, so a journal can
 never leak results across edited campaigns -- any mismatch simply
-ignores the stale line.
+skips the stale line (and reports it).
+
+:func:`list_journals` and :func:`prune_journals` are the hygiene layer
+behind ``python -m repro journal list|prune``: they enumerate the
+journal files under a directory (complete, partial, or damaged) and
+garbage-collect the stale ones.
 """
 
 import hashlib
 import json
 import os
+import time
 
 #: Version tag of one journal file (header line).
 JOURNAL_SCHEMA = "repro-journal/1"
+
+#: Journal filename shape: journal-<campaign digest prefix>.jsonl.
+_PREFIX = "journal-"
+_SUFFIX = ".jsonl"
 
 
 def _canonical(payload):
@@ -38,6 +60,48 @@ def campaign_digest(serialized_requests):
     """SHA-256 of the ordered request list: the journal's identity."""
     return hashlib.sha256(
         _canonical(list(serialized_requests)).encode("utf-8")).hexdigest()
+
+
+class LoadReport:
+    """What one :meth:`CampaignJournal.load` pass found beyond the
+    restored entries: damage that must not vanish silently.
+
+    ``corrupt_lines`` -- *terminated* lines that failed to parse (real
+    corruption: a torn crash write can only ever lack its newline);
+    ``skipped_lines`` -- parseable lines that do not belong (bad index,
+    per-task digest mismatch, malformed shape); ``torn_tail`` -- True
+    when an unterminated final line was dropped (the one silent case);
+    ``invalidated`` -- the reason the whole journal was rejected, or
+    None.
+    """
+
+    def __init__(self):
+        self.corrupt_lines = 0
+        self.skipped_lines = 0
+        self.torn_tail = False
+        self.torn_offset = None
+        self.invalidated = None
+        self.restored = 0
+
+    @property
+    def damaged(self):
+        return bool(self.corrupt_lines or self.skipped_lines
+                    or self.invalidated)
+
+    def warnings(self):
+        """Human-readable warning lines for the progress sink (empty
+        when the journal loaded clean; a torn tail alone is expected
+        crash damage and stays silent)."""
+        out = []
+        if self.invalidated:
+            out.append("journal invalidated: %s" % self.invalidated)
+        if self.corrupt_lines:
+            out.append("journal: %d corrupt mid-file line(s) ignored -- "
+                       "their tasks will re-execute" % self.corrupt_lines)
+        if self.skipped_lines:
+            out.append("journal: %d stale/mismatched line(s) skipped -- "
+                       "their tasks will re-execute" % self.skipped_lines)
+        return out
 
 
 class CampaignJournal:
@@ -56,8 +120,9 @@ class CampaignJournal:
         self.task_digests = [task_digest(request)
                              for request in self.serialized]
         self.path = os.path.join(self.directory,
-                                 "journal-%s.jsonl" % self.campaign[:16])
+                                 _PREFIX + self.campaign[:16] + _SUFFIX)
         self._handle = None
+        self.load_report = LoadReport()
 
     # -- writing --------------------------------------------------------
 
@@ -103,41 +168,180 @@ class CampaignJournal:
     def load(self):
         """Restore finalized outcomes: ``{index: (result, sidecar)}``.
 
-        Tolerates a missing file, a torn trailing line, and entries from
-        a differently-shaped campaign (header or per-task digest
-        mismatches are skipped, never trusted).
+        Tolerant, but never silent about damage: a missing file or an
+        unterminated (torn) final line are expected crash artifacts and
+        load cleanly; anything else that cannot be restored -- corrupt
+        terminated lines, stale entries from a differently-shaped
+        campaign -- is counted in :attr:`load_report` so the caller can
+        warn instead of quietly re-executing work the operator believed
+        was journaled.
         """
+        report = LoadReport()
+        self.load_report = report
         restored = {}
         try:
-            with open(self.path, encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
+            with open(self.path, "rb") as handle:
+                data = handle.read()
         except (FileNotFoundError, OSError):
             return restored
-        header = None
-        for line in lines:
-            try:
-                payload = json.loads(line)
-            except ValueError:
-                continue  # torn tail from a crash mid-append
-            if not isinstance(payload, dict):
+        # Split on the newline *terminator*: a final segment only exists
+        # when the last write was torn mid-line.
+        segments = data.split(b"\n")
+        tail = segments.pop()
+        if tail:
+            report.torn_tail = True
+            report.torn_offset = len(data) - len(tail)
+        header_seen = False
+        for segment in segments:
+            if not segment:
+                report.corrupt_lines += 1  # blank line: not ours
                 continue
-            if header is None:
-                header = payload
+            try:
+                payload = json.loads(segment.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                report.corrupt_lines += 1
+                continue
+            if not isinstance(payload, dict):
+                report.corrupt_lines += 1
+                continue
+            if not header_seen:
+                header_seen = True
                 if (payload.get("schema") != JOURNAL_SCHEMA
                         or payload.get("campaign") != self.campaign
                         or payload.get("count") != len(self.serialized)):
+                    report.invalidated = (
+                        "header does not match this campaign "
+                        "(campaign %r, count %r)"
+                        % (payload.get("campaign", "?")[:16],
+                           payload.get("count")))
                     return {}
                 continue
             index = payload.get("index")
-            if not isinstance(index, int):
-                continue
-            if not 0 <= index < len(self.serialized):
-                continue
-            if payload.get("task") != self.task_digests[index]:
+            if (not isinstance(index, int)
+                    or not 0 <= index < len(self.serialized)
+                    or payload.get("task") != self.task_digests[index]):
+                report.skipped_lines += 1
                 continue
             result = payload.get("result")
             sidecar = payload.get("sidecar")
             if not isinstance(result, dict) or not isinstance(sidecar, dict):
+                report.skipped_lines += 1
                 continue
             restored[index] = (result, sidecar)
+        report.restored = len(restored)
         return restored
+
+    def repair_torn_tail(self):
+        """Truncate the torn final line the last :meth:`load` found.
+
+        Must run before a resume reopens the journal for append --
+        otherwise the next record would fuse with the partial line into
+        one corrupt mid-file line.  Returns True when a tail was cut.
+        """
+        offset = self.load_report.torn_offset
+        if offset is None:
+            return False
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+        except OSError:
+            return False
+        self.load_report.torn_offset = None
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Journal hygiene: enumerate and GC the files under a --journal-dir
+# ---------------------------------------------------------------------------
+
+def describe_journal(path):
+    """One journal file's summary: header identity, entry count,
+    completeness, size and age -- without needing the request list.
+
+    ``entries`` counts distinct well-formed task indices; ``complete``
+    is True when every task the header promised is journaled.  A file
+    whose header is unreadable comes back with ``valid`` False (and is
+    never considered complete).
+    """
+    info = {
+        "path": path,
+        "name": os.path.basename(path),
+        "valid": False,
+        "campaign": None,
+        "count": None,
+        "entries": 0,
+        "complete": False,
+        "size_bytes": 0,
+        "mtime": 0.0,
+    }
+    try:
+        stat = os.stat(path)
+        info["size_bytes"] = stat.st_size
+        info["mtime"] = stat.st_mtime
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return info
+    segments = data.split(b"\n")
+    segments.pop()  # unterminated tail (or the empty post-newline segment)
+    indices = set()
+    for position, segment in enumerate(segments):
+        try:
+            payload = json.loads(segment.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if position == 0:
+            if (payload.get("schema") == JOURNAL_SCHEMA
+                    and isinstance(payload.get("count"), int)):
+                info["valid"] = True
+                info["campaign"] = payload.get("campaign")
+                info["count"] = payload["count"]
+            continue
+        if isinstance(payload.get("index"), int):
+            indices.add(payload["index"])
+    info["entries"] = len(indices)
+    if info["valid"] and info["count"] is not None:
+        info["complete"] = info["entries"] >= info["count"]
+    return info
+
+
+def list_journals(directory):
+    """Describe every journal file under ``directory``, oldest first."""
+    try:
+        names = sorted(os.listdir(str(directory)))
+    except OSError:
+        return []
+    journals = []
+    for name in names:
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            continue
+        journals.append(describe_journal(os.path.join(str(directory), name)))
+    journals.sort(key=lambda info: (info["mtime"], info["name"]))
+    return journals
+
+
+def prune_journals(directory, completed_only=True, older_than=None,
+                   now=None):
+    """Garbage-collect journal files; returns the removed descriptions.
+
+    ``completed_only=True`` (the default) removes only journals whose
+    every promised task is recorded -- they have nothing left to resume.
+    ``completed_only=False`` removes partial and damaged journals too
+    (abandoning their resume state).  ``older_than`` further restricts
+    removal to files whose mtime is at least that many seconds old.
+    """
+    now = time.time() if now is None else now
+    removed = []
+    for info in list_journals(directory):
+        if completed_only and not info["complete"]:
+            continue
+        if older_than is not None and now - info["mtime"] < older_than:
+            continue
+        try:
+            os.remove(info["path"])
+        except OSError:
+            continue
+        removed.append(info)
+    return removed

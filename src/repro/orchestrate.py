@@ -86,6 +86,12 @@ _POLL_SECONDS = 0.05
 DEFAULT_TEMP_SWEEP_AGE = 300.0
 
 
+class CampaignAborted(Exception):
+    """An external stop request (service drain, cancellation) ended the
+    campaign early.  Finalized tasks are already journaled, so the
+    campaign resumes exactly like one interrupted by ^C."""
+
+
 def cache_key(workload, params, config_fingerprint, program_digest=None,
               salt="", backend=None):
     """The cache key: program digest x config fingerprint x run kwargs.
@@ -475,7 +481,7 @@ class Supervisor:
     def __init__(self, serialized, pending, jobs, cache_dir=None,
                  task_timeout=None, max_retries=DEFAULT_MAX_RETRIES,
                  retry_base=DEFAULT_RETRY_BASE, seed=0, chaos=None,
-                 start_method=None, on_final=None):
+                 start_method=None, on_final=None, should_abort=None):
         self.serialized = serialized
         self.cache_dir = cache_dir
         self.jobs = max(1, min(int(jobs), len(pending) or 1))
@@ -485,6 +491,7 @@ class Supervisor:
         self.seed = seed
         self.chaos = chaos
         self.on_final = on_final
+        self.should_abort = should_abort
         if start_method is None and \
                 "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
@@ -504,6 +511,10 @@ class Supervisor:
             self.workers = [_WorkerHandle(self.context, worker_id)
                             for worker_id in range(self.jobs)]
             while self.remaining:
+                if self.should_abort is not None and self.should_abort():
+                    raise CampaignAborted(
+                        "campaign aborted with %d task(s) unfinished"
+                        % len(self.remaining))
                 self._promote_delayed()
                 self._dispatch()
                 self._collect()
@@ -671,11 +682,15 @@ class Supervisor:
 
 
 def _run_inline(serialized, pending, cache_dir, max_retries, retry_base,
-                seed, on_final):
+                seed, on_final, should_abort=None):
     """The in-process engine for plain ``jobs=1`` campaigns (no chaos,
     no timeout): same retry/quarantine discipline, no subprocesses."""
     max_attempts = max(0, int(max_retries)) + 1
-    for index in pending:
+    for position, index in enumerate(pending):
+        if should_abort is not None and should_abort():
+            raise CampaignAborted(
+                "campaign aborted with %d task(s) unfinished"
+                % (len(pending) - position))
         log = []
         attempt = 1
         while True:
@@ -788,7 +803,8 @@ def _headline_metric(metrics):
 def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
                  task_timeout=None, max_retries=DEFAULT_MAX_RETRIES,
                  retry_base=DEFAULT_RETRY_BASE, journal_dir=None,
-                 resume=False, chaos=None, start_method=None, seed=0):
+                 resume=False, chaos=None, start_method=None, seed=0,
+                 should_abort=None, on_task=None):
     """Run independent requests across a supervised worker fleet;
     results keep request order regardless of completion order, worker
     count, retries or failures.
@@ -802,6 +818,12 @@ def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
     inject orchestration-layer faults; ``start_method`` pins the
     multiprocessing start method (default: fork where available).
     ``progress`` is a callable taking one line of text (e.g. ``print``).
+    ``should_abort`` is polled between dispatches; when it turns true
+    the campaign stops with :class:`CampaignAborted` -- finalized tasks
+    stay journaled, exactly like a ^C (the service drain path).
+    ``on_task(index, payload, sidecar)`` fires after each task is
+    finalized and journaled -- the structured analogue of ``progress``
+    (the service streams these as server-sent events).
     """
     serialized = [request.to_dict() for request in requests]
     total = len(serialized)
@@ -817,11 +839,19 @@ def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
         journal = CampaignJournal(journal_dir, serialized)
         if resume:
             restored = journal.load()
+            # A torn tail must be cut before new records append to the
+            # file, or the partial line would fuse with the next append
+            # into a corrupt mid-file line.
+            journal.repair_torn_tail()
+            for warning in journal.load_report.warnings():
+                sink.line(warning)
         else:
             journal.start_fresh()
     for index, (payload, sidecar) in sorted(restored.items()):
         outcomes[index] = payload
         sidecars[index] = dict(sidecar, resumed=True)
+        if on_task is not None:
+            on_task(index, payload, sidecars[index])
     if restored:
         sink.done = len(restored)
         sink.line("resumed %d/%d task(s) from journal %s"
@@ -834,6 +864,8 @@ def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
         if journal is not None:
             journal.record(index, payload, sidecar)
         sink.task(serialized[index], sidecar)
+        if on_task is not None:
+            on_task(index, payload, sidecar)
 
     supervised = bool(pending) and (jobs > 1 or chaos is not None
                                     or task_timeout is not None
@@ -846,12 +878,14 @@ def run_campaign(requests, jobs=1, cache_dir=None, progress=None,
                 serialized, pending, jobs, cache_dir=cache_dir,
                 task_timeout=task_timeout, max_retries=max_retries,
                 retry_base=retry_base, seed=seed, chaos=chaos,
-                start_method=start_method, on_final=on_final)
+                start_method=start_method, on_final=on_final,
+                should_abort=should_abort)
             effective_jobs = supervisor.jobs
             supervisor.run()
         elif pending:
             _run_inline(serialized, pending, cache_dir, max_retries,
-                        retry_base, seed, on_final)
+                        retry_base, seed, on_final,
+                        should_abort=should_abort)
     finally:
         wall = time.perf_counter() - start
         if journal is not None:

@@ -339,3 +339,378 @@ def run_chaos_campaign(tasks=12, jobs=4, seed=1989, task_timeout=2.0,
     elif not report.ok:
         report.note("workdir kept for inspection: %s" % workdir)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Service-level chaos (CLI `repro chaos --service`, CI `service-smoke`)
+# ---------------------------------------------------------------------------
+
+class ServiceChaosReport:
+    """What one service chaos run established, phase by phase."""
+
+    def __init__(self, tasks, jobs):
+        self.tasks = tasks
+        self.jobs = jobs
+        self.problems = []
+        self.lines = []
+
+    @property
+    def ok(self):
+        return not self.problems
+
+    def note(self, text):
+        self.lines.append(text)
+
+    def problem(self, text):
+        self.problems.append(text)
+
+    def render(self):
+        out = ["service chaos harness: %d tasks, jobs=%d"
+               % (self.tasks, self.jobs)]
+        out.extend("  " + line for line in self.lines)
+        if self.problems:
+            out.append("SERVICE CHAOS HARNESS FAILED: %d problem(s)"
+                       % len(self.problems))
+            out.extend("  problem: " + text for text in self.problems)
+        else:
+            out.append("service chaos harness: all checks passed")
+        return "\n".join(out)
+
+
+def _direct_bench_text(requests, plan, deadline, seed, cache_dir,
+                       max_retries, retry_base, jobs=1):
+    """The ground truth the service must reproduce byte-for-byte: the
+    same requests through a local run_campaign with the same chaos plan
+    and watchdog deadline (the chaos harness proved these bytes are
+    identical at any worker count)."""
+    from repro import orchestrate
+
+    run = orchestrate.run_campaign(
+        list(requests), jobs=jobs, cache_dir=cache_dir,
+        task_timeout=deadline, max_retries=max_retries,
+        retry_base=retry_base, chaos=plan, seed=seed)
+    return orchestrate.dump_bench_json(run.results, sweep="service")
+
+
+def _check_service_document(report, label, plan, requests, text):
+    """The service-side analogue of :func:`_check_campaign`: assert
+    zero lost tasks, request order, recovery, and the expected typed
+    attempt record for every injected fault -- from the BENCH document
+    the service served."""
+    import json
+
+    from repro import orchestrate
+
+    try:
+        document = orchestrate.validate_bench_json(json.loads(text))
+    except ValueError as exc:
+        report.problem("%s: served document is invalid: %s" % (label, exc))
+        return
+    entries = document["results"]
+    if len(entries) != len(requests):
+        report.problem("%s: %d tasks submitted, %d results served"
+                       % (label, len(requests), len(entries)))
+        return
+    for index, (request, entry) in enumerate(zip(requests, entries)):
+        if (entry["workload"] != request.workload
+                or entry["params"] != request.params):
+            report.problem("%s: task %d out of order" % (label, index))
+    for index, kind in sorted((plan or ChaosPlan()).kinds().items()):
+        entry = entries[index]
+        if entry.get("failure") is not None:
+            report.problem("%s: task %d (%s fault) did not recover: %s"
+                           % (label, index, kind, entry["failure"]))
+            continue
+        if kind == "corrupt":
+            continue  # self-healing is observed through cache telemetry
+        recorded = [record["kind"] for record in entry.get("attempts", [])]
+        expected = EXPECTED_RECORD[kind]
+        if expected not in recorded:
+            report.problem("%s: task %d %s fault left no %r attempt record "
+                           "(got %s)" % (label, index, kind, expected,
+                                         recorded or "[]"))
+    report.note("%s: %d/%d tasks served, every fault recovered"
+                % (label, len(entries), len(requests)))
+
+
+def _slow_and_disconnecting_clients(report, host, port, read_timeout):
+    """A client that dribbles half a request and stalls, and one that
+    vanishes mid-connection: the server must time both out (408 or
+    close) without wedging the accept loop."""
+    import socket
+
+    try:
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b"POST /v1/campaigns HTTP/1.1\r\nContent-Le")
+            sock.settimeout(read_timeout + 5.0)
+            data = sock.recv(4096)  # the 408 (or empty on close)
+        if data and b"408" not in data.split(b"\r\n", 1)[0]:
+            report.problem("slow client: expected 408 or close, got %r"
+                           % data[:60])
+        else:
+            report.note("slow client: timed out with %s"
+                        % ("408" if data else "connection close"))
+    except OSError as exc:
+        report.problem("slow client probe failed: %s" % exc)
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+        sock.sendall(b"GET /v1/health HTTP/1.1\r\n")  # torn header block
+        sock.close()  # vanish mid-request
+        report.note("disconnecting client: dropped mid-request")
+    except OSError as exc:
+        report.problem("disconnecting client probe failed: %s" % exc)
+
+
+def run_service_chaos(tasks=8, jobs=2, seed=1989, deadline=1.5,
+                      max_retries=2, retry_base=0.05, workdir=None,
+                      progress=None):
+    """Chaos-under-load against the campaign service over real HTTP.
+
+    Phases (each a named note in the report):
+
+    1. **faulted campaign** -- worker SIGKILL, watchdog hang and a
+       transient exception injected into a campaign submitted over
+       HTTP; the service must lose nothing, record every fault, and its
+       BENCH document must be byte-identical to a local
+       ``run_campaign`` under the same plan.
+    2. **dedup** -- the identical resubmission coalesces (never
+       double-executes).
+    3. **streaming + rude clients** -- SSE progress events arrive; a
+       slow client and a mid-request disconnect are absorbed.
+    4. **overload** -- submits past the bounded queue draw HTTP 429
+       with ``Retry-After``; honoring it eventually succeeds; nothing
+       admitted is lost.
+    5. **quota** -- a flooding client id is rate-limited (429) while
+       another client is not.
+    6. **drain + resume** -- a SIGTERM-style drain mid-campaign yields
+       ``interrupted`` + a resume hint and 503s for new work; a fresh
+       service on the same journal dir completes the remainder from the
+       journal, byte-identically.
+
+    Returns a :class:`ServiceChaosReport`; ``report.ok`` is the CI
+    verdict for the ``service-smoke`` job.
+    """
+    import os as _os
+    import shutil
+    import tempfile
+
+    from repro.api import RunRequest
+    from repro.service.client import (ServiceClient, ServiceError,
+                                      ServiceOverloaded)
+    from repro.service.server import ServiceThread
+
+    owned = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-service-chaos-")
+    report = ServiceChaosReport(tasks, jobs)
+    requests = chaos_requests(tasks)
+    plan = ChaosPlan.seeded(seed, tasks, kills=1, hangs=1, transients=1,
+                            corrupts=0)
+    chaos_option = {"faults": {str(k): v for k, v in plan.kinds().items()}}
+    read_timeout = 1.0
+
+    direct_text = _direct_bench_text(
+        requests, ChaosPlan(faults=plan.faults), deadline, seed,
+        _os.path.join(workdir, "cache-direct"), max_retries, retry_base)
+
+    service_kwargs = dict(
+        jobs=jobs, cache_dir=_os.path.join(workdir, "cache-service"),
+        journal_dir=_os.path.join(workdir, "journal"), max_queue=2,
+        max_active=1, max_retries=max_retries, retry_base=retry_base,
+        seed=seed, drain_grace=0.2)
+
+    with ServiceThread(read_timeout=read_timeout, **service_kwargs) as srv:
+        client = ServiceClient(port=srv.port, client_id="chaos-harness")
+
+        # Phase 1: the faulted campaign over HTTP.
+        submitted = client.submit(requests, chaos=chaos_option,
+                                  deadline_seconds=deadline, seed=seed)
+        final = client.wait(submitted["campaign"], timeout=180.0)
+        if final["state"] != "done":
+            report.problem("faulted campaign ended %r: %s"
+                           % (final["state"], final.get("error_detail")))
+        else:
+            text = client.result_text(submitted["campaign"])
+            _check_service_document(report, "faulted campaign", plan,
+                                    requests, text)
+            if text == direct_text:
+                report.note("determinism: service BENCH bytes identical to "
+                            "local run_campaign (%d bytes)" % len(text))
+            else:
+                report.problem("service BENCH bytes differ from the local "
+                               "run under the same chaos plan")
+
+        # Phase 2: dedup -- identical submission must coalesce.
+        before = client.health()["counters"]["submitted"]
+        again = client.submit(requests, chaos=chaos_option,
+                              deadline_seconds=deadline, seed=seed)
+        after = client.health()["counters"]
+        if not again.get("deduplicated") or again["state"] != "done":
+            report.problem("dedup: identical resubmission did not coalesce "
+                           "(%s)" % again)
+        elif after["submitted"] != before:
+            report.problem("dedup: resubmission admitted a duplicate "
+                           "campaign")
+        else:
+            report.note("dedup: identical resubmission coalesced, "
+                        "nothing re-executed")
+
+        # Phase 3: SSE streaming + slow/disconnecting clients.  A single
+        # hang-faulted task keeps the campaign alive until well after
+        # the stream connects, so no task event can be missed.
+        stream_requests = [RunRequest("fib", {"count": 21})]
+        streamed = client.submit(stream_requests, sweep="stream",
+                                 chaos={"faults": {"0": "hang"}},
+                                 deadline_seconds=deadline, seed=seed)
+        saw = {"task": 0, "terminal": False}
+        for event in client.events(streamed["campaign"], timeout=60.0):
+            if event.get("event") == "task":
+                saw["task"] += 1
+            if event.get("event") in ("state", "status") and \
+                    event.get("state") in ("done", "failed"):
+                saw["terminal"] = True
+        if saw["task"] < len(stream_requests):
+            report.problem("SSE: saw %d task events for a %d-task campaign"
+                           % (saw["task"], len(stream_requests)))
+        elif not saw["terminal"]:
+            report.problem("SSE: stream ended without a terminal state")
+        else:
+            report.note("SSE: %d task events + terminal state streamed"
+                        % saw["task"])
+        _slow_and_disconnecting_clients(report, "127.0.0.1", srv.port,
+                                        read_timeout)
+        if client.health()["state"] != "serving":
+            report.problem("service unhealthy after rude clients")
+
+        # Phase 4: overload -- flood past the bounded queue.
+        blocker = [RunRequest("fib", {"count": 40})]
+        client.submit(blocker, chaos={"faults": {"0": "hang"}},
+                      deadline_seconds=deadline, seed=seed)
+        flood = [[RunRequest("fib", {"count": 50 + index})]
+                 for index in range(6)]
+        rejected = None
+        admitted = []
+        for batch in flood:
+            try:
+                admitted.append(client.submit(batch)["campaign"])
+            except ServiceOverloaded as exc:
+                rejected = (batch, exc)
+                break
+        if rejected is None:
+            report.problem("overload: %d floods were all admitted past "
+                           "max_queue=2" % len(flood))
+        else:
+            batch, exc = rejected
+            if exc.code != "overloaded" or not exc.retry_after:
+                report.problem("overload: 429 lacked code/Retry-After "
+                               "(%s, %r)" % (exc.code, exc.retry_after))
+            else:
+                report.note("overload: 429 with Retry-After=%.0fs after "
+                            "%d admission(s)"
+                            % (exc.retry_after, len(admitted)))
+            retried = client.submit_with_retry(batch, attempts=30)
+            admitted.append(retried["campaign"])
+        lost = 0
+        for cid in admitted:
+            if client.wait(cid, timeout=120.0)["state"] != "done":
+                lost += 1
+        if lost:
+            report.problem("overload: %d admitted campaign(s) did not "
+                           "complete" % lost)
+        else:
+            report.note("overload: all %d admitted campaigns completed "
+                        "(zero lost)" % len(admitted))
+
+    # Phase 5: quota -- a dedicated service with a tight token bucket.
+    with ServiceThread(jobs=1, quota_rate=2.0, quota_burst=2,
+                       max_queue=16, seed=seed) as srv:
+        flooder = ServiceClient(port=srv.port, client_id="flooder")
+        polite = ServiceClient(port=srv.port, client_id="polite")
+        quota_admitted = []
+        quota_hit = None
+        for index in range(4):
+            try:
+                quota_admitted.append(flooder.submit(
+                    [RunRequest("fib", {"count": 60 + index})])["campaign"])
+            except ServiceOverloaded as exc:
+                quota_hit = exc
+                break
+        if quota_hit is None or quota_hit.code != "quota_exceeded" \
+                or not quota_hit.retry_after:
+            report.problem("quota: flood was not rate-limited with "
+                           "Retry-After (%s)" % quota_hit)
+        else:
+            try:
+                quota_admitted.append(polite.submit(
+                    [RunRequest("fib", {"count": 70})])["campaign"])
+            except ServiceError as exc:
+                report.problem("quota: limited the wrong client: %s" % exc)
+            else:
+                report.note("quota: flooding client 429'd "
+                            "(Retry-After=%.0fs), other client admitted"
+                            % quota_hit.retry_after)
+        for cid in quota_admitted:
+            polite.wait(cid, timeout=60.0)
+
+    # Phase 6: drain mid-campaign, then resume on a fresh service.
+    drain_requests = [RunRequest("fib", {"count": 30 + index})
+                      for index in range(4)]
+    drain_chaos = {"faults": {"1": "hang"}}
+    srv = ServiceThread(read_timeout=read_timeout, **service_kwargs).start()
+    try:
+        client = ServiceClient(port=srv.port, client_id="chaos-harness")
+        submitted = client.submit(drain_requests, chaos=drain_chaos,
+                                  deadline_seconds=deadline, seed=seed)
+        srv.drain(grace=0.2)
+        status = client.status(submitted["campaign"])
+        if status["state"] == "done":
+            report.note("drain: campaign finished inside the grace window")
+        elif status["state"] != "interrupted" or \
+                "resume_hint" not in status:
+            report.problem("drain: expected interrupted + resume hint, got "
+                           "%s" % status)
+        else:
+            report.note("drain: campaign interrupted with resume hint (%s)"
+                        % status["resume_hint"].get("journal_path", "?"))
+        try:
+            client.submit([RunRequest("fib", {"count": 80})])
+        except ServiceError as exc:
+            if exc.status == 503 and exc.code == "draining":
+                report.note("drain: new submissions refused with 503 "
+                            "draining")
+            else:
+                report.problem("drain: wrong refusal for new work: %s" % exc)
+        else:
+            report.problem("drain: a draining service admitted new work")
+    finally:
+        srv.stop()
+
+    with ServiceThread(read_timeout=read_timeout, **service_kwargs) as srv:
+        client = ServiceClient(port=srv.port, client_id="chaos-harness")
+        resumed = client.submit(drain_requests, chaos=drain_chaos,
+                                deadline_seconds=deadline, seed=seed)
+        final = client.wait(resumed["campaign"], timeout=120.0)
+        if final["state"] != "done":
+            report.problem("resume: campaign ended %r" % final["state"])
+        else:
+            drain_direct = _direct_bench_text(
+                drain_requests,
+                ChaosPlan(faults={1: "hang"}), deadline, seed,
+                _os.path.join(workdir, "cache-drain-direct"), max_retries,
+                retry_base)
+            text = client.result_text(resumed["campaign"])
+            if text != drain_direct:
+                report.problem("resume: resumed BENCH bytes differ from an "
+                               "uninterrupted local run")
+            else:
+                report.note("resume: completed from the journal, "
+                            "byte-identical to an uninterrupted run "
+                            "(%d task(s) restored)" % final.get("resumed", 0))
+
+    if progress is not None:
+        for line in report.lines:
+            progress(line)
+    if owned and report.ok:
+        shutil.rmtree(workdir, ignore_errors=True)
+    elif not report.ok:
+        report.note("workdir kept for inspection: %s" % workdir)
+    return report

@@ -1,0 +1,45 @@
+"""Simulation-as-a-service: the async campaign front end.
+
+``repro.service`` puts a network boundary in front of
+:class:`repro.api.Session` without weakening any robustness guarantee
+the orchestrator already makes: campaigns submitted over HTTP execute
+on the same supervised worker fleet, memoize into the same digest-keyed
+result cache, journal into the same crash-safe resume log, and emit the
+same byte-deterministic ``BENCH`` documents as a local
+``Session.run_many``.
+
+Three modules:
+
+* :mod:`repro.service.protocol` -- the versioned JSON wire shapes
+  (submit/status/result/cancel/health), option validation, error
+  bodies, and server-sent-event framing.  Pure data; shared by server,
+  client, tests and the chaos harness.
+* :mod:`repro.service.server` -- the stdlib-only asyncio HTTP server
+  (``python -m repro serve``) with bounded admission queues,
+  HTTP 429 + ``Retry-After`` backpressure, per-client token-bucket
+  quotas, per-request deadlines, graceful SIGTERM/SIGINT drain, and
+  streaming progress over server-sent events.
+* :mod:`repro.service.client` -- the thin blocking client
+  (``python -m repro submit/status/result/cancel``), also the probe the
+  service chaos harness drives.
+"""
+
+from repro.service.protocol import (
+    SERVICE_SCHEMA,
+    STATES,
+    TERMINAL_STATES,
+    ProtocolError,
+)
+from repro.service.server import CampaignService, ServiceThread
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "CampaignService",
+    "ProtocolError",
+    "SERVICE_SCHEMA",
+    "STATES",
+    "TERMINAL_STATES",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+]

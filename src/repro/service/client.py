@@ -1,0 +1,203 @@
+"""The thin blocking campaign-service client.
+
+``ServiceClient`` speaks the :mod:`repro.service.protocol` JSON over
+plain stdlib ``http.client`` -- one connection per request, matching
+the server's one-request-per-connection discipline.  It is the engine
+behind ``python -m repro submit/status/result/cancel`` and the probe
+the service chaos harness drives.
+
+Overload handling is first-class, not an afterthought: a 429 raises
+:class:`ServiceOverloaded` carrying the server's ``Retry-After``;
+:meth:`ServiceClient.submit_with_retry` honors it with bounded
+attempts, which is exactly what a well-behaved client of the paper's
+simulation campaigns should do under load.
+"""
+
+import http.client
+import json
+import time
+
+from repro.service import protocol
+
+#: Default client-side socket timeout (seconds).
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service reply; carries status, code and retry hint."""
+
+    def __init__(self, status, code, message, retry_after=None, body=None):
+        super().__init__("HTTP %d %s: %s" % (status, code, message))
+        self.status = status
+        self.code = code
+        self.detail = message
+        self.retry_after = retry_after
+        self.body = body
+
+
+class ServiceOverloaded(ServiceError):
+    """HTTP 429: backpressure or quota; honor ``retry_after``."""
+
+
+class ServiceClient:
+    """Blocking client for one campaign service endpoint."""
+
+    def __init__(self, host=protocol.DEFAULT_HOST,
+                 port=protocol.DEFAULT_PORT, client_id=None,
+                 timeout=DEFAULT_TIMEOUT):
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _headers(self):
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def _request(self, method, path, payload=None):
+        """One request/response cycle; returns ``(status, headers,
+        body_bytes)`` and always closes the connection."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = self._headers()
+            if payload is not None:
+                body = protocol.encode_json(payload)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    def _json(self, method, path, payload=None):
+        status, headers, data = self._request(method, path, payload)
+        try:
+            document = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            document = {}
+        if 200 <= status < 300:
+            return document
+        error = document.get("error") or {}
+        retry_after = document.get("retry_after")
+        if retry_after is None and headers.get("Retry-After"):
+            try:
+                retry_after = float(headers["Retry-After"])
+            except ValueError:
+                retry_after = None
+        cls = ServiceOverloaded if status == 429 else ServiceError
+        raise cls(status, error.get("code", "error"),
+                  error.get("message", "HTTP %d" % status),
+                  retry_after=retry_after, body=document)
+
+    # -- the protocol verbs --------------------------------------------
+
+    def health(self):
+        return self._json("GET", "/v1/health")
+
+    def submit(self, requests, **options):
+        """Submit a campaign (RunRequest objects or request dicts);
+        returns the status body (with ``campaign`` and
+        ``deduplicated``).  Raises :class:`ServiceOverloaded` on 429."""
+        body = protocol.submit_body(requests, options=options or None)
+        return self._json("POST", "/v1/campaigns", body)
+
+    def submit_with_retry(self, requests, attempts=10, max_wait=60.0,
+                          sleep=time.sleep, **options):
+        """Submit, honoring ``Retry-After`` on 429 up to ``attempts``
+        tries -- the well-behaved-client loop the chaos harness floods
+        with."""
+        last = None
+        for _attempt in range(max(1, attempts)):
+            try:
+                return self.submit(requests, **options)
+            except ServiceOverloaded as exc:
+                last = exc
+                wait = exc.retry_after if exc.retry_after else 1.0
+                sleep(min(float(wait), max_wait))
+        raise last
+
+    def status(self, campaign):
+        return self._json("GET", "/v1/campaigns/%s" % campaign)
+
+    def cancel(self, campaign):
+        return self._json("POST", "/v1/campaigns/%s/cancel" % campaign)
+
+    def result_text(self, campaign):
+        """The BENCH document exactly as the service serialized it
+        (bytes-faithful text, for byte-identity assertions)."""
+        status, headers, data = self._request(
+            "GET", "/v1/campaigns/%s/result" % campaign)
+        if status != 200:
+            try:
+                document = json.loads(data.decode("utf-8"))
+            except ValueError:
+                document = {}
+            error = document.get("error") or {}
+            raise ServiceError(status, error.get("code", "error"),
+                               error.get("message", "HTTP %d" % status),
+                               body=document)
+        return data.decode("utf-8")
+
+    def result(self, campaign):
+        """The BENCH document, parsed."""
+        return json.loads(self.result_text(campaign))
+
+    def wait(self, campaign, timeout=120.0, poll=0.1):
+        """Poll status until the campaign reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.status(campaign)
+            if body.get("state") in protocol.TERMINAL_STATES:
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "campaign %s still %r after %.0fs"
+                    % (campaign, body.get("state"), timeout))
+            time.sleep(poll)
+
+    def run(self, requests, timeout=120.0, **options):
+        """Submit and wait; returns the terminal status body."""
+        submitted = self.submit(requests, **options)
+        return self.wait(submitted["campaign"], timeout=timeout)
+
+    # -- server-sent events --------------------------------------------
+
+    def events(self, campaign, timeout=None):
+        """Yield progress events for a campaign as parsed dicts (one
+        dedicated connection; ends when the campaign reaches a terminal
+        state or the stream drops)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            conn.request("GET", "/v1/campaigns/%s/events" % campaign,
+                         headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                data = response.read()
+                try:
+                    document = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    document = {}
+                error = document.get("error") or {}
+                raise ServiceError(response.status,
+                                   error.get("code", "error"),
+                                   error.get("message", "stream refused"),
+                                   body=document)
+            for event in protocol.iter_sse(response):
+                yield event
+                if event.get("event") == "state" and \
+                        event.get("state") in protocol.TERMINAL_STATES:
+                    return
+                if event.get("event") == "status" and \
+                        event.get("state") in protocol.TERMINAL_STATES:
+                    return
+        finally:
+            conn.close()

@@ -1,0 +1,261 @@
+"""The campaign service wire protocol: versioned JSON shapes.
+
+Everything that crosses the service's HTTP boundary is defined here --
+submit bodies, status/result/health documents, error bodies, and the
+server-sent-event framing -- so the server, the thin client, the tests
+and the chaos harness all speak from one source.
+
+Design rules:
+
+* every document carries ``"schema": "repro-service/1"``;
+* errors are structured: ``{"schema", "error": {"code", "message"},
+  ...}`` with machine-readable ``code`` strings (``overloaded``,
+  ``quota_exceeded``, ``draining``, ``not_found``, ``bad_request``,
+  ``conflict``);
+* overload and quota rejections are HTTP 429 with a ``Retry-After``
+  header (seconds) *and* a ``retry_after`` body field, so both header-
+  and body-driven clients back off correctly;
+* a campaign's identity is the SHA-256 digest of its ordered serialized
+  request list (:func:`repro.journal.campaign_digest`) -- the same
+  digest that names its journal -- so identical submissions coalesce
+  instead of double-executing.
+"""
+
+import json
+
+from repro.api import RunRequest, get_workload
+from repro.journal import campaign_digest
+
+#: Version tag of every service document.
+SERVICE_SCHEMA = "repro-service/1"
+
+#: Conventional host/port for ``python -m repro serve`` and the client.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8909
+
+#: Campaign lifecycle.  ``interrupted`` means the service drained (or
+#: aborted) mid-campaign: finalized tasks are journaled and a
+#: resubmission resumes the remainder.
+STATES = ("queued", "running", "done", "failed", "cancelled", "interrupted")
+
+#: States a campaign never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled", "interrupted")
+
+#: Machine-readable error codes the service emits.
+ERROR_CODES = ("bad_request", "not_found", "method_not_allowed", "conflict",
+               "overloaded", "quota_exceeded", "draining", "timeout",
+               "too_large", "internal")
+
+#: Submit options the protocol accepts, with validators.
+_OPTION_VALIDATORS = {}
+
+
+class ProtocolError(ValueError):
+    """A request the protocol rejects; carries the HTTP status and the
+    machine-readable error code."""
+
+    def __init__(self, message, status=400, code="bad_request"):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _option(name):
+    def wrap(fn):
+        _OPTION_VALIDATORS[name] = fn
+        return fn
+    return wrap
+
+
+@_option("jobs")
+def _validate_jobs(value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ProtocolError("options.jobs must be a positive integer")
+    return value
+
+
+@_option("deadline_seconds")
+def _validate_deadline(value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        raise ProtocolError("options.deadline_seconds must be a positive "
+                            "number of seconds")
+    return float(value)
+
+
+@_option("max_retries")
+def _validate_max_retries(value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ProtocolError("options.max_retries must be a non-negative "
+                            "integer")
+    return value
+
+
+@_option("seed")
+def _validate_seed(value):
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError("options.seed must be an integer")
+    return value
+
+
+@_option("sweep")
+def _validate_sweep(value):
+    if not isinstance(value, str) or not value:
+        raise ProtocolError("options.sweep must be a non-empty string")
+    return value
+
+
+@_option("fresh")
+def _validate_fresh(value):
+    if not isinstance(value, bool):
+        raise ProtocolError("options.fresh must be a boolean")
+    return value
+
+
+@_option("chaos")
+def _validate_chaos(value):
+    """A serialized chaos plan (test/CI surface: lets the harness ask
+    the service to SIGKILL its own workers mid-campaign)."""
+    from repro.robustness.chaos import FAULT_KINDS
+
+    if not isinstance(value, dict):
+        raise ProtocolError("options.chaos must be an object")
+    faults = value.get("faults", {})
+    if not isinstance(faults, dict):
+        raise ProtocolError("options.chaos.faults must be an object")
+    for index, kind in faults.items():
+        try:
+            int(index)
+        except (TypeError, ValueError):
+            raise ProtocolError("options.chaos.faults keys must be task "
+                                "indices") from None
+        if kind not in FAULT_KINDS:
+            raise ProtocolError(
+                "options.chaos.faults[%s] is %r, not one of %s"
+                % (index, kind, ", ".join(FAULT_KINDS)))
+    plan = {"faults": {str(k): str(v) for k, v in faults.items()}}
+    if "persistent" in value:
+        if not isinstance(value["persistent"], bool):
+            raise ProtocolError("options.chaos.persistent must be a boolean")
+        plan["persistent"] = value["persistent"]
+    if "hang_seconds" in value:
+        if not isinstance(value["hang_seconds"], (int, float)):
+            raise ProtocolError("options.chaos.hang_seconds must be a number")
+        plan["hang_seconds"] = float(value["hang_seconds"])
+    return plan
+
+
+def validate_options(options):
+    """Normalize and validate a submit body's ``options`` object."""
+    if options is None:
+        return {}
+    if not isinstance(options, dict):
+        raise ProtocolError("options must be an object")
+    validated = {}
+    for name, value in options.items():
+        validator = _OPTION_VALIDATORS.get(name)
+        if validator is None:
+            raise ProtocolError("unknown option %r (known: %s)"
+                                % (name, ", ".join(sorted(
+                                    _OPTION_VALIDATORS))))
+        validated[name] = validator(value)
+    return validated
+
+
+def parse_submit(payload, max_requests=None):
+    """Validate a submit body; returns ``(serialized_requests, options)``.
+
+    Every request round-trips through :class:`repro.api.RunRequest`, so
+    unknown workloads, bad config fields and unknown backends are
+    rejected at the boundary with a 400 -- never inside a worker.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("submit body must be a JSON object")
+    if payload.get("schema") != SERVICE_SCHEMA:
+        raise ProtocolError("submit schema is %r, expected %r"
+                            % (payload.get("schema"), SERVICE_SCHEMA))
+    raw = payload.get("requests")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("submit body needs a non-empty requests list")
+    if max_requests is not None and len(raw) > max_requests:
+        raise ProtocolError("campaign has %d requests, limit is %d"
+                            % (len(raw), max_requests),
+                            status=413, code="too_large")
+    serialized = []
+    for position, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise ProtocolError("requests[%d] is not an object" % position)
+        try:
+            request = RunRequest.from_dict(entry)
+            get_workload(request.workload)  # unknown name -> KeyError here
+            serialized.append(request.to_dict())
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("requests[%d] invalid: %s"
+                                % (position, exc)) from None
+    return serialized, validate_options(payload.get("options"))
+
+
+def submit_body(requests, options=None):
+    """Build a submit body from RunRequest objects (or request dicts)."""
+    serialized = [request.to_dict() if hasattr(request, "to_dict")
+                  else dict(request) for request in requests]
+    body = {"schema": SERVICE_SCHEMA, "requests": serialized}
+    if options:
+        body["options"] = validate_options(options)
+    return body
+
+
+def campaign_id(serialized_requests):
+    """The campaign's service identity: its journal digest."""
+    return campaign_digest(serialized_requests)
+
+
+def error_body(code, message, retry_after=None, **extra):
+    body = {"schema": SERVICE_SCHEMA,
+            "error": {"code": code, "message": message}}
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    body.update(extra)
+    return body
+
+
+def encode_json(payload):
+    """Canonical service JSON bytes (sorted keys, trailing newline)."""
+    return (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode(
+        "utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Server-sent events: framing and parsing
+# ---------------------------------------------------------------------------
+
+def format_sse(event):
+    """One SSE frame: ``data: <canonical json>\\n\\n`` (the ``event:``
+    field carries the event kind when present)."""
+    kind = event.get("event")
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    lines = []
+    if kind:
+        lines.append("event: %s" % kind)
+    lines.append("data: %s" % data)
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def iter_sse(stream):
+    """Parse an SSE byte stream into event dicts (ignores comments and
+    heartbeats; tolerates a truncated tail from a dropped connection)."""
+    buffer = b""
+    while True:
+        chunk = stream.read(1)
+        if not chunk:
+            break
+        buffer += chunk
+        if not buffer.endswith(b"\n\n"):
+            continue
+        frame, buffer = buffer[:-2], b""
+        for line in frame.decode("utf-8", "replace").splitlines():
+            if line.startswith("data: "):
+                try:
+                    yield json.loads(line[len("data: "):])
+                except ValueError:
+                    pass

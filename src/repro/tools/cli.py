@@ -25,6 +25,20 @@ journal; rerunning with ``--resume`` executes only unfinished tasks.
                              [--backends percycle,fastpath,classical]
     python -m repro fuzz repro BUNDLE       (also: fuzz --repro BUNDLE)
     python -m repro fuzz coverage [--seeds N]
+    python -m repro serve [--port N] [--jobs N] [--quota-rate R]
+    python -m repro submit WORKLOAD [--set K=V ...] [--wait] [--json PATH]
+    python -m repro submit --sweep NAME [--quick] [--wait]
+    python -m repro status [CAMPAIGN]
+    python -m repro result CAMPAIGN [--json PATH]
+    python -m repro cancel CAMPAIGN
+    python -m repro journal list|prune [--journal-dir DIR]
+    python -m repro chaos --service [--tasks N] [--jobs N]
+
+The service subcommands (``serve`` plus the thin client verbs
+``submit``/``status``/``result``/``cancel``) speak the
+``repro-service/1`` HTTP/JSON protocol: bounded admission with 429 +
+Retry-After backpressure, per-client quotas, digest-level campaign
+dedup, journal-backed drain/resume.  See DESIGN.md section 16.
 """
 
 import argparse
@@ -558,9 +572,24 @@ def cmd_chaos(args):
     """Orchestration-layer chaos harness: seeded worker kills, hangs,
     transient failures and cache corruption against the supervised
     campaign engine; exits non-zero on any lost task, wrong order,
-    missing failure record or nondeterministic BENCH bytes."""
+    missing failure record or nondeterministic BENCH bytes.
+
+    With ``--service`` the same faults (plus slow clients, submit
+    floods, quota abuse and a mid-campaign drain) are driven through a
+    live campaign service over real HTTP instead."""
     from repro.orchestrate import print_progress
     from repro.robustness.chaos import run_chaos_campaign
+
+    if args.service:
+        from repro.robustness.chaos import run_service_chaos
+
+        report = run_service_chaos(
+            tasks=args.tasks, jobs=args.jobs, seed=args.seed,
+            deadline=args.task_timeout
+            if args.task_timeout is not None else 1.5,
+            max_retries=args.max_retries, workdir=args.workdir)
+        print(report.render())
+        return 0 if report.ok else 1
 
     report = run_chaos_campaign(
         tasks=args.tasks, jobs=args.jobs, seed=args.seed,
@@ -575,6 +604,192 @@ def cmd_chaos(args):
         check_resume=not args.no_resume)
     print(report.render())
     return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# Campaign service subcommands (serve + the thin client verbs)
+# ---------------------------------------------------------------------------
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port,
+                         client_id=args.client, timeout=args.http_timeout)
+
+
+def cmd_serve(args):
+    """Run the campaign service until SIGTERM/SIGINT drains it."""
+    from repro.service.server import CampaignService, serve
+
+    service = CampaignService(
+        jobs=args.jobs, cache_dir=args.cache_dir or None,
+        journal_dir=args.journal_dir or None, max_queue=args.max_queue,
+        max_active=args.max_active, max_pending_tasks=args.max_pending_tasks,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
+        seed=args.seed, start_method="spawn" if args.spawn else None,
+        drain_grace=args.drain_grace)
+
+    def banner(text):
+        print(text, file=sys.stderr)
+
+    serve(service, host=args.host, port=args.port, banner=banner)
+    return 0
+
+
+def cmd_submit(args):
+    """Submit a campaign to a running service; optionally wait for it."""
+    import json
+
+    from repro.api import RunRequest, Session
+    from repro.service.client import ServiceError
+
+    if bool(args.sweep) == bool(args.workload):
+        print("error: submit needs exactly one of WORKLOAD or --sweep",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if args.sweep:
+        requests = Session().sweep(args.sweep, quick=args.quick)
+    else:
+        params = {}
+        for item in args.set or []:
+            name, _, value = item.partition("=")
+            params[name] = _parse_value(value)
+        config = {}
+        for item in args.config or []:
+            name, _, value = item.partition("=")
+            config[name] = _parse_value(value)
+        requests = [RunRequest(args.workload, params=params, config=config,
+                               backend=args.backend)]
+    options = {}
+    if args.jobs is not None:
+        options["jobs"] = args.jobs
+    if args.deadline is not None:
+        options["deadline_seconds"] = args.deadline
+    if args.max_retries is not None:
+        options["max_retries"] = args.max_retries
+    if args.seed is not None:
+        options["seed"] = args.seed
+    if args.label:
+        options["sweep"] = args.label
+    if args.fresh:
+        options["fresh"] = True
+
+    client = _service_client(args)
+    try:
+        body = client.submit_with_retry(requests, **options)
+    except ServiceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print("campaign %s" % body["campaign"])
+    print("state: %s%s" % (body["state"],
+                           " (deduplicated)" if body.get("deduplicated")
+                           else ""))
+    if not args.wait:
+        return 0
+    final = client.wait(body["campaign"], timeout=args.wait_timeout)
+    print("final: %s (%d/%d tasks)"
+          % (final["state"], final.get("done", 0), final.get("total", 0)))
+    if final["state"] != "done":
+        if final.get("error_detail"):
+            print("  %s" % final["error_detail"], file=sys.stderr)
+        hint = final.get("resume_hint")
+        if hint:
+            print("  %s" % hint.get("hint", hint), file=sys.stderr)
+        return 1
+    if args.json_path:
+        text = client.result_text(body["campaign"])
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %s (%d results)"
+              % (args.json_path, json.loads(text)["count"]))
+    return 0
+
+
+def cmd_status(args):
+    """Print one campaign's status document (or the service health)."""
+    import json
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        body = (client.status(args.campaign) if args.campaign
+                else client.health())
+    except ServiceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print(json.dumps(body, sort_keys=True, indent=2))
+    if args.campaign:
+        return 0 if body.get("state") in ("queued", "running", "done") else 1
+    return 0 if body.get("state") in ("serving", "draining") else 1
+
+
+def cmd_result(args):
+    """Fetch a finished campaign's BENCH document, byte-faithfully."""
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        text = client.result_text(args.campaign)
+    except ServiceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %s" % args.json_path)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_cancel(args):
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        body = client.cancel(args.campaign)
+    except ServiceError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print("campaign %s: %s" % (args.campaign, body.get("state")))
+    return 0
+
+
+def cmd_journal(args):
+    """Journal hygiene: list resume state, prune finished journals."""
+    from repro.journal import list_journals, prune_journals
+
+    if args.journal_command == "list":
+        journals = list_journals(args.journal_dir)
+        if not journals:
+            print("no journals under %s" % args.journal_dir)
+            return 0
+        rows = []
+        for info in journals:
+            state = ("damaged" if not info["valid"]
+                     else "complete" if info["complete"] else "partial")
+            rows.append([info["name"],
+                         (info["campaign"] or "?")[:12],
+                         "%d/%s" % (info["entries"],
+                                    "?" if info["count"] is None
+                                    else info["count"]),
+                         state, info["size_bytes"]])
+        print(render_table(["journal", "campaign", "tasks", "state", "bytes"],
+                           rows, title="campaign journals under %s"
+                           % args.journal_dir))
+        return 0
+    removed = prune_journals(args.journal_dir,
+                             completed_only=not args.all,
+                             older_than=args.older_than)
+    for info in removed:
+        print("removed %s (%s, %d entries)"
+              % (info["name"],
+                 "complete" if info["complete"] else "incomplete",
+                 info["entries"]))
+    print("pruned %d journal(s) under %s" % (len(removed), args.journal_dir))
+    return 0
 
 
 def cmd_fuzz(args):
@@ -710,6 +925,11 @@ def build_parser():
                                    "journal check")
     chaos_parser.add_argument("--verbose", action="store_true",
                               help="stream per-task supervisor progress")
+    chaos_parser.add_argument("--service", action="store_true",
+                              help="drive the faults through a live "
+                                   "campaign service over HTTP (adds slow "
+                                   "clients, submit floods, quota abuse "
+                                   "and a mid-campaign drain)")
     _add_campaign_flags(chaos_parser)
     chaos_parser.set_defaults(handler=cmd_chaos, jobs=4)
 
@@ -763,6 +983,165 @@ def build_parser():
     fc.add_argument("--max-unhit", type=int, default=40,
                     help="unhit bins to list (default 40)")
     fc.set_defaults(fuzz_handler=cmd_fuzz_coverage)
+
+    # -- campaign service -----------------------------------------------
+    from repro.core.backend import backend_names
+    from repro.service import protocol
+
+    def _add_service_flags(p):
+        p.add_argument("--host", default=protocol.DEFAULT_HOST,
+                       help="service host (default %s)" % protocol.DEFAULT_HOST)
+        p.add_argument("--port", type=int, default=protocol.DEFAULT_PORT,
+                       help="service port (default %d)" % protocol.DEFAULT_PORT)
+        p.add_argument("--client", default=None, metavar="ID",
+                       help="client id for per-client quota accounting")
+        p.add_argument("--http-timeout", dest="http_timeout", type=float,
+                       default=30.0, metavar="SECONDS",
+                       help="client-side socket timeout (default 30)")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the async campaign service (HTTP/JSON; "
+                      "SIGTERM drains gracefully)")
+    serve_parser.add_argument("--host", default=protocol.DEFAULT_HOST)
+    serve_parser.add_argument("--port", type=int,
+                              default=protocol.DEFAULT_PORT,
+                              help="listen port (default %d; 0 picks an "
+                                   "ephemeral port)" % protocol.DEFAULT_PORT)
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="worker processes per campaign "
+                                   "(default 2)")
+    serve_parser.add_argument("--cache-dir",
+                              default=".repro-service/cache", metavar="DIR",
+                              help="digest-keyed result cache (default "
+                                   ".repro-service/cache; '' disables)")
+    serve_parser.add_argument("--journal-dir",
+                              default=".repro-service/journal",
+                              metavar="DIR",
+                              help="crash-safe campaign journals; drained "
+                                   "campaigns resume from here on "
+                                   "resubmission (default "
+                                   ".repro-service/journal; '' disables)")
+    serve_parser.add_argument("--max-queue", type=int, default=16,
+                              help="admission queue bound; submits past it "
+                                   "draw 429 + Retry-After (default 16)")
+    serve_parser.add_argument("--max-active", type=int, default=1,
+                              help="campaigns executing at once (default 1)")
+    serve_parser.add_argument("--max-pending-tasks", type=int, default=256,
+                              help="task-level backpressure budget across "
+                                   "queued + running campaigns (default "
+                                   "256)")
+    serve_parser.add_argument("--quota-rate", type=float, default=None,
+                              metavar="PER_SECOND",
+                              help="per-client token-bucket refill rate "
+                                   "(unset: no quotas)")
+    serve_parser.add_argument("--quota-burst", type=int, default=8,
+                              help="per-client token-bucket burst "
+                                   "(default 8)")
+    serve_parser.add_argument("--task-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="default per-task watchdog bound; "
+                                   "submit deadline_seconds overrides it")
+    serve_parser.add_argument("--max-retries", type=int, default=2,
+                              help="transient-failure retries per task "
+                                   "(default 2)")
+    serve_parser.add_argument("--seed", type=int, default=1989)
+    serve_parser.add_argument("--drain-grace", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="seconds a drain waits before aborting "
+                                   "in-flight campaigns to the journal "
+                                   "(default 5)")
+    serve_parser.add_argument("--spawn", action="store_true",
+                              help="spawn worker start method instead of "
+                                   "fork")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a campaign to a running service")
+    submit_parser.add_argument("workload", nargs="?", default=None,
+                               help="registered workload name (or use "
+                                    "--sweep)")
+    submit_parser.add_argument("--set", action="append", metavar="KEY=VAL",
+                               help="workload parameter")
+    submit_parser.add_argument("--config", action="append",
+                               metavar="KEY=VAL",
+                               help="MachineConfig override")
+    submit_parser.add_argument("--sweep", choices=list(SWEEPS), default=None,
+                               help="submit a named benchmark sweep instead "
+                                    "of one workload")
+    submit_parser.add_argument("--quick", action="store_true",
+                               help="shrunken sweep variant")
+    submit_parser.add_argument("--backend", default=None,
+                               choices=list(backend_names()),
+                               help="execution backend for the request")
+    submit_parser.add_argument("--jobs", type=int, default=None,
+                               help="worker processes (default: the "
+                                    "server's setting)")
+    submit_parser.add_argument("--deadline", type=float, default=None,
+                               metavar="SECONDS",
+                               help="per-task deadline, propagated to the "
+                                    "server's watchdog")
+    submit_parser.add_argument("--max-retries", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--label", default=None, metavar="NAME",
+                               help="sweep label in the BENCH document")
+    submit_parser.add_argument("--fresh", action="store_true",
+                               help="ignore any journal from a previous "
+                                    "interrupted run of this campaign")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="poll until the campaign finishes")
+    submit_parser.add_argument("--wait-timeout", type=float, default=600.0,
+                               metavar="SECONDS")
+    submit_parser.add_argument("--json", dest="json_path", default=None,
+                               metavar="PATH",
+                               help="with --wait: write the BENCH document "
+                                    "here")
+    _add_service_flags(submit_parser)
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    status_parser = sub.add_parser(
+        "status", help="print a campaign's status (or service health)")
+    status_parser.add_argument("campaign", nargs="?", default=None,
+                               help="campaign id from submit (omit for "
+                                    "service health)")
+    _add_service_flags(status_parser)
+    status_parser.set_defaults(handler=cmd_status)
+
+    result_parser = sub.add_parser(
+        "result", help="fetch a finished campaign's BENCH document")
+    result_parser.add_argument("campaign", help="campaign id from submit")
+    result_parser.add_argument("--json", dest="json_path", default=None,
+                               metavar="PATH",
+                               help="write to a file instead of stdout")
+    _add_service_flags(result_parser)
+    result_parser.set_defaults(handler=cmd_result)
+
+    cancel_parser = sub.add_parser(
+        "cancel", help="cancel a queued or running campaign")
+    cancel_parser.add_argument("campaign", help="campaign id from submit")
+    _add_service_flags(cancel_parser)
+    cancel_parser.set_defaults(handler=cmd_cancel)
+
+    journal_parser = sub.add_parser(
+        "journal", help="campaign journal hygiene (list, prune)")
+    journal_sub = journal_parser.add_subparsers(dest="journal_command",
+                                                required=True)
+    jl = journal_sub.add_parser("list", help="describe every journal: "
+                                             "campaign, progress, "
+                                             "completeness")
+    jl.add_argument("--journal-dir", default=".repro-service/journal",
+                    metavar="DIR")
+    jl.set_defaults(handler=cmd_journal)
+    jp = journal_sub.add_parser("prune", help="remove completed journals "
+                                              "(nothing left to resume)")
+    jp.add_argument("--journal-dir", default=".repro-service/journal",
+                    metavar="DIR")
+    jp.add_argument("--all", action="store_true",
+                    help="also remove partial and damaged journals, "
+                         "abandoning their resume state")
+    jp.add_argument("--older-than", type=float, default=None,
+                    metavar="SECONDS",
+                    help="only remove journals at least this old")
+    jp.set_defaults(handler=cmd_journal)
     return parser
 
 

@@ -1,0 +1,251 @@
+"""Journal damage reporting, the hygiene layer (list/prune), and the
+torn-write resume sweep.
+
+The load contract under test: a torn *final* line is the expected
+crash artifact and drops silently, but corrupt terminated lines and
+stale/mismatched lines are counted in ``load_report`` and surfaced as
+warnings -- damaged journals must never quietly re-execute work the
+operator believed was recorded.  The sweep truncates a real campaign
+journal at every byte offset and proves the resume completes with
+byte-identical BENCH output from any of them.
+"""
+
+import os
+
+from repro.api import RunRequest
+from repro.journal import (CampaignJournal, describe_journal, list_journals,
+                           prune_journals)
+from repro.orchestrate import dump_bench_json, run_campaign
+from repro.tools.cli import main as cli_main
+
+SMALL = [
+    RunRequest("fib", {"count": 8}),
+    RunRequest("reduction", {"strategy": "scalar_tree"}),
+    RunRequest("fib", {"count": 9}),
+]
+FAST = dict(retry_base=0.01, seed=0)
+
+
+def _serialized():
+    return [request.to_dict() for request in SMALL]
+
+
+def _written(tmp_path, entries=2):
+    journal = CampaignJournal(tmp_path, _serialized())
+    journal.start_fresh()
+    for index in range(entries):
+        journal.record(index, {"metrics": {"cycles": index}}, {})
+    journal.close()
+    return journal
+
+
+def _lines(path):
+    with open(path, "rb") as handle:
+        return handle.read().split(b"\n")
+
+
+class TestLoadReport:
+    def test_clean_load_reports_nothing(self, tmp_path):
+        _written(tmp_path)
+        journal = CampaignJournal(tmp_path, _serialized())
+        assert len(journal.load()) == 2
+        report = journal.load_report
+        assert not report.damaged
+        assert not report.torn_tail
+        assert report.warnings() == []
+        assert report.restored == 2
+
+    def test_torn_tail_is_silent_but_flagged(self, tmp_path):
+        journal = _written(tmp_path)
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"index": 2, "task": "')  # crash mid-append
+        fresh = CampaignJournal(tmp_path, _serialized())
+        assert set(fresh.load()) == {0, 1}
+        report = fresh.load_report
+        assert report.torn_tail
+        assert report.torn_offset is not None
+        assert not report.damaged          # expected crash artifact...
+        assert report.warnings() == []     # ...so no warning either
+
+    def test_corrupt_terminated_line_is_counted_and_warned(self, tmp_path):
+        journal = _written(tmp_path)
+        lines = _lines(journal.path)
+        lines[1] = b"### not json ###"     # entry 0, newline kept
+        with open(journal.path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        fresh = CampaignJournal(tmp_path, _serialized())
+        assert set(fresh.load()) == {1}
+        report = fresh.load_report
+        assert report.corrupt_lines == 1
+        assert report.damaged
+        assert any("corrupt" in line for line in report.warnings())
+
+    def test_stale_mismatched_line_is_counted_and_warned(self, tmp_path):
+        journal = _written(tmp_path)
+        lines = _lines(journal.path)
+        lines[1] = lines[1].replace(
+            journal.task_digests[0].encode("utf-8"), b"0" * 64)
+        with open(journal.path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        fresh = CampaignJournal(tmp_path, _serialized())
+        assert set(fresh.load()) == {1}
+        report = fresh.load_report
+        assert report.skipped_lines == 1
+        assert report.damaged
+        assert any("skipped" in line for line in report.warnings())
+
+    def test_mid_file_damage_and_torn_tail_together(self, tmp_path):
+        journal = _written(tmp_path)
+        lines = _lines(journal.path)
+        lines[1] = b"garbage"
+        with open(journal.path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+            handle.write(b'{"torn')
+        fresh = CampaignJournal(tmp_path, _serialized())
+        assert set(fresh.load()) == {1}
+        report = fresh.load_report
+        assert report.corrupt_lines == 1
+        assert report.torn_tail
+
+    def test_header_mismatch_invalidates_with_warning(self, tmp_path):
+        _written(tmp_path)
+        edited = _serialized()
+        edited.append(RunRequest("fib", {"count": 11}).to_dict())
+        # The edited campaign has a different digest, hence a different
+        # journal path; point it at the stale file to load it.
+        journal = CampaignJournal(tmp_path, edited)
+        journal.path = CampaignJournal(tmp_path, _serialized()).path
+        assert journal.load() == {}
+        report = journal.load_report
+        assert report.invalidated
+        assert any("invalidated" in line for line in report.warnings())
+
+    def test_repair_torn_tail_truncates_before_append(self, tmp_path):
+        journal = _written(tmp_path)
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"index": 2, "task": "')
+        fresh = CampaignJournal(tmp_path, _serialized())
+        fresh.load()
+        assert fresh.repair_torn_tail()
+        fresh.record(2, {"metrics": {"cycles": 2}}, {})
+        fresh.close()
+        again = CampaignJournal(tmp_path, _serialized())
+        assert set(again.load()) == {0, 1, 2}
+        assert not again.load_report.damaged  # no fused corrupt line
+
+    def test_repair_without_tear_is_a_noop(self, tmp_path):
+        _written(tmp_path)
+        journal = CampaignJournal(tmp_path, _serialized())
+        journal.load()
+        assert not journal.repair_torn_tail()
+
+
+class TestHygiene:
+    def test_describe_partial_and_complete(self, tmp_path):
+        journal = _written(tmp_path, entries=2)
+        info = describe_journal(journal.path)
+        assert info["valid"]
+        assert info["campaign"] == journal.campaign
+        assert info["count"] == 3
+        assert info["entries"] == 2
+        assert not info["complete"]
+        with open(journal.path, "ab") as handle:
+            handle.write(b"")
+        full = _written(tmp_path, entries=3)
+        assert describe_journal(full.path)["complete"]
+
+    def test_describe_damaged_header(self, tmp_path):
+        path = tmp_path / "journal-deadbeef.jsonl"
+        path.write_bytes(b"not a header\n")
+        info = describe_journal(str(path))
+        assert not info["valid"]
+        assert not info["complete"]
+
+    def test_list_journals_ignores_other_files(self, tmp_path):
+        _written(tmp_path)
+        (tmp_path / "notes.txt").write_text("not a journal")
+        (tmp_path / "journal-bad.log").write_text("wrong suffix")
+        journals = list_journals(tmp_path)
+        assert len(journals) == 1
+
+    def test_list_journals_missing_directory_is_empty(self, tmp_path):
+        assert list_journals(tmp_path / "nope") == []
+
+    def test_prune_keeps_partial_journals_by_default(self, tmp_path):
+        partial = _written(tmp_path, entries=1)
+        removed = prune_journals(tmp_path)
+        assert removed == []
+        _written(tmp_path, entries=3)  # same campaign, now complete
+        removed = prune_journals(tmp_path)
+        assert len(removed) == 1
+        assert not os.path.exists(partial.path)
+
+    def test_prune_all_abandons_partial_resume_state(self, tmp_path):
+        journal = _written(tmp_path, entries=1)
+        removed = prune_journals(tmp_path, completed_only=False)
+        assert len(removed) == 1
+        assert not os.path.exists(journal.path)
+
+    def test_prune_older_than_uses_mtime(self, tmp_path):
+        journal = _written(tmp_path, entries=3)
+        mtime = os.stat(journal.path).st_mtime
+        assert prune_journals(tmp_path, older_than=3600,
+                              now=mtime + 10) == []
+        removed = prune_journals(tmp_path, older_than=3600,
+                                 now=mtime + 7200)
+        assert len(removed) == 1
+
+    def test_cli_journal_list_and_prune(self, tmp_path, capsys):
+        _written(tmp_path, entries=3)
+        assert cli_main(["journal", "list",
+                         "--journal-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert cli_main(["journal", "prune",
+                         "--journal-dir", str(tmp_path)]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert list_journals(tmp_path) == []
+
+
+class TestTornWriteResumeSweep:
+    def test_resume_completes_from_every_truncation_offset(self, tmp_path):
+        """Satellite invariant: chop the journal at EVERY byte offset --
+        inside the header, mid-record, at a newline -- resume, and the
+        campaign must finish with byte-identical BENCH output."""
+        requests = list(SMALL)
+        cache = str(tmp_path / "cache")   # shared: keeps the sweep fast
+        golden_dir = tmp_path / "golden"
+        clean = run_campaign(list(requests), jobs=1, cache_dir=cache,
+                             journal_dir=golden_dir, **FAST)
+        clean_text = dump_bench_json(clean.results, sweep="sweep")
+        journal_path = CampaignJournal(golden_dir, _serialized()).path
+        with open(journal_path, "rb") as handle:
+            data = handle.read()
+        assert len(data) > 100
+
+        for offset in range(len(data) + 1):
+            workdir = tmp_path / ("cut-%d" % offset)
+            workdir.mkdir()
+            cut = workdir / os.path.basename(journal_path)
+            cut.write_bytes(data[:offset])
+            resumed = run_campaign(list(requests), jobs=1, cache_dir=cache,
+                                   journal_dir=workdir, resume=True, **FAST)
+            text = dump_bench_json(resumed.results, sweep="sweep")
+            assert text == clean_text, "divergence at offset %d" % offset
+
+    def test_truncated_resume_repairs_the_journal_file(self, tmp_path):
+        """After a torn-tail resume, the journal on disk is whole again:
+        loading it back reports no damage and every task present."""
+        requests = list(SMALL)
+        run_campaign(list(requests), jobs=1, journal_dir=tmp_path, **FAST)
+        journal_path = CampaignJournal(tmp_path, _serialized()).path
+        with open(journal_path, "rb") as handle:
+            data = handle.read()
+        with open(journal_path, "wb") as handle:
+            handle.write(data[:-20])      # tear the final record
+        run_campaign(list(requests), jobs=1, journal_dir=tmp_path,
+                     resume=True, **FAST)
+        journal = CampaignJournal(tmp_path, _serialized())
+        assert set(journal.load()) == {0, 1, 2}
+        assert not journal.load_report.damaged
+        assert not journal.load_report.torn_tail
