@@ -329,18 +329,32 @@ def sweep_requests(name, quick=False, seed=None):
     if name == "linpack":
         return [RunRequest("linpack", {"n": 24 if quick else 40})]
     if name == "ablation-latency":
+        # Declared as a ParameterSpace (the one sanctioned way to vary
+        # machine parameters); grid order keeps the historical request
+        # order so BENCH documents stay byte-identical.
+        from repro.dse.space import Choice, ParameterSpace
+
         latencies = (1, 3, 8) if quick else (1, 2, 3, 5, 8)
-        return [RunRequest("livermore",
-                           {"loop": loop, "warm": True},
-                           config={"model_ibuffer": False,
-                                   "fpu_latency": latency})
-                for latency in latencies for loop in (1, 3, 11)]
+        space = ParameterSpace([Choice("fpu_latency", latencies)],
+                               base_config={"model_ibuffer": False},
+                               name="ablation-latency")
+        return [RunRequest("livermore", {"loop": loop, "warm": True},
+                           config=space.config_for(point))
+                for point in space.grid() for loop in (1, 3, 11)]
     if name == "ablation-cache":
+        # Two penalty axes tied to equal values: the grid walks exactly
+        # the admissible diagonal, in the historical ascending order.
+        from repro.dse.space import Choice, ParameterSpace, tied
+
         penalties = (0, 14, 56) if quick else (0, 7, 14, 28, 56)
+        space = ParameterSpace(
+            [Choice("dcache_miss_penalty", penalties),
+             Choice("ibuf_miss_penalty", penalties)],
+            constraints=[tied("dcache_miss_penalty", "ibuf_miss_penalty")],
+            name="ablation-cache")
         requests = []
-        for penalty in penalties:
-            config = {"dcache_miss_penalty": penalty,
-                      "ibuf_miss_penalty": penalty}
+        for point in space.grid():
+            config = space.config_for(point)
             requests.append(RunRequest("livermore", {"loop": 1, "warm": False},
                                        config=config))
             requests.append(RunRequest("livermore", {"loop": 1, "warm": True},

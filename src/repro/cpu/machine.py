@@ -22,6 +22,7 @@ figure tests assert the published cycle counts exactly):
   slot; a data-cache miss stalls the (blocking) pipeline 14 cycles.
 """
 
+import difflib
 import hashlib
 import json
 from dataclasses import dataclass, fields
@@ -156,24 +157,72 @@ class MachineConfig:
         return self
 
     @classmethod
+    def field_names(cls):
+        """Every declared field name, sorted (the valid override keys)."""
+        return tuple(sorted(f.name for f in fields(cls)))
+
+    @classmethod
+    def check_field_names(cls, names):
+        """Reject names that are not ``MachineConfig`` fields.
+
+        The one error path for every surface that accepts field names --
+        :meth:`from_overrides` dicts, :class:`repro.dse.space.
+        ParameterSpace` dimensions, CLI ``--dim``/``--grid`` axes -- so
+        a typo always fails the same way: ``ValueError`` naming the bad
+        name with a closest-match suggestion.
+        """
+        valid = cls.field_names()
+        unknown = sorted(set(names) - set(valid))
+        if not unknown:
+            return
+        described = []
+        for name in unknown:
+            close = difflib.get_close_matches(str(name), valid, n=1)
+            described.append("%s (did you mean %r?)" % (name, close[0])
+                             if close else str(name))
+        raise ValueError(
+            "unknown MachineConfig field(s) %s (valid: %s)"
+            % (", ".join(described), ", ".join(valid)))
+
+    @classmethod
     def from_overrides(cls, overrides=None, **defaults):
         """Build a config from ``defaults`` with ``overrides`` on top.
 
-        Unknown keys raise ``ValueError`` naming the valid fields, so a
-        typo in a declarative sweep fails loudly instead of silently
-        running the default machine; the merged config is
-        :meth:`validate`\\ d, so inconsistent values fail just as
-        loudly.
+        Unknown keys raise ``ValueError`` naming the valid fields (with
+        a did-you-mean suggestion), so a typo in a declarative sweep
+        fails loudly instead of silently running the default machine;
+        the merged config is :meth:`validate`\\ d, so inconsistent
+        values fail just as loudly.
         """
         merged = dict(defaults)
         merged.update(overrides or {})
-        valid = {f.name for f in fields(cls)}
-        unknown = sorted(set(merged) - valid)
-        if unknown:
-            raise ValueError(
-                "unknown MachineConfig field(s) %s (valid: %s)"
-                % (", ".join(unknown), ", ".join(sorted(valid))))
+        cls.check_field_names(merged)
         return cls(**merged).validate()
+
+
+def _check_observation_fields(cls):
+    """Import-time guard: every ``OBSERVATION_FIELDS`` name must exist.
+
+    ``fingerprint()`` *excludes* the observation fields; if one were
+    renamed without updating the tuple, the stale name would silently
+    stop matching and the field would start being fingerprinted --
+    changing every cache key (and, for an actual observation toggle,
+    splitting the result cache for no reason).  Failing the import makes
+    a rename impossible to miss.
+    """
+    declared = {f.name for f in fields(cls)}
+    missing = [name for name in cls.OBSERVATION_FIELDS
+               if name not in declared]
+    if missing:
+        raise AssertionError(
+            "%s.OBSERVATION_FIELDS names nonexistent field(s): %s -- a "
+            "renamed field silently changes every cache fingerprint; "
+            "update OBSERVATION_FIELDS alongside the field"
+            % (cls.__name__, ", ".join(missing)))
+    return cls
+
+
+_check_observation_fields(MachineConfig)
 
 
 class MultiTitan(ExecutionBackend):

@@ -1,0 +1,62 @@
+"""Design-space exploration over :class:`~repro.cpu.machine.
+MachineConfig`: typed parameter spaces, scalar fitness over workload
+suites, pluggable search agents, and resumable ``repro-dse/1``
+trajectories.
+
+The one-sanctioned-surface rule: anything that varies machine
+parameters -- ``python -m repro sweep``, the named ablation sweeps in
+:func:`repro.api.sweep_requests`, and ``python -m repro dse`` searches
+-- declares its axes as a :class:`ParameterSpace` and its measurements
+as :class:`FitnessSpec` suites, so validation, did-you-mean errors and
+cache fingerprinting behave identically everywhere.
+"""
+
+from repro.dse.agents import (AGENTS, GeneticAgent, RandomWalkAgent,
+                              SearchAgent, SuccessiveHalvingAgent,
+                              create_agent)
+from repro.dse.fitness import (OBJECTIVES, SUITES, Evaluation, FitnessSpec,
+                               SuiteEntry, area_proxy)
+from repro.dse.presets import SPACES, space_preset
+from repro.dse.report import compare_document, report_document
+from repro.dse.search import SearchOutcome, run_search, search_space_for
+from repro.dse.space import (Boolean, Choice, Constraint, Dimension,
+                             IntRange, InvalidPoint, LogRange,
+                             ParameterSpace, parse_dimension, tied)
+from repro.dse.trajectory import (TRAJECTORY_SCHEMA, TrajectoryError,
+                                  load_trajectory, validate_trajectory)
+
+__all__ = [
+    "AGENTS",
+    "Boolean",
+    "Choice",
+    "Constraint",
+    "Dimension",
+    "Evaluation",
+    "FitnessSpec",
+    "GeneticAgent",
+    "IntRange",
+    "InvalidPoint",
+    "LogRange",
+    "OBJECTIVES",
+    "ParameterSpace",
+    "RandomWalkAgent",
+    "SPACES",
+    "SUITES",
+    "SearchAgent",
+    "SearchOutcome",
+    "SuccessiveHalvingAgent",
+    "SuiteEntry",
+    "TRAJECTORY_SCHEMA",
+    "TrajectoryError",
+    "area_proxy",
+    "compare_document",
+    "create_agent",
+    "load_trajectory",
+    "parse_dimension",
+    "report_document",
+    "run_search",
+    "search_space_for",
+    "space_preset",
+    "tied",
+    "validate_trajectory",
+]

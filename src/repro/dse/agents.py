@@ -1,0 +1,217 @@
+"""Search agents: proposal strategies behind one ``SearchAgent`` shape.
+
+An agent alternates ``ask`` (propose a batch of points to evaluate)
+and ``tell`` (receive the scored batch).  The contract that makes
+trajectories replayable:
+
+* ``ask(space, rng)`` decides its *own* batch size -- the driver never
+  passes a count.  Resuming with a larger budget therefore replays the
+  exact ``ask``/``tell`` cadence of the original run, and the shared
+  ``rng`` (seeded once per search) emits the same draw sequence.
+* Agents are deterministic functions of (options, rng state, told
+  history).  No wall clock, no ``os.urandom``, no dict-order luck:
+  every internal sort carries :func:`repro.dse.space.ParameterSpace.
+  point_key` as the tie-break.
+* ``tell`` receives :class:`repro.dse.fitness.Evaluation` objects in
+  proposal order, including failures (``score is None``) -- an agent
+  must treat a failed point as maximally bad, not crash.
+
+Three agents ship (the registry is ``AGENTS``):
+
+``random``
+    Random-walk hill climber: batches of neighbors around the
+    incumbent, seeded restarts to escape basins.
+``genetic``
+    Steady-state genetic algorithm: tournament selection over a scored
+    pool, uniform crossover, per-dimension mutation.
+``halving``
+    Successive halving (the Gaussian-process-free "Bayesian-ish"
+    allocation strategy): wide seeded brackets whose survivors spawn
+    mutated children at every halving rung, restarting from the global
+    elite when a bracket is exhausted.
+"""
+
+import math
+
+from repro.dse.space import ParameterSpace
+
+__all__ = [
+    "AGENTS",
+    "GeneticAgent",
+    "RandomWalkAgent",
+    "SearchAgent",
+    "SuccessiveHalvingAgent",
+    "create_agent",
+]
+
+
+def _score_or_inf(evaluation):
+    return math.inf if evaluation.score is None else evaluation.score
+
+
+def _rank_key(evaluation):
+    """Deterministic best-first ordering: score, then canonical point."""
+    return (_score_or_inf(evaluation),
+            ParameterSpace.point_key(evaluation.point))
+
+
+class SearchAgent:
+    """The protocol (also a usable base with common bookkeeping)."""
+
+    name = "agent"
+
+    def __init__(self):
+        self.best = None
+
+    def options(self):
+        """The agent's configuration, serialized into the trajectory
+        header so ``resume`` can rebuild the identical agent."""
+        return {}
+
+    def ask(self, space, rng):
+        raise NotImplementedError
+
+    def tell(self, evaluations):
+        for evaluation in evaluations:
+            if self.best is None or _rank_key(evaluation) < _rank_key(self.best):
+                self.best = evaluation
+        self._observe(evaluations)
+
+    def _observe(self, evaluations):
+        """Subclass hook: update internal state from a told batch."""
+
+
+class RandomWalkAgent(SearchAgent):
+    """Hill-climbing random walk with seeded restarts.
+
+    Each ``ask`` proposes ``batch`` points: mutations of the incumbent
+    best, except that each slot restarts from a fresh uniform sample
+    with probability ``restart`` (and the very first batch is all
+    uniform samples -- there is no incumbent yet).
+    """
+
+    name = "random"
+
+    def __init__(self, batch=5, restart=0.15):
+        super().__init__()
+        self.batch = max(1, int(batch))
+        self.restart = float(restart)
+
+    def options(self):
+        return {"batch": self.batch, "restart": self.restart}
+
+    def ask(self, space, rng):
+        points = []
+        for _ in range(self.batch):
+            if (self.best is None or self.best.score is None
+                    or rng.random() < self.restart):
+                points.append(space.sample(rng))
+            else:
+                points.append(space.mutate(self.best.point, rng))
+        return points
+
+
+class GeneticAgent(SearchAgent):
+    """Steady-state GA: tournament parents, crossover, mutation.
+
+    The pool keeps the ``population`` best evaluations ever told
+    (ranked by :func:`_rank_key`, so ties and failures order
+    deterministically).  Until the pool is full, ``ask`` seeds it with
+    uniform samples; afterwards each child is tournament-selected
+    parents crossed with probability ``crossover`` then mutated with
+    probability ``mutation``.
+    """
+
+    name = "genetic"
+
+    def __init__(self, population=10, tournament=3, crossover=0.9,
+                 mutation=0.3):
+        super().__init__()
+        self.population = max(2, int(population))
+        self.tournament = max(1, int(tournament))
+        self.crossover = float(crossover)
+        self.mutation = float(mutation)
+        self.pool = []
+
+    def options(self):
+        return {"population": self.population, "tournament": self.tournament,
+                "crossover": self.crossover, "mutation": self.mutation}
+
+    def _select(self, rng):
+        entrants = [rng.randrange(len(self.pool))
+                    for _ in range(min(self.tournament, len(self.pool)))]
+        return self.pool[min(entrants)].point  # pool is rank-sorted
+
+    def ask(self, space, rng):
+        if len(self.pool) < self.population:
+            return [space.sample(rng)
+                    for _ in range(self.population - len(self.pool))]
+        points = []
+        for _ in range(self.population):
+            mother = self._select(rng)
+            if rng.random() < self.crossover:
+                child = space.crossover(mother, self._select(rng), rng)
+            else:
+                child = dict(mother)
+            if rng.random() < self.mutation:
+                child = space.mutate(child, rng)
+            points.append(child)
+        return points
+
+    def _observe(self, evaluations):
+        self.pool.extend(evaluations)
+        self.pool.sort(key=_rank_key)
+        del self.pool[self.population:]
+
+
+class SuccessiveHalvingAgent(SearchAgent):
+    """Successive halving over seeded brackets.
+
+    A bracket opens with ``width`` uniform samples; each rung keeps the
+    best half and asks for one mutated child per survivor, halving
+    until one point remains.  The next bracket restarts wide, seeded
+    with a mutation of the global elite so good basins are refined
+    while most of the budget keeps exploring.
+    """
+
+    name = "halving"
+
+    def __init__(self, width=16):
+        super().__init__()
+        self.width = max(2, int(width))
+        self.rung = []  # Evaluations of the current rung, rank-sorted.
+
+    def options(self):
+        return {"width": self.width}
+
+    def ask(self, space, rng):
+        if len(self.rung) >= 2:
+            survivors = self.rung[:max(1, len(self.rung) // 2)]
+            self.rung = []
+            return [space.mutate(parent.point, rng) for parent in survivors]
+        # Open a new bracket.
+        self.rung = []
+        points = [space.sample(rng) for _ in range(self.width)]
+        if self.best is not None and self.best.score is not None:
+            points[0] = space.mutate(self.best.point, rng)
+        return points
+
+    def _observe(self, evaluations):
+        self.rung.extend(evaluations)
+        self.rung.sort(key=_rank_key)
+
+
+AGENTS = {
+    RandomWalkAgent.name: RandomWalkAgent,
+    GeneticAgent.name: GeneticAgent,
+    SuccessiveHalvingAgent.name: SuccessiveHalvingAgent,
+}
+
+
+def create_agent(name, **options):
+    try:
+        factory = AGENTS[name]
+    except KeyError:
+        raise ValueError("unknown search agent %r (available: %s)"
+                         % (name, ", ".join(sorted(AGENTS)))) from None
+    return factory(**options)

@@ -1,0 +1,272 @@
+"""Fitness: from a workload suite plus an objective to one scalar score.
+
+A :class:`FitnessSpec` names a *suite* (an ordered list of declarative
+workload entries -- Livermore loops, Linpack -- exactly the requests
+:meth:`repro.api.Session.run_many` fans across the cached orchestrator)
+and an *objective* mapping the suite's deterministic cycle counts to a
+scalar, lower-is-better score:
+
+``cycles``
+    Total simulated cycles across the suite: the pure
+    machine-organization objective (clock-rate-neutral).
+``cycles_ns``
+    Total cycles times the configuration's cycle time: wall-clock on
+    the simulated machine, so a point trading a longer pipeline for a
+    faster clock can win.
+``area_cycles``
+    Cycles weighted by :func:`area_proxy`: a crude silicon budget that
+    penalizes big SRAM arrays and deep vector register state, so the
+    search cannot simply max out every cache axis.
+
+Suites interact with the VL ceiling dimension: entries that accept a
+``vl`` codegen parameter (Livermore, BLAS) are built at
+``min(vl_cap, max_vl)`` -- the point's ceiling bounded by the entry's
+own register-budget cap -- so a low-ceiling machine is *measured
+honestly* rather than rejected, while fixed-VL entries (Linpack's VL-8
+kernels)
+declare ``min_max_vl`` and :meth:`FitnessSpec.constraint` turns that
+into a :class:`~repro.dse.space.Constraint` the search composes into
+its space -- impossible points are rejected before simulation, the
+rest are simulated as the machine they describe.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cpu.machine import MachineConfig
+from repro.core.encoding import MAX_VECTOR_LENGTH
+from repro.dse.space import Constraint
+
+__all__ = [
+    "Evaluation",
+    "FitnessSpec",
+    "OBJECTIVES",
+    "SUITES",
+    "SuiteEntry",
+    "area_proxy",
+    "better",
+    "result_cycles",
+    "suite_entries",
+]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One declarative workload in a fitness suite.
+
+    ``vl_param`` marks workloads whose codegen takes a ``vl`` parameter
+    threaded from the point's ``max_vl`` ceiling; ``vl_cap`` is the
+    entry's own codegen ceiling -- register-hungry kernels run out of
+    FPU registers above it (Livermore loop 7 allocates so many operand
+    streams that vl=8 already needs registers past R51, the same
+    compile error the paper reports), and capping here keeps the
+    search measuring machines, not codegen limits.  ``min_max_vl`` is
+    the smallest VL ceiling the entry's fixed-VL code can run under.
+    """
+
+    workload: str
+    params: dict = field(default_factory=dict)
+    vl_param: bool = False
+    vl_cap: int = MAX_VECTOR_LENGTH
+    min_max_vl: int = 1
+
+
+#: Named suites: ordered entry lists (order is part of the trajectory's
+#: determinism contract -- requests are issued suite-order per point).
+SUITES = {
+    # Two tiny kernels: the CI smoke suite (fast, covers a vector chain
+    # and a dense multiply-add loop).
+    "dse-smoke": (
+        SuiteEntry("livermore", {"loop": 1, "n": 32, "warm": True},
+                   vl_param=True),
+        SuiteEntry("livermore", {"loop": 3, "n": 32, "warm": True},
+                   vl_param=True),
+    ),
+    # The standard search fitness: four structurally distinct Livermore
+    # loops (hydro, inner product, equation of state, first-difference).
+    # Loop 7 streams seven operand arrays, so its strip length is
+    # register-limited to 4 (the kernel registry's default_vl).
+    "livermore-quick": (
+        SuiteEntry("livermore", {"loop": 1, "warm": True}, vl_param=True),
+        SuiteEntry("livermore", {"loop": 3, "warm": True}, vl_param=True),
+        SuiteEntry("livermore", {"loop": 7, "warm": True}, vl_param=True,
+                   vl_cap=4),
+        SuiteEntry("livermore", {"loop": 12, "warm": True}, vl_param=True),
+    ),
+    # Linpack's kernels are fixed VL-8 codegen: points must keep the
+    # ceiling at 8 or above.
+    "linpack": (
+        SuiteEntry("linpack", {"n": 24}, min_max_vl=8),
+    ),
+    # The paper's headline pair: Livermore sweep plus Linpack.
+    "livermore-linpack": (
+        SuiteEntry("livermore", {"loop": 1, "warm": True}, vl_param=True),
+        SuiteEntry("livermore", {"loop": 7, "warm": True}, vl_param=True,
+                   vl_cap=4),
+        SuiteEntry("livermore", {"loop": 12, "warm": True}, vl_param=True),
+        SuiteEntry("linpack", {"n": 24}, min_max_vl=8),
+    ),
+}
+
+OBJECTIVES = ("cycles", "cycles_ns", "area_cycles")
+
+
+def suite_entries(name):
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError("unknown fitness suite %r (available: %s)"
+                         % (name, ", ".join(sorted(SUITES)))) from None
+
+
+def result_cycles(metrics):
+    """The deterministic cycle count of one result's metrics.
+
+    Workloads report either a single ``cycles`` or split counts
+    (``warm_cycles``/``cold_cycles``, ``scalar_cycles``/
+    ``vector_cycles``); either way the suite total is their sum.
+    """
+    if "cycles" in metrics:
+        return int(metrics["cycles"])
+    split = [int(value) for key, value in sorted(metrics.items())
+             if key.endswith("_cycles")]
+    if not split:
+        raise ValueError("metrics carry no cycle count: %s"
+                         % ", ".join(sorted(metrics)) or "none")
+    return sum(split)
+
+
+def area_proxy(config):
+    """A crude, documented area weight for ``area_cycles``.
+
+    Normalized so the paper's MultiTitan weighs ~2.5: 1 (fixed logic)
+    + SRAM bytes / 64 KB (the on-chip arrays, dominated by the data
+    cache) + max_vl / 16 (vector register state and its scoreboard).
+    """
+    sram = config.dcache_size + config.ibuf_size
+    if config.model_external_icache:
+        sram += config.icache_size
+    return 1.0 + sram / (64 * 1024) + config.max_vl / MAX_VECTOR_LENGTH
+
+
+@dataclass
+class Evaluation:
+    """One scored point of a search: the trajectory's unit record."""
+
+    index: int
+    point: dict
+    score: float = None
+    cycles: int = None
+
+    @property
+    def failed(self):
+        return self.score is None
+
+    def record(self, best):
+        """The deterministic ``repro-dse/1`` trajectory record."""
+        return {
+            "eval": self.index,
+            "point": dict(self.point),
+            "score": self.score,
+            "cycles": self.cycles,
+            "failed": self.failed,
+            "best_score": None if best is None else best.score,
+            "best_eval": None if best is None else best.index,
+        }
+
+
+def better(a, b):
+    """Is evaluation ``a`` strictly better than ``b``?  (Lower score
+    wins; failures lose to everything; the earlier evaluation wins
+    ties, keeping best-so-far deterministic and stable.)"""
+    if a is None or a.failed:
+        return False
+    if b is None or b.failed:
+        return True
+    return a.score < b.score
+
+
+class FitnessSpec:
+    """Suite x objective -> scalar score for one space point."""
+
+    def __init__(self, suite="livermore-quick", objective="cycles",
+                 backend=None, max_cycles=None):
+        self.suite = str(suite)
+        self.entries = suite_entries(self.suite)
+        if objective not in OBJECTIVES:
+            raise ValueError("unknown objective %r (available: %s)"
+                             % (objective, ", ".join(OBJECTIVES)))
+        self.objective = str(objective)
+        self.backend = backend
+        self.max_cycles = max_cycles
+
+    # -- admissibility ---------------------------------------------------
+
+    def min_max_vl(self):
+        return max(entry.min_max_vl for entry in self.entries)
+
+    def constraint(self):
+        """The space constraint this fitness imposes, or ``None``.
+
+        Fixed-VL suite entries cannot run under a lower ceiling; the
+        search composes this into its space so such points are rejected
+        at proposal time, never simulated.
+        """
+        floor = self.min_max_vl()
+        if floor <= 1:
+            return None
+        return Constraint(
+            "fitness:%s:max_vl>=%d" % (self.suite, floor),
+            lambda point: point.get("max_vl", MAX_VECTOR_LENGTH) >= floor)
+
+    # -- request construction -------------------------------------------
+
+    def requests(self, config_overrides):
+        """The suite's :class:`repro.api.RunRequest` list for one point
+        (``config_overrides`` is ``space.config_for(point)``)."""
+        from repro.api import RunRequest
+
+        config = MachineConfig.from_overrides(config_overrides)
+        out = []
+        for entry in self.entries:
+            params = dict(entry.params)
+            if entry.vl_param:
+                params["vl"] = min(params.get("vl") or entry.vl_cap,
+                                   config.max_vl)
+            out.append(RunRequest(entry.workload, params=params,
+                                  config=dict(config_overrides),
+                                  max_cycles=self.max_cycles,
+                                  backend=self.backend))
+        return out
+
+    # -- scoring ---------------------------------------------------------
+
+    def score(self, config_overrides, results):
+        """``(score, cycles)`` for one point's suite results.
+
+        Any failed result (self-check, quarantine, crash) scores the
+        whole point as failed: ``(None, None)``.
+        """
+        total = 0
+        for result in results:
+            if not result.passed:
+                return None, None
+            total += result_cycles(result.metrics)
+        config = MachineConfig.from_overrides(config_overrides)
+        if self.objective == "cycles":
+            return float(total), total
+        if self.objective == "cycles_ns":
+            return total * config.cycle_time_ns, total
+        return total * area_proxy(config), total
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self):
+        return {"suite": self.suite, "objective": self.objective,
+                "backend": self.backend, "max_cycles": self.max_cycles}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(suite=payload.get("suite", "livermore-quick"),
+                   objective=payload.get("objective", "cycles"),
+                   backend=payload.get("backend"),
+                   max_cycles=payload.get("max_cycles"))

@@ -1,0 +1,52 @@
+"""Named parameter spaces: the curated search surfaces.
+
+A preset is a zero-argument factory so every lookup returns a fresh
+:class:`~repro.dse.space.ParameterSpace`.  Presets are addressed by
+name on the ``dse`` CLI (``--space smoke``) and recorded by name-free
+``to_dict()`` in trajectory headers -- resume prefers rebuilding by
+name (constraint predicates stay executable) and falls back to the
+recorded dict.
+"""
+
+from repro.dse.space import Choice, IntRange, LogRange, ParameterSpace
+
+__all__ = ["SPACES", "space_preset"]
+
+
+def _smoke():
+    """3 dimensions, 120 points: the CI smoke surface (fast axes only:
+    no cache-size axis, so cold-start simulation stays cheap)."""
+    return ParameterSpace(
+        [
+            IntRange("fpu_latency", 1, 6),
+            Choice("dcache_miss_penalty", [0, 7, 14, 28]),
+            Choice("max_vl", [4, 8, 16]),
+        ],
+        name="smoke",
+    )
+
+
+def _default():
+    """5 dimensions, ~3k points: the paper's interesting axes (FPU
+    pipeline depth, cache/buffer geometry, VL ceiling)."""
+    return ParameterSpace(
+        [
+            IntRange("fpu_latency", 1, 8),
+            LogRange("dcache_size", 8 * 1024, 256 * 1024),
+            LogRange("ibuf_size", 512, 8 * 1024),
+            Choice("dcache_miss_penalty", [0, 7, 14, 28]),
+            Choice("max_vl", [4, 8, 16]),
+        ],
+        name="default",
+    )
+
+
+SPACES = {"smoke": _smoke, "default": _default}
+
+
+def space_preset(name):
+    try:
+        return SPACES[name]()
+    except KeyError:
+        raise ValueError("unknown space preset %r (available: %s)"
+                         % (name, ", ".join(sorted(SPACES)))) from None

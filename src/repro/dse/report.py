@@ -1,0 +1,110 @@
+"""Reporting over recorded trajectories: best-config tables and
+score-vs-evaluations comparison data.
+
+Reports are derived purely from the trajectory file -- re-running
+``dse report`` never simulates anything, and the same file always
+yields the same document (schema ``repro-dse-report/1``; ``compare``
+emits ``repro-dse-compare/1`` over several files).
+"""
+
+from repro.dse.space import ParameterSpace
+from repro.dse.trajectory import load_trajectory, validate_trajectory
+
+REPORT_SCHEMA = "repro-dse-report/1"
+COMPARE_SCHEMA = "repro-dse-compare/1"
+
+__all__ = ["COMPARE_SCHEMA", "REPORT_SCHEMA", "compare_document",
+           "report_document"]
+
+
+def _best_curve(records):
+    """Improvement steps: ``[[eval, best_score], ...]`` -- one entry
+    per record where best-so-far changed (plus the final record, so
+    the curve always spans the full budget)."""
+    curve, last = [], object()
+    for record in records:
+        if record["best_score"] != last:
+            curve.append([record["eval"], record["best_score"]])
+            last = record["best_score"]
+    if records and (not curve or curve[-1][0] != records[-1]["eval"]):
+        curve.append([records[-1]["eval"], records[-1]["best_score"]])
+    return curve
+
+
+def report_document(path):
+    """The full report for one trajectory file."""
+    header, records, torn = load_trajectory(path)
+    validate_trajectory(header, records)
+    space = ParameterSpace.from_dict(header["space"])
+    distinct = set()
+    failed = 0
+    for record in records:
+        distinct.add(ParameterSpace.point_key(record["point"]))
+        if record["failed"]:
+            failed += 1
+    best = None
+    if records and records[-1]["best_eval"] is not None:
+        # Eval indices are contiguous from 0 (validated above), so the
+        # final best_eval indexes its own record directly.
+        best = records[records[-1]["best_eval"]]
+    document = {
+        "schema": REPORT_SCHEMA,
+        "agent": header["agent"],
+        "fitness": header["fitness"],
+        "seed": header["seed"],
+        "space": header["space"],
+        "evaluations": len(records),
+        "distinct_points": len(distinct),
+        "failed": failed,
+        "torn_tail": torn is not None,
+        "best": None,
+        "curve": _best_curve(records),
+    }
+    if best is not None:
+        document["best"] = {
+            "eval": best["eval"],
+            "score": best["score"],
+            "cycles": best["cycles"],
+            "point": best["point"],
+            "config": space.config_for(best["point"]),
+        }
+    return document
+
+
+def compare_document(paths):
+    """Side-by-side comparison of several trajectories.
+
+    Requires a shared fitness (same suite + objective) so the scores
+    are commensurable; agents, seeds and spaces may differ -- that is
+    the point of comparing.
+    """
+    entries = [report_document(path) for path in paths]
+    fitnesses = {ParameterSpace.point_key(entry["fitness"])
+                 for entry in entries}
+    if len(fitnesses) > 1:
+        raise ValueError(
+            "cannot compare trajectories with different fitness specs: %s"
+            % " vs ".join(sorted(fitnesses)))
+    runs = []
+    for path, entry in zip(paths, entries):
+        runs.append({
+            "path": str(path),
+            "agent": entry["agent"],
+            "seed": entry["seed"],
+            "evaluations": entry["evaluations"],
+            "distinct_points": entry["distinct_points"],
+            "failed": entry["failed"],
+            "best": entry["best"],
+            "curve": entry["curve"],
+        })
+    ranked = sorted(
+        runs, key=lambda run: (
+            run["best"] is None,
+            run["best"]["score"] if run["best"] else 0.0,
+            run["path"]))
+    return {
+        "schema": COMPARE_SCHEMA,
+        "fitness": entries[0]["fitness"],
+        "runs": runs,
+        "winner": ranked[0]["path"] if ranked and ranked[0]["best"] else None,
+    }

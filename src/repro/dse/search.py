@@ -1,0 +1,220 @@
+"""The search driver: agent loop x cached evaluation x trajectory.
+
+:func:`run_search` owns the ask/evaluate/tell loop.  Determinism
+contract (satellite-tested): same seed + same space + same agent =>
+byte-identical trajectory JSONL at any ``--jobs`` count, because
+
+* the single ``random.Random(seed)`` stream is consumed only inside
+  ``agent.ask`` (agents choose their own batch sizes, so the draw
+  sequence is budget-independent up to the shared prefix);
+* evaluation is the deterministic simulator behind the digest-keyed
+  result cache -- worker count changes scheduling, never results;
+* records are written in proposal order with a driver-side best that
+  breaks ties toward the earliest evaluation.
+
+Repeated points are free twice over: an in-memory memo short-circuits
+duplicate proposals inside one search, and the orchestrator's on-disk
+:class:`~repro.orchestrate.ResultCache` makes re-simulated points
+(across searches, resumes, and repeated CI runs) cache hits.
+
+Resume replays the recorded prefix through the *same* agent loop --
+``ask`` proposals are checked point-by-point against the recorded
+trajectory (a mismatch means the space/agent/seed differ from the
+original run and resuming would corrupt the record), told from the
+recorded scores without simulation, and the loop falls through to live
+evaluation exactly where the record ends, even mid-batch.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.dse import trajectory as traj
+from repro.dse.fitness import Evaluation, better
+from repro.dse.space import ParameterSpace
+from repro.dse.trajectory import TrajectoryError, TrajectoryWriter
+
+__all__ = ["SearchOutcome", "run_search", "search_space_for"]
+
+
+def search_space_for(space, fitness):
+    """The space actually searched: the declared space with the
+    fitness suite's admissibility composed in (e.g. Linpack's fixed
+    VL-8 kernels forbid ``max_vl < 8``)."""
+    extra = fitness.constraint()
+    if extra is None or any(c.name == extra.name for c in space.constraints):
+        return space
+    return ParameterSpace(space.dimensions,
+                          constraints=list(space.constraints) + [extra],
+                          base_config=space.base_config, name=space.name)
+
+
+@dataclass
+class SearchOutcome:
+    """What a finished (or resumed-and-finished) search produced."""
+
+    path: str
+    best: Evaluation
+    evaluations: int
+    distinct_points: int
+    failed_count: int
+    replayed: int
+    memo_hits: int
+    cache_hits: int
+    cache_tasks: int
+
+    @property
+    def cache_hit_rate(self):
+        if not self.cache_tasks:
+            return 0.0
+        return self.cache_hits / self.cache_tasks
+
+
+class _Driver:
+    def __init__(self, space, fitness, session):
+        self.space = space
+        self.fitness = fitness
+        self.session = session
+        self.memo = {}  # point_key -> (score, cycles)
+        self.best = None
+        self.done = 0
+        self.failed = 0
+        self.memo_hits = 0
+        self.cache_hits = 0
+        self.cache_tasks = 0
+
+    def scores(self, points):
+        """Score a proposal batch: memoized, deduplicated, one
+        orchestrator campaign for everything genuinely new.  Returns
+        ``(score, cycles)`` per point, aligned with ``points``."""
+        keys = [ParameterSpace.point_key(point) for point in points]
+        fresh, fresh_points = [], []
+        for key, point in zip(keys, points):
+            if key in self.memo or key in fresh:
+                self.memo_hits += 1
+            else:
+                fresh.append(key)
+                fresh_points.append(point)
+        if fresh:
+            per_point = len(self.fitness.entries)
+            requests = []
+            for point in fresh_points:
+                requests.extend(
+                    self.fitness.requests(self.space.config_for(point)))
+            results = self.session.run_many(requests)
+            campaign = self.session.last_campaign
+            if campaign is not None:
+                self.cache_hits += campaign.cached_count
+                self.cache_tasks += len(requests)
+            for offset, (key, point) in enumerate(zip(fresh, fresh_points)):
+                chunk = results[offset * per_point:(offset + 1) * per_point]
+                self.memo[key] = self.fitness.score(
+                    self.space.config_for(point), chunk)
+        return [self.memo[key] for key in keys]
+
+    def commit(self, points, writer, progress):
+        """Score, record and return a batch, one durable trajectory
+        line per proposal with a true best-*so-far* (a record never
+        references a later evaluation in its own batch)."""
+        evaluations = []
+        for point, (score, cycles) in zip(points, self.scores(points)):
+            evaluation = self.make_evaluation(point, score, cycles)
+            writer.record(evaluation.record(self.best))
+            if progress:
+                progress(self, evaluation)
+            evaluations.append(evaluation)
+        return evaluations
+
+    def make_evaluation(self, point, score, cycles):
+        evaluation = Evaluation(self.done, dict(point), score, cycles)
+        self.done += 1
+        if evaluation.failed:
+            self.failed += 1
+        if better(evaluation, self.best):
+            self.best = evaluation
+        return evaluation
+
+
+def _replay(driver, agent, rng, records, writer, progress):
+    """Drive the agent through the recorded prefix (no simulation);
+    returns mid-batch live evaluations appended at the seam, if any."""
+    cursor = 0
+    while cursor < len(records):
+        points = agent.ask(driver.space, rng)
+        evaluations = []
+        for offset, point in enumerate(points):
+            if cursor >= len(records):
+                # The record ends mid-batch (interrupted run): evaluate
+                # the remainder live -- determinism makes this identical
+                # to what the interrupted run would have written.
+                evaluations.extend(
+                    driver.commit(points[offset:], writer, progress))
+                break
+            record = records[cursor]
+            if ParameterSpace.point_key(point) != \
+                    ParameterSpace.point_key(record["point"]):
+                raise TrajectoryError(
+                    "resume replay diverged at eval %d: trajectory has "
+                    "%s, the agent proposes %s -- the space, agent "
+                    "options or seed differ from the original search; "
+                    "start a fresh trajectory instead"
+                    % (record["eval"],
+                       ParameterSpace.point_key(record["point"]),
+                       ParameterSpace.point_key(point)))
+            evaluation = driver.make_evaluation(
+                record["point"], record["score"], record["cycles"])
+            driver.memo.setdefault(ParameterSpace.point_key(record["point"]),
+                                   (record["score"], record["cycles"]))
+            evaluations.append(evaluation)
+            cursor += 1
+        agent.tell(evaluations)
+
+
+def run_search(space, fitness, agent, budget, session, path, seed=0,
+               resume=False, progress=None):
+    """Run (or resume) a search to ``budget`` evaluations.
+
+    ``budget`` counts evaluation *records*; the loop finishes the
+    agent's whole final batch, so a run may overshoot by less than one
+    batch -- trimming mid-batch would make the rng draw sequence (and
+    therefore the trajectory) depend on the budget, breaking
+    resume-vs-fresh byte identity.
+    """
+    driver = _Driver(search_space_for(space, fitness), fitness, session)
+    rng = random.Random(seed)
+    replayed = 0
+    if resume:
+        header, records, torn = traj.load_trajectory(path)
+        traj.validate_trajectory(header, records)
+        expected = traj.make_header(space, fitness, agent, seed)
+        for key in ("agent", "fitness", "seed"):
+            if header.get(key) != expected[key]:
+                raise TrajectoryError(
+                    "%s: trajectory %s %s does not match the requested "
+                    "search (%s)" % (path, key, header.get(key),
+                                     expected[key]))
+        if header.get("space") != expected["space"]:
+            raise TrajectoryError(
+                "%s: trajectory space fingerprint %s does not match the "
+                "requested space %s -- resume must continue the identical "
+                "space" % (path,
+                           ParameterSpace.from_dict(
+                               header["space"]).fingerprint()[:12],
+                           space.fingerprint()[:12]))
+        traj.repair_torn_tail(path, torn)
+        writer = TrajectoryWriter(path)
+        replayed = len(records)
+    else:
+        writer = TrajectoryWriter(
+            path, header=traj.make_header(space, fitness, agent, seed))
+        records = []
+    with writer:
+        if records:
+            _replay(driver, agent, rng, records, writer, progress)
+        while driver.done < budget:
+            points = agent.ask(driver.space, rng)
+            agent.tell(driver.commit(points, writer, progress))
+    return SearchOutcome(
+        path=path, best=driver.best, evaluations=driver.done,
+        distinct_points=len(driver.memo), failed_count=driver.failed,
+        replayed=replayed, memo_hits=driver.memo_hits,
+        cache_hits=driver.cache_hits, cache_tasks=driver.cache_tasks)

@@ -1,0 +1,576 @@
+"""Typed, declarative parameter spaces over :class:`MachineConfig`.
+
+A :class:`ParameterSpace` is the one sanctioned way to say "these
+machine parameters vary": a list of typed *dimensions* (integer ranges,
+log-scaled sizes, booleans, enumerated choices), an optional base
+config applied under every point, and *constraint predicates* that
+reject impossible points before any simulation runs.  Every dimension
+name is checked against the ``MachineConfig`` dataclass through the
+same did-you-mean error path as :meth:`MachineConfig.from_overrides`,
+and every point additionally passes through
+:meth:`MachineConfig.validate` -- so a space can never propose a
+machine the simulator would refuse to build.
+
+The space serves three consumers with one surface:
+
+* **sweeps** -- :meth:`ParameterSpace.grid` is the exhaustive iterator
+  behind ``python -m repro sweep`` (and the named ablation sweeps in
+  :func:`repro.api.sweep_requests`).  Grid order keeps the historical
+  sweep convention -- the *first* declared dimension varies fastest --
+  so campaigns shimmed from the legacy ``--grid`` flags emit
+  byte-identical BENCH documents.
+* **search** -- :meth:`sample`, :meth:`mutate` and :meth:`crossover`
+  are the seeded point operators the :mod:`repro.dse.agents` build on;
+  all three retry until the constraints admit the point.
+* **identity** -- :meth:`to_dict` / :meth:`fingerprint` give the space
+  a stable serialized form, recorded in every ``repro-dse/1``
+  trajectory header so a resume can prove it is continuing the same
+  search.
+
+A point is a plain ``{field_name: value}`` dict covering exactly the
+space's dimensions; :meth:`config_for` merges it over the base config
+into the override dict a :class:`repro.api.RunRequest` carries.
+"""
+
+import difflib
+import hashlib
+import json
+
+from repro.cpu.machine import MachineConfig
+
+__all__ = [
+    "Boolean",
+    "Choice",
+    "Constraint",
+    "Dimension",
+    "IntRange",
+    "LogRange",
+    "ParameterSpace",
+    "parse_dimension",
+    "parse_scalar",
+    "tied",
+]
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class Dimension:
+    """One typed axis of a :class:`ParameterSpace`.
+
+    Subclasses define the ordered, finite value universe
+    (:meth:`values`); the base class supplies uniform sampling and the
+    neighborhood step (:meth:`mutate`) the search agents use.  Ordered
+    dimensions (int ranges, log sizes) step to an *adjacent* value so a
+    walk explores locally; unordered ones (booleans, choices) jump to
+    any other value.
+    """
+
+    kind = None
+    ordered = False
+
+    def __init__(self, name):
+        self.name = str(name)
+
+    def values(self):
+        """The ordered, exhaustive value list (finite by construction)."""
+        raise NotImplementedError
+
+    def contains(self, value):
+        return any(value == candidate and type(value) is type(candidate)
+                   for candidate in self.values())
+
+    def sample(self, rng):
+        values = self.values()
+        return values[rng.randrange(len(values))]
+
+    def mutate(self, value, rng):
+        """A neighboring value (never ``value`` itself unless the
+        dimension is degenerate)."""
+        values = self.values()
+        if len(values) < 2:
+            return values[0]
+        if self.ordered:
+            index = values.index(value)
+            if index == 0:
+                return values[1]
+            if index == len(values) - 1:
+                return values[-2]
+            return values[index + rng.choice((-1, 1))]
+        others = [candidate for candidate in values if candidate != value]
+        return others[rng.randrange(len(others))]
+
+    def spec_dict(self):
+        """The kind-specific payload merged into :meth:`to_dict`."""
+        raise NotImplementedError
+
+    def to_dict(self):
+        payload = {"kind": self.kind, "name": self.name}
+        payload.update(self.spec_dict())
+        return payload
+
+    @staticmethod
+    def from_dict(payload):
+        kind = payload.get("kind")
+        for cls in (IntRange, LogRange, Boolean, Choice):
+            if kind == cls.kind:
+                return cls._from_spec(payload)
+        raise ValueError("unknown dimension kind %r" % (kind,))
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, _canonical(self.to_dict()))
+
+
+class IntRange(Dimension):
+    """Integers ``low..high`` inclusive, stepping by ``step``."""
+
+    kind = "int"
+    ordered = True
+
+    def __init__(self, name, low, high, step=1):
+        super().__init__(name)
+        self.low = int(low)
+        self.high = int(high)
+        self.step = int(step)
+        if self.step < 1:
+            raise ValueError("dimension %r: step must be >= 1" % self.name)
+        if self.high < self.low:
+            raise ValueError("dimension %r: empty range %d..%d"
+                             % (self.name, self.low, self.high))
+
+    def values(self):
+        return list(range(self.low, self.high + 1, self.step))
+
+    def contains(self, value):
+        return (type(value) is int and self.low <= value <= self.high
+                and (value - self.low) % self.step == 0)
+
+    def mutate(self, value, rng):
+        if self.low + self.step > self.high:
+            return self.low
+        if value - self.step < self.low:
+            return value + self.step
+        if value + self.step > self.high:
+            return value - self.step
+        return value + rng.choice((-self.step, self.step))
+
+    def spec_dict(self):
+        return {"low": self.low, "high": self.high, "step": self.step}
+
+    @classmethod
+    def _from_spec(cls, payload):
+        return cls(payload["name"], payload["low"], payload["high"],
+                   payload.get("step", 1))
+
+
+class LogRange(Dimension):
+    """Log-scaled sizes: ``low, low*base, low*base**2, ... <= high``.
+
+    The natural shape for cache geometry -- a 4 KB..256 KB data-cache
+    axis is 7 points, not 258048.
+    """
+
+    kind = "log"
+    ordered = True
+
+    def __init__(self, name, low, high, base=2):
+        super().__init__(name)
+        self.low = int(low)
+        self.high = int(high)
+        self.base = int(base)
+        if self.low < 1:
+            raise ValueError("dimension %r: log range needs low >= 1"
+                             % self.name)
+        if self.base < 2:
+            raise ValueError("dimension %r: log base must be >= 2"
+                             % self.name)
+        if self.high < self.low:
+            raise ValueError("dimension %r: empty range %d..%d"
+                             % (self.name, self.low, self.high))
+
+    def values(self):
+        out = []
+        value = self.low
+        while value <= self.high:
+            out.append(value)
+            value *= self.base
+        return out
+
+    def spec_dict(self):
+        return {"low": self.low, "high": self.high, "base": self.base}
+
+    @classmethod
+    def _from_spec(cls, payload):
+        return cls(payload["name"], payload["low"], payload["high"],
+                   payload.get("base", 2))
+
+
+class Boolean(Dimension):
+    """The two-point on/off axis (model toggles)."""
+
+    kind = "bool"
+
+    def values(self):
+        return [False, True]
+
+    def spec_dict(self):
+        return {}
+
+    @classmethod
+    def _from_spec(cls, payload):
+        return cls(payload["name"])
+
+
+class Choice(Dimension):
+    """An explicit enumerated value list (any JSON scalars)."""
+
+    kind = "choice"
+
+    def __init__(self, name, choices):
+        super().__init__(name)
+        self.choices = list(choices)
+        if not self.choices:
+            raise ValueError("dimension %r: empty choice list" % self.name)
+        if len(set(map(repr, self.choices))) != len(self.choices):
+            raise ValueError("dimension %r: duplicate choices" % self.name)
+
+    def values(self):
+        return list(self.choices)
+
+    def spec_dict(self):
+        return {"choices": list(self.choices)}
+
+    @classmethod
+    def _from_spec(cls, payload):
+        return cls(payload["name"], payload["choices"])
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+class Constraint:
+    """A named point predicate: ``fn(point) -> bool`` (True = admit).
+
+    The *name* is the serialized identity (trajectory headers record
+    names, not code); ``tied:`` names round-trip through
+    :meth:`ParameterSpace.from_dict`, arbitrary predicates come back as
+    inert named markers -- fingerprints still match, but only the
+    natively-constructed space enforces them, which is why a resume
+    rebuilds its space from the same declaration that started the
+    search.
+    """
+
+    def __init__(self, name, fn=None):
+        self.name = str(name)
+        self.fn = fn
+
+    def admits(self, point):
+        return True if self.fn is None else bool(self.fn(point))
+
+    def __repr__(self):
+        return "Constraint(%r)" % self.name
+
+
+def tied(field_a, field_b):
+    """Constrain two dimensions to equal values (e.g. a single miss
+    penalty applied to both caches).  Serializable: the ``tied:`` name
+    reconstructs the predicate in :meth:`ParameterSpace.from_dict`."""
+    return Constraint("tied:%s=%s" % (field_a, field_b),
+                      lambda point: point.get(field_a) == point.get(field_b))
+
+
+def _constraint_from_name(name):
+    prefix = "tied:"
+    if name.startswith(prefix) and "=" in name[len(prefix):]:
+        field_a, _, field_b = name[len(prefix):].partition("=")
+        return tied(field_a, field_b)
+    return Constraint(name)
+
+
+# ---------------------------------------------------------------------------
+# The space
+# ---------------------------------------------------------------------------
+
+class InvalidPoint(ValueError):
+    """A point the space rejects (wrong shape, out-of-universe value,
+    failed constraint, or a MachineConfig the simulator refuses)."""
+
+
+class ParameterSpace:
+    """A typed search/sweep space over ``MachineConfig`` fields."""
+
+    def __init__(self, dimensions, constraints=(), base_config=None,
+                 name=None):
+        self.dimensions = list(dimensions)
+        if not self.dimensions:
+            # The degenerate space (one empty point) is legal: the sweep
+            # CLI with no axes runs the base machine once.
+            pass
+        seen = set()
+        for dim in self.dimensions:
+            if not isinstance(dim, Dimension):
+                raise TypeError("dimensions must be Dimension instances, "
+                                "got %r" % (dim,))
+            if dim.name in seen:
+                raise ValueError("duplicate dimension %r" % dim.name)
+            seen.add(dim.name)
+        self.base_config = dict(base_config or {})
+        MachineConfig.check_field_names(
+            list(seen) + list(self.base_config))
+        overlap = seen & set(self.base_config)
+        if overlap:
+            raise ValueError("field(s) %s appear both as dimensions and in "
+                             "base_config" % ", ".join(sorted(overlap)))
+        self.constraints = [c if isinstance(c, Constraint)
+                            else Constraint(getattr(c, "__name__", "custom"),
+                                            c)
+                            for c in constraints]
+        self.name = name
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def names(self):
+        return tuple(dim.name for dim in self.dimensions)
+
+    def dimension(self, name):
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        close = difflib.get_close_matches(str(name), self.names, n=1)
+        raise ValueError("no dimension %r in this space%s (dimensions: %s)"
+                         % (name,
+                            " (did you mean %r?)" % close[0] if close else "",
+                            ", ".join(self.names) or "none"))
+
+    def size(self):
+        """Grid cardinality *before* constraints (an upper bound)."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values())
+        return total
+
+    # -- point validity -------------------------------------------------
+
+    def check_point(self, point):
+        """Raise :class:`InvalidPoint` unless ``point`` is admissible.
+
+        Admissible means: exactly the space's dimension names, every
+        value inside its dimension's universe, every constraint
+        predicate satisfied, and the merged ``MachineConfig``
+        buildable (:meth:`MachineConfig.validate` -- so e.g. a VL
+        ceiling above the register file is rejected here, before any
+        simulation is scheduled).
+        """
+        if not isinstance(point, dict):
+            raise InvalidPoint("a point is a {field: value} dict, got %r"
+                               % (point,))
+        extra = sorted(set(point) - set(self.names))
+        if extra:
+            hints = []
+            for key in extra:
+                close = difflib.get_close_matches(str(key), self.names, n=1)
+                hints.append("%s (did you mean %r?)" % (key, close[0])
+                             if close else str(key))
+            raise InvalidPoint("point has no dimension(s) %s (dimensions: %s)"
+                               % (", ".join(hints), ", ".join(self.names)))
+        missing = sorted(set(self.names) - set(point))
+        if missing:
+            raise InvalidPoint("point is missing dimension(s) %s"
+                               % ", ".join(missing))
+        for dim in self.dimensions:
+            if not dim.contains(point[dim.name]):
+                raise InvalidPoint(
+                    "value %r is outside dimension %s (%s)"
+                    % (point[dim.name], dim.name, _canonical(dim.to_dict())))
+        for constraint in self.constraints:
+            if not constraint.admits(point):
+                raise InvalidPoint("point violates constraint %r: %s"
+                                   % (constraint.name, _canonical(point)))
+        try:
+            MachineConfig.from_overrides(self.config_for(point))
+        except (ValueError, TypeError) as exc:
+            raise InvalidPoint("point builds no valid machine: %s" % exc) \
+                from None
+        return point
+
+    def is_valid(self, point):
+        try:
+            self.check_point(point)
+        except InvalidPoint:
+            return False
+        return True
+
+    def config_for(self, point):
+        """The RunRequest config dict: base config with the point on top."""
+        merged = dict(self.base_config)
+        merged.update(point)
+        return merged
+
+    def machine_config(self, point):
+        """The validated :class:`MachineConfig` a point describes."""
+        return MachineConfig.from_overrides(self.config_for(point))
+
+    @staticmethod
+    def point_key(point):
+        """Canonical identity of a point (dedup / memoization key)."""
+        return _canonical(point)
+
+    # -- exhaustive iteration (the sweep surface) ------------------------
+
+    def grid(self):
+        """Every admissible point, exhaustively.
+
+        Order contract: the **first** declared dimension varies fastest
+        (a little-endian odometer).  This is the historical
+        ``sweep --grid`` cross-product order, preserved so legacy
+        campaigns shimmed onto the space produce byte-identical BENCH
+        documents.  Constraint-rejected points are skipped, so a grid
+        over tied dimensions walks exactly the admissible diagonal.
+        """
+        values = [dim.values() for dim in self.dimensions]
+        total = self.size()
+        for flat in range(total):
+            point, remainder = {}, flat
+            for dim, universe in zip(self.dimensions, values):
+                point[dim.name] = universe[remainder % len(universe)]
+                remainder //= len(universe)
+            if self.is_valid(point):
+                yield point
+
+    # -- seeded point operators (the search surface) ---------------------
+
+    _MAX_TRIES = 10_000
+
+    def _admissible(self, propose, fallback=None):
+        for _ in range(self._MAX_TRIES):
+            point = propose()
+            if self.is_valid(point):
+                return point
+        if fallback is not None and self.is_valid(fallback):
+            return dict(fallback)
+        raise InvalidPoint(
+            "no admissible point found in %d tries -- the constraints "
+            "likely exclude the whole space" % self._MAX_TRIES)
+
+    def sample(self, rng):
+        """One uniformly sampled admissible point."""
+        return self._admissible(
+            lambda: {dim.name: dim.sample(rng) for dim in self.dimensions})
+
+    def mutate(self, point, rng):
+        """A neighbor: one dimension stepped/flipped, constraints kept.
+
+        Falls back to the original point only when no admissible
+        neighbor exists (degenerate spaces).
+        """
+        if not self.dimensions:
+            return {}
+
+        def propose():
+            dim = self.dimensions[rng.randrange(len(self.dimensions))]
+            neighbor = dict(point)
+            neighbor[dim.name] = dim.mutate(point[dim.name], rng)
+            return neighbor
+
+        return self._admissible(propose, fallback=point)
+
+    def crossover(self, parent_a, parent_b, rng):
+        """Uniform crossover: each dimension from either parent."""
+
+        def propose():
+            return {dim.name: (parent_a, parent_b)[rng.randrange(2)]
+                    [dim.name] for dim in self.dimensions}
+
+        return self._admissible(propose, fallback=parent_a)
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self):
+        payload = {
+            "dimensions": [dim.to_dict() for dim in self.dimensions],
+            "constraints": [constraint.name
+                            for constraint in self.constraints],
+            "base_config": dict(self.base_config),
+        }
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    def fingerprint(self):
+        """Stable SHA-256 of the declared space (dimensions, constraint
+        names, base config) -- the identity a trajectory resume checks."""
+        return hashlib.sha256(
+            _canonical(self.to_dict()).encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a space from :meth:`to_dict` data.
+
+        ``tied:`` constraints come back executable; other constraint
+        names come back as inert markers (fingerprint-compatible, not
+        enforced) -- see :class:`Constraint`.
+        """
+        return cls([Dimension.from_dict(entry)
+                    for entry in payload.get("dimensions", [])],
+                   constraints=[_constraint_from_name(name)
+                                for name in payload.get("constraints", [])],
+                   base_config=payload.get("base_config") or {},
+                   name=payload.get("name"))
+
+
+# ---------------------------------------------------------------------------
+# CLI dimension specs
+# ---------------------------------------------------------------------------
+
+def parse_scalar(text):
+    """``"14"`` -> 14, ``"0.5"`` -> 0.5, ``"true"`` -> True, else text."""
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def parse_dimension(item):
+    """One ``FIELD=SPEC`` CLI axis -> a typed :class:`Dimension`.
+
+    Specs::
+
+        fpu_latency=int:1:8[:STEP]     integer range
+        dcache_size=log2:4096:262144   log-scaled sizes (logB for base B)
+        model_ibuffer=bool             boolean toggle
+        max_vl=4,8,16                  enumerated values (the legacy
+                                       --grid value-list form)
+    """
+    name, eq, spec = item.partition("=")
+    name = name.strip()
+    spec = spec.strip()
+    if not name or not eq or not spec:
+        raise ValueError("dimension %r is not FIELD=SPEC" % item)
+    head, _, rest = spec.partition(":")
+    if head == "bool":
+        return Boolean(name)
+    if head == "int":
+        parts = [part for part in rest.split(":") if part]
+        if len(parts) not in (2, 3):
+            raise ValueError("dimension %r: int spec is int:LO:HI[:STEP]"
+                             % item)
+        return IntRange(name, int(parts[0]), int(parts[1]),
+                        int(parts[2]) if len(parts) == 3 else 1)
+    if head.startswith("log"):
+        base = int(head[3:]) if head[3:] else 2
+        parts = [part for part in rest.split(":") if part]
+        if len(parts) != 2:
+            raise ValueError("dimension %r: log spec is log[B]:LO:HI" % item)
+        return LogRange(name, int(parts[0]), int(parts[1]), base)
+    values = [parse_scalar(part) for part in spec.split(",") if part]
+    if not values:
+        raise ValueError("dimension %r has no values" % item)
+    return Choice(name, values)

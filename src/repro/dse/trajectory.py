@@ -1,0 +1,183 @@
+"""Append-only search trajectories: schema ``repro-dse/1``.
+
+A trajectory is a JSONL file in the campaign-journal mold
+(:mod:`repro.journal`): canonical-JSON lines, each flushed and fsynced
+before the search proceeds, so a SIGKILL mid-search loses at most the
+line being written.  Line 0 is the header; every further line is one
+evaluation record in proposal order:
+
+header
+    ``{"schema": "repro-dse/1", "agent": {"name", "options"},
+    "space": <ParameterSpace.to_dict()>, "fitness":
+    <FitnessSpec.to_dict()>, "seed": int}`` -- everything needed to
+    rebuild the search *except* the budget, which is deliberately not
+    identity: resuming to a larger budget appends to the same file,
+    and a fresh larger run writes a byte-identical one.
+records
+    ``{"eval", "point", "score", "cycles", "failed", "best_score",
+    "best_eval"}`` -- ``eval`` indices are contiguous from 0 and
+    ``best_score`` is monotone non-increasing (checked by
+    :func:`validate_trajectory`).
+
+Loading is stricter than campaign journals: an *unterminated* final
+line is a torn write and is healed by truncation (``torn_offset``),
+but a corrupt terminated line mid-file is a hard error -- records are
+ordered and replay depends on every prior line, so there is nothing
+safe to skip.
+"""
+
+import json
+import os
+
+TRAJECTORY_SCHEMA = "repro-dse/1"
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "TrajectoryError",
+    "TrajectoryWriter",
+    "load_trajectory",
+    "make_header",
+    "validate_trajectory",
+]
+
+
+class TrajectoryError(ValueError):
+    """A trajectory file that cannot be trusted for resume/report."""
+
+
+def _canonical_line(payload):
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def make_header(space, fitness, agent, seed):
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "agent": {"name": agent.name, "options": agent.options()},
+        "space": space.to_dict(),
+        "fitness": fitness.to_dict(),
+        "seed": int(seed),
+    }
+
+
+class TrajectoryWriter:
+    """Durable appender.  Open fresh with a header, or attach to an
+    existing file (``resume``) after the loader has healed any torn
+    tail."""
+
+    def __init__(self, path, header=None):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        fresh = header is not None
+        self._fh = open(self.path, "wb" if fresh else "ab")
+        if fresh:
+            self._append(header)
+
+    def _append(self, payload):
+        self._fh.write(_canonical_line(payload))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, record):
+        self._append(record)
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def load_trajectory(path):
+    """Parse a trajectory: ``(header, records, torn_offset)``.
+
+    ``torn_offset`` is the byte offset of an unterminated (torn) final
+    line, or ``None`` if the file is clean; resume must truncate there
+    before appending.  Corrupt *terminated* lines raise
+    :class:`TrajectoryError`.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.split(b"\n")
+    torn_offset = None
+    if lines and lines[-1] == b"":
+        lines.pop()
+    elif lines:
+        torn_offset = len(raw) - len(lines[-1])
+        lines.pop()
+    if not lines:
+        raise TrajectoryError("%s: empty trajectory (no header line)" % path)
+    parsed = []
+    for number, line in enumerate(lines):
+        try:
+            payload = json.loads(line.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("not an object")
+        except ValueError as exc:
+            raise TrajectoryError(
+                "%s: corrupt trajectory line %d (%s) -- terminated lines "
+                "must parse; delete the file and search afresh"
+                % (path, number + 1, exc)) from None
+        parsed.append(payload)
+    header, records = parsed[0], parsed[1:]
+    if header.get("schema") != TRAJECTORY_SCHEMA:
+        raise TrajectoryError(
+            "%s: unsupported trajectory schema %r (want %r)"
+            % (path, header.get("schema"), TRAJECTORY_SCHEMA))
+    return header, records, torn_offset
+
+
+def repair_torn_tail(path, torn_offset):
+    """Truncate a torn final line in place (no-op when clean)."""
+    if torn_offset is None:
+        return
+    with open(path, "r+b") as fh:
+        fh.truncate(torn_offset)
+
+
+_RECORD_KEYS = frozenset(
+    ("eval", "point", "score", "cycles", "failed", "best_score",
+     "best_eval"))
+
+
+def validate_trajectory(header, records):
+    """Structural + invariant checks; raises :class:`TrajectoryError`.
+
+    Checks the ``repro-dse/1`` shape, contiguous ``eval`` indices from
+    0, and that ``best_score`` never worsens -- the monotone
+    best-so-far invariant CI asserts on.
+    """
+    for key in ("schema", "agent", "space", "fitness", "seed"):
+        if key not in header:
+            raise TrajectoryError("header missing %r" % key)
+    best = None
+    for position, record in enumerate(records):
+        missing = _RECORD_KEYS - set(record)
+        if missing:
+            raise TrajectoryError(
+                "record %d missing key(s): %s"
+                % (position, ", ".join(sorted(missing))))
+        if record["eval"] != position:
+            raise TrajectoryError(
+                "record %d has eval=%r (indices must be contiguous "
+                "from 0)" % (position, record["eval"]))
+        if record["failed"] != (record["score"] is None):
+            raise TrajectoryError(
+                "record %d: failed=%r inconsistent with score=%r"
+                % (position, record["failed"], record["score"]))
+        bs = record["best_score"]
+        if bs is not None:
+            if best is not None and bs > best:
+                raise TrajectoryError(
+                    "record %d: best_score %r worsened (was %r)"
+                    % (position, bs, best))
+            best = bs
+        elif best is not None:
+            raise TrajectoryError(
+                "record %d: best_score reverted to null" % position)

@@ -739,6 +739,14 @@ class CampaignRun:
         return sum(1 for side in self.sidecars if side["cached"])
 
     @property
+    def cache_hit_rate(self):
+        """Fraction of tasks served from the result cache (0.0 with
+        no tasks) -- the number DSE smoke checks assert on."""
+        if not self.sidecars:
+            return 0.0
+        return self.cached_count / len(self.sidecars)
+
+    @property
     def failed_count(self):
         return sum(1 for result in self.results
                    if result.failure is not None)

@@ -15,7 +15,13 @@ journal; rerunning with ``--resume`` executes only unfinished tasks.
     python -m repro run program.s [--trace] [--cold] [--freg N=VAL ...]
     python -m repro trace program.s
     python -m repro bench SWEEP... [--quick] [--validate] [--out DIR]
-    python -m repro sweep WORKLOAD [--set K=V ...] [--grid FIELD=V1,V2 ...]
+    python -m repro sweep WORKLOAD [--set K=V ...] [--dim FIELD=SPEC ...]
+    python -m repro dse search [--space NAME | --dim FIELD=SPEC ...]
+                               [--agent random|genetic|halving]
+                               [--suite NAME] [--budget N] [--seed N]
+    python -m repro dse resume --trajectory PATH --budget N
+    python -m repro dse report --trajectory PATH [--json PATH]
+    python -m repro dse compare TRAJECTORY... [--json PATH]
     python -m repro smoke [--seeds N] [--kinds K,K] [--faults N]
     python -m repro chaos [--tasks N] [--jobs N] [--spawn]
     python -m repro livermore [loops...] [--coding vector|scalar]
@@ -44,6 +50,7 @@ dedup, journal-backed drain/resume.  See DESIGN.md section 16.
 import argparse
 import os
 import sys
+import warnings
 
 from repro.analysis.report import render_table
 from repro.analysis.timeline import render_timeline
@@ -280,32 +287,255 @@ def cmd_bench(args):
     return status
 
 
+def sweep_space(dims, grids):
+    """The :class:`~repro.dse.space.ParameterSpace` behind ``sweep``.
+
+    ``dims`` are typed ``--dim FIELD=SPEC`` axes; ``grids`` are legacy
+    ``--grid FIELD=V1,V2`` axes, shimmed onto enumerated
+    :class:`~repro.dse.space.Choice` dimensions with a
+    :class:`DeprecationWarning`.  Grid iteration order (first declared
+    axis varies fastest) matches the historical cross-product, so
+    shimmed campaigns emit byte-identical BENCH documents.
+    """
+    from repro.dse.space import Choice, ParameterSpace, parse_dimension
+    from repro.dse.space import parse_scalar
+
+    dimensions = [parse_dimension(item) for item in dims or []]
+    if grids:
+        warnings.warn(
+            "sweep --grid FIELD=V1,V2 is deprecated; declare the axis as "
+            "--dim FIELD=V1,V2 (or a typed --dim FIELD=int:LO:HI / "
+            "log2:LO:HI / bool spec)", DeprecationWarning, stacklevel=2)
+        for item in grids:
+            field_name, _, values = item.partition("=")
+            dimensions.append(Choice(
+                field_name,
+                [parse_scalar(v) for v in values.split(",") if v]))
+    return ParameterSpace(dimensions, name="sweep")
+
+
 def cmd_sweep(args):
-    """A generic ablation grid: one workload crossed with config values."""
+    """A generic ablation grid: one workload crossed over a
+    :class:`~repro.dse.space.ParameterSpace` (the empty space runs the
+    base machine once)."""
     params = {}
     for item in args.set or []:
         name, _, value = item.partition("=")
         params[name] = _parse_value(value)
-    axes = []
-    for item in args.grid or []:
-        field_name, _, values = item.partition("=")
-        axes.append((field_name,
-                     [_parse_value(v) for v in values.split(",") if v]))
+    space = sweep_space(args.dim, args.grid)
     session = _session(args, progress=True)
-    requests = []
-    points = [{}]
-    for field_name, values in axes:
-        points = [dict(point, **{field_name: value})
-                  for value in values for point in points]
-    for point in points:
-        requests.append(session.request(args.workload, params=dict(params),
-                                        config=point))
+    requests = [session.request(args.workload, params=dict(params),
+                                config=space.config_for(point))
+                for point in space.grid()]
     results = session.run_many(requests)
     print(session.last_campaign.summary_table())
     if args.json_path:
         session.write_json(args.json_path, results, sweep="sweep")
         print("wrote %s" % args.json_path)
     return 1 if any(not result.passed for result in results) else 0
+
+
+def _dse_session(args):
+    from repro.api import Session
+    from repro.orchestrate import print_progress
+
+    return Session(jobs=args.jobs, cache_dir=args.cache_dir,
+                   seed=args.seed, task_timeout=args.task_timeout,
+                   max_retries=args.max_retries,
+                   progress=print_progress if args.jobs > 1 else None)
+
+
+def _dse_space(args):
+    from repro.dse import ParameterSpace, parse_dimension, space_preset
+
+    if getattr(args, "dim", None):
+        return ParameterSpace([parse_dimension(item) for item in args.dim])
+    return space_preset(args.space)
+
+
+def _dse_progress(driver, evaluation):
+    if driver.best is evaluation:
+        print("eval %4d: best score %s  <- %s"
+              % (evaluation.index, "%.1f" % evaluation.score,
+                 evaluation.point))
+    elif evaluation.failed:
+        print("eval %4d: failed point %s"
+              % (evaluation.index, evaluation.point))
+
+
+def _dse_summary(outcome, header_seed):
+    from repro.dse.space import ParameterSpace
+
+    print(render_table(
+        ["evaluations", "distinct", "failed", "replayed", "memo hits",
+         "cache hit rate"],
+        [[outcome.evaluations, outcome.distinct_points,
+          outcome.failed_count, outcome.replayed, outcome.memo_hits,
+          "%.2f" % outcome.cache_hit_rate]],
+        title="search (seed %d)" % header_seed))
+    if outcome.best is None:
+        print("no successful evaluation -- every point failed")
+        return 1
+    best = outcome.best
+    print(render_table(
+        ["field", "value"],
+        sorted([[key, value] for key, value in best.point.items()]),
+        title="best config (eval %d, score %.1f, %d cycles)"
+              % (best.index, best.score, best.cycles)))
+    print("trajectory: %s" % outcome.path)
+    print("resume/extend: python -m repro dse resume --trajectory %s "
+          "--budget N" % outcome.path)
+    return 0
+
+
+def _dse_bench_json(path, outcome, args, space, fitness):
+    """A one-result BENCH document for the search: the deterministic
+    trajectory summary (no cache/wall telemetry), so repeated CI runs
+    byte-compare."""
+    from repro.api import RunResult
+    from repro.orchestrate import write_bench_json
+
+    best = outcome.best
+    result = RunResult(
+        workload="dse",
+        params={"agent": args.agent, "budget": args.budget,
+                "suite": fitness.suite, "objective": fitness.objective,
+                "seed": args.seed, "space": space.fingerprint()},
+        config=dict(best.point) if best else {},
+        metrics={"evaluations": outcome.evaluations,
+                 "distinct_points": outcome.distinct_points,
+                 "failed": outcome.failed_count,
+                 "best_eval": best.index if best else None,
+                 "best_score": best.score if best else None,
+                 "best_cycles": best.cycles if best else None},
+        key="dse:%s" % space.fingerprint()[:16])
+    write_bench_json(path, [result], sweep="dse")
+    print("wrote %s" % path)
+
+
+def cmd_dse_search(args):
+    from repro.dse import FitnessSpec, create_agent, run_search
+
+    space = _dse_space(args)
+    fitness = FitnessSpec(args.suite, args.objective, backend=args.backend)
+    options = {}
+    for item in args.agent_opt or []:
+        name, _, value = item.partition("=")
+        options[name] = _parse_value(value)
+    agent = create_agent(args.agent, **options)
+    session = _dse_session(args)
+    try:
+        outcome = run_search(space, fitness, agent, args.budget, session,
+                             args.trajectory, seed=args.seed,
+                             resume=False, progress=_dse_progress)
+    except KeyboardInterrupt:
+        print("\ninterrupted -- the trajectory is durable; continue with:"
+              "\n  python -m repro dse resume --trajectory %s --budget %d"
+              % (args.trajectory, args.budget))
+        return 130
+    status = _dse_summary(outcome, args.seed)
+    if args.json_path:
+        _dse_bench_json(args.json_path, outcome, args, space, fitness)
+    return status
+
+
+def cmd_dse_resume(args):
+    from repro.dse import (FitnessSpec, ParameterSpace, SPACES, create_agent,
+                           load_trajectory, run_search, space_preset)
+
+    header, _, _ = load_trajectory(args.trajectory)
+    space = ParameterSpace.from_dict(header["space"])
+    preset_name = header["space"].get("name")
+    if preset_name in SPACES:
+        preset = space_preset(preset_name)
+        if preset.fingerprint() == space.fingerprint():
+            # Prefer the preset: its constraint predicates are
+            # executable, the deserialized markers are not.
+            space = preset
+    fitness = FitnessSpec.from_dict(header["fitness"])
+    agent = create_agent(header["agent"]["name"], **header["agent"]["options"])
+    args.seed = header["seed"]
+    args.backend = fitness.backend
+    args.agent = agent.name
+    session = _dse_session(args)
+    try:
+        outcome = run_search(space, fitness, agent, args.budget, session,
+                             args.trajectory, seed=header["seed"],
+                             resume=True, progress=_dse_progress)
+    except KeyboardInterrupt:
+        print("\ninterrupted -- the trajectory is durable; continue with:"
+              "\n  python -m repro dse resume --trajectory %s --budget %d"
+              % (args.trajectory, args.budget))
+        return 130
+    status = _dse_summary(outcome, header["seed"])
+    if args.json_path:
+        _dse_bench_json(args.json_path, outcome, args, space, fitness)
+    return status
+
+
+def cmd_dse_report(args):
+    import json as json_mod
+
+    from repro.dse import report_document
+
+    document = report_document(args.trajectory)
+    agent = document["agent"]
+    fitness = document["fitness"]
+    print(render_table(
+        ["agent", "suite", "objective", "seed", "evals", "distinct",
+         "failed"],
+        [[agent["name"], fitness["suite"], fitness["objective"],
+          document["seed"], document["evaluations"],
+          document["distinct_points"], document["failed"]]],
+        title="trajectory %s" % args.trajectory))
+    if document["best"] is None:
+        print("no successful evaluation recorded")
+    else:
+        best = document["best"]
+        print(render_table(
+            ["field", "value"],
+            sorted([[key, value] for key, value in best["config"].items()]),
+            title="best config (eval %d, score %.1f)"
+                  % (best["eval"], best["score"])))
+        print(render_table(
+            ["eval", "best score"],
+            [[step_eval, score] for step_eval, score in document["curve"]],
+            title="improvement steps"))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json_mod.dump(document, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print("wrote %s" % args.json_path)
+    return 0 if document["best"] is not None else 1
+
+
+def cmd_dse_compare(args):
+    import json as json_mod
+
+    from repro.dse import compare_document
+
+    document = compare_document(args.trajectories)
+    rows = []
+    for run in document["runs"]:
+        best = run["best"]
+        rows.append([
+            run["path"], run["agent"]["name"], run["seed"],
+            run["evaluations"],
+            "%.1f" % best["score"] if best else "failed",
+            best["eval"] if best else "-",
+        ])
+    print(render_table(
+        ["trajectory", "agent", "seed", "evals", "best score", "at eval"],
+        rows,
+        title="fitness: %s / %s" % (document["fitness"]["suite"],
+                                    document["fitness"]["objective"])))
+    print("winner: %s" % (document["winner"] or "none"))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json_mod.dump(document, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print("wrote %s" % args.json_path)
+    return 0
 
 
 def cmd_smoke(args):
@@ -868,15 +1098,100 @@ def build_parser():
     bench_parser.set_defaults(handler=cmd_bench)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="run one workload across a config grid")
+        "sweep", help="run one workload across a ParameterSpace grid")
     sweep_parser.add_argument("workload", help="registered workload name")
     sweep_parser.add_argument("--set", action="append", metavar="KEY=VAL",
                               help="workload parameter")
+    sweep_parser.add_argument("--dim", action="append",
+                              metavar="FIELD=SPEC",
+                              help="typed space axis: FIELD=int:LO:HI[:STEP]"
+                                   ", FIELD=log2:LO:HI, FIELD=bool, or "
+                                   "FIELD=V1,V2,... (enumerated)")
     sweep_parser.add_argument("--grid", action="append",
                               metavar="FIELD=V1,V2,...",
-                              help="MachineConfig field values to cross")
+                              help="deprecated alias for an enumerated "
+                                   "--dim axis (warns)")
     _add_campaign_flags(sweep_parser)
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    from repro.core.backend import backend_names
+    from repro.dse import AGENTS, OBJECTIVES, SPACES, SUITES
+
+    dse_parser = sub.add_parser(
+        "dse", help="design-space search over MachineConfig")
+    dse_sub = dse_parser.add_subparsers(dest="dse_command", required=True)
+
+    def _dse_eval_flags(parser, budget_default):
+        parser.add_argument("--budget", type=int, default=budget_default,
+                            help="evaluation budget (default %d; the "
+                                 "agent's final batch completes, so a run "
+                                 "may overshoot by a few)" % budget_default)
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (default 1)")
+        parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="digest-keyed result cache (repeat points "
+                                 "across searches become cache hits)")
+        parser.add_argument("--task-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-task wall-clock bound")
+        parser.add_argument("--max-retries", type=int, default=2,
+                            metavar="N", help="transient-failure retries "
+                                              "(default 2)")
+        parser.add_argument("--json", dest="json_path", default=None,
+                            metavar="PATH",
+                            help="write a BENCH-schema summary (BENCH_dse)")
+
+    ds = dse_sub.add_parser("search", help="run a seeded search, recording "
+                                           "a repro-dse/1 trajectory")
+    ds.add_argument("--space", default="default", choices=sorted(SPACES),
+                    help="named parameter-space preset (default: default); "
+                         "or declare axes with --dim")
+    ds.add_argument("--dim", action="append", metavar="FIELD=SPEC",
+                    help="explicit space axis (overrides --space): "
+                         "FIELD=int:LO:HI[:STEP], FIELD=log2:LO:HI, "
+                         "FIELD=bool, or FIELD=V1,V2,...")
+    ds.add_argument("--suite", default="livermore-quick",
+                    choices=sorted(SUITES),
+                    help="fitness workload suite (default livermore-quick)")
+    ds.add_argument("--objective", default="cycles", choices=OBJECTIVES,
+                    help="scalar objective (default cycles)")
+    ds.add_argument("--agent", default="random", choices=sorted(AGENTS),
+                    help="search agent (default random)")
+    ds.add_argument("--agent-opt", action="append", metavar="KEY=VAL",
+                    help="agent option (e.g. population=16, batch=8)")
+    ds.add_argument("--backend", default=None, choices=list(backend_names()),
+                    help="execution backend for every evaluation")
+    ds.add_argument("--seed", type=int, default=1989,
+                    help="search seed (default 1989)")
+    ds.add_argument("--trajectory", default="dse_trajectory.jsonl",
+                    metavar="PATH",
+                    help="trajectory JSONL path (default "
+                         "dse_trajectory.jsonl)")
+    _dse_eval_flags(ds, budget_default=100)
+    ds.set_defaults(handler=cmd_dse_search)
+
+    dr = dse_sub.add_parser("resume", help="continue an interrupted or "
+                                           "short search from its "
+                                           "trajectory")
+    dr.add_argument("--trajectory", required=True, metavar="PATH",
+                    help="existing repro-dse/1 trajectory to continue")
+    _dse_eval_flags(dr, budget_default=100)
+    dr.set_defaults(handler=cmd_dse_resume)
+
+    dp = dse_sub.add_parser("report", help="best-config table and "
+                                           "improvement curve from a "
+                                           "trajectory")
+    dp.add_argument("--trajectory", required=True, metavar="PATH")
+    dp.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                    help="write the repro-dse-report/1 document")
+    dp.set_defaults(handler=cmd_dse_report)
+
+    dc = dse_sub.add_parser("compare", help="rank several trajectories "
+                                            "sharing one fitness")
+    dc.add_argument("trajectories", nargs="+", metavar="TRAJECTORY")
+    dc.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                    help="write the repro-dse-compare/1 document")
+    dc.set_defaults(handler=cmd_dse_compare)
 
     smoke_parser = sub.add_parser(
         "smoke", help="seeded fault-injection smoke campaign")

@@ -1,0 +1,523 @@
+"""DSE search: fitness, agents, trajectories, determinism, resume,
+reporting, and the ``dse``/``sweep`` CLI surface."""
+
+import hashlib
+import json
+import random
+
+import pytest
+
+import repro.tools.cli as cli
+from repro.api import RunRequest, Session, sweep_requests
+from repro.dse import (AGENTS, Evaluation, FitnessSpec, ParameterSpace,
+                       TrajectoryError, area_proxy, compare_document,
+                       create_agent, load_trajectory, report_document,
+                       run_search, search_space_for, space_preset,
+                       validate_trajectory)
+from repro.dse.fitness import better, result_cycles
+from repro.dse.space import Choice, IntRange
+from repro.dse.trajectory import repair_torn_tail
+from repro.cpu.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One shared result cache: every simulated point in this module is
+    simulated at most once."""
+    return str(tmp_path_factory.mktemp("dse-cache"))
+
+
+def make_session(cache_dir, jobs=1):
+    return Session(jobs=jobs, progress=False, cache_dir=cache_dir)
+
+
+def search(cache_dir, path, agent="random", budget=15, seed=42, jobs=1,
+           resume=False, space=None, fitness=None, **agent_opts):
+    return run_search(space or space_preset("smoke"),
+                      fitness or FitnessSpec("dse-smoke"),
+                      create_agent(agent, **agent_opts), budget,
+                      make_session(cache_dir, jobs), str(path), seed=seed,
+                      resume=resume)
+
+
+def file_digest(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Fitness
+# ---------------------------------------------------------------------------
+
+class TestFitness:
+    def test_unknown_suite_and_objective(self):
+        with pytest.raises(ValueError, match="unknown fitness suite"):
+            FitnessSpec("no-such-suite")
+        with pytest.raises(ValueError, match="unknown objective"):
+            FitnessSpec("dse-smoke", objective="speed")
+
+    def test_vl_param_threads_the_ceiling(self):
+        spec = FitnessSpec("dse-smoke")
+        low = spec.requests({"max_vl": 4})
+        high = spec.requests({"max_vl": 16})
+        assert all(req.params["vl"] == 4 for req in low)
+        assert all(req.params["vl"] == 16 for req in high)
+
+    def test_vl_cap_bounds_register_hungry_kernels(self):
+        # Livermore loop 7 streams seven operand arrays: above vl=4 its
+        # codegen runs out of FPU registers, so its suite entries cap
+        # the threaded vl while sibling loops still ride the ceiling.
+        spec = FitnessSpec("livermore-quick")
+        by_loop = {req.params["loop"]: req.params["vl"]
+                   for req in spec.requests({"max_vl": 16})}
+        assert by_loop == {1: 16, 3: 16, 7: 4, 12: 16}
+        by_loop = {req.params["loop"]: req.params["vl"]
+                   for req in spec.requests({"max_vl": 2})}
+        assert by_loop == {1: 2, 3: 2, 7: 2, 12: 2}
+
+    def test_linpack_floor_becomes_a_space_constraint(self):
+        constraint = FitnessSpec("linpack").constraint()
+        assert constraint.name == "fitness:linpack:max_vl>=8"
+        assert not constraint.admits({"max_vl": 4})
+        assert constraint.admits({"max_vl": 8})
+        assert FitnessSpec("dse-smoke").constraint() is None
+
+    def test_search_space_composes_fitness_constraint(self):
+        space = ParameterSpace([Choice("max_vl", [4, 8, 16])])
+        composed = search_space_for(space, FitnessSpec("linpack"))
+        assert not composed.is_valid({"max_vl": 4})
+        assert composed.is_valid({"max_vl": 8})
+        # Idempotent: composing twice adds nothing.
+        again = search_space_for(composed, FitnessSpec("linpack"))
+        assert again is composed
+
+    def test_result_cycles_single_and_split(self):
+        assert result_cycles({"cycles": 10}) == 10
+        assert result_cycles({"scalar_cycles": 4, "vector_cycles": 6,
+                              "mflops": 1.5}) == 10
+        with pytest.raises(ValueError, match="no cycle count"):
+            result_cycles({"mflops": 1.5})
+
+    def test_objectives_scale_the_same_cycles(self, cache_dir):
+        overrides = {"fpu_latency": 2, "dcache_miss_penalty": 0,
+                     "max_vl": 8}
+        session = make_session(cache_dir)
+        cycles_spec = FitnessSpec("dse-smoke", objective="cycles")
+        results = session.run_many(cycles_spec.requests(overrides))
+        score, cycles = cycles_spec.score(overrides, results)
+        assert score == float(cycles) and cycles > 0
+        ns_score, _ = FitnessSpec("dse-smoke", objective="cycles_ns").score(
+            overrides, results)
+        assert ns_score == cycles * MachineConfig.from_overrides(
+            overrides).cycle_time_ns
+        area_score, _ = FitnessSpec(
+            "dse-smoke", objective="area_cycles").score(overrides, results)
+        assert area_score == cycles * area_proxy(
+            MachineConfig.from_overrides(overrides))
+
+    def test_failed_result_fails_the_point(self, cache_dir):
+        # livermore's fixed vl=8 codegen cannot run under max_vl=4:
+        # the suite result comes back failed, the point scores None.
+        spec = FitnessSpec("dse-smoke")
+        session = make_session(cache_dir)
+        requests = [RunRequest("livermore",
+                               {"loop": 1, "n": 32, "warm": True, "vl": 8},
+                               config={"max_vl": 4}),
+                    RunRequest("livermore",
+                               {"loop": 3, "n": 32, "warm": True, "vl": 8},
+                               config={"max_vl": 4})]
+        results = session.run_many(requests)
+        assert spec.score({"max_vl": 4}, results) == (None, None)
+
+    def test_better_prefers_lower_then_earlier(self):
+        a = Evaluation(0, {}, 10.0, 10)
+        b = Evaluation(1, {}, 10.0, 10)
+        c = Evaluation(2, {}, 9.0, 9)
+        failed = Evaluation(3, {}, None, None)
+        assert better(c, a)
+        assert not better(b, a)          # tie: earlier wins
+        assert not better(failed, a)
+        assert better(a, failed) and better(a, None)
+
+    def test_round_trips_through_dict(self):
+        spec = FitnessSpec("linpack", objective="area_cycles",
+                           backend="percycle", max_cycles=1000)
+        assert FitnessSpec.from_dict(spec.to_dict()).to_dict() == \
+            spec.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Agents
+# ---------------------------------------------------------------------------
+
+class TestAgents:
+    def test_registry_and_unknown_name(self):
+        assert set(AGENTS) == {"random", "genetic", "halving"}
+        with pytest.raises(ValueError, match="unknown search agent"):
+            create_agent("annealing")
+
+    def test_options_round_trip_rebuilds_identical_agent(self):
+        for name, opts in (("random", {"batch": 3, "restart": 0.5}),
+                           ("genetic", {"population": 4}),
+                           ("halving", {"width": 8})):
+            agent = create_agent(name, **opts)
+            clone = create_agent(name, **agent.options())
+            assert clone.options() == agent.options()
+
+    def test_ask_is_deterministic_under_a_seed(self):
+        space = space_preset("smoke")
+        for name in AGENTS:
+            batches = []
+            for _ in range(2):
+                agent, rng = create_agent(name), random.Random(9)
+                first = agent.ask(space, rng)
+                agent.tell([Evaluation(i, p, 100.0 + i, 100 + i)
+                            for i, p in enumerate(first)])
+                batches.append((first, agent.ask(space, rng)))
+            assert batches[0] == batches[1]
+
+    def test_agents_tolerate_all_failures(self):
+        space = space_preset("smoke")
+        for name in AGENTS:
+            agent, rng = create_agent(name), random.Random(3)
+            done = 0
+            for _ in range(4):
+                points = agent.ask(space, rng)
+                agent.tell([Evaluation(done + i, p, None, None)
+                            for i, p in enumerate(points)])
+                done += len(points)
+            assert done > 0 and agent.best.score is None
+
+
+# ---------------------------------------------------------------------------
+# Trajectory invariants
+# ---------------------------------------------------------------------------
+
+class TestTrajectory:
+    def run_one(self, cache_dir, tmp_path, **kwargs):
+        path = tmp_path / "t.jsonl"
+        outcome = search(cache_dir, path, **kwargs)
+        header, records, torn = load_trajectory(path)
+        return outcome, header, records, torn
+
+    def test_schema_and_validation(self, cache_dir, tmp_path):
+        outcome, header, records, torn = self.run_one(cache_dir, tmp_path)
+        assert header["schema"] == "repro-dse/1"
+        assert header["seed"] == 42
+        assert header["agent"] == {"name": "random",
+                                   "options": {"batch": 5, "restart": 0.15}}
+        assert torn is None
+        assert len(records) == outcome.evaluations
+        validate_trajectory(header, records)
+
+    def test_monotone_best_and_causal_best_eval(self, cache_dir, tmp_path):
+        _, _, records, _ = self.run_one(cache_dir, tmp_path, budget=20)
+        best = None
+        for record in records:
+            assert record["best_eval"] is None or \
+                record["best_eval"] <= record["eval"]
+            if record["best_score"] is not None:
+                assert best is None or record["best_score"] <= best
+                best = record["best_score"]
+
+    def test_corrupt_mid_file_line_is_a_hard_error(self, cache_dir,
+                                                   tmp_path):
+        _, header, records, _ = self.run_one(cache_dir, tmp_path)
+        path = tmp_path / "corrupt.jsonl"
+        lines = (tmp_path / "t.jsonl").read_bytes().split(b"\n")
+        lines[3] = b"{nonsense"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(TrajectoryError, match="corrupt trajectory "
+                                                  "line 4"):
+            load_trajectory(path)
+
+    def test_torn_tail_is_detected_and_healed(self, cache_dir, tmp_path):
+        self.run_one(cache_dir, tmp_path)
+        raw = (tmp_path / "t.jsonl").read_bytes()
+        torn_path = tmp_path / "torn.jsonl"
+        torn_path.write_bytes(raw[:-10])
+        header, records, torn = load_trajectory(torn_path)
+        assert torn is not None
+        repair_torn_tail(torn_path, torn)
+        _, healed, clean = load_trajectory(torn_path)
+        assert clean is None and len(healed) == len(records)
+
+    def test_validator_catches_broken_invariants(self):
+        header = {"schema": "repro-dse/1", "agent": {}, "space": {},
+                  "fitness": {}, "seed": 0}
+        good = {"eval": 0, "point": {}, "score": 5.0, "cycles": 5,
+                "failed": False, "best_score": 5.0, "best_eval": 0}
+        validate_trajectory(header, [good])
+        with pytest.raises(TrajectoryError, match="contiguous"):
+            validate_trajectory(header, [dict(good, eval=1)])
+        with pytest.raises(TrajectoryError, match="worsened"):
+            validate_trajectory(header, [
+                good, dict(good, eval=1, best_score=6.0, best_eval=1)])
+        with pytest.raises(TrajectoryError, match="inconsistent"):
+            validate_trajectory(header, [dict(good, failed=True)])
+        with pytest.raises(TrajectoryError, match="missing key"):
+            validate_trajectory(header, [{"eval": 0}])
+
+
+# ---------------------------------------------------------------------------
+# Determinism + resume (satellite)
+# ---------------------------------------------------------------------------
+
+class TestSearchDeterminism:
+    def test_byte_identical_at_any_jobs_count(self, cache_dir, tmp_path):
+        a = search(cache_dir, tmp_path / "j1.jsonl", budget=20, jobs=1)
+        b = search(cache_dir, tmp_path / "j3.jsonl", budget=20, jobs=3)
+        assert file_digest(a.path) == file_digest(b.path)
+        assert a.best.point == b.best.point
+
+    def test_resume_reaches_identical_bytes_and_best(self, cache_dir,
+                                                     tmp_path):
+        fresh = search(cache_dir, tmp_path / "fresh.jsonl", budget=20)
+        short = search(cache_dir, tmp_path / "part.jsonl", budget=8)
+        assert short.evaluations < fresh.evaluations
+        resumed = search(cache_dir, tmp_path / "part.jsonl", budget=20,
+                         resume=True)
+        assert resumed.replayed == short.evaluations
+        assert file_digest(tmp_path / "part.jsonl") == \
+            file_digest(tmp_path / "fresh.jsonl")
+        assert resumed.best.point == fresh.best.point
+        assert resumed.best.score == fresh.best.score
+
+    def test_resume_after_torn_mid_batch_interrupt(self, cache_dir,
+                                                   tmp_path):
+        # Simulate a SIGKILL mid-record: keep the header + 7 records and
+        # a torn half-line; resume must heal, replay, and converge to
+        # the same bytes as an uninterrupted run.
+        fresh = search(cache_dir, tmp_path / "fresh.jsonl", budget=20)
+        lines = (tmp_path / "fresh.jsonl").read_bytes().split(b"\n")
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(b"\n".join(lines[:8]) + b"\n" + lines[8][:17])
+        resumed = search(cache_dir, torn, budget=20, resume=True)
+        assert resumed.replayed == 7
+        assert file_digest(torn) == file_digest(tmp_path / "fresh.jsonl")
+
+    def test_resume_rejects_a_different_search(self, cache_dir, tmp_path):
+        search(cache_dir, tmp_path / "t.jsonl", budget=8)
+        with pytest.raises(TrajectoryError, match="seed"):
+            search(cache_dir, tmp_path / "t.jsonl", budget=20, seed=43,
+                   resume=True)
+        with pytest.raises(TrajectoryError, match="agent"):
+            search(cache_dir, tmp_path / "t.jsonl", budget=20,
+                   agent="genetic", resume=True)
+        with pytest.raises(TrajectoryError, match="space"):
+            search(cache_dir, tmp_path / "t.jsonl", budget=20, resume=True,
+                   space=ParameterSpace([IntRange("fpu_latency", 1, 6)]))
+
+    def test_genetic_and_halving_are_deterministic_too(self, cache_dir,
+                                                       tmp_path):
+        for agent in ("genetic", "halving"):
+            a = search(cache_dir, tmp_path / (agent + "-a.jsonl"),
+                       agent=agent, budget=18, jobs=1)
+            b = search(cache_dir, tmp_path / (agent + "-b.jsonl"),
+                       agent=agent, budget=18, jobs=2)
+            assert file_digest(a.path) == file_digest(b.path)
+            header, records, _ = load_trajectory(a.path)
+            validate_trajectory(header, records)
+
+    def test_repeat_search_is_all_cache_hits(self, cache_dir, tmp_path):
+        search(cache_dir, tmp_path / "warm1.jsonl", seed=77)
+        again = search(cache_dir, tmp_path / "warm2.jsonl", seed=77)
+        assert again.cache_hit_rate == 1.0
+
+    def test_memo_short_circuits_duplicate_proposals(self, cache_dir,
+                                                     tmp_path):
+        outcome = search(cache_dir, tmp_path / "memo.jsonl", budget=30)
+        assert outcome.memo_hits == outcome.evaluations - \
+            outcome.distinct_points
+
+    def test_budget_overshoot_is_bounded_by_one_batch(self, cache_dir,
+                                                      tmp_path):
+        outcome = search(cache_dir, tmp_path / "b.jsonl", budget=11,
+                         batch=4)
+        assert 11 <= outcome.evaluations < 11 + 4
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+class TestReports:
+    def test_report_document(self, cache_dir, tmp_path):
+        outcome = search(cache_dir, tmp_path / "r.jsonl", budget=20)
+        document = report_document(tmp_path / "r.jsonl")
+        assert document["schema"] == "repro-dse-report/1"
+        assert document["evaluations"] == outcome.evaluations
+        assert document["distinct_points"] == outcome.distinct_points
+        assert document["best"]["point"] == outcome.best.point
+        assert document["best"]["score"] == outcome.best.score
+        assert document["best"]["config"] == outcome.best.point
+        curve = document["curve"]
+        assert curve[-1][0] == outcome.evaluations - 1
+        scores = [score for _, score in curve if score is not None]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_report_is_deterministic(self, cache_dir, tmp_path):
+        search(cache_dir, tmp_path / "r.jsonl", budget=15)
+        first = report_document(tmp_path / "r.jsonl")
+        assert report_document(tmp_path / "r.jsonl") == first
+
+    def test_compare_ranks_and_requires_shared_fitness(self, cache_dir,
+                                                       tmp_path):
+        search(cache_dir, tmp_path / "a.jsonl", budget=10, seed=1)
+        search(cache_dir, tmp_path / "b.jsonl", budget=25, seed=2)
+        document = compare_document([tmp_path / "a.jsonl",
+                                     tmp_path / "b.jsonl"])
+        assert document["schema"] == "repro-dse-compare/1"
+        assert len(document["runs"]) == 2
+        best_scores = {run["path"]: run["best"]["score"]
+                       for run in document["runs"]}
+        assert document["winner"] == min(best_scores,
+                                         key=lambda p: (best_scores[p], p))
+        search(cache_dir, tmp_path / "c.jsonl", budget=10,
+               fitness=FitnessSpec("dse-smoke", objective="area_cycles"))
+        with pytest.raises(ValueError, match="different fitness"):
+            compare_document([tmp_path / "a.jsonl", tmp_path / "c.jsonl"])
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestDseCli:
+    def test_search_report_compare(self, cache_dir, tmp_path, capsys):
+        trajectory = str(tmp_path / "cli.jsonl")
+        bench = str(tmp_path / "BENCH_dse.json")
+        assert cli.main(["dse", "search", "--space", "smoke",
+                         "--suite", "dse-smoke", "--agent", "random",
+                         "--budget", "10", "--seed", "5",
+                         "--trajectory", trajectory,
+                         "--cache-dir", cache_dir,
+                         "--json", bench]) == 0
+        out = capsys.readouterr().out
+        assert "best config" in out
+        with open(bench) as handle:
+            document = json.load(handle)
+        assert document["sweep"] == "dse"
+        assert document["results"][0]["workload"] == "dse"
+        assert document["results"][0]["metrics"]["best_score"] is not None
+        from repro.orchestrate import validate_bench_json
+        validate_bench_json(bench)
+        assert cli.main(["dse", "report", "--trajectory", trajectory]) == 0
+        assert "improvement steps" in capsys.readouterr().out
+        assert cli.main(["dse", "compare", trajectory, trajectory]) == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_resume_extends_via_cli(self, cache_dir, tmp_path, capsys):
+        trajectory = str(tmp_path / "cli.jsonl")
+        assert cli.main(["dse", "search", "--space", "smoke",
+                         "--suite", "dse-smoke", "--budget", "8",
+                         "--seed", "5", "--trajectory", trajectory,
+                         "--cache-dir", cache_dir]) == 0
+        assert cli.main(["dse", "resume", "--trajectory", trajectory,
+                         "--budget", "16",
+                         "--cache-dir", cache_dir]) == 0
+        _, records, _ = load_trajectory(trajectory)
+        assert len(records) >= 16
+        capsys.readouterr()
+
+    def test_agent_opt_flag(self, cache_dir, tmp_path, capsys):
+        trajectory = str(tmp_path / "opt.jsonl")
+        assert cli.main(["dse", "search", "--space", "smoke",
+                         "--suite", "dse-smoke", "--budget", "6",
+                         "--agent-opt", "batch=3",
+                         "--trajectory", trajectory,
+                         "--cache-dir", cache_dir]) == 0
+        header, _, _ = load_trajectory(trajectory)
+        assert header["agent"]["options"]["batch"] == 3
+        capsys.readouterr()
+
+    def test_dim_flag_overrides_space_preset(self, cache_dir, tmp_path,
+                                             capsys):
+        trajectory = str(tmp_path / "dim.jsonl")
+        assert cli.main(["dse", "search", "--dim", "fpu_latency=int:1:4",
+                         "--dim", "max_vl=8,16",
+                         "--suite", "dse-smoke", "--budget", "6",
+                         "--trajectory", trajectory,
+                         "--cache-dir", cache_dir]) == 0
+        header, _, _ = load_trajectory(trajectory)
+        names = [d["name"] for d in header["space"]["dimensions"]]
+        assert names == ["fpu_latency", "max_vl"]
+        capsys.readouterr()
+
+
+class TestSweepCli:
+    def test_grid_shim_warns_and_matches_dim_byte_for_byte(self, cache_dir,
+                                                           tmp_path,
+                                                           capsys):
+        old = str(tmp_path / "old.json")
+        new = str(tmp_path / "new.json")
+        with pytest.warns(DeprecationWarning, match="--grid.*deprecated"):
+            assert cli.main(["sweep", "livermore", "--set", "loop=1",
+                            "--set", "warm=true",
+                             "--grid", "fpu_latency=1,3",
+                             "--grid", "dcache_miss_penalty=0,14",
+                             "--cache-dir", cache_dir,
+                             "--json", old]) == 0
+        assert cli.main(["sweep", "livermore", "--set", "loop=1",
+                         "--set", "warm=true",
+                         "--dim", "fpu_latency=1,3",
+                         "--dim", "dcache_miss_penalty=0,14",
+                         "--cache-dir", cache_dir,
+                         "--json", new]) == 0
+        from pathlib import Path
+        assert Path(old).read_bytes() == Path(new).read_bytes()
+        capsys.readouterr()
+
+    def test_sweep_rejects_unknown_field_with_suggestion(self, capsys):
+        with pytest.raises(ValueError, match="did you mean"):
+            cli.main(["sweep", "livermore", "--dim", "fpu_latencyy=1,3"])
+        capsys.readouterr()
+
+    def test_typed_dim_axes(self, cache_dir, tmp_path, capsys):
+        out = str(tmp_path / "typed.json")
+        assert cli.main(["sweep", "livermore", "--set", "loop=1",
+                         "--dim", "fpu_latency=int:1:3:2",
+                         "--cache-dir", cache_dir, "--json", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        latencies = [entry["config"]["fpu_latency"]
+                     for entry in document["results"]]
+        assert latencies == [1, 3]
+        capsys.readouterr()
+
+
+class TestAblationSweepsOnSpace:
+    """The named ablation sweeps now declare ParameterSpaces; their
+    request streams must byte-match the historical hand-built lists."""
+
+    @staticmethod
+    def identity(request):
+        return (request.workload, tuple(sorted(request.params.items())),
+                tuple(sorted(request.config.items())))
+
+    def test_ablation_latency_matches_legacy(self):
+        for quick in (True, False):
+            latencies = (1, 3, 8) if quick else (1, 2, 3, 5, 8)
+            legacy = [RunRequest("livermore", {"loop": loop, "warm": True},
+                                 config={"model_ibuffer": False,
+                                         "fpu_latency": latency})
+                      for latency in latencies for loop in (1, 3, 11)]
+            new = sweep_requests("ablation-latency", quick=quick)
+            assert [self.identity(r) for r in new] == \
+                [self.identity(r) for r in legacy]
+
+    def test_ablation_cache_matches_legacy(self):
+        for quick in (True, False):
+            penalties = (0, 14, 56) if quick else (0, 7, 14, 28, 56)
+            legacy = []
+            for penalty in penalties:
+                config = {"dcache_miss_penalty": penalty,
+                          "ibuf_miss_penalty": penalty}
+                for params in ({"loop": 1, "warm": False},
+                               {"loop": 1, "warm": True},
+                               {"loop": 16, "warm": False}):
+                    legacy.append(RunRequest("livermore", params,
+                                             config=config))
+            new = sweep_requests("ablation-cache", quick=quick)
+            assert [self.identity(r) for r in new] == \
+                [self.identity(r) for r in legacy]

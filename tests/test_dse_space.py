@@ -1,0 +1,314 @@
+"""ParameterSpace: dimensions, constraints, grid order, operators,
+serialization, and the shared MachineConfig error path."""
+
+import random
+
+import pytest
+
+from repro.cpu.machine import MachineConfig, _check_observation_fields
+from repro.dse.space import (Boolean, Choice, Constraint, IntRange,
+                             InvalidPoint, LogRange, ParameterSpace,
+                             parse_dimension, parse_scalar, tied)
+
+
+# ---------------------------------------------------------------------------
+# Dimensions
+# ---------------------------------------------------------------------------
+
+class TestDimensions:
+    def test_int_range_values_and_membership(self):
+        dim = IntRange("fpu_latency", 1, 7, step=2)
+        assert dim.values() == [1, 3, 5, 7]
+        assert dim.contains(5)
+        assert not dim.contains(2)      # off-step
+        assert not dim.contains(9)      # out of range
+        assert not dim.contains(5.0)    # wrong type
+        assert not dim.contains(True)   # bool is not an int value
+
+    def test_int_range_mutate_steps_to_neighbor(self):
+        dim = IntRange("fpu_latency", 1, 5)
+        rng = random.Random(0)
+        assert dim.mutate(1, rng) == 2          # clamped at low edge
+        assert dim.mutate(5, rng) == 4          # clamped at high edge
+        for _ in range(20):
+            assert dim.mutate(3, rng) in (2, 4)
+
+    def test_int_range_rejects_empty_or_bad_step(self):
+        with pytest.raises(ValueError, match="empty range"):
+            IntRange("fpu_latency", 5, 1)
+        with pytest.raises(ValueError, match="step"):
+            IntRange("fpu_latency", 1, 5, step=0)
+
+    def test_log_range_values(self):
+        dim = LogRange("dcache_size", 4096, 65536)
+        assert dim.values() == [4096, 8192, 16384, 32768, 65536]
+        assert dim.contains(16384)
+        assert not dim.contains(12288)
+
+    def test_log_range_mutate_is_adjacent(self):
+        dim = LogRange("dcache_size", 4096, 65536)
+        rng = random.Random(1)
+        for _ in range(20):
+            assert dim.mutate(16384, rng) in (8192, 32768)
+
+    def test_boolean_and_choice(self):
+        assert Boolean("trace").values() == [False, True]
+        dim = Choice("max_vl", [4, 8, 16])
+        assert dim.contains(8) and not dim.contains(2)
+        rng = random.Random(2)
+        for _ in range(10):
+            assert dim.mutate(8, rng) in (4, 16)
+
+    def test_choice_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError, match="empty"):
+            Choice("max_vl", [])
+        with pytest.raises(ValueError, match="duplicate"):
+            Choice("max_vl", [4, 4])
+
+    def test_dimension_dict_round_trip(self):
+        for dim in (IntRange("fpu_latency", 1, 8, 2),
+                    LogRange("dcache_size", 1024, 8192, 2),
+                    Boolean("model_tlb"),
+                    Choice("max_vl", [4, 8])):
+            rebuilt = type(dim).__name__
+            from repro.dse.space import Dimension
+            clone = Dimension.from_dict(dim.to_dict())
+            assert type(clone).__name__ == rebuilt
+            assert clone.to_dict() == dim.to_dict()
+            assert clone.values() == dim.values()
+
+
+# ---------------------------------------------------------------------------
+# CLI dimension specs
+# ---------------------------------------------------------------------------
+
+class TestParseDimension:
+    def test_all_spec_forms(self):
+        assert parse_dimension("fpu_latency=int:1:8").values() == \
+            list(range(1, 9))
+        assert parse_dimension("fpu_latency=int:1:8:3").values() == [1, 4, 7]
+        assert parse_dimension("dcache_size=log2:1024:4096").values() == \
+            [1024, 2048, 4096]
+        assert parse_dimension("ibuf_size=log4:64:1024").values() == \
+            [64, 256, 1024]
+        assert parse_dimension("model_ibuffer=bool").values() == [False, True]
+        assert parse_dimension("max_vl=4,8,16").values() == [4, 8, 16]
+        assert parse_dimension("strict_hazards=true,false").values() == \
+            [True, False]
+
+    def test_bad_specs(self):
+        for bad in ("fpu_latency", "fpu_latency=", "=int:1:2",
+                    "fpu_latency=int:1", "dcache_size=log2:8",
+                    "max_vl=,"):
+            with pytest.raises(ValueError):
+                parse_dimension(bad)
+
+    def test_parse_scalar(self):
+        assert parse_scalar("14") == 14
+        assert parse_scalar("0.5") == 0.5
+        assert parse_scalar("true") is True
+        assert parse_scalar("percycle") == "percycle"
+
+
+# ---------------------------------------------------------------------------
+# The space
+# ---------------------------------------------------------------------------
+
+def smoke_space():
+    return ParameterSpace([
+        IntRange("fpu_latency", 1, 3),
+        Choice("dcache_miss_penalty", [0, 14]),
+        Choice("max_vl", [4, 8, 16]),
+    ])
+
+
+class TestParameterSpace:
+    def test_unknown_dimension_name_uses_machineconfig_error(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            ParameterSpace([IntRange("fpu_latencyy", 1, 3)])
+
+    def test_did_you_mean_suggestion(self):
+        with pytest.raises(ValueError,
+                           match=r"did you mean 'fpu_latency'\?"):
+            ParameterSpace([IntRange("fpu_latencyy", 1, 3)])
+
+    def test_base_config_names_checked_too(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            ParameterSpace([IntRange("fpu_latency", 1, 3)],
+                           base_config={"max_vll": 8})
+
+    def test_duplicate_and_overlapping_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate dimension"):
+            ParameterSpace([IntRange("fpu_latency", 1, 3),
+                            Choice("fpu_latency", [5])])
+        with pytest.raises(ValueError, match="both as dimensions"):
+            ParameterSpace([IntRange("fpu_latency", 1, 3)],
+                           base_config={"fpu_latency": 5})
+
+    def test_grid_first_axis_varies_fastest(self):
+        space = ParameterSpace([Choice("fpu_latency", [1, 2]),
+                                Choice("max_vl", [4, 8])])
+        assert list(space.grid()) == [
+            {"fpu_latency": 1, "max_vl": 4},
+            {"fpu_latency": 2, "max_vl": 4},
+            {"fpu_latency": 1, "max_vl": 8},
+            {"fpu_latency": 2, "max_vl": 8},
+        ]
+
+    def test_empty_space_grid_is_one_base_point(self):
+        assert list(ParameterSpace([]).grid()) == [{}]
+
+    def test_tied_constraint_grid_walks_diagonal(self):
+        space = ParameterSpace(
+            [Choice("dcache_miss_penalty", [0, 7, 14]),
+             Choice("ibuf_miss_penalty", [0, 7, 14])],
+            constraints=[tied("dcache_miss_penalty", "ibuf_miss_penalty")])
+        assert list(space.grid()) == [
+            {"dcache_miss_penalty": 0, "ibuf_miss_penalty": 0},
+            {"dcache_miss_penalty": 7, "ibuf_miss_penalty": 7},
+            {"dcache_miss_penalty": 14, "ibuf_miss_penalty": 14},
+        ]
+
+    def test_check_point_errors(self):
+        space = smoke_space()
+        with pytest.raises(InvalidPoint, match="missing dimension"):
+            space.check_point({"fpu_latency": 1})
+        with pytest.raises(InvalidPoint, match=r"did you mean 'max_vl'\?"):
+            space.check_point({"fpu_latency": 1, "dcache_miss_penalty": 0,
+                               "max_vll": 4})
+        with pytest.raises(InvalidPoint, match="outside dimension"):
+            space.check_point({"fpu_latency": 99, "dcache_miss_penalty": 0,
+                               "max_vl": 4})
+        with pytest.raises(InvalidPoint, match="dict"):
+            space.check_point([1, 2, 3])
+
+    def test_check_point_reuses_machine_validate(self):
+        # vl ceiling above the architected maximum: MachineConfig.validate
+        # rejects it, so the space must too -- before any simulation.
+        space = ParameterSpace([Choice("max_vl", [8, 64])])
+        assert space.is_valid({"max_vl": 8})
+        with pytest.raises(InvalidPoint, match="no valid machine"):
+            space.check_point({"max_vl": 64})
+
+    def test_machine_config_builds_validated_config(self):
+        space = smoke_space()
+        config = space.machine_config(
+            {"fpu_latency": 2, "dcache_miss_penalty": 14, "max_vl": 4})
+        assert isinstance(config, MachineConfig)
+        assert config.fpu_latency == 2 and config.max_vl == 4
+
+    def test_operators_are_seed_deterministic_and_admissible(self):
+        space = smoke_space()
+        a = [space.sample(random.Random(5)) for _ in range(4)]
+        b = [space.sample(random.Random(5)) for _ in range(4)]
+        assert a == b
+        rng = random.Random(6)
+        point = space.sample(rng)
+        for _ in range(10):
+            point = space.mutate(point, rng)
+            assert space.is_valid(point)
+        other = space.sample(rng)
+        child = space.crossover(point, other, rng)
+        assert space.is_valid(child)
+        for name in space.names:
+            assert child[name] in (point[name], other[name])
+
+    def test_mutate_changes_exactly_one_dimension(self):
+        space = smoke_space()
+        rng = random.Random(7)
+        point = space.sample(rng)
+        for _ in range(10):
+            neighbor = space.mutate(point, rng)
+            changed = [n for n in space.names if neighbor[n] != point[n]]
+            assert len(changed) == 1
+
+    def test_impossible_constraints_raise(self):
+        space = ParameterSpace([Choice("fpu_latency", [1, 2])],
+                               constraints=[Constraint("never",
+                                                       lambda p: False)])
+        with pytest.raises(InvalidPoint, match="no admissible point"):
+            space.sample(random.Random(0))
+        assert list(space.grid()) == []
+
+    def test_dict_round_trip_preserves_fingerprint_and_tied(self):
+        space = ParameterSpace(
+            [Choice("dcache_miss_penalty", [0, 7]),
+             Choice("ibuf_miss_penalty", [0, 7])],
+            constraints=[tied("dcache_miss_penalty", "ibuf_miss_penalty")],
+            base_config={"model_ibuffer": False}, name="pair")
+        clone = ParameterSpace.from_dict(space.to_dict())
+        assert clone.fingerprint() == space.fingerprint()
+        assert clone.name == "pair"
+        # tied: constraints come back executable
+        assert not clone.is_valid({"dcache_miss_penalty": 0,
+                                   "ibuf_miss_penalty": 7})
+        assert list(clone.grid()) == list(space.grid())
+
+    def test_opaque_constraints_deserialize_inert(self):
+        space = ParameterSpace([Choice("fpu_latency", [1, 2])],
+                               constraints=[Constraint("odd-only",
+                                                       lambda p: False)])
+        clone = ParameterSpace.from_dict(space.to_dict())
+        assert clone.fingerprint() == space.fingerprint()
+        # The predicate is not serializable: the marker admits everything.
+        assert clone.is_valid({"fpu_latency": 2})
+
+    def test_dimension_lookup_did_you_mean(self):
+        space = smoke_space()
+        assert space.dimension("max_vl").name == "max_vl"
+        with pytest.raises(ValueError, match=r"did you mean 'max_vl'\?"):
+            space.dimension("max_v")
+
+    def test_size_and_point_key(self):
+        space = smoke_space()
+        assert space.size() == 3 * 2 * 3
+        key = ParameterSpace.point_key({"b": 1, "a": 2})
+        assert key == '{"a":2,"b":1}'
+
+
+# ---------------------------------------------------------------------------
+# The shared MachineConfig error path (satellite: did-you-mean)
+# ---------------------------------------------------------------------------
+
+class TestMachineConfigFieldChecks:
+    def test_from_overrides_suggests_closest_match(self):
+        with pytest.raises(ValueError,
+                           match=r"fpu_latencyy \(did you mean "
+                                 r"'fpu_latency'\?\)"):
+            MachineConfig.from_overrides({"fpu_latencyy": 3})
+
+    def test_from_overrides_lists_valid_fields(self):
+        with pytest.raises(ValueError, match="valid: .*dcache_size"):
+            MachineConfig.from_overrides({"zzz_nonsense": 1})
+
+    def test_multiple_unknowns_all_reported(self):
+        with pytest.raises(ValueError, match="max_vll.*trrace") as err:
+            MachineConfig.check_field_names(["max_vll", "trrace"])
+        assert "did you mean 'max_vl'?" in str(err.value)
+        assert "did you mean 'trace'?" in str(err.value)
+
+    def test_field_names_cover_dataclass(self):
+        names = MachineConfig.field_names()
+        assert "fpu_latency" in names and "max_vl" in names
+        assert names == tuple(sorted(names))
+
+    def test_legacy_error_prefix_preserved(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            MachineConfig.from_overrides({"nope": 1})
+
+
+class TestObservationFieldsGuard:
+    def test_real_config_passes_at_import(self):
+        assert _check_observation_fields(MachineConfig) is MachineConfig
+
+    def test_renamed_field_fails_loudly(self):
+        class Broken(MachineConfig):
+            OBSERVATION_FIELDS = ("trace", "no_such_field")
+
+        with pytest.raises(AssertionError, match="no_such_field"):
+            _check_observation_fields(Broken)
+
+    def test_observation_fields_stay_out_of_fingerprint(self):
+        base = MachineConfig().fingerprint()
+        assert MachineConfig(trace=True).fingerprint() == base
+        assert MachineConfig(fpu_latency=5).fingerprint() != base
