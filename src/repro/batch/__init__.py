@@ -1,0 +1,41 @@
+"""Struct-of-arrays batched execution: the ``soa`` backend.
+
+A :class:`~repro.batch.engine.SoaFleet` runs N machines over one shared
+program with the architectural state held as NumPy object arrays with a
+leading batch axis (register files, scoreboard bits, PSW fields, pending
+writebacks); each lane is exposed through the standard
+:class:`repro.core.backend.ExecutionBackend` contract as a
+:class:`~repro.batch.engine.SoaLane`, registered in the backend registry
+as ``"soa"`` and bit-identical per lane to the ``percycle`` reference
+(enforced by the cross-backend fuzz oracle).
+
+NumPy is an *optional* dependency (``pip install .[batch]``): without it
+this package still imports, ``HAVE_NUMPY`` is ``False``, the registry
+simply omits ``soa``, and touching any batched entry point raises a
+clean error naming the extra.
+"""
+
+try:
+    import numpy  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    HAVE_NUMPY = False
+else:
+    HAVE_NUMPY = True
+
+NUMPY_HELP = ("the soa batched backend needs NumPy; install it with "
+              "'pip install .[batch]' (or 'pip install numpy')")
+
+if HAVE_NUMPY:
+    from repro.batch.engine import (SoaFleet, SoaLane,  # noqa: F401
+                                    create_soa_machine)
+    from repro.batch.session import (BatchSession,  # noqa: F401
+                                     run_batched_campaign)
+
+    __all__ = ["HAVE_NUMPY", "NUMPY_HELP", "BatchSession", "SoaFleet",
+               "SoaLane", "create_soa_machine", "run_batched_campaign"]
+else:  # pragma: no cover
+    __all__ = ["HAVE_NUMPY", "NUMPY_HELP"]
+
+    def __getattr__(name):
+        raise ImportError("%s (requested repro.batch.%s)"
+                          % (NUMPY_HELP, name))

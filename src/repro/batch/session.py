@@ -1,0 +1,361 @@
+"""Batched campaign execution: same-program request groups on one fleet.
+
+:func:`repro.api.execute_request` pays three per-request costs that
+dominate short campaigns: kernel codegen (the program is rebuilt from
+params for every request), the :func:`repro.api.restore_point` snapshot
+(a full-machine snapshot taken only so the kernel can be rewound), and
+-- under :func:`repro.orchestrate.run_campaign` -- worker spawn and IPC.
+For a design-space sweep all of that is overhead: the campaign runs *one
+program* under many :class:`~repro.cpu.machine.MachineConfig` points.
+
+:func:`run_batched_campaign` removes it.  Requests are grouped by
+``(workload, params)`` -- identical params mean an identical program and
+an identical initial memory image -- and each group builds its kernel
+*once*, captures the memory image *once* (a sparse
+:meth:`~repro.mem.memory.Memory.delta_snapshot`), and runs every
+config point as one lane of a :class:`~repro.batch.engine.SoaFleet`.
+Lanes drain sequentially against the shared kernel memory (the kernel's
+self-check closes over that memory, exactly like the scalar path), with
+the template delta restored between lanes and between the warm passes;
+per-lane results are bit-identical to scalar ``backend="soa"`` runs and
+land in the same digest-keyed result cache under the same keys.
+
+:class:`BatchSession` is the drop-in :class:`repro.api.Session`: its
+``run_many`` routes batchable requests (a batchable workload resolving
+to the ``soa`` backend) through the fleet and everything else through
+the normal orchestrator.  Orchestrator-layer features stay with the
+orchestrator: a session with chaos injection, ``resume=True``, a
+journal directory or a ``should_abort`` hook falls back entirely to
+:func:`repro.orchestrate.run_campaign` -- batched groups are not
+journaled (they run in-process and re-run from cache on a crash), so
+batching never silently weakens the fault-tolerance contract.
+
+A lane that raises falls back to the scalar
+:func:`repro.api.execute_request`; if the scalar path raises too the
+request degrades to a deterministic ``task_error`` failure record
+(the in-process analogue of the orchestrator's quarantine).
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+from repro import api, orchestrate
+from repro.batch.engine import SoaFleet
+from repro.core.semantics import program_digest
+
+
+def _livermore_builder(request):
+    from repro.workloads.experiments import _livermore_kernel
+
+    return _livermore_kernel(request.params)
+
+
+#: Workloads the fleet can batch: one BuiltKernel per params dict, run
+#: under the run_kernel protocol (optional "warm" param, setup/check
+#: hooks).  Everything else goes through the orchestrator.
+BATCHABLE_WORKLOADS = {"livermore": _livermore_builder}
+
+
+def is_batchable(request):
+    """Whether a request can run as a fleet lane: a batchable workload
+    resolving to the ``soa`` backend."""
+    return (request.workload in BATCHABLE_WORKLOADS
+            and request.resolved_backend() == "soa")
+
+
+def _group_key(request):
+    return (request.workload,
+            json.dumps(request.params, sort_keys=True,
+                       separators=(",", ":")))
+
+
+def _restore_words(memory, template, prefix=None):
+    """Restore a memory to a captured word-list image.
+
+    The scalar path rewinds through sparse
+    :meth:`~repro.mem.memory.Memory.delta_snapshot` deltas because
+    snapshots must serialize; a batched group rewinds hundreds of times
+    in-process, where one C-level slice assignment of the full word list
+    is an order of magnitude cheaper than rebuilding the list from a
+    sparse delta -- and restores the *identical* image (the very word
+    objects of the capture, so int/float distinctions survive exactly).
+    A run that grew the memory shrinks back, like ``restore_delta``.
+
+    ``prefix`` -- ``template[:kernel.memory_extent]`` -- restores only
+    the words the program can have written (the kernel builder's arena
+    high-water bounds every store address); a run that changed the
+    memory's length falls back to the full image.
+    """
+    words = memory.words
+    if prefix is not None and len(words) == len(template):
+        words[:len(prefix)] = prefix
+    else:
+        words[:] = template
+
+
+def _scalar_fallback(request, cache):
+    """The scalar escape hatch; never raises (degrades to task_error)."""
+    try:
+        return api.execute_request(request, cache=cache)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        error = "%s: %s" % (type(exc).__name__, exc)
+        return api.RunResult(
+            workload=request.workload, params=request.params,
+            config=request.config, metrics={}, check_error=error,
+            failure=orchestrate.failure_record("task_error", error),
+            backend=request.resolved_backend())
+
+
+def _run_lane(lane, kernel, request, key, digest, template, prefix, cache):
+    """One miss on one fleet lane: the run_kernel warm/cold discipline
+    without the restore_point snapshot.
+
+    The lane shares the kernel's memory; ``template`` (the kernel's
+    initial image) substitutes for the snapshot the scalar path takes --
+    livermore-family setups touch registers only, so the image at the
+    scalar path's capture point *is* the template.
+    """
+    memory = lane.memory
+    _restore_words(memory, template, prefix)
+    if kernel.setup:
+        kernel.setup(lane)
+    if request.params.get("warm", False):
+        lane.run(max_cycles=request.max_cycles)
+        _restore_words(memory, template, prefix)
+        lane.reset_cpu()
+        lane.dcache.reset_stats()
+        lane.ibuf.reset_stats()
+        if kernel.setup:
+            kernel.setup(lane)
+    run = lane.run(max_cycles=request.max_cycles)
+    error = kernel.check(lane) if kernel.check else None
+    metrics = {
+        "cycles": run.completion_cycle,
+        "mflops": run.mflops(kernel.nominal_flops,
+                             lane.config.cycle_time_ns),
+        "nominal_flops": kernel.nominal_flops,
+        "cache_hits": lane.dcache.hits,
+        "cache_misses": lane.dcache.misses,
+    }
+    failure = None
+    if error is not None:
+        failure = orchestrate.failure_record("check_fail", error)
+    result = api.RunResult(
+        workload=request.workload, params=request.params,
+        config=request.config, metrics=api._plain(metrics),
+        check_error=error, program_digest=digest, key=key,
+        failure=failure, backend=request.resolved_backend())
+    if cache is not None:
+        cache.put(key, result.to_dict())
+    return result
+
+
+def _run_group(requests, indices, cache, finalize):
+    """Run one (workload, params) group: build once, fleet the misses."""
+    from repro.workloads.experiments import CACHE_SALT
+
+    first = requests[indices[0]]
+    try:
+        kernel = BATCHABLE_WORKLOADS[first.workload](first)
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        # The build itself is broken (bad params); the scalar path will
+        # raise the same error and degrade each request deterministically.
+        for index in indices:
+            start = time.perf_counter()
+            finalize(index, _scalar_fallback(requests[index], cache), start)
+        return
+    digest = program_digest(kernel.program.instructions)
+    template = list(kernel.memory.words)
+    extent = kernel.memory_extent
+    prefix = template[:extent] if extent is not None else None
+    misses = []
+    for index in indices:
+        request = requests[index]
+        # One MachineConfig per request: the fingerprint (for the cache
+        # key) and the fleet lane share it.
+        config = request.machine_config()
+        key = orchestrate.cache_key(
+            request.workload, request.params, config.fingerprint(),
+            program_digest=digest, salt=CACHE_SALT,
+            backend=request.resolved_backend())
+        start = time.perf_counter()
+        if cache is not None:
+            payload = cache.get(key)
+            if payload is not None:
+                result = api.RunResult.from_dict(payload)
+                result.cached = True
+                finalize(index, result, start)
+                continue
+        misses.append((index, key, config))
+    if not misses:
+        return
+    try:
+        fleet = SoaFleet(kernel.program,
+                         [config for _, _, config in misses],
+                         memories=[kernel.memory] * len(misses))
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        # A config the fleet rejects (trace/audit observation flags, a
+        # validation error): same degradation as a broken build.
+        for index, _key, _config in misses:
+            start = time.perf_counter()
+            finalize(index, _scalar_fallback(requests[index], cache), start)
+        _restore_words(kernel.memory, template, prefix)
+        return
+    for lane_pos, (index, key, _config) in enumerate(misses):
+        start = time.perf_counter()
+        request = requests[index]
+        try:
+            result = _run_lane(fleet.lanes[lane_pos], kernel, request, key,
+                               digest, template, prefix, cache)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            _restore_words(kernel.memory, template)
+            result = _scalar_fallback(request, cache)
+        finalize(index, result, start)
+    # Leave the kernel's memory at its initial image (the scalar path's
+    # final rewind does the same).
+    _restore_words(kernel.memory, template, prefix)
+
+
+def run_batched_campaign(requests, cache_dir=None, progress=None, jobs=1):
+    """Run batchable requests through SoA fleets; a CampaignRun back.
+
+    Every request must satisfy :func:`is_batchable` (the session filters
+    before calling).  Results come back in request order with the exact
+    cache keys, metrics and failure records of the scalar path; sidecar
+    telemetry marks every task ``"batched"``.
+    """
+    requests = list(requests)
+    for position, request in enumerate(requests):
+        if not is_batchable(request):
+            raise ValueError(
+                "request %d (workload %r, backend %r) is not batchable; "
+                "batchable workloads (%s) must resolve to the soa backend"
+                % (position, request.workload, request.resolved_backend(),
+                   ", ".join(sorted(BATCHABLE_WORKLOADS))))
+    start_wall = time.perf_counter()
+    cache = orchestrate.ResultCache(cache_dir) if cache_dir else None
+    total = len(requests)
+    results = [None] * total
+    sidecars = [None] * total
+    sink = orchestrate.ProgressSink(progress, total)
+
+    def finalize(index, result, start):
+        results[index] = result
+        sidecars[index] = {
+            "wall_seconds": time.perf_counter() - start,
+            "cached": result.cached,
+            "pid": os.getpid(),
+            "batched": True,
+        }
+        sink.task(requests[index].to_dict(), sidecars[index])
+
+    groups = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(_group_key(request), []).append(index)
+    sink.line("batched campaign: %d request(s) in %d same-program group(s)"
+              % (total, len(groups)))
+    for indices in groups.values():
+        _run_group(requests, indices, cache, finalize)
+    wall = time.perf_counter() - start_wall
+    run = orchestrate.CampaignRun(results, sidecars, wall, jobs=jobs)
+    sink.utilization(sidecars, wall)
+    return run
+
+
+class BatchSession(api.Session):
+    """A :class:`repro.api.Session` whose ``run_many`` batches
+    same-program ``soa`` campaigns into struct-of-arrays fleets.
+
+    The default backend is ``"soa"``; a request-level backend name wins
+    over it, exactly like :meth:`repro.api.Session.request`.  Unlike the
+    base session, ``run_many`` applies that precedence to *raw* requests
+    of batchable workloads too: a livermore ``RunRequest`` with
+    ``backend=None`` adopts the session default before anything looks at
+    it, so the batchable filter, the cache keys and the orchestrator
+    fallback all see the backend the request actually runs on.  (The
+    base session leaves raw requests on the registry default, which
+    would make ``BatchSession()`` silently never batch them.)  Raw
+    requests of *other* workloads pass through untouched -- several
+    reject named backends -- and, like explicit other-backend requests,
+    run through the normal orchestrator; the merged
+    :class:`~repro.orchestrate.CampaignRun` lands in ``last_campaign``
+    with results in request order.
+    """
+
+    def __init__(self, config=None, jobs=1, cache_dir=None, seed=1989,
+                 progress=None, task_timeout=None,
+                 max_retries=orchestrate.DEFAULT_MAX_RETRIES,
+                 journal_dir=None, resume=False, backend="soa"):
+        super().__init__(config=config, jobs=jobs, cache_dir=cache_dir,
+                         seed=seed, progress=progress,
+                         task_timeout=task_timeout, max_retries=max_retries,
+                         journal_dir=journal_dir, resume=resume,
+                         backend=backend)
+
+    def run_many(self, requests, jobs=None, resume=None, chaos=None,
+                 start_method=None, should_abort=None):
+        # Stamp the session default backend onto backend-None requests
+        # of batchable workloads *before* any routing decision:
+        # ``is_batchable`` keys on ``resolved_backend()``, which would
+        # otherwise report the registry default and quietly send every
+        # raw request down the orchestrator path.  Non-batchable
+        # workloads keep the base session's raw passthrough (several
+        # paper-figure workloads reject named backends outright, and
+        # forcing ``soa`` on them would turn a working mixed campaign
+        # into task_errors).
+        requests = [request if request.backend is not None
+                    or self.backend is None
+                    or request.workload not in BATCHABLE_WORKLOADS
+                    else replace(request, backend=self.backend)
+                    for request in requests]
+        resume_flag = self.resume if resume is None else resume
+        # Orchestrator-layer features (journaling, resume, chaos, abort
+        # hooks) need the orchestrator; batching would bypass them.
+        if (chaos is not None or resume_flag or should_abort is not None
+                or self.journal_dir):
+            return super().run_many(requests, jobs=jobs, resume=resume,
+                                    chaos=chaos, start_method=start_method,
+                                    should_abort=should_abort)
+        batched = [index for index, request in enumerate(requests)
+                   if is_batchable(request)]
+        if not batched:
+            return super().run_many(requests, jobs=jobs, resume=resume,
+                                    chaos=chaos, start_method=start_method,
+                                    should_abort=should_abort)
+        effective_jobs = self.jobs if jobs is None else max(1, int(jobs))
+        total = len(requests)
+        results = [None] * total
+        sidecars = [None] * total
+        batch_run = run_batched_campaign(
+            [requests[index] for index in batched],
+            cache_dir=self.cache_dir, progress=self.progress,
+            jobs=effective_jobs)
+        for position, index in enumerate(batched):
+            results[index] = batch_run.results[position]
+            sidecars[index] = batch_run.sidecars[position]
+        wall = batch_run.wall_seconds
+        rest = [index for index in range(total) if results[index] is None]
+        if rest:
+            sub = orchestrate.run_campaign(
+                [requests[index] for index in rest], jobs=effective_jobs,
+                cache_dir=self.cache_dir, progress=self.progress,
+                task_timeout=self.task_timeout, max_retries=self.max_retries,
+                start_method=start_method,
+                seed=self.seed if isinstance(self.seed, int) else 0)
+            for position, index in enumerate(rest):
+                results[index] = sub.results[position]
+                sidecars[index] = sub.sidecars[position]
+            wall += sub.wall_seconds
+        self.last_campaign = orchestrate.CampaignRun(
+            results, sidecars, wall, jobs=effective_jobs)
+        return results

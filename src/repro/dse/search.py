@@ -64,9 +64,13 @@ class SearchOutcome:
 
     @property
     def cache_hit_rate(self):
-        if not self.cache_tasks:
-            return 0.0
-        return self.cache_hits / self.cache_tasks
+        """The orchestrator's definition of the hit rate, over the
+        campaign counters accumulated from ``CampaignRun`` telemetry
+        (``dse report``/``compare`` print this -- never a local
+        recomputation)."""
+        from repro.orchestrate import cache_hit_rate
+
+        return cache_hit_rate(self.cache_hits, self.cache_tasks)
 
 
 class _Driver:

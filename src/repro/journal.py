@@ -323,7 +323,7 @@ def list_journals(directory):
 
 
 def prune_journals(directory, completed_only=True, older_than=None,
-                   now=None):
+                   now=None, clock=time.time):
     """Garbage-collect journal files; returns the removed descriptions.
 
     ``completed_only=True`` (the default) removes only journals whose
@@ -331,8 +331,11 @@ def prune_journals(directory, completed_only=True, older_than=None,
     ``completed_only=False`` removes partial and damaged journals too
     (abandoning their resume state).  ``older_than`` further restricts
     removal to files whose mtime is at least that many seconds old.
+
+    Age is judged against ``now`` when given, else against ``clock()``
+    -- inject a frozen clock so hygiene tests never race wall time.
     """
-    now = time.time() if now is None else now
+    now = clock() if now is None else now
     removed = []
     for info in list_journals(directory):
         if completed_only and not info["complete"]:

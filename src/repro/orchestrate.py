@@ -130,12 +130,16 @@ class ResultCache:
     ``len()`` counts only committed entries, never in-flight temps.
     """
 
-    def __init__(self, directory, temp_sweep_age=DEFAULT_TEMP_SWEEP_AGE):
+    def __init__(self, directory, temp_sweep_age=DEFAULT_TEMP_SWEEP_AGE,
+                 clock=time.time):
         self.directory = str(directory)
         self.hits = 0
         self.misses = 0
         self.corrupted = 0
         self.swept_temps = 0
+        # The sweep's notion of "now" -- injectable so temp-age tests
+        # can freeze it instead of racing real mtimes.
+        self._clock = clock
         if temp_sweep_age is not None:
             self._sweep_stale_temps(temp_sweep_age)
 
@@ -155,7 +159,7 @@ class ResultCache:
         """
         if not os.path.isdir(self.directory):
             return
-        now = time.time()
+        now = self._clock()
         for root, _dirs, files in os.walk(self.directory):
             for name in files:
                 if not self._is_temp(name):
@@ -722,6 +726,19 @@ def _run_inline(serialized, pending, cache_dir, max_retries, retry_base,
 # The campaign runner
 # ---------------------------------------------------------------------------
 
+def cache_hit_rate(hits, tasks):
+    """Fraction of tasks served from the result cache (0.0 with no
+    tasks).
+
+    The single definition of the number every campaign and search
+    summary reports -- :class:`CampaignRun` and the DSE layer's
+    ``SearchOutcome`` both delegate here, so the two can't drift.
+    """
+    if not tasks:
+        return 0.0
+    return hits / tasks
+
+
 class CampaignRun:
     """Everything one campaign produced: ordered results + telemetry."""
 
@@ -742,9 +759,7 @@ class CampaignRun:
     def cache_hit_rate(self):
         """Fraction of tasks served from the result cache (0.0 with
         no tasks) -- the number DSE smoke checks assert on."""
-        if not self.sidecars:
-            return 0.0
-        return self.cached_count / len(self.sidecars)
+        return cache_hit_rate(self.cached_count, len(self.sidecars))
 
     @property
     def failed_count(self):

@@ -32,6 +32,12 @@ class BuiltKernel:
     setup: Optional[Callable] = None          # setup(machine) before run
     check: Optional[Callable] = None          # check(machine) -> error text or None
     description: str = ""
+    #: Word count of the memory prefix the kernel can read *or write*
+    #: (the arena allocator's high-water).  ``None`` means unknown; a
+    #: builder that sets it asserts that every store the program can
+    #: issue lands below this index, so a harness rewinding the memory
+    #: image between runs may restore just the prefix.
+    memory_extent: Optional[int] = None
 
 
 @dataclass

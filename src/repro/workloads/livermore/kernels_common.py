@@ -131,4 +131,7 @@ def build_loop(loop, coding="vector", n=None, vl=None, seed=1989):
         setup=None,
         check=check,
         description=spec.description,
+        # Codegen only stores to arena-allocated arrays and slots, so
+        # the arena high-water bounds every address the program writes.
+        memory_extent=ctx.arena.bytes_used // WORD_BYTES,
     )

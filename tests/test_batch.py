@@ -1,0 +1,322 @@
+"""The batched ``soa`` fleet: lane masking, lockstep slicing, and the
+batched campaign session.
+
+The masking battery is the satellite contract: one fleet whose lanes
+meet every fate at once -- an immediate HALT, a section 2.3.3 overflow
+abort, a livelock that runs to ``max_cycles``, and a clean run -- and
+every lane's result (or error) is byte-identical to a solo ``percycle``
+run of the same program and memory.  Masked-out lanes must never
+perturb their neighbours.
+
+The session half proves :func:`run_batched_campaign` is a drop-in for
+the scalar path: identical metrics and cache keys, request order
+preserved, ``"batched"`` sidecar telemetry, scalar degradation for
+broken groups, and the prefix-restore fast path returning memories to
+their exact template image.
+"""
+
+import pytest
+
+from repro.batch import HAVE_NUMPY
+
+if not HAVE_NUMPY:
+    pytest.skip("NumPy unavailable: the soa backend is not registered",
+                allow_module_level=True)
+
+from repro import api, orchestrate
+from repro.api import RunRequest
+from repro.batch.engine import SoaFleet
+from repro.batch.session import (BatchSession, _restore_words,
+                                 is_batchable, run_batched_campaign)
+from repro.core.backend import create_machine
+from repro.core.exceptions import LivelockError, SimulationError
+from repro.cpu.machine import MachineConfig
+from repro.cpu.program import ProgramBuilder
+from repro.mem.memory import Memory
+from repro.robustness.differential import bit_exact
+
+# The mode word each lane reads to pick its fate (one shared program,
+# per-lane memories).
+BASE = 256
+MODE_HALT, MODE_SPIN, MODE_WORK = 0, 1, 2
+
+PLAIN = ((1.0, 2.0, 3.0, 4.0), (5.0, 6.0, 7.0, 8.0))
+# Element 1 overflows (1e200 * 1e200): the section 2.3.3 abort captures
+# dest/element in the PSW and discards the rest of the vector.
+OVERFLOW = ((1.0, 1e200, 3.0, 4.0), (1.0, 1e200, 1.0, 1.0))
+
+
+def _mode_program():
+    b = ProgramBuilder()
+    spin = b.label("spin")
+    stop = b.label("stop")
+    b.li(1, BASE)
+    b.lw(2, 1, 0)
+    b.beq(2, 0, stop)           # MODE_HALT: straight to the HALT
+    b.li(3, 1)
+    b.beq(2, 3, spin)           # MODE_SPIN: branch-to-self livelock
+    for element in range(4):    # MODE_WORK: a VL=4 multiply
+        b.fload(element, 1, 8 + 8 * element)
+        b.fload(8 + element, 1, 40 + 8 * element)
+    b.fmul(16, 0, 8, vl=4)
+    b.fstore(16, 1, 72)
+    b.fstore(19, 1, 80)         # unwritten after an overflow abort
+    b.j(stop)
+    b.place(spin)
+    b.j(spin)
+    b.place(stop)
+    b.halt()
+    return b.build()
+
+
+def _mode_memory(mode, operands=PLAIN):
+    memory = Memory()
+    memory.write(BASE, mode)
+    for offset, values in zip((8, 40), operands):
+        for element, value in enumerate(values):
+            memory.write(BASE + offset + 8 * element, value)
+    return memory
+
+
+def _battery():
+    """(mode, operands) per lane: HALT, overflow, livelock, clean."""
+    return [(MODE_HALT, PLAIN), (MODE_WORK, OVERFLOW),
+            (MODE_SPIN, PLAIN), (MODE_WORK, PLAIN)]
+
+
+def _solo_percycle(program, mode, operands, config):
+    machine = create_machine("percycle", program,
+                             memory=_mode_memory(mode, operands),
+                             config=config)
+    try:
+        return machine.run(), None, machine
+    except SimulationError as error:
+        return None, error, machine
+
+
+def _assert_results_match(result, other):
+    """RunResult equality with FpuStats compared by value (it is a
+    plain counter object without ``__eq__``)."""
+    assert result.halt_cycle == other.halt_cycle
+    assert result.completion_cycle == other.completion_cycle
+    assert result.stats == other.stats
+    assert result.fpu_stats.as_dict() == other.fpu_stats.as_dict()
+    assert result.dcache_hits == other.dcache_hits
+    assert result.dcache_misses == other.dcache_misses
+
+
+def _assert_states_match(lane, machine):
+    state, solo = lane.architectural_state(), machine.architectural_state()
+    assert state["halted"] == solo["halted"]
+    assert state["iregs"] == solo["iregs"]
+    assert state["psw"] == solo["psw"]
+    assert all(bit_exact(a, b)
+               for a, b in zip(state["fregs"], solo["fregs"]))
+    assert state["memory"]["words"].keys() == solo["memory"]["words"].keys()
+    assert all(bit_exact(state["memory"]["words"][index],
+                         solo["memory"]["words"][index])
+               for index in state["memory"]["words"])
+
+
+class TestLaneMaskingBattery:
+    def _configs(self):
+        # A tight watchdog so the livelock lane hits its budget fast.
+        return [MachineConfig(max_cycles=500) for _ in _battery()]
+
+    def _fleet(self):
+        program = _mode_program()
+        configs = self._configs()
+        memories = [_mode_memory(mode, operands)
+                    for mode, operands in _battery()]
+        return program, SoaFleet(program, configs, memories=memories)
+
+    def test_mixed_fates_match_solo_percycle(self):
+        program, fleet = self._fleet()
+        results, errors = fleet.run_all()
+        for index, (mode, operands) in enumerate(_battery()):
+            solo_result, solo_error, machine = _solo_percycle(
+                program, mode, operands, self._configs()[index])
+            if mode == MODE_SPIN:
+                assert results[index] is None
+                assert isinstance(errors[index], LivelockError)
+                assert isinstance(solo_error, LivelockError)
+                assert str(errors[index]) == str(solo_error)
+            else:
+                assert errors[index] is None
+                _assert_results_match(results[index], solo_result)
+            _assert_states_match(fleet.lanes[index], machine)
+
+    def test_overflow_lane_captured_the_section_2_3_3_psw(self):
+        _program, fleet = self._fleet()
+        fleet.run_all()
+        overflow_lane = fleet.lanes[1]
+        psw = overflow_lane.fpu.regs.psw
+        assert psw.overflow
+        assert psw.overflow_dest == 17
+        assert psw.overflow_element == 1
+        assert overflow_lane.fpu.stats.overflow_aborts == 1
+        # The abort is architectural, not an error: the lane halted.
+        assert overflow_lane.halted
+        # Its neighbours saw nothing: no overflow on the clean lane.
+        assert not fleet.lanes[3].fpu.regs.psw.overflow
+        assert fleet.lanes[3].fpu.stats.overflow_aborts == 0
+
+    def test_masked_halt_lane_never_advances_again(self):
+        _program, fleet = self._fleet()
+        results, _errors = fleet.run_all()
+        assert fleet.lanes[0].halted
+        halt_lane_cycle = fleet.lanes[0].cycle
+        assert halt_lane_cycle <= results[0].halt_cycle + 1
+        # The spin lane burned its whole budget; the halted lane's clock
+        # stayed put (masked out, never unbatched or re-advanced).
+        assert fleet.lanes[2].cycle >= 500
+        assert halt_lane_cycle < 50
+
+    def test_lockstep_slicing_is_invisible_in_the_results(self):
+        """``run_all(slice_cycles=...)`` bounds how far lanes run ahead
+        per round; results, errors and final state must be identical to
+        the free-running fleet."""
+        program, free = self._fleet()
+        free_results, free_errors = free.run_all()
+        _program, sliced = self._fleet()
+        sliced_results, sliced_errors = sliced.run_all(slice_cycles=7)
+        for a, b in zip(sliced_results, free_results):
+            assert (a is None) == (b is None)
+            if a is not None:
+                _assert_results_match(a, b)
+        for a, b in zip(sliced_errors, free_errors):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert str(a) == str(b)
+        for index in range(len(_battery())):
+            _assert_states_match(sliced.lanes[index], free.lanes[index])
+
+    def test_unsupported_observation_flags_fail_at_construction(self):
+        program = _mode_program()
+        for flag in ("trace", "audit_invariants", "audit_scoreboard_ports"):
+            config = MachineConfig(**{flag: True})
+            with pytest.raises(SimulationError, match=flag):
+                SoaFleet(program, [config])
+
+
+# ---------------------------------------------------------------------------
+# The batched campaign session
+# ---------------------------------------------------------------------------
+
+def _campaign_requests(backend="soa"):
+    requests = []
+    for loop in (1, 3):
+        for latency in (1, 4):
+            requests.append(RunRequest(
+                "livermore", {"loop": loop, "n": 16, "warm": True},
+                config={"fpu_latency": latency}, backend=backend))
+    return requests
+
+
+class TestBatchedCampaign:
+    def test_results_match_the_scalar_path_in_request_order(self):
+        requests = _campaign_requests()
+        run = run_batched_campaign(requests)
+        assert len(run.results) == len(requests)
+        for request, result, sidecar in zip(requests, run.results,
+                                            run.sidecars):
+            scalar = api.execute_request(request)
+            assert result.passed, result.check_error
+            assert result.metrics == scalar.metrics
+            assert result.key == scalar.key
+            assert result.params == request.params
+            assert sidecar["batched"] is True
+
+    def test_cache_interop_with_the_scalar_path(self, tmp_path):
+        """Batched and scalar runs share one digest-keyed cache: either
+        side's entries are the other side's hits."""
+        requests = _campaign_requests()
+        cache = str(tmp_path / "cache")
+        seeded = run_batched_campaign(requests, cache_dir=cache)
+        assert seeded.cached_count == 0
+        for request in requests:
+            hit = api.execute_request(
+                request, cache=orchestrate.ResultCache(cache))
+            assert hit.cached
+        again = run_batched_campaign(requests, cache_dir=cache)
+        assert again.cached_count == len(requests)
+        assert again.cache_hit_rate == 1.0
+
+    def test_non_batchable_requests_are_rejected(self):
+        request = RunRequest("livermore", {"loop": 1, "n": 16},
+                             backend="percycle")
+        assert not is_batchable(request)
+        with pytest.raises(ValueError, match="not batchable"):
+            run_batched_campaign([request])
+
+    def test_broken_group_degrades_to_task_error(self, tmp_path):
+        """A params dict whose kernel build raises degrades each request
+        to a deterministic task_error record, like the orchestrator's
+        quarantine -- never an exception out of the campaign."""
+        requests = [RunRequest("livermore", {"loop": 999, "n": 16},
+                               backend="soa")]
+        run = run_batched_campaign(requests)
+        assert not run.results[0].passed
+        assert run.results[0].failure["kind"] == "task_error"
+
+    def test_raw_backend_none_requests_adopt_the_session_default(self):
+        """The README quickstart shape: raw ``RunRequest``s with no
+        backend handed straight to ``run_many`` must batch under the
+        session default, not fall back to the registry default."""
+        requests = [RunRequest("livermore", {"loop": 1, "n": 16,
+                                             "warm": True},
+                               config={"fpu_latency": latency})
+                    for latency in (1, 2)]
+        session = BatchSession()
+        results = session.run_many(requests)
+        assert all(sidecar["batched"] is True
+                   for sidecar in session.last_campaign.sidecars)
+        for request, result in zip(requests, results):
+            assert result.backend == "soa"
+            scalar = api.execute_request(
+                RunRequest(request.workload, request.params,
+                           config=request.config, backend="soa"))
+            assert result.metrics == scalar.metrics
+            assert result.key == scalar.key
+
+    def test_an_explicit_request_backend_still_wins(self):
+        request = RunRequest("livermore", {"loop": 1, "n": 16},
+                             backend="percycle")
+        session = BatchSession()
+        results = session.run_many([request])
+        assert results[0].backend == "percycle"
+        assert session.last_campaign.sidecars[0].get("batched") is None
+
+    def test_session_merges_batched_and_orchestrated_requests(self):
+        requests = _campaign_requests()[:2] + [
+            RunRequest("fib", {"count": 8})]
+        session = BatchSession()
+        results = session.run_many(requests)
+        assert [r.params for r in results] == [r.params for r in requests]
+        campaign = session.last_campaign
+        assert campaign.sidecars[0].get("batched") is True
+        assert campaign.sidecars[2].get("batched") is None
+        scalar = api.execute_request(requests[2])
+        assert results[2].metrics == scalar.metrics
+
+
+class TestRestoreWords:
+    def test_prefix_restore_rewinds_only_the_writable_prefix(self):
+        memory = Memory()
+        for index in range(6):
+            memory.write(8 * index, float(index))
+        template = list(memory.words)
+        prefix = template[:3]
+        memory.write(0, -1.0)
+        memory.write(16, 99.5)
+        _restore_words(memory, template, prefix)
+        assert memory.words == template
+
+    def test_length_change_falls_back_to_the_full_image(self):
+        memory = Memory()
+        memory.write(0, 1.0)
+        template = list(memory.words)
+        memory.write(8 * (len(template) + 4), 2.0)   # the memory grew
+        assert len(memory.words) != len(template)
+        _restore_words(memory, template, template[:1])
+        assert memory.words == template

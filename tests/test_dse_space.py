@@ -312,3 +312,63 @@ class TestObservationFieldsGuard:
         base = MachineConfig().fingerprint()
         assert MachineConfig(trace=True).fingerprint() == base
         assert MachineConfig(fpu_latency=5).fingerprint() != base
+
+
+class TestPresetValidateDrift:
+    """The preset spaces and ``MachineConfig.validate`` must not drift:
+    every point a preset can propose builds a validating machine, and
+    every per-dimension boundary value survives validation on its own.
+    A preset edit that admits an impossible machine (or a ``validate``
+    tightening that silently shrinks a preset) fails here, not mid-
+    campaign."""
+
+    def test_every_preset_grid_point_builds_a_valid_machine(self):
+        from repro.dse.presets import SPACES, space_preset
+
+        for name in sorted(SPACES):
+            space = space_preset(name)
+            count = 0
+            for point in space.grid():
+                # check_point is the full admission path (universe,
+                # constraints, and a from_overrides -> validate build).
+                space.check_point(point)
+                space.machine_config(point).validate()
+                count += 1
+            assert count == space.size(), \
+                "preset %r: validate rejects %d of %d declared points" \
+                % (name, space.size() - count, space.size())
+
+    def test_dimension_boundary_values_validate_in_isolation(self):
+        from repro.dse.presets import SPACES, space_preset
+
+        for name in sorted(SPACES):
+            space = space_preset(name)
+            baseline = {dim.name: dim.values()[0]
+                        for dim in space.dimensions}
+            for dim in space.dimensions:
+                universe = dim.values()
+                for boundary in (universe[0], universe[-1]):
+                    point = dict(baseline)
+                    point[dim.name] = boundary
+                    config = space.machine_config(point)
+                    assert config.validate() is config
+
+    def test_out_of_universe_boundary_neighbors_are_rejected(self):
+        """The space refuses values one step past each ordered
+        dimension's edge even when the machine itself would accept
+        them -- preset bounds are the contract, not just validate."""
+        from repro.dse.presets import SPACES, space_preset
+
+        for name in sorted(SPACES):
+            space = space_preset(name)
+            baseline = {dim.name: dim.values()[0]
+                        for dim in space.dimensions}
+            for dim in space.dimensions:
+                if not dim.ordered:
+                    continue
+                universe = dim.values()
+                for outside in (universe[0] - 1, universe[-1] + 1):
+                    point = dict(baseline)
+                    point[dim.name] = outside
+                    with pytest.raises(InvalidPoint, match="outside"):
+                        space.check_point(point)

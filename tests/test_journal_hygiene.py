@@ -195,6 +195,32 @@ class TestHygiene:
                                  now=mtime + 7200)
         assert len(removed) == 1
 
+    def test_prune_uses_injected_clock(self, tmp_path):
+        """A frozen ``clock`` stands in for ``now``: the age cutoff is
+        exact and repeatable, never a race against wall time."""
+        journal = _written(tmp_path, entries=3)
+        mtime = os.stat(journal.path).st_mtime
+        assert prune_journals(tmp_path, older_than=3600,
+                              clock=lambda: mtime + 10) == []
+        removed = prune_journals(tmp_path, older_than=3600,
+                                 clock=lambda: mtime + 7200)
+        assert len(removed) == 1
+
+    def test_list_and_prune_stable_under_frozen_clock(self, tmp_path):
+        """Hygiene output is a pure function of the files on disk and
+        the (frozen) clock: repeated list/prune calls byte-agree."""
+        _written(tmp_path, entries=1)
+        frozen = os.stat(list_journals(tmp_path)[0]["path"]).st_mtime + 50
+        first = list_journals(tmp_path)
+        second = list_journals(tmp_path)
+        assert first == second
+        # Too-young journals survive a dry prune identically every time.
+        for _ in range(2):
+            assert prune_journals(tmp_path, completed_only=False,
+                                  older_than=3600,
+                                  clock=lambda: frozen) == []
+        assert list_journals(tmp_path) == first
+
     def test_cli_journal_list_and_prune(self, tmp_path, capsys):
         _written(tmp_path, entries=3)
         assert cli_main(["journal", "list",

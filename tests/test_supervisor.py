@@ -79,6 +79,25 @@ class TestCacheTempHygiene:
         cache = ResultCache(tmp_path, temp_sweep_age=0)
         assert cache.swept_temps == 1
 
+    def test_sweep_judges_age_by_injected_clock(self, tmp_path):
+        """The sweep's 'now' comes from the injected clock, so a frozen
+        clock makes the age cutoff exact instead of racing wall time."""
+        sub = tmp_path / "ab"
+        sub.mkdir()
+        temp = sub / ".tmp-pinned.json"
+        temp.write_text("{")
+        mtime = os.path.getmtime(temp)
+
+        kept = ResultCache(tmp_path, temp_sweep_age=60,
+                           clock=lambda: mtime + 59)
+        assert kept.swept_temps == 0
+        assert temp.exists()
+
+        swept = ResultCache(tmp_path, temp_sweep_age=60,
+                            clock=lambda: mtime + 60)
+        assert swept.swept_temps == 1
+        assert not temp.exists()
+
     def test_sweep_disabled_with_none(self, tmp_path):
         sub = tmp_path / "ef"
         sub.mkdir()
